@@ -1,0 +1,66 @@
+"""E4 — Figure 12c/12d: readelf, IPG-generated parser vs hand-written parser.
+
+* *parsing time* (Figure 12d): the IPG ELF parse vs the struct-unpacking
+  hand-written parse.
+* *end-to-end time* (Figure 12c): parse + section-name resolution + report
+  rendering (the work ``readelf -h -S --dyn-syms`` does) on both sides.
+"""
+
+import pytest
+
+from repro.baselines.handwritten import elf as handwritten_elf
+from repro.formats import elf
+
+from conftest import ELF_SECTION_COUNTS, build_generated_parser
+
+
+@pytest.fixture(scope="module")
+def ipg_elf_parser():
+    return build_generated_parser("elf")
+
+
+@pytest.mark.parametrize("sections", ELF_SECTION_COUNTS)
+def test_fig12d_parse_ipg(benchmark, elf_series, ipg_elf_parser, sections):
+    binary = elf_series[sections]
+    benchmark.group = f"fig12d-readelf-parse-{sections}"
+    tree = benchmark(ipg_elf_parser.parse, binary)
+    assert tree.child("H")["shnum"] == sections + 4
+
+
+@pytest.mark.parametrize("sections", ELF_SECTION_COUNTS)
+def test_fig12d_parse_handwritten(benchmark, elf_series, sections):
+    binary = elf_series[sections]
+    benchmark.group = f"fig12d-readelf-parse-{sections}"
+    parsed = benchmark(handwritten_elf.parse, binary)
+    assert parsed.header["shnum"] == sections + 4
+
+
+@pytest.mark.parametrize("sections", ELF_SECTION_COUNTS)
+def test_fig12c_end_to_end_ipg(benchmark, elf_series, ipg_elf_parser, sections):
+    binary = elf_series[sections]
+    benchmark.group = f"fig12c-readelf-endtoend-{sections}"
+
+    def readelf_with_ipg():
+        tree = ipg_elf_parser.parse(binary)
+        return elf.render_readelf(elf.summarize(tree, binary))
+
+    report = benchmark(readelf_with_ipg)
+    assert "Section Headers:" in report
+
+
+@pytest.mark.parametrize("sections", ELF_SECTION_COUNTS)
+def test_fig12c_end_to_end_handwritten(benchmark, elf_series, sections):
+    binary = elf_series[sections]
+    benchmark.group = f"fig12c-readelf-endtoend-{sections}"
+    report = benchmark(handwritten_elf.run_readelf, binary)
+    assert "Section Headers:" in report
+
+
+def test_fig12_reports_agree(elf_series, ipg_elf_parser):
+    """Correctness side condition: both pipelines report the same sections."""
+    binary = elf_series[ELF_SECTION_COUNTS[0]]
+    ipg_summary = elf.summarize(ipg_elf_parser.parse(binary), binary)
+    baseline = handwritten_elf.parse(binary)
+    assert [s.offset for s in ipg_summary.sections] == [
+        sh["offset"] for sh in baseline.section_headers
+    ]

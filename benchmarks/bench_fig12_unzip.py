@@ -1,0 +1,79 @@
+"""E3 — Figure 12a/12b: unzip, IPG-generated parser vs hand-written parser.
+
+Two measurements per archive size, for each side:
+
+* *parsing time* (Figure 12b): the IPG metadata grammar (EOCD + central
+  directory, zero-copy) vs the struct-unpacking walk of the hand-written
+  parser;
+* *end-to-end time* (Figure 12a): full IPG parse including the zlib blackbox
+  plus member extraction and CRC verification, vs the hand-written
+  parse + extract + CRC pipeline.
+
+Expected shape (paper): the hand-written parser is much faster at parsing
+proper, but end-to-end times are of the same order because decompression
+dominates.
+"""
+
+import pytest
+
+from repro.baselines.handwritten import zipfmt as handwritten_zip
+from repro.core.generator import compile_parser
+from repro.formats import zipfmt
+
+from conftest import ZIP_MEMBER_COUNTS
+
+
+@pytest.fixture(scope="module")
+def ipg_metadata_parser():
+    return compile_parser(zipfmt.METADATA_GRAMMAR)
+
+
+@pytest.fixture(scope="module")
+def ipg_full_parser():
+    return compile_parser(zipfmt.GRAMMAR, blackboxes={"Inflate": zipfmt.inflate_blackbox})
+
+
+@pytest.mark.parametrize("members", ZIP_MEMBER_COUNTS)
+def test_fig12b_parse_ipg(benchmark, zip_series, ipg_metadata_parser, members):
+    archive = zip_series[members]
+    benchmark.group = f"fig12b-unzip-parse-{members}"
+    tree = benchmark(ipg_metadata_parser.parse, archive)
+    assert len(tree.array("CDE")) == members
+
+
+@pytest.mark.parametrize("members", ZIP_MEMBER_COUNTS)
+def test_fig12b_parse_handwritten(benchmark, zip_series, members):
+    archive = zip_series[members]
+    benchmark.group = f"fig12b-unzip-parse-{members}"
+    parsed = benchmark(handwritten_zip.parse, archive)
+    assert parsed.entry_count == members
+
+
+@pytest.mark.parametrize("members", ZIP_MEMBER_COUNTS)
+def test_fig12a_end_to_end_ipg(benchmark, zip_series, ipg_full_parser, members):
+    archive = zip_series[members]
+    benchmark.group = f"fig12a-unzip-endtoend-{members}"
+
+    def unzip_with_ipg():
+        tree = ipg_full_parser.parse(archive)
+        extracted = zipfmt.extract_all(tree)
+        assert zipfmt.verify_crc(extracted, zipfmt.list_members(tree))
+        return extracted
+
+    extracted = benchmark(unzip_with_ipg)
+    assert len(extracted) == members
+
+
+@pytest.mark.parametrize("members", ZIP_MEMBER_COUNTS)
+def test_fig12a_end_to_end_handwritten(benchmark, zip_series, members):
+    archive = zip_series[members]
+    benchmark.group = f"fig12a-unzip-endtoend-{members}"
+    extracted = benchmark(handwritten_zip.run_unzip, archive)
+    assert len(extracted) == members
+
+
+def test_fig12_end_to_end_results_agree(zip_series, ipg_full_parser):
+    """Correctness side condition: both pipelines extract identical data."""
+    archive = zip_series[ZIP_MEMBER_COUNTS[-1]]
+    ipg_result = zipfmt.extract_all(ipg_full_parser.parse(archive))
+    assert ipg_result == handwritten_zip.run_unzip(archive)

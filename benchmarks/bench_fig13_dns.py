@@ -1,0 +1,42 @@
+"""E9 — Figure 13e: DNS parsing time, IPG vs Kaitai-like vs Nail-like."""
+
+import pytest
+
+from repro.baselines import nail_like
+from repro.baselines.kaitai_like import specs as kaitai_specs
+
+from conftest import DNS_ANSWER_COUNTS, build_generated_parser
+
+
+@pytest.fixture(scope="module")
+def ipg_dns_parser():
+    return build_generated_parser("dns")
+
+
+@pytest.fixture(scope="module")
+def kaitai_dns_engine():
+    return kaitai_specs.get_engine("dns")
+
+
+@pytest.mark.parametrize("answers", DNS_ANSWER_COUNTS)
+def test_fig13e_ipg(benchmark, dns_series, ipg_dns_parser, answers):
+    packet = dns_series[answers]
+    benchmark.group = f"fig13e-dns-{answers}"
+    tree = benchmark(ipg_dns_parser.parse, packet)
+    assert len(tree.array("RR")) == answers
+
+
+@pytest.mark.parametrize("answers", DNS_ANSWER_COUNTS)
+def test_fig13e_kaitai_like(benchmark, dns_series, kaitai_dns_engine, answers):
+    packet = dns_series[answers]
+    benchmark.group = f"fig13e-dns-{answers}"
+    obj = benchmark(kaitai_dns_engine.parse, packet)
+    assert len(obj["records"]) == answers
+
+
+@pytest.mark.parametrize("answers", DNS_ANSWER_COUNTS)
+def test_fig13e_nail_like(benchmark, dns_series, answers):
+    packet = dns_series[answers]
+    benchmark.group = f"fig13e-dns-{answers}"
+    message, _arena = benchmark(nail_like.parse_dns, packet)
+    assert len(message.records) == answers

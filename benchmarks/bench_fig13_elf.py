@@ -1,0 +1,33 @@
+"""E8 — Figure 13d: ELF parsing time, IPG vs the Kaitai-like engine."""
+
+import pytest
+
+from repro.baselines.kaitai_like import specs as kaitai_specs
+
+from conftest import ELF_SECTION_COUNTS, build_generated_parser
+
+
+@pytest.fixture(scope="module")
+def ipg_elf_parser():
+    return build_generated_parser("elf")
+
+
+@pytest.fixture(scope="module")
+def kaitai_elf_engine():
+    return kaitai_specs.get_engine("elf")
+
+
+@pytest.mark.parametrize("sections", ELF_SECTION_COUNTS)
+def test_fig13d_ipg(benchmark, elf_series, ipg_elf_parser, sections):
+    binary = elf_series[sections]
+    benchmark.group = f"fig13d-elf-{sections}"
+    tree = benchmark(ipg_elf_parser.parse, binary)
+    assert tree.child("H")["shnum"] == sections + 4
+
+
+@pytest.mark.parametrize("sections", ELF_SECTION_COUNTS)
+def test_fig13d_kaitai_like(benchmark, elf_series, kaitai_elf_engine, sections):
+    binary = elf_series[sections]
+    benchmark.group = f"fig13d-elf-{sections}"
+    obj = benchmark(kaitai_elf_engine.parse, binary)
+    assert obj["shnum"] == sections + 4

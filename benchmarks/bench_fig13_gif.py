@@ -1,0 +1,35 @@
+"""E6 — Figure 13b: GIF parsing time, IPG vs the Kaitai-like engine."""
+
+import pytest
+
+from repro.baselines.kaitai_like import specs as kaitai_specs
+
+from conftest import GIF_FRAME_COUNTS, build_generated_parser
+
+
+@pytest.fixture(scope="module")
+def ipg_gif_parser():
+    return build_generated_parser("gif")
+
+
+@pytest.fixture(scope="module")
+def kaitai_gif_engine():
+    return kaitai_specs.get_engine("gif")
+
+
+@pytest.mark.parametrize("frames", GIF_FRAME_COUNTS)
+def test_fig13b_ipg(benchmark, gif_series, ipg_gif_parser, frames):
+    image = gif_series[frames]
+    benchmark.group = f"fig13b-gif-{frames}"
+    tree = benchmark(ipg_gif_parser.parse, image)
+    image_blocks = [b for b in tree.find_all("ImageBlock")]
+    assert len(image_blocks) == frames
+
+
+@pytest.mark.parametrize("frames", GIF_FRAME_COUNTS)
+def test_fig13b_kaitai_like(benchmark, gif_series, kaitai_gif_engine, frames):
+    image = gif_series[frames]
+    benchmark.group = f"fig13b-gif-{frames}"
+    obj = benchmark(kaitai_gif_engine.parse, image)
+    images = [b for b in obj["blocks"] if b.fields["block_type"] == 0x2C]
+    assert len(images) == frames

@@ -1,0 +1,42 @@
+"""E10 — Figure 13f: IPv4+UDP parsing time, IPG vs Kaitai-like vs Nail-like."""
+
+import pytest
+
+from repro.baselines import nail_like
+from repro.baselines.kaitai_like import specs as kaitai_specs
+
+from conftest import IPV4_PAYLOAD_SIZES, build_generated_parser
+
+
+@pytest.fixture(scope="module")
+def ipg_ipv4_parser():
+    return build_generated_parser("ipv4")
+
+
+@pytest.fixture(scope="module")
+def kaitai_ipv4_engine():
+    return kaitai_specs.get_engine("ipv4")
+
+
+@pytest.mark.parametrize("payload", IPV4_PAYLOAD_SIZES)
+def test_fig13f_ipg(benchmark, ipv4_series, ipg_ipv4_parser, payload):
+    packet = ipv4_series[payload]
+    benchmark.group = f"fig13f-ipv4-{payload}"
+    tree = benchmark(ipg_ipv4_parser.parse, packet)
+    assert tree.child("UDP")["len"] == 8 + payload
+
+
+@pytest.mark.parametrize("payload", IPV4_PAYLOAD_SIZES)
+def test_fig13f_kaitai_like(benchmark, ipv4_series, kaitai_ipv4_engine, payload):
+    packet = ipv4_series[payload]
+    benchmark.group = f"fig13f-ipv4-{payload}"
+    obj = benchmark(kaitai_ipv4_engine.parse, packet)
+    assert obj["udp"].fields["length"] == 8 + payload
+
+
+@pytest.mark.parametrize("payload", IPV4_PAYLOAD_SIZES)
+def test_fig13f_nail_like(benchmark, ipv4_series, payload):
+    packet = ipv4_series[payload]
+    benchmark.group = f"fig13f-ipv4-{payload}"
+    parsed, _arena = benchmark(nail_like.parse_ipv4_udp, packet)
+    assert parsed.udp.length == 8 + payload

@@ -1,0 +1,33 @@
+"""E7 — Figure 13c: PE parsing time, IPG vs the Kaitai-like engine."""
+
+import pytest
+
+from repro.baselines.kaitai_like import specs as kaitai_specs
+
+from conftest import PE_SECTION_COUNTS, build_generated_parser
+
+
+@pytest.fixture(scope="module")
+def ipg_pe_parser():
+    return build_generated_parser("pe")
+
+
+@pytest.fixture(scope="module")
+def kaitai_pe_engine():
+    return kaitai_specs.get_engine("pe")
+
+
+@pytest.mark.parametrize("sections", PE_SECTION_COUNTS)
+def test_fig13c_ipg(benchmark, pe_series, ipg_pe_parser, sections):
+    binary = pe_series[sections]
+    benchmark.group = f"fig13c-pe-{sections}"
+    tree = benchmark(ipg_pe_parser.parse, binary)
+    assert len(tree.array("SectionHeader")) == sections
+
+
+@pytest.mark.parametrize("sections", PE_SECTION_COUNTS)
+def test_fig13c_kaitai_like(benchmark, pe_series, kaitai_pe_engine, sections):
+    binary = pe_series[sections]
+    benchmark.group = f"fig13c-pe-{sections}"
+    obj = benchmark(kaitai_pe_engine.parse, binary)
+    assert obj["pe_header"].fields["nsections"] == sections

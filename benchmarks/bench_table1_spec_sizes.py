@@ -1,0 +1,37 @@
+"""E1 — Table 1: lines of format specifications (IPG vs Kaitai-like vs Nail-like).
+
+The benchmark times the metric computation itself (it is cheap); the
+interesting output is recorded in ``extra_info`` of each benchmark entry and
+asserted qualitatively: IPG specifications are the compact ones, as in the
+paper's Table 1.
+"""
+
+from repro.evaluation.metrics import spec_size_table
+
+
+def test_table1_spec_sizes(benchmark):
+    rows = benchmark(spec_size_table)
+    table = {row.fmt: row for row in rows}
+
+    benchmark.extra_info["ipg_lines"] = {row.fmt: row.ipg_lines for row in rows}
+    benchmark.extra_info["kaitai_lines"] = {
+        row.fmt: row.kaitai_lines for row in rows if row.kaitai_lines is not None
+    }
+    benchmark.extra_info["nail_lines"] = {
+        row.fmt: row.nail_lines for row in rows if row.nail_lines is not None
+    }
+
+    # Qualitative shape of Table 1: the IPG spec is smaller than the
+    # Kaitai-like spec for the clear majority of formats, and the network
+    # formats have a Nail-like comparison point.
+    smaller = [
+        row.fmt
+        for row in rows
+        if row.kaitai_lines is not None and row.ipg_lines < row.kaitai_lines
+    ]
+    assert len(smaller) >= 4
+    assert table["dns"].nail_lines is not None
+    assert table["ipv4"].nail_lines is not None
+    # Every spec stays within the same order of magnitude as the paper's
+    # reported sizes (tens to low hundreds of lines).
+    assert all(10 <= row.ipg_lines <= 200 for row in rows)

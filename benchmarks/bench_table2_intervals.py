@@ -1,0 +1,31 @@
+"""E2 — Table 2: number of intervals and implicit intervals per IPG grammar."""
+
+from repro.evaluation.metrics import aggregate_interval_shares, interval_table
+
+
+def test_table2_interval_statistics(benchmark):
+    rows = benchmark(interval_table)
+    shares = aggregate_interval_shares(rows)
+
+    benchmark.extra_info["per_format"] = {
+        row.fmt: {
+            "total": row.total,
+            "fully_implicit": row.fully_implicit,
+            "length_only": row.length_only,
+            "explicit": row.explicit,
+        }
+        for row in rows
+    }
+    benchmark.extra_info["share_fully_implicit_pct"] = round(shares["fully_implicit"], 1)
+    benchmark.extra_info["share_length_only_pct"] = round(shares["length_only"], 1)
+
+    # Counts are internally consistent.
+    for row in rows:
+        assert row.total == row.explicit + row.length_only + row.fully_implicit
+
+    # Qualitative shape of Table 2: most intervals do not need both endpoints
+    # written out (paper: 27.0% fully implicit + 52.9% length-only ≈ 80%).
+    assert shares["fully_implicit"] + shares["length_only"] > 50.0
+    # Auto-completion is exercised by every format grammar except the mostly
+    # explicit PDF subset.
+    assert sum(1 for row in rows if row.fully_implicit > 0) >= 5

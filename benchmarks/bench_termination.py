@@ -1,0 +1,31 @@
+"""E12 — termination checking cost (section 7 text).
+
+The paper reports that every evaluated grammar passes termination checking
+in under 20 ms, with no more than five elementary cycles per grammar.  This
+benchmark times :func:`repro.core.termination.check_termination` per format
+and asserts the cycle counts and verdicts.
+"""
+
+import pytest
+
+from repro.core.termination import check_termination
+from repro.formats import registry
+
+
+@pytest.mark.parametrize("fmt", sorted(registry))
+def test_termination_checking(benchmark, fmt):
+    grammar_text = registry[fmt].grammar_text
+    benchmark.group = "termination-checking"
+    report = benchmark(check_termination, grammar_text)
+    benchmark.extra_info["elementary_cycles"] = report.cycle_count
+
+    assert report.ok, report.failing_cycles()
+    assert report.cycle_count <= 5
+
+
+def test_termination_rejects_seek_loop(benchmark):
+    from repro.formats import toy
+
+    benchmark.group = "termination-checking"
+    report = benchmark(check_termination, toy.NON_TERMINATING_SEEK)
+    assert not report.ok

@@ -1,0 +1,95 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md, experiment index E1–E12).  The workloads are the
+synthetic samples from :mod:`repro.samples`; they are built once per session.
+
+The "IPG" side of every comparison uses the *generated* parser
+(:func:`repro.core.generator.compile_parser`), matching the paper's artifact
+(a parser generator), with the reference interpreter available for
+cross-checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import samples
+from repro.core.generator import compile_parser
+from repro.formats import registry
+
+
+def build_generated_parser(fmt: str):
+    """Compile the generated parser for a registered format."""
+    spec = registry[fmt]
+    return compile_parser(spec.grammar_text, blackboxes=dict(spec.blackboxes))
+
+
+@pytest.fixture(scope="session")
+def generated_parsers():
+    """Generated parsers for every format used by the benchmarks."""
+    return {fmt: build_generated_parser(fmt) for fmt in registry}
+
+
+# -- workload series ----------------------------------------------------------
+
+ZIP_MEMBER_COUNTS = [2, 8, 32]
+GIF_FRAME_COUNTS = [1, 4, 16]
+PE_SECTION_COUNTS = [2, 8, 16]
+ELF_SECTION_COUNTS = [4, 16, 64]
+DNS_ANSWER_COUNTS = [1, 8, 32]
+IPV4_PAYLOAD_SIZES = [16, 256, 1400]
+
+
+@pytest.fixture(scope="session")
+def zip_series():
+    return {
+        count: samples.build_zip(member_count=count, member_size=2048)
+        for count in ZIP_MEMBER_COUNTS
+    }
+
+
+@pytest.fixture(scope="session")
+def zip_large_stored_archive():
+    """A large archive of stored members: the zero-copy showcase (Fig 13a)."""
+    return samples.build_zip(member_count=8, member_size=2 * 1024 * 1024, compressed=False)
+
+
+@pytest.fixture(scope="session")
+def gif_series():
+    return {
+        count: samples.build_gif(frame_count=count, bytes_per_frame=2048)
+        for count in GIF_FRAME_COUNTS
+    }
+
+
+@pytest.fixture(scope="session")
+def pe_series():
+    return {
+        count: samples.build_pe(section_count=count, section_size=2048)
+        for count in PE_SECTION_COUNTS
+    }
+
+
+@pytest.fixture(scope="session")
+def elf_series():
+    return {
+        count: samples.build_elf(section_count=count, symbol_count=count * 4, dynamic_entries=16)
+        for count in ELF_SECTION_COUNTS
+    }
+
+
+@pytest.fixture(scope="session")
+def dns_series():
+    return {
+        count: samples.build_dns_response(answer_count=count)
+        for count in DNS_ANSWER_COUNTS
+    }
+
+
+@pytest.fixture(scope="session")
+def ipv4_series():
+    return {
+        size: samples.build_ipv4_udp_packet(payload_size=size)
+        for size in IPV4_PAYLOAD_SIZES
+    }

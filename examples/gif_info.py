@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Inspect a GIF with the chunk-based IPG grammar of section 4.2.
+
+Prints the logical screen descriptor and the block inventory (extensions and
+image frames with their coded-data sizes), then shows how the recursive
+``Blocks`` rule walked the file by reading the ``start``/``end`` attributes
+off the parse tree.
+
+Run with:  python examples/gif_info.py [image.gif]
+"""
+
+import pathlib
+import sys
+
+from repro import samples
+from repro.formats import gif
+
+
+def load_image() -> bytes:
+    if len(sys.argv) > 1:
+        return pathlib.Path(sys.argv[1]).read_bytes()
+    return samples.build_gif(frame_count=3, width=64, height=48, bytes_per_frame=1024)
+
+
+def main() -> None:
+    data = load_image()
+    tree = gif.parse(data)
+    summary = gif.summarize(tree)
+
+    print(f"{summary.version}, {summary.width}x{summary.height}")
+    if summary.has_global_color_table:
+        print(f"global color table: {summary.global_color_table_size} bytes")
+
+    print(f"\nblocks ({len(summary.blocks)}):")
+    for index, block in enumerate(summary.blocks):
+        if block.kind == "image":
+            detail = f"image {block.width}x{block.height}, {block.data_length} bytes of LZW data"
+        else:
+            detail = f"extension 0x{block.label:02x}, {block.data_length} bytes"
+        print(f"  [{index}] {detail}")
+
+    # The recursive Blocks rule touches consecutive byte ranges; show them.
+    print("\nblock byte ranges (absolute file offsets):")
+    offset = tree.child("LSD").end
+    for block in tree.find_all("Block"):
+        # Block start/end are relative to the Blocks window that parsed them;
+        # accumulate to absolute offsets for display.
+        width = block.end - block.start
+        print(f"  [{offset:#06x}, {offset + width:#06x})")
+        offset += width
+    print(f"trailer at {offset:#06x}, file size {len(data):#06x}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that editable
+installs work on environments whose setuptools/pip combination cannot build
+PEP 660 editable wheels (e.g. offline machines without the ``wheel``
+package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""repro — Interval Parsing Grammars for file format parsing.
+
+A from-scratch Python reproduction of *Interval Parsing Grammars for File
+Format Parsing* (Zhang, Morrisett, Tan; PLDI 2023).
+
+Quickstart
+----------
+
+    >>> from repro import Parser
+    >>> grammar = '''
+    ... S -> A[0, 2] B[EOI - 2, EOI] ;
+    ... A -> "aa"[0, 2] ;
+    ... B -> "bb"[0, 2] ;
+    ... '''
+    >>> parser = Parser(grammar)
+    >>> tree = parser.parse(b"aaxxxbb")
+    >>> tree.name
+    'S'
+
+The package layout mirrors the paper: :mod:`repro.core` implements the IPG
+language (syntax, semantics, checking, generation, combinators, termination
+checking), :mod:`repro.formats` contains the case-study grammars (ZIP, GIF,
+PE, ELF, PDF subset, IPv4+UDP, DNS), :mod:`repro.baselines` the comparison
+parsers, :mod:`repro.samples` synthetic workload generators and
+:mod:`repro.evaluation` the measurement harness behind the benchmarks.
+"""
+
+from .core import (
+    ArrayNode,
+    AttributeCheckError,
+    AutoCompletionError,
+    BlackboxError,
+    BlackboxResult,
+    EvaluationError,
+    GenerationError,
+    Grammar,
+    GrammarSyntaxError,
+    IPGError,
+    Leaf,
+    Node,
+    ParseFailure,
+    ParseTree,
+    Parser,
+    Span,
+    TerminationCheckError,
+    check_grammar,
+    complete_grammar,
+    parse,
+    parse_expression,
+    parse_grammar,
+    prepare_grammar,
+    tree_equal_modulo_specials,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrayNode",
+    "AttributeCheckError",
+    "AutoCompletionError",
+    "BlackboxError",
+    "BlackboxResult",
+    "EvaluationError",
+    "GenerationError",
+    "Grammar",
+    "GrammarSyntaxError",
+    "IPGError",
+    "Leaf",
+    "Node",
+    "ParseFailure",
+    "ParseTree",
+    "Parser",
+    "Span",
+    "TerminationCheckError",
+    "__version__",
+    "check_grammar",
+    "complete_grammar",
+    "parse",
+    "parse_expression",
+    "parse_grammar",
+    "prepare_grammar",
+    "tree_equal_modulo_specials",
+]

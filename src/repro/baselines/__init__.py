@@ -1,0 +1,19 @@
+"""Baseline parsers the IPG implementation is compared against.
+
+Three families, mirroring the paper's evaluation (section 7):
+
+* :mod:`repro.baselines.handwritten` — imperative, struct-unpacking parsers
+  in the style of ``readelf`` and ``unzip``; used for Figure 12.
+* :mod:`repro.baselines.kaitai_like` — a declarative struct-description
+  engine with Kaitai Struct's execution model (sequential fields, typed
+  substreams that consume their bytes, ``instances`` with absolute ``pos``
+  seeks); used for Table 1 and Figure 13 and for the non-termination
+  examples of section 6.2.
+* :mod:`repro.baselines.nail_like` — combinator parsers with arena-style
+  allocation for the two network formats, standing in for Nail; used for
+  Figure 13e/f and Figure 14.
+"""
+
+from . import handwritten, kaitai_like, nail_like
+
+__all__ = ["handwritten", "kaitai_like", "nail_like"]

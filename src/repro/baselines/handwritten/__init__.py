@@ -1,0 +1,5 @@
+"""Hand-written imperative parsers (the ``readelf`` / ``unzip`` baselines)."""
+
+from . import dns, elf, gif, ipv4, pe, zipfmt
+
+__all__ = ["dns", "elf", "gif", "ipv4", "pe", "zipfmt"]

@@ -1,0 +1,71 @@
+"""Hand-written DNS message parser (imperative network baseline)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class HandwrittenDnsQuestion:
+    name: str
+    qtype: int
+    qclass: int
+
+
+@dataclass
+class HandwrittenDnsRecord:
+    name: str
+    rtype: int
+    rclass: int
+    ttl: int
+    rdata: bytes
+
+
+@dataclass
+class HandwrittenDns:
+    transaction_id: int
+    flags: int
+    questions: List[HandwrittenDnsQuestion] = field(default_factory=list)
+    records: List[HandwrittenDnsRecord] = field(default_factory=list)
+
+
+def _parse_name(data: bytes, cursor: int) -> Tuple[str, int]:
+    """Parse a (possibly compressed) name; returns (text, next_cursor)."""
+    labels: List[str] = []
+    while True:
+        if cursor >= len(data):
+            raise ValueError("truncated name")
+        length = data[cursor]
+        if length == 0:
+            return ".".join(labels) if labels else ".", cursor + 1
+        if length & 0xC0 == 0xC0:
+            (pointer,) = struct.unpack_from(">H", data, cursor)
+            labels.append(f"@{pointer & 0x3FFF}")
+            return ".".join(labels), cursor + 2
+        cursor += 1
+        labels.append(data[cursor : cursor + length].decode("latin-1"))
+        cursor += length
+
+
+def parse(data: bytes) -> HandwrittenDns:
+    """Parse the header, question section and all resource records."""
+    transaction_id, flags, qdcount, ancount, nscount, arcount = struct.unpack_from(
+        ">HHHHHH", data, 0
+    )
+    message = HandwrittenDns(transaction_id, flags)
+    cursor = 12
+    for _ in range(qdcount):
+        name, cursor = _parse_name(data, cursor)
+        qtype, qclass = struct.unpack_from(">HH", data, cursor)
+        cursor += 4
+        message.questions.append(HandwrittenDnsQuestion(name, qtype, qclass))
+    for _ in range(ancount + nscount + arcount):
+        name, cursor = _parse_name(data, cursor)
+        rtype, rclass, ttl, rdlength = struct.unpack_from(">HHIH", data, cursor)
+        cursor += 10
+        rdata = data[cursor : cursor + rdlength]
+        cursor += rdlength
+        message.records.append(HandwrittenDnsRecord(name, rtype, rclass, ttl, rdata))
+    return message

@@ -1,0 +1,84 @@
+"""Hand-written GIF parser (imperative baseline for the GIF comparisons)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class HandwrittenGifBlock:
+    """One block of a GIF file (extension or image)."""
+
+    kind: str
+    label: int
+    width: int = 0
+    height: int = 0
+    data_length: int = 0
+
+
+@dataclass
+class HandwrittenGif:
+    """Parsed GIF structure."""
+
+    version: str
+    width: int
+    height: int
+    has_global_color_table: bool
+    global_color_table_size: int
+    blocks: List[HandwrittenGifBlock] = field(default_factory=list)
+
+
+def _skip_sub_blocks(data: bytes, cursor: int) -> (int, int):
+    """Skip a sub-block chain; return (new_cursor, total_data_bytes)."""
+    total = 0
+    while True:
+        if cursor >= len(data):
+            raise ValueError("truncated sub-block chain")
+        length = data[cursor]
+        cursor += 1
+        if length == 0:
+            return cursor, total
+        total += length
+        cursor += length
+
+
+def parse(data: bytes) -> HandwrittenGif:
+    """Parse a GIF file block by block (no LZW decoding)."""
+    if data[:6] not in (b"GIF89a", b"GIF87a"):
+        raise ValueError("not a GIF file")
+    version = data[:6].decode("ascii")
+    width, height, flags, _bgcolor, _aspect = struct.unpack_from("<HHBBB", data, 6)
+    has_gct = bool(flags & 0x80)
+    gct_size = 3 * (2 << (flags & 7)) if has_gct else 0
+    cursor = 13 + gct_size
+
+    parsed = HandwrittenGif(version, width, height, has_gct, gct_size)
+    while True:
+        if cursor >= len(data):
+            raise ValueError("missing trailer")
+        introducer = data[cursor]
+        if introducer == 0x3B:  # trailer
+            break
+        if introducer == 0x21:  # extension block
+            label = data[cursor + 1]
+            cursor, total = _skip_sub_blocks(data, cursor + 2)
+            parsed.blocks.append(HandwrittenGifBlock("extension", label, data_length=total))
+        elif introducer == 0x2C:  # image block
+            left, top, image_width, image_height, image_flags = struct.unpack_from(
+                "<HHHHB", data, cursor + 1
+            )
+            cursor += 10
+            if image_flags & 0x80:
+                cursor += 3 * (2 << (image_flags & 7))
+            cursor += 1  # LZW minimum code size
+            cursor, total = _skip_sub_blocks(data, cursor)
+            parsed.blocks.append(
+                HandwrittenGifBlock(
+                    "image", 0x2C, width=image_width, height=image_height, data_length=total
+                )
+            )
+        else:
+            raise ValueError(f"unknown block introducer 0x{introducer:02x}")
+    return parsed

@@ -1,0 +1,62 @@
+"""Hand-written IPv4+UDP packet parser (imperative network baseline)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+
+@dataclass
+class HandwrittenPacket:
+    """Parsed IPv4+UDP packet."""
+
+    version: int
+    header_length: int
+    total_length: int
+    ttl: int
+    protocol: int
+    source: str
+    destination: str
+    source_port: int
+    destination_port: int
+    udp_length: int
+    payload: bytes
+
+
+def _dotted(raw: bytes) -> str:
+    return ".".join(str(byte) for byte in raw)
+
+
+def parse(data: bytes) -> HandwrittenPacket:
+    """Parse the IPv4 header (with options) and the UDP datagram."""
+    vihl, _tos, total_length, _ident, _frag, ttl, proto, _checksum = struct.unpack_from(
+        ">BBHHHBBH", data, 0
+    )
+    version = vihl >> 4
+    ihl = vihl & 0x0F
+    if version != 4:
+        raise ValueError("not an IPv4 packet")
+    if ihl < 5:
+        raise ValueError("invalid IPv4 header length")
+    if proto != 17:
+        raise ValueError("not a UDP packet")
+    source = _dotted(data[12:16])
+    destination = _dotted(data[16:20])
+    udp_offset = ihl * 4
+    sport, dport, udp_length, _udp_checksum = struct.unpack_from(">HHHH", data, udp_offset)
+    if udp_length < 8:
+        raise ValueError("invalid UDP length")
+    payload = data[udp_offset + 8 : udp_offset + udp_length]
+    return HandwrittenPacket(
+        version,
+        ihl * 4,
+        total_length,
+        ttl,
+        proto,
+        source,
+        destination,
+        sport,
+        dport,
+        udp_length,
+        payload,
+    )

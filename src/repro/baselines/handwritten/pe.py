@@ -1,0 +1,61 @@
+"""Hand-written PE parser (imperative baseline for the PE comparisons)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class HandwrittenPeSection:
+    """One section header of a PE file."""
+
+    name: str
+    virtual_size: int
+    virtual_address: int
+    raw_size: int
+    raw_pointer: int
+
+
+@dataclass
+class HandwrittenPe:
+    """Parsed PE structure (headers and section table)."""
+
+    machine: int
+    section_count: int
+    optional_magic: int
+    sections: List[HandwrittenPeSection]
+
+
+def parse(data: bytes) -> HandwrittenPe:
+    """Parse the DOS header, PE signature, COFF header and section table."""
+    if data[:2] != b"MZ":
+        raise ValueError("not a PE file (missing MZ)")
+    (lfanew,) = struct.unpack_from("<I", data, 60)
+    if data[lfanew : lfanew + 4] != b"PE\x00\x00":
+        raise ValueError("missing PE signature")
+    machine, nsections, _ts, _symptr, _nsyms, optsize, _chars = struct.unpack_from(
+        "<HHIIIHH", data, lfanew + 4
+    )
+    optional_offset = lfanew + 24
+    (magic,) = struct.unpack_from("<H", data, optional_offset)
+
+    sections: List[HandwrittenPeSection] = []
+    table_offset = optional_offset + optsize
+    for index in range(nsections):
+        base = table_offset + index * 40
+        name, vsize, vaddr, rawsize, rawptr = struct.unpack_from("<8sIIII", data, base)
+        sections.append(
+            HandwrittenPeSection(
+                name=name.rstrip(b"\x00").decode("latin-1"),
+                virtual_size=vsize,
+                virtual_address=vaddr,
+                raw_size=rawsize,
+                raw_pointer=rawptr,
+            )
+        )
+        # Touch the raw data range like a real loader/parser would.
+        if rawptr + rawsize > len(data):
+            raise ValueError(f"section {index} raw data out of bounds")
+    return HandwrittenPe(machine, nsections, magic, sections)

@@ -1,0 +1,117 @@
+"""Hand-written ZIP parser + extractor, mimicking the core of ``unzip``.
+
+Baseline for Figure 12a/12b: the ``parse`` function walks the end-of-central
+directory record, central directory and local file headers directly with
+``struct``; ``extract`` adds the decompression and CRC verification work so
+the benchmark can separate parsing time from end-to-end time.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+EOCD_SIGNATURE = b"PK\x05\x06"
+CDE_SIGNATURE = b"PK\x01\x02"
+LFH_SIGNATURE = b"PK\x03\x04"
+
+
+@dataclass
+class CentralDirectoryEntry:
+    """Metadata of one archive member, as read from the central directory."""
+
+    name: str
+    method: int
+    crc32: int
+    compressed_size: int
+    uncompressed_size: int
+    local_header_offset: int
+
+
+@dataclass
+class HandwrittenZip:
+    """Parsed archive structure: EOCD fields plus the member table."""
+
+    entry_count: int
+    central_directory_offset: int
+    entries: List[CentralDirectoryEntry]
+    data_offsets: List[int]  # start of each member's compressed data
+
+
+def parse(data: bytes) -> HandwrittenZip:
+    """Parse the EOCD record, the central directory and local headers."""
+    eocd_offset = data.rfind(EOCD_SIGNATURE)
+    if eocd_offset < 0:
+        raise ValueError("end of central directory record not found")
+    (
+        _disk,
+        _cd_disk,
+        _disk_entries,
+        total_entries,
+        _cd_size,
+        cd_offset,
+        _comment_len,
+    ) = struct.unpack_from("<HHHHIIH", data, eocd_offset + 4)
+
+    entries: List[CentralDirectoryEntry] = []
+    data_offsets: List[int] = []
+    cursor = cd_offset
+    for _ in range(total_entries):
+        if data[cursor : cursor + 4] != CDE_SIGNATURE:
+            raise ValueError("central directory entry signature mismatch")
+        (
+            _vermade,
+            _verneed,
+            _flags,
+            method,
+            _mtime,
+            _mdate,
+            crc,
+            csize,
+            usize,
+            fnlen,
+            eflen,
+            cmlen,
+            _diskno,
+            _iattr,
+            _eattr,
+            lfh_offset,
+        ) = struct.unpack_from("<HHHHHHIIIHHHHHII", data, cursor + 4)
+        name = data[cursor + 46 : cursor + 46 + fnlen].decode("utf-8", "replace")
+        entries.append(
+            CentralDirectoryEntry(name, method, crc, csize, usize, lfh_offset)
+        )
+        cursor += 46 + fnlen + eflen + cmlen
+
+        # Follow the offset to the local file header to find the data start.
+        if data[lfh_offset : lfh_offset + 4] != LFH_SIGNATURE:
+            raise ValueError("local file header signature mismatch")
+        lfh_fnlen, lfh_eflen = struct.unpack_from("<HH", data, lfh_offset + 26)
+        data_offsets.append(lfh_offset + 30 + lfh_fnlen + lfh_eflen)
+
+    return HandwrittenZip(total_entries, cd_offset, entries, data_offsets)
+
+
+def extract(data: bytes, parsed: HandwrittenZip, verify: bool = True) -> Dict[str, bytes]:
+    """Decompress every member (the post-parsing work of ``unzip``)."""
+    out: Dict[str, bytes] = {}
+    for entry, start in zip(parsed.entries, parsed.data_offsets):
+        compressed = data[start : start + entry.compressed_size]
+        if entry.method == 8:
+            decompressor = zlib.decompressobj(-zlib.MAX_WBITS)
+            payload = decompressor.decompress(compressed) + decompressor.flush()
+        elif entry.method == 0:
+            payload = compressed
+        else:
+            raise ValueError(f"unsupported compression method {entry.method}")
+        if verify and (zlib.crc32(payload) & 0xFFFFFFFF) != entry.crc32:
+            raise ValueError(f"CRC mismatch for member {entry.name!r}")
+        out[entry.name] = payload
+    return out
+
+
+def run_unzip(data: bytes) -> Dict[str, bytes]:
+    """End-to-end baseline: parse the archive and extract every member."""
+    return extract(data, parse(data))

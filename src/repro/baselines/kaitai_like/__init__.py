@@ -1,0 +1,36 @@
+"""A Kaitai-Struct-like declarative baseline (execution model of section 6.2).
+
+Kaitai Struct itself is not available offline, so this package re-implements
+its execution model: sequential typed fields, sized substreams that *consume
+and copy* their bytes, ``instances`` that seek to absolute positions in the
+root stream (the imperative *seek* pattern the paper critiques), and
+``repeat`` in its ``eos`` / ``expr`` / ``until`` forms.  The specs in
+:mod:`repro.baselines.kaitai_like.specs` mirror the official ``.ksy`` files
+for the evaluated formats, and the engine deliberately keeps the
+behavioural properties the paper calls out:
+
+* ZIP is parsed front-to-back, consuming (copying) the archived data to
+  reach the next section — the reason Kaitai loses to IPG on Figure 13a;
+* random access is done with ``pos`` seeks on the root stream, which is why
+  the non-terminating examples of Figure 11a/11c type-check but loop (the
+  engine guards them with an iteration budget and raises
+  :class:`~repro.baselines.kaitai_like.engine.KaitaiNonTermination`).
+"""
+
+from .engine import (
+    KaitaiEngine,
+    KaitaiError,
+    KaitaiNonTermination,
+    KaitaiObject,
+    KaitaiStream,
+)
+from . import specs
+
+__all__ = [
+    "KaitaiEngine",
+    "KaitaiError",
+    "KaitaiNonTermination",
+    "KaitaiObject",
+    "KaitaiStream",
+    "specs",
+]

@@ -1,0 +1,343 @@
+"""Interpreter for Kaitai-Struct-like declarative format specs.
+
+A *spec* is a plain Python dictionary shaped like a compiled ``.ksy`` file::
+
+    SPEC = {
+        "meta": {"id": "example"},
+        "seq": [
+            {"id": "magic", "contents": b"MAGIC"},
+            {"id": "count", "type": "u4le"},
+            {"id": "items", "type": "item", "repeat": "expr",
+             "repeat_expr": lambda this, root: this["count"]},
+        ],
+        "instances": {
+            "payload": {"pos": lambda this, root: this["offset"],
+                        "size": lambda this, root: this["size"]},
+        },
+        "types": {
+            "item": {"seq": [...]},
+        },
+    }
+
+Field keys understood: ``id``, ``contents``, ``type`` (primitive name,
+user-type name, or a callable returning a user-type name — Kaitai's
+``switch-on``), ``size`` (int or callable; creates a *substream by copying*
+the bytes, as Kaitai does), ``size_eos`` (read to end of stream), ``repeat``
+(``"eos"``, ``"expr"`` with ``repeat_expr``, or ``"until"`` with ``until``),
+and ``if`` (a callable guard).
+
+Instances additionally take ``pos`` (absolute seek in the **root** stream —
+the imperative jump of section 6.2) and ``io`` (only ``"root"`` supported).
+Instances are evaluated eagerly so benchmark timings include their work.
+
+Expressions are Python callables ``lambda this, root: ...`` (like the code a
+``.ksy`` compiler would emit); ``this`` and ``root`` are
+:class:`KaitaiObject` mappings.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, List, Optional, Union
+
+
+class KaitaiError(Exception):
+    """Parsing failed (bad magic, short read, malformed spec)."""
+
+
+class KaitaiNonTermination(KaitaiError):
+    """The iteration budget was exhausted — the spec appears to loop forever."""
+
+
+Expr = Union[int, bytes, Callable[["KaitaiObject", "KaitaiObject"], Any]]
+
+
+def _resolve(value: Expr, this: "KaitaiObject", root: "KaitaiObject"):
+    """Evaluate an int/bytes literal or a ``lambda this, root`` expression."""
+    if callable(value):
+        return value(this, root)
+    return value
+
+
+class KaitaiStream:
+    """A byte stream with a read cursor (Kaitai's ``_io``)."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0):
+        self.data = data
+        self.pos = pos
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def is_eof(self) -> bool:
+        return self.pos >= len(self.data)
+
+    def seek(self, position: int) -> None:
+        if position < 0 or position > len(self.data):
+            raise KaitaiError(f"seek to {position} outside stream of size {len(self.data)}")
+        self.pos = position
+
+    def read_bytes(self, count: int) -> bytes:
+        if count < 0 or self.pos + count > len(self.data):
+            raise KaitaiError(
+                f"cannot read {count} bytes at position {self.pos} "
+                f"(stream size {len(self.data)})"
+            )
+        out = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return out
+
+    def read_bytes_full(self) -> bytes:
+        out = self.data[self.pos :]
+        self.pos = len(self.data)
+        return out
+
+    # -- integer readers -------------------------------------------------------
+    def _read_struct(self, fmt: str, size: int) -> int:
+        raw = self.read_bytes(size)
+        return struct.unpack(fmt, raw)[0]
+
+    def read_u1(self) -> int:
+        return self._read_struct("<B", 1)
+
+    def read_u2le(self) -> int:
+        return self._read_struct("<H", 2)
+
+    def read_u4le(self) -> int:
+        return self._read_struct("<I", 4)
+
+    def read_u8le(self) -> int:
+        return self._read_struct("<Q", 8)
+
+    def read_u2be(self) -> int:
+        return self._read_struct(">H", 2)
+
+    def read_u4be(self) -> int:
+        return self._read_struct(">I", 4)
+
+    def read_u8be(self) -> int:
+        return self._read_struct(">Q", 8)
+
+
+#: Primitive type name -> reader method name.
+_PRIMITIVES = {
+    "u1": "read_u1",
+    "u2le": "read_u2le",
+    "u4le": "read_u4le",
+    "u8le": "read_u8le",
+    "u2be": "read_u2be",
+    "u4be": "read_u4be",
+    "u8be": "read_u8be",
+}
+
+
+class KaitaiObject:
+    """A parsed structure: an ordered mapping of field names to values."""
+
+    __slots__ = ("type_name", "fields", "parent")
+
+    def __init__(self, type_name: str, parent: Optional["KaitaiObject"] = None):
+        self.type_name = type_name
+        self.fields: Dict[str, Any] = {}
+        self.parent = parent
+
+    def __getitem__(self, name: str) -> Any:
+        if name in self.fields:
+            return self.fields[name]
+        if self.parent is not None:
+            return self.parent[name]
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        if name in self.fields:
+            return True
+        return self.parent is not None and name in self.parent
+
+    def get(self, name: str, default: Any = None) -> Any:
+        try:
+            return self[name]
+        except KeyError:
+            return default
+
+    def walk(self):
+        """Yield this object and every nested :class:`KaitaiObject`."""
+        yield self
+        for value in self.fields.values():
+            if isinstance(value, KaitaiObject):
+                yield from value.walk()
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, KaitaiObject):
+                        yield from item.walk()
+
+    def __repr__(self) -> str:
+        return f"KaitaiObject({self.type_name}, fields={list(self.fields)})"
+
+
+class KaitaiEngine:
+    """Interpreter for one spec dictionary."""
+
+    def __init__(self, spec: Dict[str, Any], max_operations: int = 2_000_000):
+        self.spec = spec
+        self.types: Dict[str, Dict[str, Any]] = dict(spec.get("types", {}))
+        self.max_operations = max_operations
+        self._operations = 0
+
+    # -- public API --------------------------------------------------------------
+    def parse(self, data: bytes) -> KaitaiObject:
+        """Parse ``data`` according to the spec's top-level ``seq``/``instances``."""
+        self._operations = 0
+        root_stream = KaitaiStream(data)
+        root = KaitaiObject(self.spec.get("meta", {}).get("id", "root"))
+        try:
+            self._parse_struct(self.spec, root_stream, root_stream, root, root)
+        except RecursionError as exc:
+            # Unbounded seek loops (Figure 11a) recurse until the stack gives
+            # out; report them as the non-termination they are.
+            raise KaitaiNonTermination(
+                "recursion limit exceeded; the spec appears not to terminate"
+            ) from exc
+        return root
+
+    # -- internals ----------------------------------------------------------------
+    def _tick(self) -> None:
+        self._operations += 1
+        if self._operations > self.max_operations:
+            raise KaitaiNonTermination(
+                f"iteration budget of {self.max_operations} operations exhausted; "
+                f"the spec appears not to terminate"
+            )
+
+    def _parse_struct(
+        self,
+        struct_spec: Dict[str, Any],
+        stream: KaitaiStream,
+        root_stream: KaitaiStream,
+        this: KaitaiObject,
+        root: KaitaiObject,
+    ) -> None:
+        for field in struct_spec.get("seq", ()):
+            self._parse_field(field, stream, root_stream, this, root)
+        for name, instance in struct_spec.get("instances", {}).items():
+            self._parse_instance(name, instance, root_stream, this, root)
+
+    def _parse_instance(
+        self,
+        name: str,
+        instance: Dict[str, Any],
+        root_stream: KaitaiStream,
+        this: KaitaiObject,
+        root: KaitaiObject,
+    ) -> None:
+        self._tick()
+        # Instances seek on the root stream (io: _root._io) — the imperative
+        # random-access pattern.
+        position = _resolve(instance.get("pos", 0), this, root)
+        saved = root_stream.pos
+        root_stream.seek(position)
+        try:
+            field = dict(instance)
+            field["id"] = name
+            field.pop("pos", None)
+            self._parse_field(field, root_stream, root_stream, this, root)
+        finally:
+            root_stream.seek(saved)
+
+    def _parse_field(
+        self,
+        field: Dict[str, Any],
+        stream: KaitaiStream,
+        root_stream: KaitaiStream,
+        this: KaitaiObject,
+        root: KaitaiObject,
+    ) -> None:
+        self._tick()
+        name = field.get("id", "_unnamed")
+        guard = field.get("if")
+        if guard is not None and not _resolve(guard, this, root):
+            return
+
+        repeat = field.get("repeat")
+        if repeat is None:
+            this.fields[name] = self._parse_value(field, stream, root_stream, this, root)
+            return
+
+        values: List[Any] = []
+        if repeat == "expr":
+            count = _resolve(field["repeat_expr"], this, root)
+            for _ in range(count):
+                self._tick()
+                values.append(self._parse_value(field, stream, root_stream, this, root))
+        elif repeat == "eos":
+            while not stream.is_eof():
+                self._tick()
+                values.append(self._parse_value(field, stream, root_stream, this, root))
+        elif repeat == "until":
+            predicate = field["until"]
+            while True:
+                self._tick()
+                item = self._parse_value(field, stream, root_stream, this, root)
+                values.append(item)
+                if predicate(item, this, root):
+                    break
+        else:
+            raise KaitaiError(f"unknown repeat kind {repeat!r}")
+        this.fields[name] = values
+
+    def _parse_value(
+        self,
+        field: Dict[str, Any],
+        stream: KaitaiStream,
+        root_stream: KaitaiStream,
+        this: KaitaiObject,
+        root: KaitaiObject,
+    ) -> Any:
+        contents = field.get("contents")
+        if contents is not None:
+            raw = stream.read_bytes(len(contents))
+            if raw != contents:
+                raise KaitaiError(
+                    f"field {field.get('id')!r}: expected {contents!r}, found {raw!r}"
+                )
+            return raw
+
+        type_name = field.get("type")
+        if callable(type_name):  # switch-on
+            type_name = type_name(this, root)
+
+        size = field.get("size")
+        size_eos = field.get("size_eos", False)
+
+        if size is not None or size_eos:
+            # Kaitai creates a substream by consuming (copying) `size` bytes.
+            if size_eos:
+                window = stream.read_bytes_full()
+            else:
+                window = stream.read_bytes(_resolve(size, this, root))
+            if type_name is None or type_name in ("bytes", "str"):
+                return window if type_name != "str" else window.decode("latin-1")
+            substream = KaitaiStream(window)
+            return self._parse_user_type(type_name, substream, root_stream, this, root)
+
+        if type_name is None:
+            raise KaitaiError(f"field {field.get('id')!r} has neither type nor size")
+        if type_name in _PRIMITIVES:
+            return getattr(stream, _PRIMITIVES[type_name])()
+        return self._parse_user_type(type_name, stream, root_stream, this, root)
+
+    def _parse_user_type(
+        self,
+        type_name: str,
+        stream: KaitaiStream,
+        root_stream: KaitaiStream,
+        parent: KaitaiObject,
+        root: KaitaiObject,
+    ) -> KaitaiObject:
+        if type_name not in self.types:
+            raise KaitaiError(f"unknown user type {type_name!r}")
+        child = KaitaiObject(type_name, parent=parent)
+        self._parse_struct(self.types[type_name], stream, root_stream, child, root)
+        return child

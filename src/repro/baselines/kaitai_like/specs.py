@@ -1,0 +1,465 @@
+"""Kaitai-like specs for the evaluated formats.
+
+Each ``*_SPEC`` dictionary mirrors the structure of the corresponding
+official ``.ksy`` file (one field per line, nested user types, ``instances``
+with absolute ``pos`` for random access).  The line counts of these
+assignments are the "Kaitai" column of the Table 1 reproduction — see
+:func:`spec_line_counts`.
+
+The two ``NONTERMINATING_*`` specs reproduce Figure 11a (a seek loop) and
+Figure 11c (repeating an empty type until end of stream); the engine's
+iteration budget turns both into :class:`KaitaiNonTermination` errors, which
+is the behavioural contrast the paper draws with IPG's *static* check.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+from .engine import KaitaiEngine
+
+ELF_SPEC = {
+    "meta": {"id": "elf"},
+    "seq": [
+        {"id": "magic", "contents": b"\x7fELF"},
+        {"id": "ei_class", "type": "u1"},
+        {"id": "ei_data", "type": "u1"},
+        {"id": "ei_version", "type": "u1"},
+        {"id": "ei_pad", "size": 9},
+        {"id": "e_type", "type": "u2le"},
+        {"id": "machine", "type": "u2le"},
+        {"id": "version", "type": "u4le"},
+        {"id": "entry", "type": "u8le"},
+        {"id": "phoff", "type": "u8le"},
+        {"id": "shoff", "type": "u8le"},
+        {"id": "flags", "type": "u4le"},
+        {"id": "ehsize", "type": "u2le"},
+        {"id": "phentsize", "type": "u2le"},
+        {"id": "phnum", "type": "u2le"},
+        {"id": "shentsize", "type": "u2le"},
+        {"id": "shnum", "type": "u2le"},
+        {"id": "shstrndx", "type": "u2le"},
+    ],
+    "instances": {
+        "section_headers": {
+            "pos": lambda this, root: this["shoff"],
+            "type": "section_header",
+            "repeat": "expr",
+            "repeat_expr": lambda this, root: this["shnum"],
+        },
+    },
+    "types": {
+        "section_header": {
+            "seq": [
+                {"id": "name_off", "type": "u4le"},
+                {"id": "sh_type", "type": "u4le"},
+                {"id": "flags", "type": "u8le"},
+                {"id": "addr", "type": "u8le"},
+                {"id": "offset", "type": "u8le"},
+                {"id": "size", "type": "u8le"},
+                {"id": "link", "type": "u4le"},
+                {"id": "info", "type": "u4le"},
+                {"id": "addralign", "type": "u8le"},
+                {"id": "entsize", "type": "u8le"},
+            ],
+            "instances": {
+                "body": {
+                    "pos": lambda this, root: this.fields["offset"],
+                    "size": lambda this, root: this.fields["size"],
+                },
+            },
+        },
+    },
+}
+
+ZIP_SPEC = {
+    "meta": {"id": "zip"},
+    "seq": [
+        {"id": "sections", "type": "pk_section", "repeat": "eos"},
+    ],
+    "types": {
+        "pk_section": {
+            "seq": [
+                {"id": "magic", "contents": b"PK"},
+                {"id": "section_type", "type": "u2le"},
+                {
+                    "id": "body",
+                    "type": lambda this, root: {
+                        0x0403: "local_file",
+                        0x0201: "central_dir_entry",
+                        0x0605: "end_of_central_dir",
+                    }[this.fields["section_type"]],
+                },
+            ],
+        },
+        "local_file": {
+            "seq": [
+                {"id": "version", "type": "u2le"},
+                {"id": "flags", "type": "u2le"},
+                {"id": "method", "type": "u2le"},
+                {"id": "mtime", "type": "u2le"},
+                {"id": "mdate", "type": "u2le"},
+                {"id": "crc32", "type": "u4le"},
+                {"id": "csize", "type": "u4le"},
+                {"id": "usize", "type": "u4le"},
+                {"id": "fnlen", "type": "u2le"},
+                {"id": "eflen", "type": "u2le"},
+                {"id": "filename", "type": "str", "size": lambda this, root: this.fields["fnlen"]},
+                {"id": "extra", "size": lambda this, root: this.fields["eflen"]},
+                {"id": "body", "size": lambda this, root: this.fields["csize"]},
+            ],
+        },
+        "central_dir_entry": {
+            "seq": [
+                {"id": "vermade", "type": "u2le"},
+                {"id": "verneed", "type": "u2le"},
+                {"id": "flags", "type": "u2le"},
+                {"id": "method", "type": "u2le"},
+                {"id": "mtime", "type": "u2le"},
+                {"id": "mdate", "type": "u2le"},
+                {"id": "crc32", "type": "u4le"},
+                {"id": "csize", "type": "u4le"},
+                {"id": "usize", "type": "u4le"},
+                {"id": "fnlen", "type": "u2le"},
+                {"id": "eflen", "type": "u2le"},
+                {"id": "cmlen", "type": "u2le"},
+                {"id": "diskno", "type": "u2le"},
+                {"id": "iattr", "type": "u2le"},
+                {"id": "eattr", "type": "u4le"},
+                {"id": "lfh_offset", "type": "u4le"},
+                {"id": "filename", "type": "str", "size": lambda this, root: this.fields["fnlen"]},
+                {"id": "extra", "size": lambda this, root: this.fields["eflen"]},
+                {"id": "comment", "size": lambda this, root: this.fields["cmlen"]},
+            ],
+        },
+        "end_of_central_dir": {
+            "seq": [
+                {"id": "disk", "type": "u2le"},
+                {"id": "cd_disk", "type": "u2le"},
+                {"id": "disk_entries", "type": "u2le"},
+                {"id": "total_entries", "type": "u2le"},
+                {"id": "cd_size", "type": "u4le"},
+                {"id": "cd_offset", "type": "u4le"},
+                {"id": "comment_len", "type": "u2le"},
+                {"id": "comment", "size": lambda this, root: this.fields["comment_len"]},
+            ],
+        },
+    },
+}
+
+GIF_SPEC = {
+    "meta": {"id": "gif"},
+    "seq": [
+        {"id": "magic", "contents": b"GIF"},
+        {"id": "version", "size": 3},
+        {"id": "logical_screen", "type": "logical_screen"},
+        {
+            "id": "blocks",
+            "type": "block",
+            "repeat": "until",
+            "until": lambda item, this, root: item.fields["block_type"] == 0x3B,
+        },
+    ],
+    "types": {
+        "logical_screen": {
+            "seq": [
+                {"id": "width", "type": "u2le"},
+                {"id": "height", "type": "u2le"},
+                {"id": "flags", "type": "u1"},
+                {"id": "bg_color", "type": "u1"},
+                {"id": "aspect", "type": "u1"},
+                {
+                    "id": "global_color_table",
+                    "size": lambda this, root: 3 * (2 << (this.fields["flags"] & 7)),
+                    "if": lambda this, root: (this.fields["flags"] & 0x80) != 0,
+                },
+            ],
+        },
+        "block": {
+            "seq": [
+                {"id": "block_type", "type": "u1"},
+                {
+                    "id": "ext",
+                    "type": "extension",
+                    "if": lambda this, root: this.fields["block_type"] == 0x21,
+                },
+                {
+                    "id": "image",
+                    "type": "image_block",
+                    "if": lambda this, root: this.fields["block_type"] == 0x2C,
+                },
+            ],
+        },
+        "extension": {
+            "seq": [
+                {"id": "label", "type": "u1"},
+                {"id": "subblocks", "type": "subblock_chain"},
+            ],
+        },
+        "image_block": {
+            "seq": [
+                {"id": "left", "type": "u2le"},
+                {"id": "top", "type": "u2le"},
+                {"id": "width", "type": "u2le"},
+                {"id": "height", "type": "u2le"},
+                {"id": "flags", "type": "u1"},
+                {
+                    "id": "local_color_table",
+                    "size": lambda this, root: 3 * (2 << (this.fields["flags"] & 7)),
+                    "if": lambda this, root: (this.fields["flags"] & 0x80) != 0,
+                },
+                {"id": "lzw_min_code_size", "type": "u1"},
+                {"id": "subblocks", "type": "subblock_chain"},
+            ],
+        },
+        "subblock_chain": {
+            "seq": [
+                {
+                    "id": "entries",
+                    "type": "subblock",
+                    "repeat": "until",
+                    "until": lambda item, this, root: item.fields["len"] == 0,
+                },
+            ],
+        },
+        "subblock": {
+            "seq": [
+                {"id": "len", "type": "u1"},
+                {"id": "data", "size": lambda this, root: this.fields["len"]},
+            ],
+        },
+    },
+}
+
+PE_SPEC = {
+    "meta": {"id": "pe"},
+    "seq": [
+        {"id": "mz", "contents": b"MZ"},
+        {"id": "dos_body", "size": 58},
+        {"id": "lfanew", "type": "u4le"},
+    ],
+    "instances": {
+        "pe_header": {
+            "pos": lambda this, root: this["lfanew"],
+            "type": "pe_header",
+        },
+    },
+    "types": {
+        "pe_header": {
+            "seq": [
+                {"id": "signature", "contents": b"PE\x00\x00"},
+                {"id": "machine", "type": "u2le"},
+                {"id": "nsections", "type": "u2le"},
+                {"id": "timestamp", "type": "u4le"},
+                {"id": "symtab_ptr", "type": "u4le"},
+                {"id": "nsymbols", "type": "u4le"},
+                {"id": "optsize", "type": "u2le"},
+                {"id": "characteristics", "type": "u2le"},
+                {"id": "optional_header", "size": lambda this, root: this.fields["optsize"]},
+                {
+                    "id": "section_headers",
+                    "type": "section_header",
+                    "repeat": "expr",
+                    "repeat_expr": lambda this, root: this.fields["nsections"],
+                },
+            ],
+        },
+        "section_header": {
+            "seq": [
+                {"id": "name", "size": 8},
+                {"id": "vsize", "type": "u4le"},
+                {"id": "vaddr", "type": "u4le"},
+                {"id": "rawsize", "type": "u4le"},
+                {"id": "rawptr", "type": "u4le"},
+                {"id": "relocptr", "type": "u4le"},
+                {"id": "linenoptr", "type": "u4le"},
+                {"id": "nrelocs", "type": "u2le"},
+                {"id": "nlinenos", "type": "u2le"},
+                {"id": "characteristics", "type": "u4le"},
+            ],
+            "instances": {
+                "body": {
+                    "pos": lambda this, root: this.fields["rawptr"],
+                    "size": lambda this, root: this.fields["rawsize"],
+                },
+            },
+        },
+    },
+}
+
+DNS_SPEC = {
+    "meta": {"id": "dns"},
+    "seq": [
+        {"id": "transaction_id", "type": "u2be"},
+        {"id": "flags", "type": "u2be"},
+        {"id": "qdcount", "type": "u2be"},
+        {"id": "ancount", "type": "u2be"},
+        {"id": "nscount", "type": "u2be"},
+        {"id": "arcount", "type": "u2be"},
+        {
+            "id": "questions",
+            "type": "question",
+            "repeat": "expr",
+            "repeat_expr": lambda this, root: this["qdcount"],
+        },
+        {
+            "id": "records",
+            "type": "resource_record",
+            "repeat": "expr",
+            "repeat_expr": lambda this, root: this["ancount"] + this["nscount"] + this["arcount"],
+        },
+    ],
+    "types": {
+        "question": {
+            "seq": [
+                {"id": "name", "type": "domain_name"},
+                {"id": "qtype", "type": "u2be"},
+                {"id": "qclass", "type": "u2be"},
+            ],
+        },
+        "domain_name": {
+            "seq": [
+                {
+                    "id": "parts",
+                    "type": "name_part",
+                    "repeat": "until",
+                    "until": lambda item, this, root: item.fields["length"] == 0
+                    or item.fields["length"] >= 0xC0,
+                },
+            ],
+        },
+        "name_part": {
+            "seq": [
+                {"id": "length", "type": "u1"},
+                {
+                    "id": "pointer_low",
+                    "type": "u1",
+                    "if": lambda this, root: this.fields["length"] >= 0xC0,
+                },
+                {
+                    "id": "label",
+                    "type": "str",
+                    "size": lambda this, root: this.fields["length"],
+                    "if": lambda this, root: 0 < this.fields["length"] < 0xC0,
+                },
+            ],
+        },
+        "resource_record": {
+            "seq": [
+                {"id": "name", "type": "domain_name"},
+                {"id": "rtype", "type": "u2be"},
+                {"id": "rclass", "type": "u2be"},
+                {"id": "ttl", "type": "u4be"},
+                {"id": "rdlength", "type": "u2be"},
+                {"id": "rdata", "size": lambda this, root: this.fields["rdlength"]},
+            ],
+        },
+    },
+}
+
+IPV4_SPEC = {
+    "meta": {"id": "ipv4_udp"},
+    "seq": [
+        {"id": "vihl", "type": "u1"},
+        {"id": "tos", "type": "u1"},
+        {"id": "total_length", "type": "u2be"},
+        {"id": "identification", "type": "u2be"},
+        {"id": "frag_flags", "type": "u2be"},
+        {"id": "ttl", "type": "u1"},
+        {"id": "protocol", "type": "u1"},
+        {"id": "checksum", "type": "u2be"},
+        {"id": "src", "type": "u4be"},
+        {"id": "dst", "type": "u4be"},
+        {"id": "options", "size": lambda this, root: (this["vihl"] & 15) * 4 - 20},
+        {"id": "udp", "type": "udp_datagram"},
+    ],
+    "types": {
+        "udp_datagram": {
+            "seq": [
+                {"id": "sport", "type": "u2be"},
+                {"id": "dport", "type": "u2be"},
+                {"id": "length", "type": "u2be"},
+                {"id": "checksum", "type": "u2be"},
+                {"id": "payload", "size": lambda this, root: this.fields["length"] - 8},
+            ],
+        },
+    },
+}
+
+#: Figure 11a — the seek loop: the sub-parser reads an offset byte, then an
+#: instance jumps back to that offset and parses the sub-parser again.
+NONTERMINATING_SEEK_SPEC = {
+    "meta": {"id": "seek_loop"},
+    "seq": [
+        {"id": "name", "type": "subparser"},
+    ],
+    "types": {
+        "subparser": {
+            "seq": [
+                {"id": "offset", "type": "u1"},
+            ],
+            "instances": {
+                "jump": {
+                    "pos": lambda this, root: this.fields["offset"],
+                    "type": "subparser",
+                },
+            },
+        },
+    },
+}
+
+#: Figure 11c — repeating an empty type until end of stream never advances.
+NONTERMINATING_EPSILON_SPEC = {
+    "meta": {"id": "repeat_epsilon"},
+    "seq": [
+        {"id": "name", "type": "epsilon", "repeat": "eos"},
+    ],
+    "types": {
+        "epsilon": {"seq": []},
+    },
+}
+
+#: All well-behaved specs keyed by format short name.
+SPECS: Dict[str, dict] = {
+    "elf": ELF_SPEC,
+    "zip": ZIP_SPEC,
+    "gif": GIF_SPEC,
+    "pe": PE_SPEC,
+    "dns": DNS_SPEC,
+    "ipv4": IPV4_SPEC,
+}
+
+
+def get_engine(name: str, **kwargs) -> KaitaiEngine:
+    """Return a :class:`KaitaiEngine` for the named format spec."""
+    return KaitaiEngine(SPECS[name], **kwargs)
+
+
+def spec_line_counts() -> Dict[str, int]:
+    """Lines of each Kaitai-like spec (the "Kaitai" column of Table 1).
+
+    Counted on this module's source text, from each ``X_SPEC = {`` assignment
+    to its closing brace, which is comparable to counting the lines of a
+    ``.ksy`` file because the dictionaries are formatted one field per line.
+    """
+    import inspect
+
+    source = inspect.getsource(inspect.getmodule(spec_line_counts))
+    lines = source.splitlines()
+    counts: Dict[str, int] = {}
+    name_by_variable = {f"{key.upper()}_SPEC": key for key in SPECS}
+    current: str = ""
+    count = 0
+    for line in lines:
+        match = re.match(r"^([A-Z0-9_]+_SPEC) = \{", line)
+        if match:
+            current = name_by_variable.get(match.group(1), "")
+            count = 0
+        if current:
+            if line.strip() and not line.strip().startswith("#"):
+                count += 1
+            if line.startswith("}"):
+                counts[current] = count
+                current = ""
+    return counts

@@ -1,0 +1,17 @@
+"""A Nail-like baseline: combinator parsers with arena allocation.
+
+Nail (Bangert & Zeldovich, OSDI 2014) generates C parsers that build their
+internal representation inside arena allocators.  This package reproduces
+that execution model in Python for the two network formats the paper
+compares against Nail (IPv4+UDP and DNS, Figure 13e/f and Figure 14):
+parsers read fields through a small cursor object and every parsed structure
+and copied byte range is allocated inside an :class:`~repro.baselines.nail_like.arena.Arena`
+made of fixed-size blocks, so heap consumption can be measured the same way
+the paper measures Nail's.
+"""
+
+from .arena import Arena
+from .dns import parse_dns
+from .ipv4 import parse_ipv4_udp
+
+__all__ = ["Arena", "parse_dns", "parse_ipv4_udp"]

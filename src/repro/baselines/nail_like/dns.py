@@ -1,0 +1,120 @@
+"""Nail-like DNS parser: cursor-based combinators over an arena."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .arena import Arena
+
+
+class NailParseError(Exception):
+    """The packet does not match the format."""
+
+
+class _Cursor:
+    """A read cursor over the packet (the generated-parser equivalent)."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def need(self, count: int) -> None:
+        if self.pos + count > len(self.data):
+            raise NailParseError(f"need {count} bytes at offset {self.pos}")
+
+    def u8(self) -> int:
+        self.need(1)
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def u16(self) -> int:
+        self.need(2)
+        value = struct.unpack_from(">H", self.data, self.pos)[0]
+        self.pos += 2
+        return value
+
+    def u32(self) -> int:
+        self.need(4)
+        value = struct.unpack_from(">I", self.data, self.pos)[0]
+        self.pos += 4
+        return value
+
+    def take(self, count: int) -> bytes:
+        self.need(count)
+        out = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return out
+
+
+@dataclass
+class NailDnsQuestion:
+    labels: List[memoryview]
+    qtype: int
+    qclass: int
+
+
+@dataclass
+class NailDnsRecord:
+    labels: List[memoryview]
+    pointer: Optional[int]
+    rtype: int
+    rclass: int
+    ttl: int
+    rdata: memoryview
+
+
+@dataclass
+class NailDnsMessage:
+    transaction_id: int
+    flags: int
+    questions: List[NailDnsQuestion] = field(default_factory=list)
+    records: List[NailDnsRecord] = field(default_factory=list)
+
+
+def _parse_name(cursor: _Cursor, arena: Arena) -> Tuple[List[memoryview], Optional[int]]:
+    """Parse a name into arena-allocated label copies (pointer recorded, not followed)."""
+    labels: List[memoryview] = []
+    while True:
+        length = cursor.u8()
+        if length == 0:
+            return labels, None
+        if length & 0xC0 == 0xC0:
+            low = cursor.u8()
+            return labels, ((length & 0x3F) << 8) | low
+        labels.append(arena.alloc_bytes(cursor.take(length)))
+
+
+def parse_dns(data: bytes, arena: Optional[Arena] = None) -> Tuple[NailDnsMessage, Arena]:
+    """Parse a DNS message, allocating the result in ``arena``."""
+    arena = arena if arena is not None else Arena()
+    cursor = _Cursor(data)
+    transaction_id = cursor.u16()
+    flags = cursor.u16()
+    qdcount = cursor.u16()
+    ancount = cursor.u16()
+    nscount = cursor.u16()
+    arcount = cursor.u16()
+    message = arena.alloc_object(NailDnsMessage(transaction_id, flags))
+
+    for _ in range(qdcount):
+        labels, _pointer = _parse_name(cursor, arena)
+        qtype = cursor.u16()
+        qclass = cursor.u16()
+        message.questions.append(arena.alloc_object(NailDnsQuestion(labels, qtype, qclass)))
+
+    for _ in range(ancount + nscount + arcount):
+        labels, pointer = _parse_name(cursor, arena)
+        rtype = cursor.u16()
+        rclass = cursor.u16()
+        ttl = cursor.u32()
+        rdlength = cursor.u16()
+        rdata = arena.alloc_bytes(cursor.take(rdlength))
+        message.records.append(
+            arena.alloc_object(NailDnsRecord(labels, pointer, rtype, rclass, ttl, rdata))
+        )
+    return message, arena

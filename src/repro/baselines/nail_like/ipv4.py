@@ -1,0 +1,80 @@
+"""Nail-like IPv4+UDP parser: cursor-based parsing over an arena."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .arena import Arena
+from .dns import NailParseError, _Cursor
+
+
+@dataclass
+class NailUdpDatagram:
+    source_port: int
+    destination_port: int
+    length: int
+    checksum: int
+    payload: memoryview
+
+
+@dataclass
+class NailIpv4Packet:
+    version: int
+    header_length: int
+    total_length: int
+    ttl: int
+    protocol: int
+    source: int
+    destination: int
+    options: memoryview
+    udp: NailUdpDatagram
+
+
+def parse_ipv4_udp(data: bytes, arena: Optional[Arena] = None) -> Tuple[NailIpv4Packet, Arena]:
+    """Parse an IPv4+UDP packet, allocating the result in ``arena``."""
+    arena = arena if arena is not None else Arena()
+    cursor = _Cursor(data)
+    vihl = cursor.u8()
+    version = vihl >> 4
+    ihl = vihl & 0x0F
+    if version != 4:
+        raise NailParseError("not IPv4")
+    if ihl < 5:
+        raise NailParseError("bad IHL")
+    _tos = cursor.u8()
+    total_length = cursor.u16()
+    _ident = cursor.u16()
+    _frag = cursor.u16()
+    ttl = cursor.u8()
+    protocol = cursor.u8()
+    if protocol != 17:
+        raise NailParseError("not UDP")
+    _checksum = cursor.u16()
+    source = cursor.u32()
+    destination = cursor.u32()
+    options = arena.alloc_bytes(cursor.take(ihl * 4 - 20))
+
+    sport = cursor.u16()
+    dport = cursor.u16()
+    udp_length = cursor.u16()
+    if udp_length < 8:
+        raise NailParseError("bad UDP length")
+    udp_checksum = cursor.u16()
+    payload = arena.alloc_bytes(cursor.take(udp_length - 8))
+    udp = arena.alloc_object(NailUdpDatagram(sport, dport, udp_length, udp_checksum, payload))
+    packet = arena.alloc_object(
+        NailIpv4Packet(
+            version,
+            ihl * 4,
+            total_length,
+            ttl,
+            protocol,
+            source,
+            destination,
+            options,
+            udp,
+        )
+    )
+    return packet, arena

@@ -1,0 +1,212 @@
+"""Command-line interface for the IPG toolkit.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro formats                      # list bundled format grammars
+    python -m repro parse --format elf FILE      # parse a file, print a summary
+    python -m repro check GRAMMAR.ipg            # attribute + termination check
+    python -m repro generate GRAMMAR.ipg -o p.py # emit a generated parser
+    python -m repro streamability GRAMMAR.ipg    # stream-parser analysis (§8)
+    python -m repro report [--full]              # re-run the paper's evaluation
+
+``parse`` accepts either one of the bundled formats (``--format``) or a
+grammar file (``--grammar``); with ``--tree`` it prints the full parse tree
+instead of the per-format summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import Parser, __version__
+from .core.generator import generate_parser_source
+from .core.streamability import analyze_streamability
+from .core.termination import check_termination
+from .core.interpreter import prepare_grammar
+from .formats import dns, elf, gif, ipv4, pdf, pe, registry, zipfmt
+
+#: Formats with a dedicated summary printer.
+_SUMMARIZERS = {
+    "elf": lambda tree, data: elf.render_readelf(elf.summarize(tree, data)),
+    "gif": lambda tree, data: _render_dataclass(gif.summarize(tree)),
+    "zip": lambda tree, data: _render_zip(tree),
+    "pe": lambda tree, data: _render_dataclass(pe.summarize(tree)),
+    "pdf": lambda tree, data: _render_dataclass(pdf.summarize(tree)),
+    "dns": lambda tree, data: _render_dataclass(dns.summarize(tree)),
+    "ipv4": lambda tree, data: _render_dataclass(ipv4.summarize(tree)),
+}
+
+
+def _render_dataclass(value) -> str:
+    """Readable multi-line rendering of a summary dataclass."""
+    lines = [type(value).__name__]
+    for name, attr in vars(value).items():
+        if isinstance(attr, list):
+            lines.append(f"  {name} ({len(attr)}):")
+            for item in attr:
+                lines.append(f"    {item}")
+        elif isinstance(attr, (bytes, bytearray)):
+            lines.append(f"  {name}: {len(attr)} bytes")
+        else:
+            lines.append(f"  {name}: {attr}")
+    return "\n".join(lines)
+
+
+def _render_zip(tree) -> str:
+    members = zipfmt.list_members(tree)
+    lines = [f"ZIP archive with {len(members)} member(s)"]
+    for member in members:
+        lines.append(
+            f"  {member.name:<30} method={member.method} "
+            f"{member.compressed_size} -> {member.uncompressed_size} bytes"
+        )
+    return "\n".join(lines)
+
+
+def _read_bytes(path: str) -> bytes:
+    if path == "-":
+        return sys.stdin.buffer.read()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _read_text(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+# ---------------------------------------------------------------------------
+# Sub-commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_formats(_args) -> int:
+    for name in sorted(registry):
+        spec = registry[name]
+        print(f"{name:<10} {spec.spec_line_count():>4} lines  {spec.description}")
+    return 0
+
+
+def cmd_parse(args) -> int:
+    data = _read_bytes(args.file)
+    if args.format:
+        if args.format not in registry:
+            print(f"unknown format {args.format!r}; see `repro formats`", file=sys.stderr)
+            return 2
+        spec = registry[args.format]
+        parser = spec.parser()
+    else:
+        parser = Parser(_read_text(args.grammar))
+    tree = parser.try_parse(data)
+    if tree is None:
+        print("parse failed: the input does not match the grammar", file=sys.stderr)
+        return 1
+    if args.tree or not args.format or args.format not in _SUMMARIZERS:
+        print(tree.pretty())
+    else:
+        print(_SUMMARIZERS[args.format](tree, data))
+    return 0
+
+
+def cmd_check(args) -> int:
+    text = _read_text(args.grammar)
+    prepare_grammar(text)  # raises with a precise message on any front-end error
+    report = check_termination(text)
+    print(report.summary())
+    if not report.ok:
+        for verdict in report.failing_cycles():
+            cycle = " -> ".join(verdict.cycle + [verdict.cycle[0]])
+            print(f"  possible non-termination: {cycle} ({verdict.reason})")
+        return 1
+    return 0
+
+
+def cmd_generate(args) -> int:
+    source = generate_parser_source(_read_text(args.grammar), class_name=args.class_name)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(f"wrote {len(source.splitlines())} lines to {args.output}")
+    else:
+        print(source)
+    return 0
+
+
+def cmd_streamability(args) -> int:
+    report = analyze_streamability(_read_text(args.grammar))
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 0 if report.streamable else 1
+
+
+def cmd_report(args) -> int:
+    from .evaluation.report import generate_full_report
+
+    print(generate_full_report(quick=not args.full))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Interval Parsing Grammars toolkit"
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("formats", help="list bundled format grammars").set_defaults(
+        handler=cmd_formats
+    )
+
+    parse_command = commands.add_parser("parse", help="parse a file with an IPG")
+    parse_command.add_argument("file", help="input file ('-' for stdin)")
+    group = parse_command.add_mutually_exclusive_group(required=True)
+    group.add_argument("--format", help="one of the bundled formats (see `formats`)")
+    group.add_argument("--grammar", help="path to an IPG grammar file")
+    parse_command.add_argument(
+        "--tree", action="store_true", help="print the full parse tree instead of a summary"
+    )
+    parse_command.set_defaults(handler=cmd_parse)
+
+    check_command = commands.add_parser("check", help="attribute + termination checking")
+    check_command.add_argument("grammar", help="path to an IPG grammar file")
+    check_command.set_defaults(handler=cmd_check)
+
+    generate_command = commands.add_parser("generate", help="emit generated parser source")
+    generate_command.add_argument("grammar", help="path to an IPG grammar file")
+    generate_command.add_argument("-o", "--output", help="write the source to this file")
+    generate_command.add_argument(
+        "--class-name", default="GeneratedParser", help="name of the generated class"
+    )
+    generate_command.set_defaults(handler=cmd_generate)
+
+    streamability_command = commands.add_parser(
+        "streamability", help="stream-parser analysis (paper section 8)"
+    )
+    streamability_command.add_argument("grammar", help="path to an IPG grammar file")
+    streamability_command.set_defaults(handler=cmd_streamability)
+
+    report_command = commands.add_parser("report", help="re-run the paper's evaluation")
+    report_command.add_argument(
+        "--full", action="store_true", help="more repetitions / larger workloads"
+    )
+    report_command.set_defaults(handler=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_arg_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Core IPG machinery: AST, surface syntax, checking, interpretation.
+
+The public names most users need are re-exported from :mod:`repro` directly;
+this package keeps the individual pipeline stages importable for tools and
+tests.
+"""
+
+from .ast import (
+    Alternative,
+    Grammar,
+    Interval,
+    Rule,
+    SwitchCase,
+    Term,
+    TermArray,
+    TermAttrDef,
+    TermGuard,
+    TermNonterminal,
+    TermSwitch,
+    TermTerminal,
+)
+from .attrcheck import check_grammar
+from .autocomplete import complete_grammar
+from .builtins import BUILTINS, BlackboxResult, is_builtin
+from .errors import (
+    AttributeCheckError,
+    AutoCompletionError,
+    BlackboxError,
+    EvaluationError,
+    GenerationError,
+    GrammarSyntaxError,
+    IPGError,
+    ParseFailure,
+    SolverError,
+    TerminationCheckError,
+)
+from .grammar_parser import parse_expression, parse_grammar
+from .interpreter import Parser, parse, prepare_grammar
+from .parsetree import ArrayNode, Leaf, Node, ParseTree, tree_equal_modulo_specials
+from .span import Span
+
+__all__ = [
+    "Alternative",
+    "ArrayNode",
+    "AttributeCheckError",
+    "AutoCompletionError",
+    "BlackboxError",
+    "BlackboxResult",
+    "BUILTINS",
+    "EvaluationError",
+    "GenerationError",
+    "Grammar",
+    "GrammarSyntaxError",
+    "Interval",
+    "IPGError",
+    "Leaf",
+    "Node",
+    "ParseFailure",
+    "ParseTree",
+    "Parser",
+    "Rule",
+    "SolverError",
+    "Span",
+    "SwitchCase",
+    "Term",
+    "TermArray",
+    "TermAttrDef",
+    "TermGuard",
+    "TermNonterminal",
+    "TermSwitch",
+    "TermTerminal",
+    "TerminationCheckError",
+    "check_grammar",
+    "complete_grammar",
+    "is_builtin",
+    "parse",
+    "parse_expression",
+    "parse_grammar",
+    "prepare_grammar",
+    "tree_equal_modulo_specials",
+]

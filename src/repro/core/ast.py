@@ -1,0 +1,386 @@
+"""Abstract syntax of Interval Parsing Grammars.
+
+The core grammar of the paper (Figure 5)::
+
+    Grammar      G    ::= R1 ... Rn
+    Rule         R    ::= A -> alt1 / ... / altn
+    Alternative  alt  ::= tm1 ... tmn
+    Term         tm   ::= A[el, er] | s[el, er] | {id = e} | <e>
+                        | for id = e1 to e2 do A[el, er]
+
+The full language adds switch terms, local rules (``where``), blackbox
+declarations and implicit intervals (section 3.4).  This module defines the
+AST for all of it.  The surface-syntax parser (:mod:`repro.core.grammar_parser`)
+builds these objects; the checking, completion, interpretation, generation
+and termination passes consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .errors import IPGError
+from .expr import Expr
+
+# ---------------------------------------------------------------------------
+# Intervals
+# ---------------------------------------------------------------------------
+
+#: How an interval was written in the source grammar.  Used by the Table 2
+#: metric (explicit vs length-only vs fully implicit intervals).
+INTERVAL_EXPLICIT = "explicit"    # A[e1, e2]
+INTERVAL_LENGTH = "length"        # A[e]        (only the length is given)
+INTERVAL_IMPLICIT = "implicit"    # A           (fully omitted)
+
+
+@dataclass
+class Interval:
+    """An interval annotation ``[left, right)`` attached to a term.
+
+    Immediately after surface parsing, only explicit intervals have both
+    endpoints; length-only and implicit intervals are filled in by the
+    auto-completion pass (:mod:`repro.core.autocomplete`).  ``form`` records
+    how the interval was originally written, and ``length`` keeps the
+    length expression of length-only intervals for re-rendering.
+    """
+
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+    length: Optional[Expr] = None
+    form: str = INTERVAL_EXPLICIT
+
+    @property
+    def complete(self) -> bool:
+        """Whether both endpoints are known."""
+        return self.left is not None and self.right is not None
+
+    def references(self) -> Set[Tuple[str, str]]:
+        refs: Set[Tuple[str, str]] = set()
+        if self.left is not None:
+            refs |= self.left.references()
+        if self.right is not None:
+            refs |= self.right.references()
+        if self.length is not None:
+            refs |= self.length.references()
+        return refs
+
+    def to_source(self) -> str:
+        if self.form == INTERVAL_IMPLICIT:
+            return ""
+        if self.form == INTERVAL_LENGTH and self.length is not None:
+            return f"[{self.length.to_source()}]"
+        assert self.left is not None and self.right is not None
+        return f"[{self.left.to_source()}, {self.right.to_source()}]"
+
+    @classmethod
+    def explicit(cls, left: Expr, right: Expr) -> "Interval":
+        return cls(left=left, right=right, form=INTERVAL_EXPLICIT)
+
+    @classmethod
+    def of_length(cls, length: Expr) -> "Interval":
+        return cls(length=length, form=INTERVAL_LENGTH)
+
+    @classmethod
+    def implicit(cls) -> "Interval":
+        return cls(form=INTERVAL_IMPLICIT)
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+class Term:
+    """Base class for alternative terms."""
+
+    __slots__ = ()
+
+    def references(self) -> Set[Tuple[str, str]]:
+        """Entities referenced by this term's expressions."""
+        return set()
+
+    def defines(self) -> Set[str]:
+        """Attribute names this term defines (for dependency analysis)."""
+        return set()
+
+    def provides_nonterminal(self) -> Optional[str]:
+        """Nonterminal name whose attributes this term makes available."""
+        return None
+
+    def to_source(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_source()})"
+
+
+@dataclass(repr=False)
+class TermTerminal(Term):
+    """A terminal string with an interval: ``"aa"[e1, e2]``."""
+
+    value: bytes
+    interval: Interval = field(default_factory=Interval.implicit)
+
+    def references(self) -> Set[Tuple[str, str]]:
+        return self.interval.references()
+
+    def to_source(self) -> str:
+        return f'"{_escape_bytes(self.value)}"{self.interval.to_source()}'
+
+
+@dataclass(repr=False)
+class TermNonterminal(Term):
+    """A nonterminal with an interval: ``A[e1, e2]``."""
+
+    name: str
+    interval: Interval = field(default_factory=Interval.implicit)
+
+    def references(self) -> Set[Tuple[str, str]]:
+        return self.interval.references()
+
+    def provides_nonterminal(self) -> Optional[str]:
+        return self.name
+
+    def to_source(self) -> str:
+        return f"{self.name}{self.interval.to_source()}"
+
+
+@dataclass(repr=False)
+class TermAttrDef(Term):
+    """An attribute definition: ``{id = e}``."""
+
+    name: str
+    expr: Expr
+
+    def references(self) -> Set[Tuple[str, str]]:
+        return self.expr.references()
+
+    def defines(self) -> Set[str]:
+        return {self.name}
+
+    def to_source(self) -> str:
+        return f"{{{self.name} = {self.expr.to_source()}}}"
+
+
+@dataclass(repr=False)
+class TermGuard(Term):
+    """A predicate: ``guard(e)`` — fails when ``e`` evaluates to 0."""
+
+    expr: Expr
+
+    def references(self) -> Set[Tuple[str, str]]:
+        return self.expr.references()
+
+    def to_source(self) -> str:
+        return f"guard({self.expr.to_source()})"
+
+
+@dataclass(repr=False)
+class TermArray(Term):
+    """An array term: ``for id = e1 to e2 do A[el, er]``."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    element: TermNonterminal
+
+    def references(self) -> Set[Tuple[str, str]]:
+        refs = self.start.references() | self.stop.references()
+        refs |= self.element.references()
+        # The loop variable is bound by the term, not a free reference.
+        refs.discard(("name", self.var))
+        return refs
+
+    def defines(self) -> Set[str]:
+        return set()
+
+    def provides_nonterminal(self) -> Optional[str]:
+        return self.element.name
+
+    def to_source(self) -> str:
+        return (
+            f"for {self.var} = {self.start.to_source()} to {self.stop.to_source()} "
+            f"do {self.element.to_source()}"
+        )
+
+
+@dataclass(repr=False)
+class SwitchCase:
+    """One branch of a switch term; ``condition`` is ``None`` for the default."""
+
+    condition: Optional[Expr]
+    target: TermNonterminal
+
+    def to_source(self) -> str:
+        if self.condition is None:
+            return self.target.to_source()
+        return f"{self.condition.to_source()} : {self.target.to_source()}"
+
+
+@dataclass(repr=False)
+class TermSwitch(Term):
+    """A switch term (section 3.4, type-length-value support)."""
+
+    cases: List[SwitchCase]
+
+    def references(self) -> Set[Tuple[str, str]]:
+        refs: Set[Tuple[str, str]] = set()
+        for case in self.cases:
+            if case.condition is not None:
+                refs |= case.condition.references()
+            refs |= case.target.references()
+        return refs
+
+    def provides_nonterminal(self) -> Optional[str]:
+        # A switch may produce any of its targets; dependency analysis treats
+        # each case target individually via `possible_nonterminals`.
+        return None
+
+    def possible_nonterminals(self) -> List[str]:
+        return [case.target.name for case in self.cases]
+
+    def to_source(self) -> str:
+        rendered = " / ".join(case.to_source() for case in self.cases)
+        return f"switch({rendered})"
+
+
+def _escape_bytes(value: bytes) -> str:
+    """Render terminal bytes using the escapes accepted by the lexer."""
+    out = []
+    for byte in value:
+        char = chr(byte)
+        if char == '"':
+            out.append('\\"')
+        elif char == "\\":
+            out.append("\\\\")
+        elif 32 <= byte < 127:
+            out.append(char)
+        elif char == "\n":
+            out.append("\\n")
+        elif char == "\t":
+            out.append("\\t")
+        elif char == "\r":
+            out.append("\\r")
+        else:
+            out.append(f"\\x{byte:02x}")
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Alternatives, rules, grammars
+# ---------------------------------------------------------------------------
+
+
+@dataclass(repr=False)
+class Alternative:
+    """One alternative of a rule: a sequence of terms plus local rules.
+
+    ``local_rules`` holds the rules introduced by a ``where { ... }`` clause;
+    their nonterminals are visible only inside this alternative, and their
+    right-hand sides may reference attributes of this alternative's terms.
+    """
+
+    terms: List[Term]
+    local_rules: List["Rule"] = field(default_factory=list)
+    #: Set by the attribute checker after topological reordering.
+    reordered: bool = False
+
+    def local_rule_names(self) -> Set[str]:
+        return {rule.name for rule in self.local_rules}
+
+    def to_source(self) -> str:
+        rendered = " ".join(term.to_source() for term in self.terms)
+        if self.local_rules:
+            locals_src = " ".join(rule.to_source() for rule in self.local_rules)
+            rendered = f"{rendered} where {{ {locals_src} }}"
+        return rendered
+
+    def __repr__(self) -> str:
+        return f"Alternative({self.to_source()})"
+
+
+@dataclass(repr=False)
+class Rule:
+    """A rule ``A -> alt1 / ... / altn``."""
+
+    name: str
+    alternatives: List[Alternative]
+
+    def to_source(self) -> str:
+        body = " / ".join(alt.to_source() for alt in self.alternatives)
+        return f"{self.name} -> {body} ;"
+
+    def __repr__(self) -> str:
+        return f"Rule({self.name}, {len(self.alternatives)} alternatives)"
+
+
+class Grammar:
+    """A complete IPG: an ordered collection of rules plus declarations.
+
+    The first rule is the start nonterminal unless ``start`` says otherwise.
+    ``blackboxes`` lists nonterminal names implemented by externally supplied
+    parsers (section 3.4, *Blackbox Parsers*).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        start: Optional[str] = None,
+        blackboxes: Optional[Sequence[str]] = None,
+        source: Optional[str] = None,
+    ):
+        if not rules:
+            raise IPGError("a grammar must contain at least one rule")
+        self.rules: Dict[str, Rule] = {}
+        for rule in rules:
+            if rule.name in self.rules:
+                raise IPGError(
+                    f"duplicate rule for nonterminal {rule.name!r}; IPGs require "
+                    f"exactly one rule per nonterminal"
+                )
+            self.rules[rule.name] = rule
+        self.start = start if start is not None else rules[0].name
+        if self.start not in self.rules:
+            raise IPGError(f"start nonterminal {self.start!r} has no rule")
+        self.blackboxes: Set[str] = set(blackboxes or ())
+        self.source = source
+        #: Filled by the pipeline in `repro.core.pipeline` / public API.
+        self.checked = False
+        self.completed = False
+
+    # -- queries -------------------------------------------------------------
+    def rule(self, name: str) -> Rule:
+        if name not in self.rules:
+            raise IPGError(f"no rule for nonterminal {name!r}")
+        return self.rules[name]
+
+    def has_rule(self, name: str) -> bool:
+        return name in self.rules
+
+    def nonterminals(self) -> List[str]:
+        return list(self.rules)
+
+    def iter_rules(self) -> Iterator[Rule]:
+        return iter(self.rules.values())
+
+    def iter_all_rules(self) -> Iterator[Tuple[Rule, Optional[Rule]]]:
+        """Yield ``(rule, enclosing_rule)`` pairs including local rules.
+
+        Local rules are yielded with the rule whose alternative declared them
+        as the enclosing rule; top-level rules have ``None``.
+        """
+        for rule in self.rules.values():
+            yield rule, None
+            for alternative in rule.alternatives:
+                for local in alternative.local_rules:
+                    yield local, rule
+
+    def to_source(self) -> str:
+        """Render the grammar back to IPG surface syntax."""
+        lines = [f"blackbox {name} ;" for name in sorted(self.blackboxes)]
+        lines.extend(rule.to_source() for rule in self.rules.values())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Grammar(start={self.start}, rules={list(self.rules)})"

@@ -1,0 +1,437 @@
+"""Attribute checking and term reordering (section 3.2 of the paper).
+
+Attribute checking ensures two properties:
+
+1. every attribute reference refers to a properly defined attribute, and
+2. there are no circular definitions among the terms of an alternative.
+
+For property 1 the checker computes ``def(A)`` — the attributes defined in
+*all* alternatives of ``A``'s rule (plus the special attributes ``start``,
+``end`` and ``EOI``) — and verifies every ``B.id`` / ``B(e).id`` reference
+against ``def(B)`` and every plain ``id`` against the attributes and loop
+variables visible in the referencing alternative (including the enclosing
+alternative for local ``where`` rules).
+
+For property 2 the checker builds, per alternative, a dependency graph whose
+vertices are the alternative's terms, with an edge from a *defining* term to
+every term that references one of its attributes.  The graph must be a DAG;
+the terms are then reordered by a stable topological sort so that
+definitions execute before uses — this is what allows the "backward
+dependencies" of section 3.2 (``B1[0, B2.a] B2[a1, EOI] {a1=2}``) while the
+interpreter still evaluates strictly left to right.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .ast import (
+    Alternative,
+    Grammar,
+    Rule,
+    Term,
+    TermArray,
+    TermAttrDef,
+    TermGuard,
+    TermNonterminal,
+    TermSwitch,
+    TermTerminal,
+)
+from .builtins import builtin_attrs, is_builtin
+from .errors import AttributeCheckError
+from .expr import Dot, Exists, Expr, Index, Name
+from .parsetree import SPECIAL_ATTRS
+
+
+# ---------------------------------------------------------------------------
+# Reference extraction
+# ---------------------------------------------------------------------------
+
+
+class Reference:
+    """A single attribute reference occurring in an expression."""
+
+    __slots__ = ("kind", "nonterminal", "attr")
+
+    def __init__(self, kind: str, nonterminal: Optional[str], attr: str):
+        self.kind = kind  # "name" | "dot" | "index"
+        self.nonterminal = nonterminal
+        self.attr = attr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "name":
+            return f"Ref({self.attr})"
+        return f"Ref({self.nonterminal}.{self.attr})"
+
+
+def collect_references(expr: Expr, bound: Optional[Set[str]] = None) -> List[Reference]:
+    """Collect all attribute references in ``expr``.
+
+    ``bound`` holds variables bound by enclosing existentials; references to
+    them are not free and are skipped.
+    """
+    bound = set(bound or ())
+    refs: List[Reference] = []
+    _collect(expr, bound, refs)
+    return refs
+
+
+def _collect(expr: Expr, bound: Set[str], refs: List[Reference]) -> None:
+    from .expr import BinOp, Cond  # local import keeps the module graph simple
+
+    if isinstance(expr, Name):
+        if expr.ident not in bound and expr.ident != "EOI":
+            refs.append(Reference("name", None, expr.ident))
+    elif isinstance(expr, Dot):
+        refs.append(Reference("dot", expr.nonterminal, expr.attr))
+    elif isinstance(expr, Index):
+        refs.append(Reference("index", expr.nonterminal, expr.attr))
+        _collect(expr.index, bound, refs)
+    elif isinstance(expr, Exists):
+        inner_bound = bound | {expr.var}
+        _collect(expr.condition, inner_bound, refs)
+        _collect(expr.then, inner_bound, refs)
+        _collect(expr.otherwise, inner_bound, refs)
+    elif isinstance(expr, BinOp):
+        _collect(expr.left, bound, refs)
+        _collect(expr.right, bound, refs)
+    elif isinstance(expr, Cond):
+        _collect(expr.condition, bound, refs)
+        _collect(expr.then, bound, refs)
+        _collect(expr.otherwise, bound, refs)
+    # Num has no references.
+
+
+def term_expressions(term: Term) -> List[Tuple[Expr, Set[str]]]:
+    """All expressions occurring in ``term`` with their bound loop variables."""
+    out: List[Tuple[Expr, Set[str]]] = []
+    if isinstance(term, (TermTerminal, TermNonterminal)):
+        interval = term.interval
+        for expr in (interval.left, interval.right, interval.length):
+            if expr is not None:
+                out.append((expr, set()))
+    elif isinstance(term, TermAttrDef):
+        out.append((term.expr, set()))
+    elif isinstance(term, TermGuard):
+        out.append((term.expr, set()))
+    elif isinstance(term, TermArray):
+        out.append((term.start, set()))
+        out.append((term.stop, set()))
+        bound = {term.var}
+        interval = term.element.interval
+        for expr in (interval.left, interval.right, interval.length):
+            if expr is not None:
+                out.append((expr, set(bound)))
+    elif isinstance(term, TermSwitch):
+        for case in term.cases:
+            if case.condition is not None:
+                out.append((case.condition, set()))
+            interval = case.target.interval
+            for expr in (interval.left, interval.right, interval.length):
+                if expr is not None:
+                    out.append((expr, set()))
+    return out
+
+
+def term_references(term: Term) -> List[Reference]:
+    """All attribute references of ``term`` (loop variables excluded)."""
+    refs: List[Reference] = []
+    for expr, bound in term_expressions(term):
+        refs.extend(collect_references(expr, bound))
+    if isinstance(term, TermArray):
+        # References to the loop variable inside the element interval are
+        # bound by the array term itself.
+        refs = [r for r in refs if not (r.kind == "name" and r.attr == term.var)]
+    return refs
+
+
+def provided_nonterminals(term: Term) -> List[str]:
+    """Nonterminal names whose attributes become referencable after ``term``."""
+    if isinstance(term, TermNonterminal):
+        return [term.name]
+    if isinstance(term, TermArray):
+        return [term.element.name]
+    if isinstance(term, TermSwitch):
+        return term.possible_nonterminals()
+    return []
+
+
+# ---------------------------------------------------------------------------
+# def(A) computation
+# ---------------------------------------------------------------------------
+
+
+def defined_attributes(rule: Rule) -> Set[str]:
+    """``def(A)``: attributes defined in *all* alternatives of the rule."""
+    per_alternative: List[Set[str]] = []
+    for alternative in rule.alternatives:
+        names: Set[str] = set()
+        for term in alternative.terms:
+            names |= term.defines()
+        per_alternative.append(names)
+    common = set.intersection(*per_alternative) if per_alternative else set()
+    return common | set(SPECIAL_ATTRS)
+
+
+class DefMap:
+    """Lookup table of ``def(A)`` for every nonterminal visible in a grammar."""
+
+    def __init__(self, grammar: Grammar):
+        self.grammar = grammar
+        self._defs: Dict[str, Set[str]] = {}
+        for rule, _parent in grammar.iter_all_rules():
+            self._defs[rule.name] = defined_attributes(rule)
+
+    def lookup(self, name: str) -> Optional[Set[str]]:
+        """Return ``def(name)`` or ``None`` when unknown (blackbox parsers)."""
+        if name in self._defs:
+            return self._defs[name]
+        if is_builtin(name):
+            return set(builtin_attrs(name)) | set(SPECIAL_ATTRS)
+        if name in self.grammar.blackboxes:
+            return None  # unknown: attribute checking is delegated to the user
+        return None
+
+    def is_known_nonterminal(self, name: str) -> bool:
+        return (
+            name in self._defs
+            or is_builtin(name)
+            or name in self.grammar.blackboxes
+        )
+
+
+# ---------------------------------------------------------------------------
+# Checking
+# ---------------------------------------------------------------------------
+
+
+class _Scope:
+    """Names and nonterminals visible to an alternative (with outer scopes)."""
+
+    def __init__(
+        self,
+        names: Set[str],
+        nonterminals: Set[str],
+        arrays: Set[str],
+        outer: Optional["_Scope"] = None,
+    ):
+        self.names = names
+        self.nonterminals = nonterminals
+        self.arrays = arrays
+        self.outer = outer
+
+    def has_name(self, name: str) -> bool:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return True
+            scope = scope.outer
+        return False
+
+    def has_nonterminal(self, name: str) -> bool:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.nonterminals:
+                return True
+            scope = scope.outer
+        return False
+
+    def has_array(self, name: str) -> bool:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.arrays:
+                return True
+            scope = scope.outer
+        return False
+
+
+def check_grammar(grammar: Grammar) -> Grammar:
+    """Run attribute checking and term reordering on ``grammar`` in place."""
+    if grammar.checked:
+        return grammar
+    defmap = DefMap(grammar)
+    for rule in grammar.iter_rules():
+        _check_rule(grammar, rule, defmap, outer_scope=None, local_rules={})
+    grammar.checked = True
+    return grammar
+
+
+def _alternative_scope(alternative: Alternative, outer: Optional[_Scope]) -> _Scope:
+    names: Set[str] = {"EOI"} | set(SPECIAL_ATTRS)
+    nonterminals: Set[str] = set()
+    arrays: Set[str] = set()
+    for term in alternative.terms:
+        names |= term.defines()
+        for provided in provided_nonterminals(term):
+            nonterminals.add(provided)
+        if isinstance(term, TermArray):
+            arrays.add(term.element.name)
+            names.add(term.var)
+    return _Scope(names, nonterminals, arrays, outer)
+
+
+def _check_rule(
+    grammar: Grammar,
+    rule: Rule,
+    defmap: DefMap,
+    outer_scope: Optional[_Scope],
+    local_rules: Dict[str, Rule],
+) -> None:
+    for alternative in rule.alternatives:
+        scope = _alternative_scope(alternative, outer_scope)
+        visible_locals = dict(local_rules)
+        for local in alternative.local_rules:
+            visible_locals[local.name] = local
+        _check_alternative(grammar, rule.name, alternative, defmap, scope, visible_locals)
+        _reorder_alternative(rule.name, alternative)
+        for local in alternative.local_rules:
+            _check_rule(grammar, local, defmap, scope, visible_locals)
+
+
+def _check_alternative(
+    grammar: Grammar,
+    rule_name: str,
+    alternative: Alternative,
+    defmap: DefMap,
+    scope: _Scope,
+    local_rules: Dict[str, Rule],
+) -> None:
+    local_rule_names = set(local_rules)
+    for term in alternative.terms:
+        # Every nonterminal used by the term must have a definition somewhere.
+        for used in _used_nonterminals(term):
+            if used in local_rule_names:
+                continue
+            if not defmap.is_known_nonterminal(used):
+                raise AttributeCheckError(
+                    f"rule {rule_name!r} uses undefined nonterminal {used!r}"
+                )
+        for reference in term_references(term):
+            _check_reference(rule_name, reference, defmap, scope, local_rule_names)
+
+
+def _used_nonterminals(term: Term) -> List[str]:
+    if isinstance(term, TermNonterminal):
+        return [term.name]
+    if isinstance(term, TermArray):
+        return [term.element.name]
+    if isinstance(term, TermSwitch):
+        return term.possible_nonterminals()
+    return []
+
+
+def _check_reference(
+    rule_name: str,
+    reference: Reference,
+    defmap: DefMap,
+    scope: _Scope,
+    local_rule_names: Set[str],
+) -> None:
+    if reference.kind == "name":
+        if not scope.has_name(reference.attr):
+            raise AttributeCheckError(
+                f"rule {rule_name!r} references undefined attribute {reference.attr!r}"
+            )
+        return
+    nonterminal = reference.nonterminal
+    assert nonterminal is not None
+    if not scope.has_nonterminal(nonterminal) and nonterminal not in local_rule_names:
+        raise AttributeCheckError(
+            f"rule {rule_name!r} references {nonterminal}.{reference.attr} but "
+            f"{nonterminal!r} does not appear in the same alternative"
+        )
+    if reference.kind == "index" and not scope.has_array(nonterminal):
+        raise AttributeCheckError(
+            f"rule {rule_name!r} uses array reference {nonterminal}(...) but "
+            f"{nonterminal!r} is not the element of a for-term in scope"
+        )
+    if reference.attr in SPECIAL_ATTRS:
+        return
+    defined = defmap.lookup(nonterminal)
+    if defined is None:
+        return  # blackbox or locally scoped rule checked elsewhere
+    if reference.attr not in defined:
+        raise AttributeCheckError(
+            f"rule {rule_name!r} references {nonterminal}.{reference.attr} but "
+            f"def({nonterminal}) = {sorted(defined - set(SPECIAL_ATTRS))}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Dependency graph and reordering
+# ---------------------------------------------------------------------------
+
+
+def _reorder_alternative(rule_name: str, alternative: Alternative) -> None:
+    """Topologically reorder the terms of ``alternative`` (stable)."""
+    if alternative.reordered:
+        return
+    terms = alternative.terms
+    edges = dependency_edges(terms)
+    order = _stable_topological_order(len(terms), edges)
+    if order is None:
+        raise AttributeCheckError(
+            f"circular attribute dependencies in an alternative of rule {rule_name!r}"
+        )
+    alternative.terms = [terms[i] for i in order]
+    alternative.reordered = True
+
+
+def dependency_edges(terms: Sequence[Term]) -> Set[Tuple[int, int]]:
+    """Edges ``(definer, user)`` between term indices of one alternative."""
+    definers_of_attr: Dict[str, int] = {}
+    providers_of_nt: Dict[str, List[int]] = {}
+    loop_vars: Dict[str, int] = {}
+    for position, term in enumerate(terms):
+        for attr in term.defines():
+            definers_of_attr[attr] = position
+        for provided in provided_nonterminals(term):
+            providers_of_nt.setdefault(provided, []).append(position)
+        if isinstance(term, TermArray):
+            loop_vars[term.var] = position
+
+    edges: Set[Tuple[int, int]] = set()
+    for position, term in enumerate(terms):
+        for reference in term_references(term):
+            if reference.kind == "name":
+                definer = definers_of_attr.get(reference.attr)
+                if definer is None:
+                    definer = loop_vars.get(reference.attr)
+                if definer is not None and definer != position:
+                    edges.add((definer, position))
+            else:
+                providers = providers_of_nt.get(reference.nonterminal or "", [])
+                if not providers:
+                    continue
+                # Prefer the closest preceding provider; otherwise the closest
+                # following one (backward dependency — forces reordering).
+                preceding = [p for p in providers if p < position]
+                chosen = max(preceding) if preceding else min(providers)
+                if chosen != position:
+                    edges.add((chosen, position))
+    return edges
+
+
+def _stable_topological_order(count: int, edges: Set[Tuple[int, int]]) -> Optional[List[int]]:
+    """Kahn's algorithm preferring the original order among ready vertices."""
+    successors: Dict[int, List[int]] = {i: [] for i in range(count)}
+    indegree = [0] * count
+    for definer, user in edges:
+        successors[definer].append(user)
+        indegree[user] += 1
+    ready = sorted(i for i in range(count) if indegree[i] == 0)
+    order: List[int] = []
+    while ready:
+        current = ready.pop(0)
+        order.append(current)
+        changed = False
+        for succ in successors[current]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+                changed = True
+        if changed:
+            ready.sort()
+    if len(order) != count:
+        return None
+    return order

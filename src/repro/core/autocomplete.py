@@ -1,0 +1,151 @@
+"""Implicit-interval auto-completion (section 3.4 of the paper).
+
+Writing an interval for every nonterminal and terminal string is tedious.
+The full IPG language lets grammars omit intervals that can be inferred from
+the preceding term, and this pass fills them in.  The rules implemented here
+follow the paper:
+
+* Scanning an alternative left to right, the *left endpoint* of a missing
+  interval is
+
+  - ``0`` for the left-most positional term,
+  - ``P.end`` when the previous positional term is a nonterminal ``P``,
+  - the previous terminal's right endpoint when it is a terminal string.
+
+* The *right endpoint* is
+
+  - ``EOI`` for a nonterminal with a fully omitted interval,
+  - ``left + length`` when only a length is given (``A[10]``),
+  - ``left + |s|`` for a terminal string ``s``.
+
+Attribute definitions and predicates are transparent: they do not affect the
+position chain.  Array and switch terms are completed too (their case
+targets use the chain of the enclosing alternative), but a term *after* an
+array or switch must carry an explicit interval because there is no single
+``end`` attribute to chain from; the pass raises
+:class:`~repro.core.errors.AutoCompletionError` in that case.
+
+Every interval keeps its original ``form`` flag (explicit, length-only or
+implicit), which is what the Table 2 experiment counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import (
+    Alternative,
+    Grammar,
+    Interval,
+    INTERVAL_EXPLICIT,
+    INTERVAL_IMPLICIT,
+    INTERVAL_LENGTH,
+    Rule,
+    TermArray,
+    TermAttrDef,
+    TermGuard,
+    TermNonterminal,
+    TermSwitch,
+    TermTerminal,
+)
+from .errors import AutoCompletionError
+from .expr import EOI, Expr, Num, add, dot_end
+
+
+class _Chain:
+    """Tracks the inferred position after the previous positional term."""
+
+    def __init__(self) -> None:
+        self.expr: Optional[Expr] = Num(0)
+        self.opaque_reason: Optional[str] = None
+
+    def current(self, context: str) -> Expr:
+        if self.expr is None:
+            raise AutoCompletionError(
+                f"cannot infer the left endpoint of {context}: the previous term "
+                f"is {self.opaque_reason}; write an explicit interval"
+            )
+        return self.expr
+
+    def after_terminal(self, right: Expr) -> None:
+        self.expr = right
+        self.opaque_reason = None
+
+    def after_nonterminal(self, name: str) -> None:
+        self.expr = dot_end(name)
+        self.opaque_reason = None
+
+    def after_opaque(self, reason: str) -> None:
+        self.expr = None
+        self.opaque_reason = reason
+
+
+def complete_grammar(grammar: Grammar) -> Grammar:
+    """Fill in all missing intervals of ``grammar`` in place and return it."""
+    if grammar.completed:
+        return grammar
+    for rule, _parent in grammar.iter_all_rules():
+        _complete_rule(rule)
+    grammar.completed = True
+    return grammar
+
+
+def _complete_rule(rule: Rule) -> None:
+    for alternative in rule.alternatives:
+        _complete_alternative(rule.name, alternative)
+
+
+def _complete_alternative(rule_name: str, alternative: Alternative) -> None:
+    chain = _Chain()
+    for position, term in enumerate(alternative.terms):
+        context = f"term {position + 1} of rule {rule_name!r}"
+        if isinstance(term, (TermAttrDef, TermGuard)):
+            continue
+        if isinstance(term, TermTerminal):
+            _complete_terminal(term, chain, context)
+            chain.after_terminal(add(term.interval.left, Num(len(term.value))))
+        elif isinstance(term, TermNonterminal):
+            _complete_nonterminal(term, chain, context)
+            chain.after_nonterminal(term.name)
+        elif isinstance(term, TermArray):
+            if term.element.interval.form != INTERVAL_EXPLICIT:
+                raise AutoCompletionError(
+                    f"array element {term.element.name!r} in rule {rule_name!r} "
+                    f"must carry an explicit interval"
+                )
+            chain.after_opaque("an array term")
+        elif isinstance(term, TermSwitch):
+            for case in term.cases:
+                _complete_nonterminal(case.target, chain, context)
+            chain.after_opaque("a switch term")
+        else:  # pragma: no cover - defensive
+            raise AutoCompletionError(f"unknown term kind {type(term).__name__}")
+    # Local rules are completed on their own; their position chains are
+    # independent of the enclosing alternative because they receive their own
+    # local input.
+    for local_rule in alternative.local_rules:
+        _complete_rule(local_rule)
+
+
+def _complete_terminal(term: TermTerminal, chain: _Chain, context: str) -> None:
+    interval = term.interval
+    if interval.form == INTERVAL_EXPLICIT and interval.complete:
+        return
+    left = chain.current(f'terminal "{term.value!r}" ({context})')
+    if interval.form == INTERVAL_LENGTH and interval.length is not None:
+        right = add(left, interval.length)
+    else:
+        right = add(left, Num(len(term.value)))
+    term.interval = Interval(left=left, right=right, length=interval.length, form=interval.form)
+
+
+def _complete_nonterminal(term: TermNonterminal, chain: _Chain, context: str) -> None:
+    interval = term.interval
+    if interval.form == INTERVAL_EXPLICIT and interval.complete:
+        return
+    left = chain.current(f"nonterminal {term.name!r} ({context})")
+    if interval.form == INTERVAL_LENGTH and interval.length is not None:
+        right = add(left, interval.length)
+    else:
+        right = EOI
+    term.interval = Interval(left=left, right=right, length=interval.length, form=interval.form)

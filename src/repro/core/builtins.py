@@ -1,0 +1,188 @@
+"""Builtin nonterminals and blackbox parser support.
+
+Section 7 of the paper explains that the naive ``Int`` grammar of Figure 3 is
+specialized into a ``btoi`` function in the implementation because integer
+fields are parsed constantly.  This module provides those specialized
+builtin nonterminals:
+
+=============  =====================================================
+Name           Meaning
+=============  =====================================================
+``U8``         unsigned 8-bit integer
+``U16LE``      unsigned 16-bit little-endian integer
+``U16BE``      unsigned 16-bit big-endian integer
+``U32LE``      unsigned 32-bit little-endian integer
+``U32BE``      unsigned 32-bit big-endian integer
+``U64LE``      unsigned 64-bit little-endian integer
+``U64BE``      unsigned 64-bit big-endian integer
+``I32LE``      signed 32-bit little-endian integer
+``Byte``       alias of ``U8``
+``Raw``        accepts the whole interval as raw bytes (``len`` attribute)
+``AsciiInt``   ASCII decimal integer filling the interval (PDF offsets)
+``BinInt``     the paper's Figure 3 binary number ("0"/"1" characters)
+=============  =====================================================
+
+Each builtin produces a ``Node`` whose environment holds a ``val`` attribute
+(``len`` for ``Raw``) plus the special attributes, exactly as a hand-written
+IPG rule would.
+
+Blackbox parsers (section 3.4) are arbitrary Python callables registered by
+name; the interpreter hands them the bytes of their interval and wraps the
+result into a ``Node``.  They are how the ZIP case study calls zlib.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple, Union
+
+#: Marker object returned by builtin parsers on failure.
+BUILTIN_FAIL = object()
+
+
+@dataclass(frozen=True)
+class BuiltinSpec:
+    """Description of a builtin nonterminal.
+
+    ``parse`` receives the shared input buffer plus the absolute interval
+    ``[lo, hi)`` assigned to the builtin and returns either ``BUILTIN_FAIL``
+    or a triple ``(attrs, end, payload)`` where ``attrs`` maps attribute
+    names to integers, ``end`` is the relative offset one past the last byte
+    consumed, and ``payload`` is an optional copy of the consumed bytes to
+    keep in the parse tree (``None`` for the zero-copy builtins such as
+    ``Raw``, whose whole point is to *skip* data without touching it).
+    """
+
+    name: str
+    size: Optional[int]  # fixed byte width, or None for variable width
+    attrs: Tuple[str, ...]
+    parse: Callable[[bytes, int, int], object]
+
+
+def _fixed_int(size: int, byteorder: str, signed: bool = False):
+    def parse(data: bytes, lo: int, hi: int):
+        if hi - lo < size:
+            return BUILTIN_FAIL
+        window = data[lo : lo + size]
+        value = int.from_bytes(window, byteorder, signed=signed)
+        return {"val": value}, size, window
+
+    return parse
+
+
+def _raw(data: bytes, lo: int, hi: int):
+    # Zero-copy: accept the whole interval without materializing its bytes.
+    length = hi - lo
+    return {"len": length, "val": length}, length, None
+
+
+def _bytes(data: bytes, lo: int, hi: int):
+    # Like Raw, but the bytes are kept in the tree (file names, payloads...).
+    window = data[lo:hi]
+    return {"len": len(window), "val": len(window)}, len(window), window
+
+
+def _ascii_int(data: bytes, lo: int, hi: int):
+    window = data[lo:hi]
+    text = window.strip()
+    if not text or not text.isdigit():
+        return BUILTIN_FAIL
+    return {"val": int(text)}, len(window), window
+
+
+def _bin_int(data: bytes, lo: int, hi: int):
+    window = data[lo:hi]
+    if not window or any(byte not in (0x30, 0x31) for byte in window):
+        return BUILTIN_FAIL
+    value = 0
+    for byte in window:
+        value = value * 2 + (byte - 0x30)
+    return {"val": value}, len(window), window
+
+
+def _build_registry() -> Dict[str, BuiltinSpec]:
+    registry: Dict[str, BuiltinSpec] = {}
+
+    def register(name: str, size: Optional[int], attrs: Tuple[str, ...], parse) -> None:
+        registry[name] = BuiltinSpec(name, size, attrs, parse)
+
+    register("U8", 1, ("val",), _fixed_int(1, "little"))
+    register("Byte", 1, ("val",), _fixed_int(1, "little"))
+    register("U16LE", 2, ("val",), _fixed_int(2, "little"))
+    register("U16BE", 2, ("val",), _fixed_int(2, "big"))
+    register("U32LE", 4, ("val",), _fixed_int(4, "little"))
+    register("U32BE", 4, ("val",), _fixed_int(4, "big"))
+    register("U64LE", 8, ("val",), _fixed_int(8, "little"))
+    register("U64BE", 8, ("val",), _fixed_int(8, "big"))
+    register("I32LE", 4, ("val",), _fixed_int(4, "little", signed=True))
+    register("Raw", None, ("len", "val"), _raw)
+    register("Bytes", None, ("len", "val"), _bytes)
+    register("AsciiInt", None, ("val",), _ascii_int)
+    register("BinInt", None, ("val",), _bin_int)
+    return registry
+
+
+#: The global registry of builtin nonterminals.
+BUILTINS: Dict[str, BuiltinSpec] = _build_registry()
+
+
+def is_builtin(name: str) -> bool:
+    """Whether ``name`` is a builtin nonterminal."""
+    return name in BUILTINS
+
+
+def builtin_attrs(name: str) -> Tuple[str, ...]:
+    """Attributes defined by builtin ``name`` (for attribute checking)."""
+    return BUILTINS[name].attrs
+
+
+# ---------------------------------------------------------------------------
+# Blackbox parsers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BlackboxResult:
+    """Result returned by a blackbox parser.
+
+    Attributes
+    ----------
+    attrs:
+        Integer attributes made visible to the surrounding grammar.
+    payload:
+        Optional bytes payload (e.g. decompressed data) stored as a
+        ``Leaf`` child of the blackbox node.
+    end:
+        Relative offset one past the last byte the blackbox consumed;
+        defaults to the full interval.
+    """
+
+    attrs: Dict[str, int] = field(default_factory=dict)
+    payload: Optional[bytes] = None
+    end: Optional[int] = None
+
+
+#: A blackbox callable may return a BlackboxResult, a plain attribute dict,
+#: raw payload bytes, or None (meaning failure).
+BlackboxReturn = Union[BlackboxResult, Dict[str, int], bytes, None]
+BlackboxCallable = Callable[[bytes], BlackboxReturn]
+
+
+def normalize_blackbox_result(result: BlackboxReturn, interval_length: int):
+    """Convert the flexible blackbox return types into a uniform triple.
+
+    Returns ``(attrs, payload, end)`` or ``BUILTIN_FAIL`` when the blackbox
+    reported failure by returning ``None``.
+    """
+    if result is None:
+        return BUILTIN_FAIL
+    if isinstance(result, BlackboxResult):
+        end = result.end if result.end is not None else interval_length
+        return dict(result.attrs), result.payload, end
+    if isinstance(result, dict):
+        return dict(result), None, interval_length
+    if isinstance(result, (bytes, bytearray)):
+        return {}, bytes(result), interval_length
+    raise TypeError(
+        f"blackbox parser returned unsupported type {type(result).__name__}"
+    )

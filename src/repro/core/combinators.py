@@ -1,0 +1,374 @@
+"""Interval-based monadic parser combinators (paper appendix A.2).
+
+The paper complements the IPG parser generator with a parser-combinator
+library built around the same idea of *intervals*: the monad state is a
+triple ``(l, r, c)`` holding the left/right endpoints of the interval
+assigned to the current parser plus the current parsing position, and the
+``%`` combinator runs a sub-parser inside a *relative* sub-interval of the
+current one.  This module is a faithful Python port of the OCaml library of
+the appendix:
+
+==============================  ==========================================
+OCaml                           Python
+==============================  ==========================================
+``return v``                    :func:`pure`
+``bind`` / ``>>=``              :meth:`P.bind` / ``>>`` (with a function)
+``$$`` (sequence, drop left)    :meth:`P.then_`
+``/`` (biased choice)           ``|`` (:meth:`P.__or__`)
+``p % (l, r)``                  :meth:`P.local` / :func:`local`
+``eoi``                         :func:`eoi`
+``charP c``                     :func:`char_p`
+``fix``                         :func:`fix`
+==============================  ==========================================
+
+A parser of type ``a`` is a function ``(data, state) -> (value, state) | None``
+wrapped in :class:`P` so combinators compose with operators.  Failure is
+``None``, like the OCaml library's ``option``.
+
+The module also reproduces the appendix example: :func:`int_p` parses a
+binary number exactly like the IPG of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
+
+from .errors import ParseFailure
+
+A = TypeVar("A")
+B = TypeVar("B")
+
+
+@dataclass(frozen=True)
+class State:
+    """The combinator monad state: interval ``[left, right)`` + position.
+
+    All three fields are *absolute* offsets into the input buffer, exactly as
+    in the OCaml library; user code manipulates only relative offsets through
+    :func:`eoi` and :func:`local`.
+    """
+
+    left: int
+    right: int
+    position: int
+
+
+ParserFn = Callable[[bytes, State], Optional[Tuple[A, State]]]
+
+
+class P(Generic[A]):
+    """A wrapped parser function supporting combinator operators."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: ParserFn):
+        self.fn = fn
+
+    def __call__(self, data: bytes, state: State) -> Optional[Tuple[A, State]]:
+        return self.fn(data, state)
+
+    # -- monadic interface ------------------------------------------------------
+    def bind(self, f: Callable[[A], "P[B]"]) -> "P[B]":
+        """Monadic bind (the OCaml ``>>=``)."""
+
+        def run(data: bytes, state: State):
+            outcome = self.fn(data, state)
+            if outcome is None:
+                return None
+            value, next_state = outcome
+            return f(value)(data, next_state)
+
+        return P(run)
+
+    def __rshift__(self, f: Callable[[A], "P[B]"]) -> "P[B]":
+        """``parser >> (lambda v: ...)`` reads like OCaml's ``>>=``."""
+        return self.bind(f)
+
+    def then_(self, other: "P[B]") -> "P[B]":
+        """Sequence two parsers and keep the second value (OCaml ``$$``)."""
+        return self.bind(lambda _ignored: other)
+
+    def map(self, f: Callable[[A], B]) -> "P[B]":
+        """Apply ``f`` to the parsed value."""
+        return self.bind(lambda value: pure(f(value)))
+
+    def __or__(self, other: "P[A]") -> "P[A]":
+        """Biased choice: try ``self``; on failure try ``other``."""
+
+        def run(data: bytes, state: State):
+            outcome = self.fn(data, state)
+            if outcome is not None:
+                return outcome
+            return other(data, state)
+
+        return P(run)
+
+    def local(self, left: int, right: int) -> "P[A]":
+        """Run this parser in the relative sub-interval ``[left, right)``.
+
+        This is the ``%`` combinator of the appendix: ``a % (3, ed)``
+        corresponds to the IPG term ``a[3, ed]``.
+        """
+        return local(self, left, right)
+
+    def __mod__(self, interval: Tuple[int, int]) -> "P[A]":
+        left, right = interval
+        return self.local(left, right)
+
+    # -- running ----------------------------------------------------------------
+    def run(self, data: bytes) -> A:
+        """Parse ``data`` with the whole buffer as the interval."""
+        outcome = self.fn(data, State(0, len(data), 0))
+        if outcome is None:
+            raise ParseFailure("combinator parser failed", nonterminal="<combinator>")
+        return outcome[0]
+
+    def try_run(self, data: bytes) -> Optional[A]:
+        """Like :meth:`run` but returns ``None`` on failure."""
+        outcome = self.fn(data, State(0, len(data), 0))
+        return None if outcome is None else outcome[0]
+
+
+# ---------------------------------------------------------------------------
+# Primitive combinators (the OCaml basic set)
+# ---------------------------------------------------------------------------
+
+
+def pure(value: A) -> P[A]:
+    """``return v`` — succeed without consuming input."""
+    return P(lambda data, state: (value, state))
+
+
+def fail() -> P[A]:
+    """The parser that always fails."""
+    return P(lambda data, state: None)
+
+
+def get_interval() -> P[Tuple[int, int]]:
+    """Read the current (absolute) interval."""
+    return P(lambda data, state: ((state.left, state.right), state))
+
+
+def set_interval(left: int, right: int) -> P[None]:
+    """Set the current interval (absolute offsets) and move to its start.
+
+    Mirrors the OCaml ``setInterval``, which requires a non-empty interval.
+    """
+    return P(
+        lambda data, state: ((None, State(left, right, left)) if left < right else None)
+    )
+
+
+def get_pos() -> P[int]:
+    """Read the current (absolute) parsing position."""
+    return P(lambda data, state: (state.position, state))
+
+
+def set_pos(position: int) -> P[None]:
+    """Set the current (absolute) parsing position."""
+    return P(lambda data, state: (None, State(state.left, state.right, position)))
+
+
+def eoi() -> P[int]:
+    """End-of-input as a relative offset: the length of the local interval."""
+    return get_interval().bind(lambda lr: pure(lr[1] - lr[0]))
+
+
+def local(parser: P[A], left: int, right: int) -> P[A]:
+    """Run ``parser`` in the relative interval ``[left, right)``.
+
+    Faithful port of ``localIntervalP``: validates the interval against the
+    current one, narrows, runs the parser, restores the old interval, and
+    finally moves the parsing position to the (absolute) end of the
+    sub-interval.
+    """
+
+    def run(data: bytes, state: State):
+        left_global, right_global = state.left, state.right
+        if not (0 <= left and right <= right_global - left_global):
+            return None
+        if not (left_global + left < left_global + right):
+            return None  # setInterval requires a non-empty interval
+        inner_state = State(left_global + left, left_global + right, left_global + left)
+        outcome = parser(data, inner_state)
+        if outcome is None:
+            return None
+        value, _after = outcome
+        restored = State(left_global, right_global, left_global + right)
+        return value, restored
+
+    return P(run)
+
+
+# ---------------------------------------------------------------------------
+# Character / byte level parsers
+# ---------------------------------------------------------------------------
+
+
+def char_p(char: str) -> P[str]:
+    """Match a single character at the current position (OCaml ``charP``)."""
+    code = ord(char)
+
+    def run(data: bytes, state: State):
+        if state.left <= state.position < state.right and data[state.position] == code:
+            return char, State(state.left, state.right, state.position + 1)
+        return None
+
+    return P(run)
+
+
+def byte_p() -> P[int]:
+    """Consume one byte and return its value."""
+
+    def run(data: bytes, state: State):
+        if state.left <= state.position < state.right:
+            return data[state.position], State(state.left, state.right, state.position + 1)
+        return None
+
+    return P(run)
+
+
+def string_p(literal: bytes) -> P[bytes]:
+    """Match an exact byte string at the current position."""
+
+    def run(data: bytes, state: State):
+        end = state.position + len(literal)
+        if end <= state.right and data[state.position : end] == literal:
+            return literal, State(state.left, state.right, end)
+        return None
+
+    return P(run)
+
+
+def take(count: int) -> P[bytes]:
+    """Consume exactly ``count`` bytes."""
+
+    def run(data: bytes, state: State):
+        end = state.position + count
+        if count >= 0 and end <= state.right:
+            return data[state.position : end], State(state.left, state.right, end)
+        return None
+
+    return P(run)
+
+
+def uint(size: int, byteorder: str = "little") -> P[int]:
+    """Consume ``size`` bytes and decode an unsigned integer."""
+    return take(size).map(lambda raw: int.from_bytes(raw, byteorder))
+
+
+def u8() -> P[int]:
+    return uint(1)
+
+
+def u16le() -> P[int]:
+    return uint(2, "little")
+
+
+def u16be() -> P[int]:
+    return uint(2, "big")
+
+
+def u32le() -> P[int]:
+    return uint(4, "little")
+
+
+def u32be() -> P[int]:
+    return uint(4, "big")
+
+
+# ---------------------------------------------------------------------------
+# Higher-order combinators
+# ---------------------------------------------------------------------------
+
+
+def seq(*parsers: P) -> P[List]:
+    """Run parsers in sequence and collect their values in a list."""
+
+    def run(data: bytes, state: State):
+        values = []
+        current = state
+        for parser in parsers:
+            outcome = parser(data, current)
+            if outcome is None:
+                return None
+            value, current = outcome
+            values.append(value)
+        return values, current
+
+    return P(run)
+
+
+def many(parser: P[A]) -> P[List[A]]:
+    """Zero or more repetitions of ``parser`` (greedy)."""
+
+    def run(data: bytes, state: State):
+        values: List[A] = []
+        current = state
+        while True:
+            outcome = parser(data, current)
+            if outcome is None:
+                return values, current
+            value, next_state = outcome
+            if next_state == current:
+                # A parser that consumes nothing would loop forever; stop, the
+                # same way the IPG termination checker rejects such grammars.
+                return values, current
+            values.append(value)
+            current = next_state
+
+    return P(run)
+
+
+def many1(parser: P[A]) -> P[List[A]]:
+    """One or more repetitions of ``parser``."""
+    return parser.bind(lambda first: many(parser).map(lambda rest: [first] + rest))
+
+
+def arr(count: int, parser: P[A]) -> P[List[A]]:
+    """Exactly ``count`` repetitions of ``parser`` (the OCaml ``arr``)."""
+    return seq(*([parser] * count)) if count > 0 else pure([])
+
+
+def fix(builder: Callable[[P[A]], P[A]]) -> P[A]:
+    """Tie the knot for recursive parsers (the OCaml ``fix``)."""
+
+    def run(data: bytes, state: State):
+        return realized(data, state)
+
+    placeholder = P(run)
+    realized = builder(placeholder)
+    return realized
+
+
+# ---------------------------------------------------------------------------
+# The appendix example: a binary-number parser equivalent to Figure 3
+# ---------------------------------------------------------------------------
+
+
+def digit_p() -> P[int]:
+    """Parse a single binary digit in a one-byte local interval."""
+    return (char_p("0") % (0, 1)).map(lambda _c: 0) | (char_p("1") % (0, 1)).map(lambda _c: 1)
+
+
+def int_p() -> P[int]:
+    """Binary-number parser: the combinator version of Figure 3.
+
+    ``intP`` recursively parses all but the last byte as a binary number and
+    the last byte as a digit; the recursion bottoms out through the interval
+    checks of ``%`` exactly as in the IPG.
+    """
+
+    def build(intp: P[int]) -> P[int]:
+        recursive = eoi().bind(
+            lambda end: (intp % (0, end - 1)).bind(
+                lambda high: (digit_p() % (end - 1, end)).bind(
+                    lambda low: pure(high * 2 + low)
+                )
+            )
+        )
+        base = digit_p() % (0, 1)
+        return recursive | base
+
+    return fix(build)

@@ -1,0 +1,179 @@
+"""Enumeration of elementary cycles in a directed graph.
+
+Termination checking (section 5) enumerates all *elementary cycles* of the
+nonterminal dependency graph — cycles that visit no vertex twice — and the
+paper points to Johnson's algorithm [Johnson 1975] as the efficient way to do
+it.  This module implements that algorithm from scratch (the repository does
+not lean on networkx for it, though the test suite cross-checks against
+networkx when available).
+
+The graph representation is a mapping ``vertex -> iterable of successors``.
+Vertices can be any hashable values; for termination checking they are
+nonterminal names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Set
+
+Vertex = Hashable
+Graph = Dict[Vertex, Iterable[Vertex]]
+
+
+def _normalize(graph: Graph) -> Dict[Vertex, List[Vertex]]:
+    normalized: Dict[Vertex, List[Vertex]] = {}
+    for vertex, successors in graph.items():
+        normalized.setdefault(vertex, [])
+        for succ in successors:
+            normalized[vertex].append(succ)
+            normalized.setdefault(succ, [])
+    return normalized
+
+
+def strongly_connected_components(graph: Graph) -> List[Set[Vertex]]:
+    """Tarjan's algorithm, iterative to cope with deep grammars."""
+    adjacency = _normalize(graph)
+    index_counter = 0
+    indices: Dict[Vertex, int] = {}
+    lowlinks: Dict[Vertex, int] = {}
+    on_stack: Set[Vertex] = set()
+    stack: List[Vertex] = []
+    components: List[Set[Vertex]] = []
+
+    for root in adjacency:
+        if root in indices:
+            continue
+        work = [(root, iter(adjacency[root]))]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            vertex, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in indices:
+                    indices[succ] = lowlinks[succ] = index_counter
+                    index_counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adjacency[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlinks[vertex] = min(lowlinks[vertex], indices[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[vertex])
+            if lowlinks[vertex] == indices[vertex]:
+                component: Set[Vertex] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == vertex:
+                        break
+                components.append(component)
+    return components
+
+
+def elementary_cycles(graph: Graph) -> List[List[Vertex]]:
+    """Return every elementary cycle of ``graph`` (Johnson 1975).
+
+    Each cycle is returned as a list of vertices ``[v0, v1, ..., vk]`` with
+    the convention that the cycle's edges are ``v0->v1, ..., vk->v0``.
+    Self-loops are returned as single-element lists.
+    """
+    adjacency = _normalize(graph)
+    # Impose a deterministic order on vertices so results are reproducible.
+    ordering = {vertex: position for position, vertex in enumerate(sorted(adjacency, key=repr))}
+    cycles: List[List[Vertex]] = []
+
+    # Self-loops are found directly; Johnson's algorithm below works on the
+    # graph without them.
+    for vertex, successors in adjacency.items():
+        if vertex in successors:
+            cycles.append([vertex])
+    adjacency = {
+        vertex: [succ for succ in successors if succ != vertex]
+        for vertex, successors in adjacency.items()
+    }
+
+    def unblock(vertex: Vertex, blocked: Set[Vertex], blocked_map: Dict[Vertex, Set[Vertex]]):
+        stack = [vertex]
+        while stack:
+            current = stack.pop()
+            if current in blocked:
+                blocked.discard(current)
+                stack.extend(blocked_map.pop(current, ()))
+
+    remaining = dict(adjacency)
+    while True:
+        # Find the SCC containing the smallest-ordered vertex that still has
+        # a cycle through it.
+        components = [c for c in strongly_connected_components(remaining) if len(c) > 1]
+        if not components:
+            break
+        component = min(components, key=lambda c: min(ordering[v] for v in c))
+        start = min(component, key=lambda v: ordering[v])
+        subgraph = {
+            vertex: [succ for succ in remaining[vertex] if succ in component]
+            for vertex in component
+        }
+
+        blocked: Set[Vertex] = set()
+        blocked_map: Dict[Vertex, Set[Vertex]] = {}
+        path: List[Vertex] = []
+
+        def circuit(vertex: Vertex) -> bool:
+            found = False
+            path.append(vertex)
+            blocked.add(vertex)
+            for succ in subgraph[vertex]:
+                if succ == start:
+                    cycles.append(list(path))
+                    found = True
+                elif succ not in blocked:
+                    if circuit(succ):
+                        found = True
+            if found:
+                unblock(vertex, blocked, blocked_map)
+            else:
+                for succ in subgraph[vertex]:
+                    blocked_map.setdefault(succ, set()).add(vertex)
+            path.pop()
+            return found
+
+        circuit(start)
+        # Remove the start vertex and continue with the rest of the graph.
+        remaining = {
+            vertex: [succ for succ in successors if succ != start]
+            for vertex, successors in remaining.items()
+            if vertex != start
+        }
+
+    cycles.sort(key=lambda cycle: (len(cycle), [ordering[v] for v in cycle]))
+    return cycles
+
+
+def has_cycle(graph: Graph) -> bool:
+    """Whether ``graph`` contains any cycle (including self-loops)."""
+    adjacency = _normalize(graph)
+    for vertex, successors in adjacency.items():
+        if vertex in successors:
+            return True
+    return any(len(c) > 1 for c in strongly_connected_components(adjacency))
+
+
+def cycle_edges(cycle: Sequence[Vertex]) -> List[tuple]:
+    """Expand a cycle vertex list into its list of directed edges."""
+    if not cycle:
+        return []
+    edges = []
+    for position, vertex in enumerate(cycle):
+        successor = cycle[(position + 1) % len(cycle)]
+        edges.append((vertex, successor))
+    return edges

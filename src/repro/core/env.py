@@ -1,0 +1,171 @@
+"""Attribute environments and evaluation contexts.
+
+An alternative is evaluated under an environment ``E`` mapping attribute
+identifiers to integers.  The semantics (Figure 8) seeds the environment with
+``{EOI -> |s|, start -> |s|, end -> 0}`` and threads it through the terms of
+the alternative, updating ``start``/``end`` via ``updStartEnd`` whenever a
+term touches input.
+
+:class:`EvalContext` packages the environment together with the parse trees
+produced by earlier terms in the same alternative: expressions may reference
+``B.a`` (attribute of an earlier nonterminal term), ``B(e).a`` (attribute of
+an array element) and plain identifiers (attribute definitions or loop
+variables).  Local rules introduced by ``where`` clauses see the enclosing
+alternative's context through the ``outer`` link.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .errors import EvaluationError
+from .parsetree import Node
+
+
+def initial_env(length: int) -> Dict[str, int]:
+    """The environment an alternative starts with (rule R-AltSucc)."""
+    return {"EOI": length, "start": length, "end": 0}
+
+
+def upd_start_end(env: Dict[str, int], left: int, right: int, touched: bool) -> Dict[str, int]:
+    """The ``updStartEnd`` function from section 3.3.
+
+    When ``touched`` holds, widen the ``start``/``end`` window of ``env`` to
+    include ``[left, right)``; otherwise return ``env`` unchanged.  A fresh
+    dictionary is returned so callers can keep the old environment for
+    backtracking.
+    """
+    if not touched:
+        return env
+    updated = dict(env)
+    updated["start"] = min(env.get("start", left), left)
+    updated["end"] = max(env.get("end", right), right)
+    return updated
+
+
+def upd_start_end_in_place(env: Dict[str, int], left: int, right: int, touched: bool) -> Dict[str, int]:
+    """Destructive variant of :func:`upd_start_end`.
+
+    The parsing engines thread one environment linearly through the terms of
+    an alternative (a failed alternative discards its environment wholesale),
+    so updating in place is observably equivalent to the functional version
+    and avoids a dictionary copy per term.
+    """
+    if touched:
+        if left < env.get("start", left + 1):
+            env["start"] = left
+        if right > env.get("end", right - 1):
+            env["end"] = right
+    return env
+
+
+class EvalContext:
+    """Evaluation context for expressions inside one alternative.
+
+    Attributes
+    ----------
+    env:
+        Mapping of attribute names (and loop variables) to integer values.
+    nodes:
+        The most recent :class:`Node` produced for each nonterminal term in
+        this alternative, keyed by nonterminal name.  ``B.a`` resolves here.
+    arrays:
+        Element lists of ``for`` terms keyed by element nonterminal name.
+        ``B(e).a`` resolves here.
+    outer:
+        The enclosing context when evaluating a local (``where``) rule, or
+        ``None`` at top level.
+    """
+
+    __slots__ = ("env", "nodes", "arrays", "outer")
+
+    def __init__(
+        self,
+        env: Optional[Dict[str, int]] = None,
+        outer: Optional["EvalContext"] = None,
+    ):
+        self.env: Dict[str, int] = dict(env) if env else {}
+        self.nodes: Dict[str, Node] = {}
+        self.arrays: Dict[str, List[Node]] = {}
+        self.outer = outer
+
+    # -- resolution ---------------------------------------------------------
+    def lookup_name(self, name: str) -> int:
+        """Resolve a plain identifier (attribute, loop variable or ``EOI``)."""
+        ctx: Optional[EvalContext] = self
+        while ctx is not None:
+            if name in ctx.env:
+                return ctx.env[name]
+            ctx = ctx.outer
+        raise EvaluationError(f"undefined attribute or loop variable {name!r}")
+
+    def lookup_dot(self, nonterminal: str, attr: str) -> int:
+        """Resolve ``A.attr`` against the most recent node for ``A``."""
+        ctx: Optional[EvalContext] = self
+        while ctx is not None:
+            node = ctx.nodes.get(nonterminal)
+            if node is not None:
+                if attr in node.env:
+                    return node.env[attr]
+                raise EvaluationError(
+                    f"nonterminal {nonterminal} has no attribute {attr!r}"
+                )
+            ctx = ctx.outer
+        raise EvaluationError(
+            f"reference to {nonterminal}.{attr} but {nonterminal} has not been parsed yet"
+        )
+
+    def lookup_index(self, nonterminal: str, index: int, attr: str) -> int:
+        """Resolve ``A(e).attr`` against element ``e`` of the ``A`` array."""
+        ctx: Optional[EvalContext] = self
+        while ctx is not None:
+            elements = ctx.arrays.get(nonterminal)
+            if elements is not None:
+                if not 0 <= index < len(elements):
+                    raise EvaluationError(
+                        f"array reference {nonterminal}({index}) out of range "
+                        f"(array has {len(elements)} elements)"
+                    )
+                node = elements[index]
+                if attr in node.env:
+                    return node.env[attr]
+                raise EvaluationError(
+                    f"array element {nonterminal}({index}) has no attribute {attr!r}"
+                )
+            ctx = ctx.outer
+        raise EvaluationError(
+            f"reference to array {nonterminal} but no such array has been parsed"
+        )
+
+    def array_length(self, nonterminal: str) -> int:
+        """Length of the (possibly partially built) array for ``nonterminal``."""
+        ctx: Optional[EvalContext] = self
+        while ctx is not None:
+            elements = ctx.arrays.get(nonterminal)
+            if elements is not None:
+                return len(elements)
+            ctx = ctx.outer
+        raise EvaluationError(
+            f"reference to array {nonterminal} but no such array has been parsed"
+        )
+
+    # -- updates ------------------------------------------------------------
+    def bind(self, name: str, value: int) -> None:
+        """Bind an attribute or loop variable in the local environment."""
+        self.env[name] = value
+
+    def record_node(self, node: Node) -> None:
+        """Record the result of a nonterminal term for later references."""
+        self.nodes[node.name] = node
+
+    def record_array_element(self, name: str, node: Node) -> None:
+        """Append an element to the array being built for ``name``."""
+        self.arrays.setdefault(name, []).append(node)
+
+    def child(self) -> "EvalContext":
+        """Create a context for a local (``where``) rule nested in this one."""
+        return EvalContext(env={}, outer=self)
+
+    def snapshot_env(self) -> Dict[str, int]:
+        """Copy of the local environment (used when constructing nodes)."""
+        return dict(self.env)

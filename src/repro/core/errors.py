@@ -1,0 +1,86 @@
+"""Exception hierarchy for the IPG toolkit.
+
+Every user-facing error raised by the library derives from :class:`IPGError`
+so that applications can catch a single exception type.  The hierarchy
+mirrors the pipeline stages of the paper: grammar-text parsing, attribute
+checking, interval auto-completion, termination checking, and input parsing.
+"""
+
+from __future__ import annotations
+
+
+class IPGError(Exception):
+    """Base class for all errors raised by the IPG toolkit."""
+
+
+class GrammarSyntaxError(IPGError):
+    """The IPG surface syntax could not be parsed.
+
+    Carries the line and column of the offending token when available.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class AttributeCheckError(IPGError):
+    """Attribute checking failed.
+
+    Raised when an attribute reference does not refer to a defined attribute
+    (property 1 of section 3.2) or when the per-alternative dependency graph
+    is cyclic (property 2 of section 3.2).
+    """
+
+
+class AutoCompletionError(IPGError):
+    """Implicit-interval completion could not infer a missing interval."""
+
+
+class TerminationCheckError(IPGError):
+    """Static termination checking rejected the grammar.
+
+    The exception message names the elementary cycle whose intervals may be
+    non-decreasing (i.e. may stay at ``[0, EOI]`` forever).
+    """
+
+    def __init__(self, message: str, cycle=None):
+        self.cycle = list(cycle) if cycle is not None else []
+        super().__init__(message)
+
+
+class ParseFailure(IPGError):
+    """Parsing an input according to an IPG produced ``Fail``.
+
+    The interpreter and generated parsers raise this from the public
+    ``parse`` entry points; the internal machinery uses a ``FAIL`` sentinel
+    to implement biased choice without exception overhead.
+    """
+
+    def __init__(self, message: str, nonterminal: str = "", offset: int | None = None):
+        self.nonterminal = nonterminal
+        self.offset = offset
+        super().__init__(message)
+
+
+class EvaluationError(IPGError):
+    """An interval or attribute expression could not be evaluated.
+
+    Examples: reference to an attribute that is not bound at evaluation time,
+    a division by zero, or an array reference with an out-of-range index.
+    """
+
+
+class BlackboxError(IPGError):
+    """A blackbox parser was referenced but not supplied, or it failed."""
+
+
+class GenerationError(IPGError):
+    """The parser generator could not emit code for the grammar."""
+
+
+class SolverError(IPGError):
+    """The constraint solver was given a formula outside its fragment."""

@@ -1,0 +1,367 @@
+"""Recursive-descent parser for the IPG surface syntax.
+
+This parses the textual form of an Interval Parsing Grammar into the AST of
+:mod:`repro.core.ast`.  The entry point is :func:`parse_grammar`.
+
+The concrete grammar of the surface syntax::
+
+    grammar        := (blackbox_decl | rule)* EOF
+    blackbox_decl  := "blackbox" IDENT ";"
+    rule           := IDENT "->" alternatives ";"
+    alternatives   := alternative ("/" alternative)*
+    alternative    := term* [ "where" "{" rule+ "}" ]
+    term           := STRING [interval]
+                    | IDENT [interval]
+                    | "{" IDENT "=" expr "}"
+                    | "guard" "(" expr ")"
+                    | "for" IDENT "=" expr "to" expr "do" IDENT [interval]
+                    | "switch" "(" case ("/" case)* ")"
+    case           := expr ":" IDENT [interval]  |  IDENT [interval]
+    interval       := "[" expr ["," expr] "]"
+
+Expressions use the usual precedence (ternary < ``||`` < ``&&`` <
+comparisons < ``|`` < ``&`` < shifts < additive < multiplicative < unary).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast import (
+    Alternative,
+    Grammar,
+    Interval,
+    Rule,
+    SwitchCase,
+    Term,
+    TermArray,
+    TermAttrDef,
+    TermGuard,
+    TermNonterminal,
+    TermSwitch,
+    TermTerminal,
+)
+from .errors import GrammarSyntaxError
+from .expr import BinOp, Cond, Dot, Exists, Expr, Index, Name, Num
+from .lexer import Token, tokenize
+
+
+class _Parser:
+    """Token-stream parser.  One instance per :func:`parse_grammar` call."""
+
+    def __init__(self, tokens: List[Token], source: str):
+        self.tokens = tokens
+        self.index = 0
+        self.source = source
+
+    # -- token helpers --------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.index + ahead, len(self.tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def _check(self, kind: str, value: object = None, ahead: int = 0) -> bool:
+        token = self._peek(ahead)
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def _expect(self, kind: str, value: object = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, value):
+            wanted = value if value is not None else kind
+            raise GrammarSyntaxError(
+                f"expected {wanted!r} but found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self._next()
+
+    def _accept(self, kind: str, value: object = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._next()
+        return None
+
+    # -- grammar --------------------------------------------------------------
+    def parse_grammar(self) -> Grammar:
+        rules: List[Rule] = []
+        blackboxes: List[str] = []
+        while not self._check("eof"):
+            if self._check("keyword", "blackbox"):
+                self._next()
+                name = self._expect("ident").value
+                self._expect("punct", ";")
+                blackboxes.append(str(name))
+            else:
+                rules.append(self.parse_rule())
+        if not rules:
+            token = self._peek()
+            raise GrammarSyntaxError("grammar contains no rules", token.line, token.column)
+        return Grammar(rules, blackboxes=blackboxes, source=self.source)
+
+    def parse_rule(self) -> Rule:
+        name = self._expect("ident").value
+        self._expect("punct", "->")
+        alternatives = [self.parse_alternative()]
+        while self._accept("punct", "/"):
+            alternatives.append(self.parse_alternative())
+        self._expect("punct", ";")
+        return Rule(str(name), alternatives)
+
+    def parse_alternative(self) -> Alternative:
+        terms: List[Term] = []
+        while self._starts_term():
+            terms.append(self.parse_term())
+        local_rules: List[Rule] = []
+        if self._accept("keyword", "where"):
+            self._expect("punct", "{")
+            while not self._check("punct", "}"):
+                local_rules.append(self.parse_rule())
+            self._expect("punct", "}")
+        return Alternative(terms, local_rules)
+
+    def _starts_term(self) -> bool:
+        token = self._peek()
+        if token.kind == "string":
+            return True
+        if token.kind == "ident":
+            return True
+        if token.kind == "keyword" and token.value in ("for", "switch", "guard"):
+            return True
+        if token.kind == "punct" and token.value == "{":
+            return True
+        return False
+
+    def parse_term(self) -> Term:
+        token = self._peek()
+        if token.kind == "string":
+            self._next()
+            return TermTerminal(bytes(token.value), self.parse_interval_for_terminal())
+        if token.kind == "punct" and token.value == "{":
+            return self.parse_attr_def()
+        if token.kind == "keyword" and token.value == "guard":
+            self._next()
+            self._expect("punct", "(")
+            expr = self.parse_expr()
+            self._expect("punct", ")")
+            return TermGuard(expr)
+        if token.kind == "keyword" and token.value == "for":
+            return self.parse_array()
+        if token.kind == "keyword" and token.value == "switch":
+            return self.parse_switch()
+        if token.kind == "ident":
+            self._next()
+            return TermNonterminal(str(token.value), self.parse_interval())
+        raise GrammarSyntaxError(
+            f"unexpected token {token.value!r} in alternative", token.line, token.column
+        )
+
+    def parse_attr_def(self) -> TermAttrDef:
+        self._expect("punct", "{")
+        name = self._expect("ident").value
+        self._expect("punct", "=")
+        expr = self.parse_expr()
+        self._expect("punct", "}")
+        return TermAttrDef(str(name), expr)
+
+    def parse_array(self) -> TermArray:
+        self._expect("keyword", "for")
+        var = self._expect("ident").value
+        self._expect("punct", "=")
+        start = self.parse_expr()
+        self._expect("keyword", "to")
+        stop = self.parse_expr()
+        self._expect("keyword", "do")
+        element_name = self._expect("ident").value
+        element = TermNonterminal(str(element_name), self.parse_interval())
+        return TermArray(str(var), start, stop, element)
+
+    def parse_switch(self) -> TermSwitch:
+        self._expect("keyword", "switch")
+        self._expect("punct", "(")
+        cases = [self.parse_switch_case()]
+        while self._accept("punct", "/"):
+            cases.append(self.parse_switch_case())
+        self._expect("punct", ")")
+        for case in cases[:-1]:
+            if case.condition is None:
+                token = self._peek()
+                raise GrammarSyntaxError(
+                    "only the last switch case may omit its condition",
+                    token.line,
+                    token.column,
+                )
+        return TermSwitch(cases)
+
+    def parse_switch_case(self) -> SwitchCase:
+        expr = self.parse_expr()
+        if self._accept("punct", ":"):
+            target_name = self._expect("ident").value
+            target = TermNonterminal(str(target_name), self.parse_interval())
+            return SwitchCase(expr, target)
+        # No ":" — the expression must have been a bare nonterminal name and
+        # this is the default case.
+        if isinstance(expr, Name):
+            target = TermNonterminal(expr.ident, self.parse_interval())
+            return SwitchCase(None, target)
+        token = self._peek()
+        raise GrammarSyntaxError(
+            "switch case without ':' must be a bare nonterminal (the default case)",
+            token.line,
+            token.column,
+        )
+
+    # -- intervals ------------------------------------------------------------
+    def parse_interval(self) -> Interval:
+        if not self._check("punct", "["):
+            return Interval.implicit()
+        self._next()
+        first = self.parse_expr()
+        if self._accept("punct", ","):
+            second = self.parse_expr()
+            self._expect("punct", "]")
+            return Interval.explicit(first, second)
+        self._expect("punct", "]")
+        return Interval.of_length(first)
+
+    def parse_interval_for_terminal(self) -> Interval:
+        # Terminal strings have a known length, so a single-expression
+        # interval would be redundant; the paper only ever omits terminal
+        # intervals entirely or writes both endpoints.  We accept the same.
+        return self.parse_interval()
+
+    # -- expressions ----------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> Expr:
+        if self._check("keyword", "exists"):
+            return self.parse_exists()
+        condition = self.parse_or()
+        if self._accept("punct", "?"):
+            then = self.parse_ternary()
+            self._expect("punct", ":")
+            otherwise = self.parse_ternary()
+            return Cond(condition, then, otherwise)
+        return condition
+
+    def parse_exists(self) -> Expr:
+        self._expect("keyword", "exists")
+        var = self._expect("ident").value
+        self._expect("punct", ".")
+        body = self.parse_ternary()
+        if not isinstance(body, Cond):
+            token = self._peek()
+            raise GrammarSyntaxError(
+                "the body of an existential must be of the form e1 ? e2 : e3",
+                token.line,
+                token.column,
+            )
+        return Exists(str(var), body.condition, body.then, body.otherwise)
+
+    def _parse_binop_level(self, operators: tuple, next_level) -> Expr:
+        left = next_level()
+        while True:
+            token = self._peek()
+            if token.kind == "punct" and token.value in operators:
+                self._next()
+                right = next_level()
+                left = BinOp(str(token.value), left, right)
+            else:
+                return left
+
+    def parse_or(self) -> Expr:
+        return self._parse_binop_level(("||",), self.parse_and)
+
+    def parse_and(self) -> Expr:
+        return self._parse_binop_level(("&&",), self.parse_comparison)
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_bitor()
+        token = self._peek()
+        if token.kind == "punct" and token.value in ("=", "!=", "<", ">", "<=", ">="):
+            self._next()
+            right = self.parse_bitor()
+            return BinOp(str(token.value), left, right)
+        return left
+
+    def parse_bitor(self) -> Expr:
+        return self._parse_binop_level(("|",), self.parse_bitand)
+
+    def parse_bitand(self) -> Expr:
+        return self._parse_binop_level(("&",), self.parse_shift)
+
+    def parse_shift(self) -> Expr:
+        return self._parse_binop_level(("<<", ">>"), self.parse_additive)
+
+    def parse_additive(self) -> Expr:
+        return self._parse_binop_level(("+", "-"), self.parse_multiplicative)
+
+    def parse_multiplicative(self) -> Expr:
+        return self._parse_binop_level(("*", "/", "%"), self.parse_unary)
+
+    def parse_unary(self) -> Expr:
+        if self._accept("punct", "-"):
+            operand = self.parse_unary()
+            if isinstance(operand, Num):
+                return Num(-operand.value)
+            return BinOp("-", Num(0), operand)
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "number":
+            self._next()
+            return Num(int(token.value))
+        if token.kind == "punct" and token.value == "(":
+            self._next()
+            inner = self.parse_ternary()
+            self._expect("punct", ")")
+            return inner
+        if token.kind == "keyword" and token.value == "exists":
+            return self.parse_exists()
+        if token.kind == "ident":
+            return self.parse_reference()
+        raise GrammarSyntaxError(
+            f"unexpected token {token.value!r} in expression", token.line, token.column
+        )
+
+    def parse_reference(self) -> Expr:
+        name = str(self._expect("ident").value)
+        # A(e).id — array element attribute reference.
+        if self._check("punct", "("):
+            self._next()
+            index = self.parse_ternary()
+            self._expect("punct", ")")
+            self._expect("punct", ".")
+            attr = self._expect("ident").value
+            return Index(name, index, str(attr))
+        # A.id — nonterminal attribute reference (including .start / .end).
+        if self._check("punct", "."):
+            self._next()
+            attr = self._expect("ident").value
+            return Dot(name, str(attr))
+        return Name(name)
+
+
+def parse_grammar(text: str) -> Grammar:
+    """Parse IPG source text into a :class:`~repro.core.ast.Grammar`."""
+    tokens = tokenize(text)
+    return _Parser(tokens, text).parse_grammar()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a single IPG expression (useful for tests and tools)."""
+    tokens = tokenize(text)
+    parser = _Parser(tokens, text)
+    expr = parser.parse_expr()
+    token = parser._peek()
+    if token.kind != "eof":
+        raise GrammarSyntaxError(
+            f"trailing input after expression: {token.value!r}", token.line, token.column
+        )
+    return expr

@@ -1,0 +1,458 @@
+"""The IPG parsing engine: a direct implementation of the big-step semantics.
+
+This module implements the judgments of Figure 8 (and Figure 15 for arrays)
+as a recursive-descent interpreter:
+
+* ``s ⊢ A ⇓ R``               →  :meth:`_Run.parse_nonterminal`
+* ``s, A ⊢ alt... ⇓ R``        →  biased choice over alternatives
+* ``s, A, E, Tr ⊢ tm... ⇓ R``  →  sequential execution of (reordered) terms
+* ``s, A, E, Tr ⊢ tm ⇓ E', R`` →  :meth:`_Run._exec_term`
+
+Key behaviours taken from the paper:
+
+* every alternative starts with ``E = {EOI ↦ |s|, start ↦ |s|, end ↦ 0}``;
+* terminals and nonterminals evaluate their interval first and parse only
+  the local input confined by it (zero-copy: a :class:`~repro.core.span.Span`
+  window, never a byte copy);
+* a nonterminal's ``start``/``end`` are re-based by ``+l`` into the caller's
+  coordinates, and ``updStartEnd`` widens the caller's window only when the
+  callee actually touched input (``end ≠ 0``);
+* choice is biased: the first successful alternative wins;
+* results are memoized on ``(nonterminal, lo, hi)`` as in PEG packrat
+  parsing, giving the O(n²) bound of section 3.3.
+
+The public entry point is :class:`Parser`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Union
+
+from .ast import (
+    Alternative,
+    Grammar,
+    Rule,
+    Term,
+    TermArray,
+    TermAttrDef,
+    TermGuard,
+    TermNonterminal,
+    TermSwitch,
+    TermTerminal,
+)
+from .attrcheck import check_grammar
+from .autocomplete import complete_grammar
+from .builtins import (
+    BUILTIN_FAIL,
+    BUILTINS,
+    BlackboxCallable,
+    is_builtin,
+    normalize_blackbox_result,
+)
+from .env import EvalContext, initial_env, upd_start_end_in_place
+from .errors import BlackboxError, EvaluationError, IPGError, ParseFailure
+from .grammar_parser import parse_grammar
+from .parsetree import ArrayNode, Leaf, Node, ParseTree
+
+#: Sentinel returned by the internal machinery when parsing fails; public
+#: entry points convert it into :class:`ParseFailure`.
+FAIL = object()
+
+
+class _LocalRules:
+    """A linked scope of ``where`` local rules visible to an invocation."""
+
+    __slots__ = ("rules", "parent")
+
+    def __init__(self, rules: Dict[str, Rule], parent: Optional["_LocalRules"]):
+        self.rules = rules
+        self.parent = parent
+
+    def lookup(self, name: str) -> Optional[Rule]:
+        scope: Optional[_LocalRules] = self
+        while scope is not None:
+            if name in scope.rules:
+                return scope.rules[name]
+            scope = scope.parent
+        return None
+
+
+def prepare_grammar(grammar: Union[Grammar, str]) -> Grammar:
+    """Run the front-end pipeline: parse text, complete intervals, check."""
+    if isinstance(grammar, str):
+        grammar = parse_grammar(grammar)
+    if not grammar.completed:
+        complete_grammar(grammar)
+    if not grammar.checked:
+        check_grammar(grammar)
+    return grammar
+
+
+class Parser:
+    """A recursive-descent parser for one Interval Parsing Grammar.
+
+    Parameters
+    ----------
+    grammar:
+        Either IPG source text or an already constructed
+        :class:`~repro.core.ast.Grammar`.  Interval auto-completion and
+        attribute checking are run automatically if they have not been.
+    blackboxes:
+        Mapping from blackbox nonterminal names to Python callables
+        (section 3.4).  Each callable receives the bytes of its interval.
+    memoize:
+        Enable packrat-style memoization of nonterminal results.
+    recursion_limit:
+        Python recursion limit to install while parsing; IPG rules such as
+        the GIF ``Blocks`` list are deliberately recursive.
+    """
+
+    def __init__(
+        self,
+        grammar: Union[Grammar, str],
+        blackboxes: Optional[Dict[str, BlackboxCallable]] = None,
+        memoize: bool = True,
+        recursion_limit: int = 100_000,
+    ):
+        self.grammar = prepare_grammar(grammar)
+        self.blackboxes = dict(blackboxes or {})
+        self.memoize = memoize
+        self.recursion_limit = recursion_limit
+        missing = self.grammar.blackboxes - set(self.blackboxes)
+        if missing:
+            # Declared blackboxes may be supplied later via `register_blackbox`;
+            # only an actual use without a registration is an error.
+            pass
+
+    def register_blackbox(self, name: str, parser: BlackboxCallable) -> None:
+        """Register (or replace) the implementation of a blackbox parser."""
+        self.blackboxes[name] = parser
+
+    # -- public parsing API ---------------------------------------------------
+    def parse(self, data: bytes, start: Optional[str] = None) -> Node:
+        """Parse ``data`` and return the root parse tree.
+
+        Raises :class:`~repro.core.errors.ParseFailure` when the grammar does
+        not accept the input.
+        """
+        result = self.try_parse(data, start)
+        if result is None:
+            raise ParseFailure(
+                f"input of length {len(data)} does not match nonterminal "
+                f"{start or self.grammar.start!r}",
+                nonterminal=start or self.grammar.start,
+            )
+        return result
+
+    def try_parse(self, data: bytes, start: Optional[str] = None) -> Optional[Node]:
+        """Like :meth:`parse` but returns ``None`` instead of raising."""
+        start_name = start or self.grammar.start
+        data = bytes(data)
+        previous_limit = sys.getrecursionlimit()
+        if self.recursion_limit > previous_limit:
+            sys.setrecursionlimit(self.recursion_limit)
+        try:
+            run = _Run(self, data)
+            result = run.parse_nonterminal(start_name, 0, len(data), None, None)
+        finally:
+            if self.recursion_limit > previous_limit:
+                sys.setrecursionlimit(previous_limit)
+        if result is FAIL:
+            return None
+        assert isinstance(result, Node)
+        return result
+
+    def accepts(self, data: bytes, start: Optional[str] = None) -> bool:
+        """Whether the grammar accepts ``data``."""
+        return self.try_parse(data, start) is not None
+
+
+class _Run:
+    """State for parsing a single input buffer (memo table, blackboxes)."""
+
+    __slots__ = ("parser", "grammar", "data", "memo", "memoize")
+
+    def __init__(self, parser: Parser, data: bytes):
+        self.parser = parser
+        self.grammar = parser.grammar
+        self.data = data
+        self.memo: Dict[tuple, object] = {}
+        self.memoize = parser.memoize
+
+    # -- nonterminal dispatch -------------------------------------------------
+    def parse_nonterminal(
+        self,
+        name: str,
+        lo: int,
+        hi: int,
+        outer_ctx: Optional[EvalContext],
+        local_rules: Optional[_LocalRules],
+    ):
+        """``s[lo, hi] ⊢ name ⇓ R`` with scoping for local rules."""
+        # 1. local (where) rules — never memoized, see the enclosing context.
+        if local_rules is not None:
+            local = local_rules.lookup(name)
+            if local is not None:
+                return self._parse_rule(local, lo, hi, outer_ctx, local_rules)
+        # 2. top-level rules — memoizable, independent of the caller context.
+        if self.grammar.has_rule(name):
+            key = (name, lo, hi)
+            if self.memoize and key in self.memo:
+                return self.memo[key]
+            result = self._parse_rule(self.grammar.rule(name), lo, hi, None, None)
+            if self.memoize:
+                self.memo[key] = result
+            return result
+        # 3. builtin integer / raw parsers (the `btoi` specialization).
+        if is_builtin(name):
+            return self._parse_builtin(name, lo, hi)
+        # 4. blackbox parsers.
+        if name in self.grammar.blackboxes:
+            return self._parse_blackbox(name, lo, hi)
+        raise IPGError(f"no rule, builtin or blackbox for nonterminal {name!r}")
+
+    def _parse_rule(
+        self,
+        rule: Rule,
+        lo: int,
+        hi: int,
+        outer_ctx: Optional[EvalContext],
+        local_rules: Optional[_LocalRules],
+    ):
+        for alternative in rule.alternatives:
+            result = self._parse_alternative(
+                rule.name, alternative, lo, hi, outer_ctx, local_rules
+            )
+            if result is not FAIL:
+                return result
+        return FAIL
+
+    def _parse_alternative(
+        self,
+        name: str,
+        alternative: Alternative,
+        lo: int,
+        hi: int,
+        outer_ctx: Optional[EvalContext],
+        local_rules: Optional[_LocalRules],
+    ):
+        ctx = EvalContext(initial_env(hi - lo), outer=outer_ctx)
+        children: List[ParseTree] = []
+        if alternative.local_rules:
+            local_rules = _LocalRules(
+                {rule.name: rule for rule in alternative.local_rules}, local_rules
+            )
+        for term in alternative.terms:
+            try:
+                ok = self._exec_term(term, ctx, children, lo, hi, local_rules)
+            except EvaluationError:
+                # A failing interval/attribute computation (division by zero,
+                # out-of-range array index, unbound attribute at runtime)
+                # fails the alternative, like the invalid-interval case of the
+                # binary-number example in section 2.
+                return FAIL
+            if not ok:
+                return FAIL
+        return Node(name, ctx.snapshot_env(), children)
+
+    # -- term execution ---------------------------------------------------------
+    def _exec_term(
+        self,
+        term: Term,
+        ctx: EvalContext,
+        children: List[ParseTree],
+        lo: int,
+        hi: int,
+        local_rules: Optional[_LocalRules],
+    ) -> bool:
+        if isinstance(term, TermAttrDef):
+            ctx.bind(term.name, term.expr.evaluate(ctx))
+            return True
+        if isinstance(term, TermGuard):
+            return term.expr.evaluate(ctx) != 0
+        if isinstance(term, TermTerminal):
+            return self._exec_terminal(term, ctx, children, lo, hi)
+        if isinstance(term, TermNonterminal):
+            return self._exec_nonterminal(term, ctx, children, lo, hi, local_rules)
+        if isinstance(term, TermArray):
+            return self._exec_array(term, ctx, children, lo, hi, local_rules)
+        if isinstance(term, TermSwitch):
+            return self._exec_switch(term, ctx, children, lo, hi, local_rules)
+        raise IPGError(f"unknown term kind {type(term).__name__}")  # pragma: no cover
+
+    def _interval(self, term, ctx: EvalContext, length: int):
+        """Evaluate a term's interval; returns ``(l, r)`` or ``None`` if invalid."""
+        left = term.interval.left.evaluate(ctx)
+        right = term.interval.right.evaluate(ctx)
+        if not 0 <= left <= right <= length:
+            return None
+        return left, right
+
+    def _exec_terminal(
+        self,
+        term: TermTerminal,
+        ctx: EvalContext,
+        children: List[ParseTree],
+        lo: int,
+        hi: int,
+    ) -> bool:
+        bounds = self._interval(term, ctx, hi - lo)
+        if bounds is None:
+            return False
+        left, right = bounds
+        literal = term.value
+        if right - left < len(literal):
+            return False
+        absolute = lo + left
+        if self.data[absolute : absolute + len(literal)] != literal:
+            return False
+        upd_start_end_in_place(ctx.env, left, left + len(literal), literal != b"")
+        children.append(Leaf(literal))
+        return True
+
+    def _exec_nonterminal(
+        self,
+        term: TermNonterminal,
+        ctx: EvalContext,
+        children: List[ParseTree],
+        lo: int,
+        hi: int,
+        local_rules: Optional[_LocalRules],
+    ) -> bool:
+        bounds = self._interval(term, ctx, hi - lo)
+        if bounds is None:
+            return False
+        left, right = bounds
+        result = self.parse_nonterminal(term.name, lo + left, lo + right, ctx, local_rules)
+        if result is FAIL:
+            return False
+        adjusted = _rebase(result, left)
+        upd_start_end_in_place(
+            ctx.env, adjusted.env["start"], adjusted.env["end"], result.env["end"] != 0
+        )
+        ctx.record_node(adjusted)
+        children.append(adjusted)
+        return True
+
+    def _exec_array(
+        self,
+        term: TermArray,
+        ctx: EvalContext,
+        children: List[ParseTree],
+        lo: int,
+        hi: int,
+        local_rules: Optional[_LocalRules],
+    ) -> bool:
+        first = term.start.evaluate(ctx)
+        stop = term.stop.evaluate(ctx)
+        element_name = term.element.name
+        elements: List[Node] = []
+        had_binding = term.var in ctx.env
+        saved = ctx.env.get(term.var)
+        # Make the (initially empty) array visible so that element intervals
+        # may reference earlier elements (e.g. `CDE(i - 1).end`).
+        ctx.arrays.setdefault(element_name, elements)
+        if ctx.arrays[element_name] is not elements:
+            elements = ctx.arrays[element_name]
+        try:
+            for index in range(first, stop):
+                ctx.env[term.var] = index
+                bounds = self._interval(term.element, ctx, hi - lo)
+                if bounds is None:
+                    return False
+                left, right = bounds
+                result = self.parse_nonterminal(
+                    element_name, lo + left, lo + right, ctx, local_rules
+                )
+                if result is FAIL:
+                    return False
+                adjusted = _rebase(result, left)
+                upd_start_end_in_place(
+                    ctx.env,
+                    adjusted.env["start"],
+                    adjusted.env["end"],
+                    result.env["end"] != 0,
+                )
+                elements.append(adjusted)
+        finally:
+            if had_binding:
+                ctx.env[term.var] = saved
+            else:
+                ctx.env.pop(term.var, None)
+        children.append(ArrayNode(element_name, list(elements)))
+        return True
+
+    def _exec_switch(
+        self,
+        term: TermSwitch,
+        ctx: EvalContext,
+        children: List[ParseTree],
+        lo: int,
+        hi: int,
+        local_rules: Optional[_LocalRules],
+    ) -> bool:
+        for case in term.cases:
+            if case.condition is None or case.condition.evaluate(ctx) != 0:
+                return self._exec_nonterminal(
+                    case.target, ctx, children, lo, hi, local_rules
+                )
+        return False
+
+    # -- builtins / blackboxes -------------------------------------------------
+    def _parse_builtin(self, name: str, lo: int, hi: int):
+        spec = BUILTINS[name]
+        outcome = spec.parse(self.data, lo, hi)
+        if outcome is BUILTIN_FAIL:
+            return FAIL
+        attrs, end, payload = outcome
+        env = {"EOI": hi - lo, "start": 0 if end else hi - lo, "end": end}
+        env.update(attrs)
+        children = [Leaf(payload)] if payload is not None else []
+        return Node(name, env, children)
+
+    def _parse_blackbox(self, name: str, lo: int, hi: int):
+        implementation = self.parser.blackboxes.get(name)
+        if implementation is None:
+            raise BlackboxError(
+                f"grammar declares blackbox {name!r} but no implementation was "
+                f"registered with the Parser"
+            )
+        window = self.data[lo:hi]
+        try:
+            raw = implementation(window)
+        except Exception as exc:  # the blackbox itself failed
+            raise BlackboxError(f"blackbox parser {name!r} raised: {exc}") from exc
+        outcome = normalize_blackbox_result(raw, hi - lo)
+        if outcome is BUILTIN_FAIL:
+            return FAIL
+        attrs, payload, end = outcome
+        env = {"EOI": hi - lo, "start": 0 if end else hi - lo, "end": end}
+        env.update(attrs)
+        children: List[ParseTree] = []
+        if payload is not None:
+            children.append(Leaf(payload))
+        return Node(name, env, children)
+
+
+def _rebase(node: Node, offset: int) -> Node:
+    """Re-base a callee node's ``start``/``end`` into the caller's coordinates.
+
+    Rule T-NTSucc: ``Node(B, E_B[start ↦ l + E_B[start], end ↦ l + E_B[end]], ...)``.
+    The original node is left untouched because it may be memoized.
+    """
+    env = dict(node.env)
+    env["start"] = offset + node.env.get("start", 0)
+    env["end"] = offset + node.env.get("end", 0)
+    rebased = Node(node.name, env, node.children)
+    return rebased
+
+
+def parse(
+    grammar: Union[Grammar, str],
+    data: bytes,
+    start: Optional[str] = None,
+    blackboxes: Optional[Dict[str, BlackboxCallable]] = None,
+) -> Node:
+    """One-shot convenience: build a :class:`Parser` and parse ``data``."""
+    return Parser(grammar, blackboxes=blackboxes).parse(data, start)

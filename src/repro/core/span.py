@@ -1,0 +1,97 @@
+"""Byte spans: zero-copy windows over the parsed input.
+
+The parsing semantics of IPGs hands each nonterminal a *slice* of the input
+(rule T-NTSucc parses ``s[l, r]`` with the rule of ``B``).  Copying slices
+would make parsing O(n²) in allocated memory, so the implementation threads a
+:class:`Span` — a view ``[lo, hi)`` over one shared immutable ``bytes``
+buffer — and performs all interval arithmetic relative to the span.  This is
+exactly the "zero-copy" behaviour the paper credits for IPG's advantage over
+Kaitai Struct on ZIP archives (section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open window ``[lo, hi)`` over a shared byte buffer.
+
+    Attributes
+    ----------
+    data:
+        The complete input buffer.  Never copied.
+    lo:
+        Absolute offset of the first byte visible to the current nonterminal.
+    hi:
+        Absolute offset one past the last visible byte.
+    """
+
+    data: bytes
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lo <= self.hi <= len(self.data):
+            raise ValueError(
+                f"invalid span [{self.lo}, {self.hi}) over buffer of "
+                f"length {len(self.data)}"
+            )
+
+    @classmethod
+    def whole(cls, data: bytes) -> "Span":
+        """Return the span covering the entire buffer."""
+        return cls(data, 0, len(data))
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def length(self) -> int:
+        """Length of the window; this is the ``EOI`` value for the window."""
+        return self.hi - self.lo
+
+    def sub(self, l: int, r: int) -> "Span":
+        """Return the sub-span for the *relative* interval ``[l, r)``.
+
+        ``l`` and ``r`` are offsets relative to this span, as interval
+        expressions are in the semantics.  The caller is responsible for
+        having validated ``0 <= l <= r <= len(self)``; this method checks it
+        again defensively.
+        """
+        if not 0 <= l <= r <= self.length:
+            raise ValueError(
+                f"relative interval [{l}, {r}) outside span of length {self.length}"
+            )
+        return Span(self.data, self.lo + l, self.lo + r)
+
+    def peek(self, l: int, r: int) -> bytes:
+        """Return the bytes of the relative interval ``[l, r)`` (copies)."""
+        if not 0 <= l <= r <= self.length:
+            raise ValueError(
+                f"relative interval [{l}, {r}) outside span of length {self.length}"
+            )
+        return self.data[self.lo + l : self.lo + r]
+
+    def bytes(self) -> bytes:
+        """Return the bytes covered by the span (copies)."""
+        return self.data[self.lo : self.hi]
+
+    def starts_with(self, prefix: bytes, at: int = 0) -> bool:
+        """Check whether ``prefix`` occurs at relative offset ``at``."""
+        if at < 0 or at + len(prefix) > self.length:
+            return False
+        start = self.lo + at
+        return self.data[start : start + len(prefix)] == prefix
+
+    def byte_at(self, i: int) -> int:
+        """Return the byte value at relative offset ``i``."""
+        if not 0 <= i < self.length:
+            raise IndexError(f"offset {i} outside span of length {self.length}")
+        return self.data[self.lo + i]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shown = self.bytes()[:16]
+        suffix = "..." if self.length > 16 else ""
+        return f"Span[{self.lo}:{self.hi}]({shown!r}{suffix})"

@@ -1,0 +1,192 @@
+"""Stream-parser analysis (section 8, future work, of the paper).
+
+The paper sketches how stream parsers could be supported: *"we can first
+have an analysis that determines if it is possible to generate a stream
+parser from an IPG: within each production rule, it checks if the attribute
+dependency is only from left to right."*  This module implements that
+analysis.
+
+An alternative is **streamable** when
+
+1. no term references an attribute (or the parse result) of a term that
+   appears *later* in the alternative as written — i.e. the dependency graph
+   of section 3.2 needs no reordering, and
+2. no interval endpoint moves the parsing position backwards relative to the
+   previous positional term: every explicitly written left endpoint must be
+   a forward reference (``0``, a constant, ``EOI``-relative offsets and
+   ``X.end`` of an earlier term are fine; attributes holding arbitrary file
+   offsets are not decidable statically and are reported as violations).
+
+A grammar is streamable when every alternative of every (top-level and
+local) rule is.  Directory-based formats such as ZIP and ELF fail this
+analysis (their whole point is random access); the network formats
+(IPv4+UDP, DNS) pass, which is exactly the class the paper's future-work
+stream parsers target.  The position check is conservative: a parsed value
+used as a *length* cannot be distinguished statically from one used as an
+*offset*, so grammars like GIF (whose color-table sizes are computed from a
+flags byte) are reported as non-streamable even though a streaming
+implementation is possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from .ast import (
+    Alternative,
+    Grammar,
+    Rule,
+    TermArray,
+    TermNonterminal,
+    TermSwitch,
+    TermTerminal,
+)
+from .attrcheck import dependency_edges
+from .autocomplete import complete_grammar
+from .expr import Dot, Expr, Name, Num
+from .grammar_parser import parse_grammar
+
+
+@dataclass
+class StreamabilityViolation:
+    """One reason an alternative cannot be parsed in streaming order."""
+
+    rule: str
+    alternative_index: int
+    kind: str  # "backward-dependency" or "non-monotone-interval"
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.rule} (alternative {self.alternative_index}): {self.kind}: {self.detail}"
+
+
+@dataclass
+class StreamabilityReport:
+    """Result of analysing a grammar for stream parsing."""
+
+    violations: List[StreamabilityViolation] = field(default_factory=list)
+
+    @property
+    def streamable(self) -> bool:
+        return not self.violations
+
+    def violating_rules(self) -> List[str]:
+        return sorted({violation.rule for violation in self.violations})
+
+    def summary(self) -> str:
+        if self.streamable:
+            return "streamable: every rule's dependencies flow left to right"
+        rules = ", ".join(self.violating_rules())
+        return (
+            f"not streamable: {len(self.violations)} violation(s) in rules {rules}"
+        )
+
+
+def _is_forward_left_endpoint(expr: Optional[Expr], definitions: dict, depth: int = 0) -> bool:
+    """Whether a left endpoint provably does not move backwards.
+
+    Accepted shapes: integer constants, ``EOI``-based offsets, ``X.end`` /
+    ``X.start`` references (positions of already parsed terms), conditionals
+    whose branches are both forward, arithmetic over forward components, and
+    local attributes whose defining expressions are themselves forward.
+    Anything that feeds a parsed *value* (``X.val``-style attributes) into a
+    position may encode the random access pattern and is flagged — this is
+    deliberately conservative; a value used as a length would be fine for a
+    stream parser but cannot be distinguished statically from an offset.
+    """
+    from .expr import BinOp, Cond, Index
+
+    if expr is None or depth > 16:
+        return expr is None
+    if isinstance(expr, Num):
+        return True
+    if isinstance(expr, Name):
+        if expr.ident == "EOI":
+            return True
+        defining = definitions.get(expr.ident)
+        if defining is None:
+            return False
+        return _is_forward_left_endpoint(defining, definitions, depth + 1)
+    if isinstance(expr, (Dot, Index)) and expr.attr in ("end", "start"):
+        return True
+    if isinstance(expr, BinOp) and expr.op in ("+", "-", "*", "/"):
+        return _is_forward_left_endpoint(
+            expr.left, definitions, depth + 1
+        ) and _is_forward_left_endpoint(expr.right, definitions, depth + 1)
+    if isinstance(expr, Cond):
+        return _is_forward_left_endpoint(
+            expr.then, definitions, depth + 1
+        ) and _is_forward_left_endpoint(expr.otherwise, definitions, depth + 1)
+    return False
+
+
+def _check_alternative(
+    rule: Rule, index: int, alternative: Alternative, report: StreamabilityReport
+) -> None:
+    # 1. Left-to-right attribute dependencies (no reordering needed).
+    for definer, user in dependency_edges(alternative.terms):
+        if definer > user:
+            report.violations.append(
+                StreamabilityViolation(
+                    rule=rule.name,
+                    alternative_index=index,
+                    kind="backward-dependency",
+                    detail=(
+                        f"term {user + 1} uses a value defined by the later "
+                        f"term {definer + 1}"
+                    ),
+                )
+            )
+    # 2. Monotone parsing position.
+    from .ast import TermAttrDef
+
+    definitions = {
+        term.name: term.expr
+        for term in alternative.terms
+        if isinstance(term, TermAttrDef)
+    }
+    for position, term in enumerate(alternative.terms):
+        intervals = []
+        if isinstance(term, (TermTerminal, TermNonterminal)):
+            intervals.append(term.interval)
+        elif isinstance(term, TermArray):
+            intervals.append(term.element.interval)
+        elif isinstance(term, TermSwitch):
+            intervals.extend(case.target.interval for case in term.cases)
+        for interval in intervals:
+            if not _is_forward_left_endpoint(interval.left, definitions):
+                report.violations.append(
+                    StreamabilityViolation(
+                        rule=rule.name,
+                        alternative_index=index,
+                        kind="non-monotone-interval",
+                        detail=(
+                            f"term {position + 1} starts at "
+                            f"{interval.left.to_source() if interval.left else '?'}, which may "
+                            f"jump to an arbitrary offset"
+                        ),
+                    )
+                )
+                break
+
+
+def analyze_streamability(grammar: Union[Grammar, str]) -> StreamabilityReport:
+    """Analyse whether a stream parser could be generated for ``grammar``.
+
+    The analysis runs on the grammar *as written* (before the attribute
+    checker's topological reordering), so it is performed on a freshly
+    parsed copy when a source text is available.
+    """
+    if isinstance(grammar, str):
+        grammar = parse_grammar(grammar)
+    elif grammar.checked and grammar.source is not None:
+        # Re-parse to recover the original, un-reordered term order.
+        grammar = parse_grammar(grammar.source)
+    complete_grammar(grammar)
+
+    report = StreamabilityReport()
+    for rule, _parent in grammar.iter_all_rules():
+        for index, alternative in enumerate(rule.alternatives):
+            _check_alternative(rule, index, alternative, report)
+    return report

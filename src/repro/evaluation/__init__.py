@@ -1,0 +1,22 @@
+"""Measurement harness behind the benchmark suite and EXPERIMENTS.md.
+
+* :mod:`repro.evaluation.metrics` — specification-size and interval-count
+  metrics (Table 1 and Table 2).
+* :mod:`repro.evaluation.timing` — parsing-time measurement helpers
+  (Figures 12 and 13).
+* :mod:`repro.evaluation.memory` — heap consumption measurement via
+  tracemalloc (Figure 14).
+* :mod:`repro.evaluation.report` — renders every table/figure of the paper
+  from fresh measurements; used to produce EXPERIMENTS.md.
+"""
+
+from .metrics import interval_statistics, spec_size_table
+from .memory import measure_peak_memory
+from .timing import measure_runtime
+
+__all__ = [
+    "interval_statistics",
+    "measure_peak_memory",
+    "measure_runtime",
+    "spec_size_table",
+]

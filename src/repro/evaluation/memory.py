@@ -1,0 +1,71 @@
+"""Heap-consumption measurement (Figure 14).
+
+The paper measures the heap memory of the generated C parsers with Valgrind.
+The Python equivalent used here is :mod:`tracemalloc`: the peak traced
+allocation size while the parser runs, minus the allocations that existed
+before it started.  Absolute numbers are not comparable with the paper's C
+measurements, but the comparison between the IPG parser and the Nail-like
+arena parser on the same packets preserves the figure's shape.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+
+@dataclass
+class MemoryMeasurement:
+    """Peak traced heap usage of one action, in bytes."""
+
+    peak_bytes: int
+    retained_bytes: int
+
+    @property
+    def peak_kib(self) -> float:
+        return self.peak_bytes / 1024.0
+
+
+def measure_peak_memory(action: Callable[[], object]) -> MemoryMeasurement:
+    """Run ``action`` under tracemalloc and report peak/retained bytes."""
+    gc.collect()
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    before_current, _before_peak = tracemalloc.get_traced_memory()
+    result = action()
+    after_current, after_peak = tracemalloc.get_traced_memory()
+    if not was_tracing:
+        tracemalloc.stop()
+    del result
+    return MemoryMeasurement(
+        peak_bytes=max(0, after_peak - before_current),
+        retained_bytes=max(0, after_current - before_current),
+    )
+
+
+@dataclass
+class MemorySeriesPoint:
+    """One point of a Figure 14 series."""
+
+    label: str
+    input_bytes: int
+    measurement: MemoryMeasurement
+
+
+def measure_memory_series(
+    parse: Callable[[bytes], object],
+    samples: Sequence[bytes],
+    labels: Sequence[str],
+) -> List[MemorySeriesPoint]:
+    """Measure peak heap usage of one parser across a series of samples."""
+    points: List[MemorySeriesPoint] = []
+    for sample, label in zip(samples, labels):
+        measurement = measure_peak_memory(lambda data=sample: parse(data))
+        points.append(
+            MemorySeriesPoint(label=label, input_bytes=len(sample), measurement=measurement)
+        )
+    return points

@@ -1,0 +1,322 @@
+"""Regenerate every table and figure of the paper's evaluation as text.
+
+Each ``experiment_*`` function measures one artifact (E1–E12 in DESIGN.md)
+and returns the rows as a formatted string; :func:`generate_full_report`
+concatenates all of them.  EXPERIMENTS.md is produced from this module, and
+``python -m repro.evaluation.report`` re-runs everything from scratch.
+
+The repeat counts default to small values so a full report takes tens of
+seconds; pass ``quick=False`` for more stable numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from .. import samples
+from ..baselines import handwritten, nail_like
+from ..baselines.kaitai_like import specs as kaitai_specs
+from ..core.termination import check_termination
+from ..formats import dns as dns_format
+from ..formats import elf as elf_format
+from ..formats import gif as gif_format
+from ..formats import ipv4 as ipv4_format
+from ..formats import pe as pe_format
+from ..formats import registry
+from ..formats import zipfmt as zip_format
+from .memory import measure_peak_memory
+from .metrics import aggregate_interval_shares, interval_table, spec_size_table
+from .timing import measure_runtime
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a plain-text table with aligned columns."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(row[i]) for row in text_rows), default=0))
+        for i in range(len(headers))
+    ]
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# E1 / E2: specification metrics
+# ---------------------------------------------------------------------------
+
+
+def experiment_table1() -> str:
+    """Table 1: lines of format specifications."""
+    rows = []
+    for row in spec_size_table():
+        rows.append(
+            [
+                row.fmt,
+                row.ipg_lines,
+                row.kaitai_lines if row.kaitai_lines is not None else "N/A",
+                row.nail_lines if row.nail_lines is not None else "N/A",
+            ]
+        )
+    return "Table 1 — lines of format specifications\n" + _table(
+        ["format", "IPG", "Kaitai-like", "Nail-like"], rows
+    )
+
+
+def experiment_table2() -> str:
+    """Table 2: intervals and implicit intervals."""
+    stats = interval_table()
+    rows = [
+        [s.fmt, s.total, s.fully_implicit, s.length_only, s.explicit]
+        for s in stats
+    ]
+    shares = aggregate_interval_shares(stats)
+    body = _table(
+        ["format", "intervals", "fully implicit", "length only", "explicit"], rows
+    )
+    return (
+        "Table 2 — intervals and implicit intervals\n"
+        + body
+        + f"\noverall: {shares['fully_implicit']:.1f}% fully implicit, "
+        + f"{shares['length_only']:.1f}% length-only"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: comparison with hand-written parsers
+# ---------------------------------------------------------------------------
+
+
+def experiment_fig12_unzip(quick: bool = True) -> str:
+    """Figure 12a/12b: unzip end-to-end and parsing time."""
+    counts = [2, 8, 32] if quick else [2, 8, 32, 64, 128]
+    repeats = 5 if quick else 30
+    zip_parser = zip_format.build_parser()
+    rows = []
+    for count in counts:
+        archive = samples.build_zip(member_count=count, member_size=2048)
+        ipg_parse = measure_runtime(lambda: zip_parser.parse(archive), repeats=repeats)
+        ipg_end_to_end = measure_runtime(
+            lambda: zip_format.extract_all(zip_parser.parse(archive)), repeats=repeats
+        )
+        hand_parse = measure_runtime(lambda: handwritten.zipfmt.parse(archive), repeats=repeats)
+        hand_end_to_end = measure_runtime(
+            lambda: handwritten.zipfmt.run_unzip(archive), repeats=repeats
+        )
+        rows.append(
+            [
+                f"{count} members ({len(archive)} B)",
+                f"{ipg_parse.mean_ms:.2f}",
+                f"{hand_parse.mean_ms:.2f}",
+                f"{ipg_end_to_end.mean_ms:.2f}",
+                f"{hand_end_to_end.mean_ms:.2f}",
+            ]
+        )
+    return "Figure 12a/12b — unzip (ms)\n" + _table(
+        ["archive", "IPG parse", "handwritten parse", "IPG end-to-end", "handwritten end-to-end"],
+        rows,
+    )
+
+
+def experiment_fig12_readelf(quick: bool = True) -> str:
+    """Figure 12c/12d: readelf end-to-end and parsing time."""
+    counts = [4, 16, 64] if quick else [4, 16, 64, 128, 256]
+    repeats = 5 if quick else 30
+    elf_parser = elf_format.build_parser()
+    rows = []
+    for count in counts:
+        binary = samples.build_elf(section_count=count, symbol_count=count * 4, dynamic_entries=16)
+        ipg_parse = measure_runtime(lambda: elf_parser.parse(binary), repeats=repeats)
+        ipg_end_to_end = measure_runtime(
+            lambda: elf_format.render_readelf(
+                elf_format.summarize(elf_parser.parse(binary), binary)
+            ),
+            repeats=repeats,
+        )
+        hand_parse = measure_runtime(lambda: handwritten.elf.parse(binary), repeats=repeats)
+        hand_end_to_end = measure_runtime(
+            lambda: handwritten.elf.run_readelf(binary), repeats=repeats
+        )
+        rows.append(
+            [
+                f"{count} sections ({len(binary)} B)",
+                f"{ipg_parse.mean_ms:.2f}",
+                f"{hand_parse.mean_ms:.2f}",
+                f"{ipg_end_to_end.mean_ms:.2f}",
+                f"{hand_end_to_end.mean_ms:.2f}",
+            ]
+        )
+    return "Figure 12c/12d — readelf (ms)\n" + _table(
+        ["binary", "IPG parse", "handwritten parse", "IPG end-to-end", "handwritten end-to-end"],
+        rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: parsing time per format, IPG vs baselines
+# ---------------------------------------------------------------------------
+
+
+def _fig13_rows(
+    sample_list: List[bytes],
+    labels: List[str],
+    parsers: Dict[str, Callable[[bytes], object]],
+    repeats: int,
+) -> List[List[str]]:
+    rows = []
+    for sample, label in zip(sample_list, labels):
+        row = [f"{label} ({len(sample)} B)"]
+        for parse in parsers.values():
+            measurement = measure_runtime(lambda data=sample: parse(data), repeats=repeats)
+            row.append(f"{measurement.mean_ms:.2f}")
+        rows.append(row)
+    return rows
+
+
+def experiment_fig13(fmt: str, quick: bool = True) -> str:
+    """Figure 13: parsing time for one format across input sizes."""
+    repeats = 5 if quick else 30
+    if fmt == "zip":
+        counts = [2, 8, 32] if quick else [2, 8, 32, 64, 128]
+        sample_list = [samples.build_zip(member_count=c, member_size=2048) for c in counts]
+        labels = [f"{c} members" for c in counts]
+        parser = zip_format.build_parser()
+        parsers = {
+            "IPG": parser.parse,
+            "Kaitai-like": kaitai_specs.get_engine("zip").parse,
+        }
+    elif fmt == "gif":
+        counts = [1, 4, 16] if quick else [1, 4, 16, 32, 64]
+        sample_list = [samples.build_gif(frame_count=c, bytes_per_frame=2048) for c in counts]
+        labels = [f"{c} frames" for c in counts]
+        parser = gif_format.build_parser()
+        parsers = {
+            "IPG": parser.parse,
+            "Kaitai-like": kaitai_specs.get_engine("gif").parse,
+        }
+    elif fmt == "pe":
+        counts = [2, 8, 16] if quick else [2, 8, 16, 32, 64]
+        sample_list = [samples.build_pe(section_count=c, section_size=2048) for c in counts]
+        labels = [f"{c} sections" for c in counts]
+        parser = pe_format.build_parser()
+        parsers = {
+            "IPG": parser.parse,
+            "Kaitai-like": kaitai_specs.get_engine("pe").parse,
+        }
+    elif fmt == "elf":
+        counts = [4, 16, 64] if quick else [4, 16, 64, 128, 256]
+        sample_list = [
+            samples.build_elf(section_count=c, symbol_count=c * 4, dynamic_entries=16)
+            for c in counts
+        ]
+        labels = [f"{c} sections" for c in counts]
+        parser = elf_format.build_parser()
+        parsers = {
+            "IPG": parser.parse,
+            "Kaitai-like": kaitai_specs.get_engine("elf").parse,
+        }
+    elif fmt == "dns":
+        counts = [1, 8, 32] if quick else [1, 8, 32, 64, 128]
+        sample_list = [samples.build_dns_response(answer_count=c) for c in counts]
+        labels = [f"{c} answers" for c in counts]
+        parser = dns_format.build_parser()
+        parsers = {
+            "IPG": parser.parse,
+            "Kaitai-like": kaitai_specs.get_engine("dns").parse,
+            "Nail-like": lambda data: nail_like.parse_dns(data)[0],
+        }
+    elif fmt == "ipv4":
+        sizes = [16, 256, 1400] if quick else [16, 128, 256, 512, 1400]
+        sample_list = [samples.build_ipv4_udp_packet(payload_size=s) for s in sizes]
+        labels = [f"{s} B payload" for s in sizes]
+        parser = ipv4_format.build_parser()
+        parsers = {
+            "IPG": parser.parse,
+            "Kaitai-like": kaitai_specs.get_engine("ipv4").parse,
+            "Nail-like": lambda data: nail_like.parse_ipv4_udp(data)[0],
+        }
+    else:
+        raise ValueError(f"unknown format {fmt!r}")
+    rows = _fig13_rows(sample_list, labels, parsers, repeats)
+    headers = ["input"] + [f"{name} (ms)" for name in parsers]
+    return f"Figure 13 — {fmt} parsing time\n" + _table(headers, rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: heap memory for packet parsing
+# ---------------------------------------------------------------------------
+
+
+def experiment_fig14(quick: bool = True) -> str:
+    """Figure 14: heap memory consumption for DNS and IPv4+UDP parsing."""
+    rows = []
+    dns_parser = dns_format.build_parser()
+    ipv4_parser = ipv4_format.build_parser()
+    dns_counts = [1, 8, 32] if quick else [1, 8, 32, 64, 128]
+    for count in dns_counts:
+        packet = samples.build_dns_response(answer_count=count)
+        ipg = measure_peak_memory(lambda: dns_parser.parse(packet))
+        nail = measure_peak_memory(lambda: nail_like.parse_dns(packet))
+        rows.append(
+            [f"dns {count} answers ({len(packet)} B)", f"{ipg.peak_kib:.1f}", f"{nail.peak_kib:.1f}"]
+        )
+    payload_sizes = [16, 256, 1400] if quick else [16, 128, 256, 512, 1400]
+    for size in payload_sizes:
+        packet = samples.build_ipv4_udp_packet(payload_size=size)
+        ipg = measure_peak_memory(lambda: ipv4_parser.parse(packet))
+        nail = measure_peak_memory(lambda: nail_like.parse_ipv4_udp(packet))
+        rows.append(
+            [f"ipv4 {size} B payload ({len(packet)} B)", f"{ipg.peak_kib:.1f}", f"{nail.peak_kib:.1f}"]
+        )
+    return "Figure 14 — peak heap (KiB)\n" + _table(["packet", "IPG", "Nail-like"], rows)
+
+
+# ---------------------------------------------------------------------------
+# E12: termination checking cost
+# ---------------------------------------------------------------------------
+
+
+def experiment_termination() -> str:
+    """Section 7 text: termination checking time and cycle counts."""
+    rows = []
+    for fmt, spec in registry.items():
+        report = check_termination(spec.grammar_text)
+        rows.append(
+            [
+                fmt,
+                "yes" if report.ok else "NO",
+                report.cycle_count,
+                f"{report.elapsed_seconds * 1000:.2f}",
+            ]
+        )
+    return "Termination checking (section 7)\n" + _table(
+        ["format", "terminates", "elementary cycles", "time (ms)"], rows
+    )
+
+
+def generate_full_report(quick: bool = True) -> str:
+    """Run every experiment and concatenate the rendered results."""
+    sections = [
+        experiment_table1(),
+        experiment_table2(),
+        experiment_fig12_unzip(quick),
+        experiment_fig12_readelf(quick),
+        experiment_fig13("zip", quick),
+        experiment_fig13("gif", quick),
+        experiment_fig13("pe", quick),
+        experiment_fig13("elf", quick),
+        experiment_fig13("dns", quick),
+        experiment_fig13("ipv4", quick),
+        experiment_fig14(quick),
+        experiment_termination(),
+    ]
+    return "\n\n".join(sections) + "\n"
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    import sys
+
+    quick_mode = "--full" not in sys.argv
+    print(generate_full_report(quick=quick_mode))

@@ -1,0 +1,80 @@
+"""Parsing-time measurement helpers (Figures 12 and 13).
+
+The paper reports the average parsing time of 1000 runs per sample (with the
+file read into memory beforehand to exclude disk I/O) plus the variance.
+:func:`measure_runtime` follows the same protocol with a configurable repeat
+count; the pytest-benchmark suite uses its own calibrated timer, so these
+helpers exist for the report generator and for tests that assert qualitative
+relationships ("IPG beats the Kaitai-like engine on ZIP") without the
+benchmark plugin.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+
+@dataclass
+class RuntimeMeasurement:
+    """Mean/variance of a repeated measurement, in seconds."""
+
+    mean: float
+    variance: float
+    minimum: float
+    repeats: int
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1000.0
+
+    def __repr__(self) -> str:
+        return f"{self.mean * 1000:.3f} ms (min {self.minimum * 1000:.3f} ms, n={self.repeats})"
+
+
+def measure_runtime(
+    action: Callable[[], object],
+    repeats: int = 30,
+    warmup: int = 2,
+) -> RuntimeMeasurement:
+    """Run ``action`` ``repeats`` times and report mean/variance/min."""
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    for _ in range(warmup):
+        action()
+    samples: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        action()
+        samples.append(time.perf_counter() - started)
+    return RuntimeMeasurement(
+        mean=statistics.fmean(samples),
+        variance=statistics.pvariance(samples),
+        minimum=min(samples),
+        repeats=repeats,
+    )
+
+
+@dataclass
+class SeriesPoint:
+    """One point of a figure series: input size vs measured runtime."""
+
+    label: str
+    input_bytes: int
+    measurement: RuntimeMeasurement
+
+
+def measure_series(
+    parse: Callable[[bytes], object],
+    samples: Sequence[bytes],
+    labels: Sequence[str],
+    repeats: int = 20,
+) -> List[SeriesPoint]:
+    """Measure one parser across a series of samples (one figure line)."""
+    points: List[SeriesPoint] = []
+    for sample, label in zip(samples, labels):
+        measurement = measure_runtime(lambda data=sample: parse(data), repeats=repeats)
+        points.append(SeriesPoint(label=label, input_bytes=len(sample), measurement=measurement))
+    return points

@@ -1,0 +1,32 @@
+"""IPG specifications of real file formats (section 4 and section 7).
+
+Each module in this package contains:
+
+* ``GRAMMAR`` — the IPG source text of the format specification,
+* ``build_parser()`` — a ready-to-use :class:`repro.Parser` (with blackbox
+  parsers registered where the format needs them, e.g. zlib for ZIP),
+* ``parse(data)`` — parse one file/packet and return the parse tree,
+* format-specific helpers that turn parse trees into Python summaries
+  (section listings, archive member tables, ...), used by the examples and
+  the benchmark harness.
+
+Formats covered (same set as the paper's evaluation): ZIP, GIF, PE, ELF,
+a PDF subset, IPv4+UDP and DNS, plus the paper's toy grammars in
+:mod:`repro.formats.toy`.
+"""
+
+from . import dns, elf, gif, ipv4, pdf, pe, toy, zipfmt
+from .base import FormatSpec, registry
+
+__all__ = [
+    "FormatSpec",
+    "dns",
+    "elf",
+    "gif",
+    "ipv4",
+    "pdf",
+    "pe",
+    "registry",
+    "toy",
+    "zipfmt",
+]

@@ -1,0 +1,66 @@
+"""Shared infrastructure for the format case studies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.ast import Grammar
+from ..core.builtins import BlackboxCallable
+from ..core.grammar_parser import parse_grammar
+from ..core.interpreter import Parser
+from ..core.parsetree import Node
+
+
+@dataclass
+class FormatSpec:
+    """One format case study: a named IPG plus its blackbox parsers."""
+
+    name: str
+    grammar_text: str
+    description: str = ""
+    blackboxes: Dict[str, BlackboxCallable] = field(default_factory=dict)
+    _parser: Optional[Parser] = field(default=None, repr=False)
+    _grammar: Optional[Grammar] = field(default=None, repr=False)
+
+    def grammar(self) -> Grammar:
+        """Parse (once) and return the grammar AST."""
+        if self._grammar is None:
+            self._grammar = parse_grammar(self.grammar_text)
+        return self._grammar
+
+    def build_parser(self, memoize: bool = True) -> Parser:
+        """Build a fresh parser for this format."""
+        return Parser(self.grammar_text, blackboxes=dict(self.blackboxes), memoize=memoize)
+
+    def parser(self) -> Parser:
+        """Return a cached parser instance (built on first use)."""
+        if self._parser is None:
+            self._parser = self.build_parser()
+        return self._parser
+
+    def parse(self, data: bytes) -> Node:
+        """Parse one input with the cached parser."""
+        return self.parser().parse(data)
+
+    def spec_line_count(self) -> int:
+        """Number of non-empty, non-comment lines in the IPG source.
+
+        This is the "lines of format specification" metric of Table 1.
+        """
+        count = 0
+        for line in self.grammar_text.splitlines():
+            stripped = line.strip()
+            if stripped and not stripped.startswith(("#", "//")):
+                count += 1
+        return count
+
+
+#: Global registry of format specs, keyed by short name ("elf", "zip", ...).
+registry: Dict[str, FormatSpec] = {}
+
+
+def register(spec: FormatSpec) -> FormatSpec:
+    """Add a spec to the global registry (used by the format modules)."""
+    registry[spec.name] = spec
+    return spec

@@ -1,0 +1,167 @@
+"""IPG specification of DNS messages (network-format case study).
+
+DNS is one of the two network packet formats of the paper's evaluation
+(Table 1, Figure 13e, Figure 14a).  Interesting aspects for interval
+parsing:
+
+* the header carries the *counts* of the four record sections, which drive
+  array terms whose element intervals chain through the previous element's
+  ``end`` attribute (names are variable length);
+* domain names are a recursive list of length-prefixed labels terminated by
+  a zero byte, or a 2-byte compression pointer (top two bits set).  As in
+  most declarative format descriptions, compression pointers are recognised
+  and recorded but not dereferenced during parsing (following them is a
+  post-parsing concern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.parsetree import Node
+from .base import FormatSpec, register
+
+GRAMMAR = r"""
+DNS -> Header[0, 12]
+       for i = 0 to Header.qdcount do Question[i = 0 ? 12 : Question(i - 1).end, EOI]
+       {anstart = Header.qdcount > 0 ? Question(Header.qdcount - 1).end : 12}
+       {rrcount = Header.ancount + Header.nscount + Header.arcount}
+       for i = 0 to rrcount do RR[i = 0 ? anstart : RR(i - 1).end, EOI] ;
+
+Header -> U16BE {id = U16BE.val}
+          U16BE {flags = U16BE.val}
+          U16BE {qdcount = U16BE.val}
+          U16BE {ancount = U16BE.val}
+          U16BE {nscount = U16BE.val}
+          U16BE {arcount = U16BE.val} ;
+
+Question -> Name
+            U16BE {qtype = U16BE.val}
+            U16BE {qclass = U16BE.val} ;
+
+// A domain name: either a compression pointer, or a label followed by the
+// rest of the name, or the root (a single zero byte).
+Name -> Pointer[2] / Label Name / "\x00" ;
+
+Pointer -> U16BE {target = U16BE.val}
+           guard(target >= 49152) ;
+
+Label -> U8 {len = U8.val}
+         guard(len > 0 && len < 64)
+         Bytes[len] ;
+
+RR -> Name
+      U16BE {rtype = U16BE.val}
+      U16BE {rclass = U16BE.val}
+      U32BE {ttl = U32BE.val}
+      U16BE {rdlength = U16BE.val}
+      RData[rdlength] ;
+
+RData -> Raw ;
+"""
+
+SPEC = register(
+    FormatSpec(
+        name="dns",
+        grammar_text=GRAMMAR,
+        description="DNS messages (queries and responses)",
+    )
+)
+
+
+def build_parser():
+    """Return a fresh DNS parser."""
+    return SPEC.build_parser()
+
+
+def parse(data: bytes) -> Node:
+    """Parse a DNS message and return the parse tree."""
+    return SPEC.parse(data)
+
+
+@dataclass
+class DnsQuestion:
+    """One entry of the question section."""
+
+    name: str
+    qtype: int
+    qclass: int
+
+
+@dataclass
+class DnsRecord:
+    """One resource record (answer, authority or additional)."""
+
+    name: str
+    rtype: int
+    rclass: int
+    ttl: int
+    rdlength: int
+
+
+@dataclass
+class DnsSummary:
+    """Counts plus decoded questions and records."""
+
+    transaction_id: int
+    flags: int
+    questions: List[DnsQuestion]
+    records: List[DnsRecord]
+
+
+def _decode_name(name_node: Node) -> str:
+    """Decode the textual form of a parsed Name node (pointers shown as @offset)."""
+    parts: List[str] = []
+    current = name_node
+    while current is not None:
+        pointer = current.child("Pointer")
+        if pointer is not None:
+            parts.append(f"@{pointer['target'] & 0x3FFF}")
+            break
+        label = current.child("Label")
+        if label is None:
+            break
+        raw = label.child("Bytes")
+        text = raw.children[0].value.decode("latin-1") if raw and raw.children else ""
+        parts.append(text)
+        current = current.child("Name")
+    return ".".join(parts) if parts else "."
+
+
+def summarize(tree: Node) -> DnsSummary:
+    """Extract the question and record sections from a parsed DNS message."""
+    header = tree.child("Header")
+    assert header is not None
+    questions: List[DnsQuestion] = []
+    question_array = tree.array("Question")
+    if question_array is not None:
+        for node in question_array:
+            name_node = node.child("Name")
+            questions.append(
+                DnsQuestion(
+                    name=_decode_name(name_node) if name_node else ".",
+                    qtype=node["qtype"],
+                    qclass=node["qclass"],
+                )
+            )
+    records: List[DnsRecord] = []
+    record_array = tree.array("RR")
+    if record_array is not None:
+        for node in record_array:
+            name_node = node.child("Name")
+            records.append(
+                DnsRecord(
+                    name=_decode_name(name_node) if name_node else ".",
+                    rtype=node["rtype"],
+                    rclass=node["rclass"],
+                    ttl=node["ttl"],
+                    rdlength=node["rdlength"],
+                )
+            )
+    return DnsSummary(
+        transaction_id=header["id"],
+        flags=header["flags"],
+        questions=questions,
+        records=records,
+    )

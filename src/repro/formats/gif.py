@@ -1,0 +1,180 @@
+"""IPG specification of the GIF format (chunk-based case study, section 4.2).
+
+GIF is the paper's representative of chunk-based formats: a fixed header and
+Logical Screen Descriptor followed by a list of blocks whose count is
+unknown until parsing reaches the trailer.  The block list is specified by
+the recursive rule
+
+    Blocks -> Block Blocks / Block
+
+which terminates because every block consumes at least one byte — this is
+the exact grammar the ``A.end > 0`` refinement of the termination checker
+(section 5) exists for.
+
+The grammar covers the block types present in real GIFs: extension blocks
+(graphic control, comment, application — all share the sub-block layout) and
+image descriptor blocks with optional local color tables and LZW-coded data
+stored as sub-blocks.  The LZW payload itself is kept as raw sub-block bytes
+(decoding it is a post-parsing concern, or a blackbox parser in the sense of
+section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.parsetree import Node
+from .base import FormatSpec, register
+
+GRAMMAR = r"""
+// Top-level rule of section 4.2: GIF -> Header LSD Blocks Trailer.  All four
+// intervals are implicit and chained by auto-completion.
+GIF -> Header[6] LSD Blocks Trailer ;
+
+Header -> "GIF89a" / "GIF87a" ;
+
+// Logical Screen Descriptor: fixed numbers plus an optional global color
+// table whose presence and size are encoded in the flags byte.
+LSD -> U16LE {width = U16LE.val}
+       U16LE {height = U16LE.val}
+       U8 {flags = U8.val}
+       U8 {bgcolor = U8.val}
+       U8 {aspect = U8.val}
+       {gct = flags >> 7}
+       {gctsize = 3 * (2 << (flags & 7))}
+       switch(gct = 1 : GlobalColorTable[gctsize] / Empty[0]) ;
+
+GlobalColorTable -> Raw ;
+Empty -> ""[0, 0] ;
+
+// The block list: length unknown until the trailer is reached.
+Blocks -> Block Blocks / Block ;
+Block -> ExtBlock / ImageBlock ;
+
+// Extension blocks: introducer 0x21, a label byte, then data sub-blocks.
+ExtBlock -> "\x21"
+            U8 {label = U8.val}
+            SubBlocks ;
+
+// Image blocks: descriptor, optional local color table, LZW minimum code
+// size, then the coded image data as sub-blocks.
+ImageBlock -> "\x2c"
+              U16LE {left = U16LE.val}
+              U16LE {top = U16LE.val}
+              U16LE {width = U16LE.val}
+              U16LE {height = U16LE.val}
+              U8 {flags = U8.val}
+              {lct = flags >> 7}
+              {lctsize = 3 * (2 << (flags & 7))}
+              {ctend = 10 + (lct = 1 ? lctsize : 0)}
+              switch(lct = 1 : LocalColorTable[lctsize] / Empty[0])
+              U8[ctend, ctend + 1] {lzwmin = U8.val}
+              SubBlocks[ctend + 1, EOI] ;
+
+LocalColorTable -> Raw ;
+
+// Data sub-blocks: (length, bytes) pairs terminated by a zero length byte.
+SubBlocks -> SubBlock SubBlocks / Terminator[1] ;
+SubBlock -> U8 {len = U8.val}
+            guard(len > 0)
+            Raw[len] ;
+Terminator -> "\x00" ;
+
+Trailer -> "\x3b" ;
+"""
+
+SPEC = register(
+    FormatSpec(
+        name="gif",
+        grammar_text=GRAMMAR,
+        description="GIF87a/GIF89a images (chunk-based format)",
+    )
+)
+
+
+def build_parser():
+    """Return a fresh GIF parser."""
+    return SPEC.build_parser()
+
+
+def parse(data: bytes) -> Node:
+    """Parse a GIF file and return the parse tree."""
+    return SPEC.parse(data)
+
+
+# ---------------------------------------------------------------------------
+# Tree → Python summaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GifBlockInfo:
+    """One block of a GIF file."""
+
+    kind: str  # "extension" or "image"
+    label: int
+    width: int
+    height: int
+    data_length: int
+
+
+@dataclass
+class GifSummary:
+    """Header-level information plus the block inventory."""
+
+    version: str
+    width: int
+    height: int
+    has_global_color_table: bool
+    global_color_table_size: int
+    blocks: List[GifBlockInfo]
+
+
+def _sub_block_bytes(node: Node) -> int:
+    """Total data bytes stored in the sub-block chain under ``node``."""
+    total = 0
+    for sub in node.find_all("SubBlock"):
+        total += sub["len"]
+    return total
+
+
+def summarize(tree: Node) -> GifSummary:
+    """Extract an inventory of a parsed GIF."""
+    header = tree.child("Header")
+    lsd = tree.child("LSD")
+    assert header is not None and lsd is not None
+    version = header.children[0].value.decode("ascii") if header.children else "GIF"
+
+    blocks: List[GifBlockInfo] = []
+    for block in tree.find_all("Block"):
+        extension = block.child("ExtBlock")
+        image = block.child("ImageBlock")
+        if extension is not None:
+            blocks.append(
+                GifBlockInfo(
+                    kind="extension",
+                    label=extension["label"],
+                    width=0,
+                    height=0,
+                    data_length=_sub_block_bytes(extension),
+                )
+            )
+        elif image is not None:
+            blocks.append(
+                GifBlockInfo(
+                    kind="image",
+                    label=0x2C,
+                    width=image["width"],
+                    height=image["height"],
+                    data_length=_sub_block_bytes(image),
+                )
+            )
+    return GifSummary(
+        version=version,
+        width=lsd["width"],
+        height=lsd["height"],
+        has_global_color_table=lsd["gct"] == 1,
+        global_color_table_size=lsd["gctsize"] if lsd["gct"] == 1 else 0,
+        blocks=blocks,
+    )

@@ -1,0 +1,111 @@
+"""IPG specification of IPv4 + UDP packets (network-format case study).
+
+The second network format of the paper's evaluation (Table 1, Figure 13f,
+Figure 14b).  The IPv4 header demonstrates the classic length-field pattern:
+the header length (IHL) is a 4-bit field whose value, multiplied by 4, gives
+the end of the header (and the start of the UDP datagram); the UDP length
+field bounds the payload.  Checksums are represented as plain attributes and
+*not* validated, matching the paper's decision to leave data-integrity
+checks to a separate validation pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.parsetree import Node
+from .base import FormatSpec, register
+
+GRAMMAR = r"""
+Packet -> IPv4Header UDP ;
+
+IPv4Header -> U8 {vihl = U8.val}
+              {version = vihl >> 4}
+              {ihl = vihl & 15}
+              guard(version = 4)
+              guard(ihl >= 5)
+              U8 {tos = U8.val}
+              U16BE {totlen = U16BE.val}
+              U16BE {ident = U16BE.val}
+              U16BE {fragflags = U16BE.val}
+              U8 {ttl = U8.val}
+              U8 {proto = U8.val}
+              guard(proto = 17)
+              U16BE {checksum = U16BE.val}
+              U32BE {src = U32BE.val}
+              U32BE {dst = U32BE.val}
+              Options[ihl * 4 - 20] ;
+
+Options -> Raw ;
+
+UDP -> U16BE {sport = U16BE.val}
+       U16BE {dport = U16BE.val}
+       U16BE {len = U16BE.val}
+       guard(len >= 8)
+       U16BE {checksum = U16BE.val}
+       Payload[len - 8] ;
+
+Payload -> Bytes ;
+"""
+
+SPEC = register(
+    FormatSpec(
+        name="ipv4",
+        grammar_text=GRAMMAR,
+        description="IPv4 headers carrying UDP datagrams",
+    )
+)
+
+
+def build_parser():
+    """Return a fresh IPv4+UDP parser."""
+    return SPEC.build_parser()
+
+
+def parse(data: bytes) -> Node:
+    """Parse a packet and return the parse tree."""
+    return SPEC.parse(data)
+
+
+@dataclass
+class PacketSummary:
+    """Decoded addressing information of one IPv4+UDP packet."""
+
+    source: str
+    destination: str
+    ttl: int
+    header_length: int
+    total_length: int
+    source_port: int
+    destination_port: int
+    udp_length: int
+    payload: Optional[bytes]
+
+
+def _dotted(address: int) -> str:
+    return ".".join(str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def summarize(tree: Node) -> PacketSummary:
+    """Extract the usual 5-tuple style summary of a parsed packet."""
+    ip_header = tree.child("IPv4Header")
+    udp = tree.child("UDP")
+    assert ip_header is not None and udp is not None
+    payload_node = udp.child("Payload")
+    payload = None
+    if payload_node is not None:
+        raw = payload_node.child("Bytes")
+        if raw is not None and raw.children:
+            payload = raw.children[0].value
+    return PacketSummary(
+        source=_dotted(ip_header["src"]),
+        destination=_dotted(ip_header["dst"]),
+        ttl=ip_header["ttl"],
+        header_length=ip_header["ihl"] * 4,
+        total_length=ip_header["totlen"],
+        source_port=udp["sport"],
+        destination_port=udp["dport"],
+        udp_length=udp["len"],
+        payload=payload,
+    )

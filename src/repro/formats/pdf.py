@@ -1,0 +1,149 @@
+"""IPG specification of a PDF subset (section 4.3 of the paper).
+
+Like the paper, this is not a full PDF parser; it covers the features that
+make PDF interesting for interval parsing:
+
+* **backward parsing** — the byte offset of the cross-reference table is
+  written just before ``%%EOF`` and its length is unknown, so the ``BNum``
+  rule parses the decimal number from right to left exactly as in
+  section 4.3;
+* **random access** — the ``startxref`` value points at the ``xref`` table,
+  whose entries in turn point at every object in the body;
+* **chained variable-length parsing** — object numbers and the entry count
+  in the ``xref`` header are plain ASCII decimals parsed by a recursive
+  ``Num`` rule, with the auto-completion feature (section 3.4) chaining
+  subsequent terms off their ``end`` attributes.
+
+Files accepted: a classic (non-linearized, single-revision) PDF skeleton as
+produced by :mod:`repro.samples.pdf` — header, ``N 0 obj ... endobj``
+bodies, an ``xref`` table with 20-byte entries, a trailer dictionary, the
+``startxref`` pointer and ``%%EOF``.  Incremental updates and linearization
+are out of scope, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.parsetree import Node
+from .base import FormatSpec, register
+
+#: Window (in bytes) at the end of the file searched for the startxref value;
+#: it only needs to cover "startxref\n<digits>\n%%EOF".
+TAIL_WINDOW = 40
+
+GRAMMAR = r"""
+PDF -> Header[0, EOI]
+       Tail[EOI - 40, EOI]
+       XrefHeader[Tail.startxref, EOI]
+       {tablestart = XrefHeader.end}
+       {count = XrefHeader.count}
+       for i = 0 to count do XrefEntry[tablestart + 20 * i, tablestart + 20 * (i + 1)]
+       for i = 1 to count do Obj[XrefEntry(i).ofs, EOI] ;
+
+Header -> "%PDF-1."[0, 7] Digit[7, 8] {version = Digit.v} ;
+
+// Backward parsing: the offset of the xref table is the decimal number that
+// ends 6 bytes before the end of the file ("\n%%EOF"); its start is unknown.
+Tail -> BNum[0, EOI - 6] {startxref = BNum.val}
+        "\n%%EOF"[EOI - 6, EOI] ;
+
+BNum -> BNum[0, EOI - 1] Digit[EOI - 1, EOI] {val = BNum.val * 10 + Digit.v}
+      / Digit[EOI - 1, EOI] {val = Digit.v} ;
+
+// Forward ASCII decimal number (greedy); pow is 10^digits so that the most
+// significant digit can be weighted when the recursion unwinds.
+Num -> Digit[0, 1] Num[1, EOI] {val = Digit.v * Num.pow + Num.val} {pow = Num.pow * 10}
+     / Digit[0, 1] {val = Digit.v} {pow = 10} ;
+
+Digit -> "0"[0, 1] {v = 0} / "1"[0, 1] {v = 1} / "2"[0, 1] {v = 2} / "3"[0, 1] {v = 3}
+       / "4"[0, 1] {v = 4} / "5"[0, 1] {v = 5} / "6"[0, 1] {v = 6} / "7"[0, 1] {v = 7}
+       / "8"[0, 1] {v = 8} / "9"[0, 1] {v = 9} ;
+
+// "xref" <eol> "0 " <count> <eol>; intervals are chained by auto-completion.
+XrefHeader -> "xref" Eol "0 " Num {count = Num.val} Eol2[Num.end, EOI] ;
+Eol -> "\r\n"[0, 2] / "\n"[0, 1] ;
+Eol2 -> "\r\n"[0, 2] / "\n"[0, 1] ;
+
+// One 20-byte cross-reference entry: 10-digit offset, 5-digit generation,
+// entry type ('n' in-use / 'f' free), 2-byte end-of-line.
+XrefEntry -> AsciiInt[0, 10] {ofs = AsciiInt.val}
+             AsciiInt[11, 16] {gen = AsciiInt.val}
+             TypeChar[17, 18] {inuse = TypeChar.inuse} ;
+TypeChar -> "n"[0, 1] {inuse = 1} / "f"[0, 1] {inuse = 0} ;
+
+// An indirect object: "<num> <gen> obj" ... "endobj".  The body length is
+// unknown, so ObjBody scans forward until the "endobj" keyword.
+Obj -> Num[0, EOI] {objnum = Num.val}
+       " "[Num.end, Num.end + 1]
+       GenNum[Num.end + 1, EOI] {gennum = GenNum.val}
+       " obj"[GenNum.end, GenNum.end + 4]
+       ObjBody[GenNum.end + 4, EOI] ;
+GenNum -> Num[0, EOI] {val = Num.val} ;
+ObjBody -> "endobj"[0, 6] / AnyByte[0, 1] ObjBody[1, EOI] ;
+AnyByte -> Raw[0, 1] ;
+"""
+
+SPEC = register(
+    FormatSpec(
+        name="pdf",
+        grammar_text=GRAMMAR,
+        description="PDF subset: header, objects, xref table, trailer pointer",
+    )
+)
+
+
+def build_parser():
+    """Return a fresh PDF parser."""
+    return SPEC.build_parser()
+
+
+def parse(data: bytes) -> Node:
+    """Parse a PDF file and return the parse tree."""
+    return SPEC.parse(data)
+
+
+@dataclass
+class PdfObjectInfo:
+    """One indirect object located through the xref table."""
+
+    number: int
+    generation: int
+    offset: int
+
+
+@dataclass
+class PdfSummary:
+    """Version, xref location and the object inventory."""
+
+    version: int
+    startxref: int
+    object_count: int
+    objects: List[PdfObjectInfo]
+
+
+def summarize(tree: Node) -> PdfSummary:
+    """Extract the object inventory from a parsed PDF."""
+    header = tree.child("Header")
+    tail = tree.child("Tail")
+    assert header is not None and tail is not None
+    entries = tree.array("XrefEntry")
+    objects_array = tree.array("Obj")
+    objects: List[PdfObjectInfo] = []
+    if entries is not None and objects_array is not None:
+        for position, obj in enumerate(objects_array, start=1):
+            entry = entries[position]
+            objects.append(
+                PdfObjectInfo(
+                    number=obj["objnum"],
+                    generation=obj["gennum"],
+                    offset=entry["ofs"],
+                )
+            )
+    return PdfSummary(
+        version=header["version"],
+        startxref=tail["startxref"],
+        object_count=tree["count"],
+        objects=objects,
+    )

@@ -1,0 +1,133 @@
+"""IPG specification of the PE (Portable Executable) format.
+
+PE is the Windows counterpart of ELF in the paper's evaluation (Table 1,
+Figure 13c).  Structurally it is directory-based: the DOS header at offset 0
+stores ``e_lfanew``, the offset of the PE signature; the COFF header that
+follows gives the number of sections and the size of the optional header;
+the section header table comes right after the optional header, and every
+section header points at its raw data with ``PointerToRawData`` /
+``SizeOfRawData`` — random access throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.parsetree import Node
+from .base import FormatSpec, register
+
+GRAMMAR = r"""
+PE -> DOSHeader[64]
+      "PE\x00\x00"[DOSHeader.lfanew, DOSHeader.lfanew + 4]
+      COFF[20]
+      OptHeader[COFF.optsize]
+      {shofs = OptHeader.end}
+      for i = 0 to COFF.nsections do SectionHeader[shofs + 40 * i, shofs + 40 * (i + 1)]
+      for i = 0 to COFF.nsections do Section[SectionHeader(i).rawptr,
+                                             SectionHeader(i).rawptr + SectionHeader(i).rawsize] ;
+
+// The 64-byte DOS ("MZ") header; only e_lfanew at offset 0x3c matters here.
+DOSHeader -> "MZ"
+             Raw[58]
+             U32LE {lfanew = U32LE.val} ;
+
+// COFF file header: 20 bytes after the PE signature.
+COFF -> U16LE {machine = U16LE.val}
+        U16LE {nsections = U16LE.val}
+        U32LE {timestamp = U32LE.val}
+        U32LE {symtabptr = U32LE.val}
+        U32LE {nsymbols = U32LE.val}
+        U16LE {optsize = U16LE.val}
+        U16LE {characteristics = U16LE.val} ;
+
+// Optional header: magic (0x10b = PE32, 0x20b = PE32+) plus opaque rest.
+OptHeader -> U16LE {magic = U16LE.val}
+             Raw ;
+
+// 40-byte section header.
+SectionHeader -> NameField[8]
+                 U32LE {vsize = U32LE.val}
+                 U32LE {vaddr = U32LE.val}
+                 U32LE {rawsize = U32LE.val}
+                 U32LE {rawptr = U32LE.val}
+                 U32LE {relocptr = U32LE.val}
+                 U32LE {linenoptr = U32LE.val}
+                 U16LE {nrelocs = U16LE.val}
+                 U16LE {nlinenos = U16LE.val}
+                 U32LE {characteristics = U32LE.val} ;
+
+NameField -> Bytes ;
+Section -> Raw ;
+"""
+
+SPEC = register(
+    FormatSpec(
+        name="pe",
+        grammar_text=GRAMMAR,
+        description="PE (Portable Executable) binaries, section view",
+    )
+)
+
+
+def build_parser():
+    """Return a fresh PE parser."""
+    return SPEC.build_parser()
+
+
+def parse(data: bytes) -> Node:
+    """Parse a PE file and return the parse tree."""
+    return SPEC.parse(data)
+
+
+@dataclass
+class PeSectionInfo:
+    """Summary of one PE section."""
+
+    name: str
+    virtual_size: int
+    virtual_address: int
+    raw_size: int
+    raw_pointer: int
+
+
+@dataclass
+class PeSummary:
+    """Header fields plus the section table."""
+
+    machine: int
+    optional_magic: int
+    section_count: int
+    sections: List[PeSectionInfo]
+
+
+def summarize(tree: Node) -> PeSummary:
+    """Extract header and section information from a PE parse tree."""
+    coff = tree.child("COFF")
+    optional = tree.child("OptHeader")
+    assert coff is not None and optional is not None
+    sections: List[PeSectionInfo] = []
+    headers = tree.array("SectionHeader")
+    if headers is not None:
+        for header in headers:
+            name_node = header.child("NameField")
+            raw = b""
+            if name_node is not None:
+                bytes_child = name_node.child("Bytes")
+                if bytes_child is not None and bytes_child.children:
+                    raw = bytes_child.children[0].value
+            sections.append(
+                PeSectionInfo(
+                    name=raw.rstrip(b"\x00").decode("latin-1"),
+                    virtual_size=header["vsize"],
+                    virtual_address=header["vaddr"],
+                    raw_size=header["rawsize"],
+                    raw_pointer=header["rawptr"],
+                )
+            )
+    return PeSummary(
+        machine=coff["machine"],
+        optional_magic=optional["magic"],
+        section_count=coff["nsections"],
+        sections=sections,
+    )

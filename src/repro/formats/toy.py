@@ -1,0 +1,195 @@
+"""The paper's toy grammars, kept as named constants for tests and examples.
+
+Every grammar that appears as a figure or inline example in the paper is
+reproduced here in the surface syntax, so the test suite can check the exact
+behaviours the paper describes (acceptance, attribute values, termination
+verdicts) and the documentation can point at runnable versions of the
+figures.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+#: Figure 1 — intervals anchor nonterminals to slices of the input;
+#: accepts any string of the form "aa...bb".
+FIGURE_1 = """
+S -> A[0, 2] B[EOI - 2, EOI] ;
+A -> "aa"[0, 2] ;
+B -> "bb"[0, 2] ;
+"""
+
+#: Figure 2 — the random access pattern: an 8-byte header holds the offset
+#: and length of the data that follows.  (``Int`` of the paper is the
+#: builtin ``U32LE`` here, i.e. the ``btoi`` specialization of section 7.)
+FIGURE_2 = """
+S -> H[0, 8] Data[H.offset, H.offset + H.length] ;
+H -> U32LE[0, 4] {offset = U32LE.val}
+     U32LE[4, 8] {length = U32LE.val} ;
+Data -> Raw[0, EOI] ;
+"""
+
+#: Figure 3 — the binary-number parser: left recursion terminates because
+#: the interval shrinks at every level.
+FIGURE_3 = """
+Int -> Int[0, EOI - 1] Digit[EOI - 1, EOI] {val = 2 * Int.val + Digit.val}
+     / Digit[0, 1] {val = Digit.val} ;
+Digit -> "0"[0, 1] {val = 0} / "1"[0, 1] {val = 1} ;
+"""
+
+#: Figure 4 — the special attribute ``end``: accepts "10...0stop".
+FIGURE_4 = """
+S -> "1"[0, 1] O[1, EOI] "stop"[O.end, EOI] ;
+O -> "0"[0, 1] O[1, EOI] / "0"[0, 1] ;
+"""
+
+#: Figure 6 — arrays, array-element attribute references and predicates.
+FIGURE_6 = """
+S -> H[0, 4] {size = 4}
+     for i = 0 to H.num do A[4 + size * i, 4 + size * (i + 1)]
+     {a0 = A(0).val}
+     guard(a0 > 0 && a0 < 10) ;
+H -> U32LE[0, 4] {num = U32LE.val} ;
+A -> U32LE[0, 4] {val = U32LE.val} ;
+"""
+
+#: Section 3.5 — the non-context-free language {a^n b^n c^n | n > 0}.
+#: The paper's grammar is extended with ``guard(X.end = ...)`` predicates so
+#: that each letter block must cover its whole interval: the big-step
+#: semantics only requires a nonterminal to describe a *prefix* of its
+#: interval, so without the guards strings such as ``"aabaca"`` would also be
+#: accepted (A, B and C each match a single leading letter).
+ANBNCN = """
+S -> guard(EOI % 3 = 0) guard(EOI > 0) {n = EOI / 3}
+     A[0, n] guard(A.end = n)
+     B[n, 2 * n] guard(B.end = 2 * n)
+     C[2 * n, 3 * n] guard(C.end = 3 * n) ;
+A -> "a"[0, 1] A[1, EOI] / "a"[0, 1] ;
+B -> "b"[0, 1] B[1, EOI] / "b"[0, 1] ;
+C -> "c"[0, 1] C[1, EOI] / "c"[0, 1] ;
+"""
+
+#: Section 4.3 — backward parsing of a decimal number (PDF ``startxref``).
+BACKWARD_NUMBER = """
+BNum -> BNum[0, EOI - 1] Digit[EOI - 1, EOI] {v = BNum.v * 10 + Digit.v}
+      / Digit[EOI - 1, EOI] {v = Digit.v} ;
+Digit -> "0"[0, 1] {v = 0} / "1"[0, 1] {v = 1} / "2"[0, 1] {v = 2} / "3"[0, 1] {v = 3}
+       / "4"[0, 1] {v = 4} / "5"[0, 1] {v = 5} / "6"[0, 1] {v = 6} / "7"[0, 1] {v = 7}
+       / "8"[0, 1] {v = 8} / "9"[0, 1] {v = 9} ;
+"""
+
+#: Section 4.3 — two-pass parsing: object lengths are stored in *other*
+#: objects' headers, so the object region is scanned twice (all object
+#: headers first, then the objects with their lengths known).  Layout used
+#: by :func:`build_two_pass_input`: an 8-byte header (count, table offset),
+#: ``count`` 8-byte slot entries (offset of each object record), then the
+#: records; each record is an 8-byte object header (link, length of the
+#: record it *links to*) followed by payload bytes.
+TWO_PASS = """
+S -> H[0, 8]
+     for i = 0 to H.num do SH[H.ofs + 8 * i, H.ofs + 8 * (i + 1)]
+     for i = 0 to H.num do OH[SH(i).ofs, SH(i).ofs + 8]
+     for i = 0 to H.num do Obj[SH(i).ofs,
+                               SH(i).ofs + (exists j . OH(j).link = i ? OH(j).len : -1)] ;
+H -> U32LE[0, 4] {num = U32LE.val}
+     U32LE[4, 8] {ofs = U32LE.val} ;
+SH -> U32LE[0, 4] {ofs = U32LE.val} U32LE[4, 8] {pad = U32LE.val} ;
+OH -> U32LE[0, 4] {link = U32LE.val} U32LE[4, 8] {len = U32LE.val} ;
+Obj -> Raw[0, EOI] ;
+"""
+
+#: Section 5 — the mutually recursive grammar that obviously loops forever.
+NON_TERMINATING_MUTUAL = """
+A -> B[0, EOI] / "s"[0, 1] ;
+B -> A[0, EOI] / "s"[0, 1] ;
+"""
+
+#: Figure 11b — the IPG equivalent of Kaitai's seek-loop: may not terminate
+#: because ``Num.val`` can be 0.
+NON_TERMINATING_SEEK = """
+S -> Num[0, 1] S[Num.val, EOI] / "x"[0, 1] ;
+Num -> U8[0, 1] {val = U8.val} ;
+"""
+
+#: Figure 11d — repeating the empty string: may not terminate because the
+#: interval never shrinks.
+NON_TERMINATING_EPSILON = """
+S -> ""[0, 0] S[0, EOI] / ""[0, 0] ;
+"""
+
+#: Section 3.4 — implicit intervals: the completed form of
+#: ``S -> "magic" A B[10]``.
+IMPLICIT_INTERVALS = """
+S -> "magic" A B[10] ;
+A -> Raw[0, 5] ;
+B -> Raw[0, EOI] ;
+"""
+
+#: All named toy grammars, for parameterized tests.
+ALL_GRAMMARS: Dict[str, str] = {
+    "figure_1": FIGURE_1,
+    "figure_2": FIGURE_2,
+    "figure_3": FIGURE_3,
+    "figure_4": FIGURE_4,
+    "figure_6": FIGURE_6,
+    "anbncn": ANBNCN,
+    "backward_number": BACKWARD_NUMBER,
+    "two_pass": TWO_PASS,
+    "implicit_intervals": IMPLICIT_INTERVALS,
+}
+
+#: Grammars the termination checker must reject.
+NON_TERMINATING_GRAMMARS: Dict[str, str] = {
+    "mutual": NON_TERMINATING_MUTUAL,
+    "seek": NON_TERMINATING_SEEK,
+    "epsilon": NON_TERMINATING_EPSILON,
+}
+
+
+def build_figure_2_input(offset: int = 10, length: int = 4, payload: bytes = b"PAYL") -> bytes:
+    """An input accepted by :data:`FIGURE_2` with the given header fields."""
+    if offset < 8:
+        raise ValueError("the data offset must not overlap the 8-byte header")
+    if len(payload) < length:
+        raise ValueError("payload shorter than the declared length")
+    data = bytearray(struct.pack("<II", offset, length))
+    data.extend(b"\x00" * (offset - len(data)))
+    data.extend(payload)
+    return bytes(data)
+
+
+def build_figure_6_input(values) -> bytes:
+    """An input for :data:`FIGURE_6`: a count followed by 32-bit values."""
+    values = list(values)
+    return struct.pack("<I", len(values)) + b"".join(struct.pack("<I", v) for v in values)
+
+
+def build_two_pass_input(payload_sizes) -> bytes:
+    """Build an input for the :data:`TWO_PASS` grammar.
+
+    ``payload_sizes`` gives the payload length of each object record.  The
+    header of record ``i`` describes the *next* record (``link = (i+1) %
+    count``), so no record's length can be known without first reading every
+    header — forcing the two-pass behaviour the grammar specifies.
+    """
+    payload_sizes = list(payload_sizes)
+    count = len(payload_sizes)
+    table_offset = 8
+    record_start = table_offset + 8 * count
+
+    record_offsets = []
+    cursor = record_start
+    for size in payload_sizes:
+        record_offsets.append(cursor)
+        cursor += 8 + size
+    record_lengths = [8 + size for size in payload_sizes]
+
+    blob = bytearray(struct.pack("<II", count, table_offset))
+    for offset in record_offsets:
+        blob.extend(struct.pack("<II", offset, 0))
+    for index, size in enumerate(payload_sizes):
+        linked = (index + 1) % count
+        blob.extend(struct.pack("<II", linked, record_lengths[linked]))
+        blob.extend(bytes((index * 37 + k) & 0xFF for k in range(size)))
+    return bytes(blob)

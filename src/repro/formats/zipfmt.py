@@ -1,0 +1,261 @@
+"""IPG specification of the ZIP format (directory-based, with a blackbox).
+
+ZIP is the second directory-based case study of the paper and the format
+used for the ``unzip`` comparison of section 7:
+
+* the End Of Central Directory (EOCD) record sits at the *end* of the file
+  and holds the offset and entry count of the central directory — parsed
+  with the interval ``[EOI - 22, EOI]`` (archives without a trailing comment,
+  as produced by the sample generator);
+* the central directory is a sequence of variable-length entries; each
+  element's interval chains from the previous element's ``end`` attribute
+  (``CDE(i-1).end``), demonstrating attribute references into arrays;
+* each central directory entry stores the offset of the member's local file
+  header, from which the compressed data is located — random access again;
+* decompression is delegated to a *blackbox parser* (section 3.4) backed by
+  :mod:`zlib`, mirroring the paper's reuse of zlib inside the IPG ZIP parser.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.builtins import BlackboxResult
+from ..core.parsetree import Node
+from .base import FormatSpec, register
+
+GRAMMAR = r"""
+blackbox Inflate ;
+
+ZIP -> EOCD[EOI - 22, EOI]
+       for i = 0 to EOCD.total do CDE[i = 0 ? EOCD.cdofs : CDE(i - 1).end, EOI]
+       for i = 0 to EOCD.total do Entry[CDE(i).lfhofs, EOI]
+         where {
+           Entry -> LFH
+                    switch(CDE(i).method = 8 : Deflated[CDE(i).csize]
+                          / Stored[CDE(i).csize]) ;
+         } ;
+
+// End of central directory record ("PK\x05\x06"), 22 bytes without comment.
+// The field intervals are implicit: each chains off the previous field.
+EOCD -> "PK\x05\x06"
+        U16LE {disk = U16LE.val}
+        U16LE {cddisk = U16LE.val}
+        U16LE {diskentries = U16LE.val}
+        U16LE {total = U16LE.val}
+        U32LE {cdsize = U32LE.val}
+        U32LE {cdofs = U32LE.val}
+        U16LE {commentlen = U16LE.val} ;
+
+// Central directory entry ("PK\x01\x02"), 46 bytes plus three variable parts.
+CDE -> "PK\x01\x02"
+       U16LE {vermade = U16LE.val}
+       U16LE {verneed = U16LE.val}
+       U16LE {flags = U16LE.val}
+       U16LE {method = U16LE.val}
+       U16LE {mtime = U16LE.val}
+       U16LE {mdate = U16LE.val}
+       U32LE {crc = U32LE.val}
+       U32LE {csize = U32LE.val}
+       U32LE {usize = U32LE.val}
+       U16LE {fnlen = U16LE.val}
+       U16LE {eflen = U16LE.val}
+       U16LE {cmlen = U16LE.val}
+       U16LE {diskno = U16LE.val}
+       U16LE {iattr = U16LE.val}
+       U32LE {eattr = U32LE.val}
+       U32LE {lfhofs = U32LE.val}
+       FileName[fnlen]
+       Raw[eflen + cmlen] ;
+
+FileName -> Bytes ;
+
+// Local file header ("PK\x03\x04"), 30 bytes plus file name and extra field.
+LFH -> "PK\x03\x04"
+       U16LE {verneed = U16LE.val}
+       U16LE {flags = U16LE.val}
+       U16LE {method = U16LE.val}
+       U16LE {mtime = U16LE.val}
+       U16LE {mdate = U16LE.val}
+       U32LE {crc = U32LE.val}
+       U32LE {csize = U32LE.val}
+       U32LE {usize = U32LE.val}
+       U16LE {fnlen = U16LE.val}
+       U16LE {eflen = U16LE.val}
+       FileName[fnlen]
+       Raw[eflen] ;
+
+Stored -> Bytes ;
+Deflated -> Inflate ;
+"""
+
+#: Metadata-only variant: parses the end-of-central-directory record and the
+#: central directory but never touches (or copies) the archived data — the
+#: "zero-copy parser that just skips archived file data" the paper credits
+#: for IPG's advantage over Kaitai Struct on ZIP (section 7, Figure 13a).
+METADATA_GRAMMAR = r"""
+ZIP -> EOCD[EOI - 22, EOI]
+       for i = 0 to EOCD.total do CDE[i = 0 ? EOCD.cdofs : CDE(i - 1).end, EOI] ;
+
+EOCD -> "PK\x05\x06"
+        U16LE {disk = U16LE.val}
+        U16LE {cddisk = U16LE.val}
+        U16LE {diskentries = U16LE.val}
+        U16LE {total = U16LE.val}
+        U32LE {cdsize = U32LE.val}
+        U32LE {cdofs = U32LE.val}
+        U16LE {commentlen = U16LE.val} ;
+
+CDE -> "PK\x01\x02"
+       U16LE {vermade = U16LE.val}
+       U16LE {verneed = U16LE.val}
+       U16LE {flags = U16LE.val}
+       U16LE {method = U16LE.val}
+       U16LE {mtime = U16LE.val}
+       U16LE {mdate = U16LE.val}
+       U32LE {crc = U32LE.val}
+       U32LE {csize = U32LE.val}
+       U32LE {usize = U32LE.val}
+       U16LE {fnlen = U16LE.val}
+       U16LE {eflen = U16LE.val}
+       U16LE {cmlen = U16LE.val}
+       U16LE {diskno = U16LE.val}
+       U16LE {iattr = U16LE.val}
+       U32LE {eattr = U32LE.val}
+       U32LE {lfhofs = U32LE.val}
+       FileName[fnlen]
+       Raw[eflen + cmlen] ;
+
+FileName -> Bytes ;
+"""
+
+
+def inflate_blackbox(data: bytes) -> BlackboxResult:
+    """Blackbox parser wrapping zlib's raw-deflate decoder.
+
+    The grammar hands this callable exactly the compressed bytes of one
+    archive member (the interval ``[LFH.end, LFH.end + CDE(i).csize]``);
+    the decompressed payload is attached to the parse tree as a leaf.
+    """
+    decompressor = zlib.decompressobj(-zlib.MAX_WBITS)
+    payload = decompressor.decompress(data) + decompressor.flush()
+    return BlackboxResult(attrs={"usize": len(payload)}, payload=payload)
+
+
+SPEC = register(
+    FormatSpec(
+        name="zip",
+        grammar_text=GRAMMAR,
+        description="ZIP archives (directory-based format, zlib blackbox)",
+        blackboxes={"Inflate": inflate_blackbox},
+    )
+)
+
+#: Zero-copy variant used by the Figure 13a comparison (metadata only).
+METADATA_SPEC = register(
+    FormatSpec(
+        name="zip-meta",
+        grammar_text=METADATA_GRAMMAR,
+        description="ZIP central directory only (zero-copy, no decompression)",
+    )
+)
+
+
+def build_parser():
+    """Return a fresh ZIP parser (with the zlib blackbox registered)."""
+    return SPEC.build_parser()
+
+
+def build_metadata_parser():
+    """Return a parser for the zero-copy, metadata-only ZIP grammar."""
+    return METADATA_SPEC.build_parser()
+
+
+def parse(data: bytes) -> Node:
+    """Parse a ZIP archive and return the parse tree."""
+    return SPEC.parse(data)
+
+
+# ---------------------------------------------------------------------------
+# Tree → Python summaries (used by the unzip-like example and benchmarks)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ZipMember:
+    """One archive member: central-directory metadata plus extracted data."""
+
+    name: str
+    method: int
+    compressed_size: int
+    uncompressed_size: int
+    crc32: int
+    data: Optional[bytes]
+
+
+def list_members(tree: Node) -> List[ZipMember]:
+    """Return the member table of a parsed archive (metadata only)."""
+    members: List[ZipMember] = []
+    entries = tree.array("CDE")
+    if entries is None:
+        return members
+    for entry in entries:
+        name_node = entry.child("FileName")
+        raw_name = b""
+        if name_node is not None:
+            bytes_node = name_node.child("Bytes")
+            if bytes_node is not None and bytes_node.children:
+                raw_name = bytes_node.children[0].value
+        members.append(
+            ZipMember(
+                name=raw_name.decode("utf-8", "replace"),
+                method=entry["method"],
+                compressed_size=entry["csize"],
+                uncompressed_size=entry["usize"],
+                crc32=entry["crc"],
+                data=None,
+            )
+        )
+    return members
+
+
+def extract_all(tree: Node) -> Dict[str, bytes]:
+    """Extract every member's decompressed contents from the parse tree."""
+    members = list_members(tree)
+    out: Dict[str, bytes] = {}
+    entry_nodes = tree.array("Entry")
+    if entry_nodes is None:
+        return out
+    for member, entry in zip(members, entry_nodes):
+        stored = entry.child("Stored")
+        deflated = entry.child("Deflated")
+        if deflated is not None:
+            inflate = deflated.child("Inflate")
+            if inflate is not None and inflate.children:
+                out[member.name] = inflate.children[0].value
+            else:
+                out[member.name] = b""
+        elif stored is not None:
+            payload_node = stored.child("Bytes")
+            out[member.name] = (
+                payload_node.children[0].value
+                if payload_node is not None and payload_node.children
+                else b""
+            )
+        else:
+            out[member.name] = b""
+    return out
+
+
+def verify_crc(extracted: Dict[str, bytes], members: List[ZipMember]) -> bool:
+    """Check the CRC32 of every extracted member against the directory."""
+    by_name = {member.name: member for member in members}
+    for name, payload in extracted.items():
+        member = by_name.get(name)
+        if member is None:
+            return False
+        if zlib.crc32(payload) & 0xFFFFFFFF != member.crc32:
+            return False
+    return True

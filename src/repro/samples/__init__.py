@@ -1,0 +1,32 @@
+"""Synthetic sample generators for every evaluated format.
+
+The paper evaluates its parsers on real-world corpora (Linux and Windows
+executables, GIFs from the Internet, captured network packets).  Those
+corpora are not available offline, so this package provides generators that
+build structurally valid files and packets of parameterized size; every
+generator exercises the same grammar paths the real files would (random
+access, central directories, chunk lists, variable-length names, length
+fields).  See DESIGN.md, "Substitutions".
+
+All generators are deterministic: the same parameters (and seed, where one
+is accepted) always produce the same bytes, so benchmarks are reproducible.
+"""
+
+from .dns import build_dns_query, build_dns_response
+from .elf import build_elf
+from .gif import build_gif
+from .ipv4 import build_ipv4_udp_packet
+from .pdf import build_pdf
+from .pe import build_pe
+from .zipfmt import build_zip
+
+__all__ = [
+    "build_dns_query",
+    "build_dns_response",
+    "build_elf",
+    "build_gif",
+    "build_ipv4_udp_packet",
+    "build_pdf",
+    "build_pe",
+    "build_zip",
+]

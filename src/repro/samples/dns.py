@@ -1,0 +1,88 @@
+"""Synthetic DNS messages for tests and benchmarks.
+
+:func:`build_dns_query` and :func:`build_dns_response` produce well-formed
+wire-format messages.  Responses use name compression (a pointer back to the
+question name) for the answer records, so the grammar's ``Pointer``
+alternative is exercised, and the record counts scale the packet size for
+the Figure 13e / Figure 14a experiments.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+QTYPE_A = 1
+QCLASS_IN = 1
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a dotted domain name into wire format (no compression)."""
+    out = bytearray()
+    for label in name.strip(".").split("."):
+        if not label:
+            continue
+        raw = label.encode("ascii")
+        if len(raw) > 63:
+            raise ValueError(f"label too long: {label!r}")
+        out.append(len(raw))
+        out.extend(raw)
+    out.append(0)
+    return bytes(out)
+
+
+def _header(
+    transaction_id: int,
+    flags: int,
+    qdcount: int,
+    ancount: int,
+    nscount: int,
+    arcount: int,
+) -> bytes:
+    return struct.pack(">HHHHHH", transaction_id, flags, qdcount, ancount, nscount, arcount)
+
+
+def build_dns_query(name: str = "www.example.com", transaction_id: int = 0x1234) -> bytes:
+    """A single-question DNS query."""
+    question = encode_name(name) + struct.pack(">HH", QTYPE_A, QCLASS_IN)
+    return _header(transaction_id, 0x0100, 1, 0, 0, 0) + question
+
+
+def build_dns_response(
+    name: str = "www.example.com",
+    answer_count: int = 2,
+    additional_count: int = 0,
+    transaction_id: int = 0x1234,
+    use_compression: bool = True,
+) -> bytes:
+    """A DNS response with ``answer_count`` A records (and optional extras)."""
+    if answer_count < 0 or additional_count < 0:
+        raise ValueError("record counts must be non-negative")
+    question_name = encode_name(name)
+    question = question_name + struct.pack(">HH", QTYPE_A, QCLASS_IN)
+    header = _header(
+        transaction_id, 0x8180, 1, answer_count, 0, additional_count
+    )
+    out = bytearray(header + question)
+
+    answer_name = struct.pack(">H", 0xC00C) if use_compression else question_name
+    for index in range(answer_count):
+        rdata = bytes([10, 0, (index >> 8) & 0xFF, index & 0xFF])
+        out.extend(answer_name)
+        out.extend(struct.pack(">HHIH", QTYPE_A, QCLASS_IN, 300 + index, len(rdata)))
+        out.extend(rdata)
+
+    for index in range(additional_count):
+        extra_name = encode_name(f"extra{index}.example.com")
+        rdata = bytes([192, 168, 0, index & 0xFF])
+        out.extend(extra_name)
+        out.extend(struct.pack(">HHIH", QTYPE_A, QCLASS_IN, 60, len(rdata)))
+        out.extend(rdata)
+
+    return bytes(out)
+
+
+def build_dns_series(answer_counts: Optional[List[int]] = None, **kwargs) -> List[bytes]:
+    """Responses with growing answer counts (Figure 13e / Figure 14a)."""
+    answer_counts = answer_counts or [1, 4, 16, 64]
+    return [build_dns_response(answer_count=count, **kwargs) for count in answer_counts]

@@ -1,0 +1,204 @@
+"""Synthetic ELF64 files (section view) for tests and benchmarks.
+
+The generated files contain a valid ELF64 header, a NULL section, a
+``.shstrtab`` string table, an optional ``.dynamic`` section, an optional
+``.symtab`` symbol table, and a configurable number of payload sections —
+the same structural elements ``readelf -h -S --dyn-syms`` touches in the
+paper's Figure 12 experiment.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+ELF_HEADER_SIZE = 64
+SECTION_HEADER_SIZE = 64
+SYM_SIZE = 24
+DYN_ENTRY_SIZE = 16
+
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_DYNAMIC = 6
+
+
+def _section_header(
+    name_offset: int,
+    sh_type: int,
+    offset: int,
+    size: int,
+    link: int = 0,
+    entsize: int = 0,
+    flags: int = 0,
+    addr: int = 0,
+) -> bytes:
+    return struct.pack(
+        "<IIQQQQIIQQ",
+        name_offset,
+        sh_type,
+        flags,
+        addr,
+        offset,
+        size,
+        link,
+        0,
+        8,
+        entsize,
+    )
+
+
+def build_elf(
+    section_count: int = 4,
+    section_size: int = 128,
+    symbol_count: int = 16,
+    dynamic_entries: int = 8,
+    entry_point: int = 0x400000,
+    seed: int = 7,
+) -> bytes:
+    """Build a synthetic ELF64 file.
+
+    Parameters
+    ----------
+    section_count:
+        Number of ``.data<i>`` payload sections (on top of the NULL section,
+        ``.shstrtab``, ``.dynamic`` and ``.symtab``).
+    section_size:
+        Byte size of each payload section.
+    symbol_count:
+        Entries in the symbol table (0 omits the table).
+    dynamic_entries:
+        Entries in the dynamic section (0 omits the section).
+    """
+    if section_count < 0 or section_size < 0:
+        raise ValueError("section_count and section_size must be non-negative")
+
+    # --- plan the section list --------------------------------------------
+    names: List[str] = [""]  # index 0: NULL section
+    payload_sizes: List[int] = [0]
+    types: List[int] = [SHT_NULL]
+    entsizes: List[int] = [0]
+
+    for index in range(section_count):
+        names.append(f".data{index}")
+        payload_sizes.append(section_size)
+        types.append(SHT_PROGBITS)
+        entsizes.append(0)
+
+    if dynamic_entries > 0:
+        names.append(".dynamic")
+        payload_sizes.append(dynamic_entries * DYN_ENTRY_SIZE)
+        types.append(SHT_DYNAMIC)
+        entsizes.append(DYN_ENTRY_SIZE)
+
+    if symbol_count > 0:
+        names.append(".symtab")
+        payload_sizes.append(symbol_count * SYM_SIZE)
+        types.append(SHT_SYMTAB)
+        entsizes.append(SYM_SIZE)
+
+    # .shstrtab always last
+    names.append(".shstrtab")
+    types.append(SHT_STRTAB)
+    entsizes.append(0)
+
+    # Build the section-header string table and record name offsets.
+    name_offsets: List[int] = []
+    strtab = bytearray(b"\x00")
+    for name in names:
+        if not name:
+            name_offsets.append(0)
+            continue
+        name_offsets.append(len(strtab))
+        strtab.extend(name.encode("ascii") + b"\x00")
+    payload_sizes.append(len(strtab))  # size of .shstrtab itself
+
+    shstrndx = len(names) - 1
+    total_sections = len(names)
+
+    # --- lay out section contents ------------------------------------------
+    offset = ELF_HEADER_SIZE
+    section_offsets: List[int] = []
+    contents: List[bytes] = []
+    rng_state = seed
+    for index in range(total_sections):
+        size = payload_sizes[index]
+        section_offsets.append(offset if size else 0)
+        if types[index] == SHT_NULL or size == 0:
+            contents.append(b"")
+            continue
+        if types[index] == SHT_PROGBITS:
+            body = bytearray()
+            while len(body) < size:
+                rng_state = (rng_state * 1103515245 + 12345) & 0x7FFFFFFF
+                body.append(rng_state & 0xFF)
+            contents.append(bytes(body[:size]))
+        elif types[index] == SHT_DYNAMIC:
+            body = b"".join(
+                struct.pack("<QQ", tag, tag * 16 + 1) for tag in range(dynamic_entries)
+            )
+            contents.append(body)
+        elif types[index] == SHT_SYMTAB:
+            body = b"".join(
+                struct.pack("<IBBHQQ", 1 + sym, 0x12, 0, 1, 0x400000 + sym * 8, 8)
+                for sym in range(symbol_count)
+            )
+            contents.append(body)
+        elif types[index] == SHT_STRTAB:
+            contents.append(bytes(strtab))
+        else:  # pragma: no cover - defensive
+            contents.append(b"\x00" * size)
+        offset += len(contents[-1])
+
+    shoff = offset
+
+    # --- section header table -----------------------------------------------
+    headers = bytearray()
+    for index in range(total_sections):
+        link = 0
+        if types[index] == SHT_SYMTAB:
+            link = shstrndx  # string table for symbol names (simplified)
+        headers.extend(
+            _section_header(
+                name_offsets[index],
+                types[index],
+                section_offsets[index],
+                payload_sizes[index],
+                link=link,
+                entsize=entsizes[index],
+            )
+        )
+
+    # --- ELF header ----------------------------------------------------------
+    e_ident = b"\x7fELF" + bytes([2, 1, 1, 0]) + b"\x00" * 8
+    header = struct.pack(
+        "<16sHHIQQQIHHHHHH",
+        e_ident,
+        2,  # ET_EXEC
+        0x3E,  # EM_X86_64
+        1,
+        entry_point,
+        0,  # phoff (no program headers in the section view)
+        shoff,
+        0,
+        ELF_HEADER_SIZE,
+        0,
+        0,
+        SECTION_HEADER_SIZE,
+        total_sections,
+        shstrndx,
+    )
+    assert len(header) == ELF_HEADER_SIZE
+
+    blob = bytearray(header)
+    for body in contents:
+        blob.extend(body)
+    blob.extend(headers)
+    return bytes(blob)
+
+
+def build_elf_series(section_counts: Optional[List[int]] = None, **kwargs) -> List[bytes]:
+    """Build a series of ELF files of increasing size (for Figure 12/13)."""
+    section_counts = section_counts or [2, 8, 32, 64]
+    return [build_elf(section_count=count, **kwargs) for count in section_counts]

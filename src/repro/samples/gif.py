@@ -1,0 +1,84 @@
+"""Synthetic GIF files for tests and benchmarks.
+
+The generated images are structurally valid GIF89a files: header, logical
+screen descriptor with a global color table, a graphic-control extension and
+an image block per frame (with LZW-style data stored as correctly framed
+sub-blocks), and the trailer.  The pixel data is filler — the IPG grammar
+(like Kaitai's) treats the LZW payload as opaque sub-blocks, so only the
+framing matters for parsing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+
+def _sub_blocks(payload: bytes) -> bytes:
+    """Split ``payload`` into GIF data sub-blocks (<=255 bytes each)."""
+    out = bytearray()
+    for start in range(0, len(payload), 255):
+        chunk = payload[start : start + 255]
+        out.append(len(chunk))
+        out.extend(chunk)
+    out.append(0)  # block terminator
+    return bytes(out)
+
+
+def _graphic_control_extension(delay_cs: int) -> bytes:
+    body = struct.pack("<BBHB", 0, 0x04, delay_cs, 0)
+    return b"\x21\xf9" + bytes([len(body)]) + body + b"\x00"
+
+
+def _comment_extension(text: bytes) -> bytes:
+    return b"\x21\xfe" + _sub_blocks(text)
+
+
+def _image_block(width: int, height: int, payload: bytes, local_table: bool) -> bytes:
+    flags = 0x80 | 0x02 if local_table else 0  # local color table of 2^(2+1)=8 entries
+    descriptor = struct.pack("<BHHHHB", 0x2C, 0, 0, width, height, flags)
+    table = bytes(range(24)) if local_table else b""
+    lzw_min = b"\x08"
+    return descriptor + table + lzw_min + _sub_blocks(payload)
+
+
+def build_gif(
+    frame_count: int = 1,
+    width: int = 32,
+    height: int = 32,
+    bytes_per_frame: int = 256,
+    with_comments: bool = True,
+    seed: int = 11,
+) -> bytes:
+    """Build a synthetic GIF89a image.
+
+    ``frame_count`` image blocks are emitted, each preceded by a graphic
+    control extension; ``bytes_per_frame`` controls the size of the opaque
+    coded data, which is what scales the file for the Figure 13b benchmark.
+    """
+    if frame_count < 0:
+        raise ValueError("frame_count must be non-negative")
+    header = b"GIF89a"
+    # Logical screen descriptor: flags 0xF2 -> global color table, 8 entries.
+    lsd = struct.pack("<HHBBB", width, height, 0xF2, 0, 0)
+    global_table = bytes((i * 31) & 0xFF for i in range(3 * (2 << 2)))
+
+    blob = bytearray(header + lsd + global_table)
+    rng_state = seed
+    for frame in range(frame_count):
+        if with_comments and frame == 0:
+            blob.extend(_comment_extension(b"synthetic GIF for IPG benchmarks"))
+        blob.extend(_graphic_control_extension(delay_cs=4))
+        payload = bytearray()
+        while len(payload) < bytes_per_frame:
+            rng_state = (rng_state * 1103515245 + 12345) & 0x7FFFFFFF
+            payload.append(rng_state & 0xFF)
+        blob.extend(_image_block(width, height, bytes(payload), local_table=frame % 2 == 1))
+    blob.append(0x3B)  # trailer
+    return bytes(blob)
+
+
+def build_gif_series(frame_counts: Optional[List[int]] = None, **kwargs) -> List[bytes]:
+    """Build a series of GIFs with growing frame counts (Figure 13b)."""
+    frame_counts = frame_counts or [1, 4, 16, 32]
+    return [build_gif(frame_count=count, **kwargs) for count in frame_counts]

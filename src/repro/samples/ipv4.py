@@ -1,0 +1,66 @@
+"""Synthetic IPv4+UDP packets for tests and benchmarks.
+
+Packets carry a configurable UDP payload and optional IPv4 options (which
+exercise the IHL length-field path of the grammar).  Checksums are set to
+zero; like the paper, the grammars do not validate them.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+
+def build_ipv4_udp_packet(
+    payload_size: int = 64,
+    options_words: int = 0,
+    src: str = "192.168.1.10",
+    dst: str = "10.0.0.1",
+    sport: int = 53124,
+    dport: int = 53,
+    ttl: int = 64,
+    seed: int = 23,
+) -> bytes:
+    """Build one IPv4 packet containing a UDP datagram."""
+    if payload_size < 0 or options_words < 0 or options_words > 10:
+        raise ValueError("invalid payload_size or options_words")
+    ihl = 5 + options_words
+    rng_state = seed
+    payload = bytearray()
+    while len(payload) < payload_size:
+        rng_state = (rng_state * 1103515245 + 12345) & 0x7FFFFFFF
+        payload.append(rng_state & 0xFF)
+    payload = bytes(payload[:payload_size])
+
+    udp_length = 8 + len(payload)
+    udp = struct.pack(">HHHH", sport, dport, udp_length, 0) + payload
+
+    options = b"\x01" * (options_words * 4)  # NOP padding options
+    total_length = ihl * 4 + len(udp)
+    header = struct.pack(
+        ">BBHHHBBH4s4s",
+        (4 << 4) | ihl,
+        0,
+        total_length,
+        0x4242,
+        0x4000,  # don't fragment
+        ttl,
+        17,  # UDP
+        0,
+        _pack_address(src),
+        _pack_address(dst),
+    )
+    return header + options + udp
+
+
+def _pack_address(address: str) -> bytes:
+    parts = [int(piece) for piece in address.split(".")]
+    if len(parts) != 4 or any(not 0 <= piece <= 255 for piece in parts):
+        raise ValueError(f"invalid IPv4 address {address!r}")
+    return bytes(parts)
+
+
+def build_ipv4_series(payload_sizes: Optional[List[int]] = None, **kwargs) -> List[bytes]:
+    """Packets with growing payloads (Figure 13f / Figure 14b)."""
+    payload_sizes = payload_sizes or [16, 128, 512, 1400]
+    return [build_ipv4_udp_packet(payload_size=size, **kwargs) for size in payload_sizes]

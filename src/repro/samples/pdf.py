@@ -1,0 +1,60 @@
+"""Synthetic PDF files matching the subset handled by the PDF grammar.
+
+The generated documents are classic single-revision PDFs: a header, a
+configurable number of indirect objects, a cross-reference table with
+20-byte entries, a trailer dictionary and the ``startxref`` pointer ending
+in ``%%EOF`` (no trailing newline, no incremental updates, no
+linearization — the same restrictions the paper states for its PDF case
+study).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+def build_pdf(object_count: int = 4, body_padding: int = 32, version: int = 4) -> Tuple[bytes, List[int]]:
+    """Build a synthetic PDF.
+
+    Returns the document bytes and the list of object byte offsets (useful
+    for tests that cross-check the xref table).
+    """
+    if object_count < 1:
+        raise ValueError("a PDF needs at least one object")
+    out = bytearray()
+    out.extend(f"%PDF-1.{version}\n".encode("ascii"))
+
+    offsets: List[int] = []
+    for number in range(1, object_count + 1):
+        offsets.append(len(out))
+        filler = "x" * body_padding
+        body = (
+            f"{number} 0 obj\n"
+            f"<< /Type /Synthetic /Index {number} /Pad ({filler}) >>\n"
+            f"endobj\n"
+        )
+        out.extend(body.encode("ascii"))
+
+    xref_offset = len(out)
+    entry_count = object_count + 1
+    out.extend(f"xref\n0 {entry_count}\n".encode("ascii"))
+    out.extend(b"0000000000 65535 f \n")
+    for offset in offsets:
+        out.extend(f"{offset:010d} 00000 n \n".encode("ascii"))
+
+    out.extend(
+        f"trailer\n<< /Size {entry_count} /Root 1 0 R >>\n".encode("ascii")
+    )
+    out.extend(f"startxref\n{xref_offset}\n%%EOF".encode("ascii"))
+    return bytes(out), offsets
+
+
+def build_pdf_bytes(object_count: int = 4, body_padding: int = 32, version: int = 4) -> bytes:
+    """Like :func:`build_pdf` but returns only the document bytes."""
+    return build_pdf(object_count, body_padding, version)[0]
+
+
+def build_pdf_series(object_counts: Optional[List[int]] = None, **kwargs) -> List[bytes]:
+    """Build a series of PDFs with growing object counts."""
+    object_counts = object_counts or [1, 4, 16, 64]
+    return [build_pdf_bytes(object_count=count, **kwargs) for count in object_counts]

@@ -1,0 +1,102 @@
+"""Synthetic PE (Portable Executable) files for tests and benchmarks.
+
+The generated binaries contain a DOS header with ``e_lfanew``, the PE
+signature, a COFF header, a PE32+ optional header of standard size, a
+section header table and the raw data of every section, laid out with the
+usual file alignment.  They are not runnable programs, but they contain all
+the structure the PE grammar (and the Kaitai-like baseline) parses.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+DOS_HEADER_SIZE = 64
+COFF_SIZE = 20
+OPTIONAL_HEADER_SIZE = 240  # PE32+ with 16 data directories
+SECTION_HEADER_SIZE = 40
+FILE_ALIGNMENT = 512
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+def build_pe(
+    section_count: int = 3,
+    section_size: int = 512,
+    machine: int = 0x8664,
+    seed: int = 17,
+) -> bytes:
+    """Build a synthetic PE32+ image with ``section_count`` sections."""
+    if section_count < 0 or section_size < 0:
+        raise ValueError("section_count and section_size must be non-negative")
+
+    lfanew = DOS_HEADER_SIZE
+    dos_header = bytearray(b"MZ" + b"\x00" * (DOS_HEADER_SIZE - 2))
+    struct.pack_into("<I", dos_header, 60, lfanew)
+
+    headers_size = lfanew + 4 + COFF_SIZE + OPTIONAL_HEADER_SIZE + section_count * SECTION_HEADER_SIZE
+    first_raw = _align(headers_size, FILE_ALIGNMENT)
+
+    coff = struct.pack(
+        "<HHIIIHH",
+        machine,
+        section_count,
+        0x5F000000,  # timestamp
+        0,
+        0,
+        OPTIONAL_HEADER_SIZE,
+        0x0022,  # executable, large address aware
+    )
+
+    optional = bytearray(OPTIONAL_HEADER_SIZE)
+    struct.pack_into("<H", optional, 0, 0x20B)  # PE32+ magic
+    struct.pack_into("<I", optional, 16, 0x1000)  # entry point RVA
+    struct.pack_into("<Q", optional, 24, 0x140000000)  # image base
+
+    section_headers = bytearray()
+    sections = bytearray()
+    raw_ptr = first_raw
+    rng_state = seed
+    for index in range(section_count):
+        name = f".sec{index}".encode("ascii")[:8].ljust(8, b"\x00")
+        raw_size = _align(section_size, FILE_ALIGNMENT)
+        body = bytearray()
+        while len(body) < raw_size:
+            rng_state = (rng_state * 1103515245 + 12345) & 0x7FFFFFFF
+            body.append(rng_state & 0xFF)
+        section_headers.extend(
+            struct.pack(
+                "<8sIIIIIIHHI",
+                name,
+                section_size,
+                0x1000 * (index + 1),
+                raw_size,
+                raw_ptr,
+                0,
+                0,
+                0,
+                0,
+                0x60000020,
+            )
+        )
+        sections.extend(body[:raw_size])
+        raw_ptr += raw_size
+
+    blob = bytearray()
+    blob.extend(dos_header)
+    blob.extend(b"PE\x00\x00")
+    blob.extend(coff)
+    blob.extend(optional)
+    blob.extend(section_headers)
+    blob.extend(b"\x00" * (first_raw - len(blob)))
+    blob.extend(sections)
+    return bytes(blob)
+
+
+def build_pe_series(section_counts: Optional[List[int]] = None, **kwargs) -> List[bytes]:
+    """Build a series of PEs with growing section counts (Figure 13c)."""
+    section_counts = section_counts or [1, 4, 8, 16]
+    return [build_pe(section_count=count, **kwargs) for count in section_counts]

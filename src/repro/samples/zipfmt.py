@@ -1,0 +1,50 @@
+"""Synthetic ZIP archives for tests and benchmarks.
+
+Archives are built with the :mod:`zipfile` standard library module so they
+are bona fide ZIP files (deflate or stored members, correct CRCs, central
+directory, EOCD without comment).  The paper's ZIP workload archives many
+copies of the same file; :func:`build_zip` reproduces that shape with a
+parameterized member count and member size.
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+from typing import Dict, List, Optional
+
+
+def build_zip(
+    member_count: int = 4,
+    member_size: int = 1024,
+    compressed: bool = True,
+    seed: int = 13,
+) -> bytes:
+    """Build an archive with ``member_count`` members of ``member_size`` bytes."""
+    if member_count < 0 or member_size < 0:
+        raise ValueError("member_count and member_size must be non-negative")
+    rng_state = seed
+    body = bytearray()
+    while len(body) < member_size:
+        rng_state = (rng_state * 1103515245 + 12345) & 0x7FFFFFFF
+        # Compressible but non-trivial content.
+        body.extend(b"line %08d\n" % (rng_state & 0xFFFFFF))
+    payload = bytes(body[:member_size])
+
+    buffer = io.BytesIO()
+    compression = zipfile.ZIP_DEFLATED if compressed else zipfile.ZIP_STORED
+    with zipfile.ZipFile(buffer, "w", compression) as archive:
+        for index in range(member_count):
+            archive.writestr(f"member_{index:04d}.txt", payload)
+    return buffer.getvalue()
+
+
+def expected_members(member_count: int, member_size: int, seed: int = 13) -> Dict[str, int]:
+    """Names and uncompressed sizes :func:`build_zip` will produce."""
+    return {f"member_{index:04d}.txt": member_size for index in range(member_count)}
+
+
+def build_zip_series(member_counts: Optional[List[int]] = None, **kwargs) -> List[bytes]:
+    """Build archives with growing member counts (Figure 12a/b, Figure 13a)."""
+    member_counts = member_counts or [1, 8, 32, 64]
+    return [build_zip(member_count=count, **kwargs) for count in member_counts]

@@ -1,0 +1,24 @@
+"""A small integer constraint solver used by termination checking.
+
+The paper discharges the per-cycle satisfiability query
+
+    (e_l0 = 0) ∧ (e_r0 = EOI) ∧ ... ∧ (e_ln = 0) ∧ (e_rn = EOI)
+
+with Z3.  In this offline reproduction the solver is replaced by the module
+in this package (see DESIGN.md — substitutions): interval expressions are
+normalized into linear forms, equalities are eliminated by substitution,
+constant contradictions are detected, and a bounded enumeration searches for
+a witness when variables remain.  The queries arising from realistic IPGs
+are tiny linear systems, which this solver decides exactly.
+"""
+
+from .linear import LinearForm, linearize
+from .sat import Constraint, Satisfiability, check_satisfiability
+
+__all__ = [
+    "Constraint",
+    "LinearForm",
+    "Satisfiability",
+    "check_satisfiability",
+    "linearize",
+]

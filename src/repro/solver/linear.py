@@ -1,0 +1,143 @@
+"""Normalization of IPG expressions into linear forms.
+
+A :class:`LinearForm` is ``constant + Σ coeff_i · var_i`` with rational
+coefficients.  Variables are opaque strings chosen by the caller (termination
+checking scopes them per cycle edge).  Expressions that are not linear in
+their variables (products of two variables, division by a variable,
+conditionals, existentials) do not linearize; :func:`linearize` returns
+``None`` for them and the caller falls back to a conservative answer.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, Optional
+
+from ..core.expr import BinOp, Cond, Dot, Exists, Expr, Index, Name, Num
+
+
+class LinearForm:
+    """A linear combination of variables plus a constant."""
+
+    __slots__ = ("constant", "coefficients")
+
+    def __init__(self, constant: Fraction = Fraction(0), coefficients: Optional[Dict[str, Fraction]] = None):
+        self.constant = Fraction(constant)
+        self.coefficients: Dict[str, Fraction] = {
+            var: Fraction(coeff)
+            for var, coeff in (coefficients or {}).items()
+            if coeff != 0
+        }
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def of_constant(cls, value: int) -> "LinearForm":
+        return cls(Fraction(value), {})
+
+    @classmethod
+    def of_variable(cls, name: str) -> "LinearForm":
+        return cls(Fraction(0), {name: Fraction(1)})
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        return not self.coefficients
+
+    def variables(self):
+        return set(self.coefficients)
+
+    def coefficient(self, name: str) -> Fraction:
+        return self.coefficients.get(name, Fraction(0))
+
+    # -- arithmetic -----------------------------------------------------------
+    def __add__(self, other: "LinearForm") -> "LinearForm":
+        coefficients = dict(self.coefficients)
+        for var, coeff in other.coefficients.items():
+            coefficients[var] = coefficients.get(var, Fraction(0)) + coeff
+        return LinearForm(self.constant + other.constant, coefficients)
+
+    def __sub__(self, other: "LinearForm") -> "LinearForm":
+        return self + other.scale(Fraction(-1))
+
+    def scale(self, factor: Fraction) -> "LinearForm":
+        return LinearForm(
+            self.constant * factor,
+            {var: coeff * factor for var, coeff in self.coefficients.items()},
+        )
+
+    def substitute(self, name: str, replacement: "LinearForm") -> "LinearForm":
+        """Replace variable ``name`` by ``replacement``."""
+        coeff = self.coefficients.get(name)
+        if coeff is None:
+            return self
+        remaining = {v: c for v, c in self.coefficients.items() if v != name}
+        return LinearForm(self.constant, remaining) + replacement.scale(coeff)
+
+    def evaluate(self, assignment: Dict[str, int]) -> Fraction:
+        total = Fraction(self.constant)
+        for var, coeff in self.coefficients.items():
+            total += coeff * assignment.get(var, 0)
+        return total
+
+    def __repr__(self) -> str:
+        parts = [str(self.constant)] if self.constant or not self.coefficients else []
+        for var, coeff in sorted(self.coefficients.items()):
+            parts.append(f"{coeff}*{var}")
+        return " + ".join(parts) if parts else "0"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LinearForm)
+            and self.constant == other.constant
+            and self.coefficients == other.coefficients
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.constant, tuple(sorted(self.coefficients.items()))))
+
+
+#: Maps an expression reference to a solver variable name.  Termination
+#: checking scopes references per cycle edge via this hook.
+VariableNamer = Callable[[Expr], str]
+
+
+def default_namer(expr: Expr) -> str:
+    """Default variable naming: the reference's surface syntax."""
+    return expr.to_source()
+
+
+def linearize(expr: Expr, namer: VariableNamer = default_namer) -> Optional[LinearForm]:
+    """Convert ``expr`` into a :class:`LinearForm`, or ``None`` if non-linear."""
+    if isinstance(expr, Num):
+        return LinearForm.of_constant(expr.value)
+    if isinstance(expr, (Name, Dot, Index)):
+        return LinearForm.of_variable(namer(expr))
+    if isinstance(expr, BinOp):
+        return _linearize_binop(expr, namer)
+    if isinstance(expr, (Cond, Exists)):
+        return None
+    return None
+
+
+def _linearize_binop(expr: BinOp, namer: VariableNamer) -> Optional[LinearForm]:
+    left = linearize(expr.left, namer)
+    right = linearize(expr.right, namer)
+    if left is None or right is None:
+        return None
+    if expr.op == "+":
+        return left + right
+    if expr.op == "-":
+        return left - right
+    if expr.op == "*":
+        if left.is_constant:
+            return right.scale(left.constant)
+        if right.is_constant:
+            return left.scale(right.constant)
+        return None
+    if expr.op == "/":
+        if right.is_constant and right.constant != 0:
+            return left.scale(Fraction(1, 1) / right.constant)
+        return None
+    # Comparisons, boolean connectives, shifts and bit operations are not
+    # linear arithmetic; the caller treats them conservatively.
+    return None

@@ -1,0 +1,172 @@
+"""Satisfiability checking for small conjunctions of linear constraints.
+
+The termination checker produces, for every elementary cycle, a conjunction
+of constraints of the shapes
+
+* ``form = 0``      (a left interval endpoint must be 0),
+* ``form = 0`` where ``form = e_r − EOI``  (a right endpoint must be EOI),
+* ``form > 0``      (the ``A.end > 0`` refinement of section 5),
+* ``form ≥ 0``      (well-formedness side conditions).
+
+:func:`check_satisfiability` decides such conjunctions with three tiers:
+
+1. **Equality elimination.**  Any equality with a ±1 coefficient variable is
+   solved for that variable and substituted away.  Realistic IPG interval
+   expressions (offsets, ``EOI − k``, ``base + i*size``) are all in this
+   fragment, so after this step the system is usually variable-free.
+2. **Constant checking.**  Variable-free constraints are decided directly;
+   a single violated one makes the conjunction UNSAT.
+3. **Bounded witness search.**  If variables remain, a small enumeration over
+   candidate integer values looks for a witness.  A found witness is a sound
+   SAT answer; exhausting the candidates yields UNKNOWN, which the
+   termination checker treats like SAT (conservatively rejecting the cycle).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .linear import LinearForm
+
+
+class Satisfiability(Enum):
+    """Result of a satisfiability query."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+#: Relations supported in constraints: ``form REL 0``.
+REL_EQ = "=="
+REL_GT = ">"
+REL_GE = ">="
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A single constraint ``form REL 0``."""
+
+    form: LinearForm
+    relation: str = REL_EQ
+
+    def substitute(self, name: str, replacement: LinearForm) -> "Constraint":
+        return Constraint(self.form.substitute(name, replacement), self.relation)
+
+    def holds_for_constant(self) -> Optional[bool]:
+        """Decide the constraint if it is variable-free, else ``None``."""
+        if not self.form.is_constant:
+            return None
+        value = self.form.constant
+        if self.relation == REL_EQ:
+            return value == 0
+        if self.relation == REL_GT:
+            return value > 0
+        if self.relation == REL_GE:
+            return value >= 0
+        raise ValueError(f"unknown relation {self.relation}")
+
+    def evaluate(self, assignment: Dict[str, int]) -> bool:
+        value = self.form.evaluate(assignment)
+        if self.relation == REL_EQ:
+            return value == 0
+        if self.relation == REL_GT:
+            return value > 0
+        if self.relation == REL_GE:
+            return value >= 0
+        raise ValueError(f"unknown relation {self.relation}")
+
+    def __repr__(self) -> str:
+        return f"{self.form!r} {self.relation} 0"
+
+
+def _eliminate_equalities(constraints: List[Constraint]) -> Tuple[List[Constraint], bool]:
+    """Substitute away equality-defined variables.
+
+    Returns the reduced constraint list and a flag that is False when a
+    contradiction was found during elimination (i.e. the system is UNSAT).
+    """
+    current = list(constraints)
+    progress = True
+    while progress:
+        progress = False
+        for position, constraint in enumerate(current):
+            if constraint.relation != REL_EQ:
+                continue
+            decided = constraint.holds_for_constant()
+            if decided is False:
+                return current, False
+            if decided is True:
+                continue
+            # Pick a variable with coefficient ±1 to solve for.
+            pivot = None
+            for var, coeff in constraint.form.coefficients.items():
+                if coeff in (Fraction(1), Fraction(-1)):
+                    pivot = (var, coeff)
+                    break
+            if pivot is None:
+                continue
+            var, coeff = pivot
+            # form = coeff*var + rest = 0   =>   var = -rest / coeff
+            rest = LinearForm(
+                constraint.form.constant,
+                {v: c for v, c in constraint.form.coefficients.items() if v != var},
+            )
+            replacement = rest.scale(Fraction(-1) / coeff)
+            reduced = []
+            for other_position, other in enumerate(current):
+                if other_position == position:
+                    continue
+                reduced.append(other.substitute(var, replacement))
+            current = reduced
+            progress = True
+            break
+    return current, True
+
+
+def _candidate_values(constraints: Sequence[Constraint], bound: int) -> List[int]:
+    """Candidate integers for the bounded witness search."""
+    candidates = set(range(0, bound + 1))
+    candidates.update(-v for v in range(1, bound + 1))
+    for constraint in constraints:
+        magnitude = abs(constraint.form.constant)
+        if magnitude.denominator == 1:
+            value = int(magnitude)
+            candidates.update({value, value + 1, value - 1, -value})
+    return sorted(candidates)
+
+
+def check_satisfiability(
+    constraints: Sequence[Constraint],
+    bound: int = 6,
+    max_assignments: int = 200_000,
+) -> Satisfiability:
+    """Decide (or conservatively approximate) a conjunction of constraints."""
+    reduced, consistent = _eliminate_equalities(list(constraints))
+    if not consistent:
+        return Satisfiability.UNSAT
+
+    unresolved: List[Constraint] = []
+    for constraint in reduced:
+        decided = constraint.holds_for_constant()
+        if decided is False:
+            return Satisfiability.UNSAT
+        if decided is None:
+            unresolved.append(constraint)
+    if not unresolved:
+        return Satisfiability.SAT
+
+    variables = sorted({var for c in unresolved for var in c.form.variables()})
+    candidates = _candidate_values(unresolved, bound)
+    total = len(candidates) ** len(variables)
+    if total > max_assignments:
+        return Satisfiability.UNKNOWN
+    for combo in itertools.product(candidates, repeat=len(variables)):
+        assignment = dict(zip(variables, combo))
+        if all(constraint.evaluate(assignment) for constraint in unresolved):
+            return Satisfiability.SAT
+    return Satisfiability.UNKNOWN

@@ -1,0 +1,134 @@
+"""Shared fixtures for the test suite.
+
+Heavyweight objects (format parsers, synthetic samples) are session-scoped:
+building a parser runs the whole front-end pipeline and generating samples
+is deterministic, so sharing them across tests is safe and keeps the suite
+fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Parser, samples
+from repro.formats import dns, elf, gif, ipv4, pdf, pe, toy, zipfmt
+
+
+# ---------------------------------------------------------------------------
+# Toy grammars (the paper's figures)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def figure1_parser() -> Parser:
+    return Parser(toy.FIGURE_1)
+
+
+@pytest.fixture(scope="session")
+def figure2_parser() -> Parser:
+    return Parser(toy.FIGURE_2)
+
+
+@pytest.fixture(scope="session")
+def figure3_parser() -> Parser:
+    return Parser(toy.FIGURE_3)
+
+
+@pytest.fixture(scope="session")
+def figure4_parser() -> Parser:
+    return Parser(toy.FIGURE_4)
+
+
+@pytest.fixture(scope="session")
+def figure6_parser() -> Parser:
+    return Parser(toy.FIGURE_6)
+
+
+@pytest.fixture(scope="session")
+def anbncn_parser() -> Parser:
+    return Parser(toy.ANBNCN)
+
+
+# ---------------------------------------------------------------------------
+# Synthetic samples
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def elf_sample() -> bytes:
+    return samples.build_elf(section_count=4, symbol_count=8, dynamic_entries=4)
+
+
+@pytest.fixture(scope="session")
+def gif_sample() -> bytes:
+    return samples.build_gif(frame_count=3, bytes_per_frame=300)
+
+
+@pytest.fixture(scope="session")
+def zip_sample() -> bytes:
+    return samples.build_zip(member_count=3, member_size=600)
+
+
+@pytest.fixture(scope="session")
+def pe_sample() -> bytes:
+    return samples.build_pe(section_count=3, section_size=256)
+
+
+@pytest.fixture(scope="session")
+def pdf_sample():
+    return samples.build_pdf(object_count=5)
+
+
+@pytest.fixture(scope="session")
+def dns_query_sample() -> bytes:
+    return samples.build_dns_query("www.example.com")
+
+
+@pytest.fixture(scope="session")
+def dns_response_sample() -> bytes:
+    return samples.build_dns_response(answer_count=3, additional_count=1)
+
+
+@pytest.fixture(scope="session")
+def ipv4_sample() -> bytes:
+    return samples.build_ipv4_udp_packet(payload_size=64, options_words=1)
+
+
+# ---------------------------------------------------------------------------
+# Format parsers (cached by the FormatSpec objects themselves)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def elf_parser() -> Parser:
+    return elf.SPEC.parser()
+
+
+@pytest.fixture(scope="session")
+def gif_parser() -> Parser:
+    return gif.SPEC.parser()
+
+
+@pytest.fixture(scope="session")
+def zip_parser() -> Parser:
+    return zipfmt.SPEC.parser()
+
+
+@pytest.fixture(scope="session")
+def pe_parser() -> Parser:
+    return pe.SPEC.parser()
+
+
+@pytest.fixture(scope="session")
+def pdf_parser() -> Parser:
+    return pdf.SPEC.parser()
+
+
+@pytest.fixture(scope="session")
+def dns_parser() -> Parser:
+    return dns.SPEC.parser()
+
+
+@pytest.fixture(scope="session")
+def ipv4_parser() -> Parser:
+    return ipv4.SPEC.parser()

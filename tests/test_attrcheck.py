@@ -1,0 +1,142 @@
+"""Unit tests for attribute checking and term reordering (section 3.2)."""
+
+import pytest
+
+from repro.core.attrcheck import (
+    DefMap,
+    check_grammar,
+    defined_attributes,
+    dependency_edges,
+    term_references,
+)
+from repro.core.ast import TermAttrDef, TermNonterminal
+from repro.core.autocomplete import complete_grammar
+from repro.core.errors import AttributeCheckError
+from repro.core.grammar_parser import parse_grammar
+
+
+def check(text):
+    return check_grammar(complete_grammar(parse_grammar(text)))
+
+
+class TestDefinedAttributes:
+    def test_def_is_intersection_over_alternatives(self):
+        grammar = parse_grammar(
+            'A -> {x = 1} {y = 2} "a"[0, 1] / {x = 3} "b"[0, 1] ;'
+        )
+        defined = defined_attributes(grammar.rule("A"))
+        assert "x" in defined
+        assert "y" not in defined
+        assert {"start", "end", "EOI"} <= defined
+
+    def test_defmap_knows_builtins_and_blackboxes(self):
+        grammar = parse_grammar('blackbox Ext ;\nS -> U32LE[0, 4] Ext[4, EOI] ;')
+        defmap = DefMap(grammar)
+        assert "val" in defmap.lookup("U32LE")
+        assert defmap.lookup("Ext") is None  # unknown: delegated to the user
+        assert defmap.is_known_nonterminal("Ext")
+        assert not defmap.is_known_nonterminal("Nope")
+
+
+class TestReferenceChecking:
+    def test_valid_grammar_passes(self):
+        check("S -> H[0, 8] Data[H.ofs, EOI] ; H -> U32LE[0, 4] {ofs = U32LE.val} ; Data -> Raw ;")
+
+    def test_reference_to_undefined_attribute_rejected(self):
+        with pytest.raises(AttributeCheckError):
+            check("S -> H[0, 8] Data[H.nope, EOI] ; H -> U32LE[0, 4] {ofs = U32LE.val} ; Data -> Raw ;")
+
+    def test_reference_to_attribute_not_in_all_alternatives_rejected(self):
+        with pytest.raises(AttributeCheckError):
+            check(
+                "S -> H[0, 4] Data[H.ofs, EOI] ; "
+                'H -> U32LE[0, 4] {ofs = U32LE.val} / "x"[0, 1] ; Data -> Raw ;'
+            )
+
+    def test_undefined_nonterminal_rejected(self):
+        with pytest.raises(AttributeCheckError):
+            check("S -> Missing[0, 4] ;")
+
+    def test_undefined_plain_name_rejected(self):
+        with pytest.raises(AttributeCheckError):
+            check('S -> "a"[0, nope] ;')
+
+    def test_nonterminal_not_in_same_alternative_rejected(self):
+        with pytest.raises(AttributeCheckError):
+            check('S -> "a"[0, 1] / Data[H.ofs, EOI] ; H -> U32LE[0, 4] {ofs = U32LE.val} ; Data -> Raw ;')
+
+    def test_array_reference_requires_for_term(self):
+        with pytest.raises(AttributeCheckError):
+            check("S -> H[0, 4] {x = H(0).val} ; H -> U32LE[0, 4] {val = U32LE.val} ;")
+
+    def test_loop_variable_visible_in_element_interval(self):
+        check("S -> for i = 0 to 3 do A[i, i + 1] ; A -> U8[0, 1] {val = U8.val} ;")
+
+    def test_special_attributes_always_allowed(self):
+        check('S -> A[0, 2] "x"[A.end, A.end + 1] ; A -> "aa"[0, 2] ;')
+
+    def test_where_rule_sees_outer_attributes(self):
+        check(
+            "S -> H[0, 4] D[0, EOI] where { D -> Raw[H.val, EOI] ; } ; "
+            "H -> U32LE[0, 4] {val = U32LE.val} ;"
+        )
+
+    def test_where_rule_sees_loop_variable(self):
+        check(
+            "S -> for i = 0 to 2 do Sec[4 * i, 4 * (i + 1)] "
+            "where { Sec -> Raw[i, EOI] ; } ;"
+        )
+
+    def test_blackbox_attribute_references_not_checked(self):
+        check("blackbox Ext ;\nS -> Ext[0, EOI] {x = Ext.whatever} ;")
+
+
+class TestDependenciesAndReordering:
+    def test_backward_dependency_is_reordered(self):
+        grammar = check(
+            "S -> B1[0, B2.a] B2[a1, EOI] {a1 = 2} ; B1 -> Raw ; B2 -> U8[0, 1] {a = U8.val} ;"
+        )
+        terms = grammar.rule("S").alternatives[0].terms
+        # The attribute definition comes first, then B2, then B1 (paper 3.2).
+        assert isinstance(terms[0], TermAttrDef)
+        assert isinstance(terms[1], TermNonterminal) and terms[1].name == "B2"
+        assert isinstance(terms[2], TermNonterminal) and terms[2].name == "B1"
+
+    def test_already_ordered_alternative_keeps_its_order(self):
+        grammar = check(
+            "S -> H[0, 4] {x = H.val} Data[x, EOI] ; H -> U32LE[0, 4] {val = U32LE.val} ; Data -> Raw ;"
+        )
+        terms = grammar.rule("S").alternatives[0].terms
+        names = [type(t).__name__ for t in terms]
+        assert names == ["TermNonterminal", "TermAttrDef", "TermNonterminal"]
+
+    def test_circular_attribute_definitions_rejected(self):
+        with pytest.raises(AttributeCheckError):
+            check("S -> {x = y + 1} {y = x + 1} ;")
+
+    def test_circular_dependency_through_intervals_rejected(self):
+        with pytest.raises(AttributeCheckError):
+            check("S -> A[0, B.val] B[A.val, EOI] ; A -> U8[0, 1] {val = U8.val} ; B -> U8[0, 1] {val = U8.val} ;")
+
+    def test_dependency_edges_computed(self):
+        grammar = parse_grammar(
+            "S -> {x = 1} A[x, EOI] {y = A.val} ; A -> U8[0, 1] {val = U8.val} ;"
+        )
+        complete_grammar(grammar)
+        terms = grammar.rule("S").alternatives[0].terms
+        edges = dependency_edges(terms)
+        assert (0, 1) in edges  # x defined before used in A's interval
+        assert (1, 2) in edges  # A parsed before its attribute is read
+
+    def test_term_references_exclude_loop_variable(self):
+        grammar = parse_grammar("S -> for i = 0 to n do A[i, i + 1] {n = 3} ; A -> Raw ;")
+        array_term = grammar.rule("S").alternatives[0].terms[0]
+        refs = {(r.kind, r.attr) for r in term_references(array_term)}
+        assert ("name", "i") not in refs
+        assert ("name", "n") in refs
+
+    def test_checking_is_idempotent(self):
+        grammar = check('S -> "a"[0, 1] ;')
+        # A second run must not reorder or fail.
+        check_grammar(grammar)
+        assert grammar.checked

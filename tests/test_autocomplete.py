@@ -1,0 +1,120 @@
+"""Unit tests for implicit-interval auto-completion (section 3.4)."""
+
+import pytest
+
+from repro.core.ast import INTERVAL_EXPLICIT, INTERVAL_IMPLICIT, INTERVAL_LENGTH
+from repro.core.autocomplete import complete_grammar
+from repro.core.errors import AutoCompletionError
+from repro.core.expr import Dot, Name, Num
+from repro.core.grammar_parser import parse_grammar
+
+
+def completed_terms(text, rule="S", alternative=0):
+    grammar = complete_grammar(parse_grammar(text))
+    return grammar.rule(rule).alternatives[alternative].terms
+
+
+class TestPaperExample:
+    """The completion example of section 3.4:
+
+    ``S -> "magic" A B[10]`` becomes
+    ``S -> "magic"[0, 5] A[5, EOI] B[A.end, A.end + 10]``.
+    """
+
+    def test_magic_example(self):
+        terms = completed_terms('S -> "magic" A B[10] ; A -> Raw[0, 5] ; B -> Raw ;')
+        magic, a_term, b_term = terms
+        assert magic.interval.left == Num(0)
+        assert magic.interval.right == Num(5)
+        assert a_term.interval.left == Num(5)
+        assert a_term.interval.right == Name("EOI")
+        assert b_term.interval.left == Dot("A", "end")
+        assert b_term.interval.right.to_source() == "(A.end + 10)"
+
+    def test_forms_are_preserved_for_metrics(self):
+        terms = completed_terms('S -> "magic" A B[10] ; A -> Raw[0, 5] ; B -> Raw ;')
+        assert terms[0].interval.form == INTERVAL_IMPLICIT
+        assert terms[1].interval.form == INTERVAL_IMPLICIT
+        assert terms[2].interval.form == INTERVAL_LENGTH
+
+
+class TestChaining:
+    def test_leftmost_term_starts_at_zero(self):
+        terms = completed_terms("S -> A ; A -> Raw ;")
+        assert terms[0].interval.left == Num(0)
+        assert terms[0].interval.right == Name("EOI")
+
+    def test_terminal_after_terminal_chains_past_its_length(self):
+        terms = completed_terms('S -> "ab" "cd" ;')
+        assert terms[1].interval.left == Num(2)
+        assert terms[1].interval.right == Num(4)
+
+    def test_nonterminal_after_nonterminal_uses_end(self):
+        terms = completed_terms("S -> A B ; A -> Raw[0, 2] ; B -> Raw ;")
+        assert terms[1].interval.left == Dot("A", "end")
+
+    def test_attribute_defs_and_guards_are_transparent(self):
+        terms = completed_terms('S -> "ab" {x = 1} guard(x > 0) "cd" ;')
+        assert terms[3].interval.left == Num(2)
+
+    def test_explicit_intervals_are_untouched(self):
+        terms = completed_terms('S -> "ab"[3, 5] A[7, 9] ; A -> Raw ;')
+        assert terms[0].interval.form == INTERVAL_EXPLICIT
+        assert terms[1].interval.left == Num(7)
+
+    def test_chain_after_explicit_terminal_uses_its_left_plus_length(self):
+        terms = completed_terms('S -> "ab"[3, 10] A ; A -> Raw ;')
+        assert terms[1].interval.left == Num(5)
+
+    def test_switch_targets_complete_from_enclosing_chain(self):
+        text = (
+            'S -> U8 {t = U8.val} switch(t = 1 : A[4] / B[0]) ; A -> Raw ; B -> ""[0, 0] ;'
+        )
+        terms = completed_terms(text)
+        switch = terms[2]
+        a_case, b_case = switch.cases
+        assert a_case.target.interval.left == Dot("U8", "end")
+        assert a_case.target.interval.right.to_source() == "(U8.end + 4)"
+        assert b_case.target.interval.left == Dot("U8", "end")
+
+    def test_length_only_terminal(self):
+        terms = completed_terms('S -> "ab" Pad[3] "cd" ; Pad -> Raw ;')
+        assert terms[1].interval.left == Num(2)
+        assert terms[1].interval.right == Num(5)
+        assert terms[2].interval.left == Dot("Pad", "end")
+
+
+class TestErrors:
+    def test_term_after_array_needs_explicit_interval(self):
+        with pytest.raises(AutoCompletionError):
+            complete_grammar(
+                parse_grammar("S -> for i = 0 to 3 do A[i, i + 1] B ; A -> Raw ; B -> Raw ;")
+            )
+
+    def test_term_after_switch_needs_explicit_interval(self):
+        with pytest.raises(AutoCompletionError):
+            complete_grammar(
+                parse_grammar(
+                    "S -> {t = 1} switch(t = 1 : A[0, 1] / B[0, 1]) C ; A -> Raw ; B -> Raw ; C -> Raw ;"
+                )
+            )
+
+    def test_array_element_requires_explicit_interval(self):
+        with pytest.raises(AutoCompletionError):
+            complete_grammar(parse_grammar("S -> for i = 0 to 3 do A ; A -> Raw ;"))
+
+    def test_completion_is_idempotent(self):
+        grammar = parse_grammar('S -> "ab" A ; A -> Raw ;')
+        complete_grammar(grammar)
+        first = grammar.rule("S").alternatives[0].terms[1].interval.to_source()
+        complete_grammar(grammar)
+        assert grammar.rule("S").alternatives[0].terms[1].interval.to_source() == first
+
+    def test_local_rules_are_completed_too(self):
+        grammar = complete_grammar(
+            parse_grammar('S -> A D[0, EOI] where { D -> "xy" B ; B -> Raw ; } ; A -> Raw[0, 1] ;')
+        )
+        local = grammar.rule("S").alternatives[0].local_rules[0]
+        terms = local.alternatives[0].terms
+        assert terms[0].interval.left == Num(0)
+        assert terms[1].interval.left == Num(2)

@@ -1,0 +1,173 @@
+"""Tests for the baseline parsers (handwritten, Kaitai-like, Nail-like)."""
+
+import pytest
+
+from repro import samples
+from repro.baselines import handwritten, nail_like
+from repro.baselines.kaitai_like import KaitaiEngine, KaitaiError, KaitaiNonTermination, specs
+from repro.baselines.nail_like.dns import NailParseError
+
+
+class TestHandwritten:
+    def test_elf_round_trip(self, elf_sample):
+        parsed = handwritten.elf.parse(elf_sample)
+        assert parsed.header["shnum"] == len(parsed.section_headers)
+        names = handwritten.elf.section_names(parsed, elf_sample)
+        assert ".shstrtab" in names
+        assert "Section Headers:" in handwritten.elf.run_readelf(elf_sample)
+
+    def test_elf_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            handwritten.elf.parse(b"not an elf file at all")
+
+    def test_zip_extraction(self, zip_sample):
+        extracted = handwritten.zipfmt.run_unzip(zip_sample)
+        assert len(extracted) == 3
+        assert all(len(v) == 600 for v in extracted.values())
+
+    def test_zip_crc_check(self, zip_sample):
+        import zlib
+
+        corrupted = bytearray(zip_sample)
+        parsed = handwritten.zipfmt.parse(zip_sample)
+        corrupted[parsed.data_offsets[0]] ^= 0xFF
+        with pytest.raises((ValueError, zlib.error)):
+            handwritten.zipfmt.extract(bytes(corrupted), handwritten.zipfmt.parse(bytes(corrupted)))
+
+    def test_gif_blocks(self, gif_sample):
+        parsed = handwritten.gif.parse(gif_sample)
+        assert sum(1 for b in parsed.blocks if b.kind == "image") == 3
+
+    def test_pe_sections(self, pe_sample):
+        parsed = handwritten.pe.parse(pe_sample)
+        assert parsed.section_count == 3
+
+    def test_dns_names(self, dns_response_sample):
+        parsed = handwritten.dns.parse(dns_response_sample)
+        assert parsed.questions[0].name == "www.example.com"
+        assert len(parsed.records) == 4
+
+    def test_ipv4_fields(self, ipv4_sample):
+        parsed = handwritten.ipv4.parse(ipv4_sample)
+        assert parsed.destination_port == 53
+        assert len(parsed.payload) == 64
+
+    def test_ipv4_rejects_tcp(self, ipv4_sample):
+        corrupted = bytearray(ipv4_sample)
+        corrupted[9] = 6
+        with pytest.raises(ValueError):
+            handwritten.ipv4.parse(bytes(corrupted))
+
+
+class TestKaitaiLikeEngine:
+    def test_elf_spec(self, elf_sample):
+        obj = specs.get_engine("elf").parse(elf_sample)
+        assert obj["shnum"] == len(obj["section_headers"])
+        first = obj["section_headers"][0]
+        assert first.fields["sh_type"] == 0
+
+    def test_zip_spec_consumes_stream(self, zip_sample):
+        obj = specs.get_engine("zip").parse(zip_sample)
+        section_types = [s.fields["section_type"] for s in obj["sections"]]
+        assert section_types.count(0x0403) == 3  # local files
+        assert section_types.count(0x0201) == 3  # central directory entries
+        assert section_types.count(0x0605) == 1  # end of central directory
+
+    def test_gif_spec(self, gif_sample):
+        obj = specs.get_engine("gif").parse(gif_sample)
+        assert obj["logical_screen"].fields["width"] == 32
+        block_types = [b.fields["block_type"] for b in obj["blocks"]]
+        assert block_types[-1] == 0x3B
+
+    def test_pe_spec(self, pe_sample):
+        obj = specs.get_engine("pe").parse(pe_sample)
+        assert obj["pe_header"].fields["nsections"] == 3
+
+    def test_dns_spec(self, dns_response_sample):
+        obj = specs.get_engine("dns").parse(dns_response_sample)
+        assert len(obj["records"]) == 4
+
+    def test_ipv4_spec(self, ipv4_sample):
+        obj = specs.get_engine("ipv4").parse(ipv4_sample)
+        assert obj["udp"].fields["dport"] == 53
+
+    def test_magic_mismatch_raises(self, elf_sample):
+        with pytest.raises(KaitaiError):
+            specs.get_engine("elf").parse(b"XXXX" + elf_sample[4:])
+
+    def test_short_read_raises(self):
+        with pytest.raises(KaitaiError):
+            specs.get_engine("dns").parse(b"\x00\x01")
+
+    def test_seek_loop_detected_as_nontermination(self):
+        engine = KaitaiEngine(specs.NONTERMINATING_SEEK_SPEC, max_operations=10_000)
+        with pytest.raises(KaitaiNonTermination):
+            engine.parse(b"\x00")
+
+    def test_repeat_epsilon_detected_as_nontermination(self):
+        engine = KaitaiEngine(specs.NONTERMINATING_EPSILON_SPEC, max_operations=10_000)
+        with pytest.raises(KaitaiNonTermination):
+            engine.parse(b"abc")
+
+    def test_spec_line_counts_cover_all_formats(self):
+        counts = specs.spec_line_counts()
+        assert set(counts) == {"elf", "zip", "gif", "pe", "dns", "ipv4"}
+        assert all(count > 10 for count in counts.values())
+
+    def test_agrees_with_ipg_on_elf_sections(self, elf_parser, elf_sample):
+        kaitai_obj = specs.get_engine("elf").parse(elf_sample)
+        ipg_tree = elf_parser.parse(elf_sample)
+        kaitai_offsets = [sh.fields["offset"] for sh in kaitai_obj["section_headers"]]
+        ipg_offsets = [sh["offset"] for sh in ipg_tree.array("SH")]
+        assert kaitai_offsets == ipg_offsets
+
+
+class TestNailLike:
+    def test_dns_parse(self, dns_response_sample):
+        message, arena = nail_like.parse_dns(dns_response_sample)
+        assert len(message.questions) == 1
+        assert len(message.records) == 4
+        assert arena.object_count >= 6
+        assert arena.bytes_reserved >= 4096
+
+    def test_dns_pointer_recorded(self, dns_response_sample):
+        message, _arena = nail_like.parse_dns(dns_response_sample)
+        assert message.records[0].pointer == 12
+
+    def test_dns_truncated_raises(self, dns_response_sample):
+        with pytest.raises(NailParseError):
+            nail_like.parse_dns(dns_response_sample[:-3])
+
+    def test_ipv4_parse(self, ipv4_sample):
+        packet, arena = nail_like.parse_ipv4_udp(ipv4_sample)
+        assert packet.udp.destination_port == 53
+        assert bytes(packet.udp.payload) == ipv4_sample[-64:]
+        assert arena.bytes_reserved >= 4096
+
+    def test_ipv4_rejects_tcp(self, ipv4_sample):
+        corrupted = bytearray(ipv4_sample)
+        corrupted[9] = 6
+        with pytest.raises(NailParseError):
+            nail_like.parse_ipv4_udp(bytes(corrupted))
+
+    def test_arena_allocation(self):
+        arena = nail_like.Arena(block_size=64)
+        views = [arena.alloc_bytes(bytes([i]) * 40) for i in range(3)]
+        assert [bytes(v)[:1] for v in views] == [b"\x00", b"\x01", b"\x02"]
+        assert arena.bytes_reserved >= 3 * 40
+        oversized = arena.alloc_bytes(b"x" * 200)
+        assert len(oversized) == 200
+        arena.reset()
+        assert arena.object_count == 0
+        assert arena.bytes_reserved == 64
+
+    def test_arena_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            nail_like.Arena(block_size=0)
+
+    def test_agreement_with_ipg_dns(self, dns_parser, dns_response_sample):
+        from repro.formats import dns as dns_format
+
+        nail_message, _ = nail_like.parse_dns(dns_response_sample)
+        ipg_summary = dns_format.summarize(dns_parser.parse(dns_response_sample))
+        assert len(nail_message.records) == len(ipg_summary.records)

@@ -1,0 +1,175 @@
+"""Tests for the interval-based parser combinator library (appendix A.2)."""
+
+import pytest
+
+from repro.core.combinators import (
+    State,
+    arr,
+    byte_p,
+    char_p,
+    digit_p,
+    eoi,
+    fail,
+    fix,
+    get_interval,
+    get_pos,
+    int_p,
+    local,
+    many,
+    many1,
+    pure,
+    seq,
+    set_interval,
+    set_pos,
+    string_p,
+    take,
+    u8,
+    u16be,
+    u16le,
+    u32be,
+    u32le,
+)
+from repro.core.errors import ParseFailure
+
+
+class TestPrimitives:
+    def test_pure_succeeds_without_consuming(self):
+        assert pure(42).run(b"abc") == 42
+
+    def test_fail_always_fails(self):
+        assert fail().try_run(b"abc") is None
+
+    def test_get_interval_and_pos(self):
+        value = seq(get_interval(), get_pos()).run(b"abcd")
+        assert value == [(0, 4), 0]
+
+    def test_set_interval_requires_non_empty(self):
+        assert set_interval(2, 2)(b"abcd", State(0, 4, 0)) is None
+        outcome = set_interval(1, 3)(b"abcd", State(0, 4, 0))
+        assert outcome is not None
+        assert outcome[1] == State(1, 3, 1)
+
+    def test_set_pos_moves_cursor(self):
+        parser = set_pos(2).then_(char_p("c"))
+        assert parser.try_run(b"abc") == "c"
+
+    def test_eoi_is_local_interval_length(self):
+        assert eoi().run(b"abcdef") == 6
+        assert (eoi() % (2, 5)).run(b"abcdef") == 3
+
+
+class TestByteLevelParsers:
+    def test_char_p(self):
+        assert char_p("a").try_run(b"abc") == "a"
+        assert char_p("z").try_run(b"abc") is None
+        assert char_p("a").try_run(b"") is None
+
+    def test_byte_p(self):
+        assert byte_p().run(b"\x7fabc") == 0x7F
+
+    def test_string_p(self):
+        assert string_p(b"PK\x03\x04").try_run(b"PK\x03\x04rest") == b"PK\x03\x04"
+        assert string_p(b"PK").try_run(b"P") is None
+
+    def test_take(self):
+        assert take(3).run(b"abcdef") == b"abc"
+        assert take(7).try_run(b"abc") is None
+
+    def test_integer_parsers(self):
+        assert u8().run(b"\x2a") == 42
+        assert u16le().run(b"\x01\x02") == 0x0201
+        assert u16be().run(b"\x01\x02") == 0x0102
+        assert u32le().run(b"\x78\x56\x34\x12") == 0x12345678
+        assert u32be().run(b"\x12\x34\x56\x78") == 0x12345678
+
+
+class TestCombinators:
+    def test_bind_threads_values(self):
+        parser = u8().bind(lambda n: take(n))
+        assert parser.run(b"\x03abcdef") == b"abc"
+
+    def test_rshift_is_bind(self):
+        parser = u8() >> (lambda n: pure(n * 2))
+        assert parser.run(b"\x05") == 10
+
+    def test_map(self):
+        assert u8().map(lambda v: v + 1).run(b"\x09") == 10
+
+    def test_then_drops_left_value(self):
+        assert string_p(b"hd").then_(u8()).run(b"hd\x07") == 7
+
+    def test_biased_choice(self):
+        parser = string_p(b"ab") | string_p(b"a")
+        assert parser.run(b"ab") == b"ab"
+        assert parser.run(b"ax") == b"a"
+        assert (string_p(b"z") | string_p(b"a")).try_run(b"a") == b"a"
+
+    def test_seq_collects_values(self):
+        assert seq(u8(), u8(), u8()).run(b"\x01\x02\x03") == [1, 2, 3]
+
+    def test_many_and_many1(self):
+        assert many(char_p("a")).run(b"aaab") == ["a", "a", "a"]
+        assert many(char_p("z")).run(b"abc") == []
+        assert many1(char_p("a")).try_run(b"b") is None
+
+    def test_many_stops_on_non_consuming_parser(self):
+        assert many(pure(1)).run(b"abc") == []
+
+    def test_arr_fixed_repetition(self):
+        assert arr(3, u8()).run(b"\x01\x02\x03\x04") == [1, 2, 3]
+        assert arr(0, u8()).run(b"") == []
+
+    def test_run_raises_on_failure(self):
+        with pytest.raises(ParseFailure):
+            char_p("z").run(b"abc")
+
+
+class TestLocalIntervals:
+    def test_local_restricts_view(self):
+        # A parser for "bb" succeeds only inside the window that contains it.
+        parser = string_p(b"bb") % (3, 5)
+        assert parser.try_run(b"xxxbbyy") == b"bb"
+        assert (string_p(b"bb") % (0, 2)).try_run(b"xxxbbyy") is None
+
+    def test_local_interval_out_of_range_fails(self):
+        assert (take(1) % (0, 10)).try_run(b"abc") is None
+
+    def test_position_moves_to_end_of_local_interval(self):
+        parser = (take(1) % (0, 3)).then_(char_p("d"))
+        assert parser.try_run(b"abcd") == "d"
+
+    def test_figure_1_style_grammar(self):
+        grammar = eoi().bind(
+            lambda end: (string_p(b"aa") % (0, 2)).then_(
+                (string_p(b"bb") % (end - 2, end)).map(lambda _value: True)
+            )
+        )
+        assert grammar.try_run(b"aaxxxbb") is True
+        assert grammar.try_run(b"aabb") is True
+        assert grammar.try_run(b"abxbb") is None
+
+
+class TestAppendixExample:
+    """The binary-number parser of the appendix (combinator Figure 3)."""
+
+    @pytest.mark.parametrize("text", ["0", "1", "10", "1011", "110110"])
+    def test_matches_python_int(self, text):
+        assert int_p().try_run(text.encode()) == int(text, 2)
+
+    def test_empty_input_fails(self):
+        assert int_p().try_run(b"") is None
+
+    def test_digit_p(self):
+        assert digit_p().try_run(b"0") == 0
+        assert digit_p().try_run(b"1") == 1
+        assert digit_p().try_run(b"2") is None
+
+    def test_combinator_agrees_with_ipg_figure_3(self, figure3_parser):
+        for text in (b"1", b"10", b"1101", b"100001"):
+            assert int_p().try_run(text) == figure3_parser.parse(text)["val"]
+
+    def test_fix_builds_recursive_parsers(self):
+        # many 'a's followed by 'b', written with fix.
+        parser = fix(lambda self: (char_p("a").then_(self)) | char_p("b"))
+        assert parser.try_run(b"aaab") == "b"
+        assert parser.try_run(b"c") is None

@@ -1,0 +1,157 @@
+"""Tests for the cycle enumerator and the constraint solver."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.cycles import cycle_edges, elementary_cycles, has_cycle, strongly_connected_components
+from repro.core.grammar_parser import parse_expression
+from repro.solver import Constraint, LinearForm, Satisfiability, check_satisfiability, linearize
+from repro.solver.sat import REL_EQ, REL_GE, REL_GT
+
+
+def cycles_as_sets(graph):
+    return [frozenset(cycle) for cycle in elementary_cycles(graph)]
+
+
+class TestElementaryCycles:
+    def test_acyclic_graph(self):
+        graph = {"a": ["b"], "b": ["c"], "c": []}
+        assert elementary_cycles(graph) == []
+        assert not has_cycle(graph)
+
+    def test_self_loop(self):
+        graph = {"a": ["a", "b"], "b": []}
+        assert elementary_cycles(graph) == [["a"]]
+        assert has_cycle(graph)
+
+    def test_two_cycle(self):
+        graph = {"a": ["b"], "b": ["a"]}
+        assert cycles_as_sets(graph) == [frozenset({"a", "b"})]
+
+    def test_triangle_and_two_cycle(self):
+        graph = {"a": ["b"], "b": ["c", "a"], "c": ["a"]}
+        found = cycles_as_sets(graph)
+        assert frozenset({"a", "b"}) in found
+        assert frozenset({"a", "b", "c"}) in found
+        assert len(found) == 2
+
+    def test_complete_graph_k3_has_five_cycles(self):
+        # K3 with all directed edges: 3 two-cycles + 2 triangles.
+        graph = {
+            "a": ["b", "c"],
+            "b": ["a", "c"],
+            "c": ["a", "b"],
+        }
+        assert len(elementary_cycles(graph)) == 5
+
+    def test_matches_networkx_when_available(self):
+        networkx = pytest.importorskip("networkx")
+        graph = {
+            0: [1, 2],
+            1: [2, 3, 0],
+            2: [0, 3],
+            3: [1],
+            4: [4],
+        }
+        ours = {frozenset(c) if len(c) > 1 else frozenset(c) for c in elementary_cycles(graph)}
+        digraph = networkx.DiGraph(
+            [(u, v) for u, successors in graph.items() for v in successors]
+        )
+        theirs = {frozenset(c) for c in networkx.simple_cycles(digraph)}
+        assert ours == theirs
+
+    def test_cycle_edges_helper(self):
+        assert cycle_edges(["a", "b", "c"]) == [("a", "b"), ("b", "c"), ("c", "a")]
+        assert cycle_edges(["a"]) == [("a", "a")]
+        assert cycle_edges([]) == []
+
+    def test_strongly_connected_components(self):
+        graph = {"a": ["b"], "b": ["a", "c"], "c": []}
+        components = strongly_connected_components(graph)
+        assert {frozenset(c) for c in components} == {frozenset({"a", "b"}), frozenset({"c"})}
+
+
+class TestLinearize:
+    def lin(self, text):
+        return linearize(parse_expression(text))
+
+    def test_constant(self):
+        form = self.lin("42")
+        assert form.is_constant and form.constant == 42
+
+    def test_variable_and_sum(self):
+        form = self.lin("x + 3")
+        assert form.constant == 3
+        assert form.coefficient("x") == 1
+
+    def test_subtraction_and_scaling(self):
+        form = self.lin("2 * x - y / 2")
+        assert form.coefficient("x") == 2
+        assert form.coefficient("y") == Fraction(-1, 2)
+
+    def test_references_become_variables(self):
+        form = self.lin("H.ofs + 4 * i")
+        assert form.coefficient("H.ofs") == 1
+        assert form.coefficient("i") == 4
+
+    def test_nonlinear_returns_none(self):
+        assert self.lin("x * y") is None
+        assert self.lin("x / y") is None
+        assert self.lin("x ? 1 : 2") is None
+        assert self.lin("x & 3") is None
+
+    def test_substitute_and_evaluate(self):
+        form = self.lin("2 * x + y + 1")
+        substituted = form.substitute("x", LinearForm.of_constant(3))
+        assert substituted.constant == 7
+        assert substituted.evaluate({"y": 5}) == 12
+
+
+class TestSatisfiability:
+    def test_trivially_satisfiable(self):
+        form = linearize(parse_expression("x"))
+        assert check_satisfiability([Constraint(form, REL_EQ)]) is Satisfiability.SAT
+
+    def test_constant_contradiction(self):
+        form = linearize(parse_expression("1"))
+        assert check_satisfiability([Constraint(form, REL_EQ)]) is Satisfiability.UNSAT
+
+    def test_eoi_minus_one_equals_eoi_is_unsat(self):
+        # The core of the Figure 3 termination argument: EOI - 1 = EOI.
+        left = linearize(parse_expression("EOI - 1"))
+        eoi = LinearForm.of_variable("EOI")
+        assert (
+            check_satisfiability([Constraint(left - eoi, REL_EQ)]) is Satisfiability.UNSAT
+        )
+
+    def test_equalities_propagate(self):
+        x = LinearForm.of_variable("x")
+        y = LinearForm.of_variable("y")
+        constraints = [
+            Constraint(x - y, REL_EQ),                       # x = y
+            Constraint(y - LinearForm.of_constant(3), REL_EQ),  # y = 3
+            Constraint(x - LinearForm.of_constant(4), REL_EQ),  # x = 4 (contradiction)
+        ]
+        assert check_satisfiability(constraints) is Satisfiability.UNSAT
+
+    def test_end_refinement_pattern(self):
+        # end = 0 together with end > 0 must be unsatisfiable.
+        end = LinearForm.of_variable("Block.end")
+        constraints = [Constraint(end, REL_EQ), Constraint(end, REL_GT)]
+        assert check_satisfiability(constraints) is Satisfiability.UNSAT
+
+    def test_inequality_satisfiable(self):
+        x = LinearForm.of_variable("x")
+        constraints = [Constraint(x - LinearForm.of_constant(2), REL_GE)]
+        assert check_satisfiability(constraints) is Satisfiability.SAT
+
+    def test_witness_search_over_small_values(self):
+        x = LinearForm.of_variable("x")
+        y = LinearForm.of_variable("y")
+        constraints = [
+            Constraint(x + y - LinearForm.of_constant(5), REL_EQ),
+            Constraint(x - LinearForm.of_constant(1), REL_GE),
+            Constraint(y - LinearForm.of_constant(1), REL_GE),
+        ]
+        assert check_satisfiability(constraints) is Satisfiability.SAT

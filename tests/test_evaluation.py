@@ -1,0 +1,133 @@
+"""Tests for the evaluation harness (metrics, timing, memory, report)."""
+
+import pytest
+
+from repro import samples
+from repro.evaluation import (
+    interval_statistics,
+    measure_peak_memory,
+    measure_runtime,
+    spec_size_table,
+)
+from repro.evaluation.metrics import (
+    PAPER_TABLE1_IPG,
+    TABLE_FORMATS,
+    aggregate_interval_shares,
+    interval_table,
+)
+from repro.evaluation.memory import measure_memory_series
+from repro.evaluation.timing import measure_series
+from repro.evaluation import report
+from repro.formats import registry
+
+
+class TestSpecSizeMetrics:
+    def test_table_covers_all_formats(self):
+        rows = {row.fmt: row for row in spec_size_table()}
+        assert set(rows) == set(TABLE_FORMATS)
+
+    def test_ipg_line_counts_are_positive_and_modest(self):
+        for row in spec_size_table():
+            assert 10 <= row.ipg_lines <= 200
+
+    def test_ipg_specs_are_smaller_than_kaitai_like(self):
+        # The qualitative Table 1 claim: the IPG specification is the compact
+        # one.  (zip is excluded: its Kaitai-like spec omits the archive-data
+        # interpretation the IPG version includes.)
+        rows = {row.fmt: row for row in spec_size_table()}
+        smaller = [
+            fmt
+            for fmt, row in rows.items()
+            if row.kaitai_lines is not None and row.ipg_lines < row.kaitai_lines
+        ]
+        assert len(smaller) >= 4
+
+    def test_nail_like_reported_for_network_formats_only(self):
+        rows = {row.fmt: row for row in spec_size_table()}
+        assert rows["dns"].nail_lines is not None
+        assert rows["ipv4"].nail_lines is not None
+        assert rows["elf"].nail_lines is None
+
+    def test_paper_reference_numbers_available(self):
+        assert set(PAPER_TABLE1_IPG) == set(TABLE_FORMATS)
+
+
+class TestIntervalMetrics:
+    def test_counts_are_consistent(self):
+        for stats in interval_table():
+            assert stats.total == stats.explicit + stats.length_only + stats.fully_implicit
+            assert stats.eliminated == stats.length_only + stats.fully_implicit
+
+    def test_most_intervals_need_not_be_written_in_full(self):
+        # Paper: 27% fully implicit + 52.9% length-only, i.e. ~80% of
+        # intervals do not need both endpoints.  We check the same aggregate.
+        shares = aggregate_interval_shares()
+        assert shares["fully_implicit"] + shares["length_only"] > 50.0
+
+    def test_single_format_statistics(self):
+        stats = interval_statistics("gif")
+        assert stats.fmt == "gif"
+        assert stats.total > 20
+        assert stats.fully_implicit > 0
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(KeyError):
+            interval_statistics("not-a-format")
+
+
+class TestTimingAndMemory:
+    def test_measure_runtime_returns_sane_numbers(self):
+        measurement = measure_runtime(lambda: sum(range(500)), repeats=5, warmup=1)
+        assert measurement.mean >= 0.0
+        assert measurement.minimum <= measurement.mean
+        assert measurement.repeats == 5
+        assert measurement.mean_ms == measurement.mean * 1000.0
+
+    def test_measure_runtime_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            measure_runtime(lambda: None, repeats=0)
+
+    def test_measure_series_labels_points(self):
+        points = measure_series(len, [b"ab", b"abcd"], ["two", "four"], repeats=2)
+        assert [p.label for p in points] == ["two", "four"]
+        assert [p.input_bytes for p in points] == [2, 4]
+
+    def test_measure_peak_memory_detects_allocation(self):
+        small = measure_peak_memory(lambda: bytes(10))
+        large = measure_peak_memory(lambda: bytes(4_000_000))
+        assert large.peak_bytes > small.peak_bytes
+        assert large.peak_kib > 1000
+
+    def test_measure_memory_series(self):
+        points = measure_memory_series(
+            lambda data: bytearray(data * 100), [b"x", b"y" * 10], ["a", "b"]
+        )
+        assert len(points) == 2
+        assert points[1].measurement.peak_bytes >= points[0].measurement.peak_bytes
+
+
+class TestReport:
+    def test_table1_section(self):
+        text = report.experiment_table1()
+        assert "Table 1" in text
+        for fmt in TABLE_FORMATS:
+            assert fmt in text
+
+    def test_table2_section(self):
+        text = report.experiment_table2()
+        assert "fully implicit" in text
+        assert "%" in text
+
+    def test_termination_section_reports_every_format(self):
+        text = report.experiment_termination()
+        for fmt in registry:
+            assert fmt in text
+        assert "NO" not in text.split("terminates")[1].splitlines()[0]
+
+    def test_fig13_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            report.experiment_fig13("tar")
+
+    def test_fig14_runs_quickly_in_quick_mode(self):
+        text = report.experiment_fig14(quick=True)
+        assert "IPG" in text and "Nail-like" in text

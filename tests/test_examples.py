@@ -1,0 +1,27 @@
+"""Smoke tests: every example script must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 3  # deliverable: at least three runnable examples
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples should print something"

@@ -1,0 +1,165 @@
+"""Unit tests for expression evaluation and reference collection."""
+
+import pytest
+
+from repro.core.env import EvalContext
+from repro.core.errors import EvaluationError
+from repro.core.expr import BinOp, Cond, Dot, Exists, Index, Name, Num, add, dot_end, sub
+from repro.core.grammar_parser import parse_expression
+from repro.core.parsetree import Node
+
+
+def make_context():
+    ctx = EvalContext({"EOI": 100, "x": 7, "flag": 1})
+    ctx.record_node(Node("H", {"EOI": 8, "start": 0, "end": 8, "offset": 32, "length": 4}, []))
+    ctx.arrays["A"] = [
+        Node("A", {"EOI": 4, "start": 0, "end": 4, "val": 10 * i}, []) for i in range(5)
+    ]
+    return ctx
+
+
+def evaluate(text, ctx=None):
+    return parse_expression(text).evaluate(ctx if ctx is not None else make_context())
+
+
+class TestArithmetic:
+    def test_addition_subtraction(self):
+        assert evaluate("1 + 2 - 4") == -1
+
+    def test_multiplication(self):
+        assert evaluate("6 * 7") == 42
+
+    def test_division_truncates_toward_zero(self):
+        assert evaluate("7 / 2") == 3
+        assert evaluate("-7 / 2") == -3
+
+    def test_modulo(self):
+        assert evaluate("7 % 3") == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("1 / 0")
+
+    def test_modulo_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("1 % 0")
+
+    def test_shifts_and_bit_operations(self):
+        assert evaluate("1 << 4") == 16
+        assert evaluate("255 >> 4") == 15
+        assert evaluate("12 & 10") == 8
+        assert evaluate("12 | 3") == 15
+
+    def test_negative_shift_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("1 << (0 - 1)")
+
+
+class TestComparisonsAndLogic:
+    def test_equality_returns_zero_or_one(self):
+        assert evaluate("3 = 3") == 1
+        assert evaluate("3 = 4") == 0
+        assert evaluate("3 != 4") == 1
+
+    def test_orderings(self):
+        assert evaluate("2 < 3") == 1
+        assert evaluate("3 <= 3") == 1
+        assert evaluate("4 > 5") == 0
+        assert evaluate("5 >= 6") == 0
+
+    def test_logical_and_or(self):
+        assert evaluate("1 && 0") == 0
+        assert evaluate("1 && 2") == 1
+        assert evaluate("0 || 0") == 0
+        assert evaluate("0 || 5") == 1
+
+    def test_short_circuit_avoids_errors(self):
+        # The right operand would divide by zero; && must not evaluate it.
+        assert evaluate("0 && (1 / 0)") == 0
+        assert evaluate("1 || (1 / 0)") == 1
+
+
+class TestReferences:
+    def test_plain_name(self):
+        assert evaluate("x") == 7
+        assert evaluate("EOI") == 100
+
+    def test_undefined_name_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("nope")
+
+    def test_dot_reference(self):
+        assert evaluate("H.offset + H.length") == 36
+
+    def test_dot_reference_missing_attribute(self):
+        with pytest.raises(EvaluationError):
+            evaluate("H.nope")
+
+    def test_dot_reference_unparsed_nonterminal(self):
+        with pytest.raises(EvaluationError):
+            evaluate("Z.val")
+
+    def test_indexed_reference(self):
+        assert evaluate("A(3).val") == 30
+
+    def test_indexed_reference_out_of_range(self):
+        with pytest.raises(EvaluationError):
+            evaluate("A(9).val")
+
+    def test_outer_context_lookup(self):
+        outer = make_context()
+        inner = outer.child()
+        assert Name("x").evaluate(inner) == 7
+        assert Dot("H", "offset").evaluate(inner) == 32
+        assert Index("A", Num(1), "val").evaluate(inner) == 10
+
+
+class TestConditionalAndExists:
+    def test_ternary_takes_then_branch(self):
+        assert evaluate("flag = 1 ? 10 : 20") == 10
+
+    def test_ternary_takes_else_branch(self):
+        assert evaluate("flag = 0 ? 10 : 20") == 20
+
+    def test_exists_finds_first_match(self):
+        assert evaluate("exists j . A(j).val = 20 ? j : 99") == 2
+
+    def test_exists_falls_back_to_else(self):
+        assert evaluate("exists j . A(j).val = 123 ? j : 99") == 99
+
+    def test_exists_bound_variable_not_free(self):
+        expr = parse_expression("exists j . A(j).val = 0 ? j : 0")
+        assert ("name", "j") not in expr.references()
+
+    def test_exists_without_array_reference_raises(self):
+        ctx = make_context()
+        expr = Exists("j", BinOp("=", Name("x"), Num(0)), Num(1), Num(2))
+        with pytest.raises(EvaluationError):
+            expr.evaluate(ctx)
+
+
+class TestHelpersAndReferences:
+    def test_references_of_composite_expression(self):
+        expr = parse_expression("H.offset + size * i")
+        assert expr.references() == {("nt", "H"), ("name", "size"), ("name", "i")}
+
+    def test_eoi_is_a_special_reference(self):
+        assert parse_expression("EOI - 2").references() == {("special", "EOI")}
+
+    def test_add_sub_constant_folding(self):
+        assert add(Num(2), Num(3)) == Num(5)
+        assert add(Name("x"), Num(0)) == Name("x")
+        assert sub(Name("x"), Num(0)) == Name("x")
+        assert sub(Num(5), Num(2)) == Num(3)
+
+    def test_dot_end_helper(self):
+        assert dot_end("A") == Dot("A", "end")
+
+    def test_to_source_round_trip(self):
+        text = "(H.offset + (3 * (2 << (flags & 7))))"
+        expr = parse_expression(text)
+        assert parse_expression(expr.to_source()) == expr
+
+    def test_cond_to_source_round_trip(self):
+        expr = parse_expression("a = 1 ? b : c + 1")
+        assert parse_expression(expr.to_source()) == expr

@@ -1,0 +1,103 @@
+"""Tests for the ELF case study (section 4.1)."""
+
+import struct
+
+import pytest
+
+from repro import samples
+from repro.baselines.handwritten import elf as handwritten_elf
+from repro.formats import elf
+
+
+class TestParsing:
+    def test_header_fields(self, elf_parser, elf_sample):
+        tree = elf_parser.parse(elf_sample)
+        header = tree.child("H")
+        assert header["class"] == 2
+        assert header["machine"] == 0x3E
+        assert header["shentsize"] == 64
+        assert header["shnum"] == 8  # 4 payload + null + dynamic + symtab + shstrtab
+
+    def test_section_header_table_via_random_access(self, elf_parser, elf_sample):
+        tree = elf_parser.parse(elf_sample)
+        headers = tree.array("SH")
+        assert len(headers) == tree.child("H")["shnum"]
+        # The null section comes first.
+        assert headers[0]["type"] == 0 and headers[0]["size"] == 0
+
+    def test_sections_parsed_by_type(self, elf_parser, elf_sample):
+        tree = elf_parser.parse(elf_sample)
+        sections = tree.array("Sec")
+        type_names = [
+            "DynSec" if s.child("DynSec") else
+            "SymTab" if s.child("SymTab") else
+            "StrTab" if s.child("StrTab") else "OtherSec"
+            for s in sections
+        ]
+        assert "DynSec" in type_names
+        assert "SymTab" in type_names
+        assert "StrTab" in type_names
+        assert "OtherSec" in type_names
+
+    def test_dynamic_entries(self, elf_parser):
+        data = samples.build_elf(section_count=1, symbol_count=0, dynamic_entries=5)
+        tree = elf_parser.parse(data)
+        entries = [node for sec in tree.array("Sec") if sec.child("DynSec")
+                   for node in sec.child("DynSec").array("DynEntry")]
+        assert [entry["tag"] for entry in entries] == list(range(5))
+
+    def test_symbols(self, elf_parser):
+        data = samples.build_elf(section_count=1, symbol_count=6, dynamic_entries=0)
+        summary = elf.summarize(elf_parser.parse(data), data)
+        assert len(summary.symbols) == 6
+        assert summary.symbols[0]["value"] == 0x400000
+
+    def test_rejects_bad_magic(self, elf_parser, elf_sample):
+        corrupted = b"\x7fELG" + elf_sample[4:]
+        assert not elf_parser.accepts(corrupted)
+
+    def test_rejects_32_bit_class(self, elf_parser, elf_sample):
+        corrupted = bytearray(elf_sample)
+        corrupted[4] = 1  # ELFCLASS32
+        assert not elf_parser.accepts(bytes(corrupted))
+
+    def test_rejects_truncated_section_table(self, elf_parser, elf_sample):
+        assert not elf_parser.accepts(elf_sample[:-10])
+
+    def test_rejects_out_of_range_section_offset(self, elf_parser, elf_sample):
+        corrupted = bytearray(elf_sample)
+        # Point the section header table way past the end of the file.
+        struct.pack_into("<Q", corrupted, 40, len(corrupted) * 2)
+        assert not elf_parser.accepts(bytes(corrupted))
+
+
+class TestSummary:
+    def test_section_names_resolved(self, elf_parser, elf_sample):
+        summary = elf.summarize(elf_parser.parse(elf_sample), elf_sample)
+        names = [section.name for section in summary.sections]
+        assert ".data0" in names
+        assert ".shstrtab" in names
+        assert ".dynamic" in names
+
+    def test_summary_matches_handwritten_baseline(self, elf_parser, elf_sample):
+        summary = elf.summarize(elf_parser.parse(elf_sample), elf_sample)
+        baseline = handwritten_elf.parse(elf_sample)
+        assert summary.section_count == baseline.header["shnum"]
+        assert summary.entry == baseline.header["entry"]
+        assert [s.offset for s in summary.sections] == [
+            sh["offset"] for sh in baseline.section_headers
+        ]
+        assert len(summary.symbols) == len(baseline.symbols)
+
+    def test_render_readelf_contains_sections(self, elf_parser, elf_sample):
+        text = elf.render_readelf(elf.summarize(elf_parser.parse(elf_sample), elf_sample))
+        assert "ELF Header:" in text
+        assert ".data0" in text
+
+
+class TestScaling:
+    @pytest.mark.parametrize("count", [1, 8, 24])
+    def test_parses_files_of_varying_size(self, elf_parser, count):
+        data = samples.build_elf(section_count=count, symbol_count=4, dynamic_entries=2)
+        tree = elf_parser.parse(data)
+        assert tree.child("H")["shnum"] == count + 4

@@ -1,0 +1,136 @@
+"""Tests for the GIF (section 4.2) and ZIP case studies."""
+
+import zlib
+
+import pytest
+
+from repro import samples
+from repro.baselines.handwritten import gif as handwritten_gif
+from repro.baselines.handwritten import zipfmt as handwritten_zip
+from repro.formats import gif, zipfmt
+
+
+class TestGif:
+    def test_header_and_screen_descriptor(self, gif_parser, gif_sample):
+        summary = gif.summarize(gif_parser.parse(gif_sample))
+        assert summary.version == "GIF89a"
+        assert (summary.width, summary.height) == (32, 32)
+        assert summary.has_global_color_table
+        assert summary.global_color_table_size == 24
+
+    def test_block_inventory(self, gif_parser, gif_sample):
+        summary = gif.summarize(gif_parser.parse(gif_sample))
+        kinds = [block.kind for block in summary.blocks]
+        assert kinds.count("image") == 3
+        assert kinds.count("extension") >= 3  # comment + one GCE per frame
+
+    def test_agrees_with_handwritten_baseline(self, gif_parser, gif_sample):
+        ours = gif.summarize(gif_parser.parse(gif_sample))
+        baseline = handwritten_gif.parse(gif_sample)
+        assert len(ours.blocks) == len(baseline.blocks)
+        assert [b.kind for b in ours.blocks] == [b.kind for b in baseline.blocks]
+        assert [b.data_length for b in ours.blocks] == [b.data_length for b in baseline.blocks]
+
+    def test_gif87a_accepted(self, gif_parser):
+        data = bytearray(samples.build_gif(frame_count=1))
+        data[3:6] = b"87a"
+        assert gif_parser.accepts(bytes(data))
+
+    def test_rejects_bad_magic(self, gif_parser, gif_sample):
+        assert not gif_parser.accepts(b"JIF89a" + gif_sample[6:])
+
+    def test_rejects_missing_trailer(self, gif_parser, gif_sample):
+        assert not gif_parser.accepts(gif_sample[:-1])
+
+    def test_rejects_corrupt_sub_block_length(self, gif_parser):
+        data = bytearray(samples.build_gif(frame_count=1, bytes_per_frame=64, with_comments=False))
+        # The first sub-block length byte of the image data: make it run past
+        # the end of the file.
+        index = data.index(0x2C)  # image separator
+        data[index + 11] = 250
+        assert not gif_parser.accepts(bytes(data))
+
+    def test_image_without_local_color_table(self, gif_parser):
+        summary = gif.summarize(gif_parser.parse(samples.build_gif(frame_count=1)))
+        image_blocks = [b for b in summary.blocks if b.kind == "image"]
+        assert image_blocks[0].width == 32
+
+    @pytest.mark.parametrize("frames", [0, 1, 5])
+    def test_frame_count_scales(self, gif_parser, frames):
+        if frames == 0:
+            # A GIF with no image blocks still has the comment extension.
+            data = samples.build_gif(frame_count=0, with_comments=False)
+            # Blocks requires at least one block; such a file is degenerate
+            # and correctly rejected by the grammar (Blocks has no empty case).
+            assert not gif_parser.accepts(data)
+            return
+        data = samples.build_gif(frame_count=frames)
+        summary = gif.summarize(gif_parser.parse(data))
+        assert sum(1 for b in summary.blocks if b.kind == "image") == frames
+
+
+class TestZip:
+    def test_member_table(self, zip_parser, zip_sample):
+        members = zipfmt.list_members(zip_parser.parse(zip_sample))
+        assert [m.name for m in members] == [
+            "member_0000.txt",
+            "member_0001.txt",
+            "member_0002.txt",
+        ]
+        assert all(m.method == 8 for m in members)  # deflated
+        assert all(m.uncompressed_size == 600 for m in members)
+
+    def test_extraction_via_blackbox(self, zip_parser, zip_sample):
+        tree = zip_parser.parse(zip_sample)
+        members = zipfmt.list_members(tree)
+        extracted = zipfmt.extract_all(tree)
+        assert set(extracted) == {m.name for m in members}
+        assert all(len(data) == 600 for data in extracted.values())
+        assert zipfmt.verify_crc(extracted, members)
+
+    def test_extraction_matches_handwritten_unzip(self, zip_parser, zip_sample):
+        ours = zipfmt.extract_all(zip_parser.parse(zip_sample))
+        baseline = handwritten_zip.run_unzip(zip_sample)
+        assert ours == baseline
+
+    def test_stored_members(self, zip_parser):
+        archive = samples.build_zip(member_count=2, member_size=128, compressed=False)
+        tree = zip_parser.parse(archive)
+        members = zipfmt.list_members(tree)
+        assert all(m.method == 0 for m in members)
+        extracted = zipfmt.extract_all(tree)
+        assert zipfmt.verify_crc(extracted, members)
+
+    def test_metadata_only_parser_skips_data(self, zip_sample):
+        tree = zipfmt.build_metadata_parser().parse(zip_sample)
+        assert len(tree.array("CDE")) == 3
+        # No Entry nodes: the archived data is never touched.
+        assert tree.array("Entry") is None
+
+    def test_empty_archive(self, zip_parser):
+        archive = samples.build_zip(member_count=0)
+        tree = zip_parser.parse(archive)
+        assert zipfmt.list_members(tree) == []
+
+    def test_rejects_truncated_archive(self, zip_parser, zip_sample):
+        assert not zip_parser.accepts(zip_sample[:-4])
+
+    def test_rejects_corrupted_central_directory_magic(self, zip_parser, zip_sample):
+        corrupted = bytearray(zip_sample)
+        offset = corrupted.find(b"PK\x01\x02")
+        corrupted[offset + 3] = 0x7F
+        assert not zip_parser.accepts(bytes(corrupted))
+
+    def test_crc_detects_corruption(self, zip_parser, zip_sample):
+        tree = zip_parser.parse(zip_sample)
+        members = zipfmt.list_members(tree)
+        extracted = zipfmt.extract_all(tree)
+        extracted["member_0000.txt"] = b"tampered"
+        assert not zipfmt.verify_crc(extracted, members)
+
+    def test_blackbox_decompression_is_correct(self, zip_parser):
+        archive = samples.build_zip(member_count=1, member_size=2048)
+        extracted = zipfmt.extract_all(zip_parser.parse(archive))
+        (payload,) = extracted.values()
+        assert len(payload) == 2048
+        assert zlib.crc32(payload) == zlib.crc32(handwritten_zip.run_unzip(archive)["member_0000.txt"])

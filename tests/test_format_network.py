@@ -1,0 +1,127 @@
+"""Tests for the network-format case studies (DNS and IPv4+UDP)."""
+
+import pytest
+
+from repro import samples
+from repro.baselines.handwritten import dns as handwritten_dns
+from repro.baselines.handwritten import ipv4 as handwritten_ipv4
+from repro.formats import dns, ipv4
+
+
+class TestDnsQueries:
+    def test_header_and_question(self, dns_parser, dns_query_sample):
+        summary = dns.summarize(dns_parser.parse(dns_query_sample))
+        assert summary.transaction_id == 0x1234
+        assert len(summary.questions) == 1
+        assert summary.questions[0].name == "www.example.com"
+        assert summary.questions[0].qtype == 1
+        assert summary.questions[0].qclass == 1
+        assert summary.records == []
+
+    def test_agrees_with_handwritten_baseline(self, dns_parser, dns_query_sample):
+        ours = dns.summarize(dns_parser.parse(dns_query_sample))
+        baseline = handwritten_dns.parse(dns_query_sample)
+        assert ours.transaction_id == baseline.transaction_id
+        assert ours.questions[0].name == baseline.questions[0].name
+
+
+class TestDnsResponses:
+    def test_record_sections(self, dns_parser, dns_response_sample):
+        summary = dns.summarize(dns_parser.parse(dns_response_sample))
+        assert len(summary.records) == 4  # 3 answers + 1 additional
+        assert all(record.rtype == 1 for record in summary.records)
+
+    def test_compression_pointers_recorded(self, dns_parser, dns_response_sample):
+        summary = dns.summarize(dns_parser.parse(dns_response_sample))
+        answers = summary.records[:3]
+        assert all(record.name == "@12" for record in answers)  # pointer to offset 12
+
+    def test_uncompressed_answer_names(self, dns_parser):
+        packet = samples.build_dns_response(answer_count=2, use_compression=False)
+        summary = dns.summarize(dns_parser.parse(packet))
+        assert summary.records[0].name == "www.example.com"
+
+    def test_variable_length_names_chain_records(self, dns_parser):
+        packet = samples.build_dns_response(answer_count=1, additional_count=3)
+        summary = dns.summarize(dns_parser.parse(packet))
+        extra_names = [record.name for record in summary.records[1:]]
+        assert extra_names == [f"extra{i}.example.com" for i in range(3)]
+
+    def test_agrees_with_handwritten_baseline(self, dns_parser, dns_response_sample):
+        ours = dns.summarize(dns_parser.parse(dns_response_sample))
+        baseline = handwritten_dns.parse(dns_response_sample)
+        assert [r.name for r in ours.records] == [r.name for r in baseline.records]
+        assert [r.ttl for r in ours.records] == [r.ttl for r in baseline.records]
+
+    def test_rejects_truncated_packet(self, dns_parser, dns_response_sample):
+        assert not dns_parser.accepts(dns_response_sample[:-3])
+
+    def test_rejects_short_header(self, dns_parser):
+        assert not dns_parser.accepts(b"\x00\x01\x00")
+
+    @pytest.mark.parametrize("answers", [0, 1, 16, 64])
+    def test_answer_count_scales(self, dns_parser, answers):
+        packet = samples.build_dns_response(answer_count=answers)
+        summary = dns.summarize(dns_parser.parse(packet))
+        assert len(summary.records) == answers
+
+
+class TestIpv4Udp:
+    def test_addresses_and_ports(self, ipv4_parser, ipv4_sample):
+        summary = ipv4.summarize(ipv4_parser.parse(ipv4_sample))
+        assert summary.source == "192.168.1.10"
+        assert summary.destination == "10.0.0.1"
+        assert summary.source_port == 53124
+        assert summary.destination_port == 53
+        assert summary.ttl == 64
+
+    def test_options_shift_the_udp_header(self, ipv4_parser):
+        plain = samples.build_ipv4_udp_packet(payload_size=10, options_words=0)
+        with_options = samples.build_ipv4_udp_packet(payload_size=10, options_words=2)
+        assert ipv4.summarize(ipv4_parser.parse(plain)).header_length == 20
+        assert ipv4.summarize(ipv4_parser.parse(with_options)).header_length == 28
+        assert (
+            ipv4.summarize(ipv4_parser.parse(with_options)).destination_port
+            == ipv4.summarize(ipv4_parser.parse(plain)).destination_port
+        )
+
+    def test_payload_bounded_by_udp_length(self, ipv4_parser):
+        packet = samples.build_ipv4_udp_packet(payload_size=33)
+        summary = ipv4.summarize(ipv4_parser.parse(packet))
+        assert summary.udp_length == 41
+        assert len(summary.payload) == 33
+
+    def test_agrees_with_handwritten_baseline(self, ipv4_parser, ipv4_sample):
+        ours = ipv4.summarize(ipv4_parser.parse(ipv4_sample))
+        baseline = handwritten_ipv4.parse(ipv4_sample)
+        assert ours.source == baseline.source
+        assert ours.destination == baseline.destination
+        assert ours.payload == baseline.payload
+
+    def test_rejects_non_ipv4(self, ipv4_parser, ipv4_sample):
+        corrupted = bytearray(ipv4_sample)
+        corrupted[0] = 0x65  # version 6
+        assert not ipv4_parser.accepts(bytes(corrupted))
+
+    def test_rejects_non_udp_protocol(self, ipv4_parser, ipv4_sample):
+        corrupted = bytearray(ipv4_sample)
+        corrupted[9] = 6  # TCP
+        assert not ipv4_parser.accepts(bytes(corrupted))
+
+    def test_rejects_bad_ihl(self, ipv4_parser, ipv4_sample):
+        corrupted = bytearray(ipv4_sample)
+        corrupted[0] = 0x42  # IHL = 2 words
+        assert not ipv4_parser.accepts(bytes(corrupted))
+
+    def test_rejects_truncated_payload(self, ipv4_parser):
+        packet = samples.build_ipv4_udp_packet(payload_size=64)
+        assert not ipv4_parser.accepts(packet[:-10])
+
+    @pytest.mark.parametrize("size", [0, 1, 512, 1400])
+    def test_payload_size_scales(self, ipv4_parser, size):
+        packet = samples.build_ipv4_udp_packet(payload_size=size)
+        summary = ipv4.summarize(ipv4_parser.parse(packet))
+        expected = b"" if size == 0 else summary.payload
+        assert summary.udp_length == 8 + size
+        if size:
+            assert len(summary.payload) == size

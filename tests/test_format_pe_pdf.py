@@ -1,0 +1,116 @@
+"""Tests for the PE and PDF-subset case studies."""
+
+import struct
+
+import pytest
+
+from repro import samples
+from repro.baselines.handwritten import pe as handwritten_pe
+from repro.formats import pdf, pe
+
+
+class TestPe:
+    def test_headers(self, pe_parser, pe_sample):
+        summary = pe.summarize(pe_parser.parse(pe_sample))
+        assert summary.machine == 0x8664
+        assert summary.optional_magic == 0x20B
+        assert summary.section_count == 3
+
+    def test_section_table(self, pe_parser, pe_sample):
+        summary = pe.summarize(pe_parser.parse(pe_sample))
+        assert [s.name for s in summary.sections] == [".sec0", ".sec1", ".sec2"]
+        assert all(s.raw_size >= 256 for s in summary.sections)
+
+    def test_agrees_with_handwritten_baseline(self, pe_parser, pe_sample):
+        ours = pe.summarize(pe_parser.parse(pe_sample))
+        baseline = handwritten_pe.parse(pe_sample)
+        assert ours.machine == baseline.machine
+        assert ours.section_count == baseline.section_count
+        assert [s.raw_pointer for s in ours.sections] == [
+            s.raw_pointer for s in baseline.sections
+        ]
+
+    def test_sections_located_via_random_access(self, pe_parser, pe_sample):
+        tree = pe_parser.parse(pe_sample)
+        headers = tree.array("SectionHeader")
+        sections = tree.array("Section")
+        assert len(headers) == len(sections) == 3
+        for header, section in zip(headers, sections):
+            assert section.start == header["rawptr"]
+            assert section.end == header["rawptr"] + header["rawsize"]
+
+    def test_rejects_missing_mz(self, pe_parser, pe_sample):
+        assert not pe_parser.accepts(b"ZZ" + pe_sample[2:])
+
+    def test_rejects_bad_pe_signature(self, pe_parser, pe_sample):
+        corrupted = bytearray(pe_sample)
+        offset = corrupted.find(b"PE\x00\x00")
+        corrupted[offset] = ord("X")
+        assert not pe_parser.accepts(bytes(corrupted))
+
+    def test_rejects_section_pointing_past_eof(self, pe_parser, pe_sample):
+        corrupted = bytearray(pe_sample)
+        # rawptr of the first section header: DOS(64) + 4 + 20 + 240 + 20.
+        raw_ptr_offset = 64 + 4 + 20 + 240 + 20
+        struct.pack_into("<I", corrupted, raw_ptr_offset, len(corrupted) * 2)
+        assert not pe_parser.accepts(bytes(corrupted))
+
+    @pytest.mark.parametrize("count", [1, 4, 10])
+    def test_section_count_scales(self, pe_parser, count):
+        data = samples.build_pe(section_count=count)
+        assert pe.summarize(pe_parser.parse(data)).section_count == count
+
+
+class TestPdf:
+    def test_object_inventory(self, pdf_parser):
+        document, offsets = samples.build_pdf(object_count=4)
+        summary = pdf.summarize(pdf_parser.parse(document))
+        assert summary.version == 4
+        assert summary.object_count == 5  # xref entries include object 0
+        assert [obj.number for obj in summary.objects] == [1, 2, 3, 4]
+        assert [obj.offset for obj in summary.objects] == offsets
+
+    def test_backward_parsing_of_startxref(self, pdf_parser):
+        document, _offsets = samples.build_pdf(object_count=2)
+        tree = pdf_parser.parse(document)
+        startxref = tree.child("Tail")["startxref"]
+        assert document[startxref : startxref + 4] == b"xref"
+
+    def test_xref_entries_point_at_objects(self, pdf_parser):
+        document, offsets = samples.build_pdf(object_count=3)
+        tree = pdf_parser.parse(document)
+        entries = tree.array("XrefEntry")
+        assert entries[0]["inuse"] == 0  # the free entry for object 0
+        assert [entry["ofs"] for entry in entries][1:] == offsets
+        assert all(entry["inuse"] == 1 for entry in list(entries)[1:])
+
+    def test_objects_scan_until_endobj(self, pdf_parser):
+        document, _offsets = samples.build_pdf(object_count=2, body_padding=80)
+        tree = pdf_parser.parse(document)
+        for obj in tree.array("Obj"):
+            body = obj.child("ObjBody")
+            assert body is not None
+
+    def test_single_object_document(self, pdf_parser):
+        document, _ = samples.build_pdf(object_count=1)
+        assert pdf_parser.accepts(document)
+
+    def test_rejects_missing_eof_marker(self, pdf_parser):
+        document, _ = samples.build_pdf(object_count=2)
+        assert not pdf_parser.accepts(document[:-1])
+
+    def test_rejects_bad_header(self, pdf_parser):
+        document, _ = samples.build_pdf(object_count=2)
+        assert not pdf_parser.accepts(b"%PPF-1.4\n" + document[9:])
+
+    def test_rejects_corrupted_startxref(self, pdf_parser):
+        document, _ = samples.build_pdf(object_count=2)
+        corrupted = bytearray(document)
+        marker = corrupted.rfind(b"startxref\n")
+        corrupted[marker + 10] = ord("x")  # no longer a digit
+        assert not pdf_parser.accepts(bytes(corrupted))
+
+    @pytest.mark.parametrize("count", [1, 5, 20])
+    def test_object_count_scales(self, pdf_parser, count):
+        document, _ = samples.build_pdf(object_count=count)
+        assert len(pdf_parser.parse(document).array("Obj")) == count

@@ -1,0 +1,191 @@
+"""Unit tests for the IPG surface-syntax parser (text → AST)."""
+
+import pytest
+
+from repro.core.ast import (
+    INTERVAL_EXPLICIT,
+    INTERVAL_IMPLICIT,
+    INTERVAL_LENGTH,
+    TermArray,
+    TermAttrDef,
+    TermGuard,
+    TermNonterminal,
+    TermSwitch,
+    TermTerminal,
+)
+from repro.core.errors import GrammarSyntaxError, IPGError
+from repro.core.expr import BinOp, Cond, Dot, Exists, Index, Name, Num
+from repro.core.grammar_parser import parse_expression, parse_grammar
+
+
+class TestRuleStructure:
+    def test_single_rule(self):
+        grammar = parse_grammar('S -> "a"[0, 1] ;')
+        assert grammar.start == "S"
+        assert grammar.nonterminals() == ["S"]
+        assert len(grammar.rule("S").alternatives) == 1
+
+    def test_multiple_rules_first_is_start(self):
+        grammar = parse_grammar('A -> "a" ; B -> "b" ;')
+        assert grammar.start == "A"
+        assert set(grammar.nonterminals()) == {"A", "B"}
+
+    def test_alternatives_are_ordered(self):
+        grammar = parse_grammar('S -> "a"[0, 1] / "b"[0, 1] / "c"[0, 1] ;')
+        assert len(grammar.rule("S").alternatives) == 3
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(IPGError):
+            parse_grammar('S -> "a" ; S -> "b" ;')
+
+    def test_empty_grammar_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar("   // nothing here\n")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar('S -> "a"[0, 1]')
+
+    def test_blackbox_declaration(self):
+        grammar = parse_grammar('blackbox Decompress ;\nS -> Decompress[0, EOI] ;')
+        assert grammar.blackboxes == {"Decompress"}
+
+    def test_empty_alternative_allowed(self):
+        grammar = parse_grammar('S -> "a"[0, 1] / ;')
+        assert len(grammar.rule("S").alternatives) == 2
+        assert grammar.rule("S").alternatives[1].terms == []
+
+
+class TestTerms:
+    def test_terminal_with_interval(self):
+        grammar = parse_grammar('S -> "ab"[1, 3] ;')
+        term = grammar.rule("S").alternatives[0].terms[0]
+        assert isinstance(term, TermTerminal)
+        assert term.value == b"ab"
+        assert term.interval.form == INTERVAL_EXPLICIT
+        assert term.interval.left == Num(1)
+        assert term.interval.right == Num(3)
+
+    def test_terminal_without_interval_is_implicit(self):
+        grammar = parse_grammar('S -> "ab" ;')
+        term = grammar.rule("S").alternatives[0].terms[0]
+        assert term.interval.form == INTERVAL_IMPLICIT
+
+    def test_nonterminal_with_length_interval(self):
+        grammar = parse_grammar("S -> A[10] ; A -> Raw ;")
+        term = grammar.rule("S").alternatives[0].terms[0]
+        assert isinstance(term, TermNonterminal)
+        assert term.interval.form == INTERVAL_LENGTH
+        assert term.interval.length == Num(10)
+
+    def test_attribute_definition(self):
+        grammar = parse_grammar("S -> {x = 1 + 2} ;")
+        term = grammar.rule("S").alternatives[0].terms[0]
+        assert isinstance(term, TermAttrDef)
+        assert term.name == "x"
+        assert isinstance(term.expr, BinOp)
+
+    def test_guard(self):
+        grammar = parse_grammar("S -> guard(EOI > 0) ;")
+        term = grammar.rule("S").alternatives[0].terms[0]
+        assert isinstance(term, TermGuard)
+
+    def test_array_term(self):
+        grammar = parse_grammar("S -> for i = 0 to 10 do A[i, i + 1] ; A -> Raw ;")
+        term = grammar.rule("S").alternatives[0].terms[0]
+        assert isinstance(term, TermArray)
+        assert term.var == "i"
+        assert term.element.name == "A"
+
+    def test_switch_term(self):
+        grammar = parse_grammar(
+            "S -> {t = 1} switch(t = 1 : A[0, 1] / t = 2 : B[0, 1] / C[0, 1]) ; "
+            "A -> Raw ; B -> Raw ; C -> Raw ;"
+        )
+        term = grammar.rule("S").alternatives[0].terms[1]
+        assert isinstance(term, TermSwitch)
+        assert len(term.cases) == 3
+        assert term.cases[0].condition is not None
+        assert term.cases[-1].condition is None
+
+    def test_switch_default_must_be_last(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar("S -> switch(A[0, 1] / t = 2 : B[0, 1]) ; A -> Raw ; B -> Raw ;")
+
+    def test_where_clause_introduces_local_rules(self):
+        grammar = parse_grammar(
+            "S -> A[0, 4] D[0, EOI] where { D -> A[0, EOI] ; E -> A[0, 1] ; } ; A -> Raw ;"
+        )
+        alternative = grammar.rule("S").alternatives[0]
+        assert alternative.local_rule_names() == {"D", "E"}
+
+    def test_roundtrip_to_source(self):
+        text = 'S -> "aa"[0, 2] B[EOI - 2, EOI] {x = 1} guard(x > 0) ; B -> Raw[0, EOI] ;'
+        grammar = parse_grammar(text)
+        regenerated = parse_grammar(grammar.to_source())
+        assert regenerated.to_source() == grammar.to_source()
+
+
+class TestExpressions:
+    def test_number(self):
+        assert parse_expression("42") == Num(42)
+
+    def test_name_and_eoi(self):
+        assert parse_expression("x") == Name("x")
+        assert parse_expression("EOI") == Name("EOI")
+
+    def test_dot_reference(self):
+        assert parse_expression("A.val") == Dot("A", "val")
+        assert parse_expression("A.end") == Dot("A", "end")
+
+    def test_indexed_reference(self):
+        expr = parse_expression("SH(i + 1).ofs")
+        assert isinstance(expr, Index)
+        assert expr.nonterminal == "SH"
+        assert expr.attr == "ofs"
+
+    def test_precedence_multiplication_over_addition(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert isinstance(expr, BinOp) and expr.op == "*"
+
+    def test_comparison_and_logic(self):
+        expr = parse_expression("a > 0 && a < 10")
+        assert isinstance(expr, BinOp) and expr.op == "&&"
+
+    def test_ternary(self):
+        expr = parse_expression("x = 0 ? 1 : 2")
+        assert isinstance(expr, Cond)
+
+    def test_nested_ternary_is_right_associative(self):
+        expr = parse_expression("a ? 1 : b ? 2 : 3")
+        assert isinstance(expr, Cond)
+        assert isinstance(expr.otherwise, Cond)
+
+    def test_exists(self):
+        expr = parse_expression("exists j . OH(j).link = 0 ? OH(j).len : -1")
+        assert isinstance(expr, Exists)
+        assert expr.var == "j"
+
+    def test_exists_requires_ternary_body(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_expression("exists j . j + 1")
+
+    def test_unary_minus(self):
+        assert parse_expression("-5") == Num(-5)
+
+    def test_shift_and_bit_operations(self):
+        expr = parse_expression("3 * (2 << (flags & 7))")
+        assert isinstance(expr, BinOp) and expr.op == "*"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_expression("1 + 2 ;")
+
+    def test_unknown_token_in_expression(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_expression("1 + )")

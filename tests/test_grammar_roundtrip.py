@@ -1,0 +1,70 @@
+"""Round-trip and robustness tests over the bundled format grammars."""
+
+import pytest
+
+from repro import Parser, parse_grammar
+from repro.core.errors import IPGError, ParseFailure
+from repro.core.generator import generate_parser_source
+from repro.formats import registry
+
+
+@pytest.mark.parametrize("fmt", sorted(registry))
+class TestFormatGrammarHygiene:
+    def test_source_round_trips_through_the_ast(self, fmt):
+        grammar = parse_grammar(registry[fmt].grammar_text)
+        reparsed = parse_grammar(grammar.to_source())
+        assert reparsed.nonterminals() == grammar.nonterminals()
+        assert reparsed.to_source() == parse_grammar(reparsed.to_source()).to_source()
+
+    def test_generated_source_is_importable_python(self, fmt):
+        source = generate_parser_source(registry[fmt].grammar_text)
+        compile(source, f"<generated {fmt}>", "exec")
+        # One method per top-level nonterminal.
+        grammar = parse_grammar(registry[fmt].grammar_text)
+        for nonterminal in grammar.nonterminals():
+            assert f"def _nt_{nonterminal}(" in source
+
+    def test_empty_input_is_rejected_not_crashed(self, fmt):
+        parser = registry[fmt].build_parser()
+        assert parser.try_parse(b"") is None
+
+    def test_random_bytes_are_rejected_not_crashed(self, fmt):
+        parser = registry[fmt].build_parser()
+        noise = bytes((i * 131 + 7) % 256 for i in range(512))
+        assert parser.try_parse(noise) is None
+
+    def test_parse_failure_exception_carries_the_start_symbol(self, fmt):
+        parser = registry[fmt].build_parser()
+        with pytest.raises(ParseFailure) as excinfo:
+            parser.parse(b"\x00")
+        assert excinfo.value.nonterminal == registry[fmt].grammar().start
+
+
+class TestErrorTypes:
+    def test_all_errors_derive_from_ipgerror(self):
+        from repro.core import errors
+
+        subclasses = [
+            errors.GrammarSyntaxError,
+            errors.AttributeCheckError,
+            errors.AutoCompletionError,
+            errors.TerminationCheckError,
+            errors.ParseFailure,
+            errors.EvaluationError,
+            errors.BlackboxError,
+            errors.GenerationError,
+            errors.SolverError,
+        ]
+        for subclass in subclasses:
+            assert issubclass(subclass, IPGError)
+
+    def test_syntax_error_reports_position(self):
+        from repro.core.errors import GrammarSyntaxError
+
+        error = GrammarSyntaxError("unexpected token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.column == 7
+
+    def test_unknown_start_symbol_rejected(self):
+        with pytest.raises(IPGError):
+            Parser('S -> "x" ;').parse(b"x", start="Nope")

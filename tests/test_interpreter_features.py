@@ -1,0 +1,255 @@
+"""Feature-level tests of the parsing engine (beyond the paper's figures)."""
+
+import struct
+
+import pytest
+
+from repro import BlackboxError, BlackboxResult, ParseFailure, Parser
+from repro.core.parsetree import ArrayNode, Leaf
+
+
+class TestBiasedChoice:
+    def test_first_successful_alternative_wins(self):
+        parser = Parser('S -> "ab"[0, 2] {x = 1} / "a"[0, 1] {x = 2} ;')
+        assert parser.parse(b"ab")["x"] == 1
+
+    def test_later_alternatives_tried_on_failure(self):
+        parser = Parser('S -> "ab"[0, 2] {x = 1} / "a"[0, 1] {x = 2} ;')
+        assert parser.parse(b"ax")["x"] == 2
+
+    def test_all_alternatives_fail(self):
+        parser = Parser('S -> "ab"[0, 2] / "a"[0, 1] ;')
+        assert parser.try_parse(b"zz") is None
+
+    def test_empty_terminal_matches_empty_interval(self):
+        parser = Parser('S -> ""[0, 0] {x = 5} ;')
+        assert parser.parse(b"")["x"] == 5
+        assert parser.parse(b"anything")["x"] == 5
+
+
+class TestGuardsAndAttributes:
+    def test_guard_failure_fails_alternative(self):
+        parser = Parser('S -> U8[0, 1] {v = U8.val} guard(v > 10) / U8[0, 1] {v = 0} ;')
+        assert parser.parse(bytes([50]))["v"] == 50
+        assert parser.parse(bytes([3]))["v"] == 0
+
+    def test_attribute_computation_chain(self):
+        parser = Parser("S -> {a = 2} {b = a * 3} {c = b + a} guard(EOI >= 0) ;")
+        tree = parser.parse(b"")
+        assert (tree["a"], tree["b"], tree["c"]) == (2, 6, 8)
+
+    def test_division_by_zero_fails_alternative_not_parser(self):
+        parser = Parser('S -> U8[0, 1] {v = 10 / U8.val} / U8[0, 1] {v = 999} ;')
+        assert parser.parse(bytes([2]))["v"] == 5
+        assert parser.parse(bytes([0]))["v"] == 999
+
+    def test_out_of_range_array_index_fails_alternative(self):
+        parser = Parser(
+            "S -> for i = 0 to 2 do A[i, i + 1] {x = A(5).val} / {x = 1} ;"
+            "A -> U8[0, 1] {val = U8.val} ;"
+        )
+        assert parser.parse(bytes([1, 2]))["x"] == 1
+
+
+class TestIntervalChecks:
+    def test_interval_outside_input_fails(self):
+        parser = Parser("S -> Raw[0, 10] ;")
+        assert not parser.accepts(b"short")
+
+    def test_negative_interval_fails(self):
+        parser = Parser('S -> "x"[EOI - 2, EOI] ;')
+        assert not parser.accepts(b"x")  # EOI - 2 is negative
+
+    def test_empty_interval_is_valid(self):
+        parser = Parser('S -> Raw[3, 3] {x = 1} ;')
+        assert parser.parse(b"abcdef")["x"] == 1
+
+    def test_terminal_needs_enough_room(self):
+        parser = Parser('S -> "abc"[0, 2] ;')
+        assert not parser.accepts(b"abc")
+
+    def test_terminal_prefix_match_inside_larger_interval(self):
+        # T-Ter requires only r - l >= |s| and a prefix match at l.
+        parser = Parser('S -> "ab"[0, EOI] ;')
+        assert parser.accepts(b"abXXX")
+        assert not parser.accepts(b"aXb")
+
+
+class TestArrays:
+    def test_empty_range_accepts_anything(self):
+        parser = Parser("S -> {n = 0} for i = 0 to n do A[i, i + 1] {x = 7} ; A -> U8[0, 1] ;")
+        assert parser.parse(b"whatever")["x"] == 7
+
+    def test_element_failure_fails_the_term(self):
+        parser = Parser('S -> for i = 0 to 3 do A[i, i + 1] ; A -> "z"[0, 1] ;')
+        assert parser.accepts(b"zzz")
+        assert not parser.accepts(b"zzx")
+
+    def test_elements_can_reference_previous_elements(self):
+        # Each element starts where the previous one ended (variable widths).
+        grammar = """
+        S -> U8[0, 1] {n = U8.val}
+             for i = 0 to n do Rec[i = 0 ? 1 : Rec(i - 1).end, EOI] ;
+        Rec -> U8[0, 1] {len = U8.val} Raw[1, 1 + len] ;
+        """
+        payload = bytes([2]) + bytes([3]) + b"abc" + bytes([1]) + b"z"
+        tree = Parser(grammar).parse(payload)
+        records = tree.array("Rec")
+        assert [node["len"] for node in records] == [3, 1]
+        assert records[1].end == len(payload)
+
+    def test_array_node_in_tree(self):
+        parser = Parser("S -> for i = 0 to 2 do A[i, i + 1] ; A -> U8[0, 1] {val = U8.val} ;")
+        tree = parser.parse(bytes([9, 8]))
+        array = tree.children[0]
+        assert isinstance(array, ArrayNode)
+        assert [element["val"] for element in array] == [9, 8]
+
+    def test_loop_variable_restored_after_term(self):
+        grammar = """
+        S -> {i = 100} for i = 0 to 2 do A[i, i + 1] {x = i} ;
+        A -> U8[0, 1] ;
+        """
+        assert Parser(grammar).parse(bytes([1, 2]))["x"] == 100
+
+
+class TestSwitch:
+    def build(self):
+        return Parser(
+            "S -> U8[0, 1] {t = U8.val} "
+            "switch(t = 1 : A[1, EOI] / t = 2 : B[1, EOI] / C[1, EOI]) ;"
+            'A -> "aaa" ; B -> "bbb" ; C -> Raw ;'
+        )
+
+    def test_each_case_selected_by_condition(self):
+        parser = self.build()
+        assert parser.parse(b"\x01aaa").child("A") is not None
+        assert parser.parse(b"\x02bbb").child("B") is not None
+
+    def test_default_case(self):
+        parser = self.build()
+        assert parser.parse(b"\x09whatever").child("C") is not None
+
+    def test_selected_case_failure_fails_alternative(self):
+        parser = self.build()
+        assert not parser.accepts(b"\x01bbb")
+
+    def test_switch_without_default_fails_when_no_condition_holds(self):
+        parser = Parser(
+            'S -> U8[0, 1] {t = U8.val} switch(t = 1 : A[1, EOI]) ; A -> "a" ;'
+        )
+        assert parser.accepts(b"\x01a")
+        assert not parser.accepts(b"\x05a")
+
+
+class TestLocalRules:
+    def test_local_rule_sees_outer_attributes(self):
+        grammar = """
+        S -> H[0, 4] D[0, EOI] where { D -> "go"[H.val, H.val + 2] ; } ;
+        H -> U32LE[0, 4] {val = U32LE.val} ;
+        """
+        data = struct.pack("<I", 6) + b"xx" + b"go"
+        assert Parser(grammar).accepts(data)
+
+    def test_local_rule_shadows_global_rule(self):
+        grammar = """
+        S -> D[0, EOI] where { D -> "local"[0, 5] ; } ;
+        D -> "global"[0, 6] ;
+        """
+        parser = Parser(grammar)
+        assert parser.accepts(b"local")
+        assert not parser.accepts(b"global")
+        # The global D is still reachable as a start symbol on its own.
+        assert parser.accepts(b"global", start="D")
+
+    def test_nested_where_rules(self):
+        grammar = """
+        S -> A[0, EOI] where { A -> B[0, EOI] where { B -> "x"[0, 1] ; } ; } ;
+        """
+        assert Parser(grammar).accepts(b"x")
+
+    def test_local_rules_of_different_alternatives_are_independent(self):
+        grammar = """
+        S -> "1"[0, 1] D[1, EOI] where { D -> "one"[0, 3] ; }
+           / "2"[0, 1] D[1, EOI] where { D -> "two"[0, 3] ; } ;
+        """
+        parser = Parser(grammar)
+        assert parser.accepts(b"1one")
+        assert parser.accepts(b"2two")
+        assert not parser.accepts(b"1two")
+
+
+class TestBlackboxes:
+    def test_blackbox_invoked_with_interval_bytes(self):
+        seen = []
+
+        def blackbox(data: bytes):
+            seen.append(bytes(data))
+            return {"n": len(data)}
+
+        grammar = 'blackbox Ext ;\nS -> "hdr"[0, 3] Ext[3, EOI] {count = Ext.n} ;'
+        tree = Parser(grammar, blackboxes={"Ext": blackbox}).parse(b"hdrPAYLOAD")
+        assert seen == [b"PAYLOAD"]
+        assert tree["count"] == 7
+
+    def test_blackbox_payload_becomes_leaf(self):
+        def blackbox(data: bytes):
+            return BlackboxResult(attrs={"ok": 1}, payload=data.upper())
+
+        grammar = "blackbox Ext ;\nS -> Ext[0, EOI] ;"
+        tree = Parser(grammar, blackboxes={"Ext": blackbox}).parse(b"abc")
+        ext = tree.child("Ext")
+        assert ext.children == [Leaf(b"ABC")]
+
+    def test_blackbox_failure_fails_alternative(self):
+        grammar = 'blackbox Ext ;\nS -> Ext[0, EOI] {x = 1} / "a"[0, 1] {x = 2} ;'
+        parser = Parser(grammar, blackboxes={"Ext": lambda data: None})
+        assert parser.parse(b"a")["x"] == 2
+
+    def test_missing_blackbox_raises(self):
+        parser = Parser("blackbox Ext ;\nS -> Ext[0, EOI] ;")
+        with pytest.raises(BlackboxError):
+            parser.parse(b"abc")
+
+    def test_blackbox_exception_is_wrapped(self):
+        def broken(data: bytes):
+            raise ValueError("boom")
+
+        parser = Parser("blackbox Ext ;\nS -> Ext[0, EOI] ;", blackboxes={"Ext": broken})
+        with pytest.raises(BlackboxError):
+            parser.parse(b"abc")
+
+    def test_register_blackbox_after_construction(self):
+        parser = Parser("blackbox Ext ;\nS -> Ext[0, EOI] {n = Ext.len} ;")
+        parser.register_blackbox("Ext", lambda data: {"len": len(data)})
+        assert parser.parse(b"12345")["n"] == 5
+
+
+class TestMemoization:
+    def test_memoized_and_unmemoized_agree(self):
+        grammar = """
+        S -> A[0, EOI] A[0, EOI] {x = A.val} ;
+        A -> U8[0, 1] {val = U8.val} ;
+        """
+        data = bytes([42, 1, 2])
+        with_memo = Parser(grammar, memoize=True).parse(data)
+        without_memo = Parser(grammar, memoize=False).parse(data)
+        assert with_memo == without_memo
+
+    def test_failures_are_memoized_too(self):
+        # Exponential without memoization for nested ambiguity-like grammars;
+        # here we only check correctness of the cached Fail results.
+        grammar = """
+        S -> A[0, EOI] "!"[EOI - 1, EOI] / A[0, EOI] ;
+        A -> "x"[0, 1] A[1, EOI] / "x"[0, 1] ;
+        """
+        parser = Parser(grammar)
+        assert parser.accepts(b"xxxx")
+        assert parser.accepts(b"xxx!")
+        assert not parser.accepts(b"yy")
+
+    def test_start_symbol_override(self):
+        grammar = 'S -> A[0, EOI] ; A -> "a"[0, 1] ;'
+        parser = Parser(grammar)
+        assert parser.accepts(b"a", start="A")
+        assert parser.try_parse(b"b", start="A") is None

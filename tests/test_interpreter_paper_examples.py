@@ -1,0 +1,181 @@
+"""The interpreter on the paper's own examples (sections 2, 3.5 and 4.3)."""
+
+import struct
+
+import pytest
+
+from repro import ParseFailure, Parser
+from repro.formats import toy
+
+
+class TestFigure1:
+    """Intervals anchor nonterminals to slices: accepts "aa...bb"."""
+
+    def test_accepts_with_middle_garbage(self, figure1_parser):
+        assert figure1_parser.accepts(b"aaxyzbb")
+
+    def test_accepts_minimal_string(self, figure1_parser):
+        assert figure1_parser.accepts(b"aabb")
+
+    def test_rejects_wrong_prefix(self, figure1_parser):
+        assert not figure1_parser.accepts(b"abxyzbb")
+
+    def test_rejects_wrong_suffix(self, figure1_parser):
+        assert not figure1_parser.accepts(b"aaxyzbc")
+
+    def test_rejects_too_short(self, figure1_parser):
+        assert not figure1_parser.accepts(b"aab")
+        assert not figure1_parser.accepts(b"")
+
+    def test_parse_raises_on_failure(self, figure1_parser):
+        with pytest.raises(ParseFailure):
+            figure1_parser.parse(b"zz")
+
+    def test_parse_tree_shape(self, figure1_parser):
+        tree = figure1_parser.parse(b"aaxbb")
+        assert tree.name == "S"
+        assert [child.name for child in tree.children] == ["A", "B"]
+        assert tree.child("A").start == 0 and tree.child("A").end == 2
+        assert tree.child("B").start == 3 and tree.child("B").end == 5
+
+
+class TestFigure2RandomAccess:
+    """The header stores offset/length of the data that follows."""
+
+    def test_header_directs_data_parsing(self, figure2_parser):
+        data = toy.build_figure_2_input(offset=10, length=4, payload=b"PAYL")
+        tree = figure2_parser.parse(data)
+        header = tree.child("H")
+        assert header["offset"] == 10 and header["length"] == 4
+        data_node = tree.child("Data")
+        assert data_node.start == 10 and data_node.end == 14
+
+    def test_data_may_overlap_header_region(self, figure2_parser):
+        # Random access means the data interval is wherever the header says.
+        data = struct.pack("<II", 8, 2) + b"ZZ"
+        assert figure2_parser.accepts(data)
+
+    def test_out_of_range_offset_fails(self, figure2_parser):
+        data = struct.pack("<II", 100, 4) + b"xxxx"
+        assert not figure2_parser.accepts(data)
+
+    def test_length_beyond_input_fails(self, figure2_parser):
+        data = struct.pack("<II", 8, 50) + b"xxxx"
+        assert not figure2_parser.accepts(data)
+
+
+class TestFigure3BinaryNumber:
+    """Left recursion with shrinking intervals computes the binary value."""
+
+    @pytest.mark.parametrize("text", ["0", "1", "10", "1011", "111111", "100000"])
+    def test_value_matches_python_int(self, figure3_parser, text):
+        assert figure3_parser.parse(text.encode())["val"] == int(text, 2)
+
+    def test_rejects_empty_input(self, figure3_parser):
+        assert not figure3_parser.accepts(b"")
+
+    def test_rejects_leading_non_digit(self, figure3_parser):
+        assert not figure3_parser.accepts(b"x01")
+
+
+class TestFigure4SpecialAttributes:
+    """`O.end` makes "stop" start right after the zeros."""
+
+    def test_accepts_paper_example(self, figure4_parser):
+        assert figure4_parser.accepts(b"1000stop")
+
+    def test_accepts_single_zero(self, figure4_parser):
+        assert figure4_parser.accepts(b"10stop")
+
+    def test_rejects_without_zero(self, figure4_parser):
+        assert not figure4_parser.accepts(b"1stop")
+
+    def test_rejects_wrong_keyword(self, figure4_parser):
+        assert not figure4_parser.accepts(b"1000stap")
+
+    def test_end_attribute_is_rebased(self, figure4_parser):
+        tree = figure4_parser.parse(b"1000stop")
+        assert tree.child("O").end == 4  # adjusted into S's coordinates
+
+
+class TestFigure6ArraysAndPredicates:
+    def test_array_elements_and_guard(self, figure6_parser):
+        data = toy.build_figure_6_input([3, 5, 7])
+        tree = figure6_parser.parse(data)
+        assert tree["a0"] == 3
+        assert [node["val"] for node in tree.array("A")] == [3, 5, 7]
+
+    def test_guard_rejects_out_of_range_first_element(self, figure6_parser):
+        assert not figure6_parser.accepts(toy.build_figure_6_input([77, 5]))
+        assert not figure6_parser.accepts(toy.build_figure_6_input([0, 5]))
+
+    def test_too_few_elements_fails(self, figure6_parser):
+        truncated = toy.build_figure_6_input([3, 5, 7])[:-4]
+        assert not figure6_parser.accepts(truncated)
+
+
+class TestAnBnCn:
+    """Section 3.5: {a^n b^n c^n} is not context-free but is an IPG."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7])
+    def test_accepts_balanced(self, anbncn_parser, n):
+        assert anbncn_parser.accepts(b"a" * n + b"b" * n + b"c" * n)
+
+    @pytest.mark.parametrize(
+        "text",
+        [b"", b"abcc", b"aabbc", b"aabbbccc", b"abcabc", b"cba", b"aaabbbbcc"],
+    )
+    def test_rejects_unbalanced(self, anbncn_parser, text):
+        assert not anbncn_parser.accepts(text)
+
+
+class TestBackwardParsing:
+    """Section 4.3: scanning a decimal number backwards from a known end."""
+
+    @pytest.mark.parametrize("value", [0, 7, 42, 4096, 987654])
+    def test_parses_decimal(self, value):
+        parser = Parser(toy.BACKWARD_NUMBER)
+        assert parser.parse(str(value).encode())["v"] == value
+
+    def test_greedy_from_the_right(self):
+        # Only the digits are described; where they start is discovered by
+        # the recursion, mirroring the PDF startxref situation.
+        parser = Parser(toy.BACKWARD_NUMBER)
+        tree = parser.parse(b"123")
+        assert tree["v"] == 123
+
+
+class TestTwoPassParsing:
+    """Section 4.3: object lengths live in *other* objects' headers."""
+
+    def test_objects_are_recovered_with_cross_linked_lengths(self):
+        parser = Parser(toy.TWO_PASS)
+        payloads = [10, 20, 5]
+        tree = parser.parse(toy.build_two_pass_input(payloads))
+        objects = tree.array("Obj")
+        # Each Obj spans its 8-byte header plus its payload.
+        assert [node.end - node.start for node in objects] == [18, 28, 13]
+
+    def test_headers_parsed_before_objects(self):
+        parser = Parser(toy.TWO_PASS)
+        tree = parser.parse(toy.build_two_pass_input([4, 4]))
+        assert len(tree.array("OH")) == 2
+        assert len(tree.array("SH")) == 2
+
+    def test_missing_link_fails(self):
+        parser = Parser(toy.TWO_PASS)
+        data = bytearray(toy.build_two_pass_input([4, 4]))
+        # Corrupt the link of the first object header so no header links to
+        # object 0; the existential falls back to -1, an invalid interval.
+        first_record_offset = struct.unpack_from("<I", data, 8)[0]
+        struct.pack_into("<I", data, first_record_offset, 7)
+        assert not parser.accepts(bytes(data))
+
+
+class TestImplicitIntervalGrammar:
+    def test_completed_grammar_parses(self):
+        parser = Parser(toy.IMPLICIT_INTERVALS)
+        tree = parser.parse(b"magic" + b"AAAAA" + b"B" * 10)
+        assert tree.child("A").start == 5
+        assert tree.child("A").end == 10
+        assert tree.child("B").start == 10

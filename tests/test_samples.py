@@ -1,0 +1,113 @@
+"""Tests for the synthetic sample generators (workload substitutes)."""
+
+import zipfile
+import io
+
+import pytest
+
+from repro import samples
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "builder, kwargs",
+        [
+            (samples.build_elf, {"section_count": 3}),
+            (samples.build_gif, {"frame_count": 2}),
+            (samples.build_zip, {"member_count": 2}),
+            (samples.build_pe, {"section_count": 2}),
+            (samples.build_dns_response, {"answer_count": 2}),
+            (samples.build_ipv4_udp_packet, {"payload_size": 32}),
+        ],
+    )
+    def test_same_parameters_same_bytes(self, builder, kwargs):
+        assert builder(**kwargs) == builder(**kwargs)
+
+    def test_pdf_offsets_match_document(self):
+        document, offsets = samples.build_pdf(object_count=3)
+        for number, offset in enumerate(offsets, start=1):
+            assert document[offset : offset + len(str(number))] == str(number).encode()
+
+
+class TestElfSamples:
+    def test_size_grows_with_sections(self):
+        small = samples.build_elf(section_count=2)
+        large = samples.build_elf(section_count=32)
+        assert len(large) > len(small)
+
+    def test_zero_symbols_omits_symtab(self):
+        data = samples.build_elf(section_count=1, symbol_count=0, dynamic_entries=0)
+        assert b".symtab" not in data
+        assert b".dynamic" not in data
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            samples.build_elf(section_count=-1)
+
+
+class TestZipSamples:
+    def test_archives_are_valid_for_the_stdlib(self):
+        archive = samples.build_zip(member_count=4, member_size=100)
+        with zipfile.ZipFile(io.BytesIO(archive)) as handle:
+            assert len(handle.namelist()) == 4
+            assert handle.read("member_0001.txt") == handle.read("member_0000.txt")
+
+    def test_stored_vs_deflated(self):
+        stored = samples.build_zip(member_count=1, member_size=1000, compressed=False)
+        deflated = samples.build_zip(member_count=1, member_size=1000, compressed=True)
+        assert len(stored) > len(deflated)
+
+    def test_expected_members_helper(self):
+        assert samples.zipfmt.expected_members(2, 50) == {
+            "member_0000.txt": 50,
+            "member_0001.txt": 50,
+        }
+
+
+class TestGifSamples:
+    def test_trailer_present(self):
+        data = samples.build_gif(frame_count=2)
+        assert data[:6] == b"GIF89a"
+        assert data[-1] == 0x3B
+
+    def test_frame_payload_scales_size(self):
+        small = samples.build_gif(frame_count=1, bytes_per_frame=64)
+        large = samples.build_gif(frame_count=1, bytes_per_frame=4096)
+        assert len(large) > len(small) + 3000
+
+
+class TestNetworkSamples:
+    def test_dns_name_encoding(self):
+        assert samples.dns.encode_name("a.bc") == b"\x01a\x02bc\x00"
+        assert samples.dns.encode_name(".") == b"\x00"
+
+    def test_dns_label_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            samples.dns.encode_name("x" * 64 + ".com")
+
+    def test_response_size_scales_with_answers(self):
+        small = samples.build_dns_response(answer_count=1)
+        large = samples.build_dns_response(answer_count=50)
+        assert len(large) > len(small)
+
+    def test_ipv4_total_length_field_is_consistent(self):
+        packet = samples.build_ipv4_udp_packet(payload_size=77, options_words=1)
+        total_length = int.from_bytes(packet[2:4], "big")
+        assert total_length == len(packet)
+
+    def test_ipv4_address_validation(self):
+        with pytest.raises(ValueError):
+            samples.build_ipv4_udp_packet(src="300.0.0.1")
+
+    def test_ipv4_options_bounds(self):
+        with pytest.raises(ValueError):
+            samples.build_ipv4_udp_packet(options_words=11)
+
+    def test_series_builders(self):
+        assert len(samples.elf.build_elf_series([1, 2])) == 2
+        assert len(samples.gif.build_gif_series([1, 2, 3])) == 3
+        assert len(samples.zipfmt.build_zip_series([1])) == 1
+        assert len(samples.pe.build_pe_series([1, 2])) == 2
+        assert len(samples.dns.build_dns_series([1, 2])) == 2
+        assert len(samples.ipv4.build_ipv4_series([10, 20])) == 2
+        assert len(samples.pdf.build_pdf_series([1, 2])) == 2

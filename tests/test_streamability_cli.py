@@ -1,0 +1,136 @@
+"""Tests for the stream-parser analysis (§8) and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.streamability import analyze_streamability
+from repro.formats import dns, elf, gif, ipv4, toy, zipfmt
+
+
+class TestStreamability:
+    def test_sequential_grammar_is_streamable(self):
+        report = analyze_streamability(
+            'S -> "hdr" U32LE {n = U32LE.val} Raw[n] ;'
+        )
+        assert report.streamable
+        assert report.violations == []
+        assert "streamable" in report.summary()
+
+    def test_backward_dependency_is_flagged(self):
+        report = analyze_streamability(
+            "S -> B1[0, B2.a] B2[a1, EOI] {a1 = 2} ; B1 -> Raw ; B2 -> U8[0, 1] {a = U8.val} ;"
+        )
+        assert not report.streamable
+        assert any(v.kind == "backward-dependency" for v in report.violations)
+
+    def test_random_access_interval_is_flagged(self):
+        report = analyze_streamability(toy.FIGURE_2)
+        assert not report.streamable
+        assert any(v.kind == "non-monotone-interval" for v in report.violations)
+        assert "S" in report.violating_rules()
+
+    def test_directory_based_formats_are_not_streamable(self):
+        assert not analyze_streamability(elf.GRAMMAR).streamable
+        assert not analyze_streamability(zipfmt.GRAMMAR).streamable
+
+    def test_network_formats_are_streamable(self):
+        # IPv4+UDP and DNS parse strictly left to right — the candidates the
+        # paper's future-work stream parsers target.
+        assert analyze_streamability(ipv4.GRAMMAR).streamable
+        assert analyze_streamability(dns.GRAMMAR).streamable
+
+    def test_gif_is_conservatively_rejected(self):
+        # GIF's color-table sizes are computed from a parsed flags byte; the
+        # analysis cannot tell a data-dependent length from a data-dependent
+        # offset, so it conservatively reports the grammar as non-streamable.
+        report = analyze_streamability(gif.GRAMMAR)
+        assert not report.streamable
+        assert "ImageBlock" in report.violating_rules() or "LSD" in report.violating_rules()
+
+    def test_checked_grammar_reanalysed_from_source(self):
+        # Even after the attribute checker reordered terms, the analysis must
+        # judge the original textual order.
+        from repro.core.interpreter import prepare_grammar
+
+        grammar = prepare_grammar(
+            "S -> B1[0, B2.a] B2[a1, EOI] {a1 = 2} ; B1 -> Raw ; B2 -> U8[0, 1] {a = U8.val} ;"
+        )
+        assert not analyze_streamability(grammar).streamable
+
+
+class TestCli:
+    def test_formats_command(self, capsys):
+        assert main(["formats"]) == 0
+        output = capsys.readouterr().out
+        for name in ("elf", "gif", "zip", "dns"):
+            assert name in output
+
+    def test_parse_with_bundled_format(self, capsys, tmp_path, elf_sample):
+        path = tmp_path / "sample.elf"
+        path.write_bytes(elf_sample)
+        assert main(["parse", "--format", "elf", str(path)]) == 0
+        assert "Section Headers:" in capsys.readouterr().out
+
+    def test_parse_with_tree_output(self, capsys, tmp_path, ipv4_sample):
+        path = tmp_path / "packet.bin"
+        path.write_bytes(ipv4_sample)
+        assert main(["parse", "--format", "ipv4", "--tree", str(path)]) == 0
+        assert "IPv4Header" in capsys.readouterr().out
+
+    def test_parse_with_grammar_file(self, capsys, tmp_path):
+        grammar = tmp_path / "grammar.ipg"
+        grammar.write_text('S -> "hi" Raw ;')
+        payload = tmp_path / "payload.bin"
+        payload.write_bytes(b"hi there")
+        assert main(["parse", "--grammar", str(grammar), str(payload)]) == 0
+        assert "S" in capsys.readouterr().out
+
+    def test_parse_failure_exit_code(self, capsys, tmp_path):
+        grammar = tmp_path / "grammar.ipg"
+        grammar.write_text('S -> "hi" ;')
+        payload = tmp_path / "payload.bin"
+        payload.write_bytes(b"nope")
+        assert main(["parse", "--grammar", str(grammar), str(payload)]) == 1
+
+    def test_parse_unknown_format(self, tmp_path, capsys):
+        payload = tmp_path / "payload.bin"
+        payload.write_bytes(b"x")
+        assert main(["parse", "--format", "tar", str(payload)]) == 2
+
+    def test_check_command_accepts_good_grammar(self, capsys, tmp_path):
+        grammar = tmp_path / "grammar.ipg"
+        grammar.write_text(toy.FIGURE_3)
+        assert main(["check", str(grammar)]) == 0
+        assert "terminates" in capsys.readouterr().out
+
+    def test_check_command_rejects_nonterminating_grammar(self, capsys, tmp_path):
+        grammar = tmp_path / "grammar.ipg"
+        grammar.write_text(toy.NON_TERMINATING_MUTUAL)
+        assert main(["check", str(grammar)]) == 1
+        assert "non-termination" in capsys.readouterr().out
+
+    def test_generate_command_writes_parser(self, capsys, tmp_path):
+        grammar = tmp_path / "grammar.ipg"
+        grammar.write_text(toy.FIGURE_1)
+        output = tmp_path / "parser.py"
+        assert main(["generate", str(grammar), "-o", str(output)]) == 0
+        source = output.read_text()
+        assert "class GeneratedParser" in source
+        compile(source, str(output), "exec")
+
+    def test_generate_command_prints_to_stdout(self, capsys, tmp_path):
+        grammar = tmp_path / "grammar.ipg"
+        grammar.write_text(toy.FIGURE_1)
+        assert main(["generate", str(grammar), "--class-name", "Fig1"]) == 0
+        assert "class Fig1" in capsys.readouterr().out
+
+    def test_streamability_command(self, capsys, tmp_path):
+        grammar = tmp_path / "grammar.ipg"
+        grammar.write_text(toy.FIGURE_2)
+        assert main(["streamability", str(grammar)]) == 1
+        assert "not streamable" in capsys.readouterr().out
+
+    def test_streamability_command_on_streamable_grammar(self, capsys, tmp_path):
+        grammar = tmp_path / "grammar.ipg"
+        grammar.write_text('S -> "x" Raw ;')
+        assert main(["streamability", str(grammar)]) == 0

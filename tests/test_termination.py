@@ -1,0 +1,157 @@
+"""Tests for static termination checking (section 5)."""
+
+import pytest
+
+from repro.core.errors import TerminationCheckError
+from repro.core.termination import (
+    assert_terminates,
+    build_dependency_graph,
+    check_termination,
+    consuming_nonterminals,
+)
+from repro.core.interpreter import prepare_grammar
+from repro.formats import registry, toy
+
+
+class TestDependencyGraph:
+    def test_edges_carry_symbolic_intervals(self):
+        grammar = prepare_grammar("S -> A[2, EOI - 1] ; A -> Raw ;")
+        graph = build_dependency_graph(grammar)
+        edges = graph.edges_between("S", "A")
+        assert len(edges) == 1
+        assert edges[0].left.to_source() == "2"
+        assert edges[0].right.to_source() == "(EOI - 1)"
+
+    def test_builtins_and_blackboxes_are_not_vertices(self):
+        grammar = prepare_grammar('blackbox Ext ;\nS -> U32LE[0, 4] Ext[4, EOI] ;')
+        graph = build_dependency_graph(grammar)
+        assert graph.vertices == {"S"}
+
+    def test_array_and_switch_targets_become_edges(self):
+        grammar = prepare_grammar(
+            "S -> for i = 0 to 3 do A[i, i + 1] {t = 1} switch(t = 1 : B[0, 1] / C[0, 1]) ;"
+            "A -> Raw ; B -> Raw ; C -> Raw ;"
+        )
+        graph = build_dependency_graph(grammar)
+        targets = {edge.target for edge in graph.edges}
+        assert targets == {"A", "B", "C"}
+
+    def test_local_rules_are_qualified_vertices(self):
+        grammar = prepare_grammar(
+            "S -> D[0, EOI] where { D -> Raw[0, EOI] ; } ;"
+        )
+        graph = build_dependency_graph(grammar)
+        assert "S::D" in graph.vertices
+
+
+class TestConsumingAnalysis:
+    def test_terminal_consumption(self):
+        grammar = prepare_grammar('A -> "x"[0, 1] ; B -> ""[0, 0] ;')
+        consuming = consuming_nonterminals(grammar)
+        assert "A" in consuming
+        assert "B" not in consuming
+
+    def test_builtin_consumption(self):
+        grammar = prepare_grammar("A -> U8[0, 1] ; B -> Raw[0, EOI] ;")
+        consuming = consuming_nonterminals(grammar)
+        assert "A" in consuming
+        assert "B" not in consuming  # Raw can match the empty interval
+
+    def test_consumption_propagates_through_rules(self):
+        grammar = prepare_grammar('A -> B[0, EOI] ; B -> C[0, EOI] ; C -> "x"[0, 1] ;')
+        assert consuming_nonterminals(grammar) == {"A", "B", "C"}
+
+    def test_all_alternatives_must_consume(self):
+        grammar = prepare_grammar('A -> "x"[0, 1] / ""[0, 0] ;')
+        assert "A" not in consuming_nonterminals(grammar)
+
+
+class TestVerdicts:
+    def test_paper_mutual_recursion_rejected(self):
+        report = check_termination(toy.NON_TERMINATING_MUTUAL)
+        assert not report.ok
+        assert report.cycle_count >= 1
+
+    def test_kaitai_seek_loop_equivalent_rejected(self):
+        assert not check_termination(toy.NON_TERMINATING_SEEK).ok
+
+    def test_repeat_epsilon_equivalent_rejected(self):
+        assert not check_termination(toy.NON_TERMINATING_EPSILON).ok
+
+    def test_binary_number_grammar_accepted(self):
+        report = check_termination(toy.FIGURE_3)
+        assert report.ok
+        assert report.cycle_count == 1
+
+    def test_anbncn_accepted(self):
+        assert check_termination(toy.ANBNCN).ok
+
+    def test_backward_number_accepted(self):
+        assert check_termination(toy.BACKWARD_NUMBER).ok
+
+    def test_chunk_list_needs_end_refinement(self):
+        # Blocks -> Block Blocks[Block.end, EOI]: only the A.end > 0 clause
+        # (added because Block always consumes input) rules out looping.
+        grammar = """
+        Blocks -> Block[0, EOI] Blocks[Block.end, EOI] / Block[0, EOI] ;
+        Block -> "B"[0, 1] Raw[1, EOI] ;
+        """
+        assert check_termination(grammar).ok
+
+    def test_chunk_list_without_consuming_block_rejected(self):
+        grammar = """
+        Blocks -> Block[0, EOI] Blocks[Block.end, EOI] / Block[0, EOI] ;
+        Block -> Raw[0, EOI] ;
+        """
+        assert not check_termination(grammar).ok
+
+    def test_self_loop_with_constant_shrink_accepted(self):
+        assert check_termination('A -> "x"[0, 1] A[1, EOI] / "x"[0, 1] ;').ok
+
+    def test_seek_to_attribute_offset_rejected(self):
+        grammar = """
+        S -> Num[0, 1] S[Num.val, EOI] / "x"[0, 1] ;
+        Num -> U8[0, 1] {val = U8.val} ;
+        """
+        assert not check_termination(grammar).ok
+
+    def test_grammar_without_cycles_has_no_verdicts(self):
+        report = check_termination('S -> A[0, 4] B[4, EOI] ; A -> Raw ; B -> Raw ;')
+        assert report.ok
+        assert report.cycle_count == 0
+
+    def test_assert_terminates_raises_with_cycle(self):
+        with pytest.raises(TerminationCheckError) as excinfo:
+            assert_terminates(toy.NON_TERMINATING_MUTUAL)
+        assert excinfo.value.cycle  # names the offending cycle
+
+    def test_assert_terminates_returns_report(self):
+        report = assert_terminates(toy.FIGURE_3)
+        assert report.ok
+
+    def test_report_summary_mentions_cycles(self):
+        report = check_termination(toy.FIGURE_3)
+        assert "1 elementary cycle" in report.summary()
+
+
+class TestFormatGrammars:
+    """Section 7: every evaluated format passes, quickly, with few cycles."""
+
+    @pytest.mark.parametrize("fmt", sorted(registry))
+    def test_format_grammar_terminates(self, fmt):
+        report = check_termination(registry[fmt].grammar_text)
+        assert report.ok, report.failing_cycles()
+
+    @pytest.mark.parametrize("fmt", sorted(registry))
+    def test_few_elementary_cycles(self, fmt):
+        # The paper reports no more than five elementary cycles per grammar.
+        report = check_termination(registry[fmt].grammar_text)
+        assert report.cycle_count <= 5
+
+    def test_checking_is_fast(self):
+        # The paper reports < 20 ms per grammar (we allow a generous margin
+        # for slow CI machines; the point is that it is not seconds).
+        total = 0.0
+        for fmt in registry:
+            total += check_termination(registry[fmt].grammar_text).elapsed_seconds
+        assert total < 2.0
