@@ -1,0 +1,135 @@
+"""Compiled-vs-interpreted backend speedup tracker (emits BENCH_compiler.json).
+
+Measures per-format parse throughput (ns/byte) of the two ``Parser``
+backends on the Figure 13 single-format workloads (dns, ipv4, gif, elf, pe,
+zip) and writes the results to ``BENCH_compiler.json`` at the repository
+root, so the performance trajectory of the staged compiler is tracked
+across PRs instead of asserted once.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compiler_speedup.py [--quick] [-o FILE]
+
+``--quick`` shrinks the workloads and repetition counts for CI smoke runs.
+The script exits non-zero if any format silently fell back to the
+interpreter or the two backends disagree on a parse tree; it does *not*
+gate on a speedup threshold (that is the reviewer's job, with the JSON in
+hand).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Callable, Dict
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import samples  # noqa: E402
+from repro.formats import registry  # noqa: E402
+
+#: Workload builders for the Figure 13 single-format benchmarks.
+#: Each maps a format name to ``builder(quick)``.
+WORKLOADS: Dict[str, Callable[[bool], bytes]] = {
+    "dns": lambda quick: samples.build_dns_response(answer_count=4 if quick else 16),
+    "ipv4": lambda quick: samples.build_ipv4_udp_packet(
+        payload_size=64 if quick else 1400
+    ),
+    "gif": lambda quick: samples.build_gif(
+        frame_count=2 if quick else 8, bytes_per_frame=512 if quick else 2048
+    ),
+    "elf": lambda quick: samples.build_elf(
+        section_count=4 if quick else 16,
+        symbol_count=16 if quick else 64,
+        dynamic_entries=8 if quick else 16,
+    ),
+    "pe": lambda quick: samples.build_pe(
+        section_count=4 if quick else 8, section_size=512 if quick else 2048
+    ),
+    "zip": lambda quick: samples.build_zip(
+        member_count=2 if quick else 8, member_size=512 if quick else 2048
+    ),
+}
+
+
+def best_of(parse: Callable[[bytes], object], data: bytes, rounds: int) -> int:
+    """Minimum wall-clock nanoseconds for one parse over ``rounds`` runs."""
+    parse(data)  # warm up (memo dict allocation, bytecode specialization)
+    best = None
+    for _ in range(rounds):
+        begin = time.perf_counter_ns()
+        parse(data)
+        elapsed = time.perf_counter_ns() - begin
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def run(quick: bool, output: str) -> int:
+    rounds = 3 if quick else 9
+    results: Dict[str, dict] = {}
+    failures = 0
+    for fmt, build in WORKLOADS.items():
+        data = build(quick)
+        spec = registry[fmt]
+        compiled = spec.build_parser(backend="compiled")
+        interpreted = spec.build_parser(backend="interpreted")
+        if compiled.backend != "compiled":
+            print(f"ERROR: {fmt}: compiler fell back to the interpreter")
+            failures += 1
+            continue
+        if compiled.parse(data) != interpreted.parse(data):
+            print(f"ERROR: {fmt}: backends disagree on the parse tree")
+            failures += 1
+            continue
+        compiled_ns = best_of(compiled.parse, data, rounds)
+        interpreted_ns = best_of(interpreted.parse, data, rounds)
+        size = len(data)
+        results[fmt] = {
+            "input_bytes": size,
+            "interpreted_ns_per_byte": round(interpreted_ns / size, 2),
+            "compiled_ns_per_byte": round(compiled_ns / size, 2),
+            "speedup": round(interpreted_ns / compiled_ns, 2),
+        }
+        print(
+            f"{fmt:5s} {size:8d} B  interpreted {interpreted_ns / size:9.1f} ns/B"
+            f"  compiled {compiled_ns / size:9.1f} ns/B"
+            f"  speedup {interpreted_ns / compiled_ns:5.2f}x"
+        )
+    if results:
+        median = statistics.median(entry["speedup"] for entry in results.values())
+        report = {
+            "benchmark": "compiled backend vs reference interpreter (Fig. 13 workloads)",
+            "quick": quick,
+            "rounds": rounds,
+            "formats": results,
+            "median_speedup": round(median, 2),
+        }
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"median speedup {median:.2f}x -> {output}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small workloads / few rounds (CI smoke)"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_compiler.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    return run(args.quick, os.path.normpath(args.output))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,3 +64,19 @@ def test_fig12_reports_agree(elf_series, ipg_elf_parser):
     assert [s.offset for s in ipg_summary.sections] == [
         sh["offset"] for sh in baseline.section_headers
     ]
+
+
+@pytest.mark.parametrize("sections", ELF_SECTION_COUNTS)
+def test_fig12d_parse_ipg_compiled(benchmark, elf_series, compiled_parsers, sections):
+    binary = elf_series[sections]
+    benchmark.group = f"fig12d-readelf-parse-{sections}"
+    tree = benchmark(compiled_parsers["elf"].parse, binary)
+    assert tree.child("H")["shnum"] == sections + 4
+
+
+@pytest.mark.parametrize("sections", ELF_SECTION_COUNTS)
+def test_fig12d_parse_ipg_interpreted(benchmark, elf_series, interpreted_parsers, sections):
+    binary = elf_series[sections]
+    benchmark.group = f"fig12d-readelf-parse-{sections}"
+    tree = benchmark(interpreted_parsers["elf"].parse, binary)
+    assert tree.child("H")["shnum"] == sections + 4

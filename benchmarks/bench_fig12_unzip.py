@@ -77,3 +77,39 @@ def test_fig12_end_to_end_results_agree(zip_series, ipg_full_parser):
     archive = zip_series[ZIP_MEMBER_COUNTS[-1]]
     ipg_result = zipfmt.extract_all(ipg_full_parser.parse(archive))
     assert ipg_result == handwritten_zip.run_unzip(archive)
+
+
+@pytest.mark.parametrize("members", ZIP_MEMBER_COUNTS)
+def test_fig12a_end_to_end_ipg_compiled(
+    benchmark, zip_series, compiled_parsers, members
+):
+    archive = zip_series[members]
+    benchmark.group = f"fig12a-unzip-endtoend-{members}"
+    parser = compiled_parsers["zip"]
+
+    def unzip_with_compiled_backend():
+        tree = parser.parse(archive)
+        extracted = zipfmt.extract_all(tree)
+        assert zipfmt.verify_crc(extracted, zipfmt.list_members(tree))
+        return extracted
+
+    extracted = benchmark(unzip_with_compiled_backend)
+    assert len(extracted) == members
+
+
+@pytest.mark.parametrize("members", ZIP_MEMBER_COUNTS)
+def test_fig12a_end_to_end_ipg_interpreted(
+    benchmark, zip_series, interpreted_parsers, members
+):
+    archive = zip_series[members]
+    benchmark.group = f"fig12a-unzip-endtoend-{members}"
+    parser = interpreted_parsers["zip"]
+
+    def unzip_with_interpreted_backend():
+        tree = parser.parse(archive)
+        extracted = zipfmt.extract_all(tree)
+        assert zipfmt.verify_crc(extracted, zipfmt.list_members(tree))
+        return extracted
+
+    extracted = benchmark(unzip_with_interpreted_backend)
+    assert len(extracted) == members

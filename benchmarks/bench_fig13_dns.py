@@ -40,3 +40,19 @@ def test_fig13e_nail_like(benchmark, dns_series, answers):
     benchmark.group = f"fig13e-dns-{answers}"
     message, _arena = benchmark(nail_like.parse_dns, packet)
     assert len(message.records) == answers
+
+
+@pytest.mark.parametrize("answers", DNS_ANSWER_COUNTS)
+def test_fig13e_ipg_compiled(benchmark, dns_series, compiled_parsers, answers):
+    packet = dns_series[answers]
+    benchmark.group = f"fig13e-dns-{answers}"
+    tree = benchmark(compiled_parsers["dns"].parse, packet)
+    assert len(tree.array("RR")) == answers
+
+
+@pytest.mark.parametrize("answers", DNS_ANSWER_COUNTS)
+def test_fig13e_ipg_interpreted(benchmark, dns_series, interpreted_parsers, answers):
+    packet = dns_series[answers]
+    benchmark.group = f"fig13e-dns-{answers}"
+    tree = benchmark(interpreted_parsers["dns"].parse, packet)
+    assert len(tree.array("RR")) == answers

@@ -31,3 +31,19 @@ def test_fig13d_kaitai_like(benchmark, elf_series, kaitai_elf_engine, sections):
     benchmark.group = f"fig13d-elf-{sections}"
     obj = benchmark(kaitai_elf_engine.parse, binary)
     assert obj["shnum"] == sections + 4
+
+
+@pytest.mark.parametrize("sections", ELF_SECTION_COUNTS)
+def test_fig13d_ipg_compiled(benchmark, elf_series, compiled_parsers, sections):
+    binary = elf_series[sections]
+    benchmark.group = f"fig13d-elf-{sections}"
+    tree = benchmark(compiled_parsers["elf"].parse, binary)
+    assert tree.child("H")["shnum"] == sections + 4
+
+
+@pytest.mark.parametrize("sections", ELF_SECTION_COUNTS)
+def test_fig13d_ipg_interpreted(benchmark, elf_series, interpreted_parsers, sections):
+    binary = elf_series[sections]
+    benchmark.group = f"fig13d-elf-{sections}"
+    tree = benchmark(interpreted_parsers["elf"].parse, binary)
+    assert tree.child("H")["shnum"] == sections + 4

@@ -33,3 +33,19 @@ def test_fig13b_kaitai_like(benchmark, gif_series, kaitai_gif_engine, frames):
     obj = benchmark(kaitai_gif_engine.parse, image)
     images = [b for b in obj["blocks"] if b.fields["block_type"] == 0x2C]
     assert len(images) == frames
+
+
+@pytest.mark.parametrize("frames", GIF_FRAME_COUNTS)
+def test_fig13b_ipg_compiled(benchmark, gif_series, compiled_parsers, frames):
+    image = gif_series[frames]
+    benchmark.group = f"fig13b-gif-{frames}"
+    tree = benchmark(compiled_parsers["gif"].parse, image)
+    assert len(tree.find_all("ImageBlock")) == frames
+
+
+@pytest.mark.parametrize("frames", GIF_FRAME_COUNTS)
+def test_fig13b_ipg_interpreted(benchmark, gif_series, interpreted_parsers, frames):
+    image = gif_series[frames]
+    benchmark.group = f"fig13b-gif-{frames}"
+    tree = benchmark(interpreted_parsers["gif"].parse, image)
+    assert len(tree.find_all("ImageBlock")) == frames

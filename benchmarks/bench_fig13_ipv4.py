@@ -40,3 +40,19 @@ def test_fig13f_nail_like(benchmark, ipv4_series, payload):
     benchmark.group = f"fig13f-ipv4-{payload}"
     parsed, _arena = benchmark(nail_like.parse_ipv4_udp, packet)
     assert parsed.udp.length == 8 + payload
+
+
+@pytest.mark.parametrize("payload", IPV4_PAYLOAD_SIZES)
+def test_fig13f_ipg_compiled(benchmark, ipv4_series, compiled_parsers, payload):
+    packet = ipv4_series[payload]
+    benchmark.group = f"fig13f-ipv4-{payload}"
+    tree = benchmark(compiled_parsers["ipv4"].parse, packet)
+    assert tree.child("UDP")["len"] == 8 + payload
+
+
+@pytest.mark.parametrize("payload", IPV4_PAYLOAD_SIZES)
+def test_fig13f_ipg_interpreted(benchmark, ipv4_series, interpreted_parsers, payload):
+    packet = ipv4_series[payload]
+    benchmark.group = f"fig13f-ipv4-{payload}"
+    tree = benchmark(interpreted_parsers["ipv4"].parse, packet)
+    assert tree.child("UDP")["len"] == 8 + payload

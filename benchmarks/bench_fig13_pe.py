@@ -31,3 +31,19 @@ def test_fig13c_kaitai_like(benchmark, pe_series, kaitai_pe_engine, sections):
     benchmark.group = f"fig13c-pe-{sections}"
     obj = benchmark(kaitai_pe_engine.parse, binary)
     assert obj["pe_header"].fields["nsections"] == sections
+
+
+@pytest.mark.parametrize("sections", PE_SECTION_COUNTS)
+def test_fig13c_ipg_compiled(benchmark, pe_series, compiled_parsers, sections):
+    binary = pe_series[sections]
+    benchmark.group = f"fig13c-pe-{sections}"
+    tree = benchmark(compiled_parsers["pe"].parse, binary)
+    assert len(tree.array("SectionHeader")) == sections
+
+
+@pytest.mark.parametrize("sections", PE_SECTION_COUNTS)
+def test_fig13c_ipg_interpreted(benchmark, pe_series, interpreted_parsers, sections):
+    binary = pe_series[sections]
+    benchmark.group = f"fig13c-pe-{sections}"
+    tree = benchmark(interpreted_parsers["pe"].parse, binary)
+    assert len(tree.array("SectionHeader")) == sections

@@ -65,3 +65,19 @@ def test_fig13a_zero_copy_crossover(
     # The paper's qualitative result: IPG is the faster ZIP parser because it
     # skips the archived data instead of consuming it.
     assert ipg_time.mean < kaitai_time.mean
+
+
+@pytest.mark.parametrize("members", ZIP_MEMBER_COUNTS)
+def test_fig13a_ipg_compiled(benchmark, zip_series, compiled_parsers, members):
+    archive = zip_series[members]
+    benchmark.group = f"fig13a-zip-{members}"
+    tree = benchmark(compiled_parsers["zip-meta"].parse, archive)
+    assert len(tree.array("CDE")) == members
+
+
+@pytest.mark.parametrize("members", ZIP_MEMBER_COUNTS)
+def test_fig13a_ipg_interpreted(benchmark, zip_series, interpreted_parsers, members):
+    archive = zip_series[members]
+    benchmark.group = f"fig13a-zip-{members}"
+    tree = benchmark(interpreted_parsers["zip-meta"].parse, archive)
+    assert len(tree.array("CDE")) == members

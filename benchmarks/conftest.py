@@ -8,6 +8,14 @@ The "IPG" side of every comparison uses the *generated* parser
 (:func:`repro.core.generator.compile_parser`), matching the paper's artifact
 (a parser generator), with the reference interpreter available for
 cross-checks.
+
+Since the staged compiler backend became the default parse engine, every
+figure additionally records the ``Parser`` backends — ``compiled`` (the
+staged closures of :mod:`repro.core.compiler`) and ``interpreted`` (the
+reference big-step interpreter) — in the same benchmark groups, so the
+compiler's speedup is measured alongside the baselines rather than
+asserted.  ``benchmarks/bench_compiler_speedup.py`` distills the same
+comparison into ``BENCH_compiler.json`` for cross-PR tracking.
 """
 
 from __future__ import annotations
@@ -25,10 +33,29 @@ def build_generated_parser(fmt: str):
     return compile_parser(spec.grammar_text, blackboxes=dict(spec.blackboxes))
 
 
+def build_backend_parser(fmt: str, backend: str):
+    """Build a Parser for a registered format on the given backend."""
+    parser = registry[fmt].build_parser(backend=backend)
+    assert parser.backend == backend, f"{fmt}: fell back to {parser.backend}"
+    return parser
+
+
 @pytest.fixture(scope="session")
 def generated_parsers():
     """Generated parsers for every format used by the benchmarks."""
     return {fmt: build_generated_parser(fmt) for fmt in registry}
+
+
+@pytest.fixture(scope="session")
+def compiled_parsers():
+    """Compiled-backend parsers for every format used by the benchmarks."""
+    return {fmt: build_backend_parser(fmt, "compiled") for fmt in registry}
+
+
+@pytest.fixture(scope="session")
+def interpreted_parsers():
+    """Interpreter-backend parsers for every format used by the benchmarks."""
+    return {fmt: build_backend_parser(fmt, "interpreted") for fmt in registry}
 
 
 # -- workload series ----------------------------------------------------------

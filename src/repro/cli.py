@@ -11,7 +11,8 @@ Usage (also available as ``python -m repro``)::
 
 ``parse`` accepts either one of the bundled formats (``--format``) or a
 grammar file (``--grammar``); with ``--tree`` it prints the full parse tree
-instead of the per-format summary.
+instead of the per-format summary, and ``--backend`` picks the execution
+engine (the staged compiler by default, or the reference interpreter).
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import Parser, __version__
+from . import IPGError, Parser, __version__
 from .core.generator import generate_parser_source
 from .core.streamability import analyze_streamability
 from .core.termination import check_termination
@@ -91,15 +92,25 @@ def cmd_formats(_args) -> int:
 
 def cmd_parse(args) -> int:
     data = _read_bytes(args.file)
-    if args.format:
-        if args.format not in registry:
-            print(f"unknown format {args.format!r}; see `repro formats`", file=sys.stderr)
-            return 2
-        spec = registry[args.format]
-        parser = spec.parser()
-    else:
-        parser = Parser(_read_text(args.grammar))
-    tree = parser.try_parse(data)
+    try:
+        if args.format:
+            if args.format not in registry:
+                print(
+                    f"unknown format {args.format!r}; see `repro formats`",
+                    file=sys.stderr,
+                )
+                return 2
+            spec = registry[args.format]
+            parser = spec.build_parser(backend=args.backend)
+        else:
+            parser = Parser(_read_text(args.grammar), backend=args.backend)
+        tree = parser.try_parse(data)
+    except IPGError as exc:
+        # Grammar and configuration errors (syntax, attribute checking, a
+        # reachable blackbox with no registered implementation) deserve a
+        # message, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if tree is None:
         print("parse failed: the input does not match the grammar", file=sys.stderr)
         return 1
@@ -172,6 +183,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     group.add_argument("--grammar", help="path to an IPG grammar file")
     parse_command.add_argument(
         "--tree", action="store_true", help="print the full parse tree instead of a summary"
+    )
+    parse_command.add_argument(
+        "--backend",
+        choices=("compiled", "interpreted"),
+        default="compiled",
+        help="parse engine: staged compiler (default) or reference interpreter",
     )
     parse_command.set_defaults(handler=cmd_parse)
 

@@ -22,10 +22,12 @@ from .ast import (
 from .attrcheck import check_grammar
 from .autocomplete import complete_grammar
 from .builtins import BUILTINS, BlackboxResult, is_builtin
+from .compiler import CompiledGrammar, compile_grammar
 from .errors import (
     AttributeCheckError,
     AutoCompletionError,
     BlackboxError,
+    CompilationError,
     EvaluationError,
     GenerationError,
     GrammarSyntaxError,
@@ -47,6 +49,8 @@ __all__ = [
     "BlackboxError",
     "BlackboxResult",
     "BUILTINS",
+    "CompilationError",
+    "CompiledGrammar",
     "EvaluationError",
     "GenerationError",
     "Grammar",
@@ -71,6 +75,7 @@ __all__ = [
     "TermTerminal",
     "TerminationCheckError",
     "check_grammar",
+    "compile_grammar",
     "complete_grammar",
     "is_builtin",
     "parse",

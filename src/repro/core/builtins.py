@@ -57,6 +57,12 @@ class BuiltinSpec:
     size: Optional[int]  # fixed byte width, or None for variable width
     attrs: Tuple[str, ...]
     parse: Callable[[bytes, int, int], object]
+    #: For fixed-width integer builtins: the byte order ("little"/"big") and
+    #: signedness, so code generators (the staged compiler) can inline the
+    #: decoding without a parallel table.  ``None`` byteorder means the
+    #: builtin is not a fixed-width integer.
+    byteorder: Optional[str] = None
+    signed: bool = False
 
 
 def _fixed_int(size: int, byteorder: str, signed: bool = False):
@@ -106,15 +112,25 @@ def _build_registry() -> Dict[str, BuiltinSpec]:
     def register(name: str, size: Optional[int], attrs: Tuple[str, ...], parse) -> None:
         registry[name] = BuiltinSpec(name, size, attrs, parse)
 
-    register("U8", 1, ("val",), _fixed_int(1, "little"))
-    register("Byte", 1, ("val",), _fixed_int(1, "little"))
-    register("U16LE", 2, ("val",), _fixed_int(2, "little"))
-    register("U16BE", 2, ("val",), _fixed_int(2, "big"))
-    register("U32LE", 4, ("val",), _fixed_int(4, "little"))
-    register("U32BE", 4, ("val",), _fixed_int(4, "big"))
-    register("U64LE", 8, ("val",), _fixed_int(8, "little"))
-    register("U64BE", 8, ("val",), _fixed_int(8, "big"))
-    register("I32LE", 4, ("val",), _fixed_int(4, "little", signed=True))
+    def register_int(name: str, size: int, byteorder: str, signed: bool = False) -> None:
+        registry[name] = BuiltinSpec(
+            name,
+            size,
+            ("val",),
+            _fixed_int(size, byteorder, signed=signed),
+            byteorder=byteorder,
+            signed=signed,
+        )
+
+    register_int("U8", 1, "little")
+    register_int("Byte", 1, "little")
+    register_int("U16LE", 2, "little")
+    register_int("U16BE", 2, "big")
+    register_int("U32LE", 4, "little")
+    register_int("U32BE", 4, "big")
+    register_int("U64LE", 8, "little")
+    register_int("U64BE", 8, "big")
+    register_int("I32LE", 4, "little", signed=True)
     register("Raw", None, ("len", "val"), _raw)
     register("Bytes", None, ("len", "val"), _bytes)
     register("AsciiInt", None, ("val",), _ascii_int)

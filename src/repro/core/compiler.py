@@ -1,0 +1,947 @@
+"""The staged compiler backend: IPG grammars -> specialized Python closures.
+
+The reference interpreter (:mod:`repro.core.interpreter`) executes every term
+through an ``isinstance`` dispatch chain and re-walks each interval, guard
+and attribute expression per parse.  This module removes that interpretive
+overhead by *staging* the grammar once, at :class:`~repro.core.interpreter.
+Parser` construction time, into plain Python functions:
+
+* every expression is rendered to inline Python source by
+  :mod:`repro.core.exprcomp` (constant folding, attribute names interned
+  into function locals — a slot-based environment instead of per-term dict
+  operations);
+* every alternative becomes one flat function with term dispatch resolved
+  at compile time: terminal byte-compares are inlined slice comparisons,
+  fixed-width builtin integers (the paper's ``btoi`` specialization) are
+  inlined ``int.from_bytes`` calls, rule calls are direct function calls;
+* ``updStartEnd`` and the ``{EOI, start, end}`` specials live in locals and
+  the final node environment is built with a single dict display;
+* ``where`` local rules compile to nested closures, so references into the
+  enclosing alternative resolve through Python's closure mechanism exactly
+  like the interpreter's ``EvalContext.outer`` chain;
+* packrat memoization uses one ``(lo, hi)``-keyed dict per nonterminal,
+  allocated fresh per parse in a state list threaded through the calls, so
+  concurrent and reentrant parses are isolated like the interpreter's
+  per-run memo.
+
+The compiled backend produces parse trees *identical* (``==``) to the
+interpreter; ``tests/test_compiler_equivalence.py`` enforces this
+differentially on every bundled format grammar and on property-based
+workloads.  Constructs the compiler cannot specialize raise
+:class:`~repro.core.errors.CompilationError`, which the ``Parser`` turns
+into a silent fallback to the interpreter.
+
+Public API:
+
+``compile_grammar(grammar, memoize=True, blackboxes=None)``
+    Stage a prepared grammar and return a :class:`CompiledGrammar`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from .ast import (
+    Alternative,
+    Grammar,
+    Interval,
+    Rule,
+    Term,
+    TermArray,
+    TermAttrDef,
+    TermGuard,
+    TermNonterminal,
+    TermSwitch,
+    TermTerminal,
+)
+from .builtins import BUILTIN_FAIL, BUILTINS, is_builtin, normalize_blackbox_result
+from .errors import BlackboxError, CompilationError, EvaluationError, IPGError
+from .expr import Num
+from .exprcomp import SPECIALS, Namer, Scope, compile_expr, fold, resolve_name
+from .interpreter import FAIL, prepare_grammar
+from .parsetree import ArrayNode, Leaf, Node
+from .runtime import _div, _mod, _shift_l, _shift_r
+
+#: Sentinel distinguishing "memo miss" from a memoized FAIL.
+_MISS = object()
+
+#: Fixed-width integer builtins inlined by the compiler:
+#: name -> (byte width, byteorder, signed), derived from the builtins
+#: registry so the two can never drift apart.
+_FIXED_INTS = {
+    name: (spec.size, spec.byteorder, spec.signed)
+    for name, spec in BUILTINS.items()
+    if spec.size is not None and spec.byteorder is not None
+}
+
+
+# ---------------------------------------------------------------------------
+# Runtime support (injected into the generated module's globals)
+# ---------------------------------------------------------------------------
+
+_node_new = Node.__new__
+_leaf_new = Leaf.__new__
+_array_new = ArrayNode.__new__
+
+
+def _mk_node(name, env, children):
+    """Allocate a Node without the constructor's defensive copies."""
+    node = _node_new(Node)
+    node.name = name
+    node.env = env
+    node.children = children
+    return node
+
+
+def _mk_leaf(value):
+    leaf = _leaf_new(Leaf)
+    leaf.value = value
+    return leaf
+
+
+def _mk_array(name, elements):
+    array = _array_new(ArrayNode)
+    array.name = name
+    array.elements = elements
+    return array
+
+
+#: Poison value marking a loop-variable local whose binding is not live
+#: (before its loop started or after it finished).  The interpreter pops the
+#: env binding, so reads must fall through to an enclosing scope's binding
+#: — or fail — instead of seeing stale data.
+_UB = object()
+
+
+def _aidx(elements, position, name, attr):
+    """Bounds-checked ``A(e).attr`` on a compiled element list."""
+    if 0 <= position < len(elements):
+        # A missing attribute raises KeyError, which the enclosing compiled
+        # alternative turns into failure — like EvaluationError in the
+        # interpreter.
+        return elements[position].env[attr]
+    raise EvaluationError(
+        f"array reference {name}({position}) out of range "
+        f"(array has {len(elements)} elements)"
+    )
+
+
+def _undef(name):
+    raise EvaluationError(f"undefined attribute or loop variable {name!r}")
+
+
+def _nonode(name):
+    raise EvaluationError(f"reference to {name} but it has not been parsed yet")
+
+
+def _noarr(name):
+    raise EvaluationError(
+        f"reference to array {name} but no such array has been parsed"
+    )
+
+
+def _badexists(source):
+    raise EvaluationError(
+        f"existential does not reference any array indexed by its bound "
+        f"variable: {source}"
+    )
+
+
+def _exists(length, condition, then, otherwise):
+    """Runtime support for ``exists j . e1 ? e2 : e3`` (section 3.4)."""
+    for position in range(length):
+        if condition(position) != 0:
+            return then(position)
+    return otherwise()
+
+
+def _wrap_outcome(name, attrs, end, payload, length):
+    """Build the (unrebased) node a builtin/blackbox outcome denotes."""
+    env = {"EOI": length, "start": 0 if end else length, "end": end}
+    env.update(attrs)
+    children = [Leaf(payload)] if payload is not None else []
+    return _mk_node(name, env, children)
+
+
+def _make_builtin_runner(name):
+    """Specialize a builtin's parse-and-wrap (bound at compile time)."""
+    parse = BUILTINS[name].parse
+
+    def run(data, lo, hi):
+        outcome = parse(data, lo, hi)
+        if outcome is BUILTIN_FAIL:
+            return FAIL
+        attrs, end, payload = outcome
+        return _wrap_outcome(name, attrs, end, payload, hi - lo)
+
+    return run
+
+
+def _run_builtin(name, data, lo, hi):
+    """Run a builtin by name (slow path for builtin start symbols)."""
+    return _make_builtin_runner(name)(data, lo, hi)
+
+
+def _make_blackbox_runner(blackboxes):
+    """Blackbox dispatch closed over the parser's *live* registry dict."""
+
+    def run(name, data, lo, hi):
+        implementation = blackboxes.get(name)
+        if implementation is None:
+            raise BlackboxError(
+                f"grammar declares blackbox {name!r} but no implementation was "
+                f"registered with the Parser"
+            )
+        window = data[lo:hi]
+        try:
+            raw = implementation(window)
+        except Exception as exc:  # the blackbox itself failed
+            raise BlackboxError(f"blackbox parser {name!r} raised: {exc}") from exc
+        outcome = normalize_blackbox_result(raw, hi - lo)
+        if outcome is BUILTIN_FAIL:
+            return FAIL
+        attrs, payload, end = outcome
+        return _wrap_outcome(name, attrs, end, payload, hi - lo)
+
+    return run
+
+
+def _indent(lines: List[str], levels: int = 1) -> List[str]:
+    pad = "    " * levels
+    return [pad + line if line else line for line in lines]
+
+
+# ---------------------------------------------------------------------------
+# The grammar compiler
+# ---------------------------------------------------------------------------
+
+
+class _GrammarCompiler:
+    """Translates one prepared grammar into a module of specialized closures."""
+
+    def __init__(self, grammar: Grammar, memoize: bool = True):
+        self.grammar = grammar
+        self.memoize = memoize
+        self.namer = Namer()
+        self.rule_fns: Dict[str, str] = {}
+        #: Number of memo-table slots in the per-parse state list ``st``
+        #: (one per memoized rule; fresh per parse, so parses are isolated
+        #: like the interpreter's per-run memo — reentrancy/thread safe).
+        self.memo_count = 0
+        #: Constants (prebuilt Leaf objects, builtin runners) injected into
+        #: the generated module's globals.
+        self.constants: Dict[str, object] = {}
+        self._leaf_cache: Dict[bytes, str] = {}
+        self._runner_cache: Dict[str, str] = {}
+        self._tokens: Dict[str, str] = {}
+        self._token_used: set = set()
+
+    # -- naming ------------------------------------------------------------
+    def _token(self, raw: str) -> str:
+        """A collision-free identifier fragment for a grammar-level name."""
+        cached = self._tokens.get(raw)
+        if cached is not None:
+            return cached
+        token = re.sub(r"\W", "_", raw) or "x"
+        while token in self._token_used:
+            token = f"{token}_{len(self._token_used)}"
+        self._token_used.add(token)
+        self._tokens[raw] = token
+        return token
+
+    def _leaf_const(self, value: bytes) -> str:
+        name = self._leaf_cache.get(value)
+        if name is None:
+            name = f"_k{len(self._leaf_cache)}"
+            self._leaf_cache[value] = name
+            self.constants[name] = Leaf(value)
+        return name
+
+    def _builtin_runner(self, name: str) -> str:
+        var = self._runner_cache.get(name)
+        if var is None:
+            var = f"_bi_{self._token(name)}"
+            self._runner_cache[name] = var
+            self.constants[var] = _make_builtin_runner(name)
+        return var
+
+    # -- top level ---------------------------------------------------------
+    def _check_dynamic_shadowing(self) -> None:
+        """Reject grammars whose where-rule dispatch is call-site dependent.
+
+        The interpreter resolves the nonterminals a local rule's body uses
+        through the *caller's* local-rule chain; the compiler binds them
+        lexically at the declaration site.  The two differ only when a
+        nested where-scope re-declares a name that an outer-declared local
+        rule's body references (the outer rule may then be invoked from
+        inside the nested scope).  That shape gets a CompilationError so the
+        Parser falls back to the interpreter.
+        """
+
+        def used_names(alternative: Alternative) -> set:
+            names: set = set()
+            for term in alternative.terms:
+                if isinstance(term, TermNonterminal):
+                    names.add(term.name)
+                elif isinstance(term, TermArray):
+                    names.add(term.element.name)
+                elif isinstance(term, TermSwitch):
+                    names.update(case.target.name for case in term.cases)
+            return names
+
+        def walk(alternative: Alternative, outer_used: set) -> None:
+            if not alternative.local_rules:
+                return
+            declared = {rule.name for rule in alternative.local_rules}
+            shadowed = declared & outer_used
+            if shadowed:
+                raise CompilationError(
+                    f"where-rule(s) {sorted(shadowed)} shadow names referenced "
+                    f"by enclosing where-rules; dispatch would depend on the "
+                    f"call site, which is not specialized yet"
+                )
+            # References in an alternative lexically see the where-scopes
+            # that same alternative declares, so only usages from *other*
+            # bodies at this level (plus everything outer) are dangerous for
+            # the scopes nested inside it.
+            bodies = [
+                (inner, used_names(inner))
+                for rule in alternative.local_rules
+                for inner in rule.alternatives
+            ]
+            for inner, _own in bodies:
+                dangerous = set(outer_used)
+                for other, other_used in bodies:
+                    if other is not inner:
+                        dangerous |= other_used
+                walk(inner, dangerous)
+
+        for rule in self.grammar.iter_rules():
+            for alternative in rule.alternatives:
+                walk(alternative, set())
+
+    def compile(self) -> str:
+        self._check_dynamic_shadowing()
+        lines: List[str] = [
+            '"""Module staged by repro.core.compiler — one closure per alternative."""',
+            "",
+        ]
+        for index, name in enumerate(self.grammar.rules):
+            self.rule_fns[name] = f"_r{index}_{self._token(name)}"
+        for name, rule in self.grammar.rules.items():
+            lines += self._compile_rule(
+                rule,
+                self.rule_fns[name],
+                parent_scope=None,
+                bindings={},
+                memoized=self.memoize,
+                toplevel=True,
+            )
+            lines.append("")
+        entries = ", ".join(
+            f"{name!r}: {fn}" for name, fn in self.rule_fns.items()
+        )
+        lines.append(f"_ENTRY = {{{entries}}}")
+        return "\n".join(lines) + "\n"
+
+    def _compile_rule(
+        self,
+        rule: Rule,
+        fn_name: str,
+        parent_scope: Optional[Scope],
+        bindings: Dict[str, str],
+        memoized: bool,
+        toplevel: bool,
+    ) -> List[str]:
+        """Emit the alternative functions plus the biased-choice dispatcher."""
+        token = self._token(rule.name)
+        alt_fns = [
+            self.namer.fresh(f"_alt_{token}_") for _ in rule.alternatives
+        ]
+        lines: List[str] = []
+        for alternative, alt_fn in zip(rule.alternatives, alt_fns):
+            lines += self._compile_alternative(
+                rule.name, alternative, alt_fn, parent_scope, bindings
+            )
+            lines.append("")
+        body: List[str] = []
+        if memoized:
+            if not toplevel:  # pragma: no cover - local rules are never memoized
+                raise CompilationError("local rules cannot be memoized")
+            slot = self.memo_count
+            self.memo_count += 1
+            body.append(f"_m = st[{slot}]")
+            body.append("_key = (lo, hi)")
+            body.append("_v = _m.get(_key, _MISS)")
+            body.append("if _v is not _MISS:")
+            body.append("    return _v")
+            body.append(f"_v = {alt_fns[0]}(st, data, lo, hi)")
+            for alt_fn in alt_fns[1:]:
+                body.append("if _v is FAIL:")
+                body.append(f"    _v = {alt_fn}(st, data, lo, hi)")
+            body.append("_m[_key] = _v")
+            body.append("return _v")
+        elif len(alt_fns) == 1:
+            body.append(f"return {alt_fns[0]}(st, data, lo, hi)")
+        else:
+            body.append(f"_v = {alt_fns[0]}(st, data, lo, hi)")
+            for alt_fn in alt_fns[1:]:
+                body.append("if _v is FAIL:")
+                body.append(f"    _v = {alt_fn}(st, data, lo, hi)")
+            body.append("return _v")
+        lines.append(f"def {fn_name}(st, data, lo, hi):")
+        lines += _indent(body)
+        return lines
+
+    # -- alternatives ------------------------------------------------------
+    def _compile_alternative(
+        self,
+        rule_name: str,
+        alternative: Alternative,
+        fn_name: str,
+        parent_scope: Optional[Scope],
+        bindings: Dict[str, str],
+    ) -> List[str]:
+        fid = self.namer.fresh("")
+        scope = Scope(fid, parent_scope)
+        children = f"_ch{fid}"
+        # Local (where) rules are visible to the terms and to each other;
+        # function names are fixed before term compilation, bodies are
+        # compiled afterwards so they close over the fully populated scope.
+        local_bindings = dict(bindings)
+        pending_locals: List[Tuple[Rule, str]] = []
+        for local in alternative.local_rules:
+            local_fn = self.namer.fresh(f"_w_{self._token(local.name)}_")
+            local_bindings[local.name] = local_fn
+            pending_locals.append((local, local_fn))
+        scope.has_locals = bool(pending_locals)
+        if pending_locals:
+            # Local rule bodies resolve enclosing arrays statically, which is
+            # only equivalent to the interpreter's dynamic chain walk when
+            # each element name has a single `for` term in this alternative;
+            # with duplicates, hand the grammar to the interpreter instead.
+            element_names = [
+                term.element.name
+                for term in alternative.terms
+                if isinstance(term, TermArray)
+            ]
+            if len(element_names) != len(set(element_names)):
+                raise CompilationError(
+                    f"rule {rule_name!r}: where-rules combined with multiple "
+                    f"same-named array terms are not specialized yet"
+                )
+
+        body: List[str] = []
+        attr_order: List[str] = []
+        for term in alternative.terms:
+            self._emit_term(term, scope, local_bindings, body, attr_order, children)
+
+        # Loop variables go out of scope after their array term, but local
+        # rules are *called* from inside the loop, where the binding is live:
+        # their bodies must close over the loop-variable local (ELF's `Sec`
+        # and ZIP's `Entry` both reference the enclosing `i`).  Outside the
+        # loop the local holds _UB (pre-initialised below, re-poisoned by
+        # _emit_array), and the read falls through to the enclosing scope's
+        # binding — or fails — exactly like the interpreter's env chain after
+        # the binding is popped.
+        loop_var_locals: List[str] = []
+        for term in alternative.terms:
+            if isinstance(term, TermArray) and term.var not in scope.names:
+                local = f"_v{scope.fid}_{self._token(term.var)}"
+                loop_var_locals.append(local)
+                if parent_scope is not None:
+                    fallthrough = resolve_name(parent_scope, term.var)
+                else:
+                    fallthrough = f"_undef({term.var!r})"
+                scope.names[term.var] = (
+                    f"({local} if {local} is not _UB else {fallthrough})"
+                )
+
+        local_defs: List[str] = []
+        for local, local_fn in pending_locals:
+            local_defs += self._compile_rule(
+                local, local_fn, scope, local_bindings, memoized=False, toplevel=False
+            )
+
+        env_items = [
+            f"'EOI': {scope.eoi}",
+            f"'start': {scope.start}",
+            f"'end': {scope.end}",
+        ]
+        env_items += [f"{name!r}: {scope.names[name]}" for name in attr_order]
+
+        inner: List[str] = [
+            f"_hl{fid} = hi - lo",
+            f"{scope.eoi} = _hl{fid}",
+            f"{scope.start} = _hl{fid}",
+            f"{scope.end} = 0",
+            f"{children} = []",
+        ]
+        if pending_locals:
+            # Where-rule bodies may read this scope's record locals before
+            # the recording term ran; pre-initialise them so cross-scope
+            # resolution can fall through on None instead of crashing.
+            record_vars = [var for var, _certain in scope.node_envs.values()]
+            record_vars += list(scope.arrays.values())
+            inner += [f"{var} = None" for var in record_vars]
+            inner += [f"{var} = _UB" for var in loop_var_locals]
+        inner += local_defs
+        inner.append("try:")
+        inner += _indent(body if body else ["pass"])
+        # KeyError covers missing node attributes, NameError covers
+        # references evaluated before their defining term ran (both are
+        # EvaluationError in the interpreter and fail the alternative).
+        inner.append("except (EvaluationError, KeyError, NameError):")
+        inner.append("    return FAIL")
+        inner.append(
+            f"return _mk_node({rule_name!r}, {{{', '.join(env_items)}}}, {children})"
+        )
+        return [f"def {fn_name}(st, data, lo, hi):"] + _indent(inner)
+
+    # -- terms -------------------------------------------------------------
+    def _emit_term(
+        self,
+        term: Term,
+        scope: Scope,
+        bindings: Dict[str, str],
+        body: List[str],
+        attr_order: List[str],
+        children: str,
+    ) -> None:
+        if isinstance(term, TermAttrDef):
+            source = compile_expr(term.expr, scope, self.namer)
+            if term.name in SPECIALS:
+                body.append(f"{scope.special(term.name)} = {source}")
+            else:
+                local = f"_v{scope.fid}_{self._token(term.name)}"
+                body.append(f"{local} = {source}")
+                scope.names[term.name] = local
+                if term.name not in attr_order:
+                    attr_order.append(term.name)
+            return
+        if isinstance(term, TermGuard):
+            body.append(f"if {compile_expr(term.expr, scope, self.namer)} == 0:")
+            body.append("    return FAIL")
+            return
+        if isinstance(term, TermTerminal):
+            self._emit_terminal(term, scope, body, children)
+            return
+        if isinstance(term, TermNonterminal):
+            left, right = self._emit_interval(term.interval, scope, body)
+            node, env = self._emit_nt_parse(
+                term.name, left, right, scope, bindings, body
+            )
+            record = f"_nv{scope.fid}_{self._token(term.name)}"
+            body.append(f"{record} = {env}")
+            scope.node_envs[term.name] = (record, True)
+            body.append(f"{children}.append({node})")
+            return
+        if isinstance(term, TermArray):
+            self._emit_array(term, scope, bindings, body, children)
+            return
+        if isinstance(term, TermSwitch):
+            self._emit_switch(term, scope, bindings, body, children)
+            return
+        raise CompilationError(f"cannot compile term kind {type(term).__name__}")
+
+    def _emit_interval(
+        self, interval: Interval, scope: Scope, body: List[str]
+    ) -> Tuple[str, str]:
+        """Evaluate an interval into (left, right) source operands.
+
+        Emits the ``0 <= l <= r <= |s|`` validity check of the semantics,
+        specialised when one or both endpoints are compile-time constants.
+        """
+        if interval.left is None or interval.right is None:
+            raise CompilationError("interval was not auto-completed")
+        length = f"_hl{scope.fid}"
+        left = fold(interval.left)
+        right = fold(interval.right)
+        left_const = left.value if isinstance(left, Num) else None
+        right_const = right.value if isinstance(right, Num) else None
+        if left_const is not None and right_const is not None:
+            if left_const < 0 or right_const < left_const:
+                body.append("return FAIL")
+            else:
+                body.append(f"if {right_const} > {length}:")
+                body.append("    return FAIL")
+            return repr(left_const), repr(right_const)
+        if left_const is not None:
+            right_var = self.namer.fresh("_t")
+            body.append(f"{right_var} = {compile_expr(right, scope, self.namer)}")
+            if left_const < 0:
+                body.append("return FAIL")
+            else:
+                body.append(
+                    f"if {right_var} < {left_const} or {right_var} > {length}:"
+                )
+                body.append("    return FAIL")
+            return repr(left_const), right_var
+        left_var = self.namer.fresh("_t")
+        body.append(f"{left_var} = {compile_expr(left, scope, self.namer)}")
+        if right_const is not None:
+            body.append(
+                f"if {left_var} < 0 or {left_var} > {right_const} "
+                f"or {right_const} > {length}:"
+            )
+            body.append("    return FAIL")
+            return left_var, repr(right_const)
+        right_var = self.namer.fresh("_t")
+        body.append(f"{right_var} = {compile_expr(right, scope, self.namer)}")
+        body.append(
+            f"if {left_var} < 0 or {right_var} < {left_var} "
+            f"or {right_var} > {length}:"
+        )
+        body.append("    return FAIL")
+        return left_var, right_var
+
+    @staticmethod
+    def _plus(operand: str, amount: int) -> str:
+        """Render ``operand + amount``, folding when the operand is a literal."""
+        if amount == 0:
+            return operand
+        try:
+            return repr(int(operand) + amount)
+        except ValueError:
+            return f"{operand} + {amount}"
+
+    def _emit_terminal(
+        self, term: TermTerminal, scope: Scope, body: List[str], children: str
+    ) -> None:
+        left, right = self._emit_interval(term.interval, scope, body)
+        literal = term.value
+        width = len(literal)
+        try:
+            fits = int(right) - int(left) >= width
+        except ValueError:
+            fits = None
+        if fits is None:
+            body.append(f"if {right} - {left} < {width}:")
+            body.append("    return FAIL")
+        elif not fits:
+            body.append("return FAIL")
+        if literal:
+            position = self.namer.fresh("_p")
+            body.append(f"{position} = lo + {left}")
+            body.append(
+                f"if data[{position}:{position} + {width}] != {literal!r}:"
+            )
+            body.append("    return FAIL")
+            # updStartEnd with [left, left + |s|), touched.
+            body.append(f"if {left} < {scope.start}:")
+            body.append(f"    {scope.start} = {left}")
+            end = self._plus(left, width)
+            body.append(f"if {end} > {scope.end}:")
+            body.append(f"    {scope.end} = {end}")
+        body.append(f"{children}.append({self._leaf_const(literal)})")
+
+    def _emit_nt_parse(
+        self,
+        name: str,
+        left: str,
+        right: str,
+        scope: Scope,
+        bindings: Dict[str, str],
+        body: List[str],
+    ) -> Tuple[str, str]:
+        """Emit the parse of nonterminal ``name`` over ``[left, right)``.
+
+        Returns ``(node_var, env_var)`` for the caller-rebased node.
+        Dispatch follows the interpreter's resolution order: local rules,
+        top-level rules, builtins, blackboxes.
+        """
+        lo_arg = f"lo + {left}" if left != "0" else "lo"
+        hi_arg = f"lo + {right}"
+        fixed = _FIXED_INTS.get(name) if name not in bindings else None
+        if (
+            fixed is not None
+            and not self.grammar.has_rule(name)
+            and name in BUILTINS
+        ):
+            return self._emit_fixed_int(name, fixed, left, right, scope, body)
+        if name in bindings:
+            call = f"{bindings[name]}(st, data, {lo_arg}, {hi_arg})"
+        elif self.grammar.has_rule(name):
+            call = f"{self.rule_fns[name]}(st, data, {lo_arg}, {hi_arg})"
+        elif is_builtin(name):
+            call = f"{self._builtin_runner(name)}(data, {lo_arg}, {hi_arg})"
+        elif name in self.grammar.blackboxes:
+            call = f"_bb({name!r}, data, {lo_arg}, {hi_arg})"
+        else:
+            raise CompilationError(
+                f"no rule, builtin or blackbox for nonterminal {name!r}"
+            )
+        result = self.namer.fresh("_n")
+        body.append(f"{result} = {call}")
+        body.append(f"if {result} is FAIL:")
+        body.append("    return FAIL")
+        env = self.namer.fresh("_e")
+        untouched = self.namer.fresh("_z")
+        start = self.namer.fresh("_x")
+        end = self.namer.fresh("_y")
+        body.append(f"{env} = dict({result}.env)")
+        body.append(f"{untouched} = {env}['end']")
+        body.append(f"{start} = {left} + {env}['start']")
+        body.append(f"{end} = {left} + {untouched}")
+        body.append(f"{env}['start'] = {start}")
+        body.append(f"{env}['end'] = {end}")
+        node = self.namer.fresh("_d")
+        body.append(f"{node} = _mk_node({name!r}, {env}, {result}.children)")
+        body.append(f"if {untouched}:")
+        body.append(f"    if {start} < {scope.start}:")
+        body.append(f"        {scope.start} = {start}")
+        body.append(f"    if {end} > {scope.end}:")
+        body.append(f"        {scope.end} = {end}")
+        return node, env
+
+    def _emit_fixed_int(
+        self,
+        name: str,
+        spec: Tuple[int, str, bool],
+        left: str,
+        right: str,
+        scope: Scope,
+        body: List[str],
+    ) -> Tuple[str, str]:
+        """Fully inline a fixed-width integer builtin (btoi specialization)."""
+        width, byteorder, signed = spec
+        try:
+            fits = int(right) - int(left) >= width
+        except ValueError:
+            fits = None
+        if fits is None:
+            body.append(f"if {right} - {left} < {width}:")
+            body.append("    return FAIL")
+        elif not fits:
+            body.append("return FAIL")
+        position = self.namer.fresh("_p")
+        window = self.namer.fresh("_w")
+        body.append(f"{position} = lo + {left}" if left != "0" else f"{position} = lo")
+        body.append(f"{window} = data[{position}:{position} + {width}]")
+        if width == 1 and not signed:
+            value = f"{window}[0]"
+        elif signed:
+            value = f"_ifb({window}, {byteorder!r}, signed=True)"
+        else:
+            value = f"_ifb({window}, {byteorder!r})"
+        env = self.namer.fresh("_e")
+        end = self._plus(left, width)
+        try:
+            eoi = repr(int(right) - int(left))
+        except ValueError:
+            eoi = f"{right} - {left}"
+        body.append(
+            f"{env} = {{'EOI': {eoi}, 'start': {left}, 'end': {end}, 'val': {value}}}"
+        )
+        node = self.namer.fresh("_d")
+        body.append(f"{node} = _mk_node({name!r}, {env}, [_mk_leaf({window})])")
+        body.append(f"if {left} < {scope.start}:")
+        body.append(f"    {scope.start} = {left}")
+        body.append(f"if {end} > {scope.end}:")
+        body.append(f"    {scope.end} = {end}")
+        return node, env
+
+    def _emit_array(
+        self,
+        term: TermArray,
+        scope: Scope,
+        bindings: Dict[str, str],
+        body: List[str],
+        children: str,
+    ) -> None:
+        element = term.element.name
+        # Loop bounds are evaluated before the (fresh) element list becomes
+        # visible, so references to a previous same-named array still
+        # resolve to that previous list here.
+        first = self.namer.fresh("_t")
+        stop = self.namer.fresh("_t")
+        body.append(f"{first} = {compile_expr(term.start, scope, self.namer)}")
+        body.append(f"{stop} = {compile_expr(term.stop, scope, self.namer)}")
+        elements = self.namer.fresh(f"_ar{scope.fid}_{self._token(element)}")
+        body.append(f"{elements} = []")
+        scope.arrays[element] = elements
+
+        loop_var = f"_v{scope.fid}_{self._token(term.var)}"
+        prior = scope.names.get(term.var)
+        saved = None
+        if prior is not None:
+            # The loop variable shadows an attribute of the same name; the
+            # interpreter restores the old binding after the loop.
+            saved = self.namer.fresh("_s")
+            body.append(f"{saved} = {loop_var}")
+        scope.names[term.var] = loop_var
+
+        loop: List[str] = []
+        left, right = self._emit_interval(term.element.interval, scope, loop)
+        node, _env = self._emit_nt_parse(element, left, right, scope, bindings, loop)
+        loop.append(f"{elements}.append({node})")
+        body.append(f"for {loop_var} in range({first}, {stop}):")
+        body += _indent(loop)
+
+        if prior is not None:
+            body.append(f"{loop_var} = {saved}")
+            scope.names[term.var] = prior
+        else:
+            if scope.has_locals:
+                # Re-poison the local so where-rules invoked after the loop
+                # observe a popped binding and fall through to the enclosing
+                # scope (see the loop-variable handling in
+                # _compile_alternative).
+                body.append(f"{loop_var} = _UB")
+            del scope.names[term.var]
+        body.append(f"{children}.append(_mk_array({element!r}, {elements}))")
+
+    def _emit_switch(
+        self,
+        term: TermSwitch,
+        scope: Scope,
+        bindings: Dict[str, str],
+        body: List[str],
+        children: str,
+    ) -> None:
+        # Switch-case targets are recorded conditionally: pre-initialise the
+        # record locals to None so Dot references fall through to enclosing
+        # scopes when the branch did not run (see exprcomp.resolve_dot).
+        for case in term.cases:
+            name = case.target.name
+            entry = scope.node_envs.get(name)
+            if entry is None:
+                record = f"_nv{scope.fid}_{self._token(name)}"
+                body.append(f"{record} = None")
+                scope.node_envs[name] = (record, False)
+        first = True
+        has_default = False
+        for case in term.cases:
+            branch: List[str] = []
+            left, right = self._emit_interval(case.target.interval, scope, branch)
+            node, env = self._emit_nt_parse(
+                case.target.name, left, right, scope, bindings, branch
+            )
+            record, _certain = scope.node_envs[case.target.name]
+            branch.append(f"{record} = {env}")
+            branch.append(f"{children}.append({node})")
+            if case.condition is None:
+                has_default = True
+                body.append("else:" if not first else "if 1:")
+                body += _indent(branch)
+                break  # cases after a default are unreachable
+            keyword = "if" if first else "elif"
+            condition = compile_expr(case.condition, scope, self.namer)
+            body.append(f"{keyword} {condition} != 0:")
+            body += _indent(branch)
+            first = False
+        if not has_default:
+            body.append("else:")
+            body.append("    return FAIL")
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+class CompiledGrammar:
+    """A grammar staged into specialized closures, ready to parse.
+
+    Produced by :func:`compile_grammar`; used by
+    :class:`~repro.core.interpreter.Parser` when ``backend="compiled"``.
+    The generated module source is kept on :attr:`source` for inspection
+    and debugging.
+    """
+
+    __slots__ = (
+        "grammar",
+        "source",
+        "memoize",
+        "blackboxes",
+        "_entry",
+        "_memo_count",
+        "_bb",
+    )
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        source: str,
+        namespace: Dict[str, object],
+        memoize: bool,
+        blackboxes: Dict[str, object],
+        memo_count: int,
+    ):
+        self.grammar = grammar
+        self.source = source
+        self.memoize = memoize
+        self.blackboxes = blackboxes
+        self._entry = namespace["_ENTRY"]
+        self._memo_count = memo_count
+        self._bb = namespace["_bb"]
+
+    def parse_nonterminal(self, data: bytes, name: str, lo: int, hi: int):
+        """``s[lo, hi] ⊢ name ⇓ R`` through the compiled closures.
+
+        Each call allocates its own memo-table state, so parses are isolated
+        from each other exactly like the interpreter's per-run ``_Run`` —
+        including reentrant parses started from inside a blackbox and
+        concurrent parses on the same parser.
+        """
+        state = [{} for _ in range(self._memo_count)]
+        fn = self._entry.get(name)
+        if fn is not None:
+            return fn(state, data, lo, hi)
+        if is_builtin(name):
+            return _run_builtin(name, data, lo, hi)
+        if name in self.grammar.blackboxes:
+            return self._bb(name, data, lo, hi)
+        raise IPGError(f"no rule, builtin or blackbox for nonterminal {name!r}")
+
+
+def compile_grammar(
+    grammar: Union[Grammar, str],
+    memoize: bool = True,
+    blackboxes: Optional[Dict[str, object]] = None,
+) -> CompiledGrammar:
+    """Stage ``grammar`` into specialized Python closures.
+
+    Raises :class:`~repro.core.errors.CompilationError` when the grammar
+    contains a construct the compiler cannot specialize; ``Parser`` treats
+    that as a cue to fall back to the reference interpreter.
+    """
+    prepared = prepare_grammar(grammar)
+    registry = blackboxes if blackboxes is not None else {}
+    compiler = _GrammarCompiler(prepared, memoize=memoize)
+    source = compiler.compile()
+    namespace: Dict[str, object] = {
+        "FAIL": FAIL,
+        "EvaluationError": EvaluationError,
+        "_MISS": _MISS,
+        "_mk_node": _mk_node,
+        "_mk_leaf": _mk_leaf,
+        "_mk_array": _mk_array,
+        "_div": _div,
+        "_mod": _mod,
+        "_shift_l": _shift_l,
+        "_shift_r": _shift_r,
+        "_aidx": _aidx,
+        "_UB": _UB,
+        "_undef": _undef,
+        "_nonode": _nonode,
+        "_noarr": _noarr,
+        "_badexists": _badexists,
+        "_exists": _exists,
+        "_ifb": int.from_bytes,
+        "_bb": _make_blackbox_runner(registry),
+    }
+    namespace.update(compiler.constants)
+    try:
+        code = compile(source, "<ipg-compiled-grammar>", "exec")
+        exec(code, namespace)
+    except CompilationError:
+        raise
+    except Exception as exc:  # defensive: never crash the Parser constructor
+        raise CompilationError(
+            f"staging the grammar failed ({type(exc).__name__}: {exc})"
+        ) from exc
+    return CompiledGrammar(
+        prepared, source, namespace, memoize, registry, compiler.memo_count
+    )

@@ -158,10 +158,6 @@ class EvalContext:
         """Record the result of a nonterminal term for later references."""
         self.nodes[node.name] = node
 
-    def record_array_element(self, name: str, node: Node) -> None:
-        """Append an element to the array being built for ``name``."""
-        self.arrays.setdefault(name, []).append(node)
-
     def child(self) -> "EvalContext":
         """Create a context for a local (``where``) rule nested in this one."""
         return EvalContext(env={}, outer=self)

@@ -82,5 +82,14 @@ class GenerationError(IPGError):
     """The parser generator could not emit code for the grammar."""
 
 
+class CompilationError(IPGError):
+    """The staged compiler backend could not specialize the grammar.
+
+    :class:`~repro.core.interpreter.Parser` catches this and falls back to
+    the reference interpreter, so users only ever see it when calling
+    :func:`repro.core.compiler.compile_grammar` directly.
+    """
+
+
 class SolverError(IPGError):
     """The constraint solver was given a formula outside its fragment."""

@@ -1,0 +1,329 @@
+"""Staged compilation of IPG expressions to Python source.
+
+This is the expression half of the compiled backend
+(:mod:`repro.core.compiler`).  The tree-walking interpreter evaluates every
+interval bound, guard and attribute definition by recursing over the
+:class:`~repro.core.expr.Expr` AST and resolving names through the
+:class:`~repro.core.env.EvalContext` chain at runtime.  Here the same
+expressions are *staged*: each is rendered once, at grammar-compile time,
+into a Python expression string in which
+
+* integer literals and constant subtrees are folded into literals,
+* attribute and loop-variable references become plain Python locals of the
+  enclosing compiled alternative (the environment is slot-based: one local
+  per attribute instead of per-term dict operations),
+* ``A.attr`` references become a single dict indexing on the recorded
+  node-environment local,
+* ``A(e).attr`` references become a call to the bounds-checked
+  :func:`repro.core.compiler._aidx` helper on the element-list local, and
+* the special attributes ``EOI``/``start``/``end`` become the dedicated
+  locals threaded by the compiled ``updStartEnd`` code.
+
+Scoping is resolved statically through :class:`Scope`, which mirrors the
+``EvalContext.outer`` chain of the interpreter: compiled ``where`` local
+rules are nested Python closures, so a reference that the interpreter would
+resolve in an enclosing context compiles to a closed-over local of the
+enclosing compiled alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .errors import CompilationError, EvaluationError
+from .expr import BinOp, Cond, Dot, Exists, Expr, Index, Name, Num
+
+#: The special attributes present in every environment (rule R-AltSucc).
+SPECIALS = ("EOI", "start", "end")
+
+
+class Namer:
+    """Produces fresh, collision-free Python identifiers."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+
+class Scope:
+    """Static model of one :class:`~repro.core.env.EvalContext`.
+
+    One scope is created per compiled alternative; local (``where``) rule
+    alternatives chain to the enclosing alternative's scope through
+    ``parent``, exactly like ``EvalContext.outer``.
+
+    Attributes
+    ----------
+    fid:
+        Unique suffix for this scope's Python locals (``_eoi{fid}`` etc.).
+    names:
+        Attribute / loop-variable name -> Python local holding its value.
+    node_envs:
+        Nonterminal name -> ``(local, certain)``; ``local`` holds the
+        recorded node environment dict.  ``certain`` is False when the
+        record may not have happened (the name is a switch-case target), in
+        which case the local is pre-initialised to ``None`` and reads fall
+        through to the parent scope at runtime.
+    arrays:
+        Array element name -> Python local holding the element list.
+    """
+
+    def __init__(self, fid: str, parent: Optional["Scope"] = None):
+        self.fid = fid
+        self.parent = parent
+        self.names: Dict[str, str] = {}
+        self.node_envs: Dict[str, Tuple[str, bool]] = {}
+        self.arrays: Dict[str, str] = {}
+        #: True when the alternative declares where-rules.  Descendant scopes
+        #: may then read this scope's record locals *before* the recording
+        #: term ran, so the locals are pre-initialised to ``None`` and
+        #: cross-scope reads compile to conditional fall-through.
+        self.has_locals = False
+
+    # -- the slot-based specials -------------------------------------------
+    def special(self, which: str) -> str:
+        return f"_{which.lower()}{self.fid}"
+
+    @property
+    def eoi(self) -> str:
+        return self.special("EOI")
+
+    @property
+    def start(self) -> str:
+        return self.special("start")
+
+    @property
+    def end(self) -> str:
+        return self.special("end")
+
+
+# ---------------------------------------------------------------------------
+# Constant folding
+# ---------------------------------------------------------------------------
+
+
+def fold(expr: Expr) -> Expr:
+    """Fold constant subtrees of ``expr`` into :class:`Num` literals.
+
+    Folding never changes observable behaviour: subtrees whose evaluation
+    would raise (division by zero, negative shifts) are left intact so the
+    failure still happens at parse time, and short-circuit operators only
+    fold when the left operand decides the result.
+    """
+    if isinstance(expr, Num):
+        return expr
+    if isinstance(expr, Name):
+        return expr
+    if isinstance(expr, Dot):
+        return expr
+    if isinstance(expr, Index):
+        folded = fold(expr.index)
+        return expr if folded is expr.index else Index(expr.nonterminal, folded, expr.attr)
+    if isinstance(expr, BinOp):
+        left = fold(expr.left)
+        right = fold(expr.right)
+        if isinstance(left, Num):
+            # Short-circuit folds do not require a constant right operand.
+            if expr.op == "&&" and left.value == 0:
+                return Num(0)
+            if expr.op == "||" and left.value != 0:
+                return Num(1)
+            if isinstance(right, Num):
+                try:
+                    return Num(BinOp(expr.op, left, right).evaluate(None))
+                except EvaluationError:
+                    pass
+        if left is expr.left and right is expr.right:
+            return expr
+        return BinOp(expr.op, left, right)
+    if isinstance(expr, Cond):
+        condition = fold(expr.condition)
+        if isinstance(condition, Num):
+            return fold(expr.then) if condition.value != 0 else fold(expr.otherwise)
+        then = fold(expr.then)
+        otherwise = fold(expr.otherwise)
+        if condition is expr.condition and then is expr.then and otherwise is expr.otherwise:
+            return expr
+        return Cond(condition, then, otherwise)
+    if isinstance(expr, Exists):
+        return Exists(expr.var, fold(expr.condition), fold(expr.then), fold(expr.otherwise))
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# Static name resolution
+# ---------------------------------------------------------------------------
+
+
+def resolve_name(scope: Scope, ident: str) -> str:
+    """Compile a plain identifier reference to a Python expression.
+
+    Mirrors ``EvalContext.lookup_name``: every environment contains the
+    special attributes, so the innermost scope always resolves them.
+    """
+    current: Optional[Scope] = scope
+    while current is not None:
+        local = current.names.get(ident)
+        if local is not None:
+            return local
+        if ident in SPECIALS:
+            return current.special(ident)
+        current = current.parent
+    # The interpreter raises EvaluationError at evaluation time (the
+    # alternative fails); emit a call that does exactly that.
+    return f"_undef({ident!r})"
+
+
+def resolve_dot(scope: Scope, nonterminal: str, attr: str) -> str:
+    """Compile ``A.attr``, mirroring ``EvalContext.lookup_dot``.
+
+    In the scope the reference occurs in, position-aware certainty is exact:
+    a certain record compiles to a single dict indexing.  Records in
+    *ancestor* scopes may not have happened yet when a where-rule body runs
+    (the recording term can execute after the call site), so they always
+    read the local and fall through to the next scope while it is still
+    ``None`` — preserving the interpreter's dynamic chain walk.  Switch-case
+    targets are conditional even in their own scope.
+    """
+    conditionals = []
+    current: Optional[Scope] = scope
+    terminal = None
+    while current is not None:
+        entry = current.node_envs.get(nonterminal)
+        if entry is not None:
+            local, certain = entry
+            if certain and current is scope:
+                terminal = f"{local}[{attr!r}]"
+                break
+            conditionals.append(local)
+        current = current.parent
+    if terminal is None:
+        terminal = f"_nonode({nonterminal!r})"
+    for local in reversed(conditionals):
+        terminal = f"({local}[{attr!r}] if {local} is not None else {terminal})"
+    return terminal
+
+
+def resolve_array_chain(scope: Scope, nonterminal: str) -> list:
+    """Element-list locals for array ``nonterminal``, innermost first.
+
+    Each element is ``(local, certain)``; like :func:`resolve_dot`, only a
+    binding in the scope the reference occurs in is certain — ancestor
+    bindings need a runtime ``is not None`` fall-through.  An empty list
+    means the array is statically unknown.
+    """
+    chain = []
+    current: Optional[Scope] = scope
+    while current is not None:
+        local = current.arrays.get(nonterminal)
+        if local is not None:
+            if current is scope:
+                chain.append((local, True))
+                return chain
+            chain.append((local, False))
+        current = current.parent
+    return chain
+
+
+# ---------------------------------------------------------------------------
+# Expression -> Python source
+# ---------------------------------------------------------------------------
+
+
+def compile_expr(expr: Expr, scope: Scope, namer: Namer) -> str:
+    """Render ``expr`` as a Python expression over the compiled locals."""
+    return _compile(fold(expr), scope, namer)
+
+
+def _compile(expr: Expr, scope: Scope, namer: Namer) -> str:
+    if isinstance(expr, Num):
+        return repr(expr.value)
+    if isinstance(expr, Name):
+        return resolve_name(scope, expr.ident)
+    if isinstance(expr, Dot):
+        return resolve_dot(scope, expr.nonterminal, expr.attr)
+    if isinstance(expr, Index):
+        chain = resolve_array_chain(scope, expr.nonterminal)
+        index = _compile(expr.index, scope, namer)
+        # An exhausted chain fails the alternative, exactly like
+        # EvalContext.lookup_index on an unknown array.
+        source = f"_noarr({expr.nonterminal!r})"
+        for elements, certain in reversed(chain):
+            call = f"_aidx({elements}, {index}, {expr.nonterminal!r}, {expr.attr!r})"
+            source = (
+                call
+                if certain
+                else f"({call} if {elements} is not None else {source})"
+            )
+        return source
+    if isinstance(expr, BinOp):
+        return _compile_binop(expr, scope, namer)
+    if isinstance(expr, Cond):
+        condition = _compile(expr.condition, scope, namer)
+        then = _compile(expr.then, scope, namer)
+        otherwise = _compile(expr.otherwise, scope, namer)
+        return f"({then} if {condition} != 0 else {otherwise})"
+    if isinstance(expr, Exists):
+        return _compile_exists(expr, scope, namer)
+    raise CompilationError(f"cannot compile expression {expr!r}")
+
+
+def _compile_binop(expr: BinOp, scope: Scope, namer: Namer) -> str:
+    left = _compile(expr.left, scope, namer)
+    right = _compile(expr.right, scope, namer)
+    op = expr.op
+    if op in ("+", "-", "*", "&", "|"):
+        return f"({left} {op} {right})"
+    if op in ("<<", ">>"):
+        return f"_shift_{'l' if op == '<<' else 'r'}({left}, {right})"
+    if op == "/":
+        return f"_div({left}, {right})"
+    if op == "%":
+        return f"_mod({left}, {right})"
+    if op == "=":
+        return f"(1 if {left} == {right} else 0)"
+    if op in ("!=", "<", ">", "<=", ">="):
+        return f"(1 if {left} {op} {right} else 0)"
+    if op == "&&":
+        return f"(1 if {left} != 0 and {right} != 0 else 0)"
+    if op == "||":
+        return f"(1 if {left} != 0 or {right} != 0 else 0)"
+    raise CompilationError(f"cannot compile binary operator {op!r}")
+
+
+def _compile_exists(expr: Exists, scope: Scope, namer: Namer) -> str:
+    array_name = expr._target_array()
+    if array_name is None:
+        # The interpreter raises EvaluationError when it evaluates such an
+        # existential; keep that behaviour rather than rejecting the grammar.
+        return f"_badexists({expr.to_source()!r})"
+    chain = resolve_array_chain(scope, array_name)
+    length = f"_noarr({array_name!r})"
+    for elements, certain in reversed(chain):
+        length = (
+            f"len({elements})"
+            if certain
+            else f"(len({elements}) if {elements} is not None else {length})"
+        )
+    param = namer.fresh("_q")
+    saved = scope.names.get(expr.var)
+    scope.names[expr.var] = param
+    try:
+        condition = _compile(expr.condition, scope, namer)
+        then = _compile(expr.then, scope, namer)
+    finally:
+        if saved is None:
+            scope.names.pop(expr.var, None)
+        else:
+            scope.names[expr.var] = saved
+    # The else branch evaluates with the bound variable restored (removed),
+    # like the interpreter; references inside it resolve to the outer binding
+    # or fail.
+    otherwise = _compile(expr.otherwise, scope, namer)
+    return (
+        f"_exists({length}, lambda {param}: {condition}, "
+        f"lambda {param}: {then}, lambda: {otherwise})"
+    )

@@ -102,8 +102,12 @@ def _compile_binop(expr: BinOp) -> str:
     left = compile_expr(expr.left)
     right = compile_expr(expr.right)
     op = expr.op
-    if op in ("+", "-", "*", "&", "|", "<<", ">>"):
+    if op in ("+", "-", "*", "&", "|"):
         return f"({left} {op} {right})"
+    if op == "<<":
+        return f"_shift_l({left}, {right})"
+    if op == ">>":
+        return f"_shift_r({left}, {right})"
     if op == "/":
         return f"_div({left}, {right})"
     if op == "%":
@@ -166,22 +170,9 @@ from repro.core.builtins import BUILTIN_FAIL, BUILTINS, normalize_blackbox_resul
 from repro.core.env import EvalContext, initial_env, upd_start_end_in_place
 from repro.core.errors import BlackboxError, EvaluationError, IPGError, ParseFailure
 from repro.core.parsetree import ArrayNode, Leaf, Node
+from repro.core.runtime import _div, _mod, _shift_l, _shift_r
 
 FAIL = object()
-
-
-def _div(a, b):
-    """Truncating integer division matching the reference interpreter."""
-    if b == 0:
-        raise EvaluationError("division by zero")
-    q = abs(a) // abs(b)
-    return q if (a >= 0) == (b >= 0) else -q
-
-
-def _mod(a, b):
-    if b == 0:
-        raise EvaluationError("modulo by zero")
-    return a - _div(a, b) * b
 
 
 def _exists(ctx, var, array_name, condition, then, otherwise):
@@ -522,12 +513,20 @@ class ParserGenerator:
         elements_var = self._fresh("_elements")
         saved_var = self._fresh("_saved")
         had_var = self._fresh("_had")
+        had_arr_var = self._fresh("_hadarr")
+        saved_arr_var = self._fresh("_savedarr")
         index_var = self._fresh("_idx")
         ok_var = self._fresh("_ok")
         element_name = term.element.name
         emitter.emit(f"{first_var} = {compile_expr(term.start)}")
         emitter.emit(f"{stop_var} = {compile_expr(term.stop)}")
-        emitter.emit(f"{elements_var} = ctx.arrays.setdefault({element_name!r}, [])")
+        # Each array term gets its own fresh element list (bound after the
+        # loop bounds are evaluated); a failed term restores the previous
+        # binding.  This matches the interpreter's _exec_array.
+        emitter.emit(f"{elements_var} = []")
+        emitter.emit(f"{had_arr_var} = {element_name!r} in ctx.arrays")
+        emitter.emit(f"{saved_arr_var} = ctx.arrays.get({element_name!r})")
+        emitter.emit(f"ctx.arrays[{element_name!r}] = {elements_var}")
         emitter.emit(f"{had_var} = {term.var!r} in ctx.env")
         emitter.emit(f"{saved_var} = ctx.env.get({term.var!r})")
         emitter.emit(f"{ok_var} = True")
@@ -572,8 +571,14 @@ class ParserGenerator:
             emitter.emit(f"ctx.env.pop({term.var!r}, None)")
         emitter.emit(f"if not {ok_var}:")
         with emitter.block():
+            emitter.emit(f"if {had_arr_var}:")
+            with emitter.block():
+                emitter.emit(f"ctx.arrays[{element_name!r}] = {saved_arr_var}")
+            emitter.emit("else:")
+            with emitter.block():
+                emitter.emit(f"ctx.arrays.pop({element_name!r}, None)")
             emitter.emit("return FAIL")
-        emitter.emit(f"children.append(ArrayNode({element_name!r}, list({elements_var})))")
+        emitter.emit(f"children.append(ArrayNode({element_name!r}, {elements_var}))")
 
     def _emit_switch(self, term: TermSwitch, scope: Dict[str, str]) -> None:
         emitter = self.emitter

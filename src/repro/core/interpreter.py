@@ -51,7 +51,13 @@ from .builtins import (
     normalize_blackbox_result,
 )
 from .env import EvalContext, initial_env, upd_start_end_in_place
-from .errors import BlackboxError, EvaluationError, IPGError, ParseFailure
+from .errors import (
+    BlackboxError,
+    CompilationError,
+    EvaluationError,
+    IPGError,
+    ParseFailure,
+)
 from .grammar_parser import parse_grammar
 from .parsetree import ArrayNode, Leaf, Node, ParseTree
 
@@ -90,7 +96,7 @@ def prepare_grammar(grammar: Union[Grammar, str]) -> Grammar:
 
 
 class Parser:
-    """A recursive-descent parser for one Interval Parsing Grammar.
+    """A parser for one Interval Parsing Grammar.
 
     Parameters
     ----------
@@ -106,7 +112,16 @@ class Parser:
     recursion_limit:
         Python recursion limit to install while parsing; IPG rules such as
         the GIF ``Blocks`` list are deliberately recursive.
+    backend:
+        ``"compiled"`` (the default) stages the grammar into specialized
+        Python closures via :mod:`repro.core.compiler`; ``"interpreted"``
+        uses the reference tree-walking interpreter.  Both produce
+        identical parse trees; when the compiler cannot specialize a
+        construct the parser silently falls back to the interpreter (the
+        :attr:`backend` attribute reports the engine actually in use).
     """
+
+    BACKENDS = ("compiled", "interpreted")
 
     def __init__(
         self,
@@ -114,20 +129,61 @@ class Parser:
         blackboxes: Optional[Dict[str, BlackboxCallable]] = None,
         memoize: bool = True,
         recursion_limit: int = 100_000,
+        backend: str = "compiled",
     ):
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {self.BACKENDS}"
+            )
         self.grammar = prepare_grammar(grammar)
         self.blackboxes = dict(blackboxes or {})
         self.memoize = memoize
         self.recursion_limit = recursion_limit
-        missing = self.grammar.blackboxes - set(self.blackboxes)
-        if missing:
-            # Declared blackboxes may be supplied later via `register_blackbox`;
-            # only an actual use without a registration is an error.
-            pass
+        self.requested_backend = backend
+        self.backend = backend
+        self._compiled = None
+        self._validated_starts: set = set()
+        if backend == "compiled":
+            from .compiler import compile_grammar  # deferred: avoids an import cycle
+
+            try:
+                self._compiled = compile_grammar(
+                    self.grammar, memoize=memoize, blackboxes=self.blackboxes
+                )
+            except CompilationError:
+                # Automatic fallback: constructs the compiler does not yet
+                # specialize run on the reference interpreter instead.
+                self.backend = "interpreted"
 
     def register_blackbox(self, name: str, parser: BlackboxCallable) -> None:
-        """Register (or replace) the implementation of a blackbox parser."""
+        """Register (or replace) the implementation of a blackbox parser.
+
+        The compiled backend resolves blackboxes through this parser's live
+        registry, so registration after construction works for both engines.
+        """
         self.blackboxes[name] = parser
+
+    def _validate_blackboxes(self, start: str) -> None:
+        """Check that every blackbox reachable from ``start`` is registered.
+
+        Runs once per start symbol, at the first ``parse()``/``try_parse()``
+        call, and raises :class:`~repro.core.errors.BlackboxError` naming the
+        missing implementations — instead of failing deep inside a parse (or
+        silently accepting a mis-configured parser whose blackbox branch is
+        never reached by the inputs at hand).
+        """
+        if start in self._validated_starts:
+            return
+        missing = sorted(
+            _reachable_blackboxes(self.grammar, start) - set(self.blackboxes)
+        )
+        if missing:
+            raise BlackboxError(
+                f"grammar uses blackbox parser(s) {missing} reachable from "
+                f"{start!r} but no implementation was registered; pass "
+                f"blackboxes=... or call register_blackbox()"
+            )
+        self._validated_starts.add(start)
 
     # -- public parsing API ---------------------------------------------------
     def parse(self, data: bytes, start: Optional[str] = None) -> Node:
@@ -146,15 +202,27 @@ class Parser:
         return result
 
     def try_parse(self, data: bytes, start: Optional[str] = None) -> Optional[Node]:
-        """Like :meth:`parse` but returns ``None`` instead of raising."""
+        """Like :meth:`parse` but returns ``None`` on non-matching input.
+
+        Configuration errors still raise: an unknown start symbol
+        (:class:`~repro.core.errors.IPGError`) or a reachable blackbox with
+        no registered implementation
+        (:class:`~repro.core.errors.BlackboxError`).
+        """
         start_name = start or self.grammar.start
         data = bytes(data)
+        self._validate_blackboxes(start_name)
         previous_limit = sys.getrecursionlimit()
         if self.recursion_limit > previous_limit:
             sys.setrecursionlimit(self.recursion_limit)
         try:
-            run = _Run(self, data)
-            result = run.parse_nonterminal(start_name, 0, len(data), None, None)
+            if self._compiled is not None:
+                result = self._compiled.parse_nonterminal(
+                    data, start_name, 0, len(data)
+                )
+            else:
+                run = _Run(self, data)
+                result = run.parse_nonterminal(start_name, 0, len(data), None, None)
         finally:
             if self.recursion_limit > previous_limit:
                 sys.setrecursionlimit(previous_limit)
@@ -344,17 +412,23 @@ class _Run:
         hi: int,
         local_rules: Optional[_LocalRules],
     ) -> bool:
+        # The loop bounds are evaluated before the fresh element list becomes
+        # visible, so they may still reference a previous same-named array.
         first = term.start.evaluate(ctx)
         stop = term.stop.evaluate(ctx)
         element_name = term.element.name
         elements: List[Node] = []
         had_binding = term.var in ctx.env
         saved = ctx.env.get(term.var)
+        had_array = element_name in ctx.arrays
+        saved_array = ctx.arrays.get(element_name)
         # Make the (initially empty) array visible so that element intervals
-        # may reference earlier elements (e.g. `CDE(i - 1).end`).
-        ctx.arrays.setdefault(element_name, elements)
-        if ctx.arrays[element_name] is not elements:
-            elements = ctx.arrays[element_name]
+        # may reference earlier elements (e.g. `CDE(i - 1).end`).  Each array
+        # term gets its own list: a second `for` term with the same element
+        # name must not append into (or read from) the first term's elements,
+        # and a partial parse must not leak into a previously bound array.
+        ctx.arrays[element_name] = elements
+        completed = False
         try:
             for index in range(first, stop):
                 ctx.env[term.var] = index
@@ -375,12 +449,18 @@ class _Run:
                     result.env["end"] != 0,
                 )
                 elements.append(adjusted)
+            completed = True
         finally:
             if had_binding:
                 ctx.env[term.var] = saved
             else:
                 ctx.env.pop(term.var, None)
-        children.append(ArrayNode(element_name, list(elements)))
+            if not completed:
+                if had_array:
+                    ctx.arrays[element_name] = saved_array
+                else:
+                    ctx.arrays.pop(element_name, None)
+        children.append(ArrayNode(element_name, elements))
         return True
 
     def _exec_switch(
@@ -448,11 +528,69 @@ def _rebase(node: Node, offset: int) -> Node:
     return rebased
 
 
+def _reachable_blackboxes(grammar: Grammar, start: str) -> set:
+    """Blackbox names reachable from ``start`` through the grammar's rules.
+
+    Mirrors the interpreter's dynamic dispatch: local (``where``) rules are
+    visible only inside the alternative that declares them (and nested
+    deeper), and shadow same-named top-level rules, builtins and blackboxes.
+    A blackbox declared but not reachable from ``start`` is not required to
+    have an implementation.
+    """
+    found: set = set()
+    seen: set = set()
+
+    def visit_name(name: str, locals_chain: Dict[str, Rule]) -> None:
+        local = locals_chain.get(name)
+        if local is not None:
+            visit_rule(local, locals_chain)
+            return
+        if grammar.has_rule(name):
+            # Top-level rules never see the caller's local scope (the
+            # interpreter passes local_rules=None for them).
+            visit_rule(grammar.rule(name), {})
+            return
+        if is_builtin(name):
+            return
+        if name in grammar.blackboxes:
+            found.add(name)
+
+    def visit_rule(rule: Rule, locals_chain: Dict[str, Rule]) -> None:
+        # Resolution depends on the locals chain, so the recursion guard
+        # must too: the same rule reached under different chains can resolve
+        # a name to different targets (e.g. a nested where-rule shadowing a
+        # blackbox on one path but not another).
+        key = (
+            id(rule),
+            tuple(sorted((name, id(local)) for name, local in locals_chain.items())),
+        )
+        if key in seen:
+            return
+        seen.add(key)
+        for alternative in rule.alternatives:
+            chain = locals_chain
+            if alternative.local_rules:
+                chain = dict(locals_chain)
+                chain.update({local.name: local for local in alternative.local_rules})
+            for term in alternative.terms:
+                if isinstance(term, TermNonterminal):
+                    visit_name(term.name, chain)
+                elif isinstance(term, TermArray):
+                    visit_name(term.element.name, chain)
+                elif isinstance(term, TermSwitch):
+                    for case in term.cases:
+                        visit_name(case.target.name, chain)
+
+    visit_name(start, {})
+    return found
+
+
 def parse(
     grammar: Union[Grammar, str],
     data: bytes,
     start: Optional[str] = None,
     blackboxes: Optional[Dict[str, BlackboxCallable]] = None,
+    backend: str = "compiled",
 ) -> Node:
     """One-shot convenience: build a :class:`Parser` and parse ``data``."""
-    return Parser(grammar, blackboxes=blackboxes).parse(data, start)
+    return Parser(grammar, blackboxes=blackboxes, backend=backend).parse(data, start)

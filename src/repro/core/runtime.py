@@ -1,0 +1,40 @@
+"""Shared arithmetic runtime for the generated and compiled parsers.
+
+The expression language's partial operators (truncating division, modulo,
+shifts) must behave identically in the tree-walking interpreter
+(:meth:`repro.core.expr.BinOp.evaluate`), the generated parser modules
+(:mod:`repro.core.generator`) and the staged compiler backend
+(:mod:`repro.core.compiler`).  This module is the single definition the
+latter two bind at code-generation time; the rounding rule itself lives in
+:func:`repro.core.expr._int_div`, which the interpreter also uses.
+"""
+
+from __future__ import annotations
+
+from .errors import EvaluationError
+from .expr import _int_div
+
+
+def _div(a: int, b: int) -> int:
+    """Truncating integer division matching the reference interpreter."""
+    if b == 0:
+        raise EvaluationError("division by zero")
+    return _int_div(a, b)
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        raise EvaluationError("modulo by zero")
+    return a - _int_div(a, b) * b
+
+
+def _shift_l(a: int, b: int) -> int:
+    if b < 0:
+        raise EvaluationError("negative shift amount")
+    return a << b
+
+
+def _shift_r(a: int, b: int) -> int:
+    if b < 0:
+        raise EvaluationError("negative shift amount")
+    return a >> b

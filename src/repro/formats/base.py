@@ -29,9 +29,19 @@ class FormatSpec:
             self._grammar = parse_grammar(self.grammar_text)
         return self._grammar
 
-    def build_parser(self, memoize: bool = True) -> Parser:
-        """Build a fresh parser for this format."""
-        return Parser(self.grammar_text, blackboxes=dict(self.blackboxes), memoize=memoize)
+    def build_parser(self, memoize: bool = True, backend: str = "compiled") -> Parser:
+        """Build a fresh parser for this format.
+
+        ``backend`` selects the execution engine: the staged compiler
+        (``"compiled"``, default) or the reference interpreter
+        (``"interpreted"``).
+        """
+        return Parser(
+            self.grammar_text,
+            blackboxes=dict(self.blackboxes),
+            memoize=memoize,
+            backend=backend,
+        )
 
     def parser(self) -> Parser:
         """Return a cached parser instance (built on first use)."""

@@ -1,0 +1,452 @@
+"""Differential tests: the compiled backend must equal the interpreter.
+
+The staged compiler (:mod:`repro.core.compiler`) is the default parse
+engine, so its equivalence guarantee carries the whole test suite.  This
+module checks it *directly*: for every bundled format grammar, every toy
+grammar of the paper, and the property-based workload generators, the
+compiled backend and the reference interpreter must produce identical parse
+trees — or fail identically — on the same inputs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Parser, samples
+from repro.core.compiler import compile_grammar
+from repro.formats import registry, toy
+
+
+def build_pair(grammar_text, blackboxes=None, memoize=True):
+    """Build (compiled, interpreted) parsers and reject silent fallbacks."""
+    compiled = Parser(
+        grammar_text, blackboxes=blackboxes, memoize=memoize, backend="compiled"
+    )
+    interpreted = Parser(
+        grammar_text, blackboxes=blackboxes, memoize=memoize, backend="interpreted"
+    )
+    assert compiled.backend == "compiled", (
+        "compiler fell back to the interpreter; the differential test would "
+        "be vacuous"
+    )
+    return compiled, interpreted
+
+
+def assert_equivalent(compiled, interpreted, data, start=None):
+    expected = interpreted.try_parse(data, start)
+    actual = compiled.try_parse(data, start)
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual == expected
+
+
+def _format_sample(fmt: str) -> bytes:
+    if fmt in ("zip", "zip-meta"):
+        return samples.build_zip(member_count=3, member_size=300)
+    if fmt == "elf":
+        return samples.build_elf(section_count=3, symbol_count=4, dynamic_entries=2)
+    if fmt == "gif":
+        return samples.build_gif(frame_count=2, bytes_per_frame=200)
+    if fmt == "pe":
+        return samples.build_pe(section_count=2)
+    if fmt == "pdf":
+        return samples.build_pdf(object_count=3)[0]
+    if fmt == "dns":
+        return samples.build_dns_response(answer_count=2, additional_count=1)
+    if fmt == "ipv4":
+        return samples.build_ipv4_udp_packet(payload_size=48, options_words=1)
+    raise AssertionError(f"no sample builder for {fmt}")
+
+
+class TestFormatGrammars:
+    """Every bundled format grammar, on valid and corrupted inputs."""
+
+    @pytest.mark.parametrize("fmt", sorted(registry))
+    def test_valid_input_produces_identical_tree(self, fmt):
+        spec = registry[fmt]
+        compiled, interpreted = build_pair(
+            spec.grammar_text, blackboxes=dict(spec.blackboxes)
+        )
+        assert_equivalent(compiled, interpreted, _format_sample(fmt))
+
+    @pytest.mark.parametrize("fmt", sorted(registry))
+    @pytest.mark.parametrize("flip", [0, 1, -1])
+    def test_corrupted_input_fails_identically(self, fmt, flip):
+        spec = registry[fmt]
+        compiled, interpreted = build_pair(
+            spec.grammar_text, blackboxes=dict(spec.blackboxes)
+        )
+        sample = bytearray(_format_sample(fmt))
+        sample[flip] ^= 0xFF
+        assert_equivalent(compiled, interpreted, bytes(sample))
+
+    @pytest.mark.parametrize("fmt", ["dns", "gif", "elf"])
+    def test_unmemoized_backends_agree(self, fmt):
+        spec = registry[fmt]
+        compiled, interpreted = build_pair(
+            spec.grammar_text, blackboxes=dict(spec.blackboxes), memoize=False
+        )
+        assert_equivalent(compiled, interpreted, _format_sample(fmt))
+
+    @pytest.mark.parametrize("fmt", sorted(registry))
+    def test_truncated_prefixes_fail_identically(self, fmt):
+        spec = registry[fmt]
+        compiled, interpreted = build_pair(
+            spec.grammar_text, blackboxes=dict(spec.blackboxes)
+        )
+        sample = _format_sample(fmt)
+        for cut in (0, 1, len(sample) // 2, len(sample) - 1):
+            assert_equivalent(compiled, interpreted, sample[:cut])
+
+
+class TestToyGrammars:
+    """The paper's toy grammars over byte-string fuzz inputs."""
+
+    @pytest.mark.parametrize("name", sorted(toy.ALL_GRAMMARS))
+    @given(data=st.binary(min_size=0, max_size=24))
+    @settings(max_examples=60, deadline=None)
+    def test_fuzzed_inputs_agree(self, name, data):
+        compiled, interpreted = build_pair(toy.ALL_GRAMMARS[name])
+        assert_equivalent(compiled, interpreted, data)
+
+    @given(value=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_binary_number_values_agree(self, value):
+        compiled, interpreted = build_pair(toy.FIGURE_3)
+        text = format(value, "b").encode()
+        tree = compiled.parse(text)
+        assert tree == interpreted.parse(text)
+        assert tree["val"] == value
+
+    @given(text=st.text(alphabet="abc", min_size=0, max_size=15))
+    @settings(max_examples=80, deadline=None)
+    def test_anbncn_membership_agrees(self, text):
+        compiled, interpreted = build_pair(toy.ANBNCN)
+        data = text.encode()
+        assert compiled.accepts(data) == interpreted.accepts(data)
+
+    def test_alternate_start_symbol(self):
+        compiled, interpreted = build_pair(toy.FIGURE_3)
+        assert_equivalent(compiled, interpreted, b"1", start="Digit")
+        assert_equivalent(compiled, interpreted, b"x", start="Digit")
+
+
+class TestPropertyBasedWorkloads:
+    """The generators of test_property_based.py, run through both backends."""
+
+    @given(
+        members=st.integers(min_value=0, max_value=8),
+        size=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_zip_archives_agree(self, members, size):
+        spec = registry["zip"]
+        compiled, interpreted = build_pair(
+            spec.grammar_text, blackboxes=dict(spec.blackboxes)
+        )
+        archive = samples.build_zip(member_count=members, member_size=size)
+        assert_equivalent(compiled, interpreted, archive)
+
+    @given(
+        answers=st.integers(min_value=0, max_value=12),
+        compress=st.booleans(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_dns_responses_agree(self, answers, compress):
+        compiled, interpreted = build_pair(registry["dns"].grammar_text)
+        packet = samples.build_dns_response(
+            answer_count=answers, use_compression=compress
+        )
+        assert_equivalent(compiled, interpreted, packet)
+
+    @given(
+        size=st.integers(min_value=0, max_value=600),
+        options=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_ipv4_packets_agree(self, size, options):
+        compiled, interpreted = build_pair(registry["ipv4"].grammar_text)
+        packet = samples.build_ipv4_udp_packet(
+            payload_size=size, options_words=options
+        )
+        assert_equivalent(compiled, interpreted, packet)
+
+    @given(objects=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_pdf_documents_agree(self, objects):
+        compiled, interpreted = build_pair(registry["pdf"].grammar_text)
+        document, _offsets = samples.build_pdf(object_count=objects)
+        assert_equivalent(compiled, interpreted, document)
+
+
+class TestCompiledGrammarObject:
+    def test_source_is_kept_for_inspection(self):
+        compiled = compile_grammar(toy.FIGURE_1)
+        assert "def " in compiled.source
+        assert "_ENTRY" in compiled.source
+
+    def test_blackbox_registration_after_compilation(self):
+        grammar = "blackbox Ext ;\nS -> Ext[0, EOI] {n = Ext.len} ;"
+        parser = Parser(grammar, backend="compiled")
+        assert parser.backend == "compiled"
+        parser.register_blackbox("Ext", lambda data: {"len": len(data)})
+        assert parser.parse(b"12345")["n"] == 5
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            Parser(toy.FIGURE_1, backend="jit")
+
+    def test_exists_expression_agrees(self):
+        grammar = """
+        S -> H[0, 1]
+             for i = 0 to H.num do A[1 + i, 2 + i]
+             {found = exists j . A(j).val = 7 ? j + 1 : 0} ;
+        H -> U8[0, 1] {num = U8.val} ;
+        A -> U8[0, 1] {val = U8.val} ;
+        """
+        compiled, interpreted = build_pair(grammar)
+        hit = bytes([3, 1, 7, 9])
+        miss = bytes([3, 1, 2, 9])
+        assert_equivalent(compiled, interpreted, hit)
+        assert_equivalent(compiled, interpreted, miss)
+        assert compiled.parse(hit)["found"] == 2
+        assert compiled.parse(miss)["found"] == 0
+
+
+class TestAdversarialConstructs:
+    """Tricky corners not exercised by the bundled format grammars."""
+
+    def _diff(self, grammar, inputs, starts=(None,), blackboxes=None):
+        compiled, interpreted = build_pair(grammar, blackboxes=blackboxes)
+        for start in starts:
+            for data in inputs:
+                assert_equivalent(compiled, interpreted, data, start)
+
+    def test_special_attribute_rebinding(self):
+        # Attribute definitions may overwrite EOI/start/end; guards may read
+        # the specials mid-alternative; empty terminals never touch input.
+        self._diff(
+            'S -> ""[0, 0] "ab"[0, 2] guard(end = 2) {EOI = 99} {start = 1} ;',
+            [b"ab", b"abX", b"a", b""],
+        )
+
+    def test_attribute_self_rebinding(self):
+        self._diff('S -> {x = 1} {x = x + 1} guard(x = 2) "a"[0, 1] ;', [b"a", b"b"])
+
+    def test_nested_where_rules_with_recursion(self):
+        self._diff(
+            """
+            S -> {k = 2} A[0, EOI]
+                 where {
+                   A -> B[0, k] C[k, EOI]
+                        where { C -> "c"[0, 1] C[1, EOI] / "c"[0, 1] ; } ;
+                   B -> "bb"[0, 2] ;
+                 } ;
+            """,
+            [b"bbccc", b"bbc", b"bb", b"bbx", b"xbccc"],
+        )
+
+    def test_local_rule_shadows_top_level_rule(self):
+        self._diff(
+            'S -> A[0, EOI] where { A -> "x"[0, 1] ; } ;\nA -> "y"[0, 1] ;',
+            [b"x", b"y", b""],
+            starts=(None, "A"),
+        )
+
+    def test_switch_target_attribute_reference(self):
+        # `A.val` after the switch is only bound when the first branch ran;
+        # the compiled conditional record must fail the alternative otherwise.
+        self._diff(
+            """
+            S -> U8[0, 1] {t = U8.val}
+                 switch(t = 1 : A[1, 2] / t = 2 : B[1, 2] / C[1, 2])
+                 {r = t = 1 ? A.val : 0} ;
+            A -> U8[0, 1] {val = U8.val + 10} ;
+            B -> U8[0, 1] {val = U8.val + 20} ;
+            C -> U8[0, 1] {val = U8.val + 30} ;
+            """,
+            [bytes([1, 5]), bytes([2, 5]), bytes([9, 5]), bytes([1])],
+        )
+
+    def test_exists_over_where_rule_array(self):
+        self._diff(
+            """
+            S -> U8[0, 1] {n = U8.val}
+                 for i = 0 to n do E[1 + i, 2 + i]
+                 for i = 0 to n do F[1 + n + i, 2 + n + i]
+                 {sum = exists j . E(j).val > 40 ? j : 0 - 1}
+                 {sum2 = exists j . F(j).val > 90 ? j + 100 : 0 - 1}
+                   where { F -> U8[0, 1] {val = U8.val + E(i).val} ; } ;
+            E -> U8[0, 1] {val = U8.val} ;
+            """,
+            [bytes([2, 1, 50, 30, 90]), bytes([2, 1, 2, 50]), bytes([0]), b""],
+        )
+
+    def test_division_failure_fails_alternative(self):
+        self._diff(
+            """
+            S -> U8[0, 1] {d = U8.val} A[1, 1 + 8 / d] / U8[0, 1] {d = 99} ;
+            A -> Raw[0, EOI] ;
+            """,
+            [bytes([2, 1, 2, 3, 4]), bytes([0, 1]), b""],
+        )
+
+    def test_builtin_and_blackbox_start_symbols(self):
+        self._diff(
+            "blackbox Ext ;\nS -> Ext[0, EOI] {n = Ext.len} ;",
+            [b"abc", b""],
+            starts=(None, "Ext", "U16LE"),
+            blackboxes={"Ext": lambda data: {"len": len(data)}},
+        )
+
+
+class TestParseIsolation:
+    """Each parse gets its own memo state, like the interpreter's _Run."""
+
+    def test_reentrant_blackbox_parse_does_not_corrupt_memo(self):
+        # The blackbox re-enters the same parser on its window bytes; the
+        # outer parse's memoized `Inner[0, 2]` result must not be replaced
+        # by the inner parse's entry for the same (lo, hi) key.
+        grammar = """
+        blackbox Ext ;
+        S -> Inner[0, 2] Ext[2, 4] Inner[0, 2] {a = Inner.v + Ext.n} ;
+        Inner -> U8[0, 1] U8[1, 2] {v = U8.val} ;
+        """
+        data = bytes([1, 2, 3, 4])
+
+        def make(backend):
+            parser = Parser(grammar, backend=backend)
+            parser.register_blackbox(
+                "Ext", lambda window: {"n": parser.parse(window, start="Inner")["v"]}
+            )
+            return parser
+
+        compiled, interpreted = make("compiled"), make("interpreted")
+        assert compiled.backend == "compiled"
+        expected = interpreted.parse(data)
+        actual = compiled.parse(data)
+        assert actual == expected
+        assert actual["a"] == 2 + 4  # second Inner.v is 2, not the window's 4
+
+    def test_where_with_duplicate_array_names_falls_back(self):
+        # Static array resolution inside where-rules is only equivalent when
+        # element names are unique per alternative; the compiler must hand
+        # this shape to the interpreter rather than risk divergence.
+        grammar = """
+        S -> U8[0, 1] {n = U8.val}
+             for i = 0 to n do E[1 + i, 2 + i]
+             for i = 0 to n do E[1 + n + i, 2 + n + i]
+             W[0, 1]
+               where { W -> U8[0, 1] {w = E(0).val} ; } ;
+        E -> U8[0, 1] {val = U8.val} ;
+        """
+        parser = Parser(grammar, backend="compiled")
+        assert parser.backend == "interpreted"  # automatic fallback
+        tree = parser.parse(bytes([2, 10, 11, 20, 21]))
+        assert tree.child("W")["w"] == 20
+
+
+class TestWhereRuleScopeLiveness:
+    """Where-rule bodies must see bindings as of the *call*, not the scope."""
+
+    def test_loop_variable_dead_after_loop(self):
+        # W runs after the array loop; the interpreter has popped `i`, so
+        # the parse must fail — the compiled closure must not read the
+        # stale last-iteration value.
+        grammar = """
+        S -> U8[0, 1] {n = U8.val}
+             for i = 0 to n do E[1 + i, 2 + i]
+             W[1 + n, 2 + n]
+               where { W -> U8[0, 1] {w = i} ; } ;
+        E -> U8[0, 1] {val = U8.val} ;
+        """
+        compiled, interpreted = build_pair(grammar)
+        data = bytes([2, 10, 11, 99])
+        assert interpreted.try_parse(data) is None
+        assert compiled.try_parse(data) is None
+
+    def test_ancestor_record_not_yet_parsed_falls_through(self):
+        # When W runs, the middle scope's X has not parsed yet; resolution
+        # must fall through to the outermost scope's X (value 5), exactly
+        # like the interpreter's dynamic chain walk.
+        grammar = """
+        S -> X[0, 1] A[1, EOI]
+               where {
+                 A -> W[0, 1] X[1, 2]
+                        where { W -> U8[0, 1] {w = X.val} ; } ;
+               } ;
+        X -> U8[0, 1] {val = U8.val} ;
+        """
+        compiled, interpreted = build_pair(grammar)
+        data = bytes([5, 6, 7])
+        expected = interpreted.parse(data)
+        assert expected.child("A").child("W")["w"] == 5
+        assert compiled.parse(data) == expected
+
+    def test_loop_variable_live_during_loop(self):
+        # The usual ELF/ZIP shape: the where-rule is the array element and
+        # reads the loop variable while the loop is running.
+        grammar = """
+        S -> U8[0, 1] {n = U8.val}
+             for i = 0 to n do W[1 + i, 2 + i]
+               where { W -> U8[0, 1] {w = U8.val + 100 * i} ; } ;
+        """
+        compiled, interpreted = build_pair(grammar)
+        data = bytes([2, 7, 8])
+        expected = interpreted.parse(data)
+        assert compiled.parse(data) == expected
+        values = [e["w"] for e in compiled.parse(data).array("W")]
+        assert values == [7, 108]
+
+    def test_call_site_dependent_where_dispatch_falls_back(self):
+        # L's body references X; the nested where inside M shadows X, and
+        # the interpreter resolves through the *caller's* chain when M
+        # invokes L.  The compiler binds lexically, so it must refuse this
+        # shape and fall back rather than parse differently.
+        grammar = """
+        S -> M[0, EOI]
+               where {
+                 L -> X[0, 1] ;
+                 M -> L[0, EOI] where { X -> "x"[0, 1] ; } ;
+               } ;
+        X -> "y"[0, 1] ;
+        """
+        compiled = Parser(grammar, backend="compiled")
+        interpreted = Parser(grammar, backend="interpreted")
+        assert compiled.backend == "interpreted"  # automatic fallback
+        for data in (b"x", b"y", b""):
+            assert compiled.accepts(data) == interpreted.accepts(data)
+
+    def test_popped_loop_variable_falls_through_to_outer_binding(self):
+        # After B's loop, `i` is popped from B's env; the interpreter then
+        # resolves L's `i` in the enclosing scope ({i = 5}).  The compiled
+        # closure must fall through the same way, not fail on the poisoned
+        # loop local.
+        grammar = """
+        S -> {i = 5} B[0, EOI]
+               where { B -> for i = 0 to 2 do A[i, i + 1]
+                            L[2, 3]
+                              where { L -> U8[0, 1] {v = i} ; } ; } ;
+        A -> U8[0, 1] ;
+        """
+        compiled, interpreted = build_pair(grammar)
+        data = bytes([1, 2, 3])
+        expected = interpreted.parse(data)
+        assert expected.child("B").child("L")["v"] == 5
+        assert compiled.parse(data) == expected
+
+    def test_loop_variable_not_yet_bound_falls_through_to_outer_binding(self):
+        # L runs *before* the loop term (attrcheck order keeps it first);
+        # the loop binding does not exist yet, so `i` is the outer 5.
+        grammar = """
+        S -> {i = 5} B[0, EOI]
+               where { B -> L[0, 1]
+                            for i = 1 to 3 do A[i, i + 1]
+                              where { L -> U8[0, 1] {v = i} ; } ; } ;
+        A -> U8[0, 1] ;
+        """
+        compiled, interpreted = build_pair(grammar)
+        data = bytes([9, 2, 3])
+        expected = interpreted.parse(data)
+        assert expected.child("B").child("L")["v"] == 5
+        assert compiled.parse(data) == expected

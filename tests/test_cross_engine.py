@@ -91,3 +91,15 @@ class TestToyGrammarsAcrossEngines:
             else:
                 assert actual == expected
                 assert tree_equal_modulo_specials(actual, expected)
+
+
+class TestNegativeShiftParity:
+    def test_negative_shift_fails_alternative_on_all_engines(self):
+        grammar = (
+            "S -> U8[0, 1] {a = 0 - U8.val} {b = 1 << a} / U8[0, 1] {b = 42} ;"
+        )
+        data = b"\x02"
+        interpreted = Parser(grammar, backend="interpreted").parse(data)
+        compiled = Parser(grammar, backend="compiled").parse(data)
+        generated = compile_parser(grammar).parse(data)
+        assert interpreted["b"] == compiled["b"] == generated["b"] == 42

@@ -253,3 +253,117 @@ class TestMemoization:
         parser = Parser(grammar)
         assert parser.accepts(b"a", start="A")
         assert parser.try_parse(b"b", start="A") is None
+
+
+class TestArrayElementIsolation:
+    """Regression tests: same-named array terms must not share element lists."""
+
+    GRAMMAR = """
+    S -> H[0, 1]
+         for i = 0 to H.n do A[1 + i, 2 + i]
+         for i = 0 to H.n do A[1 + H.n + i, 2 + H.n + i]
+         {x = A(0).val} ;
+    H -> U8[0, 1] {n = U8.val} ;
+    A -> U8[0, 1] {val = U8.val} ;
+    """
+
+    DATA = bytes([2, 10, 11, 20, 21])
+
+    @pytest.mark.parametrize("backend", ["interpreted", "compiled"])
+    def test_second_array_term_gets_its_own_elements(self, backend):
+        tree = Parser(self.GRAMMAR, backend=backend).parse(self.DATA)
+        arrays = [t for t in tree.children if isinstance(t, ArrayNode)]
+        assert [len(a) for a in arrays] == [2, 2]
+        assert [e["val"] for e in arrays[0]] == [10, 11]
+        assert [e["val"] for e in arrays[1]] == [20, 21]
+
+    @pytest.mark.parametrize("backend", ["interpreted", "compiled"])
+    def test_index_references_resolve_to_most_recent_array(self, backend):
+        # After the second `for` term, `A(0)` is the second term's first
+        # element, not a stale (or combined) view of the first term's list.
+        tree = Parser(self.GRAMMAR, backend=backend).parse(self.DATA)
+        assert tree["x"] == 20
+
+    def test_backends_agree_on_duplicate_element_names(self):
+        compiled = Parser(self.GRAMMAR, backend="compiled")
+        interpreted = Parser(self.GRAMMAR, backend="interpreted")
+        assert compiled.backend == "compiled"
+        assert compiled.parse(self.DATA) == interpreted.parse(self.DATA)
+
+    def test_generated_parser_agrees_on_duplicate_element_names(self):
+        from repro.core.generator import compile_parser
+
+        generated = compile_parser(self.GRAMMAR)
+        expected = Parser(self.GRAMMAR, backend="interpreted").parse(self.DATA)
+        assert generated.parse(self.DATA) == expected
+        assert generated.parse(self.DATA)["x"] == 20
+
+    @pytest.mark.parametrize("backend", ["interpreted", "compiled"])
+    def test_failed_array_restores_previous_binding(self, backend):
+        # The second rule alternative re-parses the (shorter) input after the
+        # first alternative's array fails midway; the reference `A(0).val`
+        # must see the successful alternative's own elements.
+        grammar = """
+        S -> for i = 0 to 3 do A[i, i + 1] {x = A(0).val}
+           / for i = 0 to 2 do A[i, i + 1] {x = A(0).val + 100} ;
+        A -> U8[0, 1] {val = U8.val} ;
+        """
+        tree = Parser(grammar, backend=backend).parse(bytes([7, 8]))
+        assert tree["x"] == 107
+
+
+class TestEagerBlackboxValidation:
+    """Regression tests for the once-dead missing-blackbox check."""
+
+    def test_reachable_unregistered_blackbox_raises_at_first_parse(self):
+        # The input would satisfy the first alternative without ever invoking
+        # the blackbox; the parser must still refuse to run mis-configured.
+        grammar = 'blackbox Ext ;\nS -> "a"[0, 1] {x = 1} / Ext[0, EOI] {x = 2} ;'
+        parser = Parser(grammar)
+        with pytest.raises(BlackboxError) as excinfo:
+            parser.parse(b"a")
+        assert "Ext" in str(excinfo.value)
+
+    def test_unreachable_blackbox_needs_no_implementation(self):
+        grammar = 'blackbox Ext ;\nS -> "a"[0, 1] ;\nUnused -> Ext[0, EOI] ;'
+        assert Parser(grammar).parse(b"a").name == "S"
+
+    def test_blackbox_inside_where_rule_is_detected(self):
+        grammar = """
+        blackbox Ext ;
+        S -> "a"[0, 1] B[1, EOI]
+             where { B -> Ext[0, EOI] ; } ;
+        """
+        with pytest.raises(BlackboxError):
+            Parser(grammar).parse(b"ab")
+
+    def test_registration_repairs_the_parser(self):
+        grammar = "blackbox Ext ;\nS -> Ext[0, EOI] {n = Ext.len} ;"
+        parser = Parser(grammar)
+        with pytest.raises(BlackboxError):
+            parser.parse(b"xyz")
+        parser.register_blackbox("Ext", lambda data: {"len": len(data)})
+        assert parser.parse(b"xyz")["n"] == 3
+
+    def test_validation_is_per_start_symbol(self):
+        grammar = 'blackbox Ext ;\nS -> Ext[0, EOI] ;\nT -> "t"[0, 1] ;'
+        parser = Parser(grammar)
+        assert parser.parse(b"t", start="T").name == "T"
+        with pytest.raises(BlackboxError):
+            parser.parse(b"t")
+
+    def test_blackbox_behind_shadowed_path_is_still_detected(self):
+        # L resolves X to the blackbox when called from S's chain, but to
+        # the nested where-rule when called from M; visiting L under M's
+        # chain first must not hide the blackbox use on the other path.
+        grammar = """
+        blackbox X ;
+        S -> M[0, EOI] L[0, 1]
+               where {
+                 L -> X[0, 1] ;
+                 M -> L[0, EOI] where { X -> "x"[0, 1] ; } ;
+               } ;
+        """
+        parser = Parser(grammar, backend="interpreted")
+        with pytest.raises(BlackboxError):
+            parser.parse(b"xx")

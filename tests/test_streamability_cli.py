@@ -134,3 +134,14 @@ class TestCli:
         grammar = tmp_path / "grammar.ipg"
         grammar.write_text('S -> "x" Raw ;')
         assert main(["streamability", str(grammar)]) == 0
+
+
+def test_parse_reports_grammar_errors_without_traceback(tmp_path, capsys):
+    from repro.cli import main
+
+    grammar = tmp_path / "bad.ipg"
+    grammar.write_text("S -> broken {")
+    payload = tmp_path / "input.bin"
+    payload.write_bytes(b"x")
+    assert main(["parse", "--grammar", str(grammar), str(payload)]) == 1
+    assert "error:" in capsys.readouterr().err
