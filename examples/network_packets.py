@@ -65,6 +65,21 @@ def main() -> None:
             f"({arena.object_count} arena objects, {arena.bytes_reserved} bytes reserved)"
         )
 
+        # Both network grammars pass the paper's §8 streamability analysis,
+        # so the same message can be parsed as it arrives from the wire —
+        # here in 8-byte chunks — without ever holding the whole packet.
+        stream_parser = dns.build_parser()
+        session = stream_parser.stream()
+        payload = ip_summary.payload
+        for offset in range(0, len(payload), 8):
+            session.feed(payload[offset : offset + 8])
+        streamed = dns.summarize(session.finish())
+        assert streamed == message
+        print(
+            f"    streamed in 8-byte chunks: {session.attempts} re-entries, "
+            f"peak buffer {session.max_buffered}/{len(payload)} bytes"
+        )
+
 
 if __name__ == "__main__":
     main()

@@ -39,6 +39,32 @@ Both backends produce identical parse trees — enforced differentially by
 specialize falls back to the interpreter automatically (check
 ``parser.backend`` for the engine actually in use).
 
+Streaming
+---------
+
+Grammars whose dependencies flow strictly left to right (the §8
+stream-parser analysis, :func:`analyze_streamability`) can be parsed over
+*chunked* input without ever holding the whole file in memory — network
+formats like DNS and IPv4+UDP qualify:
+
+    >>> parser = Parser(grammar)
+    >>> tree = parser.parse_stream([b"aax", b"xxb", b"b"])   # == parse(...)
+    >>> session = parser.stream()          # or incrementally:
+    >>> done = session.feed(b"aaxx")
+    >>> done = session.feed(b"xbb")
+    >>> tree = session.finish()
+
+``parse_stream`` produces trees identical to ``parse`` for every chunking
+of the input, on both backends.  Internally the engines run unmodified over
+a growing buffer; reads past the received bytes suspend the attempt
+(:class:`NeedMoreInput`), persistent memo tables make re-entry cheap, and
+the consumed prefix is discarded as parsing advances, so peak buffered
+bytes track the largest suspended term rather than the file size.  Grammars
+that fail the analysis raise :class:`NotStreamableError` (``force=True``
+overrides, at the cost of buffering).  The CLI exposes the same machinery
+as ``python -m repro parse --stream`` (reading stdin or a file in chunks)
+and ``python -m repro streamability --format dns``.
+
 The package layout mirrors the paper: :mod:`repro.core` implements the IPG
 language (syntax, semantics, checking, generation, combinators, termination
 checking), :mod:`repro.formats` contains the case-study grammars (ZIP, GIF,
@@ -61,12 +87,17 @@ from .core import (
     GrammarSyntaxError,
     IPGError,
     Leaf,
+    NeedMoreInput,
     Node,
+    NotStreamableError,
     ParseFailure,
     ParseTree,
     Parser,
     Span,
+    StreamabilityReport,
+    StreamingParse,
     TerminationCheckError,
+    analyze_streamability,
     check_grammar,
     compile_grammar,
     complete_grammar,
@@ -93,13 +124,18 @@ __all__ = [
     "GrammarSyntaxError",
     "IPGError",
     "Leaf",
+    "NeedMoreInput",
     "Node",
+    "NotStreamableError",
     "ParseFailure",
     "ParseTree",
     "Parser",
     "Span",
+    "StreamabilityReport",
+    "StreamingParse",
     "TerminationCheckError",
     "__version__",
+    "analyze_streamability",
     "check_grammar",
     "compile_grammar",
     "complete_grammar",

@@ -4,15 +4,22 @@ Usage (also available as ``python -m repro``)::
 
     python -m repro formats                      # list bundled format grammars
     python -m repro parse --format elf FILE      # parse a file, print a summary
+    python -m repro parse --format dns --stream - # stream stdin in chunks (§8)
     python -m repro check GRAMMAR.ipg            # attribute + termination check
     python -m repro generate GRAMMAR.ipg -o p.py # emit a generated parser
-    python -m repro streamability GRAMMAR.ipg    # stream-parser analysis (§8)
+    python -m repro streamability --format dns   # stream-parser analysis (§8)
+    python -m repro streamability GRAMMAR.ipg    # ... or on a grammar file
     python -m repro report [--full]              # re-run the paper's evaluation
 
 ``parse`` accepts either one of the bundled formats (``--format``) or a
 grammar file (``--grammar``); with ``--tree`` it prints the full parse tree
 instead of the per-format summary, and ``--backend`` picks the execution
 engine (the staged compiler by default, or the reference interpreter).
+With ``--stream`` the input is consumed incrementally in ``--chunk-size``
+blocks through ``Parser.parse_stream`` instead of being read up front —
+the grammar must pass the §8 streamability analysis (check it first with
+the ``streamability`` command, which takes the same ``--format``/grammar
+arguments as ``parse``).
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import IPGError, Parser, __version__
+from . import IPGError, ParseFailure, Parser, __version__
 from .core.generator import generate_parser_source
 from .core.streamability import analyze_streamability
 from .core.termination import check_termination
@@ -73,6 +80,20 @@ def _read_bytes(path: str) -> bytes:
         return handle.read()
 
 
+def _iter_chunks(path: str, chunk_size: int):
+    """Yield the file's bytes in ``chunk_size`` blocks without buffering it."""
+    handle = sys.stdin.buffer if path == "-" else open(path, "rb")
+    try:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                return
+            yield chunk
+    finally:
+        if handle is not sys.stdin.buffer:
+            handle.close()
+
+
 def _read_text(path: str) -> str:
     with open(path, "r", encoding="utf-8") as handle:
         return handle.read()
@@ -91,7 +112,7 @@ def cmd_formats(_args) -> int:
 
 
 def cmd_parse(args) -> int:
-    data = _read_bytes(args.file)
+    data = b"" if args.stream else _read_bytes(args.file)
     try:
         if args.format:
             if args.format not in registry:
@@ -104,11 +125,22 @@ def cmd_parse(args) -> int:
             parser = spec.build_parser(backend=args.backend)
         else:
             parser = Parser(_read_text(args.grammar), backend=args.backend)
-        tree = parser.try_parse(data)
+        if args.stream:
+            # Incremental consumption: the file (or stdin) is fed to the
+            # streaming engine chunk by chunk and never buffered whole.
+            # Summaries that need the raw bytes (ELF's section hexdumps) do
+            # not apply here — ELF is not streamable anyway.
+            try:
+                tree = parser.parse_stream(_iter_chunks(args.file, args.chunk_size))
+            except ParseFailure:
+                tree = None
+        else:
+            tree = parser.try_parse(data)
     except IPGError as exc:
         # Grammar and configuration errors (syntax, attribute checking, a
-        # reachable blackbox with no registered implementation) deserve a
-        # message, not a traceback.
+        # reachable blackbox with no registered implementation, streaming a
+        # grammar the §8 analysis rejects) deserve a message, not a
+        # traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if tree is None:
@@ -146,7 +178,16 @@ def cmd_generate(args) -> int:
 
 
 def cmd_streamability(args) -> int:
-    report = analyze_streamability(_read_text(args.grammar))
+    if args.format:
+        if args.format not in registry:
+            print(
+                f"unknown format {args.format!r}; see `repro formats`",
+                file=sys.stderr,
+            )
+            return 2
+        report = analyze_streamability(registry[args.format].grammar_text)
+    else:
+        report = analyze_streamability(_read_text(args.grammar))
     print(report.summary())
     for violation in report.violations:
         print(f"  {violation}")
@@ -163,6 +204,13 @@ def cmd_report(args) -> int:
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -190,6 +238,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default="compiled",
         help="parse engine: staged compiler (default) or reference interpreter",
     )
+    parse_command.add_argument(
+        "--stream",
+        action="store_true",
+        help="consume the input incrementally in chunks (requires a grammar "
+        "that passes the section-8 streamability analysis)",
+    )
+    parse_command.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=65536,
+        metavar="N",
+        help="chunk size in bytes for --stream (default: 65536)",
+    )
     parse_command.set_defaults(handler=cmd_parse)
 
     check_command = commands.add_parser("check", help="attribute + termination checking")
@@ -207,7 +268,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
     streamability_command = commands.add_parser(
         "streamability", help="stream-parser analysis (paper section 8)"
     )
-    streamability_command.add_argument("grammar", help="path to an IPG grammar file")
+    streamability_group = streamability_command.add_mutually_exclusive_group(
+        required=True
+    )
+    streamability_group.add_argument(
+        "--format", help="one of the bundled formats (see `formats`)"
+    )
+    streamability_group.add_argument(
+        "grammar", nargs="?", help="path to an IPG grammar file"
+    )
     streamability_command.set_defaults(handler=cmd_streamability)
 
     report_command = commands.add_parser("report", help="re-run the paper's evaluation")

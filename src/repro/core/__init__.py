@@ -32,6 +32,8 @@ from .errors import (
     GenerationError,
     GrammarSyntaxError,
     IPGError,
+    NeedMoreInput,
+    NotStreamableError,
     ParseFailure,
     SolverError,
     TerminationCheckError,
@@ -40,6 +42,8 @@ from .grammar_parser import parse_expression, parse_grammar
 from .interpreter import Parser, parse, prepare_grammar
 from .parsetree import ArrayNode, Leaf, Node, ParseTree, tree_equal_modulo_specials
 from .span import Span
+from .streamability import StreamabilityReport, analyze_streamability
+from .streaming import StreamingParse
 
 __all__ = [
     "Alternative",
@@ -58,13 +62,17 @@ __all__ = [
     "Interval",
     "IPGError",
     "Leaf",
+    "NeedMoreInput",
     "Node",
+    "NotStreamableError",
     "ParseFailure",
     "ParseTree",
     "Parser",
     "Rule",
     "SolverError",
     "Span",
+    "StreamabilityReport",
+    "StreamingParse",
     "SwitchCase",
     "Term",
     "TermArray",
@@ -74,6 +82,7 @@ __all__ = [
     "TermSwitch",
     "TermTerminal",
     "TerminationCheckError",
+    "analyze_streamability",
     "check_grammar",
     "compile_grammar",
     "complete_grammar",

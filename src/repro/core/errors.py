@@ -66,6 +66,47 @@ class ParseFailure(IPGError):
         super().__init__(message)
 
 
+class NeedMoreInput(IPGError):
+    """A streaming parse touched bytes (or the stream length) not yet fed.
+
+    Raised internally by the streaming machinery
+    (:mod:`repro.core.streaming`) when an engine tries to read past the
+    bytes received so far, or to evaluate an expression whose value depends
+    on the still-unknown total input length.  The streaming driver catches
+    it, waits for more chunks (or :meth:`~repro.core.streaming.
+    StreamingParse.finish`), and re-enters the parse.
+
+    ``needed`` is the smallest number of absolutely-received bytes that
+    could unblock the suspended computation, or ``None`` when only the
+    final input length can (e.g. an ``EOI - k`` offset).  It is a
+    scheduling hint, never a correctness requirement.
+
+    This exception deliberately does **not** derive from
+    :class:`EvaluationError`: an evaluation error fails the current
+    alternative, while a suspension must abort the whole parse attempt —
+    no biased-choice or guard decision may be taken on incomplete data.
+    """
+
+    def __init__(self, message: str, needed: int | None = None):
+        self.needed = needed
+        super().__init__(message)
+
+
+class NotStreamableError(IPGError):
+    """A streaming parse was requested for a grammar the §8 analysis rejects.
+
+    Carries the :class:`~repro.core.streamability.StreamabilityReport` so
+    callers can show the violations.  Pass ``force=True`` to
+    :meth:`~repro.core.interpreter.Parser.stream` to run anyway — parsing
+    stays correct (the engine simply buffers until the violating reads
+    become possible), but the bounded-memory guarantee is lost.
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
+
+
 class EvaluationError(IPGError):
     """An interval or attribute expression could not be evaluated.
 

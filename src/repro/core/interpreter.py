@@ -143,6 +143,7 @@ class Parser:
         self.backend = backend
         self._compiled = None
         self._validated_starts: set = set()
+        self._streamability = None
         if backend == "compiled":
             from .compiler import compile_grammar  # deferred: avoids an import cycle
 
@@ -234,6 +235,84 @@ class Parser:
     def accepts(self, data: bytes, start: Optional[str] = None) -> bool:
         """Whether the grammar accepts ``data``."""
         return self.try_parse(data, start) is not None
+
+    # -- streaming API --------------------------------------------------------
+    def streamability_report(self):
+        """The §8 stream-parser analysis for this grammar (cached)."""
+        if self._streamability is None:
+            from .streamability import analyze_streamability
+
+            self._streamability = analyze_streamability(self.grammar)
+        return self._streamability
+
+    def stream(
+        self,
+        start: Optional[str] = None,
+        *,
+        force: bool = False,
+        compact: bool = True,
+    ):
+        """Begin a streaming parse; returns a feed()/finish() session.
+
+        The grammar must pass the §8 streamability analysis
+        (:meth:`streamability_report`) unless ``force=True`` — a forced
+        stream still parses correctly, but reads that the analysis would
+        have flagged simply buffer input until the stream is finished, so
+        the bounded-memory property is lost.  A forced stream left with the
+        default ``compact=True`` may additionally detect, mid-stream, that
+        the grammar re-reads bytes the compaction policy already discarded;
+        that raises a descriptive error asking for ``compact=False``, which
+        disables discarding of already-consumed bytes entirely (see
+        :class:`~repro.core.streaming.StreamingParse`).
+
+        Both backends stream: the compiled engine re-enters its specialized
+        closures against persistent per-rule memo tables; the interpreter
+        serves as the reference implementation for differential testing.
+        """
+        from .errors import NotStreamableError
+        from .streaming import StreamingParse
+
+        start_name = start or self.grammar.start
+        self._validate_blackboxes(start_name)
+        if not force:
+            report = self.streamability_report()
+            if not report.streamable:
+                raise NotStreamableError(
+                    f"grammar is not streamable: {report.summary()}; pass "
+                    f"force=True to stream anyway (unbounded buffering)",
+                    report=report,
+                )
+        return StreamingParse(self, start_name, compact=compact)
+
+    def parse_stream(
+        self,
+        chunks,
+        start: Optional[str] = None,
+        *,
+        force: bool = False,
+        compact: bool = True,
+    ) -> Node:
+        """Parse an iterable of byte chunks incrementally.
+
+        Produces a tree identical to ``parse(b"".join(chunks))`` without
+        ever requiring the whole input in memory, for any chunking of the
+        input (including 1-byte chunks and empty chunks).  Raises
+        :class:`~repro.core.errors.ParseFailure` when the input does not
+        match and :class:`~repro.core.errors.NotStreamableError` when the
+        grammar fails the §8 analysis (unless ``force=True``).
+
+        A wrong tree is never produced.  The §8 analysis is necessary
+        rather than sufficient for *compacted* streaming: an adversarial
+        grammar can slip past it (its position checks are not a full
+        symbolic reach analysis) and still revisit bytes that compaction
+        already discarded — that is detected at runtime and stopped with a
+        descriptive error naming ``compact=False``, under which the
+        identical-tree guarantee is unconditional.
+        """
+        session = self.stream(start, force=force, compact=compact)
+        for chunk in chunks:
+            session.feed(chunk)
+        return session.finish()
 
 
 class _Run:

@@ -26,6 +26,14 @@ used as a *length* cannot be distinguished statically from one used as an
 *offset*, so grammars like GIF (whose color-table sizes are computed from a
 flags byte) are reported as non-streamable even though a streaming
 implementation is possible.
+
+The monotonicity side is conservative in the other direction too: it
+classifies endpoint *shapes* (plus a constant-sequence floor), not the
+symbolic reach of every term, so adversarially constructed grammars can
+pass and still revisit consumed bytes.  That never yields a wrong parse —
+the streaming buffer detects reads below its compaction watermark at
+runtime (:class:`~repro.core.streaming.StreamingParse`) — it only means a
+descriptive error instead of an up-front rejection.
 """
 
 from __future__ import annotations
@@ -83,42 +91,120 @@ class StreamabilityReport:
         )
 
 
-def _is_forward_left_endpoint(expr: Optional[Expr], definitions: dict, depth: int = 0) -> bool:
-    """Whether a left endpoint provably does not move backwards.
+#: Endpoint classification used by :func:`_is_forward_left_endpoint`:
+#: ``"const"`` — a compile-time constant; ``"pos"`` — anchored at the
+#: position of an already parsed term (``X.end``, ``X.start``, the
+#: ``start``/``end`` specials); ``"eoi"`` — anchored at the end of input
+#: (``EOI`` plus or minus a constant); ``None`` — not provably forward.
+_KIND_CONST = "const"
+_KIND_POS = "pos"
+_KIND_EOI = "eoi"
 
-    Accepted shapes: integer constants, ``EOI``-based offsets, ``X.end`` /
-    ``X.start`` references (positions of already parsed terms), conditionals
-    whose branches are both forward, arithmetic over forward components, and
-    local attributes whose defining expressions are themselves forward.
-    Anything that feeds a parsed *value* (``X.val``-style attributes) into a
-    position may encode the random access pattern and is flagged — this is
-    deliberately conservative; a value used as a length would be fine for a
-    stream parser but cannot be distinguished statically from an offset.
+
+def _endpoint_kind(expr: Optional[Expr], definitions: dict, depth: int = 0):
+    """Classify a left endpoint; ``None`` means it may move backwards.
+
+    A previous version of this analysis accepted any arithmetic whose
+    operands were individually forward, which is unsound: ``X.end - 4``
+    re-reads bytes *before* an already consumed position, and ``X.end / 2``
+    or ``X.end * 0`` can shrink a position arbitrarily.  Positions are
+    therefore only forward under addition (``p + q >= max(p, q)`` since
+    positions are non-negative); subtraction, multiplication, division,
+    modulo, shifts and bit operations over a position-anchored operand are
+    all flagged.  ``EOI``-anchored offsets (``EOI - k`` for constant ``k``)
+    stay accepted: they sit at the end of the stream, which a stream parser
+    handles by buffering its (bounded) tail until the end arrives — they
+    never force re-reading bytes an earlier term already consumed and
+    released.
     """
     from .expr import BinOp, Cond, Index
 
     if expr is None or depth > 16:
-        return expr is None
+        return None
     if isinstance(expr, Num):
-        return True
+        return _KIND_CONST
     if isinstance(expr, Name):
         if expr.ident == "EOI":
-            return True
+            return _KIND_EOI
+        if expr.ident == "end":
+            return _KIND_POS
+        if expr.ident == "start":
+            # The running `start` special is the *leftmost* touched offset:
+            # anchoring a later term there points back over consumed bytes.
+            return None
         defining = definitions.get(expr.ident)
         if defining is None:
-            return False
-        return _is_forward_left_endpoint(defining, definitions, depth + 1)
-    if isinstance(expr, (Dot, Index)) and expr.attr in ("end", "start"):
-        return True
-    if isinstance(expr, BinOp) and expr.op in ("+", "-", "*", "/"):
-        return _is_forward_left_endpoint(
-            expr.left, definitions, depth + 1
-        ) and _is_forward_left_endpoint(expr.right, definitions, depth + 1)
+            return None
+        return _endpoint_kind(defining, definitions, depth + 1)
+    if isinstance(expr, (Dot, Index)):
+        if expr.attr == "end":
+            return _KIND_POS
+        if expr.attr == "start":
+            # X.start is where an earlier term *began*; every byte of X
+            # lies at or after it, so a term anchored there re-reads them.
+            return None
+    if isinstance(expr, BinOp):
+        left = _endpoint_kind(expr.left, definitions, depth + 1)
+        right = _endpoint_kind(expr.right, definitions, depth + 1)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            # Sums of non-negative forward anchors only move forward.  An
+            # EOI anchor dominates (EOI + k is still end-anchored); a
+            # position anchor dominates constants.
+            if _KIND_EOI in (left, right):
+                return _KIND_EOI if _KIND_CONST in (left, right) else None
+            return _KIND_POS if _KIND_POS in (left, right) else _KIND_CONST
+        if expr.op == "-":
+            if left == _KIND_CONST and right == _KIND_CONST:
+                return _KIND_CONST
+            if left == _KIND_EOI and right == _KIND_CONST:
+                return _KIND_EOI  # EOI - k: the bounded tail of the stream
+            # Subtracting from a position (X.end - 4) jumps backwards over
+            # bytes already consumed; subtracting a position from anything
+            # is unbounded in both directions.  Both are non-monotone.
+            return None
+        # *, /, %, shifts and bit operations can shrink any anchor
+        # (X.end / 2, X.end * 0, EOI >> 1, ...): only constants survive.
+        if left == _KIND_CONST and right == _KIND_CONST:
+            return _KIND_CONST
+        return None
     if isinstance(expr, Cond):
-        return _is_forward_left_endpoint(
-            expr.then, definitions, depth + 1
-        ) and _is_forward_left_endpoint(expr.otherwise, definitions, depth + 1)
-    return False
+        then = _endpoint_kind(expr.then, definitions, depth + 1)
+        otherwise = _endpoint_kind(expr.otherwise, definitions, depth + 1)
+        if then is None or otherwise is None:
+            return None
+        return then if then == otherwise else _KIND_POS
+    return None
+
+
+def _is_forward_left_endpoint(expr: Optional[Expr], definitions: dict) -> bool:
+    """Whether a left endpoint provably does not move backwards.
+
+    Accepted shapes: integer constants, ``EOI``-relative tail offsets
+    (``EOI - k``), ``X.end`` references (one past an already parsed term —
+    ``X.start`` is *not* forward: it points back to where that term began)
+    combined by addition, conditionals whose branches are both forward, and
+    local attributes whose defining expressions are themselves forward.
+    Anything that feeds a parsed *value*
+    (``X.val``-style attributes) into a position may encode the random
+    access pattern and is flagged — this is deliberately conservative; a
+    value used as a length would be fine for a stream parser but cannot be
+    distinguished statically from an offset.
+    """
+    if expr is None:
+        return True
+    return _endpoint_kind(expr, definitions) is not None
+
+
+def _constant_endpoint(expr: Optional[Expr]) -> Optional[int]:
+    """The endpoint's compile-time value, when it folds to a constant."""
+    from .exprcomp import fold
+
+    if expr is None:
+        return None
+    folded = fold(expr)
+    return folded.value if isinstance(folded, Num) else None
 
 
 def _check_alternative(
@@ -146,11 +232,21 @@ def _check_alternative(
         for term in alternative.terms
         if isinstance(term, TermAttrDef)
     }
+    #: Highest constant offset an earlier term's interval provably reached;
+    #: a later *constant* left endpoint below it jumps backwards even though
+    #: each constant is individually "forward" (a hole the shape analysis
+    #: alone cannot see — it classifies endpoints, not their sequence).
+    constant_floor = 0
     for position, term in enumerate(alternative.terms):
         intervals = []
+        advances = False  # may this term's interval raise the constant floor?
         if isinstance(term, (TermTerminal, TermNonterminal)):
             intervals.append(term.interval)
+            advances = True
         elif isinstance(term, TermArray):
+            # Element intervals are re-evaluated per iteration and switch
+            # branches are alternatives of each other, so neither advances
+            # the floor — but their constant endpoints must still respect it.
             intervals.append(term.element.interval)
         elif isinstance(term, TermSwitch):
             intervals.extend(case.target.interval for case in term.cases)
@@ -169,6 +265,26 @@ def _check_alternative(
                     )
                 )
                 break
+            left_const = _constant_endpoint(interval.left)
+            if left_const is not None and left_const < constant_floor:
+                report.violations.append(
+                    StreamabilityViolation(
+                        rule=rule.name,
+                        alternative_index=index,
+                        kind="non-monotone-interval",
+                        detail=(
+                            f"term {position + 1} starts at constant offset "
+                            f"{left_const}, before offset {constant_floor} "
+                            f"already reached by an earlier term"
+                        ),
+                    )
+                )
+                break
+            if advances:
+                right_const = _constant_endpoint(interval.right)
+                for value in (left_const, right_const):
+                    if value is not None and value > constant_floor:
+                        constant_floor = value
 
 
 def analyze_streamability(grammar: Union[Grammar, str]) -> StreamabilityReport:

@@ -22,6 +22,7 @@ class FormatSpec:
     blackboxes: Dict[str, BlackboxCallable] = field(default_factory=dict)
     _parser: Optional[Parser] = field(default=None, repr=False)
     _grammar: Optional[Grammar] = field(default=None, repr=False)
+    _streamability = None
 
     def grammar(self) -> Grammar:
         """Parse (once) and return the grammar AST."""
@@ -52,6 +53,19 @@ class FormatSpec:
     def parse(self, data: bytes) -> Node:
         """Parse one input with the cached parser."""
         return self.parser().parse(data)
+
+    def streamability(self):
+        """The §8 stream-parser analysis report for this format (cached)."""
+        if self._streamability is None:
+            from ..core.streamability import analyze_streamability
+
+            self._streamability = analyze_streamability(self.grammar_text)
+        return self._streamability
+
+    @property
+    def streamable(self) -> bool:
+        """Whether ``Parser.parse_stream`` accepts this format's grammar."""
+        return self.streamability().streamable
 
     def spec_line_count(self) -> int:
         """Number of non-empty, non-comment lines in the IPG source.

@@ -1,0 +1,14 @@
+"""Shared helpers for the streaming test modules.
+
+Kept in its own module (not ``conftest.py``) because ``benchmarks/`` has a
+``conftest.py`` too and the two would shadow each other on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def chunked(data: bytes, size: int) -> List[bytes]:
+    """Split ``data`` into ``size``-byte chunks."""
+    return [data[i : i + size] for i in range(0, len(data), size)]
