@@ -1,10 +1,12 @@
 """Compiled-vs-interpreted backend speedup tracker (emits BENCH_compiler.json).
 
-Measures per-format parse throughput (ns/byte) of the two ``Parser``
-backends on the Figure 13 single-format workloads (dns, ipv4, gif, elf, pe,
-zip) and writes the results to ``BENCH_compiler.json`` at the repository
-root, so the performance trajectory of the staged compiler is tracked
-across PRs instead of asserted once.
+Measures per-format parse throughput (ns/byte) of the ``Parser`` backends —
+the reference interpreter, the staged closure compiler, and the
+ahead-of-time emitted standalone module (``CompiledGrammar.to_source()``)
+— on the Figure 13 single-format workloads (dns, ipv4, gif, elf, pe, zip)
+and writes the results to ``BENCH_compiler.json`` at the repository root,
+so the performance trajectory of the compiler is tracked across PRs
+instead of asserted once.
 
 Usage::
 
@@ -30,7 +32,14 @@ from typing import Callable, Dict
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro import samples  # noqa: E402
+from repro.core.compiler import compile_grammar  # noqa: E402
 from repro.formats import registry  # noqa: E402
+
+
+def load_aot_module(spec):
+    """Emit the format's standalone parser module and import it in memory."""
+    compiled = compile_grammar(spec.grammar_text, blackboxes=dict(spec.blackboxes))
+    return compiled.load_module(f"_aot_bench_{spec.name.replace('-', '_')}")
 
 #: Workload builders for the Figure 13 single-format benchmarks.
 #: Each maps a format name to ``builder(quick)``.
@@ -78,41 +87,59 @@ def run(quick: bool, output: str) -> int:
         spec = registry[fmt]
         compiled = spec.build_parser(backend="compiled")
         interpreted = spec.build_parser(backend="interpreted")
+        aot = load_aot_module(spec)
         if compiled.backend != "compiled":
             print(f"ERROR: {fmt}: compiler fell back to the interpreter")
             failures += 1
             continue
-        if compiled.parse(data) != interpreted.parse(data):
+        expected = interpreted.parse(data)
+        if compiled.parse(data) != expected:
             print(f"ERROR: {fmt}: backends disagree on the parse tree")
             failures += 1
             continue
+        if aot.parse(data) != expected:
+            print(f"ERROR: {fmt}: AOT module disagrees on the parse tree")
+            failures += 1
+            continue
         compiled_ns = best_of(compiled.parse, data, rounds)
+        aot_ns = best_of(aot.parse, data, rounds)
         interpreted_ns = best_of(interpreted.parse, data, rounds)
         size = len(data)
         results[fmt] = {
             "input_bytes": size,
             "interpreted_ns_per_byte": round(interpreted_ns / size, 2),
             "compiled_ns_per_byte": round(compiled_ns / size, 2),
+            "aot_ns_per_byte": round(aot_ns / size, 2),
             "speedup": round(interpreted_ns / compiled_ns, 2),
+            "aot_speedup": round(interpreted_ns / aot_ns, 2),
         }
         print(
             f"{fmt:5s} {size:8d} B  interpreted {interpreted_ns / size:9.1f} ns/B"
             f"  compiled {compiled_ns / size:9.1f} ns/B"
+            f"  aot {aot_ns / size:9.1f} ns/B"
             f"  speedup {interpreted_ns / compiled_ns:5.2f}x"
+            f" / {interpreted_ns / aot_ns:5.2f}x"
         )
     if results:
         median = statistics.median(entry["speedup"] for entry in results.values())
+        aot_median = statistics.median(
+            entry["aot_speedup"] for entry in results.values()
+        )
         report = {
-            "benchmark": "compiled backend vs reference interpreter (Fig. 13 workloads)",
+            "benchmark": (
+                "compiled / AOT backends vs reference interpreter "
+                "(Fig. 13 workloads)"
+            ),
             "quick": quick,
             "rounds": rounds,
             "formats": results,
             "median_speedup": round(median, 2),
+            "aot_median_speedup": round(aot_median, 2),
         }
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"median speedup {median:.2f}x -> {output}")
+        print(f"median speedup {median:.2f}x (closure) / {aot_median:.2f}x (aot) -> {output}")
     return 1 if failures else 0
 
 

@@ -1,0 +1,26 @@
+"""Repository-level pytest configuration.
+
+Registers the ``--update-golden`` flag used by the golden-tree regression
+corpus (``tests/test_golden_trees.py``): engine refactors diff their parse
+trees against pinned artifacts under ``tests/golden/``; after an
+*intentional* tree change, regenerate them with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_trees.py --update-golden
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden parse-tree corpus under tests/golden/ "
+        "instead of asserting against it",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")

@@ -21,23 +21,31 @@ Execution backends
 ------------------
 
 ``Parser`` ships two interchangeable engines selected with the ``backend``
-keyword:
+keyword, plus an ahead-of-time emission mode:
 
 * ``backend="compiled"`` (the default) stages the grammar once, at parser
   construction time, into specialized Python closures
   (:mod:`repro.core.compiler`): expressions are compiled to inline Python
   with constant folding, terminal matches become inlined slice comparisons,
   fixed-width integer builtins become inlined ``int.from_bytes`` calls, and
-  the attribute environment lives in function locals instead of dicts.  It
-  is typically 3-4x faster than the interpreter on the paper's Figure 13
-  workloads (see ``benchmarks/bench_compiler_speedup.py``).
+  the attribute environment lives in function locals instead of dicts.
+  Four optimization passes (:class:`Optimizations`) — module-level
+  ``where`` rules with explicit closure cells, bare-``lo`` memo keys for
+  ``EOI``-anchored rules, memo elision for non-recursive rules, and
+  single-use rule inlining — take it to ~4x over the interpreter on the
+  paper's Figure 13 workloads (``benchmarks/bench_compiler_speedup.py``).
 * ``backend="interpreted"`` runs the reference tree-walking interpreter, a
   direct transcription of the big-step semantics (Figures 8/15).
+* ``compile_grammar(...).to_source()`` — or the ``repro compile`` CLI —
+  renders the staged grammar as a **standalone importable module** that
+  parses with only the standard library on ``sys.path``
+  (:mod:`repro.core.codegen`).
 
-Both backends produce identical parse trees — enforced differentially by
-``tests/test_compiler_equivalence.py`` — and a grammar the compiler cannot
-specialize falls back to the interpreter automatically (check
-``parser.backend`` for the engine actually in use).
+All engines produce identical parse trees — enforced differentially by the
+cross-engine matrix (``tests/engine_matrix.py``) and the golden-tree corpus
+(``tests/golden/``) — and a grammar the compiler cannot specialize falls
+back to the interpreter automatically (check ``parser.backend`` for the
+engine actually in use).
 
 Streaming
 ---------
@@ -81,6 +89,7 @@ from .core import (
     BlackboxResult,
     CompilationError,
     CompiledGrammar,
+    Optimizations,
     EvaluationError,
     GenerationError,
     Grammar,
@@ -118,6 +127,7 @@ __all__ = [
     "BlackboxResult",
     "CompilationError",
     "CompiledGrammar",
+    "Optimizations",
     "EvaluationError",
     "GenerationError",
     "Grammar",

@@ -7,6 +7,7 @@ Usage (also available as ``python -m repro``)::
     python -m repro parse --format dns --stream - # stream stdin in chunks (§8)
     python -m repro check GRAMMAR.ipg            # attribute + termination check
     python -m repro generate GRAMMAR.ipg -o p.py # emit a generated parser
+    python -m repro compile --format zip -o z.py # emit a standalone AOT parser
     python -m repro streamability --format dns   # stream-parser analysis (§8)
     python -m repro streamability GRAMMAR.ipg    # ... or on a grammar file
     python -m repro report [--full]              # re-run the paper's evaluation
@@ -177,6 +178,48 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_compile(args) -> int:
+    from .core.compiler import Optimizations, compile_grammar
+    from .core.errors import CompilationError
+
+    if args.format:
+        if args.format not in registry:
+            print(
+                f"unknown format {args.format!r}; see `repro formats`",
+                file=sys.stderr,
+            )
+            return 2
+        spec = registry[args.format]
+        grammar_text = spec.grammar_text
+        blackbox_names = sorted(spec.blackboxes)
+    else:
+        grammar_text = _read_text(args.grammar)
+        blackbox_names = None
+    optimizations = Optimizations.none() if args.no_optimize else Optimizations()
+    try:
+        compiled = compile_grammar(grammar_text, optimizations=optimizations)
+    except CompilationError as exc:
+        # Unlike `parse`, ahead-of-time emission has no interpreter to fall
+        # back to: report why the grammar cannot be specialized.
+        print(f"error: grammar cannot be compiled ahead of time: {exc}", file=sys.stderr)
+        return 1
+    source = compiled.to_source()
+    if blackbox_names is None:
+        blackbox_names = sorted(compiled.grammar.blackboxes)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(f"wrote {len(source.splitlines())} lines to {args.output}")
+        if blackbox_names:
+            print(
+                f"note: register blackbox parser(s) {blackbox_names} with "
+                f"register_blackbox() before parsing"
+            )
+    else:
+        print(source, end="")
+    return 0
+
+
 def cmd_streamability(args) -> int:
     if args.format:
         if args.format not in registry:
@@ -264,6 +307,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--class-name", default="GeneratedParser", help="name of the generated class"
     )
     generate_command.set_defaults(handler=cmd_generate)
+
+    compile_command = commands.add_parser(
+        "compile", help="emit an ahead-of-time standalone parser module"
+    )
+    compile_group = compile_command.add_mutually_exclusive_group(required=True)
+    compile_group.add_argument(
+        "--format", help="one of the bundled formats (see `formats`)"
+    )
+    compile_group.add_argument(
+        "grammar", nargs="?", help="path to an IPG grammar file"
+    )
+    compile_command.add_argument(
+        "-o", "--output", help="write the module to this file (default: stdout)"
+    )
+    compile_command.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="disable the compiler optimization passes (module-level where "
+        "rules, dense memo keys, memo elision, single-use inlining)",
+    )
+    compile_command.set_defaults(handler=cmd_compile)
 
     streamability_command = commands.add_parser(
         "streamability", help="stream-parser analysis (paper section 8)"

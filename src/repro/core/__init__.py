@@ -22,7 +22,7 @@ from .ast import (
 from .attrcheck import check_grammar
 from .autocomplete import complete_grammar
 from .builtins import BUILTINS, BlackboxResult, is_builtin
-from .compiler import CompiledGrammar, compile_grammar
+from .compiler import CompiledGrammar, Optimizations, compile_grammar
 from .errors import (
     AttributeCheckError,
     AutoCompletionError,
@@ -55,6 +55,7 @@ __all__ = [
     "BUILTINS",
     "CompilationError",
     "CompiledGrammar",
+    "Optimizations",
     "EvaluationError",
     "GenerationError",
     "Grammar",

@@ -1,0 +1,520 @@
+"""Ahead-of-time parser emission: compiled grammars -> standalone modules.
+
+:func:`repro.core.compiler.compile_grammar` stages a grammar into Python
+*source* already — it just executes that source immediately and keeps the
+resulting closures in memory.  This module is the ahead-of-time half: it
+wraps the same generated rule functions with a small **vendored runtime
+prelude** and a public ``parse``/``try_parse`` API, producing one
+self-contained ``.py`` file that imports and parses with **nothing but the
+standard library** on ``sys.path``.  That is the artifact story of
+Kaitai-style toolchains: the optimized parser is an inspectable, diffable,
+shippable module instead of an opaque in-memory object.
+
+Two deliberate design points:
+
+* **Parse-tree compatibility.**  The prelude first tries to import
+  ``repro``'s :class:`~repro.core.parsetree.Node` / ``Leaf`` /
+  ``ArrayNode`` and only falls back to vendored equivalents when ``repro``
+  is absent.  When both are importable the emitted module therefore
+  produces *the same classes* as the other engines, so trees compare
+  ``==`` across all of them (enforced by ``tests/engine_matrix.py``);
+  without ``repro`` the vendored classes implement the same structural
+  equality among themselves.
+* **Blackboxes are late-bound.**  A blackbox parser is an arbitrary Python
+  callable and cannot be serialized; the emitted module exposes
+  ``register_blackbox(name, fn)`` and defers the lookup to parse time,
+  exactly like :class:`repro.Parser`'s live registry.
+
+Entry points: :meth:`repro.core.compiler.CompiledGrammar.to_source` and the
+``repro compile`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Runtime support emitted into every standalone module.  Everything the
+#: generated rule functions reference lives here (or in the per-grammar
+#: constants section rendered by :func:`render_standalone_module`); the only
+#: non-stdlib import is the *optional* reuse of repro's parse-tree classes.
+_PRELUDE = '''\
+import sys as _sys
+
+#: Internal sentinels: parse failure (biased choice), memo miss, and a
+#: not-live binding (loop variable outside its loop / closure cell before
+#: its defining term ran).
+FAIL = object()
+_MISS = object()
+_UB = object()
+_BFAIL = object()
+_ifb = int.from_bytes
+
+
+class IPGError(Exception):
+    """Base class for all errors raised by this generated parser."""
+
+
+class EvaluationError(IPGError):
+    """An attribute/interval computation failed (fails the alternative)."""
+
+
+class BlackboxError(IPGError):
+    """A blackbox parser is missing or raised."""
+
+
+class ParseFailure(IPGError):
+    """The input does not match the grammar (raised by ``parse``)."""
+
+
+try:  # Reuse repro's parse-tree classes when available so trees produced
+    # by this module compare == with the other engines'; fall back to
+    # structurally identical vendored classes when repro is not importable.
+    from repro.core.parsetree import ArrayNode, Leaf, Node
+except ImportError:
+
+    class _ParseTree:
+        __slots__ = ()
+
+        def walk(self):
+            yield self
+
+    class Leaf(_ParseTree):
+        """A matched terminal string."""
+
+        __slots__ = ("value",)
+
+        def __init__(self, value):
+            self.value = bytes(value)
+
+        def __eq__(self, other):
+            return isinstance(other, Leaf) and self.value == other.value
+
+        def __hash__(self):
+            return hash(("Leaf", self.value))
+
+        def __repr__(self):
+            return f"Leaf({self.value!r})"
+
+    class ArrayNode(_ParseTree):
+        """The result of parsing a ``for`` (array) term."""
+
+        __slots__ = ("name", "elements")
+
+        def __init__(self, name, elements):
+            self.name = name
+            self.elements = list(elements)
+
+        def __len__(self):
+            return len(self.elements)
+
+        def __getitem__(self, index):
+            return self.elements[index]
+
+        def __iter__(self):
+            return iter(self.elements)
+
+        def walk(self):
+            yield self
+            for element in self.elements:
+                yield from element.walk()
+
+        def __eq__(self, other):
+            return (
+                isinstance(other, ArrayNode)
+                and self.name == other.name
+                and self.elements == other.elements
+            )
+
+        def __hash__(self):
+            return hash(("Array", self.name, len(self.elements)))
+
+        def __repr__(self):
+            return f"Array({self.name}, {len(self.elements)} elements)"
+
+    class Node(_ParseTree):
+        """A successfully parsed nonterminal: name, attribute env, children."""
+
+        __slots__ = ("name", "env", "children")
+
+        def __init__(self, name, env, children):
+            self.name = name
+            self.env = dict(env)
+            self.children = list(children)
+
+        def attr(self, name, default=None):
+            return self.env.get(name, default)
+
+        def __getitem__(self, name):
+            if name not in self.env:
+                raise KeyError(f"nonterminal {self.name} has no attribute {name!r}")
+            return self.env[name]
+
+        @property
+        def attrs(self):
+            return {
+                k: v for k, v in self.env.items() if k not in ("EOI", "start", "end")
+            }
+
+        def child(self, name, index=0):
+            seen = 0
+            for tree in self.children:
+                if isinstance(tree, Node) and tree.name == name:
+                    if seen == index:
+                        return tree
+                    seen += 1
+            return None
+
+        def array(self, name):
+            for tree in self.children:
+                if isinstance(tree, ArrayNode) and tree.name == name:
+                    return tree
+            return None
+
+        def walk(self):
+            yield self
+            for child in self.children:
+                yield from child.walk()
+
+        def __eq__(self, other):
+            return (
+                isinstance(other, Node)
+                and self.name == other.name
+                and self.env == other.env
+                and self.children == other.children
+            )
+
+        def __hash__(self):
+            return hash(("Node", self.name, len(self.children)))
+
+        def __repr__(self):
+            return f"Node({self.name}, attrs={self.attrs}, children={len(self.children)})"
+
+
+_node_new = Node.__new__
+_leaf_new = Leaf.__new__
+_array_new = ArrayNode.__new__
+
+
+def _mk_node(name, env, children):
+    node = _node_new(Node)
+    node.name = name
+    node.env = env
+    node.children = children
+    return node
+
+
+def _mk_leaf(value):
+    leaf = _leaf_new(Leaf)
+    leaf.value = value
+    return leaf
+
+
+def _mk_array(name, elements):
+    array = _array_new(ArrayNode)
+    array.name = name
+    array.elements = elements
+    return array
+
+
+# -- expression runtime ------------------------------------------------------
+
+
+def _int_div(a, b):
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _div(a, b):
+    if b == 0:
+        raise EvaluationError("division by zero")
+    return _int_div(a, b)
+
+
+def _mod(a, b):
+    if b == 0:
+        raise EvaluationError("modulo by zero")
+    return a - _int_div(a, b) * b
+
+
+def _shift_l(a, b):
+    if b < 0:
+        raise EvaluationError("negative shift amount")
+    return a << b
+
+
+def _shift_r(a, b):
+    if b < 0:
+        raise EvaluationError("negative shift amount")
+    return a >> b
+
+
+def _aidx(elements, position, name, attr):
+    if 0 <= position < len(elements):
+        return elements[position].env[attr]
+    raise EvaluationError(
+        f"array reference {name}({position}) out of range "
+        f"(array has {len(elements)} elements)"
+    )
+
+
+def _undef(name):
+    raise EvaluationError(f"undefined attribute or loop variable {name!r}")
+
+
+def _nonode(name):
+    raise EvaluationError(f"reference to {name} but it has not been parsed yet")
+
+
+def _noarr(name):
+    raise EvaluationError(
+        f"reference to array {name} but no such array has been parsed"
+    )
+
+
+def _badexists(source):
+    raise EvaluationError(
+        f"existential does not reference any array indexed by its bound "
+        f"variable: {source}"
+    )
+
+
+def _exists(length, condition, then, otherwise):
+    for position in range(length):
+        if condition(position) != 0:
+            return then(position)
+    return otherwise()
+
+
+# -- builtin nonterminals ----------------------------------------------------
+
+
+def _fixed_int(size, byteorder, signed=False):
+    def parse(data, lo, hi):
+        if hi - lo < size:
+            return _BFAIL
+        window = data[lo : lo + size]
+        return {"val": _ifb(window, byteorder, signed=signed)}, size, window
+
+    return parse
+
+
+def _p_raw(data, lo, hi):
+    length = hi - lo
+    return {"len": length, "val": length}, length, None
+
+
+def _p_bytes(data, lo, hi):
+    window = data[lo:hi]
+    return {"len": len(window), "val": len(window)}, len(window), window
+
+
+def _p_ascii_int(data, lo, hi):
+    window = data[lo:hi]
+    text = window.strip()
+    if not text or not text.isdigit():
+        return _BFAIL
+    return {"val": int(text)}, len(window), window
+
+
+def _p_bin_int(data, lo, hi):
+    window = data[lo:hi]
+    if not window or any(byte not in (0x30, 0x31) for byte in window):
+        return _BFAIL
+    value = 0
+    for byte in window:
+        value = value * 2 + (byte - 0x30)
+    return {"val": value}, len(window), window
+
+
+_BUILTINS = {
+    "U8": _fixed_int(1, "little"),
+    "Byte": _fixed_int(1, "little"),
+    "U16LE": _fixed_int(2, "little"),
+    "U16BE": _fixed_int(2, "big"),
+    "U32LE": _fixed_int(4, "little"),
+    "U32BE": _fixed_int(4, "big"),
+    "U64LE": _fixed_int(8, "little"),
+    "U64BE": _fixed_int(8, "big"),
+    "I32LE": _fixed_int(4, "little", signed=True),
+    "Raw": _p_raw,
+    "Bytes": _p_bytes,
+    "AsciiInt": _p_ascii_int,
+    "BinInt": _p_bin_int,
+}
+
+
+def _wrap_outcome(name, attrs, end, payload, length):
+    env = {"EOI": length, "start": 0 if end else length, "end": end}
+    env.update(attrs)
+    children = [_mk_leaf(payload)] if payload is not None else []
+    return _mk_node(name, env, children)
+
+
+def _make_builtin_runner(name):
+    parse = _BUILTINS[name]
+
+    def run(data, lo, hi):
+        outcome = parse(data, lo, hi)
+        if outcome is _BFAIL:
+            return FAIL
+        attrs, end, payload = outcome
+        return _wrap_outcome(name, attrs, end, payload, hi - lo)
+
+    return run
+
+
+def _run_builtin(name, data, lo, hi):
+    return _make_builtin_runner(name)(data, lo, hi)
+
+
+# -- blackbox parsers --------------------------------------------------------
+
+#: Late-bound blackbox implementations; fill with ``register_blackbox``.
+BLACKBOXES = {}
+
+
+def register_blackbox(name, parser):
+    """Register (or replace) the implementation of a blackbox parser."""
+    BLACKBOXES[name] = parser
+
+
+def _normalize_blackbox_result(result, interval_length):
+    if result is None:
+        return _BFAIL
+    if isinstance(result, dict):
+        return dict(result), None, interval_length
+    if isinstance(result, (bytes, bytearray)):
+        return {}, bytes(result), interval_length
+    # Duck-typed BlackboxResult: attrs / payload / end attributes.
+    if hasattr(result, "attrs") and hasattr(result, "payload"):
+        end = getattr(result, "end", None)
+        if end is None:
+            end = interval_length
+        return dict(result.attrs), result.payload, end
+    raise TypeError(
+        f"blackbox parser returned unsupported type {type(result).__name__}"
+    )
+
+
+def _bb(name, data, lo, hi):
+    implementation = BLACKBOXES.get(name)
+    if implementation is None:
+        raise BlackboxError(
+            f"grammar declares blackbox {name!r} but no implementation was "
+            f"registered; call register_blackbox({name!r}, fn) first"
+        )
+    window = data[lo:hi]
+    try:
+        raw = implementation(window)
+    except Exception as exc:  # the blackbox itself failed
+        raise BlackboxError(f"blackbox parser {name!r} raised: {exc}") from exc
+    outcome = _normalize_blackbox_result(raw, hi - lo)
+    if outcome is _BFAIL:
+        return FAIL
+    attrs, payload, end = outcome
+    return _wrap_outcome(name, attrs, end, payload, hi - lo)
+'''
+
+#: Public entry points emitted after the generated rule functions.
+_EPILOGUE = '''\
+_RECURSION_LIMIT = 100000
+
+
+def parse_nonterminal(data, name, lo, hi):
+    """``s[lo, hi] |- name`` -> Node or the FAIL sentinel."""
+    state = _new_state()
+    fn = _ENTRY.get(name)
+    if fn is not None:
+        return fn(state, data, lo, hi)
+    if name in _BUILTINS:
+        return _run_builtin(name, data, lo, hi)
+    if name in DECLARED_BLACKBOXES:
+        return _bb(name, data, lo, hi)
+    raise IPGError(f"no rule, builtin or blackbox for nonterminal {name!r}")
+
+
+def try_parse(data, start=None):
+    """Parse ``data``; returns the root Node, or None on non-matching input."""
+    data = bytes(data)
+    name = START if start is None else start
+    previous_limit = _sys.getrecursionlimit()
+    if _RECURSION_LIMIT > previous_limit:
+        _sys.setrecursionlimit(_RECURSION_LIMIT)
+    try:
+        result = parse_nonterminal(data, name, 0, len(data))
+    finally:
+        if _RECURSION_LIMIT > previous_limit:
+            _sys.setrecursionlimit(previous_limit)
+    return None if result is FAIL else result
+
+
+def parse(data, start=None):
+    """Parse ``data``; raises ParseFailure when the input does not match."""
+    result = try_parse(data, start)
+    if result is None:
+        raise ParseFailure(
+            f"input of length {len(data)} does not match nonterminal "
+            f"{start or START!r}"
+        )
+    return result
+'''
+
+
+def render_standalone_module(compiled, module_doc: Optional[str] = None) -> str:
+    """Render a :class:`~repro.core.compiler.CompiledGrammar` as module source.
+
+    The result is importable with only the standard library available; see
+    the module docstring for the two compatibility guarantees (tree classes
+    and late-bound blackboxes).
+    """
+    grammar = compiled.grammar
+    if module_doc is None:
+        module_doc = (
+            f"Standalone IPG parser (start symbol: {grammar.start}).\n\n"
+            "Generated ahead of time by `repro compile`; imports with only the\n"
+            "standard library on sys.path.  Public API: parse(data, start=None),\n"
+            "try_parse(data, start=None), parse_nonterminal(data, name, lo, hi),\n"
+            "register_blackbox(name, fn), START, DECLARED_BLACKBOXES."
+        )
+    body = compiled.source
+    # The in-memory compilation prefixes its own module docstring; drop it in
+    # favour of the standalone header.
+    marker = '"""Module staged by repro.core.compiler — one closure per alternative."""'
+    if body.startswith(marker):
+        body = body[len(marker) :].lstrip("\n")
+
+    constants = []
+    for var in sorted(compiled._leaf_consts):
+        constants.append(f"{var} = _mk_leaf({compiled._leaf_consts[var]!r})")
+    for var in sorted(compiled._builtin_runner_names):
+        constants.append(
+            f"{var} = _make_builtin_runner({compiled._builtin_runner_names[var]!r})"
+        )
+
+    declared = "".join(f"{name!r}, " for name in sorted(grammar.blackboxes))
+    parts = [
+        f'"""{module_doc}\n"""',
+        "",
+        _PRELUDE,
+        "",
+        "# -- grammar constants -------------------------------------------------------",
+        "",
+    ]
+    parts += constants or ["# (none)"]
+    parts += [
+        "",
+        "",
+        "# -- generated rule functions ------------------------------------------------",
+        "",
+        body.rstrip("\n"),
+        "",
+        "",
+        "# -- public API --------------------------------------------------------------",
+        "",
+        f"START = {grammar.start!r}",
+        f"DECLARED_BLACKBOXES = frozenset(({declared}))" if declared
+        else "DECLARED_BLACKBOXES = frozenset()",
+        "",
+        _EPILOGUE,
+    ]
+    return "\n".join(parts)

@@ -16,31 +16,58 @@ Parser` construction time, into plain Python functions:
   inlined ``int.from_bytes`` calls, rule calls are direct function calls;
 * ``updStartEnd`` and the ``{EOI, start, end}`` specials live in locals and
   the final node environment is built with a single dict display;
-* ``where`` local rules compile to nested closures, so references into the
-  enclosing alternative resolve through Python's closure mechanism exactly
-  like the interpreter's ``EvalContext.outer`` chain;
-* packrat memoization uses one ``(lo, hi)``-keyed dict per nonterminal,
-  allocated fresh per parse in a state list threaded through the calls, so
-  concurrent and reentrant parses are isolated like the interpreter's
-  per-run memo.
+* packrat memoization uses per-nonterminal tables allocated fresh per parse
+  in a state list threaded through the calls, so concurrent and reentrant
+  parses are isolated like the interpreter's per-run memo.
+
+On top of that baseline, four optimization passes (individually toggleable
+through :class:`Optimizations`) specialize further:
+
+* **module-level where rules** — ``where`` local rules compile to
+  module-level functions taking an explicit closure-cell list instead of
+  per-invocation nested ``def`` s; the declaring alternative mirrors its
+  locals into the cell list as they are bound, so hot loops (ELF sections,
+  ZIP entries) stop paying function construction on every invocation;
+* **dense memo tables** — rules whose every call site pins the right
+  interval endpoint to the (unrebound) ``EOI`` special are always invoked
+  with the same ``hi`` within one parse, so their memo key collapses from
+  a ``(lo, hi)`` tuple to the bare ``lo`` offset (a flat ``lo``-indexed
+  array was measured as well; its O(input-length) per-parse allocation
+  loses whenever call sites are sparser than one per byte, so the
+  ``lo``-keyed table remains a dict);
+* **memo elision** — rules that cannot recur (no cycle through the
+  nonterminal dependency graph, computed with
+  :func:`repro.core.cycles.recursive_vertices`) skip memoization entirely:
+  a correct parse re-derives their result, it never corrupts it;
+* **single-use inlining** — a rule with one alternative referenced from
+  exactly one call site (e.g. ``FileName -> Bytes``) is expanded into that
+  call site, eliminating the call, the memo probe and the environment
+  rebase copy.
 
 The compiled backend produces parse trees *identical* (``==``) to the
-interpreter; ``tests/test_compiler_equivalence.py`` enforces this
-differentially on every bundled format grammar and on property-based
-workloads.  Constructs the compiler cannot specialize raise
+interpreter; the cross-engine matrix (``tests/engine_matrix.py``) enforces
+this differentially on every bundled format grammar, on property-based
+workloads, and with every optimization pass toggled on and off.
+Constructs the compiler cannot specialize raise
 :class:`~repro.core.errors.CompilationError`, which the ``Parser`` turns
 into a silent fallback to the interpreter.
 
 Public API:
 
-``compile_grammar(grammar, memoize=True, blackboxes=None)``
+``compile_grammar(grammar, memoize=True, blackboxes=None, optimizations=None)``
     Stage a prepared grammar and return a :class:`CompiledGrammar`.
+
+``CompiledGrammar.to_source()``
+    Render the staged grammar as a **standalone importable module** (see
+    :mod:`repro.core.codegen`), the ahead-of-time output of
+    ``repro compile``.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from .ast import (
     Alternative,
@@ -56,9 +83,18 @@ from .ast import (
     TermTerminal,
 )
 from .builtins import BUILTIN_FAIL, BUILTINS, is_builtin, normalize_blackbox_result
+from .cycles import recursive_vertices
 from .errors import BlackboxError, CompilationError, EvaluationError, IPGError
-from .expr import Num
-from .exprcomp import SPECIALS, Namer, Scope, compile_expr, fold, resolve_name
+from .expr import Name, Num
+from .exprcomp import (
+    SPECIALS,
+    LoopVar,
+    Namer,
+    Scope,
+    cells_path,
+    compile_expr,
+    fold,
+)
 from .interpreter import FAIL, prepare_grammar
 from .parsetree import ArrayNode, Leaf, Node
 from .runtime import _div, _mod, _shift_l, _shift_r
@@ -74,6 +110,32 @@ _FIXED_INTS = {
     for name, spec in BUILTINS.items()
     if spec.size is not None and spec.byteorder is not None
 }
+
+
+@dataclass(frozen=True)
+class Optimizations:
+    """Toggle set for the compiler's optimization passes.
+
+    Every combination produces identical parse trees (enforced by
+    ``tests/test_compiler_passes.py``); the flags only trade compile-time
+    analysis and generated-code shape for parse speed.
+    """
+
+    #: Compile ``where`` local rules to module-level functions with explicit
+    #: closure-cell lists instead of per-invocation nested ``def`` s.
+    module_level_where: bool = True
+    #: Collapse the memo key of rules whose ``hi`` is always ``EOI`` from a
+    #: ``(lo, hi)`` tuple to the bare ``lo`` offset.
+    dense_memo: bool = True
+    #: Skip memo tables for rules that cannot recur.
+    skip_nonrecursive_memo: bool = True
+    #: Expand single-use single-alternative rules into their call site.
+    inline_single_use: bool = True
+
+    @classmethod
+    def none(cls) -> "Optimizations":
+        """The PR-1 baseline: no optimization passes."""
+        return cls(False, False, False, False)
 
 
 # ---------------------------------------------------------------------------
@@ -107,10 +169,11 @@ def _mk_array(name, elements):
     return array
 
 
-#: Poison value marking a loop-variable local whose binding is not live
-#: (before its loop started or after it finished).  The interpreter pops the
-#: env binding, so reads must fall through to an enclosing scope's binding
-#: — or fail — instead of seeing stale data.
+#: Poison value marking a loop-variable local (or a closure cell) whose
+#: binding is not live (before its loop started or after it finished, or
+#: before the defining term ran).  The interpreter pops the env binding, so
+#: reads must fall through to an enclosing scope's binding — or fail —
+#: instead of seeing stale data.
 _UB = object()
 
 
@@ -213,6 +276,166 @@ def _indent(lines: List[str], levels: int = 1) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# Whole-grammar analyses feeding the optimization passes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _CallSite:
+    """One static invocation of a nonterminal inside some rule body."""
+
+    caller: Rule  # the (top-level or local) rule containing the call
+    top: str  # name of the enclosing top-level rule
+    kind: str  # "nt" | "array" | "switch"
+    target_kind: str  # "local" | "top" | "other"
+    target: object  # Rule for "local", the name otherwise
+    eoi_right: bool  # right endpoint is the unrebound EOI special
+
+
+def _collect_sites(grammar: Grammar) -> Tuple[List[_CallSite], List[Rule]]:
+    """Enumerate every call site, resolving where-rule shadowing lexically.
+
+    The compiler rejects call-site-dependent dispatch up front
+    (:meth:`_GrammarCompiler._check_dynamic_shadowing`), so lexical
+    resolution here agrees with the interpreter's dynamic chain walk for
+    every grammar that actually gets compiled.
+    """
+    sites: List[_CallSite] = []
+    rules: List[Rule] = []
+
+    def walk(rule: Rule, top: str, chain: Dict[str, Rule]) -> None:
+        rules.append(rule)
+        for alternative in rule.alternatives:
+            local_chain = chain
+            if alternative.local_rules:
+                local_chain = dict(chain)
+                local_chain.update(
+                    {local.name: local for local in alternative.local_rules}
+                )
+            rebound = False
+            for term in alternative.terms:
+                if isinstance(term, TermAttrDef):
+                    if term.name == "EOI":
+                        rebound = True
+                    continue
+                targets: List[Tuple[str, object, str, bool]] = []
+                if isinstance(term, TermNonterminal):
+                    targets.append((term.name, term.interval.right, "nt", False))
+                elif isinstance(term, TermArray):
+                    # The element interval is evaluated with the loop
+                    # variable bound; a loop variable named EOI shadows the
+                    # special for the element site.
+                    targets.append(
+                        (
+                            term.element.name,
+                            term.element.interval.right,
+                            "array",
+                            term.var == "EOI",
+                        )
+                    )
+                elif isinstance(term, TermSwitch):
+                    targets.extend(
+                        (case.target.name, case.target.interval.right, "switch", False)
+                        for case in term.cases
+                    )
+                for name, right, kind, shadowed in targets:
+                    eoi_right = (
+                        not rebound
+                        and not shadowed
+                        and isinstance(right, Name)
+                        and right.ident == "EOI"
+                    )
+                    if name in local_chain:
+                        target_kind, target = "local", local_chain[name]
+                    elif grammar.has_rule(name):
+                        target_kind, target = "top", name
+                    else:
+                        target_kind, target = "other", name
+                    sites.append(
+                        _CallSite(rule, top, kind, target_kind, target, eoi_right)
+                    )
+            for local in alternative.local_rules:
+                walk(local, top, local_chain)
+
+    for name, rule in grammar.rules.items():
+        walk(rule, name, {})
+    return sites, rules
+
+
+def _recursive_rule_names(grammar: Grammar, sites: List[_CallSite]) -> Set[str]:
+    """Top-level rules that can (transitively) re-enter themselves."""
+    graph: Dict[str, Set[str]] = {name: set() for name in grammar.rules}
+    for site in sites:
+        if site.target_kind == "top":
+            graph[site.top].add(site.target)
+    return set(recursive_vertices(graph))
+
+
+def _eoi_anchored_rule_names(grammar: Grammar, sites: List[_CallSite]) -> Set[str]:
+    """Top-level rules whose every invocation has ``hi == `` the parse's EOI.
+
+    Greatest fixpoint: a rule stays anchored only while every call site
+    pins the right endpoint to the caller's unrebound ``EOI`` *and* the
+    caller itself is anchored (so the caller's ``EOI`` is the top-level
+    one).  Entry-point invocations (``parse(start=...)``) use
+    ``hi = len(data)`` and are anchored by construction.  For anchored
+    rules the memo key ``(lo, hi)`` collapses to ``lo``.
+    """
+    anchored: Dict[int, bool] = {}
+    rule_sites = [site for site in sites if site.target_kind in ("local", "top")]
+    for site in rule_sites:
+        anchored[id(site.caller)] = True
+        target = site.target if site.target_kind == "local" else grammar.rule(site.target)
+        anchored[id(target)] = True
+    for name in grammar.rules:
+        anchored[id(grammar.rule(name))] = True
+    changed = True
+    while changed:
+        changed = False
+        for site in rule_sites:
+            target = (
+                site.target
+                if site.target_kind == "local"
+                else grammar.rule(site.target)
+            )
+            if anchored[id(target)] and (
+                not site.eoi_right or not anchored[id(site.caller)]
+            ):
+                anchored[id(target)] = False
+                changed = True
+    return {name for name in grammar.rules if anchored[id(grammar.rule(name))]}
+
+
+def _inline_candidates(
+    grammar: Grammar, sites: List[_CallSite], recursive: Set[str]
+) -> Set[str]:
+    """Rules expandable into their (unique) call site.
+
+    Conditions: exactly one alternative, no local rules, referenced from
+    exactly one call site grammar-wide, that site is a plain nonterminal
+    term, and the rule is not recursive (which also rules out mutual
+    inlining cycles).
+    """
+    uses: Dict[str, int] = {}
+    kinds: Dict[str, Set[str]] = {}
+    for site in sites:
+        if site.target_kind == "top":
+            uses[site.target] = uses.get(site.target, 0) + 1
+            kinds.setdefault(site.target, set()).add(site.kind)
+    candidates: Set[str] = set()
+    for name, rule in grammar.rules.items():
+        if (
+            uses.get(name) == 1
+            and kinds.get(name) == {"nt"}
+            and name not in recursive
+            and len(rule.alternatives) == 1
+            and not rule.alternatives[0].local_rules
+        ):
+            candidates.add(name)
+    return candidates
+
+
+# ---------------------------------------------------------------------------
 # The grammar compiler
 # ---------------------------------------------------------------------------
 
@@ -220,15 +443,24 @@ def _indent(lines: List[str], levels: int = 1) -> List[str]:
 class _GrammarCompiler:
     """Translates one prepared grammar into a module of specialized closures."""
 
-    def __init__(self, grammar: Grammar, memoize: bool = True):
+    def __init__(
+        self,
+        grammar: Grammar,
+        memoize: bool = True,
+        optimizations: Optional[Optimizations] = None,
+    ):
         self.grammar = grammar
         self.memoize = memoize
+        self.opts = optimizations if optimizations is not None else Optimizations()
         self.namer = Namer()
         self.rule_fns: Dict[str, str] = {}
-        #: Number of memo-table slots in the per-parse state list ``st``
-        #: (one per memoized rule; fresh per parse, so parses are isolated
-        #: like the interpreter's per-run memo — reentrancy/thread safe).
-        self.memo_count = 0
+        #: Memo-table slot kinds of the per-parse state list ``st``:
+        #: ``"d"`` for a ``(lo, hi)``-keyed table, ``"l"`` for a dense
+        #: bare-``lo``-keyed one.  Fresh per parse, so parses are isolated
+        #: like the interpreter's per-run memo — reentrancy/thread safe.
+        self.memo_slots: List[str] = []
+        #: Rule name -> "dict" | "dense" | "skipped" | "unmemoized".
+        self.memo_modes: Dict[str, str] = {}
         #: Constants (prebuilt Leaf objects, builtin runners) injected into
         #: the generated module's globals.
         self.constants: Dict[str, object] = {}
@@ -236,6 +468,15 @@ class _GrammarCompiler:
         self._runner_cache: Dict[str, str] = {}
         self._tokens: Dict[str, str] = {}
         self._token_used: set = set()
+        #: Module-level where-rule definitions awaiting emission.
+        self._deferred: List[str] = []
+        #: Rules the current compilation may expand inline.
+        self._inline: Set[str] = set()
+        #: Names of rules currently being expanded (cycle guard).
+        self._inlining: Set[str] = set()
+        #: Input-window variables of the function/expansion being compiled.
+        self._lo = "lo"
+        self._hi = "hi"
 
     # -- naming ------------------------------------------------------------
     def _token(self, raw: str) -> str:
@@ -265,6 +506,15 @@ class _GrammarCompiler:
             self._runner_cache[name] = var
             self.constants[var] = _make_builtin_runner(name)
         return var
+
+    def _abs(self, offset: str) -> str:
+        """Render the absolute input position of relative ``offset``."""
+        return self._lo if offset == "0" else f"{self._lo} + {offset}"
+
+    def _mirror(self, scope: Scope, local: str, body: List[str]) -> None:
+        """Mirror a (re)bound local into the scope's closure-cell list."""
+        if scope.uses_cells:
+            body.append(f"{scope.cell_local}[{scope.cell(local)}] = {local}")
 
     # -- top level ---------------------------------------------------------
     def _check_dynamic_shadowing(self) -> None:
@@ -323,6 +573,25 @@ class _GrammarCompiler:
 
     def compile(self) -> str:
         self._check_dynamic_shadowing()
+        sites, _rules = _collect_sites(self.grammar)
+        recursive = _recursive_rule_names(self.grammar, sites)
+        anchored = (
+            _eoi_anchored_rule_names(self.grammar, sites)
+            if self.opts.dense_memo
+            else set()
+        )
+        if self.opts.inline_single_use:
+            self._inline = _inline_candidates(self.grammar, sites, recursive)
+        for name in self.grammar.rules:
+            if not self.memoize:
+                self.memo_modes[name] = "unmemoized"
+            elif self.opts.skip_nonrecursive_memo and name not in recursive:
+                self.memo_modes[name] = "skipped"
+            elif name in anchored:
+                self.memo_modes[name] = "dense"
+            else:
+                self.memo_modes[name] = "dict"
+
         lines: List[str] = [
             '"""Module staged by repro.core.compiler — one closure per alternative."""',
             "",
@@ -335,10 +604,18 @@ class _GrammarCompiler:
                 self.rule_fns[name],
                 parent_scope=None,
                 bindings={},
-                memoized=self.memoize,
+                memo_mode=self.memo_modes[name],
                 toplevel=True,
             )
             lines.append("")
+            if self._deferred:
+                lines += self._deferred
+                self._deferred = []
+        lines.append(f"_SLOTS = {''.join(self.memo_slots)!r}")
+        lines.append("")
+        lines.append("def _new_state():")
+        lines.append("    return [{} for _k in _SLOTS]")
+        lines.append("")
         entries = ", ".join(
             f"{name!r}: {fn}" for name, fn in self.rule_fns.items()
         )
@@ -350,8 +627,8 @@ class _GrammarCompiler:
         rule: Rule,
         fn_name: str,
         parent_scope: Optional[Scope],
-        bindings: Dict[str, str],
-        memoized: bool,
+        bindings: Dict[str, Tuple[str, Scope]],
+        memo_mode: str,
         toplevel: bool,
     ) -> List[str]:
         """Emit the alternative functions plus the biased-choice dispatcher."""
@@ -359,20 +636,34 @@ class _GrammarCompiler:
         alt_fns = [
             self.namer.fresh(f"_alt_{token}_") for _ in rule.alternatives
         ]
+        # Module-level where rules thread the declaring scope's cell list
+        # through an explicit trailing argument.
+        with_cells = not toplevel and self.opts.module_level_where
+        args = "st, data, lo, hi, _cells" if with_cells else "st, data, lo, hi"
         lines: List[str] = []
         for alternative, alt_fn in zip(rule.alternatives, alt_fns):
             lines += self._compile_alternative(
-                rule.name, alternative, alt_fn, parent_scope, bindings
+                rule.name, alternative, alt_fn, parent_scope, bindings, with_cells
             )
             lines.append("")
         body: List[str] = []
-        if memoized:
+        if memo_mode in ("dict", "dense"):
             if not toplevel:  # pragma: no cover - local rules are never memoized
                 raise CompilationError("local rules cannot be memoized")
-            slot = self.memo_count
-            self.memo_count += 1
+            slot = len(self.memo_slots)
+            self.memo_slots.append("d" if memo_mode == "dict" else "l")
             body.append(f"_m = st[{slot}]")
-            body.append("_key = (lo, hi)")
+            if memo_mode == "dict":
+                body.append("_key = (lo, hi)")
+            else:
+                # Dense: every invocation shares this parse's hi, so the
+                # (lo, hi) memo key collapses to the bare lo offset — no
+                # tuple allocation, no composite hashing.  (A flat
+                # lo-indexed array was measured too: its O(input length)
+                # per-parse allocation loses whenever call sites are
+                # sparser than one per byte, which every bundled format's
+                # are, so the lo-keyed table stays a dict.)
+                body.append("_key = lo")
             body.append("_v = _m.get(_key, _MISS)")
             body.append("if _v is not _MISS:")
             body.append("    return _v")
@@ -383,14 +674,14 @@ class _GrammarCompiler:
             body.append("_m[_key] = _v")
             body.append("return _v")
         elif len(alt_fns) == 1:
-            body.append(f"return {alt_fns[0]}(st, data, lo, hi)")
+            body.append(f"return {alt_fns[0]}({args})")
         else:
-            body.append(f"_v = {alt_fns[0]}(st, data, lo, hi)")
+            body.append(f"_v = {alt_fns[0]}({args})")
             for alt_fn in alt_fns[1:]:
                 body.append("if _v is FAIL:")
-                body.append(f"    _v = {alt_fn}(st, data, lo, hi)")
+                body.append(f"    _v = {alt_fn}({args})")
             body.append("return _v")
-        lines.append(f"def {fn_name}(st, data, lo, hi):")
+        lines.append(f"def {fn_name}({args}):")
         lines += _indent(body)
         return lines
 
@@ -401,7 +692,26 @@ class _GrammarCompiler:
         alternative: Alternative,
         fn_name: str,
         parent_scope: Optional[Scope],
-        bindings: Dict[str, str],
+        bindings: Dict[str, Tuple[str, Scope]],
+        with_cells: bool,
+    ) -> List[str]:
+        saved_frame = (self._lo, self._hi)
+        self._lo, self._hi = "lo", "hi"
+        try:
+            inner = self._alternative_inner(
+                rule_name, alternative, parent_scope, bindings
+            )
+        finally:
+            self._lo, self._hi = saved_frame
+        args = "st, data, lo, hi, _cells" if with_cells else "st, data, lo, hi"
+        return [f"def {fn_name}({args}):"] + _indent(inner)
+
+    def _alternative_inner(
+        self,
+        rule_name: str,
+        alternative: Alternative,
+        parent_scope: Optional[Scope],
+        bindings: Dict[str, Tuple[str, Scope]],
     ) -> List[str]:
         fid = self.namer.fresh("")
         scope = Scope(fid, parent_scope)
@@ -413,9 +723,10 @@ class _GrammarCompiler:
         pending_locals: List[Tuple[Rule, str]] = []
         for local in alternative.local_rules:
             local_fn = self.namer.fresh(f"_w_{self._token(local.name)}_")
-            local_bindings[local.name] = local_fn
+            local_bindings[local.name] = (local_fn, scope)
             pending_locals.append((local, local_fn))
         scope.has_locals = bool(pending_locals)
+        scope.uses_cells = scope.has_locals and self.opts.module_level_where
         if pending_locals:
             # Local rule bodies resolve enclosing arrays statically, which is
             # only equivalent to the interpreter's dynamic chain walk when
@@ -439,9 +750,9 @@ class _GrammarCompiler:
 
         # Loop variables go out of scope after their array term, but local
         # rules are *called* from inside the loop, where the binding is live:
-        # their bodies must close over the loop-variable local (ELF's `Sec`
-        # and ZIP's `Entry` both reference the enclosing `i`).  Outside the
-        # loop the local holds _UB (pre-initialised below, re-poisoned by
+        # their bodies must observe the loop-variable local (ELF's `Sec` and
+        # ZIP's `Entry` both reference the enclosing `i`).  Outside the loop
+        # the local holds _UB (pre-initialised below, re-poisoned by
         # _emit_array), and the read falls through to the enclosing scope's
         # binding — or fails — exactly like the interpreter's env chain after
         # the binding is popped.
@@ -450,18 +761,17 @@ class _GrammarCompiler:
             if isinstance(term, TermArray) and term.var not in scope.names:
                 local = f"_v{scope.fid}_{self._token(term.var)}"
                 loop_var_locals.append(local)
-                if parent_scope is not None:
-                    fallthrough = resolve_name(parent_scope, term.var)
-                else:
-                    fallthrough = f"_undef({term.var!r})"
-                scope.names[term.var] = (
-                    f"({local} if {local} is not _UB else {fallthrough})"
-                )
+                scope.names[term.var] = LoopVar(local, term.var)
 
         local_defs: List[str] = []
         for local, local_fn in pending_locals:
             local_defs += self._compile_rule(
-                local, local_fn, scope, local_bindings, memoized=False, toplevel=False
+                local,
+                local_fn,
+                scope,
+                local_bindings,
+                memo_mode="skipped",
+                toplevel=False,
             )
 
         env_items = [
@@ -471,6 +781,20 @@ class _GrammarCompiler:
         ]
         env_items += [f"{name!r}: {scope.names[name]}" for name in attr_order]
 
+        preamble: List[str] = []
+        if pending_locals:
+            # Where-rule bodies may read this scope's record locals before
+            # the recording term ran; pre-initialise them so cross-scope
+            # resolution can fall through on None instead of crashing.
+            record_vars = [var for var, _certain in scope.node_envs.values()]
+            record_vars += list(scope.arrays.values())
+            for var in record_vars:
+                preamble.append(f"{var} = None")
+                self._mirror(scope, var, preamble)
+            for var in loop_var_locals:
+                preamble.append(f"{var} = _UB")
+                self._mirror(scope, var, preamble)
+
         inner: List[str] = [
             f"_hl{fid} = hi - lo",
             f"{scope.eoi} = _hl{fid}",
@@ -478,15 +802,15 @@ class _GrammarCompiler:
             f"{scope.end} = 0",
             f"{children} = []",
         ]
-        if pending_locals:
-            # Where-rule bodies may read this scope's record locals before
-            # the recording term ran; pre-initialise them so cross-scope
-            # resolution can fall through on None instead of crashing.
-            record_vars = [var for var, _certain in scope.node_envs.values()]
-            record_vars += list(scope.arrays.values())
-            inner += [f"{var} = None" for var in record_vars]
-            inner += [f"{var} = _UB" for var in loop_var_locals]
-        inner += local_defs
+        if scope.uses_cells:
+            parent_cells = "_cells" if parent_scope is not None else "None"
+            slots = ", ".join(["_UB"] * len(scope.cell_slots))
+            init = f"[{parent_cells}, {slots}]" if slots else f"[{parent_cells}]"
+            inner.append(f"{scope.cell_local} = {init}")
+            self._deferred += local_defs
+        inner += preamble
+        if not scope.uses_cells:
+            inner += local_defs
         inner.append("try:")
         inner += _indent(body if body else ["pass"])
         # KeyError covers missing node attributes, NameError covers
@@ -497,14 +821,14 @@ class _GrammarCompiler:
         inner.append(
             f"return _mk_node({rule_name!r}, {{{', '.join(env_items)}}}, {children})"
         )
-        return [f"def {fn_name}(st, data, lo, hi):"] + _indent(inner)
+        return inner
 
     # -- terms -------------------------------------------------------------
     def _emit_term(
         self,
         term: Term,
         scope: Scope,
-        bindings: Dict[str, str],
+        bindings: Dict[str, Tuple[str, Scope]],
         body: List[str],
         attr_order: List[str],
         children: str,
@@ -516,6 +840,7 @@ class _GrammarCompiler:
             else:
                 local = f"_v{scope.fid}_{self._token(term.name)}"
                 body.append(f"{local} = {source}")
+                self._mirror(scope, local, body)
                 scope.names[term.name] = local
                 if term.name not in attr_order:
                     attr_order.append(term.name)
@@ -530,10 +855,11 @@ class _GrammarCompiler:
         if isinstance(term, TermNonterminal):
             left, right = self._emit_interval(term.interval, scope, body)
             node, env = self._emit_nt_parse(
-                term.name, left, right, scope, bindings, body
+                term.name, left, right, scope, bindings, body, allow_inline=True
             )
             record = f"_nv{scope.fid}_{self._token(term.name)}"
             body.append(f"{record} = {env}")
+            self._mirror(scope, record, body)
             scope.node_envs[term.name] = (record, True)
             body.append(f"{children}.append({node})")
             return
@@ -606,6 +932,18 @@ class _GrammarCompiler:
         except ValueError:
             return f"{operand} + {amount}"
 
+    @staticmethod
+    def _add(left: str, right: str) -> str:
+        """Render ``left + right``, folding literal operands."""
+        try:
+            return repr(int(left) + int(right))
+        except ValueError:
+            if left == "0":
+                return right
+            if right == "0":
+                return left
+            return f"{left} + {right}"
+
     def _emit_terminal(
         self, term: TermTerminal, scope: Scope, body: List[str], children: str
     ) -> None:
@@ -623,7 +961,7 @@ class _GrammarCompiler:
             body.append("return FAIL")
         if literal:
             position = self.namer.fresh("_p")
-            body.append(f"{position} = lo + {left}")
+            body.append(f"{position} = {self._abs(left)}")
             body.append(
                 f"if data[{position}:{position} + {width}] != {literal!r}:"
             )
@@ -642,8 +980,9 @@ class _GrammarCompiler:
         left: str,
         right: str,
         scope: Scope,
-        bindings: Dict[str, str],
+        bindings: Dict[str, Tuple[str, Scope]],
         body: List[str],
+        allow_inline: bool = False,
     ) -> Tuple[str, str]:
         """Emit the parse of nonterminal ``name`` over ``[left, right)``.
 
@@ -651,8 +990,8 @@ class _GrammarCompiler:
         Dispatch follows the interpreter's resolution order: local rules,
         top-level rules, builtins, blackboxes.
         """
-        lo_arg = f"lo + {left}" if left != "0" else "lo"
-        hi_arg = f"lo + {right}"
+        lo_arg = self._abs(left)
+        hi_arg = f"{self._lo} + {right}"
         fixed = _FIXED_INTS.get(name) if name not in bindings else None
         if (
             fixed is not None
@@ -660,8 +999,19 @@ class _GrammarCompiler:
             and name in BUILTINS
         ):
             return self._emit_fixed_int(name, fixed, left, right, scope, body)
+        if (
+            allow_inline
+            and name in self._inline
+            and name not in bindings
+            and name not in self._inlining
+        ):
+            return self._emit_inline_rule(name, left, right, scope, body)
         if name in bindings:
-            call = f"{bindings[name]}(st, data, {lo_arg}, {hi_arg})"
+            fn, declaring = bindings[name]
+            if self.opts.module_level_where:
+                call = f"{fn}(st, data, {lo_arg}, {hi_arg}, {cells_path(scope, declaring)})"
+            else:
+                call = f"{fn}(st, data, {lo_arg}, {hi_arg})"
         elif self.grammar.has_rule(name):
             call = f"{self.rule_fns[name]}(st, data, {lo_arg}, {hi_arg})"
         elif is_builtin(name):
@@ -695,6 +1045,70 @@ class _GrammarCompiler:
         body.append(f"        {scope.end} = {end}")
         return node, env
 
+    def _emit_inline_rule(
+        self,
+        name: str,
+        left: str,
+        right: str,
+        scope: Scope,
+        body: List[str],
+    ) -> Tuple[str, str]:
+        """Expand a single-use single-alternative rule into its call site.
+
+        The expansion runs with its own window locals and a fresh scope
+        (``parent=None`` — a top-level rule sees no caller context).  A
+        ``return FAIL`` inside the expansion fails the caller's alternative,
+        which is observably identical to the callee failing and the caller
+        propagating it; exceptions reach the caller's ``except`` the same
+        way the callee's own handler would have mapped them to FAIL.
+        """
+        rule = self.grammar.rule(name)
+        alternative = rule.alternatives[0]
+        ilo = self.namer.fresh("_o")
+        ihi = self.namer.fresh("_h")
+        body.append(f"{ilo} = {self._abs(left)}")
+        body.append(f"{ihi} = {self._lo} + {right}")
+        saved_frame = (self._lo, self._hi)
+        self._lo, self._hi = ilo, ihi
+        self._inlining.add(name)
+        try:
+            iscope = Scope(self.namer.fresh(""), None)
+            fid = iscope.fid
+            children = f"_ch{fid}"
+            body.append(f"_hl{fid} = {ihi} - {ilo}")
+            body.append(f"{iscope.eoi} = _hl{fid}")
+            body.append(f"{iscope.start} = _hl{fid}")
+            body.append(f"{iscope.end} = 0")
+            body.append(f"{children} = []")
+            attr_order: List[str] = []
+            for term in alternative.terms:
+                self._emit_term(term, iscope, {}, body, attr_order, children)
+        finally:
+            self._inlining.discard(name)
+            self._lo, self._hi = saved_frame
+        # Rebase into the caller's coordinates while building the node
+        # (T-NTSucc), saving the non-inlined path's env copy.
+        start = self.namer.fresh("_x")
+        end = self.namer.fresh("_y")
+        body.append(f"{start} = {self._add(left, iscope.start)}")
+        body.append(f"{end} = {self._add(left, iscope.end)}")
+        env_items = [
+            f"'EOI': {iscope.eoi}",
+            f"'start': {start}",
+            f"'end': {end}",
+        ]
+        env_items += [f"{n!r}: {iscope.names[n]}" for n in attr_order]
+        env = self.namer.fresh("_e")
+        body.append(f"{env} = {{{', '.join(env_items)}}}")
+        node = self.namer.fresh("_d")
+        body.append(f"{node} = _mk_node({name!r}, {env}, {children})")
+        body.append(f"if {iscope.end}:")
+        body.append(f"    if {start} < {scope.start}:")
+        body.append(f"        {scope.start} = {start}")
+        body.append(f"    if {end} > {scope.end}:")
+        body.append(f"        {scope.end} = {end}")
+        return node, env
+
     def _emit_fixed_int(
         self,
         name: str,
@@ -717,7 +1131,7 @@ class _GrammarCompiler:
             body.append("return FAIL")
         position = self.namer.fresh("_p")
         window = self.namer.fresh("_w")
-        body.append(f"{position} = lo + {left}" if left != "0" else f"{position} = lo")
+        body.append(f"{position} = {self._abs(left)}")
         body.append(f"{window} = data[{position}:{position} + {width}]")
         if width == 1 and not signed:
             value = f"{window}[0]"
@@ -746,7 +1160,7 @@ class _GrammarCompiler:
         self,
         term: TermArray,
         scope: Scope,
-        bindings: Dict[str, str],
+        bindings: Dict[str, Tuple[str, Scope]],
         body: List[str],
         children: str,
     ) -> None:
@@ -760,6 +1174,7 @@ class _GrammarCompiler:
         body.append(f"{stop} = {compile_expr(term.stop, scope, self.namer)}")
         elements = self.namer.fresh(f"_ar{scope.fid}_{self._token(element)}")
         body.append(f"{elements} = []")
+        self._mirror(scope, elements, body)
         scope.arrays[element] = elements
 
         loop_var = f"_v{scope.fid}_{self._token(term.var)}"
@@ -773,6 +1188,10 @@ class _GrammarCompiler:
         scope.names[term.var] = loop_var
 
         loop: List[str] = []
+        if scope.uses_cells:
+            # Where-rules called from inside the loop read the live index
+            # through the cell.
+            self._mirror(scope, loop_var, loop)
         left, right = self._emit_interval(term.element.interval, scope, loop)
         node, _env = self._emit_nt_parse(element, left, right, scope, bindings, loop)
         loop.append(f"{elements}.append({node})")
@@ -781,14 +1200,16 @@ class _GrammarCompiler:
 
         if prior is not None:
             body.append(f"{loop_var} = {saved}")
+            self._mirror(scope, loop_var, body)
             scope.names[term.var] = prior
         else:
             if scope.has_locals:
                 # Re-poison the local so where-rules invoked after the loop
                 # observe a popped binding and fall through to the enclosing
                 # scope (see the loop-variable handling in
-                # _compile_alternative).
+                # _alternative_inner).
                 body.append(f"{loop_var} = _UB")
+                self._mirror(scope, loop_var, body)
             del scope.names[term.var]
         body.append(f"{children}.append(_mk_array({element!r}, {elements}))")
 
@@ -796,7 +1217,7 @@ class _GrammarCompiler:
         self,
         term: TermSwitch,
         scope: Scope,
-        bindings: Dict[str, str],
+        bindings: Dict[str, Tuple[str, Scope]],
         body: List[str],
         children: str,
     ) -> None:
@@ -809,6 +1230,7 @@ class _GrammarCompiler:
             if entry is None:
                 record = f"_nv{scope.fid}_{self._token(name)}"
                 body.append(f"{record} = None")
+                self._mirror(scope, record, body)
                 scope.node_envs[name] = (record, False)
         first = True
         has_default = False
@@ -820,6 +1242,7 @@ class _GrammarCompiler:
             )
             record, _certain = scope.node_envs[case.target.name]
             branch.append(f"{record} = {env}")
+            self._mirror(scope, record, branch)
             branch.append(f"{children}.append({node})")
             if case.condition is None:
                 has_default = True
@@ -847,17 +1270,21 @@ class CompiledGrammar:
     Produced by :func:`compile_grammar`; used by
     :class:`~repro.core.interpreter.Parser` when ``backend="compiled"``.
     The generated module source is kept on :attr:`source` for inspection
-    and debugging.
+    and debugging; :meth:`to_source` renders a fully standalone module.
     """
 
     __slots__ = (
         "grammar",
         "source",
         "memoize",
+        "optimizations",
+        "memo_modes",
         "blackboxes",
         "_entry",
-        "_memo_count",
+        "_new_state",
         "_bb",
+        "_leaf_consts",
+        "_builtin_runner_names",
     )
 
     def __init__(
@@ -867,25 +1294,42 @@ class CompiledGrammar:
         namespace: Dict[str, object],
         memoize: bool,
         blackboxes: Dict[str, object],
-        memo_count: int,
+        compiler: _GrammarCompiler,
     ):
         self.grammar = grammar
         self.source = source
         self.memoize = memoize
+        self.optimizations = compiler.opts
+        #: Rule name -> "dict" | "dense" | "skipped" | "unmemoized":
+        #: how each rule's packrat memo was specialized.
+        self.memo_modes = dict(compiler.memo_modes)
         self.blackboxes = blackboxes
         self._entry = namespace["_ENTRY"]
-        self._memo_count = memo_count
+        self._new_state = namespace["_new_state"]
         self._bb = namespace["_bb"]
+        #: Constant metadata for ahead-of-time emission (codegen):
+        #: generated global name -> Leaf bytes / builtin name.
+        self._leaf_consts = {
+            var: value for value, var in compiler._leaf_cache.items()
+        }
+        self._builtin_runner_names = {
+            var: name for name, var in compiler._runner_cache.items()
+        }
+
+    def new_state(self) -> list:
+        """Allocate a fresh per-parse memo state list.
+
+        One table per memoized rule; parses are isolated from each other
+        exactly like the interpreter's per-run ``_Run`` — including
+        reentrant parses started from inside a blackbox and concurrent
+        parses on the same parser.  The streaming driver keeps one state
+        alive across re-entries instead.
+        """
+        return self._new_state()
 
     def parse_nonterminal(self, data: bytes, name: str, lo: int, hi: int):
-        """``s[lo, hi] ⊢ name ⇓ R`` through the compiled closures.
-
-        Each call allocates its own memo-table state, so parses are isolated
-        from each other exactly like the interpreter's per-run ``_Run`` —
-        including reentrant parses started from inside a blackbox and
-        concurrent parses on the same parser.
-        """
-        state = [{} for _ in range(self._memo_count)]
+        """``s[lo, hi] ⊢ name ⇓ R`` through the compiled closures."""
+        state = self._new_state()
         fn = self._entry.get(name)
         if fn is not None:
             return fn(state, data, lo, hi)
@@ -895,21 +1339,53 @@ class CompiledGrammar:
             return self._bb(name, data, lo, hi)
         raise IPGError(f"no rule, builtin or blackbox for nonterminal {name!r}")
 
+    def to_source(self, module_doc: Optional[str] = None) -> str:
+        """Render this grammar as a standalone importable parser module.
+
+        The emitted module vendors a small runtime prelude and needs no
+        ``repro`` import at parse time (when ``repro`` *is* importable it
+        reuses its parse-tree classes, so emitted trees compare ``==`` to
+        the other engines').  See :mod:`repro.core.codegen`.
+        """
+        from .codegen import render_standalone_module  # deferred: avoids a cycle
+
+        return render_standalone_module(self, module_doc=module_doc)
+
+    def load_module(self, name: str = "ipg_aot_parser"):
+        """Emit :meth:`to_source` and execute it as a fresh in-memory module.
+
+        The ahead-of-time path without the filesystem: the returned module
+        object exposes the standalone API (``parse``/``try_parse``/
+        ``register_blackbox``/``START``).  Blackboxes registered with this
+        :class:`CompiledGrammar` are pre-registered on the module.  Used by
+        the cross-engine test matrix and the speedup benchmark; writing
+        :meth:`to_source` to a file and importing it behaves identically.
+        """
+        import types
+
+        module = types.ModuleType(name)
+        exec(compile(self.to_source(), f"<{name}>", "exec"), module.__dict__)
+        for blackbox_name, implementation in self.blackboxes.items():
+            module.register_blackbox(blackbox_name, implementation)
+        return module
+
 
 def compile_grammar(
     grammar: Union[Grammar, str],
     memoize: bool = True,
     blackboxes: Optional[Dict[str, object]] = None,
+    optimizations: Optional[Optimizations] = None,
 ) -> CompiledGrammar:
     """Stage ``grammar`` into specialized Python closures.
 
     Raises :class:`~repro.core.errors.CompilationError` when the grammar
     contains a construct the compiler cannot specialize; ``Parser`` treats
     that as a cue to fall back to the reference interpreter.
+    ``optimizations`` selects the pass set (all passes by default).
     """
     prepared = prepare_grammar(grammar)
     registry = blackboxes if blackboxes is not None else {}
-    compiler = _GrammarCompiler(prepared, memoize=memoize)
+    compiler = _GrammarCompiler(prepared, memoize=memoize, optimizations=optimizations)
     source = compiler.compile()
     namespace: Dict[str, object] = {
         "FAIL": FAIL,
@@ -942,6 +1418,4 @@ def compile_grammar(
         raise CompilationError(
             f"staging the grammar failed ({type(exc).__name__}: {exc})"
         ) from exc
-    return CompiledGrammar(
-        prepared, source, namespace, memoize, registry, compiler.memo_count
-    )
+    return CompiledGrammar(prepared, source, namespace, memoize, registry, compiler)

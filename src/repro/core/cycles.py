@@ -159,6 +159,27 @@ def elementary_cycles(graph: Graph) -> List[List[Vertex]]:
     return cycles
 
 
+def recursive_vertices(graph: Graph) -> Set[Vertex]:
+    """Vertices that lie on at least one cycle (self-loops included).
+
+    A vertex is *recursive* when some path through the graph returns to it.
+    The compiled backend (:mod:`repro.core.compiler`) uses this on the
+    nonterminal dependency graph to elide packrat memo tables for rules
+    that can never re-enter themselves: a non-recursive rule's memo can
+    only be re-hit through backtracking, never through recursion, so
+    skipping it trades the (bounded) risk of re-parsing for the per-call
+    memo overhead.
+    """
+    adjacency = _normalize(graph)
+    recursive: Set[Vertex] = {
+        vertex for vertex, successors in adjacency.items() if vertex in successors
+    }
+    for component in strongly_connected_components(adjacency):
+        if len(component) > 1:
+            recursive |= component
+    return recursive
+
+
 def has_cycle(graph: Graph) -> bool:
     """Whether ``graph`` contains any cycle (including self-loops)."""
     adjacency = _normalize(graph)

@@ -20,15 +20,29 @@ into a Python expression string in which
   locals threaded by the compiled ``updStartEnd`` code.
 
 Scoping is resolved statically through :class:`Scope`, which mirrors the
-``EvalContext.outer`` chain of the interpreter: compiled ``where`` local
-rules are nested Python closures, so a reference that the interpreter would
-resolve in an enclosing context compiles to a closed-over local of the
-enclosing compiled alternative.
+``EvalContext.outer`` chain of the interpreter.  Compiled ``where`` local
+rules come in two shapes:
+
+* *nested closures* (the PR-1 scheme): each local rule is a nested ``def``
+  inside its declaring alternative, so a reference the interpreter would
+  resolve in an enclosing context compiles to a closed-over local;
+* *module-level functions with explicit closure cells* (the default): each
+  declaring alternative allocates one cell list per invocation, mirrors its
+  locals into it as they are (re)bound, and passes it to the module-level
+  local-rule functions as an explicit ``_cells`` argument.  Slot ``0`` of
+  every cell list links to the enclosing scope's list, so a reference
+  across ``k`` scope levels compiles to ``_cells[0]…[0][slot]`` — a static
+  chain walk with no per-invocation function construction.
+
+Resolution is therefore *reader-aware*: the scope an expression occurs in
+(``reader``) determines whether an entry of an enclosing scope is rendered
+as a plain local (same function, or nested-closure mode) or as a cell
+access (module-level mode).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from .errors import CompilationError, EvaluationError
 from .expr import BinOp, Cond, Dot, Exists, Expr, Index, Name, Num
@@ -48,19 +62,43 @@ class Namer:
         return f"{prefix}{self._counter}"
 
 
+class LoopVar:
+    """A loop-variable binding whose liveness is checked at read time.
+
+    Loop variables go out of scope after their array term (the interpreter
+    pops the binding), but ``where`` local rules may be invoked both while
+    the binding is live and after it died.  The compiled local is poisoned
+    with ``_UB`` outside the loop; a read renders as a conditional that
+    falls through to the binding an *enclosing* scope would provide — or
+    fails — exactly like the interpreter's env chain after the pop.
+    """
+
+    __slots__ = ("local", "var")
+
+    def __init__(self, local: str, var: str):
+        self.local = local
+        self.var = var
+
+
+#: A scope's name binding: a plain Python local, or a loop variable.
+NameEntry = Union[str, LoopVar]
+
+
 class Scope:
     """Static model of one :class:`~repro.core.env.EvalContext`.
 
     One scope is created per compiled alternative; local (``where``) rule
     alternatives chain to the enclosing alternative's scope through
-    ``parent``, exactly like ``EvalContext.outer``.
+    ``parent``, exactly like ``EvalContext.outer``.  Every scope is also
+    one compiled *function*, so crossing a ``parent`` link always crosses a
+    function boundary.
 
     Attributes
     ----------
     fid:
         Unique suffix for this scope's Python locals (``_eoi{fid}`` etc.).
     names:
-        Attribute / loop-variable name -> Python local holding its value.
+        Attribute / loop-variable name -> :data:`NameEntry`.
     node_envs:
         Nonterminal name -> ``(local, certain)``; ``local`` holds the
         recorded node environment dict.  ``certain`` is False when the
@@ -69,12 +107,17 @@ class Scope:
         through to the parent scope at runtime.
     arrays:
         Array element name -> Python local holding the element list.
+    uses_cells:
+        True when this scope's locals are mirrored into an explicit cell
+        list (module-level ``where`` compilation of a locals-declaring
+        alternative).  Descendant scopes then read them via
+        :func:`access` instead of relying on Python closures.
     """
 
     def __init__(self, fid: str, parent: Optional["Scope"] = None):
         self.fid = fid
         self.parent = parent
-        self.names: Dict[str, str] = {}
+        self.names: Dict[str, NameEntry] = {}
         self.node_envs: Dict[str, Tuple[str, bool]] = {}
         self.arrays: Dict[str, str] = {}
         #: True when the alternative declares where-rules.  Descendant scopes
@@ -82,6 +125,10 @@ class Scope:
         #: term ran, so the locals are pre-initialised to ``None`` and
         #: cross-scope reads compile to conditional fall-through.
         self.has_locals = False
+        self.uses_cells = False
+        #: local variable name -> cell slot (slot 0 links to the parent's
+        #: cell list; value slots start at 1).
+        self.cell_slots: Dict[str, int] = {}
 
     # -- the slot-based specials -------------------------------------------
     def special(self, which: str) -> str:
@@ -98,6 +145,56 @@ class Scope:
     @property
     def end(self) -> str:
         return self.special("end")
+
+    # -- explicit closure cells --------------------------------------------
+    @property
+    def cell_local(self) -> str:
+        """The Python local holding this scope's cell list."""
+        return f"_cl{self.fid}"
+
+    def cell(self, local: str) -> int:
+        """Slot index of ``local`` in the cell list (allocated on demand)."""
+        slot = self.cell_slots.get(local)
+        if slot is None:
+            slot = len(self.cell_slots) + 1  # slot 0 links to the parent
+            self.cell_slots[local] = slot
+        return slot
+
+
+# ---------------------------------------------------------------------------
+# Cross-scope access
+# ---------------------------------------------------------------------------
+
+
+def cells_path(reader: Scope, owner: Scope) -> str:
+    """Expression for ``owner``'s cell list, valid inside ``reader``'s function.
+
+    Inside its own function the cell list is a local; from a descendant
+    local-rule function it is reached through the explicit ``_cells``
+    argument (the declaring scope's list) and slot-0 parent links.
+    """
+    if owner is reader:
+        return reader.cell_local
+    hops = 0
+    current = reader.parent
+    while current is not None and current is not owner:
+        hops += 1
+        current = current.parent
+    if current is None:  # pragma: no cover - compiler invariant
+        raise CompilationError("cell access to a scope outside the static chain")
+    return "_cells" + "[0]" * hops
+
+
+def access(reader: Scope, owner: Scope, local: str) -> str:
+    """Render a read of ``owner``'s compiled local from ``reader``'s function.
+
+    Same function (or nested-closure mode, where Python's own closures do
+    the work): the plain local.  Module-level mode across functions: a cell
+    access.
+    """
+    if owner is reader or not owner.uses_cells:
+        return local
+    return f"{cells_path(reader, owner)}[{owner.cell(local)}]"
 
 
 # ---------------------------------------------------------------------------
@@ -158,23 +255,48 @@ def fold(expr: Expr) -> Expr:
 # ---------------------------------------------------------------------------
 
 
-def resolve_name(scope: Scope, ident: str) -> str:
+def resolve_name(scope: Scope, ident: str, reader: Optional[Scope] = None) -> str:
     """Compile a plain identifier reference to a Python expression.
 
     Mirrors ``EvalContext.lookup_name``: every environment contains the
     special attributes, so the innermost scope always resolves them.
+    ``reader`` is the scope (function) the reference occurs in; it defaults
+    to ``scope`` and stays fixed while the walk ascends the chain.
     """
+    if reader is None:
+        reader = scope
     current: Optional[Scope] = scope
     while current is not None:
-        local = current.names.get(ident)
-        if local is not None:
-            return local
+        entry = current.names.get(ident)
+        if entry is not None:
+            return _render_name_entry(entry, current, reader)
         if ident in SPECIALS:
             return current.special(ident)
         current = current.parent
     # The interpreter raises EvaluationError at evaluation time (the
     # alternative fails); emit a call that does exactly that.
     return f"_undef({ident!r})"
+
+
+def _render_name_entry(entry: NameEntry, owner: Scope, reader: Scope) -> str:
+    if isinstance(entry, str):
+        ref = access(reader, owner, entry)
+        if ref is entry:
+            # Same function (or closure): a read before the defining term
+            # ran raises NameError, which the compiled alternative maps to
+            # failure like the interpreter's EvaluationError.
+            return ref
+        # Cell reads cannot rely on NameError: the slot exists from the
+        # start, poisoned with _UB until the defining term stores a value.
+        return f"({ref} if {ref} is not _UB else _undef({entry!r}))"
+    # Loop variable: live only while its loop runs; outside it the local
+    # holds _UB and the read falls through to the enclosing chain.
+    ref = access(reader, owner, entry.local)
+    if owner.parent is not None:
+        fallthrough = resolve_name(owner.parent, entry.var, reader)
+    else:
+        fallthrough = f"_undef({entry.var!r})"
+    return f"({ref} if {ref} is not _UB else {fallthrough})"
 
 
 def resolve_dot(scope: Scope, nonterminal: str, attr: str) -> str:
@@ -188,29 +310,30 @@ def resolve_dot(scope: Scope, nonterminal: str, attr: str) -> str:
     ``None`` — preserving the interpreter's dynamic chain walk.  Switch-case
     targets are conditional even in their own scope.
     """
-    conditionals = []
+    conditionals: List[str] = []
     current: Optional[Scope] = scope
     terminal = None
     while current is not None:
         entry = current.node_envs.get(nonterminal)
         if entry is not None:
             local, certain = entry
+            ref = access(scope, current, local)
             if certain and current is scope:
-                terminal = f"{local}[{attr!r}]"
+                terminal = f"{ref}[{attr!r}]"
                 break
-            conditionals.append(local)
+            conditionals.append(ref)
         current = current.parent
     if terminal is None:
         terminal = f"_nonode({nonterminal!r})"
-    for local in reversed(conditionals):
-        terminal = f"({local}[{attr!r}] if {local} is not None else {terminal})"
+    for ref in reversed(conditionals):
+        terminal = f"({ref}[{attr!r}] if {ref} is not None else {terminal})"
     return terminal
 
 
 def resolve_array_chain(scope: Scope, nonterminal: str) -> list:
-    """Element-list locals for array ``nonterminal``, innermost first.
+    """Element-list references for array ``nonterminal``, innermost first.
 
-    Each element is ``(local, certain)``; like :func:`resolve_dot`, only a
+    Each element is ``(ref, certain)``; like :func:`resolve_dot`, only a
     binding in the scope the reference occurs in is certain — ancestor
     bindings need a runtime ``is not None`` fall-through.  An empty list
     means the array is statically unknown.
@@ -220,10 +343,11 @@ def resolve_array_chain(scope: Scope, nonterminal: str) -> list:
     while current is not None:
         local = current.arrays.get(nonterminal)
         if local is not None:
+            ref = access(scope, current, local)
             if current is scope:
-                chain.append((local, True))
+                chain.append((ref, True))
                 return chain
-            chain.append((local, False))
+            chain.append((ref, False))
         current = current.parent
     return chain
 

@@ -142,6 +142,7 @@ class Parser:
         self.requested_backend = backend
         self.backend = backend
         self._compiled = None
+        self._compiled_stream = None
         self._validated_starts: set = set()
         self._streamability = None
         if backend == "compiled":
@@ -155,6 +156,40 @@ class Parser:
                 # Automatic fallback: constructs the compiler does not yet
                 # specialize run on the reference interpreter instead.
                 self.backend = "interpreted"
+
+    def _streaming_compiled(self):
+        """The compiled grammar the streaming driver re-enters (cached).
+
+        Streaming soundness leans on *complete* memoization: after a
+        suspension the engine re-enters from the start symbol and every
+        already-decided sub-parse must be replayed as a memo hit, never by
+        re-reading bytes the compaction policy may have discarded.  The
+        default batch-parse compilation elides memo tables for
+        non-recursive rules and inlines single-use rules, so streaming uses
+        a dedicated variant with those two passes off (dense tables and
+        module-level where-rules keep working: ``lo`` stays a plain offset
+        and memo persistence is per-slot either way).
+        """
+        if self._compiled is None:
+            return None
+        if self._compiled_stream is None:
+            from .compiler import Optimizations, compile_grammar
+
+            try:
+                self._compiled_stream = compile_grammar(
+                    self.grammar,
+                    memoize=self.memoize,
+                    blackboxes=self.blackboxes,
+                    optimizations=Optimizations(
+                        module_level_where=True,
+                        dense_memo=True,
+                        skip_nonrecursive_memo=False,
+                        inline_single_use=False,
+                    ),
+                )
+            except CompilationError:  # pragma: no cover - same checks as batch
+                return None
+        return self._compiled_stream
 
     def register_blackbox(self, name: str, parser: BlackboxCallable) -> None:
         """Register (or replace) the implementation of a blackbox parser.

@@ -207,6 +207,42 @@ def _pretty_tree(tree: ParseTree, indent: int, max_leaf: int) -> str:
     return f"{pad}Leaf({shown!r}{suffix})"
 
 
+def tree_to_jsonable(tree: ParseTree) -> Dict[str, Any]:
+    """Serialize a parse tree to a JSON-compatible structure.
+
+    Used by the golden-tree regression corpus (``tests/golden/``): pinned
+    expected trees diff engine refactors against checked-in artifacts
+    instead of only against each other.  Leaf bytes are hex-encoded; node
+    environments are integer-valued by construction.
+    """
+    if isinstance(tree, Leaf):
+        return {"leaf": tree.value.hex()}
+    if isinstance(tree, ArrayNode):
+        return {
+            "array": tree.name,
+            "elements": [tree_to_jsonable(element) for element in tree.elements],
+        }
+    assert isinstance(tree, Node)
+    return {
+        "node": tree.name,
+        "env": dict(tree.env),
+        "children": [tree_to_jsonable(child) for child in tree.children],
+    }
+
+
+def tree_from_jsonable(obj: Dict[str, Any]) -> ParseTree:
+    """Inverse of :func:`tree_to_jsonable` (round-trips under ``==``)."""
+    if "leaf" in obj:
+        return Leaf(bytes.fromhex(obj["leaf"]))
+    if "array" in obj:
+        return ArrayNode(
+            obj["array"], [tree_from_jsonable(element) for element in obj["elements"]]
+        )
+    return Node(
+        obj["node"], obj["env"], [tree_from_jsonable(child) for child in obj["children"]]
+    )
+
+
 def tree_equal_modulo_specials(left: ParseTree, right: ParseTree) -> bool:
     """Structural equality that ignores the special attributes.
 

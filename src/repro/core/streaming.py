@@ -538,8 +538,13 @@ class StreamingParse:
         self._last_attempt_received = 0
         #: Number of parse re-entries performed (observability/benchmarks).
         self.attempts = 0
-        if parser._compiled is not None:
-            self._state = [{} for _ in range(parser._compiled._memo_count)]
+        # The compiled engine streams through a dedicated fully-memoized
+        # variant (see Parser._streaming_compiled): the batch compilation
+        # elides memo tables for non-recursive rules, which would force
+        # every re-entry to re-read bytes compaction already discarded.
+        self._compiled = parser._streaming_compiled()
+        if self._compiled is not None:
+            self._state = self._compiled.new_state()
             self._run = None
         else:
             self._state = None
@@ -553,7 +558,7 @@ class StreamingParse:
         from .builtins import is_builtin
         from .compiler import _run_builtin
 
-        compiled = self._parser._compiled
+        compiled = self._compiled
         fn = compiled._entry.get(self._start)
         if fn is not None:
             return fn(self._state, buffer, 0, buffer.end)

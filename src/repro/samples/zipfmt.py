@@ -35,7 +35,14 @@ def build_zip(
     compression = zipfile.ZIP_DEFLATED if compressed else zipfile.ZIP_STORED
     with zipfile.ZipFile(buffer, "w", compression) as archive:
         for index in range(member_count):
-            archive.writestr(f"member_{index:04d}.txt", payload)
+            # writestr with a bare name would stamp time.localtime() into
+            # the member headers; a pinned date keeps the archives — and
+            # the golden parse trees built from them — byte-deterministic.
+            info = zipfile.ZipInfo(
+                f"member_{index:04d}.txt", date_time=(2020, 1, 1, 0, 0, 0)
+            )
+            info.compress_type = compression
+            archive.writestr(info, payload)
     return buffer.getvalue()
 
 

@@ -1,0 +1,274 @@
+"""Reusable cross-engine differential harness.
+
+The repository ships several executions of the same IPG semantics:
+
+* ``interpreted`` — the reference tree-walking interpreter,
+* ``compiled`` — the staged closure compiler (the default engine),
+* ``compiled-unoptimized`` — the compiler with every optimization pass off,
+* ``aot`` — the ahead-of-time emitted standalone module
+  (``CompiledGrammar.to_source()``), imported through ``exec``,
+* ``generated`` — the paper's parser generator (:mod:`repro.core.generator`),
+* ``streaming`` — ``Parser.parse_stream`` over chunked input (only for
+  grammars the §8 analysis accepts).
+
+This module builds all of them for one ``(grammar, blackboxes)`` pair and
+asserts that every engine produces **identical trees or identical errors**
+on the same input.  ``test_compiler_equivalence.py``, ``test_cross_engine.py``,
+``test_compiler_passes.py`` and ``test_golden_trees.py`` all drive their
+checks through here instead of maintaining ad-hoc comparison loops.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro import Parser, samples
+from repro.core.compiler import Optimizations, compile_grammar
+from repro.core.errors import IPGError, ParseFailure
+from repro.core.generator import compile_parser
+from repro.core.streamability import analyze_streamability
+
+#: Engines every grammar can run on (streaming joins when streamable).
+CORE_ENGINES = ("interpreted", "compiled", "compiled-unoptimized", "aot")
+ALL_ENGINES = CORE_ENGINES + ("generated", "streaming")
+
+#: Module-level cache: building an engine set runs the whole front-end
+#: pipeline (plus an exec for the AOT module), so sharing across tests and
+#: hypothesis examples keeps the suite fast.
+_MATRIX_CACHE: Dict[tuple, "EngineMatrix"] = {}
+
+_AOT_SEQ = [0]
+
+
+def load_aot_module(
+    grammar_text: str,
+    blackboxes: Optional[dict] = None,
+    memoize: bool = True,
+    optimizations: Optional[Optimizations] = None,
+) -> types.ModuleType:
+    """Emit a grammar ahead of time and import the module through ``exec``."""
+    compiled = compile_grammar(
+        grammar_text,
+        memoize=memoize,
+        blackboxes=dict(blackboxes or {}),
+        optimizations=optimizations,
+    )
+    _AOT_SEQ[0] += 1
+    return compiled.load_module(f"_aot_matrix_{_AOT_SEQ[0]}")
+
+
+class EngineMatrix:
+    """All engines for one grammar, each exposed as ``run(data, start)``.
+
+    ``run`` returns ``("tree", node)``, ``("none",)`` for a clean
+    non-match, or ``("error", exception_type)`` for a raised
+    :class:`~repro.core.errors.IPGError` — the three outcomes the
+    equivalence contract compares.
+    """
+
+    def __init__(
+        self,
+        grammar_text: str,
+        blackboxes: Optional[dict] = None,
+        memoize: bool = True,
+        expect_compiled: bool = True,
+        chunk_sizes: Tuple[int, ...] = (1, 7),
+    ):
+        blackboxes = dict(blackboxes or {})
+        self.grammar_text = grammar_text
+        self.chunk_sizes = chunk_sizes
+        self.interpreted = Parser(
+            grammar_text, blackboxes=blackboxes, memoize=memoize, backend="interpreted"
+        )
+        self.compiled = Parser(
+            grammar_text, blackboxes=blackboxes, memoize=memoize, backend="compiled"
+        )
+        if expect_compiled:
+            assert self.compiled.backend == "compiled", (
+                "compiler fell back to the interpreter; the differential "
+                "matrix would be vacuous"
+            )
+        if self.compiled.backend == "compiled":
+            self.unoptimized = compile_grammar(
+                grammar_text,
+                memoize=memoize,
+                blackboxes=blackboxes,
+                optimizations=Optimizations.none(),
+            )
+            self.aot = load_aot_module(grammar_text, blackboxes, memoize=memoize)
+        else:
+            # The compiler refused this grammar (automatic interpreter
+            # fallback); only the non-compiled engines participate.
+            self.unoptimized = None
+            self.aot = None
+        self.generated = compile_parser(grammar_text, blackboxes=blackboxes)
+        self.streamable = analyze_streamability(grammar_text).streamable
+        self._runners: Dict[str, Callable] = {
+            "interpreted": self._run_parser(self.interpreted),
+            "compiled": self._run_parser(self.compiled),
+            "generated": self._run_parser(self.generated),
+            "streaming": self._run_streaming,
+        }
+        if self.unoptimized is not None:
+            self._runners["compiled-unoptimized"] = self._run_compiled_grammar(
+                self.unoptimized
+            )
+            self._runners["aot"] = self._run_aot
+
+    # -- engine runners ----------------------------------------------------
+    @staticmethod
+    def _run_parser(parser):
+        def run(data, start):
+            try:
+                tree = parser.try_parse(data, start)
+            except IPGError as exc:
+                return ("error", type(exc))
+            return ("tree", tree) if tree is not None else ("none",)
+
+        return run
+
+    @staticmethod
+    def _run_compiled_grammar(compiled):
+        from repro.core.interpreter import FAIL
+
+        def run(data, start):
+            name = start or compiled.grammar.start
+            try:
+                result = compiled.parse_nonterminal(bytes(data), name, 0, len(data))
+            except IPGError as exc:
+                return ("error", type(exc))
+            return ("none",) if result is FAIL else ("tree", result)
+
+        return run
+
+    def _run_aot(self, data, start):
+        try:
+            tree = self.aot.try_parse(data, start)
+        except self.aot.IPGError as exc:
+            # The standalone module raises its own (vendored or re-used)
+            # hierarchy; compare by class name.
+            return ("error", type(exc))
+        return ("tree", tree) if tree is not None else ("none",)
+
+    def _run_streaming(self, data, start):
+        outcomes = []
+        for chunk_size in self.chunk_sizes:
+            chunks = [
+                data[i : i + chunk_size] for i in range(0, len(data), chunk_size)
+            ]
+            try:
+                tree = self.compiled.parse_stream(chunks or [b""], start)
+            except ParseFailure:
+                outcomes.append(("none",))
+            except IPGError as exc:
+                outcomes.append(("error", type(exc)))
+            else:
+                outcomes.append(("tree", tree))
+        # Every chunking must behave identically before the caller compares
+        # the (first) outcome against the reference interpreter.
+        for outcome in outcomes[1:]:
+            assert outcome == outcomes[0], (
+                f"streaming outcome depends on the chunking: "
+                f"{outcomes[0][0]} (chunk={self.chunk_sizes[0]}) vs "
+                f"{outcome[0]} (other chunk size)"
+            )
+        return outcomes[0]
+
+    # -- the contract ------------------------------------------------------
+    def engines(self, include_streaming: bool = True) -> Tuple[str, ...]:
+        names = [name for name in CORE_ENGINES if name in self._runners]
+        names.append("generated")
+        if include_streaming and self.streamable:
+            names.append("streaming")
+        return tuple(names)
+
+    def run(self, engine: str, data: bytes, start: Optional[str] = None):
+        return self._runners[engine](data, start)
+
+    def assert_agree(
+        self,
+        data: bytes,
+        start: Optional[str] = None,
+        engines: Optional[Iterable[str]] = None,
+    ):
+        """Assert every engine matches the reference interpreter on ``data``."""
+        reference = self.run("interpreted", data, start)
+        for engine in engines if engines is not None else self.engines():
+            if engine == "interpreted":
+                continue
+            outcome = self.run(engine, data, start)
+            if reference[0] == "tree":
+                assert outcome[0] == "tree", (
+                    f"{engine}: expected a tree, got {outcome} "
+                    f"(input {data[:32]!r}..., start={start})"
+                )
+                assert outcome[1] == reference[1], (
+                    f"{engine}: tree differs from the interpreter's "
+                    f"(input {data[:32]!r}..., start={start})"
+                )
+            elif reference[0] == "none":
+                assert outcome[0] == "none", (
+                    f"{engine}: expected a clean non-match, got {outcome} "
+                    f"(input {data[:32]!r}..., start={start})"
+                )
+            else:
+                assert outcome[0] == "error", (
+                    f"{engine}: expected an error, got {outcome}"
+                )
+                assert outcome[1].__name__ == reference[1].__name__, (
+                    f"{engine}: raised {outcome[1].__name__}, interpreter "
+                    f"raised {reference[1].__name__}"
+                )
+        return reference
+
+
+def matrix_for(
+    grammar_text: str,
+    blackboxes: Optional[dict] = None,
+    memoize: bool = True,
+    expect_compiled: bool = True,
+) -> EngineMatrix:
+    """Shared-cache constructor (blackbox dicts are assumed stable per key)."""
+    key = (grammar_text, tuple(sorted((blackboxes or {}).keys())), memoize)
+    cached = _MATRIX_CACHE.get(key)
+    if cached is None:
+        cached = _MATRIX_CACHE[key] = EngineMatrix(
+            grammar_text, blackboxes, memoize, expect_compiled
+        )
+    return cached
+
+
+def assert_engines_agree(
+    grammar_text: str,
+    data: bytes,
+    start: Optional[str] = None,
+    blackboxes: Optional[dict] = None,
+    memoize: bool = True,
+):
+    """One-shot helper: build (or reuse) the matrix and check one input."""
+    return matrix_for(grammar_text, blackboxes, memoize).assert_agree(data, start)
+
+
+# ---------------------------------------------------------------------------
+# Shared deterministic format samples
+# ---------------------------------------------------------------------------
+
+
+def format_sample(fmt: str) -> bytes:
+    """The canonical deterministic sample input for a bundled format."""
+    if fmt in ("zip", "zip-meta"):
+        return samples.build_zip(member_count=3, member_size=300)
+    if fmt == "elf":
+        return samples.build_elf(section_count=3, symbol_count=4, dynamic_entries=2)
+    if fmt == "gif":
+        return samples.build_gif(frame_count=2, bytes_per_frame=200)
+    if fmt == "pe":
+        return samples.build_pe(section_count=2)
+    if fmt == "pdf":
+        return samples.build_pdf(object_count=3)[0]
+    if fmt == "dns":
+        return samples.build_dns_response(answer_count=2, additional_count=1)
+    if fmt == "ipv4":
+        return samples.build_ipv4_udp_packet(payload_size=48, options_words=1)
+    raise AssertionError(f"no sample builder for {fmt}")

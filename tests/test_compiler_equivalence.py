@@ -2,60 +2,26 @@
 
 The staged compiler (:mod:`repro.core.compiler`) is the default parse
 engine, so its equivalence guarantee carries the whole test suite.  This
-module checks it *directly*: for every bundled format grammar, every toy
-grammar of the paper, and the property-based workload generators, the
-compiled backend and the reference interpreter must produce identical parse
-trees — or fail identically — on the same inputs.
+module drives the cross-engine matrix (``tests/engine_matrix.py``) over
+every bundled format grammar, every toy grammar of the paper, and the
+property-based workload generators: the compiled backend — optimized,
+unoptimized, and ahead-of-time emitted — must produce identical parse
+trees to the reference interpreter, or fail identically, on the same
+inputs.
 """
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from engine_matrix import format_sample, matrix_for
 from repro import Parser, samples
 from repro.core.compiler import compile_grammar
 from repro.formats import registry, toy
 
 
-def build_pair(grammar_text, blackboxes=None, memoize=True):
-    """Build (compiled, interpreted) parsers and reject silent fallbacks."""
-    compiled = Parser(
-        grammar_text, blackboxes=blackboxes, memoize=memoize, backend="compiled"
-    )
-    interpreted = Parser(
-        grammar_text, blackboxes=blackboxes, memoize=memoize, backend="interpreted"
-    )
-    assert compiled.backend == "compiled", (
-        "compiler fell back to the interpreter; the differential test would "
-        "be vacuous"
-    )
-    return compiled, interpreted
-
-
-def assert_equivalent(compiled, interpreted, data, start=None):
-    expected = interpreted.try_parse(data, start)
-    actual = compiled.try_parse(data, start)
-    if expected is None:
-        assert actual is None
-    else:
-        assert actual == expected
-
-
-def _format_sample(fmt: str) -> bytes:
-    if fmt in ("zip", "zip-meta"):
-        return samples.build_zip(member_count=3, member_size=300)
-    if fmt == "elf":
-        return samples.build_elf(section_count=3, symbol_count=4, dynamic_entries=2)
-    if fmt == "gif":
-        return samples.build_gif(frame_count=2, bytes_per_frame=200)
-    if fmt == "pe":
-        return samples.build_pe(section_count=2)
-    if fmt == "pdf":
-        return samples.build_pdf(object_count=3)[0]
-    if fmt == "dns":
-        return samples.build_dns_response(answer_count=2, additional_count=1)
-    if fmt == "ipv4":
-        return samples.build_ipv4_udp_packet(payload_size=48, options_words=1)
-    raise AssertionError(f"no sample builder for {fmt}")
+def format_matrix(fmt):
+    spec = registry[fmt]
+    return matrix_for(spec.grammar_text, blackboxes=dict(spec.blackboxes))
 
 
 class TestFormatGrammars:
@@ -63,40 +29,29 @@ class TestFormatGrammars:
 
     @pytest.mark.parametrize("fmt", sorted(registry))
     def test_valid_input_produces_identical_tree(self, fmt):
-        spec = registry[fmt]
-        compiled, interpreted = build_pair(
-            spec.grammar_text, blackboxes=dict(spec.blackboxes)
-        )
-        assert_equivalent(compiled, interpreted, _format_sample(fmt))
+        format_matrix(fmt).assert_agree(format_sample(fmt))
 
     @pytest.mark.parametrize("fmt", sorted(registry))
     @pytest.mark.parametrize("flip", [0, 1, -1])
     def test_corrupted_input_fails_identically(self, fmt, flip):
-        spec = registry[fmt]
-        compiled, interpreted = build_pair(
-            spec.grammar_text, blackboxes=dict(spec.blackboxes)
-        )
-        sample = bytearray(_format_sample(fmt))
+        sample = bytearray(format_sample(fmt))
         sample[flip] ^= 0xFF
-        assert_equivalent(compiled, interpreted, bytes(sample))
+        format_matrix(fmt).assert_agree(bytes(sample))
 
     @pytest.mark.parametrize("fmt", ["dns", "gif", "elf"])
     def test_unmemoized_backends_agree(self, fmt):
         spec = registry[fmt]
-        compiled, interpreted = build_pair(
+        matrix = matrix_for(
             spec.grammar_text, blackboxes=dict(spec.blackboxes), memoize=False
         )
-        assert_equivalent(compiled, interpreted, _format_sample(fmt))
+        matrix.assert_agree(format_sample(fmt))
 
     @pytest.mark.parametrize("fmt", sorted(registry))
     def test_truncated_prefixes_fail_identically(self, fmt):
-        spec = registry[fmt]
-        compiled, interpreted = build_pair(
-            spec.grammar_text, blackboxes=dict(spec.blackboxes)
-        )
-        sample = _format_sample(fmt)
+        matrix = format_matrix(fmt)
+        sample = format_sample(fmt)
         for cut in (0, 1, len(sample) // 2, len(sample) - 1):
-            assert_equivalent(compiled, interpreted, sample[:cut])
+            matrix.assert_agree(sample[:cut])
 
 
 class TestToyGrammars:
@@ -106,33 +61,30 @@ class TestToyGrammars:
     @given(data=st.binary(min_size=0, max_size=24))
     @settings(max_examples=60, deadline=None)
     def test_fuzzed_inputs_agree(self, name, data):
-        compiled, interpreted = build_pair(toy.ALL_GRAMMARS[name])
-        assert_equivalent(compiled, interpreted, data)
+        matrix_for(toy.ALL_GRAMMARS[name]).assert_agree(data)
 
     @given(value=st.integers(min_value=0, max_value=2**32 - 1))
     @settings(max_examples=60, deadline=None)
     def test_binary_number_values_agree(self, value):
-        compiled, interpreted = build_pair(toy.FIGURE_3)
+        matrix = matrix_for(toy.FIGURE_3)
         text = format(value, "b").encode()
-        tree = compiled.parse(text)
-        assert tree == interpreted.parse(text)
-        assert tree["val"] == value
+        outcome = matrix.assert_agree(text)
+        assert outcome[0] == "tree"
+        assert outcome[1]["val"] == value
 
     @given(text=st.text(alphabet="abc", min_size=0, max_size=15))
     @settings(max_examples=80, deadline=None)
     def test_anbncn_membership_agrees(self, text):
-        compiled, interpreted = build_pair(toy.ANBNCN)
-        data = text.encode()
-        assert compiled.accepts(data) == interpreted.accepts(data)
+        matrix_for(toy.ANBNCN).assert_agree(text.encode())
 
     def test_alternate_start_symbol(self):
-        compiled, interpreted = build_pair(toy.FIGURE_3)
-        assert_equivalent(compiled, interpreted, b"1", start="Digit")
-        assert_equivalent(compiled, interpreted, b"x", start="Digit")
+        matrix = matrix_for(toy.FIGURE_3)
+        matrix.assert_agree(b"1", start="Digit")
+        matrix.assert_agree(b"x", start="Digit")
 
 
 class TestPropertyBasedWorkloads:
-    """The generators of test_property_based.py, run through both backends."""
+    """The generators of test_property_based.py, run through all engines."""
 
     @given(
         members=st.integers(min_value=0, max_value=8),
@@ -140,12 +92,8 @@ class TestPropertyBasedWorkloads:
     )
     @settings(max_examples=15, deadline=None)
     def test_zip_archives_agree(self, members, size):
-        spec = registry["zip"]
-        compiled, interpreted = build_pair(
-            spec.grammar_text, blackboxes=dict(spec.blackboxes)
-        )
         archive = samples.build_zip(member_count=members, member_size=size)
-        assert_equivalent(compiled, interpreted, archive)
+        format_matrix("zip").assert_agree(archive)
 
     @given(
         answers=st.integers(min_value=0, max_value=12),
@@ -153,11 +101,10 @@ class TestPropertyBasedWorkloads:
     )
     @settings(max_examples=15, deadline=None)
     def test_dns_responses_agree(self, answers, compress):
-        compiled, interpreted = build_pair(registry["dns"].grammar_text)
         packet = samples.build_dns_response(
             answer_count=answers, use_compression=compress
         )
-        assert_equivalent(compiled, interpreted, packet)
+        format_matrix("dns").assert_agree(packet)
 
     @given(
         size=st.integers(min_value=0, max_value=600),
@@ -165,18 +112,16 @@ class TestPropertyBasedWorkloads:
     )
     @settings(max_examples=15, deadline=None)
     def test_ipv4_packets_agree(self, size, options):
-        compiled, interpreted = build_pair(registry["ipv4"].grammar_text)
         packet = samples.build_ipv4_udp_packet(
             payload_size=size, options_words=options
         )
-        assert_equivalent(compiled, interpreted, packet)
+        format_matrix("ipv4").assert_agree(packet)
 
     @given(objects=st.integers(min_value=1, max_value=8))
     @settings(max_examples=10, deadline=None)
     def test_pdf_documents_agree(self, objects):
-        compiled, interpreted = build_pair(registry["pdf"].grammar_text)
         document, _offsets = samples.build_pdf(object_count=objects)
-        assert_equivalent(compiled, interpreted, document)
+        format_matrix("pdf").assert_agree(document)
 
 
 class TestCompiledGrammarObject:
@@ -204,23 +149,23 @@ class TestCompiledGrammarObject:
         H -> U8[0, 1] {num = U8.val} ;
         A -> U8[0, 1] {val = U8.val} ;
         """
-        compiled, interpreted = build_pair(grammar)
+        matrix = matrix_for(grammar)
         hit = bytes([3, 1, 7, 9])
         miss = bytes([3, 1, 2, 9])
-        assert_equivalent(compiled, interpreted, hit)
-        assert_equivalent(compiled, interpreted, miss)
-        assert compiled.parse(hit)["found"] == 2
-        assert compiled.parse(miss)["found"] == 0
+        matrix.assert_agree(hit)
+        matrix.assert_agree(miss)
+        assert matrix.compiled.parse(hit)["found"] == 2
+        assert matrix.compiled.parse(miss)["found"] == 0
 
 
 class TestAdversarialConstructs:
     """Tricky corners not exercised by the bundled format grammars."""
 
-    def _diff(self, grammar, inputs, starts=(None,), blackboxes=None):
-        compiled, interpreted = build_pair(grammar, blackboxes=blackboxes)
+    def _diff(self, grammar, inputs, starts=(None,), blackboxes=None, engines=None):
+        matrix = matrix_for(grammar, blackboxes=blackboxes)
         for start in starts:
             for data in inputs:
-                assert_equivalent(compiled, interpreted, data, start)
+                matrix.assert_agree(data, start, engines=engines)
 
     def test_special_attribute_rebinding(self):
         # Attribute definitions may overwrite EOI/start/end; guards may read
@@ -292,11 +237,14 @@ class TestAdversarialConstructs:
         )
 
     def test_builtin_and_blackbox_start_symbols(self):
+        # The legacy parser generator does not support builtin/blackbox
+        # *start* symbols; the compiled engines all must.
         self._diff(
             "blackbox Ext ;\nS -> Ext[0, EOI] {n = Ext.len} ;",
             [b"abc", b""],
             starts=(None, "Ext", "U16LE"),
             blackboxes={"Ext": lambda data: {"len": len(data)}},
+            engines=("compiled", "compiled-unoptimized", "aot"),
         )
 
 
@@ -360,10 +308,10 @@ class TestWhereRuleScopeLiveness:
                where { W -> U8[0, 1] {w = i} ; } ;
         E -> U8[0, 1] {val = U8.val} ;
         """
-        compiled, interpreted = build_pair(grammar)
+        matrix = matrix_for(grammar)
         data = bytes([2, 10, 11, 99])
-        assert interpreted.try_parse(data) is None
-        assert compiled.try_parse(data) is None
+        outcome = matrix.assert_agree(data)
+        assert outcome == ("none",)
 
     def test_ancestor_record_not_yet_parsed_falls_through(self):
         # When W runs, the middle scope's X has not parsed yet; resolution
@@ -377,11 +325,11 @@ class TestWhereRuleScopeLiveness:
                } ;
         X -> U8[0, 1] {val = U8.val} ;
         """
-        compiled, interpreted = build_pair(grammar)
+        matrix = matrix_for(grammar)
         data = bytes([5, 6, 7])
-        expected = interpreted.parse(data)
-        assert expected.child("A").child("W")["w"] == 5
-        assert compiled.parse(data) == expected
+        outcome = matrix.assert_agree(data)
+        assert outcome[0] == "tree"
+        assert outcome[1].child("A").child("W")["w"] == 5
 
     def test_loop_variable_live_during_loop(self):
         # The usual ELF/ZIP shape: the where-rule is the array element and
@@ -391,11 +339,11 @@ class TestWhereRuleScopeLiveness:
              for i = 0 to n do W[1 + i, 2 + i]
                where { W -> U8[0, 1] {w = U8.val + 100 * i} ; } ;
         """
-        compiled, interpreted = build_pair(grammar)
+        matrix = matrix_for(grammar)
         data = bytes([2, 7, 8])
-        expected = interpreted.parse(data)
-        assert compiled.parse(data) == expected
-        values = [e["w"] for e in compiled.parse(data).array("W")]
+        outcome = matrix.assert_agree(data)
+        assert outcome[0] == "tree"
+        values = [e["w"] for e in outcome[1].array("W")]
         assert values == [7, 108]
 
     def test_call_site_dependent_where_dispatch_falls_back(self):
@@ -429,11 +377,11 @@ class TestWhereRuleScopeLiveness:
                               where { L -> U8[0, 1] {v = i} ; } ; } ;
         A -> U8[0, 1] ;
         """
-        compiled, interpreted = build_pair(grammar)
+        matrix = matrix_for(grammar)
         data = bytes([1, 2, 3])
-        expected = interpreted.parse(data)
-        assert expected.child("B").child("L")["v"] == 5
-        assert compiled.parse(data) == expected
+        outcome = matrix.assert_agree(data)
+        assert outcome[0] == "tree"
+        assert outcome[1].child("B").child("L")["v"] == 5
 
     def test_loop_variable_not_yet_bound_falls_through_to_outer_binding(self):
         # L runs *before* the loop term (attrcheck order keeps it first);
@@ -445,8 +393,8 @@ class TestWhereRuleScopeLiveness:
                               where { L -> U8[0, 1] {v = i} ; } ; } ;
         A -> U8[0, 1] ;
         """
-        compiled, interpreted = build_pair(grammar)
+        matrix = matrix_for(grammar)
         data = bytes([9, 2, 3])
-        expected = interpreted.parse(data)
-        assert expected.child("B").child("L")["v"] == 5
-        assert compiled.parse(data) == expected
+        outcome = matrix.assert_agree(data)
+        assert outcome[0] == "tree"
+        assert outcome[1].child("B").child("L")["v"] == 5

@@ -1,0 +1,195 @@
+"""Property-based tests for the compiler optimization passes.
+
+Every combination of :class:`repro.core.compiler.Optimizations` flags must
+compile every grammar to the *same* observable parser: identical trees,
+identical failures.  This module fuzzes that claim over the paper's toy
+grammars, the workload generators of ``test_property_based.py``, and a set
+of adversarial shapes aimed at each pass — and checks that ahead-of-time
+emitted modules round-trip through both ``exec`` and a real ``importlib``
+import.
+"""
+
+import importlib.util
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from engine_matrix import format_sample, load_aot_module
+from repro import Parser, samples
+from repro.core.compiler import Optimizations, compile_grammar
+from repro.core.interpreter import FAIL
+from repro.formats import registry, toy
+
+#: All-on, all-off, and each pass individually disabled / enabled.
+TOGGLE_CONFIGS = {
+    "all": Optimizations(),
+    "none": Optimizations.none(),
+    "no-module-where": Optimizations(module_level_where=False),
+    "no-dense": Optimizations(dense_memo=False),
+    "no-skip": Optimizations(skip_nonrecursive_memo=False),
+    "no-inline": Optimizations(inline_single_use=False),
+    "only-module-where": Optimizations(True, False, False, False),
+    "only-dense": Optimizations(False, True, False, False),
+    "only-skip": Optimizations(False, False, True, False),
+    "only-inline": Optimizations(False, False, False, True),
+}
+
+#: Shapes chosen to light up individual passes: single-use chains for the
+#: inliner, recursion + EOI anchors for the memo passes, where-rules with
+#: loops for the closure-cell conversion.
+PASS_SENSITIVE_GRAMMARS = {
+    "inline-chain": """
+        S -> Hdr[0, 4] Body[4, EOI] ;
+        Hdr -> Magic[0, 2] U16LE[2, 4] {n = U16LE.val} ;
+        Magic -> "ab"[0, 2] ;
+        Body -> Raw[0, EOI] {len = Raw.len} ;
+    """,
+    "eoi-recursion": """
+        S -> Items[0, EOI] ;
+        Items -> U8[0, 1] {n = U8.val} Items[1, EOI] / ""[0, 0] ;
+    """,
+    "mixed-windows": """
+        S -> P[0, 4] P[2, 6] Tail[6, EOI] ;
+        P -> U16LE[0, 2] {v = U16LE.val} U16LE[2, 4] {w = U16LE.val} ;
+        Tail -> Raw[0, EOI] ;
+    """,
+    "where-loop": """
+        S -> U8[0, 1] {n = U8.val}
+             for i = 0 to n do E[1 + 2 * i, 3 + 2 * i]
+             where { E -> U8[0, 1] {v = U8.val} U8[1, 2] {w = U8.val + 100 * i} ; } ;
+    """,
+}
+
+
+def _compile_pair(grammar_text, config, blackboxes=None):
+    compiled = compile_grammar(
+        grammar_text, blackboxes=dict(blackboxes or {}), optimizations=config
+    )
+    interpreted = Parser(grammar_text, blackboxes=dict(blackboxes or {}),
+                         backend="interpreted")
+    return compiled, interpreted
+
+
+def _assert_config_equivalent(grammar_text, config, data, blackboxes=None):
+    compiled, interpreted = _compile_pair(grammar_text, config, blackboxes)
+    expected = interpreted.try_parse(data)
+    result = compiled.parse_nonterminal(
+        bytes(data), compiled.grammar.start, 0, len(data)
+    )
+    if expected is None:
+        assert result is FAIL
+    else:
+        assert result is not FAIL
+        assert result == expected
+
+
+class TestToggleEquivalence:
+    @pytest.mark.parametrize("config", sorted(TOGGLE_CONFIGS))
+    @pytest.mark.parametrize("name", sorted(PASS_SENSITIVE_GRAMMARS))
+    @given(data=st.binary(min_size=0, max_size=24))
+    @settings(max_examples=30, deadline=None)
+    def test_pass_sensitive_grammars(self, config, name, data):
+        _assert_config_equivalent(
+            PASS_SENSITIVE_GRAMMARS[name], TOGGLE_CONFIGS[config], data
+        )
+
+    @pytest.mark.parametrize("config", sorted(TOGGLE_CONFIGS))
+    @pytest.mark.parametrize("name", sorted(toy.ALL_GRAMMARS))
+    @given(data=st.binary(min_size=0, max_size=16))
+    @settings(max_examples=15, deadline=None)
+    def test_toy_grammars(self, config, name, data):
+        _assert_config_equivalent(toy.ALL_GRAMMARS[name], TOGGLE_CONFIGS[config], data)
+
+    @pytest.mark.parametrize("config", sorted(TOGGLE_CONFIGS))
+    @pytest.mark.parametrize("fmt", ["zip", "dns", "elf"])
+    def test_format_grammars(self, config, fmt):
+        spec = registry[fmt]
+        _assert_config_equivalent(
+            spec.grammar_text,
+            TOGGLE_CONFIGS[config],
+            format_sample(fmt),
+            blackboxes=dict(spec.blackboxes),
+        )
+
+    @given(
+        answers=st.integers(min_value=0, max_value=8),
+        compress=st.booleans(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_dns_workloads_under_every_config(self, answers, compress):
+        packet = samples.build_dns_response(
+            answer_count=answers, use_compression=compress
+        )
+        for config in TOGGLE_CONFIGS.values():
+            _assert_config_equivalent(registry["dns"].grammar_text, config, packet)
+
+
+class TestAOTRoundTrip:
+    @pytest.mark.parametrize("config", ["all", "none", "no-skip", "only-inline"])
+    @pytest.mark.parametrize("fmt", sorted(registry))
+    def test_emitted_module_execs_and_parses(self, config, fmt):
+        spec = registry[fmt]
+        module = load_aot_module(
+            spec.grammar_text,
+            blackboxes=dict(spec.blackboxes),
+            optimizations=TOGGLE_CONFIGS[config],
+        )
+        sample = format_sample(fmt)
+        expected = spec.build_parser(backend="interpreted").parse(sample)
+        assert module.parse(sample) == expected
+        assert module.try_parse(sample[: max(len(sample) // 2, 1)]) is None
+
+    def test_emitted_module_imports_from_disk(self, tmp_path):
+        # The real importlib path (not just exec): the artifact story is a
+        # .py file on disk that `import` picks up like any other module.
+        spec = registry["gif"]
+        source = compile_grammar(spec.grammar_text).to_source()
+        path = tmp_path / "gif_parser.py"
+        path.write_text(source, encoding="utf-8")
+        loader_spec = importlib.util.spec_from_file_location("gif_parser_aot", path)
+        module = importlib.util.module_from_spec(loader_spec)
+        sys.modules["gif_parser_aot"] = module
+        try:
+            loader_spec.loader.exec_module(module)
+            sample = format_sample("gif")
+            expected = spec.build_parser(backend="interpreted").parse(sample)
+            assert module.parse(sample) == expected
+            assert module.START == compile_grammar(spec.grammar_text).grammar.start
+        finally:
+            del sys.modules["gif_parser_aot"]
+
+    def test_emitted_source_is_deterministic(self):
+        spec = registry["dns"]
+        first = compile_grammar(spec.grammar_text).to_source()
+        second = compile_grammar(spec.grammar_text).to_source()
+        assert first == second
+
+    @given(value=st.integers(min_value=0, max_value=2**24 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_aot_binary_numbers_fuzz(self, value):
+        module = load_aot_module(toy.FIGURE_3)
+        text = format(value, "b").encode()
+        assert module.parse(text)["val"] == value
+
+
+class TestOptimizationReporting:
+    def test_memo_modes_reflect_passes(self):
+        grammar = PASS_SENSITIVE_GRAMMARS["eoi-recursion"]
+        full = compile_grammar(grammar)
+        # Items recurses with an EOI-pinned right endpoint: dense key.
+        assert full.memo_modes["Items"] == "dense"
+        # S is non-recursive: memo elided.
+        assert full.memo_modes["S"] == "skipped"
+        baseline = compile_grammar(grammar, optimizations=Optimizations.none())
+        assert set(baseline.memo_modes.values()) == {"dict"}
+        unmemoized = compile_grammar(grammar, memoize=False)
+        assert set(unmemoized.memo_modes.values()) == {"unmemoized"}
+
+    def test_single_use_rule_remains_entry_callable(self):
+        # An inlined rule must stay individually parseable (parse start=...).
+        grammar = PASS_SENSITIVE_GRAMMARS["inline-chain"]
+        compiled = compile_grammar(grammar)
+        result = compiled.parse_nonterminal(b"ab\x01\x00", "Hdr", 0, 4)
+        assert result is not FAIL
+        assert result["n"] == 1

@@ -1,76 +1,59 @@
-"""Integration tests: the three execution engines must agree.
+"""Integration tests: every execution engine must agree.
 
 The paper ships a parser generator and a combinator library that implement
-the same semantics; here the reference interpreter, the generated Python
-parsers and (where a combinator equivalent exists) the combinator library
-are checked against each other on the real format case studies.
+the same semantics; PR 1 added the staged closure compiler and this PR the
+ahead-of-time emitted modules.  All of them run through the cross-engine
+matrix (``tests/engine_matrix.py``) against the reference interpreter on
+the real format case studies and the paper's toy grammars.
 """
 
 import pytest
 
-from repro import Parser, samples
+from engine_matrix import format_sample, matrix_for
+from repro import Parser
 from repro.core.generator import compile_parser
 from repro.core.parsetree import tree_equal_modulo_specials
 from repro.formats import registry, toy
 
 
-def _sample_for(fmt: str) -> bytes:
-    if fmt in ("zip", "zip-meta"):
-        return samples.build_zip(member_count=3, member_size=300)
-    if fmt == "elf":
-        return samples.build_elf(section_count=3, symbol_count=4, dynamic_entries=2)
-    if fmt == "gif":
-        return samples.build_gif(frame_count=2, bytes_per_frame=200)
-    if fmt == "pe":
-        return samples.build_pe(section_count=2)
-    if fmt == "pdf":
-        return samples.build_pdf(object_count=3)[0]
-    if fmt == "dns":
-        return samples.build_dns_response(answer_count=2, additional_count=1)
-    if fmt == "ipv4":
-        return samples.build_ipv4_udp_packet(payload_size=48, options_words=1)
-    raise AssertionError(f"no sample builder for {fmt}")
+def format_matrix(fmt):
+    spec = registry[fmt]
+    return matrix_for(spec.grammar_text, blackboxes=dict(spec.blackboxes))
 
 
-class TestGeneratedParsersOnFormats:
+class TestAllEnginesOnFormats:
     @pytest.mark.parametrize("fmt", sorted(registry))
-    def test_generated_parser_matches_interpreter(self, fmt):
-        spec = registry[fmt]
-        sample = _sample_for(fmt)
-        interpreter = spec.build_parser()
-        generated = compile_parser(spec.grammar_text, blackboxes=dict(spec.blackboxes))
-        expected = interpreter.parse(sample)
-        actual = generated.parse(sample)
-        assert actual == expected
+    def test_every_engine_matches_interpreter(self, fmt):
+        # interpreter / compiled / unoptimized-compiled / AOT / generated —
+        # plus streaming for the formats the §8 analysis accepts.
+        outcome = format_matrix(fmt).assert_agree(format_sample(fmt))
+        assert outcome[0] == "tree"
 
     @pytest.mark.parametrize("fmt", sorted(registry))
-    def test_generated_parser_rejects_corrupted_input(self, fmt):
-        spec = registry[fmt]
-        sample = bytearray(_sample_for(fmt))
+    def test_every_engine_rejects_corrupted_input(self, fmt):
+        sample = bytearray(format_sample(fmt))
         sample[0] ^= 0xFF
-        generated = compile_parser(spec.grammar_text, blackboxes=dict(spec.blackboxes))
-        interpreter = spec.build_parser()
-        assert (generated.try_parse(bytes(sample)) is None) == (
-            interpreter.try_parse(bytes(sample)) is None
-        )
+        format_matrix(fmt).assert_agree(bytes(sample))
 
 
 class TestMemoizationConsistency:
     @pytest.mark.parametrize("fmt", ["gif", "pdf", "dns"])
     def test_memoized_and_unmemoized_trees_agree(self, fmt):
         spec = registry[fmt]
-        sample = _sample_for(fmt)
+        sample = format_sample(fmt)
         memoized = Parser(spec.grammar_text, blackboxes=dict(spec.blackboxes), memoize=True)
         unmemoized = Parser(spec.grammar_text, blackboxes=dict(spec.blackboxes), memoize=False)
         assert memoized.parse(sample) == unmemoized.parse(sample)
+        # ... and the unmemoized engines agree with each other too.
+        matrix_for(
+            spec.grammar_text, blackboxes=dict(spec.blackboxes), memoize=False
+        ).assert_agree(sample)
 
 
 class TestToyGrammarsAcrossEngines:
     @pytest.mark.parametrize("name", sorted(toy.ALL_GRAMMARS))
-    def test_generated_equals_interpreter_on_valid_and_invalid_inputs(self, name):
-        grammar = toy.ALL_GRAMMARS[name]
-        interpreter = Parser(grammar)
-        generated = compile_parser(grammar)
+    def test_engines_agree_on_valid_and_invalid_inputs(self, name):
+        matrix = matrix_for(toy.ALL_GRAMMARS[name])
         probes = [
             b"",
             b"\x00",
@@ -84,13 +67,11 @@ class TestToyGrammarsAcrossEngines:
             b"4096",
         ]
         for probe in probes:
-            expected = interpreter.try_parse(probe)
-            actual = generated.try_parse(probe)
-            if expected is None:
-                assert actual is None
-            else:
-                assert actual == expected
-                assert tree_equal_modulo_specials(actual, expected)
+            outcome = matrix.assert_agree(probe)
+            if outcome[0] == "tree":
+                # Belt and braces: the engines also agree modulo specials.
+                generated = compile_parser(toy.ALL_GRAMMARS[name]).try_parse(probe)
+                assert tree_equal_modulo_specials(outcome[1], generated)
 
 
 class TestNegativeShiftParity:
@@ -99,7 +80,6 @@ class TestNegativeShiftParity:
             "S -> U8[0, 1] {a = 0 - U8.val} {b = 1 << a} / U8[0, 1] {b = 42} ;"
         )
         data = b"\x02"
-        interpreted = Parser(grammar, backend="interpreted").parse(data)
-        compiled = Parser(grammar, backend="compiled").parse(data)
-        generated = compile_parser(grammar).parse(data)
-        assert interpreted["b"] == compiled["b"] == generated["b"] == 42
+        outcome = matrix_for(grammar).assert_agree(data)
+        assert outcome[0] == "tree"
+        assert outcome[1]["b"] == 42

@@ -1,0 +1,78 @@
+"""Golden-tree regression corpus: engines diff against pinned artifacts.
+
+The cross-engine matrix proves the engines agree *with each other*; this
+module pins what they agree *on*.  For every bundled format the canonical
+deterministic sample input (``engine_matrix.format_sample``) is parsed and
+the full tree — node names, attribute environments including the
+``EOI``/``start``/``end`` specials, array shapes and leaf bytes — is
+compared against a serialized artifact checked in under ``tests/golden/``.
+A refactor that shifts any of them fails here even if it shifts all
+engines in lockstep.
+
+After an intentional semantic change, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_trees.py --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from engine_matrix import format_sample, matrix_for
+from repro.core.parsetree import tree_from_jsonable, tree_to_jsonable
+from repro.formats import registry
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def golden_path(fmt: str) -> Path:
+    return GOLDEN_DIR / f"{fmt}.json"
+
+
+@pytest.mark.parametrize("fmt", sorted(registry))
+def test_tree_matches_golden_artifact(fmt, update_golden):
+    spec = registry[fmt]
+    sample = format_sample(fmt)
+    matrix = matrix_for(spec.grammar_text, blackboxes=dict(spec.blackboxes))
+    outcome = matrix.assert_agree(sample)  # all engines agree first
+    assert outcome[0] == "tree", f"{fmt}: sample input must parse"
+    tree = outcome[1]
+    serialized = {
+        "format": fmt,
+        "sample_bytes": len(sample),
+        "tree": tree_to_jsonable(tree),
+    }
+    path = golden_path(fmt)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(serialized, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        pytest.skip(f"golden artifact for {fmt} rewritten")
+    assert path.exists(), (
+        f"missing golden artifact {path}; generate it with "
+        f"`pytest tests/test_golden_trees.py --update-golden`"
+    )
+    with open(path, "r", encoding="utf-8") as handle:
+        pinned = json.load(handle)
+    assert pinned["sample_bytes"] == len(sample), (
+        f"{fmt}: sample generator changed size "
+        f"({pinned['sample_bytes']} -> {len(sample)})"
+    )
+    expected = tree_from_jsonable(pinned["tree"])
+    assert tree == expected, (
+        f"{fmt}: parse tree diverged from the pinned golden artifact; if "
+        f"the change is intentional, re-run with --update-golden"
+    )
+
+
+@pytest.mark.parametrize("fmt", sorted(registry))
+def test_golden_artifact_round_trips(fmt):
+    path = golden_path(fmt)
+    if not path.exists():
+        pytest.skip("golden artifact not generated yet")
+    with open(path, "r", encoding="utf-8") as handle:
+        pinned = json.load(handle)
+    tree = tree_from_jsonable(pinned["tree"])
+    assert tree_to_jsonable(tree) == pinned["tree"]

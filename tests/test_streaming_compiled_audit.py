@@ -143,10 +143,12 @@ class TestMemoIsolation:
         tree = session.finish()
         assert tree == parser.parse(data)
         assert session.attempts <= len(data) + 1
-        # The compiled state holds one dict per memoized rule, keyed by
-        # (lo, hi) — entries accumulate per *window*, not per attempt.
+        # The compiled state holds one dict per memoized rule — keyed by
+        # (lo, hi), or by bare lo for EOI-anchored rules.  Entries
+        # accumulate per *window*, not per attempt.
         assert session._state is not None
         for table in session._state:
+            assert isinstance(table, dict)
             assert len(table) <= 2
 
 

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""AOT emission smoke check: every bundled format, standalone, in a subprocess.
+
+Run from a checkout with ``repro`` importable::
+
+    PYTHONPATH=src python tools/aot_smoke.py --out aot-parsers
+
+For every bundled format grammar this script
+
+1. emits the ahead-of-time parser module (``CompiledGrammar.to_source()``,
+   the same artifact as ``repro compile``) into ``--out``,
+2. writes the format's canonical deterministic sample input next to it,
+3. launches an **isolated subprocess** (``python -I``) whose ``sys.path``
+   contains only the stdlib and the output directory — it asserts that
+   ``repro`` is *not* importable, imports each emitted module, registers
+   the one stdlib-implementable blackbox (ZIP's raw-deflate ``Inflate``),
+   parses the sample, and checks a truncated input is cleanly rejected.
+
+CI runs this after the test suite and uploads ``--out`` as an artifact, so
+every PR leaves behind the inspectable generated parsers it shipped.
+Exit code 0 = all formats emitted, imported and parsed standalone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import samples  # noqa: E402
+from repro.core.compiler import compile_grammar  # noqa: E402
+from repro.formats import registry  # noqa: E402
+
+#: Canonical sample builders (same parameters as tests/engine_matrix.py).
+SAMPLES = {
+    "zip": lambda: samples.build_zip(member_count=3, member_size=300),
+    "zip-meta": lambda: samples.build_zip(member_count=3, member_size=300),
+    "elf": lambda: samples.build_elf(section_count=3, symbol_count=4, dynamic_entries=2),
+    "gif": lambda: samples.build_gif(frame_count=2, bytes_per_frame=200),
+    "pe": lambda: samples.build_pe(section_count=2),
+    "pdf": lambda: samples.build_pdf(object_count=3)[0],
+    "dns": lambda: samples.build_dns_response(answer_count=2, additional_count=1),
+    "ipv4": lambda: samples.build_ipv4_udp_packet(payload_size=48, options_words=1),
+}
+
+#: The isolated runner; executed with ``python -I`` so no environment or
+#: user site-packages leak in.  Only the stdlib (plus the emitted modules'
+#: directory) may be imported.
+RUNNER = '''\
+import importlib
+import json
+import sys
+import zlib
+
+out_dir = sys.argv[1]
+sys.path.insert(0, out_dir)
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    pass
+else:
+    print("FATAL: repro is importable inside the isolated runner")
+    sys.exit(2)
+
+
+class InflateResult:
+    """Duck-typed BlackboxResult (attrs / payload / end)."""
+
+    def __init__(self, attrs, payload):
+        self.attrs = attrs
+        self.payload = payload
+        self.end = None
+
+
+def inflate(data):
+    decompressor = zlib.decompressobj(-zlib.MAX_WBITS)
+    payload = decompressor.decompress(data) + decompressor.flush()
+    return InflateResult({"usize": len(payload)}, payload)
+
+
+manifest = json.load(open(f"{out_dir}/manifest.json"))
+failures = 0
+for fmt, entry in sorted(manifest.items()):
+    module = importlib.import_module(entry["module"])
+    for blackbox in entry["blackboxes"]:
+        if blackbox != "Inflate":
+            print(f"FATAL: no stdlib implementation for blackbox {blackbox!r}")
+            sys.exit(2)
+        module.register_blackbox("Inflate", inflate)
+    data = open(f"{out_dir}/{entry['sample']}", "rb").read()
+    tree = module.try_parse(data)
+    if tree is None:
+        print(f"FAIL {fmt}: sample did not parse")
+        failures += 1
+        continue
+    nodes = sum(1 for _ in tree.walk())
+    truncated = module.try_parse(data[: max(1, len(data) // 2)])
+    if truncated is not None:
+        print(f"FAIL {fmt}: truncated sample unexpectedly parsed")
+        failures += 1
+        continue
+    print(f"ok   {fmt}: root={tree.name} nodes={nodes} bytes={len(data)}")
+sys.exit(1 if failures else 0)
+'''
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="aot-parsers", help="directory for emitted modules + samples"
+    )
+    args = parser.parse_args(argv)
+    os.makedirs(args.out, exist_ok=True)
+
+    manifest = {}
+    for fmt in sorted(registry):
+        spec = registry[fmt]
+        compiled = compile_grammar(spec.grammar_text, blackboxes=dict(spec.blackboxes))
+        module_name = f"{fmt.replace('-', '_')}_parser"
+        module_path = os.path.join(args.out, f"{module_name}.py")
+        with open(module_path, "w", encoding="utf-8") as handle:
+            handle.write(compiled.to_source())
+        sample_name = f"{fmt}.sample.bin"
+        with open(os.path.join(args.out, sample_name), "wb") as handle:
+            handle.write(SAMPLES[fmt]())
+        manifest[fmt] = {
+            "module": module_name,
+            "sample": sample_name,
+            "blackboxes": sorted(spec.blackboxes),
+        }
+        print(f"emitted {module_path}")
+
+    import json
+
+    with open(os.path.join(args.out, "manifest.json"), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+
+    runner_path = os.path.join(args.out, "_isolated_runner.py")
+    with open(runner_path, "w", encoding="utf-8") as handle:
+        handle.write(RUNNER)
+    # -I: isolated mode — ignores PYTHONPATH and user site-packages, so the
+    # subprocess sees only the stdlib and the emitted modules.
+    completed = subprocess.run(
+        [sys.executable, "-I", runner_path, args.out], cwd=os.getcwd()
+    )
+    if completed.returncode == 0:
+        print(f"all {len(manifest)} formats parse standalone (stdlib only)")
+    return completed.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
