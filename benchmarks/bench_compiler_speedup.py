@@ -8,15 +8,30 @@ and writes the results to ``BENCH_compiler.json`` at the repository root,
 so the performance trajectory of the compiler is tracked across PRs
 instead of asserted once.
 
+Two measurement conventions keep the trajectory comparable across PRs:
+
+* the interpreted baseline is *frozen*: it runs with first-byte dispatch
+  disabled (``first_byte_dispatch=False``), i.e. the plain reference
+  semantics every earlier BENCH_compiler.json was measured against —
+  otherwise every interpreter optimization would silently deflate the
+  compiled speedup it is the denominator of;
+* the compiled backend runs with its default pass set (now including the
+  first-byte dispatch tables).
+
+On top of the tree-building race, the script measures the tree-elision
+fast path: ``parse(data, emit=None)`` (validate-only) on the compiled
+backend, reported per format as ``validate_speedup_vs_tree`` (compiled
+tree-mode time over compiled validate-only time).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_compiler_speedup.py [--quick] [-o FILE]
 
 ``--quick`` shrinks the workloads and repetition counts for CI smoke runs.
 The script exits non-zero if any format silently fell back to the
-interpreter or the two backends disagree on a parse tree; it does *not*
-gate on a speedup threshold (that is the reviewer's job, with the JSON in
-hand).
+interpreter or the engines disagree on a parse tree / validate outcome;
+it does *not* gate on a speedup threshold (``tools/bench_gate.py`` does
+that in CI, against the committed JSON).
 """
 
 from __future__ import annotations
@@ -86,7 +101,11 @@ def run(quick: bool, output: str) -> int:
         data = build(quick)
         spec = registry[fmt]
         compiled = spec.build_parser(backend="compiled")
-        interpreted = spec.build_parser(backend="interpreted")
+        # Frozen baseline: the reference interpreter without first-byte
+        # dispatch (see the module docstring).
+        interpreted = spec.build_parser(
+            backend="interpreted", first_byte_dispatch=False
+        )
         aot = load_aot_module(spec)
         if compiled.backend != "compiled":
             print(f"ERROR: {fmt}: compiler fell back to the interpreter")
@@ -101,7 +120,13 @@ def run(quick: bool, output: str) -> int:
             print(f"ERROR: {fmt}: AOT module disagrees on the parse tree")
             failures += 1
             continue
+        spans = compiled.parse(data, emit="spans")
+        if compiled.parse(data, emit=None) is not True or spans.env != expected.env:
+            print(f"ERROR: {fmt}: tree-elision mode disagrees with tree mode")
+            failures += 1
+            continue
         compiled_ns = best_of(compiled.parse, data, rounds)
+        validate_ns = best_of(lambda d: compiled.parse(d, emit=None), data, rounds)
         aot_ns = best_of(aot.parse, data, rounds)
         interpreted_ns = best_of(interpreted.parse, data, rounds)
         size = len(data)
@@ -109,21 +134,33 @@ def run(quick: bool, output: str) -> int:
             "input_bytes": size,
             "interpreted_ns_per_byte": round(interpreted_ns / size, 2),
             "compiled_ns_per_byte": round(compiled_ns / size, 2),
+            "compiled_validate_ns_per_byte": round(validate_ns / size, 2),
             "aot_ns_per_byte": round(aot_ns / size, 2),
             "speedup": round(interpreted_ns / compiled_ns, 2),
             "aot_speedup": round(interpreted_ns / aot_ns, 2),
+            "validate_speedup_vs_tree": round(compiled_ns / validate_ns, 2),
         }
         print(
             f"{fmt:5s} {size:8d} B  interpreted {interpreted_ns / size:9.1f} ns/B"
             f"  compiled {compiled_ns / size:9.1f} ns/B"
             f"  aot {aot_ns / size:9.1f} ns/B"
+            f"  validate {validate_ns / size:9.1f} ns/B"
             f"  speedup {interpreted_ns / compiled_ns:5.2f}x"
             f" / {interpreted_ns / aot_ns:5.2f}x"
+            f"  elision {compiled_ns / validate_ns:5.2f}x"
         )
     if results:
         median = statistics.median(entry["speedup"] for entry in results.values())
         aot_median = statistics.median(
             entry["aot_speedup"] for entry in results.values()
+        )
+        validate_median = statistics.median(
+            entry["validate_speedup_vs_tree"] for entry in results.values()
+        )
+        validate_fast = sum(
+            1
+            for entry in results.values()
+            if entry["validate_speedup_vs_tree"] >= 1.5
         )
         report = {
             "benchmark": (
@@ -135,11 +172,17 @@ def run(quick: bool, output: str) -> int:
             "formats": results,
             "median_speedup": round(median, 2),
             "aot_median_speedup": round(aot_median, 2),
+            "validate_median_speedup_vs_tree": round(validate_median, 2),
+            "validate_formats_at_least_1_5x": validate_fast,
         }
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"median speedup {median:.2f}x (closure) / {aot_median:.2f}x (aot) -> {output}")
+        print(
+            f"median speedup {median:.2f}x (closure) / {aot_median:.2f}x (aot); "
+            f"validate-only {validate_median:.2f}x vs tree "
+            f"({validate_fast}/{len(results)} formats >= 1.5x) -> {output}"
+        )
     return 1 if failures else 0
 
 

@@ -29,11 +29,15 @@ keyword, plus an ahead-of-time emission mode:
   with constant folding, terminal matches become inlined slice comparisons,
   fixed-width integer builtins become inlined ``int.from_bytes`` calls, and
   the attribute environment lives in function locals instead of dicts.
-  Four optimization passes (:class:`Optimizations`) — module-level
+  Five optimization passes (:class:`Optimizations`) — module-level
   ``where`` rules with explicit closure cells, bare-``lo`` memo keys for
-  ``EOI``-anchored rules, memo elision for non-recursive rules, and
-  single-use rule inlining — take it to ~4x over the interpreter on the
-  paper's Figure 13 workloads (``benchmarks/bench_compiler_speedup.py``).
+  ``EOI``-anchored rules, memo elision for non-recursive rules,
+  single-use rule inlining (plain, array-element and switch-target call
+  sites), and first-byte dispatch tables (:mod:`repro.core.firstsets`) —
+  take it to ~4.8x over the interpreter on the paper's Figure 13
+  workloads (``benchmarks/bench_compiler_speedup.py``).  Tree-elision
+  execution modes (``parse(data, emit="spans"|None)``) skip parse-tree
+  construction entirely for validate-only and field-span consumers.
 * ``backend="interpreted"`` runs the reference tree-walking interpreter, a
   direct transcription of the big-step semantics (Figures 8/15).
 * ``compile_grammar(...).to_source()`` — or the ``repro compile`` CLI —

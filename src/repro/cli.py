@@ -112,7 +112,20 @@ def cmd_formats(_args) -> int:
     return 0
 
 
+def _render_spans(tree) -> str:
+    """Render an ``emit="spans"`` root node: spans plus computed attributes."""
+    lines = [
+        f"{tree.name}: touched bytes [{tree.env.get('start')}, "
+        f"{tree.env.get('end')}) of {tree.env.get('EOI')}"
+    ]
+    for name, value in tree.env.items():
+        if name not in ("EOI", "start", "end"):
+            lines.append(f"  {name} = {value}")
+    return "\n".join(lines)
+
+
 def cmd_parse(args) -> int:
+    emit = None if args.validate else ("spans" if args.spans else "tree")
     data = b"" if args.stream else _read_bytes(args.file)
     try:
         if args.format:
@@ -132,11 +145,13 @@ def cmd_parse(args) -> int:
             # Summaries that need the raw bytes (ELF's section hexdumps) do
             # not apply here — ELF is not streamable anyway.
             try:
-                tree = parser.parse_stream(_iter_chunks(args.file, args.chunk_size))
+                tree = parser.parse_stream(
+                    _iter_chunks(args.file, args.chunk_size), emit=emit
+                )
             except ParseFailure:
                 tree = None
         else:
-            tree = parser.try_parse(data)
+            tree = parser.try_parse(data, emit=emit)
     except IPGError as exc:
         # Grammar and configuration errors (syntax, attribute checking, a
         # reachable blackbox with no registered implementation, streaming a
@@ -147,6 +162,14 @@ def cmd_parse(args) -> int:
     if tree is None:
         print("parse failed: the input does not match the grammar", file=sys.stderr)
         return 1
+    if emit is None:
+        # Validate-only: the engines ran the tree-elision fast path and
+        # nothing was allocated; the exit code is the result.
+        print("input matches the grammar")
+        return 0
+    if emit == "spans":
+        print(_render_spans(tree))
+        return 0
     if args.tree or not args.format or args.format not in _SUMMARIZERS:
         print(tree.pretty())
     else:
@@ -178,10 +201,75 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_compile_package(args) -> int:
+    """``repro compile --package DIR``: one module per format + shared prelude."""
+    import os
+
+    from .core.codegen import render_package
+    from .core.compiler import Optimizations, compile_grammar
+    from .core.errors import CompilationError
+
+    names = [args.format] if args.format else sorted(registry)
+    optimizations = Optimizations.none() if args.no_optimize else None
+    compiled = {}
+    for name in names:
+        if name not in registry:
+            print(f"unknown format {name!r}; see `repro formats`", file=sys.stderr)
+            return 2
+        spec = registry[name]
+        try:
+            compiled[name] = compile_grammar(
+                spec.grammar_text, optimizations=optimizations
+            )
+        except CompilationError as exc:
+            print(
+                f"error: format {name!r} cannot be compiled ahead of time: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+    files = render_package(compiled)
+    os.makedirs(args.package, exist_ok=True)
+    total_lines = 0
+    for filename, source in sorted(files.items()):
+        path = os.path.join(args.package, filename)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        total_lines += len(source.splitlines())
+    print(
+        f"wrote {len(files)} modules ({total_lines} lines) to {args.package}: "
+        + ", ".join(sorted(files))
+    )
+    blackbox_notes = sorted(
+        name for name, c in compiled.items() if c.grammar.blackboxes
+    )
+    for name in blackbox_notes:
+        print(
+            f"note: {name}: register blackbox parser(s) "
+            f"{sorted(compiled[name].grammar.blackboxes)} with "
+            f"register_blackbox() before parsing"
+        )
+    return 0
+
+
 def cmd_compile(args) -> int:
     from .core.compiler import Optimizations, compile_grammar
     from .core.errors import CompilationError
 
+    if args.package:
+        if args.grammar or args.output:
+            print(
+                "error: --package emits the bundled format registry into DIR "
+                "and cannot be combined with a grammar file or -o/--output",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_compile_package(args)
+    if not args.format and not args.grammar:
+        print(
+            "error: compile needs --format, a grammar file, or --package DIR",
+            file=sys.stderr,
+        )
+        return 2
     if args.format:
         if args.format not in registry:
             print(
@@ -272,8 +360,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
     group = parse_command.add_mutually_exclusive_group(required=True)
     group.add_argument("--format", help="one of the bundled formats (see `formats`)")
     group.add_argument("--grammar", help="path to an IPG grammar file")
-    parse_command.add_argument(
+    mode_group = parse_command.add_mutually_exclusive_group()
+    mode_group.add_argument(
         "--tree", action="store_true", help="print the full parse tree instead of a summary"
+    )
+    mode_group.add_argument(
+        "--validate",
+        action="store_true",
+        help="accept/reject only: run the tree-elision fast path (no parse "
+        "tree is built) and report whether the input matches",
+    )
+    mode_group.add_argument(
+        "--spans",
+        action="store_true",
+        help="print the top-level attribute environment (field values and "
+        "touched-byte spans) via the tree-elision fast path",
     )
     parse_command.add_argument(
         "--backend",
@@ -311,7 +412,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     compile_command = commands.add_parser(
         "compile", help="emit an ahead-of-time standalone parser module"
     )
-    compile_group = compile_command.add_mutually_exclusive_group(required=True)
+    compile_group = compile_command.add_mutually_exclusive_group()
     compile_group.add_argument(
         "--format", help="one of the bundled formats (see `formats`)"
     )
@@ -322,10 +423,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "-o", "--output", help="write the module to this file (default: stdout)"
     )
     compile_command.add_argument(
+        "--package",
+        metavar="DIR",
+        help="emit a parser *package* into DIR: one module per bundled "
+        "format (or just --format's) plus one shared runtime prelude "
+        "module, instead of vendoring the prelude into every file",
+    )
+    compile_command.add_argument(
         "--no-optimize",
         action="store_true",
         help="disable the compiler optimization passes (module-level where "
-        "rules, dense memo keys, memo elision, single-use inlining)",
+        "rules, dense memo keys, memo elision, single-use inlining, "
+        "first-byte dispatch tables)",
     )
     compile_command.set_defaults(handler=cmd_compile)
 

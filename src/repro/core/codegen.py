@@ -33,11 +33,14 @@ from __future__ import annotations
 
 from typing import Optional
 
-#: Runtime support emitted into every standalone module.  Everything the
-#: generated rule functions reference lives here (or in the per-grammar
-#: constants section rendered by :func:`render_standalone_module`); the only
-#: non-stdlib import is the *optional* reuse of repro's parse-tree classes.
-_PRELUDE = '''\
+#: Runtime support emitted into every standalone module (and once, as the
+#: shared ``_prelude`` module, per package).  Everything the generated rule
+#: functions reference lives here (or in the per-grammar constants section
+#: rendered by :func:`render_standalone_module`) except the blackbox
+#: *registry*, which is per-module state (:data:`_PRELUDE_BLACKBOX`); the
+#: only non-stdlib import is the *optional* reuse of repro's parse-tree
+#: classes.
+_PRELUDE_BASE = '''\
 import sys as _sys
 
 #: Internal sentinels: parse failure (biased choice), memo miss, and a
@@ -369,14 +372,6 @@ def _run_builtin(name, data, lo, hi):
 
 # -- blackbox parsers --------------------------------------------------------
 
-#: Late-bound blackbox implementations; fill with ``register_blackbox``.
-BLACKBOXES = {}
-
-
-def register_blackbox(name, parser):
-    """Register (or replace) the implementation of a blackbox parser."""
-    BLACKBOXES[name] = parser
-
 
 def _normalize_blackbox_result(result, interval_length):
     if result is None:
@@ -394,6 +389,21 @@ def _normalize_blackbox_result(result, interval_length):
     raise TypeError(
         f"blackbox parser returned unsupported type {type(result).__name__}"
     )
+'''
+
+#: The blackbox *registry*: module-level mutable state, emitted once per
+#: parser module — into the standalone module, and into every per-format
+#: module of a package (two formats may declare same-named blackboxes with
+#: different implementations, and the shared prelude module must not offer
+#: a registration API nothing consults).
+_PRELUDE_BLACKBOX = '''\
+#: Late-bound blackbox implementations; fill with ``register_blackbox``.
+BLACKBOXES = {}
+
+
+def register_blackbox(name, parser):
+    """Register (or replace) the implementation of a blackbox parser."""
+    BLACKBOXES[name] = parser
 
 
 def _bb(name, data, lo, hi):
@@ -414,6 +424,10 @@ def _bb(name, data, lo, hi):
     attrs, payload, end = outcome
     return _wrap_outcome(name, attrs, end, payload, hi - lo)
 '''
+
+#: The full standalone prelude: shared runtime plus the per-module
+#: blackbox registry.
+_PRELUDE = _PRELUDE_BASE + "\n\n" + _PRELUDE_BLACKBOX
 
 #: Public entry points emitted after the generated rule functions.
 _EPILOGUE = '''\
@@ -460,6 +474,158 @@ def parse(data, start=None):
 '''
 
 
+#: Names every per-format package module pulls from the shared prelude
+#: module.  Everything else the generated rule functions and the public
+#: epilogue reference is either module-local (constants, dispatch tables,
+#: ``_ENTRY``/``_new_state``, the blackbox registry) or stdlib.
+_PACKAGE_IMPORTS = (
+    "ArrayNode",
+    "BlackboxError",
+    "EvaluationError",
+    "FAIL",
+    "IPGError",
+    "Leaf",
+    "Node",
+    "ParseFailure",
+    "_BFAIL",
+    "_BUILTINS",
+    "_MISS",
+    "_UB",
+    "_aidx",
+    "_badexists",
+    "_div",
+    "_exists",
+    "_ifb",
+    "_make_builtin_runner",
+    "_mk_array",
+    "_mk_leaf",
+    "_mk_node",
+    "_mod",
+    "_noarr",
+    "_nonode",
+    "_normalize_blackbox_result",
+    "_run_builtin",
+    "_shift_l",
+    "_shift_r",
+    "_undef",
+    "_wrap_outcome",
+)
+
+def _module_body(compiled) -> str:
+    """The generated rule functions, stripped of the in-memory docstring."""
+    body = compiled.source
+    marker = '"""Module staged by repro.core.compiler — one closure per alternative."""'
+    if body.startswith(marker):
+        body = body[len(marker) :].lstrip("\n")
+    return body.rstrip("\n")
+
+
+def _constant_lines(compiled) -> list:
+    constants = []
+    for var in sorted(compiled._leaf_consts):
+        constants.append(f"{var} = _mk_leaf({compiled._leaf_consts[var]!r})")
+    for var in sorted(compiled._builtin_runner_names):
+        constants.append(
+            f"{var} = _make_builtin_runner({compiled._builtin_runner_names[var]!r})"
+        )
+    return constants or ["# (none)"]
+
+
+def render_package(compiled_by_name, package_doc: Optional[str] = None):
+    """Render several compiled grammars as one package of parser modules.
+
+    Returns a mapping of file name to module source: one ``<format>.py``
+    per entry of ``compiled_by_name`` (keys are sanitized into module
+    names), a single shared ``_prelude.py`` carrying the runtime, and an
+    ``__init__.py``.  Unlike :func:`render_standalone_module`, the ~400
+    prelude lines are **not** vendored per format — each format module
+    only carries its grammar's generated functions, its constants, its
+    own late-bound blackbox registry and the public API.  The package
+    imports with nothing but the standard library on ``sys.path``
+    (``repro``'s parse-tree classes are still reused when importable, so
+    trees compare ``==`` across engines).
+    """
+    modules = {
+        name: f"{name.replace('-', '_')}" for name in compiled_by_name
+    }
+    if len(set(modules.values())) != len(modules):
+        raise ValueError("format names collide after module-name sanitization")
+    files = {}
+    # The shared module carries the runtime only; the blackbox registry is
+    # per-format state and lives in each format module.
+    files["_prelude.py"] = "\n".join(
+        [
+            '"""Shared runtime prelude for the generated parser package."""',
+            "",
+            _PRELUDE_BASE,
+        ]
+    )
+    if package_doc is None:
+        package_doc = (
+            "Ahead-of-time IPG parser package (generated by `repro compile "
+            "--package`).\n\nOne module per format, sharing the runtime "
+            "prelude module `_prelude`:\n"
+            + "\n".join(
+                f"  {module} (start symbol: {compiled_by_name[name].grammar.start})"
+                for name, module in sorted(modules.items())
+            )
+        )
+    files["__init__.py"] = "\n".join(
+        [
+            f'"""{package_doc}\n"""',
+            "",
+            f"FORMATS = {tuple(sorted(modules.values()))!r}",
+            "",
+        ]
+    )
+    imports = ",\n    ".join(_PACKAGE_IMPORTS)
+    for name, module in modules.items():
+        compiled = compiled_by_name[name]
+        grammar = compiled.grammar
+        declared = "".join(f"{bb!r}, " for bb in sorted(grammar.blackboxes))
+        module_doc = (
+            f"Standalone IPG parser for {name!r} (start symbol: "
+            f"{grammar.start}).\n\n"
+            "Generated ahead of time by `repro compile --package`; imports "
+            "with only the\nstandard library on sys.path (runtime shared "
+            "via the sibling `_prelude` module).\nPublic API: parse(data, "
+            "start=None), try_parse(data, start=None),\n"
+            "parse_nonterminal(data, name, lo, hi), register_blackbox(name, "
+            "fn), START,\nDECLARED_BLACKBOXES."
+        )
+        parts = [
+            f'"""{module_doc}\n"""',
+            "",
+            "import sys as _sys",
+            "",
+            f"from ._prelude import (\n    {imports},\n)",
+            "",
+            _PRELUDE_BLACKBOX,
+            "",
+            "# -- grammar constants -------------------------------------------------------",
+            "",
+        ]
+        parts += _constant_lines(compiled)
+        parts += [
+            "",
+            "",
+            "# -- generated rule functions ------------------------------------------------",
+            "",
+            _module_body(compiled),
+            "",
+            "",
+            "# -- public API --------------------------------------------------------------",
+            "",
+            f"START = {grammar.start!r}",
+            f"DECLARED_BLACKBOXES = frozenset(({declared}))" if declared
+            else "DECLARED_BLACKBOXES = frozenset()",
+            "",
+            _EPILOGUE,
+        ]
+        files[f"{module}.py"] = "\n".join(parts)
+    return files
+
+
 def render_standalone_module(compiled, module_doc: Optional[str] = None) -> str:
     """Render a :class:`~repro.core.compiler.CompiledGrammar` as module source.
 
@@ -476,21 +642,6 @@ def render_standalone_module(compiled, module_doc: Optional[str] = None) -> str:
             "try_parse(data, start=None), parse_nonterminal(data, name, lo, hi),\n"
             "register_blackbox(name, fn), START, DECLARED_BLACKBOXES."
         )
-    body = compiled.source
-    # The in-memory compilation prefixes its own module docstring; drop it in
-    # favour of the standalone header.
-    marker = '"""Module staged by repro.core.compiler — one closure per alternative."""'
-    if body.startswith(marker):
-        body = body[len(marker) :].lstrip("\n")
-
-    constants = []
-    for var in sorted(compiled._leaf_consts):
-        constants.append(f"{var} = _mk_leaf({compiled._leaf_consts[var]!r})")
-    for var in sorted(compiled._builtin_runner_names):
-        constants.append(
-            f"{var} = _make_builtin_runner({compiled._builtin_runner_names[var]!r})"
-        )
-
     declared = "".join(f"{name!r}, " for name in sorted(grammar.blackboxes))
     parts = [
         f'"""{module_doc}\n"""',
@@ -500,13 +651,13 @@ def render_standalone_module(compiled, module_doc: Optional[str] = None) -> str:
         "# -- grammar constants -------------------------------------------------------",
         "",
     ]
-    parts += constants or ["# (none)"]
+    parts += _constant_lines(compiled)
     parts += [
         "",
         "",
         "# -- generated rule functions ------------------------------------------------",
         "",
-        body.rstrip("\n"),
+        _module_body(compiled),
         "",
         "",
         "# -- public API --------------------------------------------------------------",

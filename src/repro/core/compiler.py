@@ -20,7 +20,7 @@ Parser` construction time, into plain Python functions:
   in a state list threaded through the calls, so concurrent and reentrant
   parses are isolated like the interpreter's per-run memo.
 
-On top of that baseline, four optimization passes (individually toggleable
+On top of that baseline, five optimization passes (individually toggleable
 through :class:`Optimizations`) specialize further:
 
 * **module-level where rules** — ``where`` local rules compile to
@@ -40,9 +40,21 @@ through :class:`Optimizations`) specialize further:
   :func:`repro.core.cycles.recursive_vertices`) skip memoization entirely:
   a correct parse re-derives their result, it never corrupts it;
 * **single-use inlining** — a rule with one alternative referenced from
-  exactly one call site (e.g. ``FileName -> Bytes``) is expanded into that
-  call site, eliminating the call, the memo probe and the environment
-  rebase copy.
+  exactly one call site (a plain nonterminal term like ``FileName ->
+  Bytes``, an array element like ELF's ``Sym``, or a switch-case target)
+  is expanded into that call site, eliminating the call, the memo probe
+  and the environment rebase copy;
+* **first-byte dispatch** — where the FIRST-set analysis
+  (:mod:`repro.core.firstsets`) proves the window's first byte
+  discriminates between alternatives, the dispatcher jumps through a
+  256-entry tuple table (or a 256-byte admissibility mask for
+  single-alternative rules) instead of trying alternatives in order.
+
+A separate **tree-elision** compilation (``compile_grammar(...,
+elide_tree=True)``) backs ``Parser.parse(data, emit="spans"|None)``: the
+generated alternatives keep the full attribute semantics but skip all
+children lists, ``Leaf`` payload copies and ``ArrayNode`` wrappers,
+returning env-carrying node shells only.
 
 The compiled backend produces parse trees *identical* (``==``) to the
 interpreter; the cross-engine matrix (``tests/engine_matrix.py``) enforces
@@ -54,7 +66,8 @@ into a silent fallback to the interpreter.
 
 Public API:
 
-``compile_grammar(grammar, memoize=True, blackboxes=None, optimizations=None)``
+``compile_grammar(grammar, memoize=True, blackboxes=None, optimizations=None,
+elide_tree=False)``
     Stage a prepared grammar and return a :class:`CompiledGrammar`.
 
 ``CompiledGrammar.to_source()``
@@ -129,13 +142,20 @@ class Optimizations:
     dense_memo: bool = True
     #: Skip memo tables for rules that cannot recur.
     skip_nonrecursive_memo: bool = True
-    #: Expand single-use single-alternative rules into their call site.
+    #: Expand single-use single-alternative rules into their call site
+    #: (plain nonterminal, array-element and switch-target sites).
     inline_single_use: bool = True
+    #: Replace ordered trial-and-backtrack with byte-indexed jump tables
+    #: where the FIRST-set analysis (:mod:`repro.core.firstsets`) prunes
+    #: alternatives: 256-entry tuples of alternative functions for
+    #: multi-alternative rules, 256-byte admissibility masks for
+    #: single-alternative rules.
+    first_byte_dispatch: bool = True
 
     @classmethod
     def none(cls) -> "Optimizations":
         """The PR-1 baseline: no optimization passes."""
-        return cls(False, False, False, False)
+        return cls(False, False, False, False, False)
 
 
 # ---------------------------------------------------------------------------
@@ -190,6 +210,23 @@ def _aidx(elements, position, name, attr):
     )
 
 
+def _aidx_env(envs, position, name, attr):
+    """``_aidx`` for tree-elided parses, whose element lists hold bare envs."""
+    if 0 <= position < len(envs):
+        return envs[position][attr]
+    raise EvaluationError(
+        f"array reference {name}({position}) out of range "
+        f"(array has {len(envs)} elements)"
+    )
+
+
+#: Children of every node of a tree-elided parse: one shared immutable
+#: empty tuple, so node allocation stays down to the env-carrying shell
+#: the attribute semantics require and no caller can corrupt shared state
+#: by mutating a returned root's ``children``.
+_SHARED_EMPTY: tuple = ()
+
+
 def _undef(name):
     raise EvaluationError(f"undefined attribute or loop variable {name!r}")
 
@@ -241,12 +278,34 @@ def _make_builtin_runner(name):
     return run
 
 
+def _make_builtin_runner_elided(name):
+    """Builtin runner for tree-elided parses: same env, no payload Leaf.
+
+    ``Bytes`` runs ``Raw``'s parser outright — the two compute identical
+    attributes (``len``/``val`` = interval length, ``end`` = interval
+    length) and differ only in the payload copy elision exists to skip.
+    """
+    parse = BUILTINS["Raw" if name == "Bytes" else name].parse
+
+    def run(data, lo, hi):
+        outcome = parse(data, lo, hi)
+        if outcome is BUILTIN_FAIL:
+            return FAIL
+        attrs, end, _payload = outcome
+        length = hi - lo
+        env = {"EOI": length, "start": 0 if end else length, "end": end}
+        env.update(attrs)
+        return _mk_node(name, env, _SHARED_EMPTY)
+
+    return run
+
+
 def _run_builtin(name, data, lo, hi):
     """Run a builtin by name (slow path for builtin start symbols)."""
     return _make_builtin_runner(name)(data, lo, hi)
 
 
-def _make_blackbox_runner(blackboxes):
+def _make_blackbox_runner(blackboxes, elide_tree=False):
     """Blackbox dispatch closed over the parser's *live* registry dict."""
 
     def run(name, data, lo, hi):
@@ -265,6 +324,8 @@ def _make_blackbox_runner(blackboxes):
         if outcome is BUILTIN_FAIL:
             return FAIL
         attrs, payload, end = outcome
+        if elide_tree:
+            payload = None  # the blackbox still runs; only its Leaf is dropped
         return _wrap_outcome(name, attrs, end, payload, hi - lo)
 
     return run
@@ -412,21 +473,23 @@ def _inline_candidates(
     """Rules expandable into their (unique) call site.
 
     Conditions: exactly one alternative, no local rules, referenced from
-    exactly one call site grammar-wide, that site is a plain nonterminal
-    term, and the rule is not recursive (which also rules out mutual
-    inlining cycles).
+    exactly one call site grammar-wide, and the rule is not recursive
+    (which also rules out mutual inlining cycles).  The site may be a
+    plain nonterminal term, an array element, or a switch-case target:
+    the expansion runs with its own window locals and a parentless scope,
+    which is exactly the context a top-level rule sees from any of the
+    three (the interpreter passes no caller context either, and a loop
+    iteration or switch branch failing mid-expansion fails the caller's
+    alternative just like a propagated callee FAIL).
     """
     uses: Dict[str, int] = {}
-    kinds: Dict[str, Set[str]] = {}
     for site in sites:
         if site.target_kind == "top":
             uses[site.target] = uses.get(site.target, 0) + 1
-            kinds.setdefault(site.target, set()).add(site.kind)
     candidates: Set[str] = set()
     for name, rule in grammar.rules.items():
         if (
             uses.get(name) == 1
-            and kinds.get(name) == {"nt"}
             and name not in recursive
             and len(rule.alternatives) == 1
             and not rule.alternatives[0].local_rules
@@ -440,6 +503,45 @@ def _inline_candidates(
 # ---------------------------------------------------------------------------
 
 
+class _ChildSink:
+    """Destination of an alternative's children, chosen per alternative.
+
+    ``display``
+        The child sequence is static (no switch/array terms): child
+        expressions are collected at compile time and the final node is
+        built with a single list display — no per-child ``.append`` calls.
+    ``append``
+        A switch or array term makes the sequence dynamic: fall back to a
+        list local plus appends.
+    ``none``
+        Tree elision: children are never materialized and every node
+        shares the module-level empty list ``_E``.
+    """
+
+    __slots__ = ("mode", "var", "items")
+
+    def __init__(self, mode: str, var: Optional[str] = None):
+        self.mode = mode
+        self.var = var
+        self.items: List[str] = []
+
+    def add(self, expr: Optional[str], body: List[str]) -> None:
+        if self.mode == "append":
+            body.append(f"{self.var}.append({expr})")
+        elif self.mode == "display":
+            self.items.append(expr)
+
+    def init_lines(self) -> List[str]:
+        return [f"{self.var} = []"] if self.mode == "append" else []
+
+    def final_expr(self) -> str:
+        if self.mode == "append":
+            return self.var
+        if self.mode == "display":
+            return "[" + ", ".join(self.items) + "]"
+        return "_E"
+
+
 class _GrammarCompiler:
     """Translates one prepared grammar into a module of specialized closures."""
 
@@ -448,10 +550,27 @@ class _GrammarCompiler:
         grammar: Grammar,
         memoize: bool = True,
         optimizations: Optional[Optimizations] = None,
+        elide_tree: bool = False,
+        stream_dispatch_cache: bool = False,
     ):
         self.grammar = grammar
         self.memoize = memoize
         self.opts = optimizations if optimizations is not None else Optimizations()
+        #: Streaming-variant compilations remember each dispatch decision
+        #: in a per-parse ``lo``-keyed table instead of re-reading
+        #: ``data[lo]`` on every re-entry: the byte at a given offset never
+        #: changes, and the re-read of an in-flight spine rule would pin
+        #: the compaction watermark at its window start (whole-stream
+        #: buffering).  Batch parses read directly — cheaper than a dict
+        #: probe when every rule runs exactly once per window.
+        self.stream_cache = stream_dispatch_cache
+        #: Tree elision: generated alternatives keep the full attribute
+        #: semantics (envs, records, arrays-of-envs) but never build
+        #: children lists, Leafs or ArrayNodes — the execution mode behind
+        #: ``Parser.parse(data, emit="spans"|None)``.
+        self.elide = elide_tree
+        #: Rule name -> firstsets.DispatchPlan for byte-indexed choice.
+        self.dispatch_plans: Dict[str, object] = {}
         self.namer = Namer()
         self.rule_fns: Dict[str, str] = {}
         #: Memo-table slot kinds of the per-parse state list ``st``:
@@ -504,7 +623,8 @@ class _GrammarCompiler:
         if var is None:
             var = f"_bi_{self._token(name)}"
             self._runner_cache[name] = var
-            self.constants[var] = _make_builtin_runner(name)
+            maker = _make_builtin_runner_elided if self.elide else _make_builtin_runner
+            self.constants[var] = maker(name)
         return var
 
     def _abs(self, offset: str) -> str:
@@ -515,6 +635,16 @@ class _GrammarCompiler:
         """Mirror a (re)bound local into the scope's closure-cell list."""
         if scope.uses_cells:
             body.append(f"{scope.cell_local}[{scope.cell(local)}] = {local}")
+
+    def _make_sink(self, alternative: Alternative, fid: str) -> _ChildSink:
+        """Pick the children representation for one alternative's node."""
+        if self.elide:
+            return _ChildSink("none")
+        if any(
+            isinstance(term, (TermArray, TermSwitch)) for term in alternative.terms
+        ):
+            return _ChildSink("append", f"_ch{fid}")
+        return _ChildSink("display")
 
     # -- top level ---------------------------------------------------------
     def _check_dynamic_shadowing(self) -> None:
@@ -582,6 +712,10 @@ class _GrammarCompiler:
         )
         if self.opts.inline_single_use:
             self._inline = _inline_candidates(self.grammar, sites, recursive)
+        if self.opts.first_byte_dispatch:
+            from .firstsets import dispatch_plans  # deferred: keeps imports light
+
+            self.dispatch_plans = dispatch_plans(self.grammar)
         for name in self.grammar.rules:
             if not self.memoize:
                 self.memo_modes[name] = "unmemoized"
@@ -646,6 +780,14 @@ class _GrammarCompiler:
                 rule.name, alternative, alt_fn, parent_scope, bindings, with_cells
             )
             lines.append("")
+        plan = self.dispatch_plans.get(rule.name) if toplevel else None
+        cache_slot = None
+        if plan is not None:
+            lines += self._emit_dispatch_table(plan, alt_fns, token)
+            lines.append("")
+            if self.stream_cache:
+                cache_slot = len(self.memo_slots)
+                self.memo_slots.append("b")
         body: List[str] = []
         if memo_mode in ("dict", "dense"):
             if not toplevel:  # pragma: no cover - local rules are never memoized
@@ -667,11 +809,11 @@ class _GrammarCompiler:
             body.append("_v = _m.get(_key, _MISS)")
             body.append("if _v is not _MISS:")
             body.append("    return _v")
-            body.append(f"_v = {alt_fns[0]}(st, data, lo, hi)")
-            for alt_fn in alt_fns[1:]:
-                body.append("if _v is FAIL:")
-                body.append(f"    _v = {alt_fn}(st, data, lo, hi)")
+            body += self._attempt_lines(plan, alt_fns, token, args, cache_slot)
             body.append("_m[_key] = _v")
+            body.append("return _v")
+        elif plan is not None:
+            body += self._attempt_lines(plan, alt_fns, token, args, cache_slot)
             body.append("return _v")
         elif len(alt_fns) == 1:
             body.append(f"return {alt_fns[0]}({args})")
@@ -684,6 +826,113 @@ class _GrammarCompiler:
         lines.append(f"def {fn_name}({args}):")
         lines += _indent(body)
         return lines
+
+    def _emit_dispatch_table(self, plan, alt_fns: List[str], token: str) -> List[str]:
+        """Emit the module-level jump table for one rule's biased choice.
+
+        Multi-alternative rules get a 256-entry tuple of (shared)
+        alternative-function tuples plus an empty-window tuple;
+        single-alternative rules collapse to a 256-byte admissibility mask.
+        Everything is plain source, so ahead-of-time emission
+        (:mod:`repro.core.codegen`) vendors the tables as module-level
+        constants for free.
+        """
+        lines: List[str] = []
+        if len(alt_fns) == 1:
+            mask = bytes(1 if entry else 0 for entry in plan.table)
+            lines.append(f"_fbm_{token} = {mask!r}")
+            lines.append(f"_fbe_{token} = {1 if plan.empty else 0}")
+            return lines
+        groups: Dict[Tuple[int, ...], str] = {}
+        order: List[Tuple[int, ...]] = []
+        for entry in tuple(plan.table) + (plan.empty,):
+            if entry not in groups:
+                groups[entry] = f"_fb{len(groups)}_{token}"
+                order.append(entry)
+        for entry in order:
+            rendered = ", ".join(alt_fns[index] for index in entry)
+            if len(entry) == 1:
+                rendered += ","
+            lines.append(f"{groups[entry]} = ({rendered})")
+        lines.append(f"_fbt_{token} = (")
+        for start in range(0, 256, 8):
+            row = ", ".join(groups[entry] for entry in plan.table[start : start + 8])
+            lines.append(f"    {row},")
+        lines.append(")")
+        lines.append(f"_fbe_{token} = {groups[plan.empty]}")
+        return lines
+
+    def _attempt_lines(
+        self,
+        plan,
+        alt_fns: List[str],
+        token: str,
+        args: str,
+        cache_slot: Optional[int] = None,
+    ) -> List[str]:
+        """Byte-dispatched biased choice, leaving the outcome in ``_v``.
+
+        Reading ``data[lo]`` (and comparing ``lo < hi``) is exactly as
+        streaming-safe as the alternatives themselves: on a
+        :class:`~repro.core.streaming.StreamBuffer` an undecidable read
+        suspends via ``NeedMoreInput`` after pinning its offset for the
+        compaction policy, and the whole attempt unwinds — no decision is
+        committed on incomplete information.  With ``cache_slot`` set (the
+        streaming variant), each successful decision is remembered in a
+        per-parse ``lo``-keyed table so re-entries of in-flight rules never
+        touch the buffer again — the read of a spine rule's first byte on
+        every attempt would otherwise pin the compaction watermark at its
+        window start.
+        """
+        if plan is None:
+            body = [f"_v = {alt_fns[0]}({args})"]
+            for alt_fn in alt_fns[1:]:
+                body.append("if _v is FAIL:")
+                body.append(f"    _v = {alt_fn}({args})")
+            return body
+        if len(alt_fns) == 1:
+            if cache_slot is None:
+                probe = [
+                    "if lo < hi:",
+                    f"    _ok = _fbm_{token}[data[lo]]",
+                ]
+            else:
+                probe = [
+                    "if lo < hi:",
+                    f"    _dc = st[{cache_slot}]",
+                    "    _ok = _dc.get(lo)",
+                    "    if _ok is None:",
+                    f"        _ok = _fbm_{token}[data[lo]]",
+                    "        _dc[lo] = _ok",
+                ]
+            return probe + [
+                "else:",
+                f"    _ok = _fbe_{token}",
+                f"_v = {alt_fns[0]}({args}) if _ok else FAIL",
+            ]
+        if cache_slot is None:
+            probe = [
+                "if lo < hi:",
+                f"    _fs = _fbt_{token}[data[lo]]",
+            ]
+        else:
+            probe = [
+                "if lo < hi:",
+                f"    _dc = st[{cache_slot}]",
+                "    _fs = _dc.get(lo)",
+                "    if _fs is None:",
+                f"        _fs = _fbt_{token}[data[lo]]",
+                "        _dc[lo] = _fs",
+            ]
+        return probe + [
+            "else:",
+            f"    _fs = _fbe_{token}",
+            "_v = FAIL",
+            "for _f in _fs:",
+            f"    _v = _f({args})",
+            "    if _v is not FAIL:",
+            "        break",
+        ]
 
     # -- alternatives ------------------------------------------------------
     def _compile_alternative(
@@ -715,7 +964,7 @@ class _GrammarCompiler:
     ) -> List[str]:
         fid = self.namer.fresh("")
         scope = Scope(fid, parent_scope)
-        children = f"_ch{fid}"
+        sink = self._make_sink(alternative, fid)
         # Local (where) rules are visible to the terms and to each other;
         # function names are fixed before term compilation, bodies are
         # compiled afterwards so they close over the fully populated scope.
@@ -746,7 +995,7 @@ class _GrammarCompiler:
         body: List[str] = []
         attr_order: List[str] = []
         for term in alternative.terms:
-            self._emit_term(term, scope, local_bindings, body, attr_order, children)
+            self._emit_term(term, scope, local_bindings, body, attr_order, sink)
 
         # Loop variables go out of scope after their array term, but local
         # rules are *called* from inside the loop, where the binding is live:
@@ -800,8 +1049,8 @@ class _GrammarCompiler:
             f"{scope.eoi} = _hl{fid}",
             f"{scope.start} = _hl{fid}",
             f"{scope.end} = 0",
-            f"{children} = []",
         ]
+        inner += sink.init_lines()
         if scope.uses_cells:
             parent_cells = "_cells" if parent_scope is not None else "None"
             slots = ", ".join(["_UB"] * len(scope.cell_slots))
@@ -819,7 +1068,8 @@ class _GrammarCompiler:
         inner.append("except (EvaluationError, KeyError, NameError):")
         inner.append("    return FAIL")
         inner.append(
-            f"return _mk_node({rule_name!r}, {{{', '.join(env_items)}}}, {children})"
+            f"return _mk_node({rule_name!r}, {{{', '.join(env_items)}}}, "
+            f"{sink.final_expr()})"
         )
         return inner
 
@@ -831,7 +1081,7 @@ class _GrammarCompiler:
         bindings: Dict[str, Tuple[str, Scope]],
         body: List[str],
         attr_order: List[str],
-        children: str,
+        sink: _ChildSink,
     ) -> None:
         if isinstance(term, TermAttrDef):
             source = compile_expr(term.expr, scope, self.namer)
@@ -850,7 +1100,7 @@ class _GrammarCompiler:
             body.append("    return FAIL")
             return
         if isinstance(term, TermTerminal):
-            self._emit_terminal(term, scope, body, children)
+            self._emit_terminal(term, scope, body, sink)
             return
         if isinstance(term, TermNonterminal):
             left, right = self._emit_interval(term.interval, scope, body)
@@ -861,13 +1111,13 @@ class _GrammarCompiler:
             body.append(f"{record} = {env}")
             self._mirror(scope, record, body)
             scope.node_envs[term.name] = (record, True)
-            body.append(f"{children}.append({node})")
+            sink.add(node, body)
             return
         if isinstance(term, TermArray):
-            self._emit_array(term, scope, bindings, body, children)
+            self._emit_array(term, scope, bindings, body, sink)
             return
         if isinstance(term, TermSwitch):
-            self._emit_switch(term, scope, bindings, body, children)
+            self._emit_switch(term, scope, bindings, body, sink)
             return
         raise CompilationError(f"cannot compile term kind {type(term).__name__}")
 
@@ -945,7 +1195,7 @@ class _GrammarCompiler:
             return f"{left} + {right}"
 
     def _emit_terminal(
-        self, term: TermTerminal, scope: Scope, body: List[str], children: str
+        self, term: TermTerminal, scope: Scope, body: List[str], sink: _ChildSink
     ) -> None:
         left, right = self._emit_interval(term.interval, scope, body)
         literal = term.value
@@ -962,9 +1212,14 @@ class _GrammarCompiler:
         if literal:
             position = self.namer.fresh("_p")
             body.append(f"{position} = {self._abs(left)}")
-            body.append(
-                f"if data[{position}:{position} + {width}] != {literal!r}:"
-            )
+            if width == 1:
+                # Single-byte magic (block introducers, terminators): an
+                # integer compare instead of a one-byte slice allocation.
+                body.append(f"if data[{position}] != {literal[0]}:")
+            else:
+                body.append(
+                    f"if data[{position}:{position} + {width}] != {literal!r}:"
+                )
             body.append("    return FAIL")
             # updStartEnd with [left, left + |s|), touched.
             body.append(f"if {left} < {scope.start}:")
@@ -972,7 +1227,8 @@ class _GrammarCompiler:
             end = self._plus(left, width)
             body.append(f"if {end} > {scope.end}:")
             body.append(f"    {scope.end} = {end}")
-        body.append(f"{children}.append({self._leaf_const(literal)})")
+        if sink.mode != "none":
+            sink.add(self._leaf_const(literal), body)
 
     def _emit_nt_parse(
         self,
@@ -1028,6 +1284,21 @@ class _GrammarCompiler:
         body.append("    return FAIL")
         env = self.namer.fresh("_e")
         untouched = self.namer.fresh("_z")
+        if left == "0":
+            # Rebasing by 0 is the identity: reuse the callee's node and
+            # env unchanged (nothing ever mutates a recorded env, so
+            # sharing with the memo table is safe).  This elides one dict
+            # copy and one node allocation per leading-term rule call.
+            start = self.namer.fresh("_x")
+            body.append(f"{env} = {result}.env")
+            body.append(f"{untouched} = {env}['end']")
+            body.append(f"if {untouched}:")
+            body.append(f"    {start} = {env}['start']")
+            body.append(f"    if {start} < {scope.start}:")
+            body.append(f"        {scope.start} = {start}")
+            body.append(f"    if {untouched} > {scope.end}:")
+            body.append(f"        {scope.end} = {untouched}")
+            return (None if self.elide else result), env
         start = self.namer.fresh("_x")
         end = self.namer.fresh("_y")
         body.append(f"{env} = dict({result}.env)")
@@ -1036,8 +1307,11 @@ class _GrammarCompiler:
         body.append(f"{end} = {left} + {untouched}")
         body.append(f"{env}['start'] = {start}")
         body.append(f"{env}['end'] = {end}")
-        node = self.namer.fresh("_d")
-        body.append(f"{node} = _mk_node({name!r}, {env}, {result}.children)")
+        if self.elide:
+            node = None
+        else:
+            node = self.namer.fresh("_d")
+            body.append(f"{node} = _mk_node({name!r}, {env}, {result}.children)")
         body.append(f"if {untouched}:")
         body.append(f"    if {start} < {scope.start}:")
         body.append(f"        {scope.start} = {start}")
@@ -1074,15 +1348,15 @@ class _GrammarCompiler:
         try:
             iscope = Scope(self.namer.fresh(""), None)
             fid = iscope.fid
-            children = f"_ch{fid}"
+            sink = self._make_sink(alternative, fid)
             body.append(f"_hl{fid} = {ihi} - {ilo}")
             body.append(f"{iscope.eoi} = _hl{fid}")
             body.append(f"{iscope.start} = _hl{fid}")
             body.append(f"{iscope.end} = 0")
-            body.append(f"{children} = []")
+            body += sink.init_lines()
             attr_order: List[str] = []
             for term in alternative.terms:
-                self._emit_term(term, iscope, {}, body, attr_order, children)
+                self._emit_term(term, iscope, {}, body, attr_order, sink)
         finally:
             self._inlining.discard(name)
             self._lo, self._hi = saved_frame
@@ -1100,8 +1374,11 @@ class _GrammarCompiler:
         env_items += [f"{n!r}: {iscope.names[n]}" for n in attr_order]
         env = self.namer.fresh("_e")
         body.append(f"{env} = {{{', '.join(env_items)}}}")
-        node = self.namer.fresh("_d")
-        body.append(f"{node} = _mk_node({name!r}, {env}, {children})")
+        if self.elide:
+            node = None
+        else:
+            node = self.namer.fresh("_d")
+            body.append(f"{node} = _mk_node({name!r}, {env}, {sink.final_expr()})")
         body.append(f"if {iscope.end}:")
         body.append(f"    if {start} < {scope.start}:")
         body.append(f"        {scope.start} = {start}")
@@ -1130,15 +1407,20 @@ class _GrammarCompiler:
         elif not fits:
             body.append("return FAIL")
         position = self.namer.fresh("_p")
-        window = self.namer.fresh("_w")
         body.append(f"{position} = {self._abs(left)}")
-        body.append(f"{window} = data[{position}:{position} + {width}]")
-        if width == 1 and not signed:
-            value = f"{window}[0]"
-        elif signed:
-            value = f"_ifb({window}, {byteorder!r}, signed=True)"
+        if self.elide and width == 1 and not signed:
+            # No Leaf is kept, so the one-byte window never materializes.
+            window = None
+            value = f"data[{position}]"
         else:
-            value = f"_ifb({window}, {byteorder!r})"
+            window = self.namer.fresh("_w")
+            body.append(f"{window} = data[{position}:{position} + {width}]")
+            if width == 1 and not signed:
+                value = f"{window}[0]"
+            elif signed:
+                value = f"_ifb({window}, {byteorder!r}, signed=True)"
+            else:
+                value = f"_ifb({window}, {byteorder!r})"
         env = self.namer.fresh("_e")
         end = self._plus(left, width)
         try:
@@ -1148,8 +1430,11 @@ class _GrammarCompiler:
         body.append(
             f"{env} = {{'EOI': {eoi}, 'start': {left}, 'end': {end}, 'val': {value}}}"
         )
-        node = self.namer.fresh("_d")
-        body.append(f"{node} = _mk_node({name!r}, {env}, [_mk_leaf({window})])")
+        if self.elide:
+            node = None
+        else:
+            node = self.namer.fresh("_d")
+            body.append(f"{node} = _mk_node({name!r}, {env}, [_mk_leaf({window})])")
         body.append(f"if {left} < {scope.start}:")
         body.append(f"    {scope.start} = {left}")
         body.append(f"if {end} > {scope.end}:")
@@ -1162,7 +1447,7 @@ class _GrammarCompiler:
         scope: Scope,
         bindings: Dict[str, Tuple[str, Scope]],
         body: List[str],
-        children: str,
+        sink: _ChildSink,
     ) -> None:
         element = term.element.name
         # Loop bounds are evaluated before the (fresh) element list becomes
@@ -1193,8 +1478,12 @@ class _GrammarCompiler:
             # through the cell.
             self._mirror(scope, loop_var, loop)
         left, right = self._emit_interval(term.element.interval, scope, loop)
-        node, _env = self._emit_nt_parse(element, left, right, scope, bindings, loop)
-        loop.append(f"{elements}.append({node})")
+        node, env = self._emit_nt_parse(
+            element, left, right, scope, bindings, loop, allow_inline=True
+        )
+        # Tree-elided element lists hold bare envs (read through the
+        # _aidx_env runtime variant); tree-building ones hold the nodes.
+        loop.append(f"{elements}.append({env if self.elide else node})")
         body.append(f"for {loop_var} in range({first}, {stop}):")
         body += _indent(loop)
 
@@ -1211,7 +1500,8 @@ class _GrammarCompiler:
                 body.append(f"{loop_var} = _UB")
                 self._mirror(scope, loop_var, body)
             del scope.names[term.var]
-        body.append(f"{children}.append(_mk_array({element!r}, {elements}))")
+        if sink.mode != "none":
+            sink.add(f"_mk_array({element!r}, {elements})", body)
 
     def _emit_switch(
         self,
@@ -1219,7 +1509,7 @@ class _GrammarCompiler:
         scope: Scope,
         bindings: Dict[str, Tuple[str, Scope]],
         body: List[str],
-        children: str,
+        sink: _ChildSink,
     ) -> None:
         # Switch-case targets are recorded conditionally: pre-initialise the
         # record locals to None so Dot references fall through to enclosing
@@ -1238,12 +1528,13 @@ class _GrammarCompiler:
             branch: List[str] = []
             left, right = self._emit_interval(case.target.interval, scope, branch)
             node, env = self._emit_nt_parse(
-                case.target.name, left, right, scope, bindings, branch
+                case.target.name, left, right, scope, bindings, branch,
+                allow_inline=True,
             )
             record, _certain = scope.node_envs[case.target.name]
             branch.append(f"{record} = {env}")
             self._mirror(scope, record, branch)
-            branch.append(f"{children}.append({node})")
+            sink.add(node, branch)
             if case.condition is None:
                 has_default = True
                 body.append("else:" if not first else "if 1:")
@@ -1280,6 +1571,9 @@ class CompiledGrammar:
         "optimizations",
         "memo_modes",
         "blackboxes",
+        "elide_tree",
+        "inlined_rules",
+        "dispatched_rules",
         "_entry",
         "_new_state",
         "_bb",
@@ -1304,6 +1598,13 @@ class CompiledGrammar:
         #: how each rule's packrat memo was specialized.
         self.memo_modes = dict(compiler.memo_modes)
         self.blackboxes = blackboxes
+        #: Whether this compilation elides parse-tree construction (the
+        #: engine behind ``Parser.parse(..., emit="spans"|None)``).
+        self.elide_tree = compiler.elide
+        #: Rules expanded into their single call site.
+        self.inlined_rules = frozenset(compiler._inline)
+        #: Rules whose biased choice goes through a first-byte jump table.
+        self.dispatched_rules = frozenset(compiler.dispatch_plans)
         self._entry = namespace["_ENTRY"]
         self._new_state = namespace["_new_state"]
         self._bb = namespace["_bb"]
@@ -1327,6 +1628,11 @@ class CompiledGrammar:
         """
         return self._new_state()
 
+    def run_builtin(self, name: str, data, lo, hi):
+        """Run a builtin start symbol, honouring this compilation's mode."""
+        maker = _make_builtin_runner_elided if self.elide_tree else _make_builtin_runner
+        return maker(name)(data, lo, hi)
+
     def parse_nonterminal(self, data: bytes, name: str, lo: int, hi: int):
         """``s[lo, hi] ⊢ name ⇓ R`` through the compiled closures."""
         state = self._new_state()
@@ -1334,7 +1640,7 @@ class CompiledGrammar:
         if fn is not None:
             return fn(state, data, lo, hi)
         if is_builtin(name):
-            return _run_builtin(name, data, lo, hi)
+            return self.run_builtin(name, data, lo, hi)
         if name in self.grammar.blackboxes:
             return self._bb(name, data, lo, hi)
         raise IPGError(f"no rule, builtin or blackbox for nonterminal {name!r}")
@@ -1349,6 +1655,12 @@ class CompiledGrammar:
         """
         from .codegen import render_standalone_module  # deferred: avoids a cycle
 
+        if self.elide_tree:
+            raise IPGError(
+                "a tree-elided compilation cannot be emitted ahead of time; "
+                "compile with elide_tree=False (emitted modules always build "
+                "trees)"
+            )
         return render_standalone_module(self, module_doc=module_doc)
 
     def load_module(self, name: str = "ipg_aot_parser"):
@@ -1375,6 +1687,8 @@ def compile_grammar(
     memoize: bool = True,
     blackboxes: Optional[Dict[str, object]] = None,
     optimizations: Optional[Optimizations] = None,
+    elide_tree: bool = False,
+    stream_dispatch_cache: bool = False,
 ) -> CompiledGrammar:
     """Stage ``grammar`` into specialized Python closures.
 
@@ -1382,10 +1696,28 @@ def compile_grammar(
     contains a construct the compiler cannot specialize; ``Parser`` treats
     that as a cue to fall back to the reference interpreter.
     ``optimizations`` selects the pass set (all passes by default).
+
+    ``elide_tree=True`` compiles the tree-elision fast path: the generated
+    alternatives keep the complete attribute semantics (environments,
+    records, arrays of element environments) but never build children
+    lists, ``Leaf`` payloads or ``ArrayNode`` wrappers — rule results are
+    env-carrying shells sharing one empty children tuple.  It backs
+    ``Parser.parse(data, emit="spans"|None)`` and ``accepts``.
+
+    ``stream_dispatch_cache=True`` (set by the streaming variant) makes
+    first-byte dispatch decisions memoized per parse, so re-entries after
+    a suspension never re-read already-dispatched bytes — required for
+    the compaction guarantee of compacted streams.
     """
     prepared = prepare_grammar(grammar)
     registry = blackboxes if blackboxes is not None else {}
-    compiler = _GrammarCompiler(prepared, memoize=memoize, optimizations=optimizations)
+    compiler = _GrammarCompiler(
+        prepared,
+        memoize=memoize,
+        optimizations=optimizations,
+        elide_tree=elide_tree,
+        stream_dispatch_cache=stream_dispatch_cache,
+    )
     source = compiler.compile()
     namespace: Dict[str, object] = {
         "FAIL": FAIL,
@@ -1398,7 +1730,8 @@ def compile_grammar(
         "_mod": _mod,
         "_shift_l": _shift_l,
         "_shift_r": _shift_r,
-        "_aidx": _aidx,
+        "_aidx": _aidx_env if elide_tree else _aidx,
+        "_E": _SHARED_EMPTY,
         "_UB": _UB,
         "_undef": _undef,
         "_nonode": _nonode,
@@ -1406,7 +1739,7 @@ def compile_grammar(
         "_badexists": _badexists,
         "_exists": _exists,
         "_ifb": int.from_bytes,
-        "_bb": _make_blackbox_runner(registry),
+        "_bb": _make_blackbox_runner(registry, elide_tree=elide_tree),
     }
     namespace.update(compiler.constants)
     try:

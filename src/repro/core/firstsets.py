@@ -1,0 +1,591 @@
+"""FIRST-set static analysis for interval grammars (first-byte dispatch).
+
+Biased choice makes every multi-alternative rule a trial-and-backtrack
+loop: alternatives run in order until one succeeds, even when the very
+first input byte already rules most of them out.  Production parser
+generators win exactly this race with precomputed dispatch tables; this
+module is the analysis that makes the same move sound for IPGs.
+
+For every top-level rule it computes, per alternative, the set of
+**admissible first bytes**: a conservative over-approximation of
+
+    { s[lo]  |  the alternative can succeed on some window s[lo, hi) }
+
+together with a ``requires_byte`` flag ("no successful parse of this
+alternative leaves the window empty").  The derivation walks the
+alternative's (reordered, i.e. execution-ordered) terms:
+
+* a terminal ``"abc"[0, e]`` admits exactly ``{0x61}``;
+* a nonterminal ``A[0, e]`` admits FIRST(A), computed as a least fixpoint
+  over the rule graph (recursion converges; an alternative that can never
+  succeed ends up with the empty set);
+* builtin nonterminals contribute their intrinsic sets (``BinInt`` admits
+  ``{0x30, 0x31}``, fixed-width integers admit any byte but require one);
+* ``btoi``-guarded alternatives — a leading 1- or 2-byte integer builtin
+  whose value is constrained by later ``guard``/defaultless ``switch``
+  terms (DNS's ``Pointer``/``Label`` shape) — are narrowed by evaluating
+  the constraints symbolically for every candidate first byte;
+* anything undecidable (arrays, blackboxes, non-constant left endpoints,
+  attribute-dependent intervals) falls back to "any byte".
+
+Soundness contract used by the engines: when the current window's first
+byte is not admissible for an alternative (or the window is empty and the
+alternative requires a byte), the alternative is guaranteed to **fail
+cleanly** — it cannot succeed and it cannot raise anything an ordinary
+failing attempt would not (blackbox-reaching shapes are never constrained
+below "any", so skipping is unobservable).  The only visible difference is
+for grammars with non-terminating left recursion, where skipping a
+provably-dead alternative turns an eventual ``RecursionError`` into the
+clean rejection the grammar denotes.
+
+:func:`dispatch_plans` turns the per-alternative sets into 256-entry jump
+tables (byte -> ordered tuple of alternative indices still worth trying,
+plus a separate entry for the empty window), emitted into the compiled
+closures by :mod:`repro.core.compiler` and consulted by the interpreter's
+rule loop.  Biased order is preserved inside every table entry, so
+dispatch-enabled and dispatch-disabled engines produce identical trees.
+Analyses and plans are cached on the (prepared) ``Grammar`` instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .ast import (
+    Alternative,
+    Grammar,
+    TermArray,
+    TermAttrDef,
+    TermGuard,
+    TermNonterminal,
+    TermSwitch,
+    TermTerminal,
+)
+from .builtins import BUILTINS
+from .errors import EvaluationError
+from .expr import BinOp, Cond, Dot, Expr, Name, Num
+from .exprcomp import fold
+
+__all__ = ["AltFirst", "DispatchPlan", "first_sets", "dispatch_plans"]
+
+#: Whitespace-or-digit bytes: the only admissible openers of ``AsciiInt``
+#: (its parser strips ASCII whitespace, then requires a non-empty digit run).
+_ASCII_INT_FIRST = frozenset(
+    b for b in range(256) if 0x30 <= b <= 0x39 or not bytes((b,)).strip()
+)
+
+#: Intrinsic first-byte sets of the variable-width builtins.  ``None`` means
+#: any byte; the second component is ``requires_byte``.
+_BUILTIN_FIRST = {
+    "Raw": (None, False),  # accepts the empty window
+    "Bytes": (None, False),
+    "AsciiInt": (_ASCII_INT_FIRST, True),
+    "BinInt": (frozenset((0x30, 0x31)), True),
+}
+
+#: Maximum fixed-integer width the guard narrowing enumerates.  Width 2
+#: costs at most 256*256 constraint evaluations per alternative (cached on
+#: the grammar); wider integers are left unconstrained.
+_NARROW_MAX_WIDTH = 2
+
+_FULL = frozenset(range(256))
+
+
+@dataclass(frozen=True)
+class AltFirst:
+    """Admissible first bytes of one alternative.
+
+    ``admissible`` is ``None`` for "any byte" (the conservative fallback),
+    otherwise a frozenset of byte values.  ``requires_byte`` holds when no
+    successful parse of the alternative leaves the window empty, so the
+    alternative can be skipped outright on ``lo == hi``.
+    """
+
+    admissible: Optional[frozenset]
+    requires_byte: bool
+
+    def admits(self, byte: int) -> bool:
+        return self.admissible is None or byte in self.admissible
+
+
+@dataclass(frozen=True)
+class DispatchPlan:
+    """A byte-indexed jump table for one rule's biased choice.
+
+    ``table[b]`` lists (in biased order) the indices of the alternatives
+    still worth trying when the window's first byte is ``b``; ``empty``
+    lists the ones to try when the window is empty.  Plans are only built
+    when at least one entry prunes something.
+    """
+
+    table: Tuple[Tuple[int, ...], ...]  # 256 entries
+    empty: Tuple[int, ...]
+    alternatives: int
+
+
+class _Unsupported(Exception):
+    """A constraint expression left the fragment the narrower understands."""
+
+
+class _SymContext:
+    """Duck-typed :class:`~repro.core.env.EvalContext` for guard narrowing.
+
+    Resolves plain names against the symbolically tracked attribute
+    definitions and ``<builtin>.val`` against the candidate integer value;
+    everything else raises :class:`_Unsupported`, which the narrower treats
+    as "no constraint".  :class:`~repro.core.errors.EvaluationError` raised
+    by the expression itself (division by zero, ...) keeps its interpreter
+    meaning: the alternative fails for that candidate value.
+    """
+
+    __slots__ = ("env", "nm", "val")
+
+    def __init__(self, nm: str):
+        self.env: Dict[str, int] = {}
+        self.nm = nm
+        self.val: Optional[int] = None
+
+    def lookup_name(self, name: str) -> int:
+        try:
+            return self.env[name]
+        except KeyError:
+            raise _Unsupported() from None
+
+    def lookup_dot(self, nonterminal: str, attr: str) -> int:
+        if nonterminal == self.nm and attr == "val" and self.val is not None:
+            return self.val
+        raise _Unsupported()
+
+    def lookup_index(self, nonterminal, index, attr):
+        raise _Unsupported()
+
+    def array_length(self, nonterminal):
+        raise _Unsupported()
+
+
+def _evaluable(expr: Expr) -> bool:
+    """Whether ``expr`` stays inside the narrower's sound fragment."""
+    return all(
+        isinstance(node, (Num, Name, Dot, BinOp, Cond)) for node in expr.walk()
+    )
+
+
+def _const(expr: Optional[Expr]) -> Optional[int]:
+    if expr is None:
+        return None
+    folded = fold(expr)
+    return folded.value if isinstance(folded, Num) else None
+
+
+# ---------------------------------------------------------------------------
+# The per-alternative derivation
+# ---------------------------------------------------------------------------
+
+
+def _target_first(
+    grammar: Grammar,
+    target: TermNonterminal,
+    local_names: set,
+    rule_first: Dict[str, Tuple[Optional[frozenset], bool]],
+) -> Tuple[Optional[frozenset], bool, bool]:
+    """First info of one nonterminal occurrence.
+
+    Returns ``(admissible, requires_byte, transparent)``; ``transparent``
+    flags a provably-empty occurrence (``[0, 0]`` window of a rule that can
+    match emptiness), after which the walk may continue to the next term.
+    """
+    left = _const(target.interval.left)
+    if left is None:
+        return None, False, False
+    if left < 0:
+        # The interval validity check fails unconditionally: the
+        # alternative can never succeed.
+        return frozenset(), True, False
+    if left > 0:
+        # 0 < left <= right <= |window| forces a non-empty window even
+        # though the first byte itself is unconstrained.
+        return None, True, False
+    name = target.name
+    if name in local_names:
+        # Local (where) rules are not analyzed; stay conservative.
+        return None, False, False
+    if grammar.has_rule(name):
+        admissible, requires = rule_first[name]
+    elif name in BUILTINS:
+        spec = BUILTINS[name]
+        if spec.size is not None:
+            admissible, requires = None, True
+        else:
+            admissible, requires = _BUILTIN_FIRST.get(name, (None, False))
+    else:
+        # Blackboxes (and unresolvable names, which raise at parse time):
+        # never constrained, so skipping can never hide their effects.
+        return None, False, False
+    right = _const(target.interval.right)
+    if right == 0 and not requires:
+        # A [0, 0] occurrence of an emptiness-accepting target consumes
+        # nothing: the *next* term constrains the first byte.
+        return None, False, True
+    return admissible, requires, False
+
+
+def _alternative_first(
+    grammar: Grammar,
+    alternative: Alternative,
+    rule_first: Dict[str, Tuple[Optional[frozenset], bool]],
+    narrow_cache: Dict[int, Optional[frozenset]],
+) -> AltFirst:
+    local_names = alternative.local_rule_names()
+    for position, term in enumerate(alternative.terms):
+        if isinstance(term, (TermAttrDef, TermGuard)):
+            # Pure bookkeeping before the first consuming term; failures
+            # here are EvaluationErrors the engines map to a clean FAIL.
+            continue
+        if isinstance(term, TermTerminal):
+            left = _const(term.interval.left)
+            if left is None:
+                return AltFirst(None, False)
+            if left < 0:
+                return AltFirst(frozenset(), True)
+            if left > 0:
+                return AltFirst(None, True)
+            if term.value:
+                return AltFirst(frozenset((term.value[0],)), True)
+            continue  # empty literal at 0: consumes nothing
+        if isinstance(term, TermNonterminal):
+            admissible, requires, transparent = _target_first(
+                grammar, term, local_names, rule_first
+            )
+            if transparent:
+                continue
+            if (
+                admissible is None
+                and requires
+                and term.name not in local_names
+                and not grammar.has_rule(term.name)
+                # Narrowing equates the builtin's decoded bytes with the
+                # window's first bytes, which is only true at offset 0.
+                and _const(term.interval.left) == 0
+            ):
+                narrowed = _narrow_by_guards(
+                    grammar, alternative, position, narrow_cache
+                )
+                if narrowed is not None:
+                    return AltFirst(narrowed, True)
+            return AltFirst(admissible, requires)
+        if isinstance(term, TermSwitch):
+            merged: Optional[frozenset] = frozenset()
+            requires_all = True
+            for case in term.cases:
+                admissible, requires, transparent = _target_first(
+                    grammar, case.target, local_names, rule_first
+                )
+                if transparent:
+                    admissible, requires = None, False
+                if admissible is None:
+                    merged = None
+                elif merged is not None:
+                    merged = merged | admissible
+                requires_all = requires_all and requires
+            return AltFirst(merged, requires_all)
+        # Arrays may iterate zero times and their element interval depends
+        # on the loop variable: no sound first-byte information.
+        return AltFirst(None, False)
+    # No consuming term: the alternative may succeed on the empty window.
+    return AltFirst(None, False)
+
+
+# ---------------------------------------------------------------------------
+# btoi-guard narrowing
+# ---------------------------------------------------------------------------
+
+
+#: Process-wide narrowing cache.  The enumeration for a 2-byte builtin is
+#: ~65k constraint evaluations; keying on the alternative's rendered source
+#: *plus its name-resolution fingerprint* makes every Parser built over
+#: the same grammar text pay it once, without leaking results between
+#: grammars whose identical-looking alternatives resolve names differently
+#: (e.g. a rule shadowing a builtin turns a usable guard into one behind a
+#: potentially-effectful call).
+_NARROW_GLOBAL_CACHE: Dict[tuple, Optional[frozenset]] = {}
+
+
+def _resolution_fingerprint(
+    grammar: Grammar, alternative: Alternative, local_names: set
+) -> tuple:
+    """How every nonterminal occurrence of the alternative resolves here."""
+    kinds = []
+    for term in alternative.terms:
+        if isinstance(term, TermNonterminal):
+            names = (term.name,)
+        elif isinstance(term, TermArray):
+            names = (term.element.name,)
+        elif isinstance(term, TermSwitch):
+            names = tuple(case.target.name for case in term.cases)
+        else:
+            continue
+        for name in names:
+            if name in local_names:
+                kind = "local"
+            elif grammar.has_rule(name):
+                kind = "rule"
+            elif name in BUILTINS:
+                kind = "builtin"
+            else:
+                kind = "other"
+            kinds.append((name, kind))
+    return tuple(kinds)
+
+
+def _narrow_by_guards(
+    grammar: Grammar,
+    alternative: Alternative,
+    position: int,
+    cache: Dict[int, Optional[frozenset]],
+) -> Optional[frozenset]:
+    """Narrow a leading fixed-int builtin by later guard/switch constraints.
+
+    Returns the admissible first-byte set, or ``None`` when no constraint
+    narrows anything (or the shape is not analyzable).  The result is
+    cached per term object (it does not depend on the rule fixpoint) and
+    process-wide by alternative source + resolution fingerprint.
+    """
+    term = alternative.terms[position]
+    key = id(term)
+    if key in cache:
+        return cache[key]
+    local_names = alternative.local_rule_names()
+    global_key = (
+        position,
+        alternative.to_source(),
+        _resolution_fingerprint(grammar, alternative, local_names),
+    )
+    if global_key in _NARROW_GLOBAL_CACHE:
+        result = _NARROW_GLOBAL_CACHE[global_key]
+    else:
+        result = _narrow_uncached(grammar, alternative, position)
+        _NARROW_GLOBAL_CACHE[global_key] = result
+    cache[key] = result
+    return result
+
+
+def _narrow_uncached(
+    grammar: Grammar, alternative: Alternative, position: int
+) -> Optional[frozenset]:
+    term = alternative.terms[position]
+    name = term.name
+    local_names = alternative.local_rule_names()
+    spec = BUILTINS.get(name)
+    if (
+        spec is None
+        or spec.size is None
+        or spec.byteorder is None
+        or spec.signed
+        or spec.size > _NARROW_MAX_WIDTH
+    ):
+        return None
+    # ``name.val`` must refer to this very record throughout the
+    # alternative: any other term that (re-)records or shadows the name
+    # makes the reference ambiguous.
+    records = 0
+    for other in alternative.terms:
+        if isinstance(other, TermNonterminal) and other.name == name:
+            records += 1
+        elif isinstance(other, TermArray) and other.element.name == name:
+            return None
+        elif isinstance(other, TermSwitch):
+            if any(case.target.name == name for case in other.cases):
+                return None
+    if records != 1:
+        return None
+    # The symbolic program: attribute definitions bind (or poison) names,
+    # guards and defaultless switches constrain; ``val`` becomes defined
+    # once the walk passes the builtin term itself.
+    ctx = _SymContext(name)
+    admissible = set()
+    for first_byte in range(256):
+        if spec.size == 1:
+            candidates: range = range(first_byte, first_byte + 1)
+        elif spec.byteorder == "big":
+            candidates = range(first_byte << 8, (first_byte << 8) + 256)
+        else:  # little-endian: the first byte is the low byte
+            candidates = range(first_byte, 65536, 256)
+        for value in candidates:
+            if _value_admissible(
+                grammar, alternative, position, local_names, ctx, value
+            ):
+                admissible.add(first_byte)
+                break
+    if len(admissible) == 256:
+        return None
+    return frozenset(admissible)
+
+
+def _clean_failure_target(
+    grammar: Grammar, name: str, local_names: set
+) -> bool:
+    """Whether a consuming nonterminal occurrence is effect-free.
+
+    Guard narrowing may only use constraints that execute *before* any
+    term with observable effects: a pruned alternative must behave exactly
+    like one that ran and failed cleanly.  Builtins fail cleanly and have
+    no effects; everything else — rules (which may transitively reach
+    blackboxes, undefined names, or non-termination), local rules,
+    blackboxes, undefined names — ends the symbolic walk.
+    """
+    return (
+        name not in local_names
+        and not grammar.has_rule(name)
+        and name in BUILTINS
+    )
+
+
+def _value_admissible(
+    grammar: Grammar,
+    alternative: Alternative,
+    position: int,
+    local_names: set,
+    ctx: _SymContext,
+    value: int,
+) -> bool:
+    """Whether the constraints preceding any effectful term pass ``value``."""
+    ctx.env.clear()
+    ctx.val = None
+    for index, term in enumerate(alternative.terms):
+        if index == position:
+            ctx.val = value
+            continue
+        if isinstance(term, TermAttrDef):
+            if not _evaluable(term.expr):
+                ctx.env.pop(term.name, None)
+                continue
+            try:
+                ctx.env[term.name] = term.expr.evaluate(ctx)
+            except _Unsupported:
+                ctx.env.pop(term.name, None)
+            except EvaluationError:
+                return False
+        elif isinstance(term, TermGuard):
+            if not _evaluable(term.expr):
+                continue
+            try:
+                if term.expr.evaluate(ctx) == 0:
+                    return False
+            except _Unsupported:
+                continue
+            except EvaluationError:
+                return False
+        elif isinstance(term, TermTerminal):
+            continue  # pure byte compare: fails cleanly, no effects
+        elif isinstance(term, TermNonterminal):
+            if _clean_failure_target(grammar, term.name, local_names):
+                continue
+            break  # potentially effectful: later constraints unusable
+        elif isinstance(term, TermSwitch):
+            # Conditions evaluate before any target parses, so a
+            # defaultless switch constrains — but its chosen target may be
+            # effectful, so the walk stops afterwards either way.
+            if any(case.condition is None for case in term.cases):
+                break  # a default case never fails the switch
+            satisfied = False
+            for case in term.cases:
+                if not _evaluable(case.condition):
+                    satisfied = True  # undecidable: assume reachable
+                    break
+                try:
+                    taken = case.condition.evaluate(ctx) != 0
+                except _Unsupported:
+                    satisfied = True
+                    break
+                except EvaluationError:
+                    return False
+                if taken:
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+            break
+        else:
+            break  # arrays (and anything new): stop conservatively
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Whole-grammar fixpoint + dispatch plans
+# ---------------------------------------------------------------------------
+
+
+def first_sets(grammar: Grammar) -> Dict[str, Tuple[AltFirst, ...]]:
+    """Per-alternative first-byte info for every top-level rule.
+
+    Least fixpoint over the rule graph: admissible sets grow from the
+    empty set, ``requires_byte`` flags shrink from ``True``.  The grammar
+    must be prepared (intervals auto-completed); results are cached on the
+    grammar instance.
+    """
+    cached = getattr(grammar, "_first_sets_cache", None)
+    if cached is not None:
+        return cached
+    rule_first: Dict[str, Tuple[Optional[frozenset], bool]] = {
+        name: (frozenset(), True) for name in grammar.rules
+    }
+    narrow_cache: Dict[int, Optional[frozenset]] = {}
+    alt_infos: Dict[str, Tuple[AltFirst, ...]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for name, rule in grammar.rules.items():
+            infos = tuple(
+                _alternative_first(grammar, alternative, rule_first, narrow_cache)
+                for alternative in rule.alternatives
+            )
+            alt_infos[name] = infos
+            merged: Optional[frozenset] = frozenset()
+            requires = True
+            for info in infos:
+                if info.admissible is None:
+                    merged = None
+                elif merged is not None:
+                    merged = merged | info.admissible
+                requires = requires and info.requires_byte
+            if (merged, requires) != rule_first[name]:
+                rule_first[name] = (merged, requires)
+                changed = True
+    grammar._first_sets_cache = alt_infos
+    return alt_infos
+
+
+def dispatch_plans(grammar: Grammar) -> Dict[str, DispatchPlan]:
+    """Jump tables for every rule where first-byte dispatch prunes work.
+
+    A plan is built only when the byte table actually discriminates —
+    some byte admits fewer alternatives than the full biased list.  Rules
+    whose alternatives all admit any byte are omitted even when the
+    empty-window entry would prune: consulting their table would read a
+    byte the alternatives themselves might never touch, which costs time
+    in batch mode and would add spurious reads to streams.  (Pruning
+    tables on streamed rules are handled separately: the streaming
+    engines memoize each dispatch decision per parse, so a re-entered
+    in-flight rule never re-reads its first byte — a re-read would pin
+    the compaction watermark at its window start.)  Cached on the
+    grammar instance.
+    """
+    cached = getattr(grammar, "_dispatch_plans_cache", None)
+    if cached is not None:
+        return cached
+    plans: Dict[str, DispatchPlan] = {}
+    for name, infos in first_sets(grammar).items():
+        full = tuple(range(len(infos)))
+        table = tuple(
+            tuple(index for index, info in enumerate(infos) if info.admits(byte))
+            for byte in range(256)
+        )
+        empty = tuple(
+            index for index, info in enumerate(infos) if not info.requires_byte
+        )
+        if all(entry == full for entry in table):
+            continue
+        plans[name] = DispatchPlan(table, empty, len(infos))
+    grammar._dispatch_plans_cache = plans
+    return plans

@@ -119,9 +119,20 @@ class Parser:
         identical parse trees; when the compiler cannot specialize a
         construct the parser silently falls back to the interpreter (the
         :attr:`backend` attribute reports the engine actually in use).
+    first_byte_dispatch:
+        Enable first-byte dispatch (:mod:`repro.core.firstsets`): rules
+        whose alternatives have distinguishable admissible first bytes
+        consult a byte-indexed jump table instead of trying alternatives
+        in order.  On by default for both backends; dispatch preserves
+        biased order among the admitted alternatives, so trees are
+        identical either way (the flag exists for differential testing
+        and as an escape hatch).
     """
 
     BACKENDS = ("compiled", "interpreted")
+
+    #: Valid values of the ``emit`` execution-mode argument.
+    EMIT_MODES = ("tree", "spans", None)
 
     def __init__(
         self,
@@ -130,6 +141,7 @@ class Parser:
         memoize: bool = True,
         recursion_limit: int = 100_000,
         backend: str = "compiled",
+        first_byte_dispatch: bool = True,
     ):
         if backend not in self.BACKENDS:
             raise ValueError(
@@ -141,8 +153,11 @@ class Parser:
         self.recursion_limit = recursion_limit
         self.requested_backend = backend
         self.backend = backend
+        self.first_byte_dispatch = bool(first_byte_dispatch)
         self._compiled = None
-        self._compiled_stream = None
+        self._compiled_elided = None
+        self._compiled_stream: Dict[bool, object] = {}
+        self._interp_dispatch = None
         self._validated_starts: set = set()
         self._streamability = None
         if backend == "compiled":
@@ -150,14 +165,69 @@ class Parser:
 
             try:
                 self._compiled = compile_grammar(
-                    self.grammar, memoize=memoize, blackboxes=self.blackboxes
+                    self.grammar,
+                    memoize=memoize,
+                    blackboxes=self.blackboxes,
+                    optimizations=self._optimizations(),
                 )
             except CompilationError:
                 # Automatic fallback: constructs the compiler does not yet
                 # specialize run on the reference interpreter instead.
                 self.backend = "interpreted"
 
-    def _streaming_compiled(self):
+    def _optimizations(self):
+        """The compiler pass set honouring ``first_byte_dispatch``."""
+        if self.first_byte_dispatch:
+            return None  # compiler default: every pass on
+        from .compiler import Optimizations
+
+        return Optimizations(first_byte_dispatch=False)
+
+    def _elided_compiled(self):
+        """The tree-elision compilation backing ``emit="spans"``/``None``."""
+        if self._compiled is None:
+            return None
+        if self._compiled_elided is None:
+            from .compiler import compile_grammar
+
+            try:
+                self._compiled_elided = compile_grammar(
+                    self.grammar,
+                    memoize=self.memoize,
+                    blackboxes=self.blackboxes,
+                    optimizations=self._optimizations(),
+                    elide_tree=True,
+                )
+            except CompilationError:  # pragma: no cover - same checks as batch
+                self._compiled_elided = False
+        return self._compiled_elided or None
+
+    def _interpreter_dispatch(self) -> Dict[int, tuple]:
+        """First-byte jump tables for the interpreter, keyed by rule id.
+
+        Each entry maps a top-level rule to ``(table, empty)`` where
+        ``table[byte]`` is the biased-ordered tuple of alternatives still
+        admissible for that first byte and ``empty`` the tuple to try on
+        an empty window.
+        """
+        if not self.first_byte_dispatch:
+            return {}
+        if self._interp_dispatch is None:
+            from .firstsets import dispatch_plans
+
+            tables: Dict[int, tuple] = {}
+            for name, plan in dispatch_plans(self.grammar).items():
+                alternatives = self.grammar.rule(name).alternatives
+                tables[id(self.grammar.rule(name))] = (
+                    tuple(
+                        tuple(alternatives[i] for i in entry) for entry in plan.table
+                    ),
+                    tuple(alternatives[i] for i in plan.empty),
+                )
+            self._interp_dispatch = tables
+        return self._interp_dispatch
+
+    def _streaming_compiled(self, elide_tree: bool = False):
         """The compiled grammar the streaming driver re-enters (cached).
 
         Streaming soundness leans on *complete* memoization: after a
@@ -168,15 +238,18 @@ class Parser:
         non-recursive rules and inlines single-use rules, so streaming uses
         a dedicated variant with those two passes off (dense tables and
         module-level where-rules keep working: ``lo`` stays a plain offset
-        and memo persistence is per-slot either way).
+        and memo persistence is per-slot either way).  First-byte dispatch
+        also keeps working: an undecidable byte read suspends via
+        ``NeedMoreInput`` like any other read.  ``elide_tree`` selects the
+        tree-elision variant for ``emit="spans"``/validate-only streams.
         """
         if self._compiled is None:
             return None
-        if self._compiled_stream is None:
+        if elide_tree not in self._compiled_stream:
             from .compiler import Optimizations, compile_grammar
 
             try:
-                self._compiled_stream = compile_grammar(
+                self._compiled_stream[elide_tree] = compile_grammar(
                     self.grammar,
                     memoize=self.memoize,
                     blackboxes=self.blackboxes,
@@ -185,11 +258,20 @@ class Parser:
                         dense_memo=True,
                         skip_nonrecursive_memo=False,
                         inline_single_use=False,
+                        first_byte_dispatch=self.first_byte_dispatch,
                     ),
+                    elide_tree=elide_tree,
+                    # Dispatch decisions are memoized per parse so stream
+                    # re-entries never re-read already-dispatched bytes
+                    # (a re-read of an in-flight spine rule's first byte
+                    # would pin the compaction watermark at its window
+                    # start, reverting compact=True to whole-stream
+                    # buffering).
+                    stream_dispatch_cache=True,
                 )
             except CompilationError:  # pragma: no cover - same checks as batch
-                return None
-        return self._compiled_stream
+                self._compiled_stream[elide_tree] = None
+        return self._compiled_stream[elide_tree]
 
     def register_blackbox(self, name: str, parser: BlackboxCallable) -> None:
         """Register (or replace) the implementation of a blackbox parser.
@@ -222,13 +304,24 @@ class Parser:
         self._validated_starts.add(start)
 
     # -- public parsing API ---------------------------------------------------
-    def parse(self, data: bytes, start: Optional[str] = None) -> Node:
-        """Parse ``data`` and return the root parse tree.
+    def parse(self, data: bytes, start: Optional[str] = None, emit: Optional[str] = "tree"):
+        """Parse ``data`` and return the parse result for ``emit``.
+
+        ``emit`` selects the execution mode:
+
+        * ``"tree"`` (default) — the full parse tree, as always;
+        * ``"spans"`` — the root :class:`~repro.core.parsetree.Node` with
+          its complete attribute environment (``start``/``end`` spans and
+          every computed attribute) but **no children**: the engines run a
+          tree-elision fast path that skips all ``Node``/``Leaf``/
+          ``ArrayNode`` construction and payload copies;
+        * ``None`` — validate only: returns ``True`` on success, same fast
+          path, nothing is retained.
 
         Raises :class:`~repro.core.errors.ParseFailure` when the grammar does
         not accept the input.
         """
-        result = self.try_parse(data, start)
+        result = self.try_parse(data, start, emit=emit)
         if result is None:
             raise ParseFailure(
                 f"input of length {len(data)} does not match nonterminal "
@@ -237,7 +330,9 @@ class Parser:
             )
         return result
 
-    def try_parse(self, data: bytes, start: Optional[str] = None) -> Optional[Node]:
+    def try_parse(
+        self, data: bytes, start: Optional[str] = None, emit: Optional[str] = "tree"
+    ):
         """Like :meth:`parse` but returns ``None`` on non-matching input.
 
         Configuration errors still raise: an unknown start symbol
@@ -245,6 +340,10 @@ class Parser:
         no registered implementation
         (:class:`~repro.core.errors.BlackboxError`).
         """
+        if emit not in self.EMIT_MODES:
+            raise ValueError(
+                f"unknown emit mode {emit!r}; expected one of {self.EMIT_MODES}"
+            )
         start_name = start or self.grammar.start
         data = bytes(data)
         self._validate_blackboxes(start_name)
@@ -252,24 +351,28 @@ class Parser:
         if self.recursion_limit > previous_limit:
             sys.setrecursionlimit(self.recursion_limit)
         try:
-            if self._compiled is not None:
-                result = self._compiled.parse_nonterminal(
-                    data, start_name, 0, len(data)
-                )
+            if emit == "tree":
+                compiled = self._compiled
             else:
-                run = _Run(self, data)
+                compiled = self._elided_compiled()
+            if compiled is not None:
+                result = compiled.parse_nonterminal(data, start_name, 0, len(data))
+            else:
+                run = _Run(self, data, build_tree=emit == "tree")
                 result = run.parse_nonterminal(start_name, 0, len(data), None, None)
         finally:
             if self.recursion_limit > previous_limit:
                 sys.setrecursionlimit(previous_limit)
         if result is FAIL:
             return None
+        if emit is None:
+            return True
         assert isinstance(result, Node)
         return result
 
     def accepts(self, data: bytes, start: Optional[str] = None) -> bool:
-        """Whether the grammar accepts ``data``."""
-        return self.try_parse(data, start) is not None
+        """Whether the grammar accepts ``data`` (tree-elision fast path)."""
+        return self.try_parse(data, start, emit=None) is not None
 
     # -- streaming API --------------------------------------------------------
     def streamability_report(self):
@@ -286,6 +389,7 @@ class Parser:
         *,
         force: bool = False,
         compact: bool = True,
+        emit: Optional[str] = "tree",
     ):
         """Begin a streaming parse; returns a feed()/finish() session.
 
@@ -307,6 +411,10 @@ class Parser:
         from .errors import NotStreamableError
         from .streaming import StreamingParse
 
+        if emit not in self.EMIT_MODES:
+            raise ValueError(
+                f"unknown emit mode {emit!r}; expected one of {self.EMIT_MODES}"
+            )
         start_name = start or self.grammar.start
         self._validate_blackboxes(start_name)
         if not force:
@@ -317,7 +425,7 @@ class Parser:
                     f"force=True to stream anyway (unbounded buffering)",
                     report=report,
                 )
-        return StreamingParse(self, start_name, compact=compact)
+        return StreamingParse(self, start_name, compact=compact, emit=emit)
 
     def parse_stream(
         self,
@@ -326,7 +434,8 @@ class Parser:
         *,
         force: bool = False,
         compact: bool = True,
-    ) -> Node:
+        emit: Optional[str] = "tree",
+    ):
         """Parse an iterable of byte chunks incrementally.
 
         Produces a tree identical to ``parse(b"".join(chunks))`` without
@@ -344,23 +453,56 @@ class Parser:
         descriptive error naming ``compact=False``, under which the
         identical-tree guarantee is unconditional.
         """
-        session = self.stream(start, force=force, compact=compact)
+        session = self.stream(start, force=force, compact=compact, emit=emit)
         for chunk in chunks:
             session.feed(chunk)
         return session.finish()
 
 
 class _Run:
-    """State for parsing a single input buffer (memo table, blackboxes)."""
+    """State for parsing a single input buffer (memo table, blackboxes).
 
-    __slots__ = ("parser", "grammar", "data", "memo", "memoize")
+    ``build_tree=False`` selects the tree-elision mode: the run keeps the
+    complete attribute semantics (node environments, element lists for
+    array references) but never appends children, so no ``Leaf`` or
+    ``ArrayNode`` is allocated and builtin/blackbox payloads are dropped.
+    ``dispatch`` holds the parser's first-byte jump tables (rule id ->
+    ``(table, empty)``; see :meth:`Parser._interpreter_dispatch`).
+    ``dispatch_cache=True`` (set by the streaming driver, whose runs
+    persist across re-entries) memoizes each dispatch decision per
+    ``(rule, lo)`` so re-entries never re-read already-dispatched bytes —
+    the re-read of an in-flight spine rule's first byte on every attempt
+    would pin the compaction watermark at its window start.
+    """
 
-    def __init__(self, parser: Parser, data: bytes):
+    __slots__ = (
+        "parser",
+        "grammar",
+        "data",
+        "memo",
+        "memoize",
+        "build",
+        "dispatch",
+        "dispatch_cache",
+    )
+
+    def __init__(
+        self,
+        parser: Parser,
+        data: bytes,
+        build_tree: bool = True,
+        dispatch_cache: bool = False,
+    ):
         self.parser = parser
         self.grammar = parser.grammar
         self.data = data
         self.memo: Dict[tuple, object] = {}
         self.memoize = parser.memoize
+        self.build = build_tree
+        self.dispatch = parser._interpreter_dispatch() or None
+        self.dispatch_cache: Optional[dict] = (
+            {} if dispatch_cache and self.dispatch else None
+        )
 
     # -- nonterminal dispatch -------------------------------------------------
     def parse_nonterminal(
@@ -402,7 +544,29 @@ class _Run:
         outer_ctx: Optional[EvalContext],
         local_rules: Optional[_LocalRules],
     ):
-        for alternative in rule.alternatives:
+        alternatives = rule.alternatives
+        dispatch = self.dispatch
+        entry = dispatch.get(id(rule)) if dispatch is not None else None
+        if entry is not None:
+            # First-byte dispatch: prune alternatives the window's first
+            # byte already rules out (biased order preserved).  On a
+            # stream, reading the byte may suspend via NeedMoreInput —
+            # exactly as streaming-safe as the pruned alternatives' own
+            # leading reads — and streaming runs memoize the decision so
+            # re-entries never touch the buffer again.
+            if hi > lo:
+                cache = self.dispatch_cache
+                if cache is None:
+                    alternatives = entry[0][self.data[lo]]
+                else:
+                    key = (id(rule), lo)
+                    alternatives = cache.get(key)
+                    if alternatives is None:
+                        alternatives = entry[0][self.data[lo]]
+                        cache[key] = alternatives
+            else:
+                alternatives = entry[1]
+        for alternative in alternatives:
             result = self._parse_alternative(
                 rule.name, alternative, lo, hi, outer_ctx, local_rules
             )
@@ -490,7 +654,8 @@ class _Run:
         if self.data[absolute : absolute + len(literal)] != literal:
             return False
         upd_start_end_in_place(ctx.env, left, left + len(literal), literal != b"")
-        children.append(Leaf(literal))
+        if self.build:
+            children.append(Leaf(literal))
         return True
 
     def _exec_nonterminal(
@@ -514,7 +679,8 @@ class _Run:
             ctx.env, adjusted.env["start"], adjusted.env["end"], result.env["end"] != 0
         )
         ctx.record_node(adjusted)
-        children.append(adjusted)
+        if self.build:
+            children.append(adjusted)
         return True
 
     def _exec_array(
@@ -574,7 +740,8 @@ class _Run:
                     ctx.arrays[element_name] = saved_array
                 else:
                     ctx.arrays.pop(element_name, None)
-        children.append(ArrayNode(element_name, elements))
+        if self.build:
+            children.append(ArrayNode(element_name, elements))
         return True
 
     def _exec_switch(
@@ -602,7 +769,7 @@ class _Run:
         attrs, end, payload = outcome
         env = {"EOI": hi - lo, "start": 0 if end else hi - lo, "end": end}
         env.update(attrs)
-        children = [Leaf(payload)] if payload is not None else []
+        children = [Leaf(payload)] if payload is not None and self.build else []
         return Node(name, env, children)
 
     def _parse_blackbox(self, name: str, lo: int, hi: int):
@@ -624,7 +791,7 @@ class _Run:
         env = {"EOI": hi - lo, "start": 0 if end else hi - lo, "end": end}
         env.update(attrs)
         children: List[ParseTree] = []
-        if payload is not None:
+        if payload is not None and self.build:
             children.append(Leaf(payload))
         return Node(name, env, children)
 

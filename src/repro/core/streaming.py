@@ -520,12 +520,21 @@ class StreamingParse:
     is unaffected either way.
     """
 
-    def __init__(self, parser, start: str, compact: bool = True):
+    def __init__(
+        self,
+        parser,
+        start: str,
+        compact: bool = True,
+        emit: Optional[str] = "tree",
+    ):
         from .interpreter import _Run  # deferred: interpreter imports us lazily
 
         self._parser = parser
         self._start = start
         self._compact = compact
+        #: Execution mode: "tree" (full parse tree), "spans" (root node
+        #: with env only) or None (validate only) — see Parser.parse.
+        self._emit = emit
         self.buffer = StreamBuffer()
         self._result = None
         self._failed = False
@@ -542,13 +551,19 @@ class StreamingParse:
         # variant (see Parser._streaming_compiled): the batch compilation
         # elides memo tables for non-recursive rules, which would force
         # every re-entry to re-read bytes compaction already discarded.
-        self._compiled = parser._streaming_compiled()
+        # Non-"tree" emit modes run the tree-elision variant instead.
+        self._compiled = parser._streaming_compiled(elide_tree=emit != "tree")
         if self._compiled is not None:
             self._state = self._compiled.new_state()
             self._run = None
         else:
             self._state = None
-            self._run = _Run(parser, self.buffer)
+            self._run = _Run(
+                parser,
+                self.buffer,
+                build_tree=emit == "tree",
+                dispatch_cache=True,
+            )
 
     # -- engine dispatch ---------------------------------------------------
     def _call_engine(self):
@@ -556,14 +571,13 @@ class StreamingParse:
         if self._run is not None:
             return self._run.parse_nonterminal(self._start, 0, buffer.end, None, None)
         from .builtins import is_builtin
-        from .compiler import _run_builtin
 
         compiled = self._compiled
         fn = compiled._entry.get(self._start)
         if fn is not None:
             return fn(self._state, buffer, 0, buffer.end)
         if is_builtin(self._start):
-            return _run_builtin(self._start, buffer, 0, buffer.end)
+            return compiled.run_builtin(self._start, buffer, 0, buffer.end)
         if self._start in compiled.grammar.blackboxes:
             return compiled._bb(self._start, buffer, 0, buffer.end)
         raise IPGError(
@@ -643,11 +657,13 @@ class StreamingParse:
             return False
         return self._attempt()
 
-    def finish(self) -> Node:
-        """Mark end of stream and return the parse tree.
+    def finish(self):
+        """Mark end of stream and return the parse result for ``emit``.
 
-        Raises :class:`~repro.core.errors.ParseFailure` when the stream does
-        not match the grammar.  Idempotent: later calls return the same tree.
+        The full tree for ``emit="tree"``, the children-less root node for
+        ``emit="spans"``, or ``True`` for validate-only streams.  Raises
+        :class:`~repro.core.errors.ParseFailure` when the stream does not
+        match the grammar.  Idempotent: later calls return the same result.
         """
         if self._finished_tree is not None:
             return self._finished_tree
@@ -662,5 +678,8 @@ class StreamingParse:
                 f"nonterminal {self._start!r}",
                 nonterminal=self._start,
             )
-        self._finished_tree = _resolve_stream_tree(self._result)
+        if self._emit is None:
+            self._finished_tree = True
+        else:
+            self._finished_tree = _resolve_stream_tree(self._result)
         return self._finished_tree

@@ -30,18 +30,23 @@ class FormatSpec:
             self._grammar = parse_grammar(self.grammar_text)
         return self._grammar
 
-    def build_parser(self, memoize: bool = True, backend: str = "compiled") -> Parser:
+    def build_parser(
+        self, memoize: bool = True, backend: str = "compiled", **parser_kwargs
+    ) -> Parser:
         """Build a fresh parser for this format.
 
         ``backend`` selects the execution engine: the staged compiler
         (``"compiled"``, default) or the reference interpreter
-        (``"interpreted"``).
+        (``"interpreted"``).  Extra keyword arguments go to
+        :class:`~repro.core.interpreter.Parser` (e.g.
+        ``first_byte_dispatch=False``).
         """
         return Parser(
             self.grammar_text,
             blackboxes=dict(self.blackboxes),
             memoize=memoize,
             backend=backend,
+            **parser_kwargs,
         )
 
     def parser(self) -> Parser:

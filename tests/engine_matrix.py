@@ -3,8 +3,12 @@
 The repository ships several executions of the same IPG semantics:
 
 * ``interpreted`` — the reference tree-walking interpreter,
-* ``compiled`` — the staged closure compiler (the default engine),
-* ``compiled-unoptimized`` — the compiler with every optimization pass off,
+* ``interpreted-nodispatch`` — the interpreter with first-byte dispatch
+  disabled (the dispatch-on/dispatch-off differential reference),
+* ``compiled`` — the staged closure compiler (the default engine, with
+  first-byte dispatch tables),
+* ``compiled-unoptimized`` — the compiler with every optimization pass off
+  (including dispatch),
 * ``aot`` — the ahead-of-time emitted standalone module
   (``CompiledGrammar.to_source()``), imported through ``exec``,
 * ``generated`` — the paper's parser generator (:mod:`repro.core.generator`),
@@ -16,6 +20,13 @@ asserts that every engine produces **identical trees or identical errors**
 on the same input.  ``test_compiler_equivalence.py``, ``test_cross_engine.py``,
 ``test_compiler_passes.py`` and ``test_golden_trees.py`` all drive their
 checks through here instead of maintaining ad-hoc comparison loops.
+
+On top of the tree contract, :meth:`EngineMatrix.assert_agree` also runs
+every emit-capable engine (interpreter with and without dispatch, staged
+compiler, unoptimized-elided compiler, chunked streaming) in the
+``emit="spans"`` and validate-only tree-elision modes and checks the root
+(name, env) — respectively the accept/reject outcome — against the full
+tree the reference interpreter produced.
 """
 
 from __future__ import annotations
@@ -30,7 +41,13 @@ from repro.core.generator import compile_parser
 from repro.core.streamability import analyze_streamability
 
 #: Engines every grammar can run on (streaming joins when streamable).
-CORE_ENGINES = ("interpreted", "compiled", "compiled-unoptimized", "aot")
+CORE_ENGINES = (
+    "interpreted",
+    "interpreted-nodispatch",
+    "compiled",
+    "compiled-unoptimized",
+    "aot",
+)
 ALL_ENGINES = CORE_ENGINES + ("generated", "streaming")
 
 #: Module-level cache: building an engine set runs the whole front-end
@@ -78,8 +95,17 @@ class EngineMatrix:
         blackboxes = dict(blackboxes or {})
         self.grammar_text = grammar_text
         self.chunk_sizes = chunk_sizes
+        self._memoize = memoize
+        self._blackboxes = blackboxes
         self.interpreted = Parser(
             grammar_text, blackboxes=blackboxes, memoize=memoize, backend="interpreted"
+        )
+        self.interpreted_nodispatch = Parser(
+            grammar_text,
+            blackboxes=blackboxes,
+            memoize=memoize,
+            backend="interpreted",
+            first_byte_dispatch=False,
         )
         self.compiled = Parser(
             grammar_text, blackboxes=blackboxes, memoize=memoize, backend="compiled"
@@ -104,8 +130,12 @@ class EngineMatrix:
             self.aot = None
         self.generated = compile_parser(grammar_text, blackboxes=blackboxes)
         self.streamable = analyze_streamability(grammar_text).streamable
+        #: Lazily built: the unoptimized tree-elision compilation used by
+        #: the emit-mode differential (see _elided_unoptimized()).
+        self._elided_unopt = None
         self._runners: Dict[str, Callable] = {
             "interpreted": self._run_parser(self.interpreted),
+            "interpreted-nodispatch": self._run_parser(self.interpreted_nodispatch),
             "compiled": self._run_parser(self.compiled),
             "generated": self._run_parser(self.generated),
             "streaming": self._run_streaming,
@@ -175,6 +205,118 @@ class EngineMatrix:
             )
         return outcomes[0]
 
+    # -- emit-mode (tree-elision) runners ----------------------------------
+    def _elided_unoptimized(self):
+        """The all-passes-off tree-elision compilation (built lazily)."""
+        if self._elided_unopt is None and self.unoptimized is not None:
+            self._elided_unopt = compile_grammar(
+                self.grammar_text,
+                memoize=self._memoize,
+                blackboxes=self._blackboxes,
+                optimizations=Optimizations.none(),
+                elide_tree=True,
+            )
+        return self._elided_unopt
+
+    def emit_engines(self) -> Tuple[str, ...]:
+        """Engines that natively run the spans / validate-only fast path."""
+        names = ["interpreted", "interpreted-nodispatch", "compiled"]
+        if self.unoptimized is not None:
+            names.append("elided-unoptimized")
+        if self.streamable:
+            names.append("streaming")
+        return tuple(names)
+
+    def run_emit(self, engine: str, data: bytes, start: Optional[str], emit):
+        """Outcome of one engine in an elision mode.
+
+        Returns ``("spans", name, env)``, ``("ok",)`` for a validate-only
+        match, ``("none",)`` for a clean non-match, or ``("error", cls)``.
+        """
+        from repro.core.interpreter import FAIL
+
+        try:
+            if engine == "elided-unoptimized":
+                compiled = self._elided_unoptimized()
+                name = start or compiled.grammar.start
+                result = compiled.parse_nonterminal(bytes(data), name, 0, len(data))
+                outcome = None if result is FAIL else result
+            elif engine == "streaming":
+                return self._run_streaming_emit(data, start, emit)
+            else:
+                parser = {
+                    "interpreted": self.interpreted,
+                    "interpreted-nodispatch": self.interpreted_nodispatch,
+                    "compiled": self.compiled,
+                }[engine]
+                outcome = parser.try_parse(data, start, emit=emit)
+        except IPGError as exc:
+            return ("error", type(exc))
+        if outcome is None:
+            return ("none",)
+        if emit is None or outcome is True:
+            return ("ok",)
+        return ("spans", outcome.name, dict(outcome.env))
+
+    def _run_streaming_emit(self, data: bytes, start: Optional[str], emit):
+        outcomes = []
+        for chunk_size in self.chunk_sizes:
+            chunks = [
+                data[i : i + chunk_size] for i in range(0, len(data), chunk_size)
+            ]
+            try:
+                result = self.compiled.parse_stream(chunks or [b""], start, emit=emit)
+            except ParseFailure:
+                outcomes.append(("none",))
+            except IPGError as exc:
+                outcomes.append(("error", type(exc)))
+            else:
+                if emit is None:
+                    outcomes.append(("ok",))
+                else:
+                    outcomes.append(("spans", result.name, dict(result.env)))
+        for outcome in outcomes[1:]:
+            assert outcome == outcomes[0], (
+                f"streaming {emit!r} outcome depends on the chunking: "
+                f"{outcomes[0]} vs {outcome}"
+            )
+        return outcomes[0]
+
+    def assert_emit_agree(self, data: bytes, start: Optional[str] = None, reference=None):
+        """Check spans / validate-only outcomes against the reference tree.
+
+        The tree-elision fast path must accept exactly the inputs the
+        tree-building engines accept, with a root environment equal to the
+        full tree's — on every engine, including chunked streaming.
+        """
+        if reference is None:
+            reference = self.run("interpreted", data, start)
+        if reference[0] == "tree":
+            expected_spans = ("spans", reference[1].name, dict(reference[1].env))
+            expected_ok = ("ok",)
+        else:
+            expected_spans = expected_ok = reference
+        for engine in self.emit_engines():
+            spans = self.run_emit(engine, data, start, "spans")
+            validate = self.run_emit(engine, data, start, None)
+            for mode, outcome, expected in (
+                ("spans", spans, expected_spans),
+                ("validate", validate, expected_ok),
+            ):
+                if expected[0] == "error":
+                    assert outcome[0] == "error", (
+                        f"{engine}/{mode}: expected an error, got {outcome}"
+                    )
+                    assert outcome[1].__name__ == expected[1].__name__, (
+                        f"{engine}/{mode}: raised {outcome[1].__name__}, "
+                        f"reference raised {expected[1].__name__}"
+                    )
+                else:
+                    assert outcome == expected, (
+                        f"{engine}/{mode}: {outcome!r} != {expected!r} "
+                        f"(input {data[:32]!r}..., start={start})"
+                    )
+
     # -- the contract ------------------------------------------------------
     def engines(self, include_streaming: bool = True) -> Tuple[str, ...]:
         names = [name for name in CORE_ENGINES if name in self._runners]
@@ -220,6 +362,10 @@ class EngineMatrix:
                     f"{engine}: raised {outcome[1].__name__}, interpreter "
                     f"raised {reference[1].__name__}"
                 )
+        if engines is None:
+            # The default full-matrix check also runs every emit-capable
+            # engine in the spans and validate-only tree-elision modes.
+            self.assert_emit_agree(data, start, reference=reference)
         return reference
 
 

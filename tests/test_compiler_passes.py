@@ -29,10 +29,12 @@ TOGGLE_CONFIGS = {
     "no-dense": Optimizations(dense_memo=False),
     "no-skip": Optimizations(skip_nonrecursive_memo=False),
     "no-inline": Optimizations(inline_single_use=False),
-    "only-module-where": Optimizations(True, False, False, False),
-    "only-dense": Optimizations(False, True, False, False),
-    "only-skip": Optimizations(False, False, True, False),
-    "only-inline": Optimizations(False, False, False, True),
+    "no-dispatch": Optimizations(first_byte_dispatch=False),
+    "only-module-where": Optimizations(True, False, False, False, False),
+    "only-dense": Optimizations(False, True, False, False, False),
+    "only-skip": Optimizations(False, False, True, False, False),
+    "only-inline": Optimizations(False, False, False, True, False),
+    "only-dispatch": Optimizations(False, False, False, False, True),
 }
 
 #: Shapes chosen to light up individual passes: single-use chains for the
@@ -58,6 +60,25 @@ PASS_SENSITIVE_GRAMMARS = {
         S -> U8[0, 1] {n = U8.val}
              for i = 0 to n do E[1 + 2 * i, 3 + 2 * i]
              where { E -> U8[0, 1] {v = U8.val} U8[1, 2] {w = U8.val + 100 * i} ; } ;
+    """,
+    # Single-use rules reached through an array element and through switch
+    # targets: the extended inliner expands all three site kinds.
+    "inline-array-switch": """
+        S -> U8[0, 1] {n = U8.val}
+             for i = 0 to n do Elem[1 + 2 * i, 3 + 2 * i]
+             U8[1 + 2 * n, 2 + 2 * n] {tag = U8.val}
+             switch(tag = 1 : CaseA[2 + 2 * n, EOI] / CaseB[2 + 2 * n, EOI]) ;
+        Elem -> U8[0, 1] {v = U8.val} U8[1, 2] {w = U8.val} ;
+        CaseA -> Raw[0, EOI] {len = Raw.len} ;
+        CaseB -> U8[0, 1] {b = U8.val} Raw[1, EOI] ;
+    """,
+    # Dispatch-sensitive shapes: disjoint first bytes, a guarded leading
+    # byte, and an alternative that can match the empty window.
+    "dispatch-choice": """
+        S -> Items[0, EOI] ;
+        Items -> Pair Items[Pair.end, EOI] / Mark Items[Mark.end, EOI] / ""[0, 0] ;
+        Pair -> "p"[0, 1] U8[1, 2] {v = U8.val} ;
+        Mark -> U8[0, 1] {t = U8.val} guard(t >= 128) ;
     """,
 }
 
@@ -193,3 +214,25 @@ class TestOptimizationReporting:
         result = compiled.parse_nonterminal(b"ab\x01\x00", "Hdr", 0, 4)
         assert result is not FAIL
         assert result["n"] == 1
+
+    def test_inliner_covers_array_and_switch_sites(self):
+        # The extended inliner expands single-use rules referenced as array
+        # elements and as switch-case targets, not only plain nonterminals.
+        compiled = compile_grammar(PASS_SENSITIVE_GRAMMARS["inline-array-switch"])
+        assert {"Elem", "CaseA", "CaseB"} <= compiled.inlined_rules
+        baseline = compile_grammar(
+            PASS_SENSITIVE_GRAMMARS["inline-array-switch"],
+            optimizations=Optimizations(inline_single_use=False),
+        )
+        assert baseline.inlined_rules == frozenset()
+
+    def test_dispatch_tables_reported_and_emitted(self):
+        compiled = compile_grammar(PASS_SENSITIVE_GRAMMARS["dispatch-choice"])
+        assert "Items" in compiled.dispatched_rules
+        assert "_fbt_Items" in compiled.source  # the 256-entry tuple table
+        off = compile_grammar(
+            PASS_SENSITIVE_GRAMMARS["dispatch-choice"],
+            optimizations=Optimizations(first_byte_dispatch=False),
+        )
+        assert off.dispatched_rules == frozenset()
+        assert "_fbt_" not in off.source

@@ -1,0 +1,316 @@
+"""Unit tests for the FIRST-set analysis behind first-byte dispatch.
+
+The soundness contract (an alternative is pruned only when it provably
+cannot succeed on the window at hand) is exercised differentially by the
+cross-engine matrix; this module pins down the *analysis* itself —
+disjointness on the shapes dispatch exists for, conservative fallbacks on
+everything undecidable, empty-window handling, and the btoi-guard
+narrowing of DNS-style tag bytes.
+"""
+
+import pytest
+
+from repro.core.firstsets import dispatch_plans, first_sets
+from repro.core.interpreter import prepare_grammar
+from repro.formats import registry
+
+
+def sets_for(grammar_text: str):
+    return first_sets(prepare_grammar(grammar_text))
+
+
+def plans_for(grammar_text: str):
+    return dispatch_plans(prepare_grammar(grammar_text))
+
+
+class TestTerminalAndRuleFirsts:
+    def test_terminal_literal_first_byte(self):
+        infos = sets_for('S -> "abc"[0, 3] ;')["S"]
+        assert infos[0].admissible == frozenset((ord("a"),))
+        assert infos[0].requires_byte
+
+    def test_disjoint_alternatives(self):
+        infos = sets_for('S -> "x"[0, 1] / "y"[0, 1] ;')["S"]
+        assert infos[0].admissible == frozenset((ord("x"),))
+        assert infos[1].admissible == frozenset((ord("y"),))
+
+    def test_rule_reference_unions_alternatives(self):
+        infos = sets_for(
+            'S -> T[0, EOI] ; T -> "a"[0, 1] / "b"[0, 1] ;'
+        )["S"]
+        assert infos[0].admissible == frozenset((ord("a"), ord("b")))
+
+    def test_recursive_rule_converges(self):
+        # Blocks -> Block Blocks / Block converges to FIRST(Block).
+        infos = sets_for(
+            'Blocks -> Block[0, EOI] / "z"[0, 1] ; '
+            'Block -> "a"[0, 1] Blocks[1, EOI] / "b"[0, 1] ;'
+        )["Blocks"]
+        assert infos[0].admissible == frozenset((ord("a"), ord("b")))
+        assert infos[1].admissible == frozenset((ord("z"),))
+
+    def test_nonzero_left_requires_byte_but_unconstrained(self):
+        infos = sets_for('S -> "m"[2, 3] ;')["S"]
+        assert infos[0].admissible is None
+        assert infos[0].requires_byte
+
+    def test_empty_terminal_is_transparent(self):
+        infos = sets_for('S -> ""[0, 0] "k"[0, 1] ;')["S"]
+        assert infos[0].admissible == frozenset((ord("k"),))
+
+    def test_empty_alternative_does_not_require_a_byte(self):
+        infos = sets_for('S -> "x"[0, 1] S[1, EOI] / ""[0, 0] ;')["S"]
+        assert infos[0].requires_byte
+        assert not infos[1].requires_byte
+        plan = plans_for('S -> "x"[0, 1] S[1, EOI] / ""[0, 0] ;')["S"]
+        # On the empty window only the empty alternative survives.
+        assert plan.empty == (1,)
+        assert plan.table[ord("x")] == (0, 1)
+        assert plan.table[ord("y")] == (1,)
+
+
+class TestConservativeFallbacks:
+    def test_dynamic_left_endpoint_is_any(self):
+        infos = sets_for(
+            "S -> U8[0, 1] {n = U8.val} T[n, EOI] ; T -> \"t\"[0, 1] ;"
+        )["S"]
+        # The *first* consumer is U8 (fixed int): any byte, requires one.
+        assert infos[0].admissible is None
+        assert infos[0].requires_byte
+
+    def test_array_term_is_any_and_not_required(self):
+        infos = sets_for(
+            'S -> for i = 0 to 3 do E[i, i + 1] ; E -> "e"[0, 1] ;'
+        )["S"]
+        assert infos[0].admissible is None
+        assert not infos[0].requires_byte
+
+    def test_blackbox_is_never_constrained(self):
+        infos = sets_for("blackbox B ; S -> B[0, EOI] ;")["S"]
+        assert infos[0].admissible is None
+        assert not infos[0].requires_byte
+
+    def test_raw_accepts_empty(self):
+        infos = sets_for("S -> Raw[0, EOI] ;")["S"]
+        assert infos[0].admissible is None
+        assert not infos[0].requires_byte
+
+    def test_binint_first_bytes(self):
+        infos = sets_for("S -> BinInt[0, EOI] ;")["S"]
+        assert infos[0].admissible == frozenset((0x30, 0x31))
+        assert infos[0].requires_byte
+
+    def test_local_rule_targets_stay_any(self):
+        infos = sets_for(
+            'S -> E[0, EOI] where { E -> "e"[0, 1] ; } ;'
+        )["S"]
+        assert infos[0].admissible is None
+
+
+class TestGuardNarrowing:
+    def test_width_one_guard_via_attribute(self):
+        # The GIF SubBlock shape: U8 {len = U8.val} guard(len > 0).
+        infos = sets_for(
+            "S -> U8[0, 1] {len = U8.val} guard(len > 0) Raw[1, EOI] ;"
+        )["S"]
+        assert infos[0].admissible == frozenset(range(1, 256))
+
+    def test_width_one_direct_dot_guard(self):
+        infos = sets_for("S -> U8[0, 1] guard(U8.val = 7) ;")["S"]
+        assert infos[0].admissible == frozenset((7,))
+
+    def test_width_two_big_endian_guard(self):
+        # The DNS Pointer shape: U16BE guard(val >= 49152) -> {0xC0..0xFF}.
+        infos = sets_for(
+            "S -> U16BE[0, 2] {t = U16BE.val} guard(t >= 49152) ;"
+        )["S"]
+        assert infos[0].admissible == frozenset(range(0xC0, 0x100))
+
+    def test_width_two_little_endian_guard_constrains_low_byte(self):
+        # Little-endian: the first byte is the LOW byte; val % 256 = 5
+        # pins it exactly.
+        infos = sets_for(
+            "S -> U16LE[0, 2] {t = U16LE.val} guard(t % 256 = 5) ;"
+        )["S"]
+        assert infos[0].admissible == frozenset((5,))
+
+    def test_switch_without_default_narrows(self):
+        infos = sets_for(
+            "S -> U8[0, 1] {t = U8.val} "
+            'switch(t = 1 : A[1, EOI] / t = 2 : B[1, EOI]) ; '
+            'A -> "a"[0, 1] ; B -> "b"[0, 1] ;'
+        )["S"]
+        assert infos[0].admissible == frozenset((1, 2))
+
+    def test_switch_with_default_does_not_narrow(self):
+        infos = sets_for(
+            "S -> U8[0, 1] {t = U8.val} "
+            'switch(t = 1 : A[1, EOI] / B[1, EOI]) ; '
+            'A -> "a"[0, 1] ; B -> "b"[0, 1] ;'
+        )["S"]
+        assert infos[0].admissible is None
+
+    def test_builtin_at_nonzero_offset_is_not_narrowed(self):
+        # The guard constrains byte 1, not byte 0: narrowing must not
+        # equate the decoded value with the window's first byte.
+        infos = sets_for(
+            "S -> U8[1, 2] {t = U8.val} guard(t >= 128) Raw[0, EOI] ;"
+        )["S"]
+        assert infos[0].admissible is None
+        assert infos[0].requires_byte
+        from repro import Parser
+
+        grammar = "S -> U8[1, 2] {t = U8.val} guard(t >= 128) Raw[0, EOI] ;"
+        data = b"\x00\xff"  # byte 0 would fail the (misapplied) mask
+        for backend in ("compiled", "interpreted"):
+            assert Parser(grammar, backend=backend).try_parse(data) is not None
+
+    def test_duplicate_record_disables_narrowing(self):
+        # Two U8 terms: U8.val in the guard refers to the *second* record,
+        # so no first-byte conclusion may be drawn.
+        infos = sets_for(
+            "S -> U8[0, 1] U8[1, 2] guard(U8.val = 9) ;"
+        )["S"]
+        assert infos[0].admissible is None
+
+    def test_unsupported_expression_is_ignored(self):
+        # exists/array references leave the narrower's fragment: the guard
+        # must be ignored, not misinterpreted.
+        infos = sets_for(
+            "S -> U8[0, 1] {n = U8.val} "
+            "for i = 0 to n do E[1 + i, 2 + i] "
+            "guard(exists j . E(j).v = 1 ? 1 : 0) ; "
+            "E -> U8[0, 1] {v = U8.val} ;"
+        )["S"]
+        assert infos[0].admissible is None
+        assert infos[0].requires_byte
+
+    def test_guard_that_always_fails_empties_the_set(self):
+        infos = sets_for("S -> U8[0, 1] guard(0) ;")["S"]
+        assert infos[0].admissible == frozenset()
+
+    def test_guard_after_terminal_still_narrows(self):
+        # Terminals fail cleanly and have no effects: constraints behind
+        # them remain usable.
+        infos = sets_for('S -> U8[0, 1] {t = U8.val} "q"[1, 2] guard(t = 5) ;')["S"]
+        assert infos[0].admissible == frozenset((5,))
+
+    def test_guard_behind_rule_call_is_not_used(self):
+        # A rule call may have effects (transitively reach a blackbox,
+        # diverge); a pruned alternative must behave like one that ran and
+        # failed cleanly, so constraints behind it are off limits.
+        infos = sets_for(
+            'S -> U8[0, 1] {t = U8.val} R[1, 2] guard(t = 5) ; R -> "q"[0, 1] ;'
+        )["S"]
+        assert infos[0].admissible is None
+
+    def test_guard_behind_blackbox_is_not_used(self):
+        infos = sets_for(
+            "blackbox B ; "
+            "S -> U8[0, 1] {t = U8.val} B[1, EOI] guard(t >= 128) / Raw[0, EOI] ;"
+        )["S"]
+        assert infos[0].admissible is None
+
+    def test_narrowing_cache_respects_name_resolution(self):
+        # Two grammars with byte-identical alternative text, but in the
+        # second a user rule shadows the U16BE builtin — the guard then
+        # runs behind a potentially-effectful rule call and must not
+        # narrow, regardless of analysis order (process-wide cache).
+        plain = "S -> U8[0, 1] U16BE[1, 3] guard(U8.val > 200) ;"
+        shadowed = plain + " U16BE -> Raw[0, EOI] ;"
+        infos_plain = sets_for(plain)["S"]
+        assert infos_plain[0].admissible == frozenset(range(201, 256))
+        infos_shadowed = sets_for(shadowed)["S"]
+        assert infos_shadowed[0].admissible is None
+        # And the other order (fresh grammar objects re-enter the cache).
+        assert sets_for(shadowed)["S"][0].admissible is None
+        assert sets_for(plain)["S"][0].admissible == frozenset(range(201, 256))
+
+    def test_blackbox_before_failing_guard_still_runs_under_dispatch(self):
+        # The reviewer's scenario: pruning the first alternative would skip
+        # the blackbox invocation that precedes the failing guard, turning
+        # a BlackboxError into a clean parse.  Both dispatch settings must
+        # raise identically.
+        from repro import Parser
+        from repro.core.errors import IPGError
+
+        grammar = (
+            "blackbox B ; "
+            "S -> U8[0, 1] {t = U8.val} B[1, EOI] guard(t >= 128) / Raw[0, EOI] ;"
+        )
+
+        def boom(window):
+            raise RuntimeError("boom")
+
+        for backend in ("compiled", "interpreted"):
+            for dispatch in (True, False):
+                parser = Parser(
+                    grammar,
+                    blackboxes={"B": boom},
+                    backend=backend,
+                    first_byte_dispatch=dispatch,
+                )
+                with pytest.raises(IPGError):
+                    parser.try_parse(b"\x05abc")
+
+
+class TestDispatchPlans:
+    def test_plan_only_when_bytes_discriminate(self):
+        # All-ANY single alternative: no plan (consulting a table would
+        # read a byte the rule itself might never touch).
+        assert plans_for("S -> U8[0, 1] ;") == {}
+
+    def test_biased_order_is_preserved(self):
+        plan = plans_for(
+            'S -> "x"[0, 1] "a"[1, 2] / "x"[0, 1] "b"[1, 2] / "y"[0, 1] ;'
+        )["S"]
+        # Overlapping alternatives stay in biased order in the entry.
+        assert plan.table[ord("x")] == (0, 1)
+        assert plan.table[ord("y")] == (2,)
+        assert plan.table[ord("q")] == ()
+
+    def test_dns_name_is_fully_disjoint(self):
+        plans = plans_for(registry["dns"].grammar_text)
+        plan = plans["Name"]
+        assert plan.table[0x00] == (2,)  # root label
+        assert plan.table[0x05] == (1,)  # ordinary label (1..63)
+        assert plan.table[0xC0] == (0,)  # compression pointer
+        assert plan.table[0x80] == ()    # 64..191 can never start a name
+
+    def test_gif_block_is_fully_disjoint(self):
+        plans = plans_for(registry["gif"].grammar_text)
+        plan = plans["Block"]
+        assert plan.table[0x21] == (0,)
+        assert plan.table[0x2C] == (1,)
+        assert plan.table[0x3B] == ()
+
+    def test_results_are_cached_per_grammar(self):
+        grammar = prepare_grammar('S -> "x"[0, 1] / "y"[0, 1] ;')
+        assert first_sets(grammar) is first_sets(grammar)
+        assert dispatch_plans(grammar) is dispatch_plans(grammar)
+
+
+class TestDispatchDifferential:
+    """Dispatch on/off equivalence on purpose-built adversarial shapes."""
+
+    GRAMMARS = [
+        # Overlapping firsts with biased choice deciding by longer content.
+        'S -> "ab"[0, 2] / "a"[0, 1] ;',
+        # Guard-narrowed tag byte with a fallback alternative.
+        "S -> U8[0, 1] {t = U8.val} guard(t >= 128) Raw[1, EOI] / Raw[0, EOI] ;",
+        # Empty-window alternative after a required one.
+        'S -> "x"[0, 1] S[1, EOI] / ""[0, 0] ;',
+        # A rule whose guard can never pass (empty admissible set).
+        'S -> U8[0, 1] guard(0) / "k"[0, 1] ;',
+    ]
+
+    @pytest.mark.parametrize("grammar", GRAMMARS)
+    def test_engines_agree_on_byte_sweep(self, grammar):
+        from engine_matrix import matrix_for
+
+        matrix = matrix_for(grammar)
+        samples = [b"", b"a", b"ab", b"abab", b"x", b"xx", b"k", b"\x00"]
+        samples += [bytes((b,)) for b in (0, 1, 63, 64, 127, 128, 192, 255)]
+        samples += [bytes((b, 65)) for b in (0, 127, 128, 255)]
+        for data in samples:
+            matrix.assert_agree(data)

@@ -1,0 +1,97 @@
+"""Benchmark regression gate: fail CI when the compiled speedup collapses.
+
+Compares a freshly measured Fig. 13 benchmark report (the CI smoke run of
+``benchmarks/bench_compiler_speedup.py``) against the committed
+``BENCH_compiler.json`` trajectory and exits non-zero when the median
+compiled-backend speedup regressed more than the tolerance (default 15%)
+below the committed value.
+
+The tolerance absorbs machine-to-machine and quick-vs-full noise (the
+committed JSON is a full run on the development machine; CI measures a
+``--quick`` workload on shared runners).  A genuine regression — an
+optimization pass broken or accidentally disabled — drops the median far
+more than 15%, while ordinary jitter stays well inside it.
+
+Usage::
+
+    python tools/bench_gate.py CURRENT.json [BASELINE.json] [--tolerance 0.15]
+
+``BASELINE.json`` defaults to ``BENCH_compiler.json`` at the repository
+root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def gate(current_path: str, baseline_path: str, tolerance: float) -> int:
+    current = _load(current_path)
+    baseline = _load(baseline_path)
+    failures = []
+    checks = [
+        ("median_speedup", "median compiled speedup"),
+        ("aot_median_speedup", "median AOT speedup"),
+    ]
+    for key, label in checks:
+        committed = baseline.get(key)
+        measured = current.get(key)
+        if committed is None or measured is None:
+            print(f"bench-gate: {label}: missing ({key}); skipped")
+            continue
+        floor = committed * (1.0 - tolerance)
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        print(
+            f"bench-gate: {label}: measured {measured:.2f}x vs committed "
+            f"{committed:.2f}x (floor {floor:.2f}x at -{tolerance:.0%}): {verdict}"
+        )
+        if measured < floor:
+            failures.append(label)
+    # Informational only: the tree-elision win is asserted functionally by
+    # the test suite; its ratio is printed for the record.
+    elision = current.get("validate_median_speedup_vs_tree")
+    if elision is not None:
+        print(f"bench-gate: validate-only vs tree (informational): {elision:.2f}x")
+    if failures:
+        print(
+            f"bench-gate: FAILED — {', '.join(failures)} regressed more than "
+            f"{tolerance:.0%} below the committed BENCH_compiler.json",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench-gate: passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly measured benchmark JSON")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=os.path.join(_REPO_ROOT, "BENCH_compiler.json"),
+        help="committed trajectory JSON (default: BENCH_compiler.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional regression below the committed median "
+        "(default: 0.15)",
+    )
+    args = parser.parse_args(argv)
+    return gate(args.current, args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
