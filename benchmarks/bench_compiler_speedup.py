@@ -11,17 +11,20 @@ instead of asserted once.
 Two measurement conventions keep the trajectory comparable across PRs:
 
 * the interpreted baseline is *frozen*: it runs with first-byte dispatch
-  disabled (``first_byte_dispatch=False``), i.e. the plain reference
-  semantics every earlier BENCH_compiler.json was measured against —
-  otherwise every interpreter optimization would silently deflate the
-  compiled speedup it is the denominator of;
+  and fixed-shape vectorization disabled (``first_byte_dispatch=False,
+  bulk_fixed_shape=False``), i.e. the plain reference semantics every
+  earlier BENCH_compiler.json was measured against — otherwise every
+  interpreter optimization would silently deflate the compiled speedup it
+  is the denominator of;
 * the compiled backend runs with its default pass set (now including the
-  first-byte dispatch tables).
+  first-byte dispatch tables and the fixed-shape struct plans).
 
 On top of the tree-building race, the script measures the tree-elision
-fast path: ``parse(data, emit=None)`` (validate-only) on the compiled
+fast path — ``parse(data, emit=None)`` (validate-only) on the compiled
 backend, reported per format as ``validate_speedup_vs_tree`` (compiled
-tree-mode time over compiled validate-only time).
+tree-mode time over compiled validate-only time) — and, for the formats
+the §8 analysis accepts, chunked streaming (``parse_stream`` at 64 KiB
+chunks) as ``streaming_speedup`` against the same frozen baseline.
 
 Usage::
 
@@ -102,9 +105,11 @@ def run(quick: bool, output: str) -> int:
         spec = registry[fmt]
         compiled = spec.build_parser(backend="compiled")
         # Frozen baseline: the reference interpreter without first-byte
-        # dispatch (see the module docstring).
+        # dispatch or fixed-shape plans (see the module docstring).
         interpreted = spec.build_parser(
-            backend="interpreted", first_byte_dispatch=False
+            backend="interpreted",
+            first_byte_dispatch=False,
+            bulk_fixed_shape=False,
         )
         aot = load_aot_module(spec)
         if compiled.backend != "compiled":
@@ -140,6 +145,32 @@ def run(quick: bool, output: str) -> int:
             "aot_speedup": round(interpreted_ns / aot_ns, 2),
             "validate_speedup_vs_tree": round(compiled_ns / validate_ns, 2),
         }
+        streaming_note = ""
+        if spec.streamable:
+            # Streaming always measures the *full-size* workload so the
+            # quick CI smoke and the committed full run compare the same
+            # ratio (session overhead dominates tiny quick inputs).
+            stream_data = data if not quick else build(False)
+
+            def parse_streamed(payload):
+                chunks = [
+                    payload[i : i + 65536] for i in range(0, len(payload), 65536)
+                ]
+                return compiled.parse_stream(chunks or [b""])
+
+            if parse_streamed(stream_data) != interpreted.parse(stream_data):
+                print(f"ERROR: {fmt}: streaming disagrees on the parse tree")
+                failures += 1
+                continue
+            streaming_ns = best_of(parse_streamed, stream_data, rounds)
+            stream_base_ns = best_of(interpreted.parse, stream_data, rounds)
+            results[fmt]["streaming_ns_per_byte"] = round(
+                streaming_ns / len(stream_data), 2
+            )
+            results[fmt]["streaming_speedup"] = round(
+                stream_base_ns / streaming_ns, 2
+            )
+            streaming_note = f"  streaming {stream_base_ns / streaming_ns:5.2f}x"
         print(
             f"{fmt:5s} {size:8d} B  interpreted {interpreted_ns / size:9.1f} ns/B"
             f"  compiled {compiled_ns / size:9.1f} ns/B"
@@ -148,6 +179,7 @@ def run(quick: bool, output: str) -> int:
             f"  speedup {interpreted_ns / compiled_ns:5.2f}x"
             f" / {interpreted_ns / aot_ns:5.2f}x"
             f"  elision {compiled_ns / validate_ns:5.2f}x"
+            f"{streaming_note}"
         )
     if results:
         median = statistics.median(entry["speedup"] for entry in results.values())
@@ -162,6 +194,11 @@ def run(quick: bool, output: str) -> int:
             for entry in results.values()
             if entry["validate_speedup_vs_tree"] >= 1.5
         )
+        streaming_speedups = [
+            entry["streaming_speedup"]
+            for entry in results.values()
+            if "streaming_speedup" in entry
+        ]
         report = {
             "benchmark": (
                 "compiled / AOT backends vs reference interpreter "
@@ -175,6 +212,10 @@ def run(quick: bool, output: str) -> int:
             "validate_median_speedup_vs_tree": round(validate_median, 2),
             "validate_formats_at_least_1_5x": validate_fast,
         }
+        if streaming_speedups:
+            report["streaming_median_speedup"] = round(
+                statistics.median(streaming_speedups), 2
+            )
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")

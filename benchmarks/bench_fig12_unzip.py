@@ -17,7 +17,7 @@ dominates.
 import pytest
 
 from repro.baselines.handwritten import zipfmt as handwritten_zip
-from repro.core.generator import compile_parser
+from repro.core.compiler import compile_grammar
 from repro.formats import zipfmt
 
 from conftest import ZIP_MEMBER_COUNTS
@@ -25,12 +25,15 @@ from conftest import ZIP_MEMBER_COUNTS
 
 @pytest.fixture(scope="module")
 def ipg_metadata_parser():
-    return compile_parser(zipfmt.METADATA_GRAMMAR)
+    return compile_grammar(zipfmt.METADATA_GRAMMAR).load_module("_fig12_zip_meta")
 
 
 @pytest.fixture(scope="module")
 def ipg_full_parser():
-    return compile_parser(zipfmt.GRAMMAR, blackboxes={"Inflate": zipfmt.inflate_blackbox})
+    compiled = compile_grammar(
+        zipfmt.GRAMMAR, blackboxes={"Inflate": zipfmt.inflate_blackbox}
+    )
+    return compiled.load_module("_fig12_zip_full")
 
 
 @pytest.mark.parametrize("members", ZIP_MEMBER_COUNTS)

@@ -12,7 +12,7 @@ Two series:
 import pytest
 
 from repro.baselines.kaitai_like import specs as kaitai_specs
-from repro.core.generator import compile_parser
+from repro.core.compiler import compile_grammar
 from repro.evaluation.timing import measure_runtime
 from repro.formats import zipfmt
 
@@ -21,7 +21,7 @@ from conftest import ZIP_MEMBER_COUNTS
 
 @pytest.fixture(scope="module")
 def ipg_zip_metadata_parser():
-    return compile_parser(zipfmt.METADATA_GRAMMAR)
+    return compile_grammar(zipfmt.METADATA_GRAMMAR).load_module("_fig13a_zip_meta")
 
 
 @pytest.fixture(scope="module")

@@ -4,9 +4,10 @@ Every benchmark module regenerates one table or figure of the paper's
 evaluation (see DESIGN.md, experiment index E1–E12).  The workloads are the
 synthetic samples from :mod:`repro.samples`; they are built once per session.
 
-The "IPG" side of every comparison uses the *generated* parser
-(:func:`repro.core.generator.compile_parser`), matching the paper's artifact
-(a parser generator), with the reference interpreter available for
+The "IPG" side of every comparison uses the *ahead-of-time emitted* parser
+(:meth:`repro.core.compiler.CompiledGrammar.load_module`), matching the
+paper's artifact (a parser generator), with the reference interpreter
+available for
 cross-checks.
 
 Since the staged compiler backend became the default parse engine, every
@@ -23,14 +24,15 @@ from __future__ import annotations
 import pytest
 
 from repro import samples
-from repro.core.generator import compile_parser
+from repro.core.compiler import compile_grammar
 from repro.formats import registry
 
 
 def build_generated_parser(fmt: str):
-    """Compile the generated parser for a registered format."""
+    """Emit and import the ahead-of-time parser for a registered format."""
     spec = registry[fmt]
-    return compile_parser(spec.grammar_text, blackboxes=dict(spec.blackboxes))
+    compiled = compile_grammar(spec.grammar_text, blackboxes=dict(spec.blackboxes))
+    return compiled.load_module(f"_bench_aot_{fmt.replace('-', '_')}")
 
 
 def build_backend_parser(fmt: str, backend: str):

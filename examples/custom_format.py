@@ -5,7 +5,7 @@ The format invented here ("TLVS") is a container of type-length-value
 records with a trailing directory — small, but it needs every IPG feature a
 real format needs: the type-length-value pattern (switch terms), a
 random-access directory at the end of the file, attribute arithmetic,
-implicit intervals, termination checking, and parser generation.
+implicit intervals, termination checking, and ahead-of-time emission.
 
 Run with:  python examples/custom_format.py
 """
@@ -13,7 +13,7 @@ Run with:  python examples/custom_format.py
 import struct
 
 from repro import Parser
-from repro.core.generator import compile_parser, generate_parser_source
+from repro.core.compiler import compile_grammar
 from repro.core.termination import assert_terminates
 
 GRAMMAR = """
@@ -81,12 +81,14 @@ def main() -> None:
             rendered = f"blob of {record['len']} bytes"
         print(f"  record {index}: type={rtype} -> {rendered}")
 
-    # The same grammar compiled to standalone parser code produces the same
-    # tree — the generated parser is what you would ship.
-    generated = compile_parser(GRAMMAR)
-    assert generated.parse(data) == tree
-    lines = len(generate_parser_source(GRAMMAR).splitlines())
-    print(f"generated parser ({lines} lines) agrees with the interpreter")
+    # The same grammar emitted ahead of time produces the same tree — the
+    # standalone module is what you would ship (`repro compile` writes it
+    # to disk).
+    compiled = compile_grammar(GRAMMAR)
+    module = compiled.load_module("tlvs_parser")
+    assert module.parse(data) == tree
+    lines = len(compiled.to_source().splitlines())
+    print(f"ahead-of-time parser ({lines} lines) agrees with the interpreter")
 
 
 if __name__ == "__main__":

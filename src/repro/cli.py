@@ -6,8 +6,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro parse --format elf FILE      # parse a file, print a summary
     python -m repro parse --format dns --stream - # stream stdin in chunks (§8)
     python -m repro check GRAMMAR.ipg            # attribute + termination check
-    python -m repro generate GRAMMAR.ipg -o p.py # emit a generated parser
     python -m repro compile --format zip -o z.py # emit a standalone AOT parser
+    python -m repro compile --format elf --explain-shapes  # fixed-shape report
+    python -m repro generate GRAMMAR.ipg -o p.py # deprecated alias of compile
     python -m repro streamability --format dns   # stream-parser analysis (§8)
     python -m repro streamability GRAMMAR.ipg    # ... or on a grammar file
     python -m repro report [--full]              # re-run the paper's evaluation
@@ -30,7 +31,6 @@ import sys
 from typing import List, Optional
 
 from . import IPGError, ParseFailure, Parser, __version__
-from .core.generator import generate_parser_source
 from .core.streamability import analyze_streamability
 from .core.termination import check_termination
 from .core.interpreter import prepare_grammar
@@ -191,13 +191,56 @@ def cmd_check(args) -> int:
 
 
 def cmd_generate(args) -> int:
-    source = generate_parser_source(_read_text(args.grammar), class_name=args.class_name)
+    # The legacy dict-env parser generator was retired; `generate` is a
+    # one-release alias of `compile` (the ahead-of-time emitter).
+    import warnings
+
+    from .core.generator import generate_parser_source
+
+    print(
+        "note: `repro generate` is deprecated; it now emits the same "
+        "standalone module as `repro compile` (use that instead)",
+        file=sys.stderr,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        source = generate_parser_source(
+            _read_text(args.grammar), class_name=args.class_name
+        )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(source)
         print(f"wrote {len(source.splitlines())} lines to {args.output}")
     else:
         print(source)
+    return 0
+
+
+def _cmd_explain_shapes(args) -> int:
+    """``repro compile --explain-shapes``: the fixed-shape layout report."""
+    from .core.interpreter import prepare_grammar
+    from .core.shapes import explain_shapes
+
+    if args.format:
+        if args.format not in registry:
+            print(
+                f"unknown format {args.format!r}; see `repro formats`",
+                file=sys.stderr,
+            )
+            return 2
+        grammar_text = registry[args.format].grammar_text
+    elif args.grammar:
+        grammar_text = _read_text(args.grammar)
+    else:
+        print(
+            "error: --explain-shapes needs --format or a grammar file",
+            file=sys.stderr,
+        )
+        return 2
+    grammar = prepare_grammar(grammar_text)
+    width = max(len(name) for name in grammar.rules)
+    for name, description in explain_shapes(grammar):
+        print(f"{name:<{width}}  {description}")
     return 0
 
 
@@ -255,6 +298,15 @@ def cmd_compile(args) -> int:
     from .core.compiler import Optimizations, compile_grammar
     from .core.errors import CompilationError
 
+    if args.explain_shapes:
+        if args.package or args.output:
+            print(
+                "error: --explain-shapes prints the fixed-shape analysis "
+                "and cannot be combined with --package or -o/--output",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_explain_shapes(args)
     if args.package:
         if args.grammar or args.output:
             print(
@@ -401,7 +453,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     check_command.add_argument("grammar", help="path to an IPG grammar file")
     check_command.set_defaults(handler=cmd_check)
 
-    generate_command = commands.add_parser("generate", help="emit generated parser source")
+    generate_command = commands.add_parser(
+        "generate",
+        help="emit a standalone parser module (deprecated alias of `compile`)",
+    )
     generate_command.add_argument("grammar", help="path to an IPG grammar file")
     generate_command.add_argument("-o", "--output", help="write the source to this file")
     generate_command.add_argument(
@@ -430,11 +485,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "module, instead of vendoring the prelude into every file",
     )
     compile_command.add_argument(
+        "--explain-shapes",
+        action="store_true",
+        help="print the fixed-shape layout analysis per rule (struct format "
+        "strings, covered prefixes, bail-out reasons) instead of emitting "
+        "a module",
+    )
+    compile_command.add_argument(
         "--no-optimize",
         action="store_true",
         help="disable the compiler optimization passes (module-level where "
         "rules, dense memo keys, memo elision, single-use inlining, "
-        "first-byte dispatch tables)",
+        "first-byte dispatch tables, fixed-shape vectorization)",
     )
     compile_command.set_defaults(handler=cmd_compile)
 

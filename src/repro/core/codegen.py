@@ -41,6 +41,7 @@ from typing import Optional
 #: only non-stdlib import is the *optional* reuse of repro's parse-tree
 #: classes.
 _PRELUDE_BASE = '''\
+import struct as _struct
 import sys as _sys
 
 #: Internal sentinels: parse failure (biased choice), memo miss, and a
@@ -507,6 +508,7 @@ _PACKAGE_IMPORTS = (
     "_run_builtin",
     "_shift_l",
     "_shift_r",
+    "_struct",
     "_undef",
     "_wrap_outcome",
 )

@@ -79,6 +79,7 @@ elide_tree=False)``
 from __future__ import annotations
 
 import re
+import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple, Union
 
@@ -151,11 +152,17 @@ class Optimizations:
     #: multi-alternative rules, 256-byte admissibility masks for
     #: single-alternative rules.
     first_byte_dispatch: bool = True
+    #: Vectorize statically fixed layouts (:mod:`repro.core.shapes`): fuse
+    #: fixed-prefix field runs into one precompiled ``struct`` unpack,
+    #: lower ``for`` arrays of fixed-shape elements to a single
+    #: ``Struct.iter_unpack`` over the interval, and inline the
+    #: ``Raw``/``Bytes`` builtins.
+    bulk_fixed_shape: bool = True
 
     @classmethod
     def none(cls) -> "Optimizations":
         """The PR-1 baseline: no optimization passes."""
-        return cls(False, False, False, False, False)
+        return cls(False, False, False, False, False, False)
 
 
 # ---------------------------------------------------------------------------
@@ -569,8 +576,10 @@ class _GrammarCompiler:
         #: children lists, Leafs or ArrayNodes — the execution mode behind
         #: ``Parser.parse(data, emit="spans"|None)``.
         self.elide = elide_tree
-        #: Rule name -> firstsets.DispatchPlan for byte-indexed choice.
+        #: Rule name -> firstsets.DispatchPlan for byte-indexed choice, and
+        #: id(local Rule) -> plan for where-rule dispatch.
         self.dispatch_plans: Dict[str, object] = {}
+        self.local_plans: Dict[int, object] = {}
         self.namer = Namer()
         self.rule_fns: Dict[str, str] = {}
         #: Memo-table slot kinds of the per-parse state list ``st``:
@@ -587,6 +596,19 @@ class _GrammarCompiler:
         self._runner_cache: Dict[str, str] = {}
         self._tokens: Dict[str, str] = {}
         self._token_used: set = set()
+        #: struct format -> module-level ``struct.Struct`` constant name; the
+        #: definitions are emitted as plain source (``_sh0 = _struct.Struct(
+        #: '<IBBHQQ')``) so ahead-of-time emission vendors them for free.
+        self._struct_cache: Dict[str, str] = {}
+        self._struct_lines: List[str] = []
+        #: Deterministic per-compilation plan numbering: shape-plan attr
+        #: locals must not depend on process-global analysis order, or two
+        #: emissions of the same grammar would differ textually.
+        self._plan_uids: Dict[int, int] = {}
+        #: Rules whose alternatives decode a fused fixed-shape prefix, and
+        #: array element rules lowered to bulk struct decoding.
+        self.shaped_rules: Set[str] = set()
+        self.bulk_arrays: Set[str] = set()
         #: Module-level where-rule definitions awaiting emission.
         self._deferred: List[str] = []
         #: Rules the current compilation may expand inline.
@@ -596,6 +618,10 @@ class _GrammarCompiler:
         #: Input-window variables of the function/expansion being compiled.
         self._lo = "lo"
         self._hi = "hi"
+        #: Terms / where-rule presence of the alternative currently being
+        #: compiled (bulk array lowering scans them for element references).
+        self._current_alternative_terms: Optional[List[Term]] = None
+        self._current_alternative_locals = False
 
     # -- naming ------------------------------------------------------------
     def _token(self, raw: str) -> str:
@@ -627,6 +653,23 @@ class _GrammarCompiler:
             self.constants[var] = maker(name)
         return var
 
+    def _struct_const(self, fmt: str) -> str:
+        """Module-level ``struct.Struct`` constant for one format string."""
+        var = self._struct_cache.get(fmt)
+        if var is None:
+            var = f"_sh{len(self._struct_cache)}"
+            self._struct_cache[fmt] = var
+            self._struct_lines.append(f"{var} = _struct.Struct({fmt!r})")
+        return var
+
+    def _assign_plan_uid(self, plan) -> None:
+        """Renumber a shape plan for deterministic generated-local names."""
+        uid = self._plan_uids.get(id(plan))
+        if uid is None:
+            uid = len(self._plan_uids)
+            self._plan_uids[id(plan)] = uid
+        plan.uid = uid
+
     def _abs(self, offset: str) -> str:
         """Render the absolute input position of relative ``offset``."""
         return self._lo if offset == "0" else f"{self._lo} + {offset}"
@@ -655,51 +698,15 @@ class _GrammarCompiler:
         lexically at the declaration site.  The two differ only when a
         nested where-scope re-declares a name that an outer-declared local
         rule's body references (the outer rule may then be invoked from
-        inside the nested scope).  That shape gets a CompilationError so the
-        Parser falls back to the interpreter.
+        inside the nested scope; see
+        :func:`repro.core.firstsets.where_shadowing_conflict`).  That shape
+        gets a CompilationError so the Parser falls back to the interpreter.
         """
+        from .firstsets import where_shadowing_conflict
 
-        def used_names(alternative: Alternative) -> set:
-            names: set = set()
-            for term in alternative.terms:
-                if isinstance(term, TermNonterminal):
-                    names.add(term.name)
-                elif isinstance(term, TermArray):
-                    names.add(term.element.name)
-                elif isinstance(term, TermSwitch):
-                    names.update(case.target.name for case in term.cases)
-            return names
-
-        def walk(alternative: Alternative, outer_used: set) -> None:
-            if not alternative.local_rules:
-                return
-            declared = {rule.name for rule in alternative.local_rules}
-            shadowed = declared & outer_used
-            if shadowed:
-                raise CompilationError(
-                    f"where-rule(s) {sorted(shadowed)} shadow names referenced "
-                    f"by enclosing where-rules; dispatch would depend on the "
-                    f"call site, which is not specialized yet"
-                )
-            # References in an alternative lexically see the where-scopes
-            # that same alternative declares, so only usages from *other*
-            # bodies at this level (plus everything outer) are dangerous for
-            # the scopes nested inside it.
-            bodies = [
-                (inner, used_names(inner))
-                for rule in alternative.local_rules
-                for inner in rule.alternatives
-            ]
-            for inner, _own in bodies:
-                dangerous = set(outer_used)
-                for other, other_used in bodies:
-                    if other is not inner:
-                        dangerous |= other_used
-                walk(inner, dangerous)
-
-        for rule in self.grammar.iter_rules():
-            for alternative in rule.alternatives:
-                walk(alternative, set())
+        conflict = where_shadowing_conflict(self.grammar)
+        if conflict is not None:
+            raise CompilationError(f"{conflict}, which is not specialized yet")
 
     def compile(self) -> str:
         self._check_dynamic_shadowing()
@@ -713,9 +720,14 @@ class _GrammarCompiler:
         if self.opts.inline_single_use:
             self._inline = _inline_candidates(self.grammar, sites, recursive)
         if self.opts.first_byte_dispatch:
-            from .firstsets import dispatch_plans  # deferred: keeps imports light
+            # Deferred import keeps module import light.
+            from .firstsets import dispatch_plans, local_dispatch_plans
 
             self.dispatch_plans = dispatch_plans(self.grammar)
+            self.local_plans = {
+                id(rule): plan
+                for rule, plan in local_dispatch_plans(self.grammar)
+            }
         for name in self.grammar.rules:
             if not self.memoize:
                 self.memo_modes[name] = "unmemoized"
@@ -745,6 +757,9 @@ class _GrammarCompiler:
             if self._deferred:
                 lines += self._deferred
                 self._deferred = []
+        if self._struct_lines:
+            lines += self._struct_lines
+            lines.append("")
         lines.append(f"_SLOTS = {''.join(self.memo_slots)!r}")
         lines.append("")
         lines.append("def _new_state():")
@@ -775,15 +790,30 @@ class _GrammarCompiler:
         with_cells = not toplevel and self.opts.module_level_where
         args = "st, data, lo, hi, _cells" if with_cells else "st, data, lo, hi"
         lines: List[str] = []
-        for alternative, alt_fn in zip(rule.alternatives, alt_fns):
+        for alt_index, (alternative, alt_fn) in enumerate(
+            zip(rule.alternatives, alt_fns)
+        ):
             lines += self._compile_alternative(
-                rule.name, alternative, alt_fn, parent_scope, bindings, with_cells
+                rule.name,
+                alternative,
+                alt_fn,
+                parent_scope,
+                bindings,
+                with_cells,
+                alt_index=alt_index,
+                toplevel=toplevel,
             )
             lines.append("")
-        plan = self.dispatch_plans.get(rule.name) if toplevel else None
+        if toplevel:
+            plan = self.dispatch_plans.get(rule.name)
+        else:
+            plan = self.local_plans.get(id(rule))
+        # Table constants are named after the (unique) dispatcher function:
+        # distinct where-rules may share a bare rule name.
+        table_token = fn_name[1:]
         cache_slot = None
         if plan is not None:
-            lines += self._emit_dispatch_table(plan, alt_fns, token)
+            lines += self._emit_dispatch_table(plan, alt_fns, table_token)
             lines.append("")
             if self.stream_cache:
                 cache_slot = len(self.memo_slots)
@@ -809,11 +839,11 @@ class _GrammarCompiler:
             body.append("_v = _m.get(_key, _MISS)")
             body.append("if _v is not _MISS:")
             body.append("    return _v")
-            body += self._attempt_lines(plan, alt_fns, token, args, cache_slot)
+            body += self._attempt_lines(plan, alt_fns, table_token, args, cache_slot)
             body.append("_m[_key] = _v")
             body.append("return _v")
         elif plan is not None:
-            body += self._attempt_lines(plan, alt_fns, token, args, cache_slot)
+            body += self._attempt_lines(plan, alt_fns, table_token, args, cache_slot)
             body.append("return _v")
         elif len(alt_fns) == 1:
             body.append(f"return {alt_fns[0]}({args})")
@@ -845,7 +875,11 @@ class _GrammarCompiler:
             return lines
         groups: Dict[Tuple[int, ...], str] = {}
         order: List[Tuple[int, ...]] = []
-        for entry in tuple(plan.table) + (plan.empty,):
+        entries = list(plan.table) + [plan.empty]
+        if plan.pair_table:
+            for _offset, row in plan.pair_table.values():
+                entries.extend(row)
+        for entry in entries:
             if entry not in groups:
                 groups[entry] = f"_fb{len(groups)}_{token}"
                 order.append(entry)
@@ -860,6 +894,20 @@ class _GrammarCompiler:
             lines.append(f"    {row},")
         lines.append(")")
         lines.append(f"_fbe_{token} = {groups[plan.empty]}")
+        if plan.pair_table:
+            # FIRST₂ prefix-probe refinement: per refined first byte, the
+            # probe offset plus a 256-entry row over the probed byte.
+            lines.append(f"_fp_{token} = {{")
+            for byte in sorted(plan.pair_table):
+                offset, row = plan.pair_table[byte]
+                lines.append(f"    {byte}: ({offset}, (")
+                for start in range(0, 256, 8):
+                    rendered = ", ".join(
+                        groups[entry] for entry in row[start : start + 8]
+                    )
+                    lines.append(f"        {rendered},")
+                lines.append("    )),")
+            lines.append("}")
         return lines
 
     def _attempt_lines(
@@ -910,20 +958,30 @@ class _GrammarCompiler:
                 f"    _ok = _fbe_{token}",
                 f"_v = {alt_fns[0]}({args}) if _ok else FAIL",
             ]
-        if cache_slot is None:
-            probe = [
-                "if lo < hi:",
-                f"    _fs = _fbt_{token}[data[lo]]",
+        if plan.pair_table:
+            decide = [
+                "_b = data[lo]",
+                f"_t2 = _fp_{token}.get(_b)",
+                "if _t2 is None:",
+                f"    _fs = _fbt_{token}[_b]",
+                "elif lo + _t2[0] < hi:",
+                "    _fs = _t2[1][data[lo + _t2[0]]]",
+                "else:",
+                f"    _fs = _fbt_{token}[_b]",
             ]
+        else:
+            decide = [f"_fs = _fbt_{token}[data[lo]]"]
+        if cache_slot is None:
+            probe = ["if lo < hi:"] + _indent(decide)
         else:
             probe = [
                 "if lo < hi:",
                 f"    _dc = st[{cache_slot}]",
                 "    _fs = _dc.get(lo)",
                 "    if _fs is None:",
-                f"        _fs = _fbt_{token}[data[lo]]",
-                "        _dc[lo] = _fs",
             ]
+            probe += _indent(decide, 2)
+            probe.append("        _dc[lo] = _fs")
         return probe + [
             "else:",
             f"    _fs = _fbe_{token}",
@@ -943,17 +1001,41 @@ class _GrammarCompiler:
         parent_scope: Optional[Scope],
         bindings: Dict[str, Tuple[str, Scope]],
         with_cells: bool,
+        alt_index: int = 0,
+        toplevel: bool = False,
     ) -> List[str]:
         saved_frame = (self._lo, self._hi)
         self._lo, self._hi = "lo", "hi"
         try:
             inner = self._alternative_inner(
-                rule_name, alternative, parent_scope, bindings
+                rule_name,
+                alternative,
+                parent_scope,
+                bindings,
+                alt_index=alt_index,
+                toplevel=toplevel,
             )
         finally:
             self._lo, self._hi = saved_frame
         args = "st, data, lo, hi, _cells" if with_cells else "st, data, lo, hi"
         return [f"def {fn_name}({args}):"] + _indent(inner)
+
+    def _alt_plan(self, rule_name: str, alt_index: int, alternative: Alternative):
+        """The fused fixed-prefix plan for one alternative, if worthwhile."""
+        if not self.opts.bulk_fixed_shape or alternative.local_rules:
+            return None
+        from .shapes import alternative_shape  # deferred: keeps imports light
+
+        # Streaming compilations fuse flat-only prefixes: absorbing a
+        # nested *rule* would replace a memoized call with inline reads
+        # that re-run on every stream re-entry and pin the compaction
+        # watermark at the window start.
+        plan = alternative_shape(
+            self.grammar, rule_name, alt_index, flat_only=self.stream_cache
+        )
+        if plan.covered and plan.worthwhile:
+            return plan
+        return None
 
     def _alternative_inner(
         self,
@@ -961,6 +1043,8 @@ class _GrammarCompiler:
         alternative: Alternative,
         parent_scope: Optional[Scope],
         bindings: Dict[str, Tuple[str, Scope]],
+        alt_index: int = 0,
+        toplevel: bool = False,
     ) -> List[str]:
         fid = self.namer.fresh("")
         scope = Scope(fid, parent_scope)
@@ -994,8 +1078,23 @@ class _GrammarCompiler:
 
         body: List[str] = []
         attr_order: List[str] = []
-        for term in alternative.terms:
-            self._emit_term(term, scope, local_bindings, body, attr_order, sink)
+        saved_current = (self._current_alternative_terms, self._current_alternative_locals)
+        self._current_alternative_terms = alternative.terms
+        self._current_alternative_locals = bool(alternative.local_rules)
+        try:
+            plan = (
+                self._alt_plan(rule_name, alt_index, alternative) if toplevel else None
+            )
+            if plan is not None:
+                self._emit_fused_prefix(
+                    plan, alternative, scope, body, attr_order, sink
+                )
+            for term in alternative.terms[plan.covered if plan else 0 :]:
+                self._emit_term(term, scope, local_bindings, body, attr_order, sink)
+        finally:
+            self._current_alternative_terms, self._current_alternative_locals = (
+                saved_current
+            )
 
         # Loop variables go out of scope after their array term, but local
         # rules are *called* from inside the loop, where the binding is live:
@@ -1072,6 +1171,321 @@ class _GrammarCompiler:
             f"{sink.final_expr()})"
         )
         return inner
+
+    # -- fixed-shape vectorization -----------------------------------------
+    def _emit_fused_prefix(
+        self,
+        plan,
+        alternative: Alternative,
+        scope: Scope,
+        body: List[str],
+        attr_order: List[str],
+        sink: _ChildSink,
+    ) -> None:
+        """Decode a fixed-layout prefix with one precompiled struct.
+
+        Replaces the covered terms' per-field interval checks, slices and
+        ``int.from_bytes`` calls with a single bounds check plus one
+        ``Struct.unpack_from`` (``unpack`` over a slice on streams, where a
+        read past the received bytes must suspend).  Attribute and guard
+        steps run over the unpacked tuple; tree children are built from the
+        same tuple as display expressions.
+        """
+        from .shapes import emit_plan_code
+
+        self.shaped_rules.add(plan.rule_name)
+        self._assign_plan_uid(plan)
+        fid = scope.fid
+        hl = f"_hl{fid}"
+        if plan.needed:
+            body.append(f"if {hl} < {plan.needed}:")
+            body.append("    return FAIL")
+        tup = self.namer.fresh("_t")
+        if plan.nslots:
+            sconst = self._struct_const(plan.fmt)
+            if self.stream_cache:
+                body.append(
+                    f"{tup} = {sconst}.unpack("
+                    f"data[{self._lo}:{self._abs(repr(plan.size))}])"
+                )
+            else:
+                body.append(f"{tup} = {sconst}.unpack_from(data, {self._lo})")
+        code = emit_plan_code(
+            plan,
+            slot_var=tup,
+            eoi_src=hl,
+            abs_base=self._lo,
+            build=sink.mode != "none",
+            leaf_const=self._leaf_const,
+        )
+        body += code.lines
+        for name, local in code.attr_locals.items():
+            scope.names[name] = local
+            if name not in attr_order:
+                attr_order.append(name)
+        for child in code.child_exprs:
+            sink.add(child, body)
+        # Materialize node envs / element lists only for names the remaining
+        # (uncovered) terms actually reference.
+        later_refs = set()
+        for term in alternative.terms[plan.covered :]:
+            later_refs |= {name for tag, name in term.references() if tag == "nt"}
+        for name in plan.recorded_names():
+            if name in later_refs and scope.node_envs.get(name) is None:
+                record = f"_nv{fid}_{self._token(name)}"
+                body.append(f"{record} = {code.env_src(name)}")
+                scope.node_envs[name] = (record, True)
+        for name in plan.array_names():
+            if name in later_refs:
+                var = self.namer.fresh(f"_ar{fid}_{self._token(name)}")
+                body.append(f"{var} = {code.array_src(name)}")
+                scope.arrays[name] = var
+        if plan.touch:
+            # The prefix runs first: the specials still hold their initial
+            # values, so the statically known span assigns directly.
+            body.append(f"{scope.start} = {plan.start}")
+            body.append(f"{scope.end} = {plan.end}")
+
+    def _try_emit_bulk_array(
+        self,
+        term: TermArray,
+        scope: Scope,
+        bindings: Dict[str, Tuple[str, Scope]],
+        body: List[str],
+        sink: _ChildSink,
+    ) -> bool:
+        """Lower a fixed-stride array of a fixed-shape rule to bulk decoding.
+
+        Batch compilations run one ``Struct.iter_unpack`` over a zero-copy
+        ``memoryview`` of the interval; streaming compilations decode
+        record-at-a-time from a resumable per-parse state slot, consuming
+        ``floor(available / width)`` records per re-entry and suspending at
+        a record boundary — a resumed array never re-reads records earlier
+        attempts already decoded, preserving the compaction guarantee.
+        """
+        if not self.opts.bulk_fixed_shape:
+            return False
+        element = term.element.name
+        if element in bindings or not self.grammar.has_rule(element):
+            return False
+        stride = None
+        interval = term.element.interval
+        if interval.left is not None and interval.right is not None:
+            from .shapes import linear_stride
+
+            stride = linear_stride(interval.left, interval.right, term.var)
+        if stride is None:
+            return False
+        from .shapes import emit_plan_code, rule_shape
+
+        plan = rule_shape(self.grammar, element, width=stride)
+        if plan is None:
+            return False
+        self.bulk_arrays.add(element)
+        self._assign_plan_uid(plan)
+        fid = scope.fid
+        first = self.namer.fresh("_t")
+        stop = self.namer.fresh("_t")
+        body.append(f"{first} = {compile_expr(term.start, scope, self.namer)}")
+        body.append(f"{stop} = {compile_expr(term.stop, scope, self.namer)}")
+        elements = self.namer.fresh(f"_ar{fid}_{self._token(element)}")
+        body.append(f"{elements} = []")
+        self._mirror(scope, elements, body)
+        scope.arrays[element] = elements
+        # Whether anything observes the element list (`E(i).attr` references
+        # anywhere in the alternative, or where-rules that may): when not,
+        # validate-only runs decode nothing but the guards.
+        referenced = self._current_alternative_locals
+        for other in self._current_alternative_terms or ():
+            if referenced:
+                break
+            referenced = ("nt", element) in other.references()
+        build_nodes = sink.mode != "none"
+        keep = build_nodes or referenced
+        checks = plan.checks_anything
+        count = self.namer.fresh("_t")
+        body.append(f"{count} = {stop} - {first}")
+        outer: List[str] = []
+        # The element window at the loop's first index anchors the bulk
+        # bounds check: left endpoints grow by `stride` per record, so the
+        # first left >= 0 and the last right <= EOI cover every record.
+        prior = scope.names.get(term.var)
+        scope.names[term.var] = first
+        try:
+            left_src = compile_expr(interval.left, scope, self.namer)
+        finally:
+            if prior is None:
+                scope.names.pop(term.var, None)
+            else:
+                scope.names[term.var] = prior
+        base_rel = self.namer.fresh("_t")
+        outer.append(f"{base_rel} = {left_src}")
+        stream_loop = self.stream_cache and (
+            sink.mode != "none" or referenced or plan.checks_anything
+        )
+        if stream_loop:
+            # Streams check the window bound one record boundary at a time
+            # (inside the loop): against an EOIProxy the aggregate check
+            # would pin the whole array before the first record decodes.
+            outer.append(f"if {base_rel} < 0:")
+            outer.append("    return FAIL")
+        else:
+            outer.append(
+                f"if {base_rel} < 0 or {base_rel} + {count} * {stride} > _hl{fid}:"
+            )
+            outer.append("    return FAIL")
+        base = self.namer.fresh("_t")
+        outer.append(f"{base} = {self._abs(base_rel)}")
+        padded = plan.fmt
+        if stride > plan.size and plan.nslots:
+            padded = plan.fmt + f"{stride - plan.size}x"
+        loop: List[str] = []
+        tup = self.namer.fresh("_t")
+        ro = self.namer.fresh("_t")
+        rr = self.namer.fresh("_t")
+        if keep or checks:
+            code = emit_plan_code(
+                plan,
+                slot_var=tup,
+                eoi_src=repr(stride),
+                abs_base=ro,
+                build=build_nodes,
+                leaf_const=self._leaf_const,
+            )
+            need_rel = keep
+            if self.stream_cache:
+                slot = len(self.memo_slots)
+                self.memo_slots.append("a")
+                state = self.namer.fresh("_t")
+                outer.append(f"{state} = st[{slot}].get(({self._lo}, {self._hi}))")
+                outer.append(f"if {state} is None:")
+                outer.append(f"    {state} = [0, {elements}]")
+                outer.append(f"    st[{slot}][({self._lo}, {self._hi})] = {state}")
+                outer.append(f"{elements} = {state}[1]")
+                self._mirror(scope, elements, outer)
+                index = self.namer.fresh("_t")
+                outer.append(f"for {index} in range({state}[0], {count}):")
+                loop.append(
+                    f"if {base_rel} + ({index} + 1) * {stride} > _hl{fid}:"
+                )
+                loop.append("    return FAIL")
+                loop.append(f"{ro} = {base} + {index} * {stride}")
+                if plan.nslots:
+                    sconst = self._struct_const(padded if padded else plan.fmt)
+                    loop.append(f"{tup} = {sconst}.unpack(data[{ro}:{ro} + {stride}])")
+            else:
+                if plan.nslots:
+                    sconst = self._struct_const(padded)
+                    outer.append(f"{ro} = {base}")
+                    outer.append(
+                        f"for {tup} in {sconst}.iter_unpack("
+                        f"memoryview(data)[{base}:{base} + {count} * {stride}]):"
+                    )
+                else:
+                    index = self.namer.fresh("_t")
+                    outer.append(f"for {index} in range({count}):")
+                    loop.append(f"{ro} = {base} + {index} * {stride}")
+            if need_rel:
+                loop.append(f"{rr} = {ro} - {self._lo}")
+            loop += code.lines
+            if keep:
+                env_items = [f"'EOI': {stride}"]
+                if plan.touch:
+                    env_items.append(f"'start': {rr} + {plan.start}")
+                    env_items.append(f"'end': {rr} + {plan.end}")
+                else:
+                    env_items.append(f"'start': {rr} + {stride}")
+                    env_items.append(f"'end': {rr}")
+                for name, local in code.attr_locals.items():
+                    env_items.append(f"{name!r}: {local}")
+                env = f"{{{', '.join(env_items)}}}"
+                if build_nodes:
+                    children = f"[{', '.join(code.child_exprs)}]"
+                    loop.append(
+                        f"{elements}.append(_mk_node({element!r}, {env}, {children}))"
+                    )
+                else:
+                    loop.append(f"{elements}.append({env})")
+            if self.stream_cache:
+                loop.append(f"{state}[0] = {index} + 1")
+            elif plan.nslots:
+                loop.append(f"{ro} += {stride}")
+            outer += _indent(loop)
+        if plan.touch:
+            svar = self.namer.fresh("_t")
+            evar = self.namer.fresh("_t")
+            outer.append(f"{svar} = {base_rel} + {plan.start}")
+            outer.append(f"if {svar} < {scope.start}:")
+            outer.append(f"    {scope.start} = {svar}")
+            outer.append(f"{evar} = {base_rel} + ({count} - 1) * {stride} + {plan.end}")
+            outer.append(f"if {evar} > {scope.end}:")
+            outer.append(f"    {scope.end} = {evar}")
+        body.append(f"if {count} > 0:")
+        body += _indent(outer)
+        if sink.mode != "none":
+            sink.add(f"_mk_array({element!r}, {elements})", body)
+        return True
+
+    def _emit_inline_rawbytes(
+        self,
+        name: str,
+        left: str,
+        right: str,
+        scope: Scope,
+        body: List[str],
+    ) -> Tuple[Optional[str], str]:
+        """Inline the ``Raw``/``Bytes`` builtins (zero-call skip/keep).
+
+        Both accept their whole window: the env is a single display in the
+        caller's coordinates (``start = left``, ``end = right`` regardless
+        of emptiness), eliding the runner call, the callee node, and the
+        rebase copy.  ``Bytes`` keeps its payload ``Leaf`` in tree mode;
+        tree-elided parses drop it exactly like the elided runner.
+        """
+        try:
+            wconst = int(right) - int(left)
+        except ValueError:
+            wconst = None
+        if wconst is not None:
+            wsrc = repr(wconst)
+        else:
+            wsrc = self.namer.fresh("_w")
+            body.append(f"{wsrc} = {right} - {left}")
+        env = self.namer.fresh("_e")
+        body.append(
+            f"{env} = {{'EOI': {wsrc}, 'start': {left}, 'end': {right}, "
+            f"'len': {wsrc}, 'val': {wsrc}}}"
+        )
+        if self.elide:
+            node = None
+        else:
+            node = self.namer.fresh("_d")
+            if name == "Bytes":
+                payload = f"[_mk_leaf(data[{self._abs(left)}:{self._lo} + {right}])]"
+            else:
+                payload = "[]"
+            body.append(f"{node} = _mk_node({name!r}, {env}, {payload})")
+        if wconst == 0:
+            return node, env
+        if wconst is not None:
+            updates = [
+                f"if {left} < {scope.start}:",
+                f"    {scope.start} = {left}",
+                f"if {right} > {scope.end}:",
+                f"    {scope.end} = {right}",
+            ]
+            body += updates
+        else:
+            body.append(f"if {wsrc}:")
+            body += _indent(
+                [
+                    f"if {left} < {scope.start}:",
+                    f"    {scope.start} = {left}",
+                    f"if {right} > {scope.end}:",
+                    f"    {scope.end} = {right}",
+                ]
+            )
+        return node, env
 
     # -- terms -------------------------------------------------------------
     def _emit_term(
@@ -1256,6 +1670,13 @@ class _GrammarCompiler:
         ):
             return self._emit_fixed_int(name, fixed, left, right, scope, body)
         if (
+            self.opts.bulk_fixed_shape
+            and name in ("Raw", "Bytes")
+            and name not in bindings
+            and not self.grammar.has_rule(name)
+        ):
+            return self._emit_inline_rawbytes(name, left, right, scope, body)
+        if (
             allow_inline
             and name in self._inline
             and name not in bindings
@@ -1343,8 +1764,11 @@ class _GrammarCompiler:
         body.append(f"{ilo} = {self._abs(left)}")
         body.append(f"{ihi} = {self._lo} + {right}")
         saved_frame = (self._lo, self._hi)
+        saved_current = (self._current_alternative_terms, self._current_alternative_locals)
         self._lo, self._hi = ilo, ihi
         self._inlining.add(name)
+        self._current_alternative_terms = alternative.terms
+        self._current_alternative_locals = False
         try:
             iscope = Scope(self.namer.fresh(""), None)
             fid = iscope.fid
@@ -1355,11 +1779,17 @@ class _GrammarCompiler:
             body.append(f"{iscope.end} = 0")
             body += sink.init_lines()
             attr_order: List[str] = []
-            for term in alternative.terms:
+            plan = self._alt_plan(name, 0, alternative)
+            if plan is not None:
+                self._emit_fused_prefix(plan, alternative, iscope, body, attr_order, sink)
+            for term in alternative.terms[plan.covered if plan else 0 :]:
                 self._emit_term(term, iscope, {}, body, attr_order, sink)
         finally:
             self._inlining.discard(name)
             self._lo, self._hi = saved_frame
+            self._current_alternative_terms, self._current_alternative_locals = (
+                saved_current
+            )
         # Rebase into the caller's coordinates while building the node
         # (T-NTSucc), saving the non-inlined path's env copy.
         start = self.namer.fresh("_x")
@@ -1449,6 +1879,8 @@ class _GrammarCompiler:
         body: List[str],
         sink: _ChildSink,
     ) -> None:
+        if self._try_emit_bulk_array(term, scope, bindings, body, sink):
+            return
         element = term.element.name
         # Loop bounds are evaluated before the (fresh) element list becomes
         # visible, so references to a previous same-named array still
@@ -1574,6 +2006,8 @@ class CompiledGrammar:
         "elide_tree",
         "inlined_rules",
         "dispatched_rules",
+        "shaped_rules",
+        "bulk_arrays",
         "_entry",
         "_new_state",
         "_bb",
@@ -1605,6 +2039,10 @@ class CompiledGrammar:
         self.inlined_rules = frozenset(compiler._inline)
         #: Rules whose biased choice goes through a first-byte jump table.
         self.dispatched_rules = frozenset(compiler.dispatch_plans)
+        #: Rules with a fused fixed-shape prefix, and array element rules
+        #: lowered to bulk struct decoding (Optimizations.bulk_fixed_shape).
+        self.shaped_rules = frozenset(compiler.shaped_rules)
+        self.bulk_arrays = frozenset(compiler.bulk_arrays)
         self._entry = namespace["_ENTRY"]
         self._new_state = namespace["_new_state"]
         self._bb = namespace["_bb"]
@@ -1739,6 +2177,7 @@ def compile_grammar(
         "_badexists": _badexists,
         "_exists": _exists,
         "_ifb": int.from_bytes,
+        "_struct": struct,
         "_bb": _make_blackbox_runner(registry, elide_tree=elide_tree),
     }
     namespace.update(compiler.constants)

@@ -6,8 +6,11 @@ first input byte already rules most of them out.  Production parser
 generators win exactly this race with precomputed dispatch tables; this
 module is the analysis that makes the same move sound for IPGs.
 
-For every top-level rule it computes, per alternative, the set of
-**admissible first bytes**: a conservative over-approximation of
+For every rule — top-level *and* ``where`` local (local rules resolve
+their nonterminals through the lexical declaration chain, which the
+shadowing check below proves call-site independent) — it computes, per
+alternative, the set of **admissible first bytes**: a conservative
+over-approximation of
 
     { s[lo]  |  the alternative can succeed on some window s[lo, hi) }
 
@@ -28,23 +31,37 @@ alternative's (reordered, i.e. execution-ordered) terms:
 * anything undecidable (arrays, blackboxes, non-constant left endpoints,
   attribute-dependent intervals) falls back to "any byte".
 
+On top of FIRST₁, a **FIRST₂ refinement** tracks the statically known
+constant *prefix* of each alternative (a leading terminal, or the common
+prefix of a leading rule's alternatives) and, where the first byte alone
+cannot discriminate, probes the first byte offset at which the prefixes
+*do* differ.  ZIP's ``"PK\\x01\\x02"`` / ``"PK\\x03\\x04"`` /
+``"PK\\x05\\x06"`` records all collide on ``0x50`` (and again on ``K``);
+the refinement dispatches on byte offset 2, where they split.  Windows too
+short to reach the probe offset fall back to the first-byte entry, so no
+read is ever speculative.
+
 Soundness contract used by the engines: when the current window's first
-byte is not admissible for an alternative (or the window is empty and the
-alternative requires a byte), the alternative is guaranteed to **fail
-cleanly** — it cannot succeed and it cannot raise anything an ordinary
-failing attempt would not (blackbox-reaching shapes are never constrained
-below "any", so skipping is unobservable).  The only visible difference is
-for grammars with non-terminating left recursion, where skipping a
-provably-dead alternative turns an eventual ``RecursionError`` into the
-clean rejection the grammar denotes.
+byte (or two-byte prefix, where tracked) is not admissible for an
+alternative — or the window is shorter than the alternative provably
+requires — the alternative is guaranteed to **fail cleanly**: it cannot
+succeed and it cannot raise anything an ordinary failing attempt would
+not (blackbox-reaching shapes are never constrained below "any", so
+skipping is unobservable).  The only visible difference is for grammars
+with non-terminating left recursion, where skipping a provably-dead
+alternative turns an eventual ``RecursionError`` into the clean rejection
+the grammar denotes.
 
 :func:`dispatch_plans` turns the per-alternative sets into 256-entry jump
 tables (byte -> ordered tuple of alternative indices still worth trying,
-plus a separate entry for the empty window), emitted into the compiled
-closures by :mod:`repro.core.compiler` and consulted by the interpreter's
-rule loop.  Biased order is preserved inside every table entry, so
-dispatch-enabled and dispatch-disabled engines produce identical trees.
-Analyses and plans are cached on the (prepared) ``Grammar`` instance.
+plus a separate entry for the empty window, plus optional prefix-probe
+refinement rows), emitted into the compiled closures by
+:mod:`repro.core.compiler` and consulted by the interpreter's rule loop;
+:func:`local_dispatch_plans` provides the same tables for ``where`` local
+rules (keyed by rule object identity).  Biased order is preserved inside
+every table entry, so dispatch-enabled and dispatch-disabled engines
+produce identical trees.  Analyses and plans are cached on the (prepared)
+``Grammar`` instance.
 """
 
 from __future__ import annotations
@@ -55,6 +72,7 @@ from typing import Dict, List, Optional, Tuple
 from .ast import (
     Alternative,
     Grammar,
+    Rule,
     TermArray,
     TermAttrDef,
     TermGuard,
@@ -67,7 +85,15 @@ from .errors import EvaluationError
 from .expr import BinOp, Cond, Dot, Expr, Name, Num
 from .exprcomp import fold
 
-__all__ = ["AltFirst", "DispatchPlan", "first_sets", "dispatch_plans"]
+__all__ = [
+    "AltFirst",
+    "DispatchPlan",
+    "first_sets",
+    "local_first_sets",
+    "dispatch_plans",
+    "local_dispatch_plans",
+    "where_shadowing_conflict",
+]
 
 #: Whitespace-or-digit bytes: the only admissible openers of ``AsciiInt``
 #: (its parser strips ASCII whitespace, then requires a non-empty digit run).
@@ -91,22 +117,63 @@ _NARROW_MAX_WIDTH = 2
 
 _FULL = frozenset(range(256))
 
+#: Longest constant prefix the analysis tracks (probe offsets stay small).
+_MAX_PREFIX = 8
+
+#: Lattice top for the prefix component of the fixpoint: stronger than any
+#: concrete prefix; weakens to the common prefix as alternatives join.
+_TOP_PREFIX = object()
+
+#: Fixpoint seed / element type: (admissible, requires_byte, prefix) — the
+#: first two as in FIRST₁, ``prefix`` the statically known constant prefix
+#: of every successful parse (``None`` = unconstrained beyond the first
+#: byte; ``_TOP_PREFIX`` only while iterating).
+_BOTTOM = (frozenset(), True, _TOP_PREFIX)
+_ANY = (None, False, None)
+
+
+def _merge_prefix(current, incoming):
+    """Join two prefix facts (``None`` absorbs; common prefix otherwise)."""
+    if current is _TOP_PREFIX:
+        return incoming
+    if incoming is _TOP_PREFIX:
+        return current
+    if current is None or incoming is None:
+        return None
+    if current == incoming:
+        return current
+    limit = min(len(current), len(incoming))
+    for index in range(limit):
+        if current[index] != incoming[index]:
+            return current[:index] or None
+    return current[:limit] or None
+
 
 @dataclass(frozen=True)
 class AltFirst:
-    """Admissible first bytes of one alternative.
+    """Admissible first bytes (and two-byte prefixes) of one alternative.
 
     ``admissible`` is ``None`` for "any byte" (the conservative fallback),
     otherwise a frozenset of byte values.  ``requires_byte`` holds when no
     successful parse of the alternative leaves the window empty, so the
-    alternative can be skipped outright on ``lo == hi``.
+    alternative can be skipped outright on ``lo == hi``.  ``prefix`` is the
+    FIRST₂ refinement: the statically known constant prefix every
+    successful parse starts with (``None`` when nothing beyond the first
+    byte is known; when set, ``admissible == {prefix[0]}``).
     """
 
     admissible: Optional[frozenset]
     requires_byte: bool
+    prefix: Optional[bytes] = None
 
     def admits(self, byte: int) -> bool:
         return self.admissible is None or byte in self.admissible
+
+    def admits_at(self, offset: int, byte: int) -> bool:
+        """Whether ``byte`` at ``offset`` is compatible with the prefix."""
+        if self.prefix is None or len(self.prefix) <= offset:
+            return True
+        return self.prefix[offset] == byte
 
 
 @dataclass(frozen=True)
@@ -115,13 +182,18 @@ class DispatchPlan:
 
     ``table[b]`` lists (in biased order) the indices of the alternatives
     still worth trying when the window's first byte is ``b``; ``empty``
-    lists the ones to try when the window is empty.  Plans are only built
-    when at least one entry prunes something.
+    lists the ones to try when the window is empty.  ``pair_table`` (when
+    the FIRST₂ prefix refinement discriminates) maps a first byte to
+    ``(probe_offset, row)``: ``row[b]`` is the entry when the window's
+    byte at ``probe_offset`` is ``b``; windows too short to reach the
+    probe fall back to ``table``.  Plans are only built when at least one
+    entry prunes something.
     """
 
     table: Tuple[Tuple[int, ...], ...]  # 256 entries
     empty: Tuple[int, ...]
     alternatives: int
+    pair_table: Optional[Dict[int, Tuple[int, Tuple[Tuple[int, ...], ...]]]] = None
 
 
 class _Unsupported(Exception):
@@ -179,6 +251,106 @@ def _const(expr: Optional[Expr]) -> Optional[int]:
 
 
 # ---------------------------------------------------------------------------
+# Lexical where-rule resolution
+# ---------------------------------------------------------------------------
+
+
+def where_shadowing_conflict(grammar: Grammar) -> Optional[str]:
+    """Detect call-site-dependent ``where``-rule dispatch.
+
+    The interpreter resolves the nonterminals a local rule's body uses
+    through the *caller's* local-rule chain; lexical (declaration-site)
+    resolution — which both the compiler and the local-rule FIRST analysis
+    rely on — agrees with it unless a nested where-scope re-declares a name
+    that an outer-declared local rule's body references.  Returns a
+    description of the first conflict, or ``None`` when lexical resolution
+    is sound for the whole grammar.
+    """
+
+    def used_names(alternative: Alternative) -> set:
+        names: set = set()
+        for term in alternative.terms:
+            if isinstance(term, TermNonterminal):
+                names.add(term.name)
+            elif isinstance(term, TermArray):
+                names.add(term.element.name)
+            elif isinstance(term, TermSwitch):
+                names.update(case.target.name for case in term.cases)
+        return names
+
+    def walk(alternative: Alternative, outer_used: set) -> Optional[str]:
+        if not alternative.local_rules:
+            return None
+        declared = {rule.name for rule in alternative.local_rules}
+        shadowed = declared & outer_used
+        if shadowed:
+            return (
+                f"where-rule(s) {sorted(shadowed)} shadow names referenced "
+                f"by enclosing where-rules; dispatch would depend on the "
+                f"call site"
+            )
+        # References in an alternative lexically see the where-scopes that
+        # same alternative declares, so only usages from *other* bodies at
+        # this level (plus everything outer) are dangerous for the scopes
+        # nested inside it.
+        bodies = [
+            (inner, used_names(inner))
+            for rule in alternative.local_rules
+            for inner in rule.alternatives
+        ]
+        for inner, _own in bodies:
+            dangerous = set(outer_used)
+            for other, other_used in bodies:
+                if other is not inner:
+                    dangerous |= other_used
+            conflict = walk(inner, dangerous)
+            if conflict is not None:
+                return conflict
+        return None
+
+    for rule in grammar.iter_rules():
+        for alternative in rule.alternatives:
+            conflict = walk(alternative, set())
+            if conflict is not None:
+                return conflict
+    return None
+
+
+def _rule_universe(grammar: Grammar) -> List[Tuple[Rule, Dict[str, Rule], bool]]:
+    """Every rule with its lexical local-rule chain.
+
+    Yields ``(rule, chain, toplevel)`` where ``chain`` maps the local-rule
+    names visible *inside* the rule's alternatives (before the
+    alternatives' own ``where`` blocks, which are added per alternative).
+    """
+    universe: List[Tuple[Rule, Dict[str, Rule], bool]] = []
+
+    def walk(rule: Rule, chain: Dict[str, Rule], toplevel: bool) -> None:
+        universe.append((rule, chain, toplevel))
+        for alternative in rule.alternatives:
+            if not alternative.local_rules:
+                continue
+            local_chain = dict(chain)
+            local_chain.update(
+                {local.name: local for local in alternative.local_rules}
+            )
+            for local in alternative.local_rules:
+                walk(local, local_chain, False)
+
+    for rule in grammar.iter_rules():
+        walk(rule, {}, True)
+    return universe
+
+
+def _alt_chain(alternative: Alternative, chain: Dict[str, Rule]) -> Dict[str, Rule]:
+    if not alternative.local_rules:
+        return chain
+    merged = dict(chain)
+    merged.update({local.name: local for local in alternative.local_rules})
+    return merged
+
+
+# ---------------------------------------------------------------------------
 # The per-alternative derivation
 # ---------------------------------------------------------------------------
 
@@ -186,57 +358,69 @@ def _const(expr: Optional[Expr]) -> Optional[int]:
 def _target_first(
     grammar: Grammar,
     target: TermNonterminal,
-    local_names: set,
-    rule_first: Dict[str, Tuple[Optional[frozenset], bool]],
-) -> Tuple[Optional[frozenset], bool, bool]:
+    chain: Dict[str, Rule],
+    rule_first: Dict[int, tuple],
+    resolvable: bool,
+) -> Tuple[Optional[frozenset], bool, object, bool]:
     """First info of one nonterminal occurrence.
 
-    Returns ``(admissible, requires_byte, transparent)``; ``transparent``
-    flags a provably-empty occurrence (``[0, 0]`` window of a rule that can
-    match emptiness), after which the walk may continue to the next term.
+    Returns ``(admissible, requires_byte, prefix, transparent)``;
+    ``transparent`` flags a provably-empty occurrence (``[0, 0]`` window of
+    a rule that can match emptiness), after which the walk may continue to
+    the next term.
     """
     left = _const(target.interval.left)
     if left is None:
-        return None, False, False
+        return None, False, None, False
     if left < 0:
         # The interval validity check fails unconditionally: the
         # alternative can never succeed.
-        return frozenset(), True, False
-    if left > 0:
-        # 0 < left <= right <= |window| forces a non-empty window even
-        # though the first byte itself is unconstrained.
-        return None, True, False
+        return frozenset(), True, _TOP_PREFIX, False
     name = target.name
-    if name in local_names:
-        # Local (where) rules are not analyzed; stay conservative.
-        return None, False, False
-    if grammar.has_rule(name):
-        admissible, requires = rule_first[name]
+    local = chain.get(name)
+    if local is not None and not resolvable:
+        # Dynamic shadowing somewhere in the grammar: treat the local rule
+        # opaquely (only the interval-validity facts remain usable).
+        admissible, requires, prefix = _ANY
+    elif local is not None:
+        admissible, requires, prefix = rule_first[id(local)]
+    elif grammar.has_rule(name):
+        admissible, requires, prefix = rule_first[id(grammar.rule(name))]
     elif name in BUILTINS:
         spec = BUILTINS[name]
         if spec.size is not None:
-            admissible, requires = None, True
+            admissible, requires, prefix = None, True, None
         else:
             admissible, requires = _BUILTIN_FIRST.get(name, (None, False))
+            prefix = None
     else:
         # Blackboxes (and unresolvable names, which raise at parse time):
-        # never constrained, so skipping can never hide their effects.
-        return None, False, False
+        # the interval validity check still runs before they do, so the
+        # nonzero-left fact below stays usable; their *content* is never
+        # constrained, so skipping can never hide their effects.
+        if left == 0:
+            return None, False, None, False
+        admissible, requires, prefix = _ANY
+    if left > 0:
+        # 0 < left <= right <= |window| forces a non-empty window even
+        # though the first byte itself is unconstrained.
+        return None, True, None, False
     right = _const(target.interval.right)
     if right == 0 and not requires:
         # A [0, 0] occurrence of an emptiness-accepting target consumes
         # nothing: the *next* term constrains the first byte.
-        return None, False, True
-    return admissible, requires, False
+        return None, False, None, True
+    return admissible, requires, prefix, False
 
 
 def _alternative_first(
     grammar: Grammar,
     alternative: Alternative,
-    rule_first: Dict[str, Tuple[Optional[frozenset], bool]],
-    narrow_cache: Dict[int, Optional[frozenset]],
+    chain: Dict[str, Rule],
+    rule_first: Dict[int, tuple],
+    resolvable: bool,
+    narrow_cache: Dict[int, tuple],
 ) -> AltFirst:
-    local_names = alternative.local_rule_names()
     for position, term in enumerate(alternative.terms):
         if isinstance(term, (TermAttrDef, TermGuard)):
             # Pure bookkeeping before the first consuming term; failures
@@ -251,44 +435,54 @@ def _alternative_first(
             if left > 0:
                 return AltFirst(None, True)
             if term.value:
-                return AltFirst(frozenset((term.value[0],)), True)
+                value = term.value[:_MAX_PREFIX]
+                prefix = value if len(value) >= 2 else None
+                return AltFirst(frozenset((value[0],)), True, prefix)
             continue  # empty literal at 0: consumes nothing
         if isinstance(term, TermNonterminal):
-            admissible, requires, transparent = _target_first(
-                grammar, term, local_names, rule_first
+            admissible, requires, prefix, transparent = _target_first(
+                grammar, term, chain, rule_first, resolvable
             )
             if transparent:
                 continue
+            if prefix is _TOP_PREFIX or (prefix is not None and len(prefix) < 2):
+                prefix = None
             if (
                 admissible is None
                 and requires
-                and term.name not in local_names
+                and term.name not in chain
                 and not grammar.has_rule(term.name)
                 # Narrowing equates the builtin's decoded bytes with the
                 # window's first bytes, which is only true at offset 0.
                 and _const(term.interval.left) == 0
             ):
                 narrowed = _narrow_by_guards(
-                    grammar, alternative, position, narrow_cache
+                    grammar, alternative, position, chain, narrow_cache
                 )
                 if narrowed is not None:
                     return AltFirst(narrowed, True)
-            return AltFirst(admissible, requires)
+            return AltFirst(admissible, requires, prefix)
         if isinstance(term, TermSwitch):
             merged: Optional[frozenset] = frozenset()
+            merged_prefix: object = _TOP_PREFIX
             requires_all = True
             for case in term.cases:
-                admissible, requires, transparent = _target_first(
-                    grammar, case.target, local_names, rule_first
+                admissible, requires, prefix, transparent = _target_first(
+                    grammar, case.target, chain, rule_first, resolvable
                 )
                 if transparent:
-                    admissible, requires = None, False
+                    admissible, requires, prefix = None, False, None
                 if admissible is None:
                     merged = None
                 elif merged is not None:
                     merged = merged | admissible
+                merged_prefix = _merge_prefix(merged_prefix, prefix)
                 requires_all = requires_all and requires
-            return AltFirst(merged, requires_all)
+            if merged_prefix is _TOP_PREFIX or (
+                merged_prefix is not None and len(merged_prefix) < 2
+            ):
+                merged_prefix = None
+            return AltFirst(merged, requires_all, merged_prefix)
         # Arrays may iterate zero times and their element interval depends
         # on the loop variable: no sound first-byte information.
         return AltFirst(None, False)
@@ -312,7 +506,7 @@ _NARROW_GLOBAL_CACHE: Dict[tuple, Optional[frozenset]] = {}
 
 
 def _resolution_fingerprint(
-    grammar: Grammar, alternative: Alternative, local_names: set
+    grammar: Grammar, alternative: Alternative, chain: Dict[str, Rule]
 ) -> tuple:
     """How every nonterminal occurrence of the alternative resolves here."""
     kinds = []
@@ -326,7 +520,7 @@ def _resolution_fingerprint(
         else:
             continue
         for name in names:
-            if name in local_names:
+            if name in chain:
                 kind = "local"
             elif grammar.has_rule(name):
                 kind = "rule"
@@ -342,6 +536,7 @@ def _narrow_by_guards(
     grammar: Grammar,
     alternative: Alternative,
     position: int,
+    chain: Dict[str, Rule],
     cache: Dict[int, Optional[frozenset]],
 ) -> Optional[frozenset]:
     """Narrow a leading fixed-int builtin by later guard/switch constraints.
@@ -355,27 +550,25 @@ def _narrow_by_guards(
     key = id(term)
     if key in cache:
         return cache[key]
-    local_names = alternative.local_rule_names()
     global_key = (
         position,
         alternative.to_source(),
-        _resolution_fingerprint(grammar, alternative, local_names),
+        _resolution_fingerprint(grammar, alternative, chain),
     )
     if global_key in _NARROW_GLOBAL_CACHE:
         result = _NARROW_GLOBAL_CACHE[global_key]
     else:
-        result = _narrow_uncached(grammar, alternative, position)
+        result = _narrow_uncached(grammar, alternative, position, chain)
         _NARROW_GLOBAL_CACHE[global_key] = result
     cache[key] = result
     return result
 
 
 def _narrow_uncached(
-    grammar: Grammar, alternative: Alternative, position: int
+    grammar: Grammar, alternative: Alternative, position: int, chain: Dict[str, Rule]
 ) -> Optional[frozenset]:
     term = alternative.terms[position]
     name = term.name
-    local_names = alternative.local_rule_names()
     spec = BUILTINS.get(name)
     if (
         spec is None
@@ -413,7 +606,7 @@ def _narrow_uncached(
             candidates = range(first_byte, 65536, 256)
         for value in candidates:
             if _value_admissible(
-                grammar, alternative, position, local_names, ctx, value
+                grammar, alternative, position, chain, ctx, value
             ):
                 admissible.add(first_byte)
                 break
@@ -423,7 +616,7 @@ def _narrow_uncached(
 
 
 def _clean_failure_target(
-    grammar: Grammar, name: str, local_names: set
+    grammar: Grammar, name: str, chain: Dict[str, Rule]
 ) -> bool:
     """Whether a consuming nonterminal occurrence is effect-free.
 
@@ -435,7 +628,7 @@ def _clean_failure_target(
     blackboxes, undefined names — ends the symbolic walk.
     """
     return (
-        name not in local_names
+        name not in chain
         and not grammar.has_rule(name)
         and name in BUILTINS
     )
@@ -445,7 +638,7 @@ def _value_admissible(
     grammar: Grammar,
     alternative: Alternative,
     position: int,
-    local_names: set,
+    chain: Dict[str, Rule],
     ctx: _SymContext,
     value: int,
 ) -> bool:
@@ -479,7 +672,7 @@ def _value_admissible(
         elif isinstance(term, TermTerminal):
             continue  # pure byte compare: fails cleanly, no effects
         elif isinstance(term, TermNonterminal):
-            if _clean_failure_target(grammar, term.name, local_names):
+            if _clean_failure_target(grammar, term.name, chain):
                 continue
             break  # potentially effectful: later constraints unusable
         elif isinstance(term, TermSwitch):
@@ -516,76 +709,171 @@ def _value_admissible(
 # ---------------------------------------------------------------------------
 
 
-def first_sets(grammar: Grammar) -> Dict[str, Tuple[AltFirst, ...]]:
-    """Per-alternative first-byte info for every top-level rule.
+def _compute_first_sets(grammar: Grammar) -> None:
+    """Run the least fixpoint over every rule (top-level and local).
 
-    Least fixpoint over the rule graph: admissible sets grow from the
-    empty set, ``requires_byte`` flags shrink from ``True``.  The grammar
-    must be prepared (intervals auto-completed); results are cached on the
-    grammar instance.
+    Admissible/pair sets grow from the empty set, ``requires_*`` flags
+    shrink from ``True``.  The grammar must be prepared (intervals
+    auto-completed); results are cached on the grammar instance — top-level
+    infos by name, local-rule infos by rule object identity.
     """
-    cached = getattr(grammar, "_first_sets_cache", None)
-    if cached is not None:
-        return cached
-    rule_first: Dict[str, Tuple[Optional[frozenset], bool]] = {
-        name: (frozenset(), True) for name in grammar.rules
-    }
+    universe = _rule_universe(grammar)
+    resolvable = where_shadowing_conflict(grammar) is None
+    rule_first: Dict[int, tuple] = {id(rule): _BOTTOM for rule, _c, _t in universe}
     narrow_cache: Dict[int, Optional[frozenset]] = {}
-    alt_infos: Dict[str, Tuple[AltFirst, ...]] = {}
+    alt_infos: Dict[int, Tuple[AltFirst, ...]] = {}
     changed = True
     while changed:
         changed = False
-        for name, rule in grammar.rules.items():
+        for rule, chain, _toplevel in universe:
+            if not resolvable and chain:
+                # Local rules under dynamic shadowing keep the conservative
+                # "any byte" info (their callers treat them opaquely too).
+                alt_infos[id(rule)] = tuple(
+                    AltFirst(None, False) for _ in rule.alternatives
+                )
+                continue
             infos = tuple(
-                _alternative_first(grammar, alternative, rule_first, narrow_cache)
+                _alternative_first(
+                    grammar,
+                    alternative,
+                    _alt_chain(alternative, chain),
+                    rule_first,
+                    resolvable,
+                    narrow_cache,
+                )
                 for alternative in rule.alternatives
             )
-            alt_infos[name] = infos
+            alt_infos[id(rule)] = infos
             merged: Optional[frozenset] = frozenset()
+            merged_prefix: object = _TOP_PREFIX
             requires = True
             for info in infos:
                 if info.admissible is None:
                     merged = None
                 elif merged is not None:
                     merged = merged | info.admissible
+                merged_prefix = _merge_prefix(merged_prefix, info.prefix)
                 requires = requires and info.requires_byte
-            if (merged, requires) != rule_first[name]:
-                rule_first[name] = (merged, requires)
+            summary = (merged, requires, merged_prefix)
+            if summary != rule_first[id(rule)]:
+                rule_first[id(rule)] = summary
                 changed = True
-    grammar._first_sets_cache = alt_infos
-    return alt_infos
+    grammar._first_sets_cache = {
+        name: alt_infos[id(grammar.rule(name))] for name in grammar.rules
+    }
+    grammar._local_first_cache = [
+        (rule, alt_infos[id(rule)]) for rule, _chain, toplevel in universe if not toplevel
+    ]
+
+
+def first_sets(grammar: Grammar) -> Dict[str, Tuple[AltFirst, ...]]:
+    """Per-alternative first-byte info for every top-level rule."""
+    cached = getattr(grammar, "_first_sets_cache", None)
+    if cached is None:
+        _compute_first_sets(grammar)
+        cached = grammar._first_sets_cache
+    return cached
+
+
+def local_first_sets(grammar: Grammar) -> List[Tuple[Rule, Tuple[AltFirst, ...]]]:
+    """Per-alternative first-byte info for every ``where`` local rule."""
+    cached = getattr(grammar, "_local_first_cache", None)
+    if cached is None:
+        _compute_first_sets(grammar)
+        cached = grammar._local_first_cache
+    return cached
+
+
+def _plan_for(infos: Tuple[AltFirst, ...]) -> Optional[DispatchPlan]:
+    """Build one rule's jump table, or ``None`` when nothing prunes."""
+    full = tuple(range(len(infos)))
+    table = tuple(
+        tuple(index for index, info in enumerate(infos) if info.admits(byte))
+        for byte in range(256)
+    )
+    empty = tuple(
+        index for index, info in enumerate(infos) if not info.requires_byte
+    )
+    pair_table: Dict[int, Tuple[int, Tuple[Tuple[int, ...], ...]]] = {}
+    if len(infos) > 1:
+        # Prefix-probe refinement rows: for a first byte whose entry still
+        # lists several alternatives with known constant prefixes, probe
+        # the first offset at which the prefixes discriminate.  (Single-
+        # alternative rules keep their flat 256-byte masks: an extra dict
+        # probe on every invocation would tax the happy path more than the
+        # earlier rejection saves.)
+        for byte in range(256):
+            base = table[byte]
+            if len(base) < 2:
+                continue
+            prefixes = [(i, infos[i].prefix) for i in base]
+            longest = max(
+                (len(p) for _i, p in prefixes if p is not None), default=0
+            )
+            best = None
+            for offset in range(1, longest):
+                row = tuple(
+                    tuple(
+                        i for i, p in prefixes if infos[i].admits_at(offset, second)
+                    )
+                    for second in range(256)
+                )
+                if all(entry == base for entry in row):
+                    continue
+                # Prefer the offset that narrows entries the most (ZIP's PK
+                # records all share byte 1 = 'K'; byte 2 splits them).
+                score = max(len(entry) for entry in row)
+                if best is None or score < best[0]:
+                    best = (score, offset, row)
+            if best is not None:
+                pair_table[byte] = (best[1], best[2])
+    if all(entry == full for entry in table) and not pair_table:
+        return None
+    return DispatchPlan(table, empty, len(infos), pair_table or None)
 
 
 def dispatch_plans(grammar: Grammar) -> Dict[str, DispatchPlan]:
-    """Jump tables for every rule where first-byte dispatch prunes work.
+    """Jump tables for every top-level rule where dispatch prunes work.
 
-    A plan is built only when the byte table actually discriminates —
-    some byte admits fewer alternatives than the full biased list.  Rules
-    whose alternatives all admit any byte are omitted even when the
-    empty-window entry would prune: consulting their table would read a
-    byte the alternatives themselves might never touch, which costs time
-    in batch mode and would add spurious reads to streams.  (Pruning
-    tables on streamed rules are handled separately: the streaming
-    engines memoize each dispatch decision per parse, so a re-entered
-    in-flight rule never re-reads its first byte — a re-read would pin
-    the compaction watermark at its window start.)  Cached on the
-    grammar instance.
+    A plan is built only when the byte table (or its FIRST₂ refinement)
+    actually discriminates — some byte admits fewer alternatives than the
+    full biased list.  Rules whose alternatives all admit any byte are
+    omitted even when the empty-window entry would prune: consulting their
+    table would read a byte the alternatives themselves might never touch,
+    which costs time in batch mode and would add spurious reads to
+    streams.  (Pruning tables on streamed rules are handled separately:
+    the streaming engines memoize each dispatch decision per parse, so a
+    re-entered in-flight rule never re-reads its first bytes — a re-read
+    would pin the compaction watermark at its window start.)  Cached on
+    the grammar instance.
     """
     cached = getattr(grammar, "_dispatch_plans_cache", None)
     if cached is not None:
         return cached
     plans: Dict[str, DispatchPlan] = {}
     for name, infos in first_sets(grammar).items():
-        full = tuple(range(len(infos)))
-        table = tuple(
-            tuple(index for index, info in enumerate(infos) if info.admits(byte))
-            for byte in range(256)
-        )
-        empty = tuple(
-            index for index, info in enumerate(infos) if not info.requires_byte
-        )
-        if all(entry == full for entry in table):
-            continue
-        plans[name] = DispatchPlan(table, empty, len(infos))
+        plan = _plan_for(infos)
+        if plan is not None:
+            plans[name] = plan
     grammar._dispatch_plans_cache = plans
+    return plans
+
+
+def local_dispatch_plans(grammar: Grammar) -> List[Tuple[Rule, DispatchPlan]]:
+    """Jump tables for ``where`` local rules (keyed by rule identity).
+
+    Local rules resolve lexically (see :func:`where_shadowing_conflict`;
+    under a conflict every local rule keeps the conservative "any byte"
+    info and no plan is built).  Cached on the grammar instance.
+    """
+    cached = getattr(grammar, "_local_dispatch_plans_cache", None)
+    if cached is not None:
+        return cached
+    plans: List[Tuple[Rule, DispatchPlan]] = []
+    for rule, infos in local_first_sets(grammar):
+        plan = _plan_for(infos)
+        if plan is not None:
+            plans.append((rule, plan))
+    grammar._local_dispatch_plans_cache = plans
     return plans

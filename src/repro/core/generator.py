@@ -1,618 +1,92 @@
-"""Parser generation: compile an IPG into Python recursive-descent source.
+"""DEPRECATED: the legacy dict-env parser generator, now an AOT shim.
 
-The paper's implementation is a parser *generator*: each nonterminal becomes
-a function of the target language (C++ there, Python here) that checks
-terminal strings and calls the functions of other nonterminals according to
-its rule (section 7).  This module performs the same translation:
+The paper's implementation is a parser *generator*; this module used to be
+its Python port — each nonterminal became a method of a generated class
+whose expressions evaluated through per-term ``EvalContext`` dict
+environments.  That backend has been retired: the staged compiler's
+ahead-of-time emitter (:meth:`repro.core.compiler.CompiledGrammar.
+to_source`, the engine behind ``repro compile``) produces standalone
+parser modules that are both faster (slot-based environments, optimization
+passes, first-byte dispatch tables, fixed-shape struct plans) and more
+self-contained (stdlib-only imports at parse time).
 
-* every top-level nonterminal ``A`` becomes a method ``_nt_A`` implementing
-  biased choice over its alternatives, with packrat memoization;
-* every alternative becomes a method with straight-line code for its
-  (already reordered) terms;
-* local ``where`` rules become additional methods whose callers pass the
-  enclosing evaluation context;
-* interval and attribute expressions are compiled into inline Python
-  expressions (name resolution goes through the shared
-  :class:`~repro.core.env.EvalContext` so scoping matches the interpreter);
-* builtin and blackbox nonterminals are bound statically at generation time.
-
-The generated parser produces exactly the same parse trees as the reference
-interpreter; the test suite checks this on every toy grammar and every
-format case study.
-
-Public API:
+This shim keeps the old entry points importable for one release:
 
 ``generate_parser_source(grammar)``
-    Return the generated module source as a string.
+    now returns the ahead-of-time *module* source (the ``repro compile``
+    artifact) instead of the legacy class-based source;
 
 ``compile_parser(grammar, blackboxes=None)``
-    Exec the generated source and return a ready-to-use parser instance.
+    now returns a thin wrapper over the AOT module exposing the legacy
+    surface (``parse`` / ``try_parse`` / ``accepts`` /
+    ``register_blackbox``).
+
+Both emit :class:`DeprecationWarning`; migrate to ``repro compile`` /
+``CompiledGrammar.to_source()`` / ``load_module()`` directly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+import warnings
+from typing import Dict, Optional, Union
 
-from .ast import (
-    Alternative,
-    Grammar,
-    Rule,
-    Term,
-    TermArray,
-    TermAttrDef,
-    TermGuard,
-    TermNonterminal,
-    TermSwitch,
-    TermTerminal,
-)
-from .builtins import is_builtin
-from .errors import GenerationError
-from .expr import BinOp, Cond, Dot, Exists, Expr, Index, Name, Num
-from .interpreter import prepare_grammar
+from .ast import Grammar
+
+__all__ = ["compile_parser", "generate_parser_source", "GeneratedParserShim"]
 
 
-# ---------------------------------------------------------------------------
-# Expression compilation
-# ---------------------------------------------------------------------------
-
-
-def compile_expr(expr: Expr) -> str:
-    """Compile an IPG expression to a Python expression string.
-
-    The generated code evaluates under a local variable ``ctx`` holding an
-    :class:`~repro.core.env.EvalContext`.
-    """
-    if isinstance(expr, Num):
-        return repr(expr.value)
-    if isinstance(expr, Name):
-        if expr.ident == "EOI":
-            return 'ctx.env["EOI"]'
-        return f"ctx.lookup_name({expr.ident!r})"
-    if isinstance(expr, Dot):
-        return f"ctx.lookup_dot({expr.nonterminal!r}, {expr.attr!r})"
-    if isinstance(expr, Index):
-        return (
-            f"ctx.lookup_index({expr.nonterminal!r}, {compile_expr(expr.index)}, "
-            f"{expr.attr!r})"
-        )
-    if isinstance(expr, BinOp):
-        return _compile_binop(expr)
-    if isinstance(expr, Cond):
-        return (
-            f"({compile_expr(expr.then)} if ({compile_expr(expr.condition)}) != 0 "
-            f"else {compile_expr(expr.otherwise)})"
-        )
-    if isinstance(expr, Exists):
-        array_name = expr._target_array()
-        if array_name is None:
-            raise GenerationError(
-                f"existential does not reference an array indexed by its bound "
-                f"variable: {expr.to_source()}"
-            )
-        return (
-            f"_exists(ctx, {expr.var!r}, {array_name!r}, "
-            f"lambda ctx: {compile_expr(expr.condition)}, "
-            f"lambda ctx: {compile_expr(expr.then)}, "
-            f"lambda ctx: {compile_expr(expr.otherwise)})"
-        )
-    raise GenerationError(f"cannot compile expression {expr!r}")
-
-
-def _compile_binop(expr: BinOp) -> str:
-    left = compile_expr(expr.left)
-    right = compile_expr(expr.right)
-    op = expr.op
-    if op in ("+", "-", "*", "&", "|"):
-        return f"({left} {op} {right})"
-    if op == "<<":
-        return f"_shift_l({left}, {right})"
-    if op == ">>":
-        return f"_shift_r({left}, {right})"
-    if op == "/":
-        return f"_div({left}, {right})"
-    if op == "%":
-        return f"_mod({left}, {right})"
-    if op == "=":
-        return f"(1 if {left} == {right} else 0)"
-    if op == "!=":
-        return f"(1 if {left} != {right} else 0)"
-    if op in ("<", ">", "<=", ">="):
-        return f"(1 if {left} {op} {right} else 0)"
-    if op == "&&":
-        return f"(1 if (({left}) != 0 and ({right}) != 0) else 0)"
-    if op == "||":
-        return f"(1 if (({left}) != 0 or ({right}) != 0) else 0)"
-    raise GenerationError(f"cannot compile binary operator {op!r}")
-
-
-# ---------------------------------------------------------------------------
-# Code emission helpers
-# ---------------------------------------------------------------------------
-
-
-class _Emitter:
-    """Accumulates indented Python source lines."""
-
-    def __init__(self) -> None:
-        self.lines: List[str] = []
-        self.indent = 0
-
-    def emit(self, line: str = "") -> None:
-        if line:
-            self.lines.append("    " * self.indent + line)
-        else:
-            self.lines.append("")
-
-    def block(self) -> "_Block":
-        return _Block(self)
-
-    def source(self) -> str:
-        return "\n".join(self.lines) + "\n"
-
-
-class _Block:
-    def __init__(self, emitter: _Emitter):
-        self.emitter = emitter
-
-    def __enter__(self) -> None:
-        self.emitter.indent += 1
-
-    def __exit__(self, *exc) -> None:
-        self.emitter.indent -= 1
-
-
-_MODULE_PRELUDE = '''\
-"""Parser generated by repro.core.generator — do not edit by hand."""
-
-import sys
-
-from repro.core.builtins import BUILTIN_FAIL, BUILTINS, normalize_blackbox_result
-from repro.core.env import EvalContext, initial_env, upd_start_end_in_place
-from repro.core.errors import BlackboxError, EvaluationError, IPGError, ParseFailure
-from repro.core.parsetree import ArrayNode, Leaf, Node
-from repro.core.runtime import _div, _mod, _shift_l, _shift_r
-
-FAIL = object()
-
-
-def _exists(ctx, var, array_name, condition, then, otherwise):
-    """Runtime support for existential expressions (section 3.4)."""
-    length = ctx.array_length(array_name)
-    had = var in ctx.env
-    saved = ctx.env.get(var)
-    try:
-        for position in range(length):
-            ctx.env[var] = position
-            if condition(ctx) != 0:
-                return then(ctx)
-        if had:
-            ctx.env[var] = saved
-        else:
-            ctx.env.pop(var, None)
-        return otherwise(ctx)
-    finally:
-        if had:
-            ctx.env[var] = saved
-        else:
-            ctx.env.pop(var, None)
-'''
-
-
-# ---------------------------------------------------------------------------
-# Generator
-# ---------------------------------------------------------------------------
-
-
-class ParserGenerator:
-    """Translates one prepared grammar into Python parser source."""
-
-    def __init__(self, grammar: Grammar, class_name: str = "GeneratedParser"):
-        self.grammar = grammar
-        self.class_name = class_name
-        self.emitter = _Emitter()
-        self._counter = 0
-        self._local_methods: Dict[int, str] = {}
-
-    # -- naming ----------------------------------------------------------------
-    def _fresh(self, prefix: str) -> str:
-        self._counter += 1
-        return f"{prefix}{self._counter}"
-
-    # -- top level ---------------------------------------------------------------
-    def generate(self) -> str:
-        emitter = self.emitter
-        emitter.lines.append(_MODULE_PRELUDE)
-        emitter.emit("")
-        emitter.emit(f"class {self.class_name}:")
-        with emitter.block():
-            emitter.emit(f'"""Recursive-descent parser generated from an IPG."""')
-            emitter.emit("")
-            emitter.emit(f"GRAMMAR_START = {self.grammar.start!r}")
-            emitter.emit(
-                f"BLACKBOX_NAMES = frozenset({sorted(self.grammar.blackboxes)!r})"
-            )
-            emitter.emit("")
-            self._emit_runtime_methods()
-            for rule in self.grammar.iter_rules():
-                self._emit_rule(rule, method_name=f"_nt_{rule.name}", scope={}, memoized=True)
-        emitter.emit("")
-        emitter.emit("")
-        emitter.emit("PARSER_CLASS = " + self.class_name)
-        return emitter.source()
-
-    def _emit_runtime_methods(self) -> None:
-        emitter = self.emitter
-        emitter.emit("def __init__(self, blackboxes=None, memoize=True, recursion_limit=100000):")
-        with emitter.block():
-            emitter.emit("self.blackboxes = dict(blackboxes or {})")
-            emitter.emit("self.memoize = memoize")
-            emitter.emit("self.recursion_limit = recursion_limit")
-            emitter.emit("self._data = b''")
-            emitter.emit("self._memo = {}")
-        emitter.emit("")
-        emitter.emit("def register_blackbox(self, name, parser):")
-        with emitter.block():
-            emitter.emit("self.blackboxes[name] = parser")
-        emitter.emit("")
-        emitter.emit("def parse(self, data, start=None):")
-        with emitter.block():
-            emitter.emit("result = self.try_parse(data, start)")
-            emitter.emit("if result is None:")
-            with emitter.block():
-                emitter.emit(
-                    "raise ParseFailure('input of length %d does not match nonterminal %r'"
-                )
-                emitter.emit(
-                    "                   % (len(data), start or self.GRAMMAR_START),"
-                )
-                emitter.emit("                   nonterminal=start or self.GRAMMAR_START)")
-            emitter.emit("return result")
-        emitter.emit("")
-        emitter.emit("def try_parse(self, data, start=None):")
-        with emitter.block():
-            emitter.emit("name = start or self.GRAMMAR_START")
-            emitter.emit("method = getattr(self, '_nt_' + name, None)")
-            emitter.emit("if method is None:")
-            with emitter.block():
-                emitter.emit("raise IPGError('no rule for nonterminal %r' % name)")
-            emitter.emit("self._data = bytes(data)")
-            emitter.emit("self._memo = {}")
-            emitter.emit("previous_limit = sys.getrecursionlimit()")
-            emitter.emit("if self.recursion_limit > previous_limit:")
-            with emitter.block():
-                emitter.emit("sys.setrecursionlimit(self.recursion_limit)")
-            emitter.emit("try:")
-            with emitter.block():
-                emitter.emit("result = method(0, len(self._data), None)")
-            emitter.emit("finally:")
-            with emitter.block():
-                emitter.emit("if self.recursion_limit > previous_limit:")
-                with emitter.block():
-                    emitter.emit("sys.setrecursionlimit(previous_limit)")
-            emitter.emit("return None if result is FAIL else result")
-        emitter.emit("")
-        emitter.emit("def accepts(self, data, start=None):")
-        with emitter.block():
-            emitter.emit("return self.try_parse(data, start) is not None")
-        emitter.emit("")
-        emitter.emit("def _builtin(self, name, lo, hi):")
-        with emitter.block():
-            emitter.emit("spec = BUILTINS[name]")
-            emitter.emit("outcome = spec.parse(self._data, lo, hi)")
-            emitter.emit("if outcome is BUILTIN_FAIL:")
-            with emitter.block():
-                emitter.emit("return FAIL")
-            emitter.emit("attrs, end, payload = outcome")
-            emitter.emit("env = {'EOI': hi - lo, 'start': 0 if end else hi - lo, 'end': end}")
-            emitter.emit("env.update(attrs)")
-            emitter.emit("children = [Leaf(payload)] if payload is not None else []")
-            emitter.emit("return Node(name, env, children)")
-        emitter.emit("")
-        emitter.emit("def _blackbox(self, name, lo, hi):")
-        with emitter.block():
-            emitter.emit("implementation = self.blackboxes.get(name)")
-            emitter.emit("if implementation is None:")
-            with emitter.block():
-                emitter.emit(
-                    "raise BlackboxError('blackbox %r has no registered implementation' % name)"
-                )
-            emitter.emit("window = self._data[lo:hi]")
-            emitter.emit("try:")
-            with emitter.block():
-                emitter.emit("raw = implementation(window)")
-            emitter.emit("except Exception as exc:")
-            with emitter.block():
-                emitter.emit("raise BlackboxError('blackbox parser %r raised: %s' % (name, exc))")
-            emitter.emit("outcome = normalize_blackbox_result(raw, hi - lo)")
-            emitter.emit("if outcome is BUILTIN_FAIL:")
-            with emitter.block():
-                emitter.emit("return FAIL")
-            emitter.emit("attrs, payload, end = outcome")
-            emitter.emit("env = {'EOI': hi - lo, 'start': 0 if end else hi - lo, 'end': end}")
-            emitter.emit("env.update(attrs)")
-            emitter.emit("children = [Leaf(payload)] if payload is not None else []")
-            emitter.emit("return Node(name, env, children)")
-        emitter.emit("")
-
-    # -- rules -------------------------------------------------------------------
-    def _emit_rule(
-        self,
-        rule: Rule,
-        method_name: str,
-        scope: Dict[str, str],
-        memoized: bool,
-    ) -> None:
-        emitter = self.emitter
-        alternative_methods: List[str] = []
-        local_methods_to_emit: List = []
-        for position, alternative in enumerate(rule.alternatives):
-            alt_method = f"{method_name}_alt{position}"
-            alternative_methods.append(alt_method)
-        emitter.emit(f"def {method_name}(self, lo, hi, outer):")
-        with emitter.block():
-            emitter.emit(f'"""Nonterminal {rule.name!r}: biased choice over its alternatives."""')
-            if memoized:
-                emitter.emit(f"key = ({rule.name!r}, lo, hi)")
-                emitter.emit("if self.memoize and key in self._memo:")
-                with emitter.block():
-                    emitter.emit("return self._memo[key]")
-            emitter.emit("result = FAIL")
-            for alt_method in alternative_methods:
-                emitter.emit("if result is FAIL:")
-                with emitter.block():
-                    emitter.emit(f"result = self.{alt_method}(lo, hi, outer)")
-            if memoized:
-                emitter.emit("if self.memoize:")
-                with emitter.block():
-                    emitter.emit("self._memo[key] = result")
-            emitter.emit("return result")
-        emitter.emit("")
-        for position, alternative in enumerate(rule.alternatives):
-            self._emit_alternative(
-                rule, alternative, alternative_methods[position], scope
-            )
-
-    def _emit_alternative(
-        self,
-        rule: Rule,
-        alternative: Alternative,
-        method_name: str,
-        scope: Dict[str, str],
-    ) -> None:
-        emitter = self.emitter
-        inner_scope = dict(scope)
-        pending_locals = []
-        for local in alternative.local_rules:
-            local_method = f"{method_name}_where_{local.name}"
-            inner_scope[local.name] = local_method
-            pending_locals.append((local, local_method))
-        emitter.emit(f"def {method_name}(self, lo, hi, outer):")
-        with emitter.block():
-            emitter.emit("ctx = EvalContext(initial_env(hi - lo), outer=outer)")
-            emitter.emit("children = []")
-            emitter.emit("try:")
-            with emitter.block():
-                if not alternative.terms:
-                    emitter.emit("pass")
-                for term in alternative.terms:
-                    self._emit_term(term, inner_scope)
-            emitter.emit("except EvaluationError:")
-            with emitter.block():
-                emitter.emit("return FAIL")
-            emitter.emit(f"return Node({rule.name!r}, dict(ctx.env), children)")
-        emitter.emit("")
-        for local, local_method in pending_locals:
-            # Local rules are never memoized: their results depend on the
-            # enclosing context.
-            self._emit_rule(local, local_method, inner_scope, memoized=False)
-
-    # -- terms -------------------------------------------------------------------
-    def _emit_term(self, term: Term, scope: Dict[str, str]) -> None:
-        if isinstance(term, TermAttrDef):
-            self.emitter.emit(f"ctx.env[{term.name!r}] = {compile_expr(term.expr)}")
-            return
-        if isinstance(term, TermGuard):
-            self.emitter.emit(f"if ({compile_expr(term.expr)}) == 0:")
-            with self.emitter.block():
-                self.emitter.emit("return FAIL")
-            return
-        if isinstance(term, TermTerminal):
-            self._emit_terminal(term)
-            return
-        if isinstance(term, TermNonterminal):
-            self._emit_nonterminal(term, scope, indexed=False)
-            return
-        if isinstance(term, TermArray):
-            self._emit_array(term, scope)
-            return
-        if isinstance(term, TermSwitch):
-            self._emit_switch(term, scope)
-            return
-        raise GenerationError(f"unknown term kind {type(term).__name__}")
-
-    def _emit_interval(self, term: TermNonterminal) -> tuple:
-        emitter = self.emitter
-        left_var = self._fresh("_l")
-        right_var = self._fresh("_r")
-        emitter.emit(f"{left_var} = {compile_expr(term.interval.left)}")
-        emitter.emit(f"{right_var} = {compile_expr(term.interval.right)}")
-        emitter.emit(f"if not (0 <= {left_var} <= {right_var} <= hi - lo):")
-        with emitter.block():
-            emitter.emit("return FAIL")
-        return left_var, right_var
-
-    def _emit_terminal(self, term: TermTerminal) -> None:
-        emitter = self.emitter
-        left_var = self._fresh("_l")
-        right_var = self._fresh("_r")
-        emitter.emit(f"{left_var} = {compile_expr(term.interval.left)}")
-        emitter.emit(f"{right_var} = {compile_expr(term.interval.right)}")
-        emitter.emit(f"if not (0 <= {left_var} <= {right_var} <= hi - lo):")
-        with emitter.block():
-            emitter.emit("return FAIL")
-        literal = term.value
-        emitter.emit(f"if {right_var} - {left_var} < {len(literal)}:")
-        with emitter.block():
-            emitter.emit("return FAIL")
-        if literal:
-            emitter.emit(
-                f"if self._data[lo + {left_var} : lo + {left_var} + {len(literal)}] != {literal!r}:"
-            )
-            with emitter.block():
-                emitter.emit("return FAIL")
-        touched = "True" if literal else "False"
-        emitter.emit(
-            f"upd_start_end_in_place(ctx.env, {left_var}, {left_var} + {len(literal)}, {touched})"
-        )
-        emitter.emit(f"children.append(Leaf({literal!r}))")
-
-    def _dispatch_call(self, name: str, scope: Dict[str, str], lo_expr: str, hi_expr: str) -> str:
-        """Statically bind a nonterminal reference to its parsing call."""
-        if name in scope:
-            # Local rules receive the enclosing evaluation context.
-            return f"self.{scope[name]}({lo_expr}, {hi_expr}, ctx)"
-        if self.grammar.has_rule(name):
-            return f"self._nt_{name}({lo_expr}, {hi_expr}, None)"
-        if is_builtin(name):
-            return f"self._builtin({name!r}, {lo_expr}, {hi_expr})"
-        if name in self.grammar.blackboxes:
-            return f"self._blackbox({name!r}, {lo_expr}, {hi_expr})"
-        raise GenerationError(f"nonterminal {name!r} has no rule, builtin or blackbox")
-
-    def _emit_nonterminal(
-        self, term: TermNonterminal, scope: Dict[str, str], indexed: bool
-    ) -> Optional[str]:
-        emitter = self.emitter
-        left_var, right_var = self._emit_interval(term)
-        result_var = self._fresh("_res")
-        call = self._dispatch_call(term.name, scope, f"lo + {left_var}", f"lo + {right_var}")
-        emitter.emit(f"{result_var} = {call}")
-        emitter.emit(f"if {result_var} is FAIL:")
-        with emitter.block():
-            emitter.emit("return FAIL")
-        env_var = self._fresh("_env")
-        node_var = self._fresh("_node")
-        emitter.emit(f"{env_var} = dict({result_var}.env)")
-        emitter.emit(f"{env_var}['start'] = {left_var} + {result_var}.env.get('start', 0)")
-        emitter.emit(f"{env_var}['end'] = {left_var} + {result_var}.env.get('end', 0)")
-        emitter.emit(f"{node_var} = Node({result_var}.name, {env_var}, {result_var}.children)")
-        emitter.emit(
-            f"upd_start_end_in_place(ctx.env, {env_var}['start'], {env_var}['end'], "
-            f"{result_var}.env.get('end', 0) != 0)"
-        )
-        if indexed:
-            return node_var
-        emitter.emit(f"ctx.record_node({node_var})")
-        emitter.emit(f"children.append({node_var})")
-        return node_var
-
-    def _emit_array(self, term: TermArray, scope: Dict[str, str]) -> None:
-        emitter = self.emitter
-        first_var = self._fresh("_first")
-        stop_var = self._fresh("_stop")
-        elements_var = self._fresh("_elements")
-        saved_var = self._fresh("_saved")
-        had_var = self._fresh("_had")
-        had_arr_var = self._fresh("_hadarr")
-        saved_arr_var = self._fresh("_savedarr")
-        index_var = self._fresh("_idx")
-        ok_var = self._fresh("_ok")
-        element_name = term.element.name
-        emitter.emit(f"{first_var} = {compile_expr(term.start)}")
-        emitter.emit(f"{stop_var} = {compile_expr(term.stop)}")
-        # Each array term gets its own fresh element list (bound after the
-        # loop bounds are evaluated); a failed term restores the previous
-        # binding.  This matches the interpreter's _exec_array.
-        emitter.emit(f"{elements_var} = []")
-        emitter.emit(f"{had_arr_var} = {element_name!r} in ctx.arrays")
-        emitter.emit(f"{saved_arr_var} = ctx.arrays.get({element_name!r})")
-        emitter.emit(f"ctx.arrays[{element_name!r}] = {elements_var}")
-        emitter.emit(f"{had_var} = {term.var!r} in ctx.env")
-        emitter.emit(f"{saved_var} = ctx.env.get({term.var!r})")
-        emitter.emit(f"{ok_var} = True")
-        emitter.emit(f"for {index_var} in range({first_var}, {stop_var}):")
-        with emitter.block():
-            emitter.emit(f"ctx.env[{term.var!r}] = {index_var}")
-            left_var = self._fresh("_l")
-            right_var = self._fresh("_r")
-            emitter.emit(f"{left_var} = {compile_expr(term.element.interval.left)}")
-            emitter.emit(f"{right_var} = {compile_expr(term.element.interval.right)}")
-            emitter.emit(f"if not (0 <= {left_var} <= {right_var} <= hi - lo):")
-            with emitter.block():
-                emitter.emit(f"{ok_var} = False")
-                emitter.emit("break")
-            result_var = self._fresh("_res")
-            call = self._dispatch_call(
-                element_name, scope, f"lo + {left_var}", f"lo + {right_var}"
-            )
-            emitter.emit(f"{result_var} = {call}")
-            emitter.emit(f"if {result_var} is FAIL:")
-            with emitter.block():
-                emitter.emit(f"{ok_var} = False")
-                emitter.emit("break")
-            env_var = self._fresh("_env")
-            node_var = self._fresh("_node")
-            emitter.emit(f"{env_var} = dict({result_var}.env)")
-            emitter.emit(f"{env_var}['start'] = {left_var} + {result_var}.env.get('start', 0)")
-            emitter.emit(f"{env_var}['end'] = {left_var} + {result_var}.env.get('end', 0)")
-            emitter.emit(
-                f"{node_var} = Node({result_var}.name, {env_var}, {result_var}.children)"
-            )
-            emitter.emit(
-                f"upd_start_end_in_place(ctx.env, {env_var}['start'], {env_var}['end'], "
-                f"{result_var}.env.get('end', 0) != 0)"
-            )
-            emitter.emit(f"{elements_var}.append({node_var})")
-        emitter.emit(f"if {had_var}:")
-        with emitter.block():
-            emitter.emit(f"ctx.env[{term.var!r}] = {saved_var}")
-        emitter.emit("else:")
-        with emitter.block():
-            emitter.emit(f"ctx.env.pop({term.var!r}, None)")
-        emitter.emit(f"if not {ok_var}:")
-        with emitter.block():
-            emitter.emit(f"if {had_arr_var}:")
-            with emitter.block():
-                emitter.emit(f"ctx.arrays[{element_name!r}] = {saved_arr_var}")
-            emitter.emit("else:")
-            with emitter.block():
-                emitter.emit(f"ctx.arrays.pop({element_name!r}, None)")
-            emitter.emit("return FAIL")
-        emitter.emit(f"children.append(ArrayNode({element_name!r}, {elements_var}))")
-
-    def _emit_switch(self, term: TermSwitch, scope: Dict[str, str]) -> None:
-        emitter = self.emitter
-        first = True
-        has_default = False
-        for case in term.cases:
-            if case.condition is None:
-                has_default = True
-                emitter.emit("else:" if not first else "if True:")
-                with emitter.block():
-                    self._emit_nonterminal(case.target, scope, indexed=False)
-            else:
-                keyword = "if" if first else "elif"
-                emitter.emit(f"{keyword} ({compile_expr(case.condition)}) != 0:")
-                with emitter.block():
-                    self._emit_nonterminal(case.target, scope, indexed=False)
-            first = False
-        if not has_default:
-            emitter.emit("else:")
-            with emitter.block():
-                emitter.emit("return FAIL")
-
-
-# ---------------------------------------------------------------------------
-# Public API
-# ---------------------------------------------------------------------------
+def _warn(entry: str) -> None:
+    warnings.warn(
+        f"repro.core.generator.{entry} is deprecated: the legacy dict-env "
+        f"parser generator was retired in favour of the ahead-of-time "
+        f"emitter; use `repro compile` / "
+        f"repro.core.compiler.compile_grammar(...).to_source() instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def generate_parser_source(
     grammar: Union[Grammar, str], class_name: str = "GeneratedParser"
 ) -> str:
-    """Generate Python parser source code for ``grammar``."""
-    prepared = prepare_grammar(grammar)
-    return ParserGenerator(prepared, class_name).generate()
+    """Return standalone parser-module source for ``grammar`` (deprecated).
+
+    ``class_name`` is accepted for API compatibility and ignored: the
+    ahead-of-time artifact is a module, not a class.
+    """
+    _warn("generate_parser_source")
+    from .compiler import compile_grammar
+
+    return compile_grammar(grammar).to_source()
+
+
+class GeneratedParserShim:
+    """The legacy generated-parser surface over an AOT module."""
+
+    def __init__(self, module):
+        self._module = module
+
+    def parse(self, data, start: Optional[str] = None):
+        return self._module.parse(data, start)
+
+    def try_parse(self, data, start: Optional[str] = None):
+        return self._module.try_parse(data, start)
+
+    def accepts(self, data, start: Optional[str] = None) -> bool:
+        return self._module.try_parse(data, start) is not None
+
+    def register_blackbox(self, name: str, parser) -> None:
+        self._module.register_blackbox(name, parser)
+
+    @property
+    def blackboxes(self) -> Dict[str, object]:
+        return self._module.BLACKBOXES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GeneratedParserShim({self._module.__name__})"
+
+
+_SHIM_SEQ = [0]
 
 
 def compile_parser(
@@ -620,9 +94,11 @@ def compile_parser(
     blackboxes: Optional[Dict[str, object]] = None,
     class_name: str = "GeneratedParser",
 ):
-    """Generate, exec and instantiate a parser for ``grammar``."""
-    source = generate_parser_source(grammar, class_name)
-    namespace: Dict[str, object] = {}
-    exec(compile(source, f"<generated parser {class_name}>", "exec"), namespace)
-    parser_class = namespace["PARSER_CLASS"]
-    return parser_class(blackboxes=blackboxes)
+    """Build a legacy-surface parser backed by the AOT emitter (deprecated)."""
+    _warn("compile_parser")
+    from .compiler import compile_grammar
+
+    compiled = compile_grammar(grammar, blackboxes=dict(blackboxes or {}))
+    _SHIM_SEQ[0] += 1
+    module = compiled.load_module(f"_generator_shim_{_SHIM_SEQ[0]}")
+    return GeneratedParserShim(module)

@@ -127,6 +127,14 @@ class Parser:
         biased order among the admitted alternatives, so trees are
         identical either way (the flag exists for differential testing
         and as an escape hatch).
+    bulk_fixed_shape:
+        Enable fixed-shape vectorization (:mod:`repro.core.shapes`): rules
+        whose byte layout is statically fixed decode through precompiled
+        ``struct`` plans — the compiled backend fuses fixed prefixes and
+        bulk-decodes fixed-stride arrays, the interpreter runs one-shot
+        plan decoders.  On by default; plans are observably identical to
+        the per-term path (the flag exists for differential testing and
+        as an escape hatch).
     """
 
     BACKENDS = ("compiled", "interpreted")
@@ -142,6 +150,7 @@ class Parser:
         recursion_limit: int = 100_000,
         backend: str = "compiled",
         first_byte_dispatch: bool = True,
+        bulk_fixed_shape: bool = True,
     ):
         if backend not in self.BACKENDS:
             raise ValueError(
@@ -154,10 +163,12 @@ class Parser:
         self.requested_backend = backend
         self.backend = backend
         self.first_byte_dispatch = bool(first_byte_dispatch)
+        self.bulk_fixed_shape = bool(bulk_fixed_shape)
         self._compiled = None
         self._compiled_elided = None
         self._compiled_stream: Dict[bool, object] = {}
         self._interp_dispatch = None
+        self._shape_decoder_maps: Dict[bool, Dict[str, object]] = {}
         self._validated_starts: set = set()
         self._streamability = None
         if backend == "compiled":
@@ -176,12 +187,32 @@ class Parser:
                 self.backend = "interpreted"
 
     def _optimizations(self):
-        """The compiler pass set honouring ``first_byte_dispatch``."""
-        if self.first_byte_dispatch:
+        """The compiler pass set honouring the per-parser toggles."""
+        if self.first_byte_dispatch and self.bulk_fixed_shape:
             return None  # compiler default: every pass on
         from .compiler import Optimizations
 
-        return Optimizations(first_byte_dispatch=False)
+        return Optimizations(
+            first_byte_dispatch=self.first_byte_dispatch,
+            bulk_fixed_shape=self.bulk_fixed_shape,
+        )
+
+    def _shape_decoders(self, build_tree: bool) -> Optional[Dict[str, object]]:
+        """One-shot fixed-shape decoders for the interpreter (cached).
+
+        Maps top-level rule names to plan decoders
+        (:func:`repro.core.shapes.rule_decoders`); ``None`` when
+        vectorization is disabled or no rule has a worthwhile full plan.
+        """
+        if not self.bulk_fixed_shape:
+            return None
+        if build_tree not in self._shape_decoder_maps:
+            from .shapes import rule_decoders
+
+            self._shape_decoder_maps[build_tree] = rule_decoders(
+                self.grammar, build_tree
+            )
+        return self._shape_decoder_maps[build_tree] or None
 
     def _elided_compiled(self):
         """The tree-elision compilation backing ``emit="spans"``/``None``."""
@@ -205,25 +236,42 @@ class Parser:
     def _interpreter_dispatch(self) -> Dict[int, tuple]:
         """First-byte jump tables for the interpreter, keyed by rule id.
 
-        Each entry maps a top-level rule to ``(table, empty)`` where
-        ``table[byte]`` is the biased-ordered tuple of alternatives still
-        admissible for that first byte and ``empty`` the tuple to try on
-        an empty window.
+        Each entry maps a rule — top-level *or* ``where`` local — to
+        ``(table, empty, pair_table)`` where ``table[byte]`` is the
+        biased-ordered tuple of alternatives still admissible for that
+        first byte, ``empty`` the tuple to try on an empty window, and
+        ``pair_table`` the optional FIRST₂ prefix-probe refinement
+        (first byte -> probe offset + probed-byte row).
         """
         if not self.first_byte_dispatch:
             return {}
         if self._interp_dispatch is None:
-            from .firstsets import dispatch_plans
+            from .firstsets import dispatch_plans, local_dispatch_plans
+
+            def convert(rule, plan):
+                alternatives = rule.alternatives
+
+                def alts(entry):
+                    return tuple(alternatives[i] for i in entry)
+
+                pair_table = None
+                if plan.pair_table:
+                    pair_table = {
+                        byte: (offset, tuple(alts(entry) for entry in row))
+                        for byte, (offset, row) in plan.pair_table.items()
+                    }
+                return (
+                    tuple(alts(entry) for entry in plan.table),
+                    alts(plan.empty),
+                    pair_table,
+                )
 
             tables: Dict[int, tuple] = {}
             for name, plan in dispatch_plans(self.grammar).items():
-                alternatives = self.grammar.rule(name).alternatives
-                tables[id(self.grammar.rule(name))] = (
-                    tuple(
-                        tuple(alternatives[i] for i in entry) for entry in plan.table
-                    ),
-                    tuple(alternatives[i] for i in plan.empty),
-                )
+                rule = self.grammar.rule(name)
+                tables[id(rule)] = convert(rule, plan)
+            for rule, plan in local_dispatch_plans(self.grammar):
+                tables[id(rule)] = convert(rule, plan)
             self._interp_dispatch = tables
         return self._interp_dispatch
 
@@ -259,6 +307,7 @@ class Parser:
                         skip_nonrecursive_memo=False,
                         inline_single_use=False,
                         first_byte_dispatch=self.first_byte_dispatch,
+                        bulk_fixed_shape=self.bulk_fixed_shape,
                     ),
                     elide_tree=elide_tree,
                     # Dispatch decisions are memoized per parse so stream
@@ -484,6 +533,7 @@ class _Run:
         "build",
         "dispatch",
         "dispatch_cache",
+        "shapes",
     )
 
     def __init__(
@@ -503,6 +553,8 @@ class _Run:
         self.dispatch_cache: Optional[dict] = (
             {} if dispatch_cache and self.dispatch else None
         )
+        #: Fixed-shape one-shot decoders (rule name -> fn) or None.
+        self.shapes = parser._shape_decoders(build_tree)
 
     # -- nonterminal dispatch -------------------------------------------------
     def parse_nonterminal(
@@ -524,7 +576,13 @@ class _Run:
             key = (name, lo, hi)
             if self.memoize and key in self.memo:
                 return self.memo[key]
-            result = self._parse_rule(self.grammar.rule(name), lo, hi, None, None)
+            decoder = None if self.shapes is None else self.shapes.get(name)
+            if decoder is not None:
+                # One-shot fixed-shape path: decode the whole rule through
+                # its precompiled struct plan (observably identical).
+                result = decoder(self.data, lo, hi)
+            else:
+                result = self._parse_rule(self.grammar.rule(name), lo, hi, None, None)
             if self.memoize:
                 self.memo[key] = result
             return result
@@ -549,20 +607,25 @@ class _Run:
         entry = dispatch.get(id(rule)) if dispatch is not None else None
         if entry is not None:
             # First-byte dispatch: prune alternatives the window's first
-            # byte already rules out (biased order preserved).  On a
-            # stream, reading the byte may suspend via NeedMoreInput —
-            # exactly as streaming-safe as the pruned alternatives' own
-            # leading reads — and streaming runs memoize the decision so
-            # re-entries never touch the buffer again.
+            # byte (or two-byte prefix, where FIRST₂ refines) already rules
+            # out (biased order preserved).  On a stream, reading the bytes
+            # may suspend via NeedMoreInput — exactly as streaming-safe as
+            # the pruned alternatives' own leading reads — and streaming
+            # runs memoize the decision so re-entries never touch the
+            # buffer again.
             if hi > lo:
                 cache = self.dispatch_cache
-                if cache is None:
-                    alternatives = entry[0][self.data[lo]]
-                else:
-                    key = (id(rule), lo)
-                    alternatives = cache.get(key)
-                    if alternatives is None:
-                        alternatives = entry[0][self.data[lo]]
+                key = (id(rule), lo) if cache is not None else None
+                alternatives = cache.get(key) if cache is not None else None
+                if alternatives is None:
+                    byte = self.data[lo]
+                    pair_table = entry[2]
+                    probe = pair_table.get(byte) if pair_table is not None else None
+                    if probe is not None and lo + probe[0] < hi:
+                        alternatives = probe[1][self.data[lo + probe[0]]]
+                    else:
+                        alternatives = entry[0][byte]
+                    if cache is not None:
                         cache[key] = alternatives
             else:
                 alternatives = entry[1]

@@ -2,18 +2,25 @@
 
 The repository ships several executions of the same IPG semantics:
 
-* ``interpreted`` — the reference tree-walking interpreter,
-* ``interpreted-nodispatch`` — the interpreter with first-byte dispatch
-  disabled (the dispatch-on/dispatch-off differential reference),
+* ``interpreted`` — the reference tree-walking interpreter (with its
+  default fast paths: dispatch tables and fixed-shape one-shot decoders),
+* ``interpreted-plain`` — the interpreter with first-byte dispatch *and*
+  fixed-shape vectorization disabled: the pristine reference semantics
+  every optimized engine is compared against,
 * ``compiled`` — the staged closure compiler (the default engine, with
-  first-byte dispatch tables),
-* ``compiled-unoptimized`` — the compiler with every optimization pass off
-  (including dispatch),
+  dispatch tables and fixed-shape vectorization),
+* ``compiled-nobulk`` — the compiler with only ``bulk_fixed_shape`` off
+  (the bulk-on/bulk-off differential pair),
+* ``compiled-unoptimized`` — the compiler with every optimization pass off,
 * ``aot`` — the ahead-of-time emitted standalone module
   (``CompiledGrammar.to_source()``), imported through ``exec``,
-* ``generated`` — the paper's parser generator (:mod:`repro.core.generator`),
 * ``streaming`` — ``Parser.parse_stream`` over chunked input (only for
-  grammars the §8 analysis accepts).
+  grammars the §8 analysis accepts; chunk sizes deliberately straddle
+  fixed-shape record boundaries).
+
+(The ``generated`` engine — the retired dict-env parser generator — left
+the matrix when :mod:`repro.core.generator` became a deprecation shim over
+the AOT emitter; ``aot`` covers that execution path.)
 
 This module builds all of them for one ``(grammar, blackboxes)`` pair and
 asserts that every engine produces **identical trees or identical errors**
@@ -37,18 +44,18 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 from repro import Parser, samples
 from repro.core.compiler import Optimizations, compile_grammar
 from repro.core.errors import IPGError, ParseFailure
-from repro.core.generator import compile_parser
 from repro.core.streamability import analyze_streamability
 
 #: Engines every grammar can run on (streaming joins when streamable).
 CORE_ENGINES = (
     "interpreted",
-    "interpreted-nodispatch",
+    "interpreted-plain",
     "compiled",
+    "compiled-nobulk",
     "compiled-unoptimized",
     "aot",
 )
-ALL_ENGINES = CORE_ENGINES + ("generated", "streaming")
+ALL_ENGINES = CORE_ENGINES + ("streaming",)
 
 #: Module-level cache: building an engine set runs the whole front-end
 #: pipeline (plus an exec for the AOT module), so sharing across tests and
@@ -90,7 +97,7 @@ class EngineMatrix:
         blackboxes: Optional[dict] = None,
         memoize: bool = True,
         expect_compiled: bool = True,
-        chunk_sizes: Tuple[int, ...] = (1, 7),
+        chunk_sizes: Tuple[int, ...] = (1, 7, 23),
     ):
         blackboxes = dict(blackboxes or {})
         self.grammar_text = grammar_text
@@ -100,12 +107,13 @@ class EngineMatrix:
         self.interpreted = Parser(
             grammar_text, blackboxes=blackboxes, memoize=memoize, backend="interpreted"
         )
-        self.interpreted_nodispatch = Parser(
+        self.interpreted_plain = Parser(
             grammar_text,
             blackboxes=blackboxes,
             memoize=memoize,
             backend="interpreted",
             first_byte_dispatch=False,
+            bulk_fixed_shape=False,
         )
         self.compiled = Parser(
             grammar_text, blackboxes=blackboxes, memoize=memoize, backend="compiled"
@@ -122,27 +130,35 @@ class EngineMatrix:
                 blackboxes=blackboxes,
                 optimizations=Optimizations.none(),
             )
+            self.nobulk = compile_grammar(
+                grammar_text,
+                memoize=memoize,
+                blackboxes=blackboxes,
+                optimizations=Optimizations(bulk_fixed_shape=False),
+            )
             self.aot = load_aot_module(grammar_text, blackboxes, memoize=memoize)
         else:
             # The compiler refused this grammar (automatic interpreter
             # fallback); only the non-compiled engines participate.
             self.unoptimized = None
+            self.nobulk = None
             self.aot = None
-        self.generated = compile_parser(grammar_text, blackboxes=blackboxes)
         self.streamable = analyze_streamability(grammar_text).streamable
         #: Lazily built: the unoptimized tree-elision compilation used by
         #: the emit-mode differential (see _elided_unoptimized()).
         self._elided_unopt = None
         self._runners: Dict[str, Callable] = {
             "interpreted": self._run_parser(self.interpreted),
-            "interpreted-nodispatch": self._run_parser(self.interpreted_nodispatch),
+            "interpreted-plain": self._run_parser(self.interpreted_plain),
             "compiled": self._run_parser(self.compiled),
-            "generated": self._run_parser(self.generated),
             "streaming": self._run_streaming,
         }
         if self.unoptimized is not None:
             self._runners["compiled-unoptimized"] = self._run_compiled_grammar(
                 self.unoptimized
+            )
+            self._runners["compiled-nobulk"] = self._run_compiled_grammar(
+                self.nobulk
             )
             self._runners["aot"] = self._run_aot
 
@@ -220,7 +236,7 @@ class EngineMatrix:
 
     def emit_engines(self) -> Tuple[str, ...]:
         """Engines that natively run the spans / validate-only fast path."""
-        names = ["interpreted", "interpreted-nodispatch", "compiled"]
+        names = ["interpreted", "interpreted-plain", "compiled"]
         if self.unoptimized is not None:
             names.append("elided-unoptimized")
         if self.streamable:
@@ -246,7 +262,7 @@ class EngineMatrix:
             else:
                 parser = {
                     "interpreted": self.interpreted,
-                    "interpreted-nodispatch": self.interpreted_nodispatch,
+                    "interpreted-plain": self.interpreted_plain,
                     "compiled": self.compiled,
                 }[engine]
                 outcome = parser.try_parse(data, start, emit=emit)
@@ -290,7 +306,7 @@ class EngineMatrix:
         full tree's — on every engine, including chunked streaming.
         """
         if reference is None:
-            reference = self.run("interpreted", data, start)
+            reference = self.run("interpreted-plain", data, start)
         if reference[0] == "tree":
             expected_spans = ("spans", reference[1].name, dict(reference[1].env))
             expected_ok = ("ok",)
@@ -320,7 +336,6 @@ class EngineMatrix:
     # -- the contract ------------------------------------------------------
     def engines(self, include_streaming: bool = True) -> Tuple[str, ...]:
         names = [name for name in CORE_ENGINES if name in self._runners]
-        names.append("generated")
         if include_streaming and self.streamable:
             names.append("streaming")
         return tuple(names)
@@ -334,10 +349,10 @@ class EngineMatrix:
         start: Optional[str] = None,
         engines: Optional[Iterable[str]] = None,
     ):
-        """Assert every engine matches the reference interpreter on ``data``."""
-        reference = self.run("interpreted", data, start)
+        """Assert every engine matches the plain reference interpreter."""
+        reference = self.run("interpreted-plain", data, start)
         for engine in engines if engines is not None else self.engines():
-            if engine == "interpreted":
+            if engine == "interpreted-plain":
                 continue
             outcome = self.run(engine, data, start)
             if reference[0] == "tree":

@@ -30,11 +30,13 @@ TOGGLE_CONFIGS = {
     "no-skip": Optimizations(skip_nonrecursive_memo=False),
     "no-inline": Optimizations(inline_single_use=False),
     "no-dispatch": Optimizations(first_byte_dispatch=False),
-    "only-module-where": Optimizations(True, False, False, False, False),
-    "only-dense": Optimizations(False, True, False, False, False),
-    "only-skip": Optimizations(False, False, True, False, False),
-    "only-inline": Optimizations(False, False, False, True, False),
-    "only-dispatch": Optimizations(False, False, False, False, True),
+    "no-bulk": Optimizations(bulk_fixed_shape=False),
+    "only-module-where": Optimizations(True, False, False, False, False, False),
+    "only-dense": Optimizations(False, True, False, False, False, False),
+    "only-skip": Optimizations(False, False, True, False, False, False),
+    "only-inline": Optimizations(False, False, False, True, False, False),
+    "only-dispatch": Optimizations(False, False, False, False, True, False),
+    "only-bulk": Optimizations(False, False, False, False, False, True),
 }
 
 #: Shapes chosen to light up individual passes: single-use chains for the
@@ -79,6 +81,16 @@ PASS_SENSITIVE_GRAMMARS = {
         Items -> Pair Items[Pair.end, EOI] / Mark Items[Mark.end, EOI] / ""[0, 0] ;
         Pair -> "p"[0, 1] U8[1, 2] {v = U8.val} ;
         Mark -> U8[0, 1] {t = U8.val} guard(t >= 128) ;
+    """,
+    # Bulk-sensitive shapes: a fused fixed prefix with a literal and guard,
+    # plus a fixed-stride array the bulk pass lowers to iter_unpack.
+    "bulk-records": """
+        S -> "hd"[0, 2] U16LE[2, 4] {n = U16LE.val} guard(n < 1000)
+             for i = 0 to n do Rec[4 + 6 * i, 4 + 6 * (i + 1)]
+             Tail[4 + 6 * n, EOI] ;
+        Rec -> U16LE {a = U16LE.val} U16LE {b = U16LE.val}
+               U16LE {c = U16LE.val} guard(c != 9) ;
+        Tail -> Raw[0, EOI] ;
     """,
 }
 
@@ -229,7 +241,7 @@ class TestOptimizationReporting:
     def test_dispatch_tables_reported_and_emitted(self):
         compiled = compile_grammar(PASS_SENSITIVE_GRAMMARS["dispatch-choice"])
         assert "Items" in compiled.dispatched_rules
-        assert "_fbt_Items" in compiled.source  # the 256-entry tuple table
+        assert "_fbt_r1_Items" in compiled.source  # the 256-entry tuple table
         off = compile_grammar(
             PASS_SENSITIVE_GRAMMARS["dispatch-choice"],
             optimizations=Optimizations(first_byte_dispatch=False),

@@ -11,7 +11,6 @@ import pytest
 
 from engine_matrix import format_sample, matrix_for
 from repro import Parser
-from repro.core.generator import compile_parser
 from repro.core.parsetree import tree_equal_modulo_specials
 from repro.formats import registry, toy
 
@@ -24,7 +23,7 @@ def format_matrix(fmt):
 class TestAllEnginesOnFormats:
     @pytest.mark.parametrize("fmt", sorted(registry))
     def test_every_engine_matches_interpreter(self, fmt):
-        # interpreter / compiled / unoptimized-compiled / AOT / generated —
+        # interpreter / compiled / nobulk / unoptimized-compiled / AOT —
         # plus streaming for the formats the §8 analysis accepts.
         outcome = format_matrix(fmt).assert_agree(format_sample(fmt))
         assert outcome[0] == "tree"
@@ -69,9 +68,10 @@ class TestToyGrammarsAcrossEngines:
         for probe in probes:
             outcome = matrix.assert_agree(probe)
             if outcome[0] == "tree":
-                # Belt and braces: the engines also agree modulo specials.
-                generated = compile_parser(toy.ALL_GRAMMARS[name]).try_parse(probe)
-                assert tree_equal_modulo_specials(outcome[1], generated)
+                # Belt and braces: the AOT module also agrees modulo specials.
+                aot = matrix.aot.try_parse(probe) if matrix.aot else None
+                if aot is not None:
+                    assert tree_equal_modulo_specials(outcome[1], aot)
 
 
 class TestNegativeShiftParity:

@@ -100,10 +100,30 @@ class TestConservativeFallbacks:
         assert infos[0].admissible == frozenset((0x30, 0x31))
         assert infos[0].requires_byte
 
-    def test_local_rule_targets_stay_any(self):
+    def test_local_rule_targets_resolve_lexically(self):
+        # Where-rule targets used to stay "any byte"; the local-rule FIRST
+        # analysis now resolves them through the declaration chain.
         infos = sets_for(
             'S -> E[0, EOI] where { E -> "e"[0, 1] ; } ;'
         )["S"]
+        assert infos[0].admissible == frozenset((ord("e"),))
+        assert infos[0].requires_byte
+
+    def test_local_rule_targets_stay_any_under_dynamic_shadowing(self):
+        # A nested where-scope re-declares a name an outer-declared local
+        # rule's body references: lexical resolution would disagree with
+        # the interpreter's dynamic chain walk, so the analysis falls back
+        # to "any byte" everywhere a local is involved.
+        grammar = (
+            "S -> R[0, EOI] "
+            'where { R -> Q[0, 1] ; A -> "x"[0, 1] where { Q -> "q"[0, 1] ; } ; } ; '
+            'Q -> "z"[0, 1] ;'
+        )
+        from repro.core.firstsets import where_shadowing_conflict
+
+        prepared = prepare_grammar(grammar)
+        assert where_shadowing_conflict(prepared) is not None
+        infos = first_sets(prepared)["S"]
         assert infos[0].admissible is None
 
 

@@ -1,127 +1,83 @@
-"""Tests for the parser generator (IPG → Python recursive-descent source)."""
+"""Tests for the deprecated generator shim (legacy API over the AOT emitter).
 
-import struct
+The legacy dict-env parser generator was retired; :mod:`repro.core.generator`
+now forwards to the ahead-of-time emitter behind a one-release
+:class:`DeprecationWarning` shim.  These tests pin the shim contract: the
+old entry points keep working, warn, and produce trees identical to the
+other engines.
+"""
 
 import pytest
 
-from repro import Parser
-from repro.core.generator import compile_expr, compile_parser, generate_parser_source
-from repro.core.grammar_parser import parse_expression
-from repro.formats import toy
+from repro import Parser, samples
+from repro.core.generator import (
+    GeneratedParserShim,
+    compile_parser,
+    generate_parser_source,
+)
+from repro.formats import toy, zipfmt
 
 
-class TestExpressionCompilation:
-    def test_number_and_name(self):
-        assert compile_expr(parse_expression("42")) == "42"
-        assert compile_expr(parse_expression("EOI")) == 'ctx.env["EOI"]'
-        assert "lookup_name('x')" in compile_expr(parse_expression("x"))
-
-    def test_dot_and_index(self):
-        assert "lookup_dot('H', 'ofs')" in compile_expr(parse_expression("H.ofs"))
-        assert "lookup_index('A'" in compile_expr(parse_expression("A(2).val"))
-
-    def test_operators(self):
-        assert compile_expr(parse_expression("1 + 2 * 3")) == "(1 + (2 * 3))"
-        assert "_div" in compile_expr(parse_expression("a / 2"))
-        assert "_mod" in compile_expr(parse_expression("a % 2"))
-        assert "==" in compile_expr(parse_expression("a = 2"))
-
-    def test_ternary_and_exists(self):
-        assert "if" in compile_expr(parse_expression("a ? 1 : 2"))
-        compiled = compile_expr(parse_expression("exists j . A(j).val = 0 ? j : 1"))
-        assert compiled.startswith("_exists(ctx, 'j', 'A'")
+def _shim(grammar, blackboxes=None):
+    with pytest.deprecated_call():
+        return compile_parser(grammar, blackboxes=blackboxes)
 
 
-class TestGeneratedSource:
-    def test_source_is_valid_python(self):
-        source = generate_parser_source(toy.FIGURE_2)
-        compile(source, "<generated>", "exec")
+class TestDeprecationShim:
+    def test_compile_parser_warns(self):
+        with pytest.deprecated_call():
+            compile_parser(toy.FIGURE_2)
 
-    def test_source_has_one_method_per_nonterminal(self):
-        source = generate_parser_source(toy.FIGURE_2)
-        assert "def _nt_S(" in source
-        assert "def _nt_H(" in source
-        assert "def _nt_Data(" in source
+    def test_generate_parser_source_warns_and_matches_aot(self):
+        from repro.core.compiler import compile_grammar
 
-    def test_custom_class_name(self):
-        source = generate_parser_source(toy.FIGURE_1, class_name="Fig1Parser")
-        assert "class Fig1Parser:" in source
-        assert source.strip().endswith("PARSER_CLASS = Fig1Parser")
+        with pytest.deprecated_call():
+            source = generate_parser_source(toy.FIGURE_2)
+        assert source == compile_grammar(toy.FIGURE_2).to_source()
+        compile(source, "<shim source>", "exec")  # importable python
 
-    def test_blackboxes_recorded_in_class(self):
-        source = generate_parser_source("blackbox Ext ;\nS -> Ext[0, EOI] ;")
-        assert "BLACKBOX_NAMES = frozenset(['Ext'])" in source
+    def test_class_name_is_accepted_and_ignored(self):
+        with pytest.deprecated_call():
+            source = generate_parser_source(toy.FIGURE_1, class_name="Fig1Parser")
+        assert "Fig1Parser" not in source  # the artifact is a module now
 
 
-class TestGeneratedBehaviour:
-    """The generated parser must agree with the reference interpreter."""
+class TestShimSurface:
+    def test_parse_and_try_parse(self):
+        shim = _shim(toy.FIGURE_2)
+        data = toy.build_figure_2_input()
+        expected = Parser(toy.FIGURE_2, backend="interpreted").parse(data)
+        assert isinstance(shim, GeneratedParserShim)
+        assert shim.parse(data) == expected
+        assert shim.try_parse(data) == expected
+        assert shim.try_parse(b"\xff" * 4) is None
 
-    CASES = [
-        (toy.FIGURE_1, [b"aaxyzbb", b"aabb", b"abx", b""]),
-        (toy.FIGURE_3, [b"1011", b"0", b"", b"12"]),
-        (toy.FIGURE_4, [b"1000stop", b"10stop", b"1stop"]),
-        (toy.ANBNCN, [b"aaabbbccc", b"aabbcc", b"abc", b"aabbc"]),
-        (toy.BACKWARD_NUMBER, [b"4096", b"7", b"x1"]),
-        (toy.IMPLICIT_INTERVALS, [b"magic" + b"A" * 5 + b"B" * 10, b"nope"]),
-    ]
+    def test_accepts(self):
+        shim = _shim(toy.FIGURE_3)
+        assert shim.accepts(b"1011")
+        assert not shim.accepts(b"x011")
+        assert not shim.accepts(b"")
 
-    @pytest.mark.parametrize("grammar, inputs", CASES)
-    def test_matches_interpreter(self, grammar, inputs):
-        interpreter = Parser(grammar)
-        generated = compile_parser(grammar)
-        for data in inputs:
-            expected = interpreter.try_parse(data)
-            actual = generated.try_parse(data)
-            if expected is None:
-                assert actual is None
-            else:
-                assert actual == expected
+    def test_start_symbol_override(self):
+        shim = _shim('S -> A[0, EOI] ; A -> "a"[0, 1] ;')
+        assert shim.try_parse(b"a", start="A") is not None
 
-    def test_figure_6_arrays_and_existentials(self):
-        data = toy.build_figure_6_input([3, 5, 7, 9])
-        interpreter = Parser(toy.FIGURE_6)
-        generated = compile_parser(toy.FIGURE_6)
-        assert generated.parse(data) == interpreter.parse(data)
+    def test_blackboxes_constructor_and_late_registration(self):
+        blackboxes = {"Inflate": zipfmt.inflate_blackbox}
+        data = samples.build_zip(member_count=2, member_size=64)
+        expected = Parser(zipfmt.GRAMMAR, blackboxes=dict(blackboxes)).parse(data)
+        eager = _shim(zipfmt.GRAMMAR, blackboxes=dict(blackboxes))
+        assert eager.parse(data) == expected
+        late = _shim(zipfmt.GRAMMAR)
+        late.register_blackbox("Inflate", zipfmt.inflate_blackbox)
+        assert late.parse(data) == expected
 
-    def test_two_pass_grammar(self):
-        data = toy.build_two_pass_input([6, 3, 9])
-        interpreter = Parser(toy.TWO_PASS)
-        generated = compile_parser(toy.TWO_PASS)
-        assert generated.parse(data) == interpreter.parse(data)
-
-    def test_where_and_switch(self):
-        grammar = """
-        S -> U8[0, 1] {t = U8.val} D[1, EOI]
-             where { D -> switch(t = 1 : A[0, EOI] / B[0, EOI]) ; } ;
-        A -> "aaa" ;
-        B -> Raw ;
-        """
-        interpreter = Parser(grammar)
-        generated = compile_parser(grammar)
-        for data in (b"\x01aaa", b"\x02zzz", b"\x01zzz"):
-            assert generated.try_parse(data) == interpreter.try_parse(data)
-
-    def test_blackbox_support(self):
-        grammar = 'blackbox Ext ;\nS -> "h"[0, 1] Ext[1, EOI] {n = Ext.len} ;'
-        blackboxes = {"Ext": lambda data: {"len": len(data)}}
-        generated = compile_parser(grammar, blackboxes=blackboxes)
-        assert generated.parse(b"h12345")["n"] == 5
-
-    def test_parse_failure_raises(self):
-        from repro.core.errors import ParseFailure
-
-        generated = compile_parser(toy.FIGURE_1)
-        with pytest.raises(ParseFailure):
-            generated.parse(b"zz")
-
-    def test_accepts_and_start_override(self):
-        generated = compile_parser('S -> A[0, EOI] ; A -> "a"[0, 1] ;')
-        assert generated.accepts(b"a", start="A")
-        assert not generated.accepts(b"b", start="A")
-
-    def test_memoization_toggle(self):
-        data = struct.pack("<II", 10, 4) + b"xx" + b"PAYL"
-        fast = compile_parser(toy.FIGURE_2)
-        slow = compile_parser(toy.FIGURE_2)
-        slow.memoize = False
-        assert fast.parse(data) == slow.parse(data)
+    def test_agrees_with_interpreter_on_toys(self):
+        for name, grammar in sorted(toy.ALL_GRAMMARS.items()):
+            shim = _shim(grammar)
+            reference = Parser(grammar, backend="interpreted")
+            for probe in (b"", b"1011", b"aabb", b"\x00\x01\x02\x03"):
+                assert shim.try_parse(probe) == reference.try_parse(probe), (
+                    name,
+                    probe,
+                )

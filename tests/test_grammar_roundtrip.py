@@ -4,7 +4,7 @@ import pytest
 
 from repro import Parser, parse_grammar
 from repro.core.errors import IPGError, ParseFailure
-from repro.core.generator import generate_parser_source
+from repro.core.compiler import compile_grammar
 from repro.formats import registry
 
 
@@ -16,13 +16,13 @@ class TestFormatGrammarHygiene:
         assert reparsed.nonterminals() == grammar.nonterminals()
         assert reparsed.to_source() == parse_grammar(reparsed.to_source()).to_source()
 
-    def test_generated_source_is_importable_python(self, fmt):
-        source = generate_parser_source(registry[fmt].grammar_text)
-        compile(source, f"<generated {fmt}>", "exec")
-        # One method per top-level nonterminal.
+    def test_emitted_source_is_importable_python(self, fmt):
+        source = compile_grammar(registry[fmt].grammar_text).to_source()
+        compile(source, f"<emitted {fmt}>", "exec")
+        # Every top-level nonterminal stays entry-callable.
         grammar = parse_grammar(registry[fmt].grammar_text)
         for nonterminal in grammar.nonterminals():
-            assert f"def _nt_{nonterminal}(" in source
+            assert f"{nonterminal!r}:" in source  # the _ENTRY table
 
     def test_empty_input_is_rejected_not_crashed(self, fmt):
         parser = registry[fmt].build_parser()

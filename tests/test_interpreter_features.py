@@ -290,13 +290,13 @@ class TestArrayElementIsolation:
         assert compiled.backend == "compiled"
         assert compiled.parse(self.DATA) == interpreted.parse(self.DATA)
 
-    def test_generated_parser_agrees_on_duplicate_element_names(self):
-        from repro.core.generator import compile_parser
+    def test_aot_parser_agrees_on_duplicate_element_names(self):
+        from repro.core.compiler import compile_grammar
 
-        generated = compile_parser(self.GRAMMAR)
+        module = compile_grammar(self.GRAMMAR).load_module("_dup_names_aot")
         expected = Parser(self.GRAMMAR, backend="interpreted").parse(self.DATA)
-        assert generated.parse(self.DATA) == expected
-        assert generated.parse(self.DATA)["x"] == 20
+        assert module.parse(self.DATA) == expected
+        assert module.parse(self.DATA)["x"] == 20
 
     @pytest.mark.parametrize("backend", ["interpreted", "compiled"])
     def test_failed_array_restores_previous_binding(self, backend):

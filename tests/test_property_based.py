@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 from repro import Parser, samples
 from repro.core.combinators import int_p
 from repro.core.env import initial_env, upd_start_end, upd_start_end_in_place
-from repro.core.generator import compile_parser
+from engine_matrix import load_aot_module
 from repro.core.grammar_parser import parse_expression
 from repro.core.span import Span
 from repro.formats import dns, ipv4, pdf, toy, zipfmt
@@ -13,7 +13,7 @@ from repro.solver import linearize
 
 # Parsers are module-level so hypothesis examples reuse them.
 _FIGURE3 = Parser(toy.FIGURE_3)
-_FIGURE3_GENERATED = compile_parser(toy.FIGURE_3)
+_FIGURE3_AOT = load_aot_module(toy.FIGURE_3)
 _ANBNCN = Parser(toy.ANBNCN)
 _BACKWARD = Parser(toy.BACKWARD_NUMBER)
 
@@ -29,7 +29,7 @@ class TestGrammarSemantics:
     @settings(max_examples=40, deadline=None)
     def test_generated_parser_agrees_with_interpreter(self, value):
         text = format(value, "b").encode()
-        assert _FIGURE3_GENERATED.parse(text) == _FIGURE3.parse(text)
+        assert _FIGURE3_AOT.parse(text) == _FIGURE3.parse(text)
 
     @given(st.integers(min_value=0, max_value=2**24 - 1))
     @settings(max_examples=40, deadline=None)

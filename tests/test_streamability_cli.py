@@ -201,19 +201,31 @@ class TestCli:
         assert "non-termination" in capsys.readouterr().out
 
     def test_generate_command_writes_parser(self, capsys, tmp_path):
+        # `generate` is a deprecated alias of `compile`: it emits the same
+        # standalone AOT module and prints a deprecation note.
         grammar = tmp_path / "grammar.ipg"
         grammar.write_text(toy.FIGURE_1)
         output = tmp_path / "parser.py"
         assert main(["generate", str(grammar), "-o", str(output)]) == 0
+        assert "deprecated" in capsys.readouterr().err
         source = output.read_text()
-        assert "class GeneratedParser" in source
+        assert "def try_parse" in source
         compile(source, str(output), "exec")
 
     def test_generate_command_prints_to_stdout(self, capsys, tmp_path):
         grammar = tmp_path / "grammar.ipg"
         grammar.write_text(toy.FIGURE_1)
-        assert main(["generate", str(grammar), "--class-name", "Fig1"]) == 0
-        assert "class Fig1" in capsys.readouterr().out
+        assert main(["generate", str(grammar)]) == 0
+        captured = capsys.readouterr()
+        assert "def parse" in captured.out
+        assert "deprecated" in captured.err
+
+    def test_compile_explain_shapes(self, capsys):
+        assert main(["compile", "--format", "elf", "--explain-shapes"]) == 0
+        out = capsys.readouterr().out
+        assert "Sym" in out and "'<IBBHQQ'" in out
+        assert main(["compile", "--format", "zip", "--explain-shapes"]) == 0
+        assert "fixed prefix" in capsys.readouterr().out
 
     def test_streamability_command(self, capsys, tmp_path):
         grammar = tmp_path / "grammar.ipg"

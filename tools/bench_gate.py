@@ -2,9 +2,19 @@
 
 Compares a freshly measured Fig. 13 benchmark report (the CI smoke run of
 ``benchmarks/bench_compiler_speedup.py``) against the committed
-``BENCH_compiler.json`` trajectory and exits non-zero when the median
-compiled-backend speedup regressed more than the tolerance (default 15%)
-below the committed value.
+``BENCH_compiler.json`` trajectory and exits non-zero when any gated
+median regressed more than the tolerance (default 15%) below the
+committed value.  Gated medians:
+
+* ``median_speedup`` — compiled tree-mode vs the frozen interpreter,
+* ``aot_median_speedup`` — the ahead-of-time emitted module,
+* ``validate_median_speedup_vs_tree`` — the tree-elision fast path,
+* ``streaming_median_speedup`` — chunked streaming on the §8-streamable
+  formats.
+
+On failure the gate additionally prints per-format deltas (current vs
+committed per-metric values) so the regressing format/mode is visible in
+the CI log without re-running anything.
 
 The tolerance absorbs machine-to-machine and quick-vs-full noise (the
 committed JSON is a full run on the development machine; CI measures a
@@ -29,21 +39,60 @@ import sys
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+#: Gated medians: report key -> human label.
+GATED_MEDIANS = (
+    ("median_speedup", "median compiled speedup"),
+    ("aot_median_speedup", "median AOT speedup"),
+    ("validate_median_speedup_vs_tree", "median validate-only speedup vs tree"),
+    ("streaming_median_speedup", "median streaming speedup"),
+)
+
+#: Per-format metrics shown in the failure breakdown.
+_FORMAT_METRICS = (
+    "speedup",
+    "aot_speedup",
+    "validate_speedup_vs_tree",
+    "streaming_speedup",
+)
+
 
 def _load(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
 
 
+def _print_format_deltas(current: dict, baseline: dict) -> None:
+    """Per-format current-vs-committed breakdown (printed on failure)."""
+    current_formats = current.get("formats", {})
+    baseline_formats = baseline.get("formats", {})
+    names = sorted(set(current_formats) | set(baseline_formats))
+    if not names:
+        return
+    print("bench-gate: per-format deltas (current vs committed):", file=sys.stderr)
+    for name in names:
+        cur = current_formats.get(name, {})
+        base = baseline_formats.get(name, {})
+        parts = []
+        for metric in _FORMAT_METRICS:
+            measured = cur.get(metric)
+            committed = base.get(metric)
+            if measured is None and committed is None:
+                continue
+            if measured is None or committed is None:
+                parts.append(f"{metric}: {committed} -> {measured}")
+                continue
+            delta = (measured - committed) / committed if committed else 0.0
+            parts.append(
+                f"{metric}: {committed:.2f}x -> {measured:.2f}x ({delta:+.0%})"
+            )
+        print(f"bench-gate:   {name:6s} {'; '.join(parts)}", file=sys.stderr)
+
+
 def gate(current_path: str, baseline_path: str, tolerance: float) -> int:
     current = _load(current_path)
     baseline = _load(baseline_path)
     failures = []
-    checks = [
-        ("median_speedup", "median compiled speedup"),
-        ("aot_median_speedup", "median AOT speedup"),
-    ]
-    for key, label in checks:
+    for key, label in GATED_MEDIANS:
         committed = baseline.get(key)
         measured = current.get(key)
         if committed is None or measured is None:
@@ -57,17 +106,13 @@ def gate(current_path: str, baseline_path: str, tolerance: float) -> int:
         )
         if measured < floor:
             failures.append(label)
-    # Informational only: the tree-elision win is asserted functionally by
-    # the test suite; its ratio is printed for the record.
-    elision = current.get("validate_median_speedup_vs_tree")
-    if elision is not None:
-        print(f"bench-gate: validate-only vs tree (informational): {elision:.2f}x")
     if failures:
         print(
             f"bench-gate: FAILED — {', '.join(failures)} regressed more than "
             f"{tolerance:.0%} below the committed BENCH_compiler.json",
             file=sys.stderr,
         )
+        _print_format_deltas(current, baseline)
         return 1
     print("bench-gate: passed")
     return 0
