@@ -91,33 +91,41 @@ from .core import (
     AutoCompletionError,
     BlackboxError,
     BlackboxResult,
+    BoundsViolation,
     CompilationError,
     CompiledGrammar,
+    DEFAULT_LIMITS,
     Optimizations,
     EvaluationError,
     GenerationError,
     Grammar,
     GrammarSyntaxError,
+    GuardRejected,
     IPGError,
     Leaf,
+    LimitExceeded,
     NeedMoreInput,
     Node,
     NotStreamableError,
     ParseFailure,
+    ParseLimits,
     ParseTree,
     Parser,
     Span,
     StreamabilityReport,
     StreamingParse,
     TerminationCheckError,
+    TruncatedInput,
     analyze_streamability,
     check_grammar,
     compile_grammar,
     complete_grammar,
+    diagnose_failure,
     parse,
     parse_expression,
     parse_grammar,
     prepare_grammar,
+    render_explain,
     tree_equal_modulo_specials,
 )
 
@@ -129,33 +137,41 @@ __all__ = [
     "AutoCompletionError",
     "BlackboxError",
     "BlackboxResult",
+    "BoundsViolation",
     "CompilationError",
     "CompiledGrammar",
+    "DEFAULT_LIMITS",
     "Optimizations",
     "EvaluationError",
     "GenerationError",
     "Grammar",
     "GrammarSyntaxError",
+    "GuardRejected",
     "IPGError",
     "Leaf",
+    "LimitExceeded",
     "NeedMoreInput",
     "Node",
     "NotStreamableError",
     "ParseFailure",
+    "ParseLimits",
     "ParseTree",
     "Parser",
     "Span",
     "StreamabilityReport",
     "StreamingParse",
     "TerminationCheckError",
+    "TruncatedInput",
     "__version__",
     "analyze_streamability",
     "check_grammar",
     "compile_grammar",
     "complete_grammar",
+    "diagnose_failure",
     "parse",
     "parse_expression",
     "parse_grammar",
     "prepare_grammar",
+    "render_explain",
     "tree_equal_modulo_specials",
 ]

@@ -8,7 +8,6 @@ Usage (also available as ``python -m repro``)::
     python -m repro check GRAMMAR.ipg            # attribute + termination check
     python -m repro compile --format zip -o z.py # emit a standalone AOT parser
     python -m repro compile --format elf --explain-shapes  # fixed-shape report
-    python -m repro generate GRAMMAR.ipg -o p.py # deprecated alias of compile
     python -m repro streamability --format dns   # stream-parser analysis (§8)
     python -m repro streamability GRAMMAR.ipg    # ... or on a grammar file
     python -m repro report [--full]              # re-run the paper's evaluation
@@ -21,7 +20,9 @@ With ``--stream`` the input is consumed incrementally in ``--chunk-size``
 blocks through ``Parser.parse_stream`` instead of being read up front —
 the grammar must pass the §8 streamability analysis (check it first with
 the ``streamability`` command, which takes the same ``--format``/grammar
-arguments as ``parse``).
+arguments as ``parse``).  With ``--explain-error`` a failed parse prints
+the structured error taxonomy (failure class, byte offset, hex context,
+violated interval, active rule stack) instead of a one-line message.
 """
 
 from __future__ import annotations
@@ -30,7 +31,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import IPGError, ParseFailure, Parser, __version__
+from . import IPGError, ParseFailure, Parser, __version__, render_explain
 from .core.streamability import analyze_streamability
 from .core.termination import check_termination
 from .core.interpreter import prepare_grammar
@@ -145,11 +146,26 @@ def cmd_parse(args) -> int:
             # Summaries that need the raw bytes (ELF's section hexdumps) do
             # not apply here — ELF is not streamable anyway.
             try:
+                # --explain-error retains the full buffer (compact=False):
+                # error classification re-reads the input from byte 0, so
+                # a compacted stream can only report an unclassified
+                # failure.
                 tree = parser.parse_stream(
-                    _iter_chunks(args.file, args.chunk_size), emit=emit
+                    _iter_chunks(args.file, args.chunk_size),
+                    emit=emit,
+                    compact=not args.explain_error,
                 )
-            except ParseFailure:
+            except ParseFailure as exc:
+                if args.explain_error:
+                    print(render_explain(exc), file=sys.stderr)
+                    return 1
                 tree = None
+        elif args.explain_error:
+            try:
+                tree = parser.parse(data, emit=emit)
+            except ParseFailure as exc:
+                print(render_explain(exc, data), file=sys.stderr)
+                return 1
         else:
             tree = parser.try_parse(data, emit=emit)
     except IPGError as exc:
@@ -187,32 +203,6 @@ def cmd_check(args) -> int:
             cycle = " -> ".join(verdict.cycle + [verdict.cycle[0]])
             print(f"  possible non-termination: {cycle} ({verdict.reason})")
         return 1
-    return 0
-
-
-def cmd_generate(args) -> int:
-    # The legacy dict-env parser generator was retired; `generate` is a
-    # one-release alias of `compile` (the ahead-of-time emitter).
-    import warnings
-
-    from .core.generator import generate_parser_source
-
-    print(
-        "note: `repro generate` is deprecated; it now emits the same "
-        "standalone module as `repro compile` (use that instead)",
-        file=sys.stderr,
-    )
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        source = generate_parser_source(
-            _read_text(args.grammar), class_name=args.class_name
-        )
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(source)
-        print(f"wrote {len(source.splitlines())} lines to {args.output}")
-    else:
-        print(source)
     return 0
 
 
@@ -447,22 +437,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="chunk size in bytes for --stream (default: 65536)",
     )
+    parse_command.add_argument(
+        "--explain-error",
+        action="store_true",
+        help="on parse failure, print the structured error (failure class, "
+        "byte offset with hex context, violated interval, rule stack) "
+        "instead of a one-line message",
+    )
     parse_command.set_defaults(handler=cmd_parse)
 
     check_command = commands.add_parser("check", help="attribute + termination checking")
     check_command.add_argument("grammar", help="path to an IPG grammar file")
     check_command.set_defaults(handler=cmd_check)
-
-    generate_command = commands.add_parser(
-        "generate",
-        help="emit a standalone parser module (deprecated alias of `compile`)",
-    )
-    generate_command.add_argument("grammar", help="path to an IPG grammar file")
-    generate_command.add_argument("-o", "--output", help="write the source to this file")
-    generate_command.add_argument(
-        "--class-name", default="GeneratedParser", help="name of the generated class"
-    )
-    generate_command.set_defaults(handler=cmd_generate)
 
     compile_command = commands.add_parser(
         "compile", help="emit an ahead-of-time standalone parser module"

@@ -23,23 +23,30 @@ from .attrcheck import check_grammar
 from .autocomplete import complete_grammar
 from .builtins import BUILTINS, BlackboxResult, is_builtin
 from .compiler import CompiledGrammar, Optimizations, compile_grammar
+from .diagnose import diagnose_failure
 from .errors import (
     AttributeCheckError,
     AutoCompletionError,
     BlackboxError,
+    BoundsViolation,
     CompilationError,
     EvaluationError,
     GenerationError,
     GrammarSyntaxError,
+    GuardRejected,
     IPGError,
+    LimitExceeded,
     NeedMoreInput,
     NotStreamableError,
     ParseFailure,
     SolverError,
     TerminationCheckError,
+    TruncatedInput,
+    render_explain,
 )
 from .grammar_parser import parse_expression, parse_grammar
 from .interpreter import Parser, parse, prepare_grammar
+from .limits import DEFAULT_LIMITS, ParseLimits
 from .parsetree import ArrayNode, Leaf, Node, ParseTree, tree_equal_modulo_specials
 from .span import Span
 from .streamability import StreamabilityReport, analyze_streamability
@@ -52,21 +59,26 @@ __all__ = [
     "AutoCompletionError",
     "BlackboxError",
     "BlackboxResult",
+    "BoundsViolation",
     "BUILTINS",
     "CompilationError",
     "CompiledGrammar",
+    "DEFAULT_LIMITS",
     "Optimizations",
     "EvaluationError",
     "GenerationError",
     "Grammar",
     "GrammarSyntaxError",
+    "GuardRejected",
     "Interval",
     "IPGError",
     "Leaf",
+    "LimitExceeded",
     "NeedMoreInput",
     "Node",
     "NotStreamableError",
     "ParseFailure",
+    "ParseLimits",
     "ParseTree",
     "Parser",
     "Rule",
@@ -83,12 +95,15 @@ __all__ = [
     "TermSwitch",
     "TermTerminal",
     "TerminationCheckError",
+    "TruncatedInput",
     "analyze_streamability",
     "check_grammar",
     "compile_grammar",
     "complete_grammar",
+    "diagnose_failure",
     "is_builtin",
     "parse",
+    "render_explain",
     "parse_expression",
     "parse_grammar",
     "prepare_grammar",

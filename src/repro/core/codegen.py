@@ -67,7 +67,68 @@ class BlackboxError(IPGError):
 
 
 class ParseFailure(IPGError):
-    """The input does not match the grammar (raised by ``parse``)."""
+    """The input does not match the grammar (raised by ``parse``).
+
+    Mirrors ``repro.core.errors.ParseFailure``: carries the failing
+    nonterminal, the absolute byte ``offset`` of the failure point, the
+    active ``rule_stack`` and the violated ``interval`` when known.  The
+    structured subclasses below match repro's taxonomy by *name*, so
+    ``type(exc).__name__`` comparisons agree across engines even when
+    repro itself is not importable.
+    """
+
+    def __init__(self, message, nonterminal="", offset=None, rule_stack=(), interval=None):
+        self.nonterminal = nonterminal
+        self.offset = offset
+        self.rule_stack = tuple(rule_stack)
+        self.interval = tuple(interval) if interval is not None else None
+        super().__init__(message)
+
+
+class TruncatedInput(ParseFailure):
+    """The parse needed bytes past the end of the input."""
+
+
+class BoundsViolation(ParseFailure):
+    """An interval was invalid within the available data."""
+
+
+class GuardRejected(ParseFailure):
+    """Bytes were present but semantically wrong (guard/terminal/switch)."""
+
+
+class LimitExceeded(ParseFailure):
+    """A resource budget was exhausted (``limit`` names which one)."""
+
+    def __init__(self, message, limit="", nonterminal="", rule_stack=(), interval=None):
+        self.limit = limit
+        super().__init__(
+            message,
+            nonterminal=nonterminal,
+            offset=None,
+            rule_stack=rule_stack,
+            interval=interval,
+        )
+
+
+def _limit_steps():
+    raise LimitExceeded(
+        "parse step budget exhausted (max_steps); call set_limits(None) "
+        "to lift the budget for trusted input",
+        limit="max_steps",
+    )
+
+
+def _limit_refill(cell):
+    # Slow path of the step budget: the hot counter cell[0] stays within
+    # CPython's cached small-int range so the per-rule decrement never
+    # allocates; every 256 rule entries this charges the big remainder.
+    remaining = cell[1]
+    if remaining <= 0:
+        _limit_steps()
+    take = 256 if remaining > 256 else remaining
+    cell[0] = take - 1
+    cell[1] = remaining - take
 
 
 try:  # Reuse repro's parse-tree classes when available so trees produced
@@ -435,6 +496,19 @@ _EPILOGUE = '''\
 _RECURSION_LIMIT = 100000
 
 
+def set_limits(max_steps):
+    """Change (or lift, with ``None``) this module's parse step budget.
+
+    The budget was baked in at generation time as ``_MAX_STEPS``; each
+    top-level parse gets a fresh fuel cell initialized from it.  Modules
+    generated with an unlimited budget have the per-rule check compiled
+    out entirely, so ``set_limits`` cannot *introduce* a budget there —
+    regenerate with limits instead.
+    """
+    global _MAX_STEPS
+    _MAX_STEPS = float("inf") if max_steps is None else max_steps
+
+
 def parse_nonterminal(data, name, lo, hi):
     """``s[lo, hi] |- name`` -> Node or the FAIL sentinel."""
     state = _new_state()
@@ -457,6 +531,13 @@ def try_parse(data, start=None):
         _sys.setrecursionlimit(_RECURSION_LIMIT)
     try:
         result = parse_nonterminal(data, name, 0, len(data))
+    except (RecursionError, MemoryError) as exc:
+        raise LimitExceeded(
+            f"{type(exc).__name__} while parsing {name!r}; the input drives "
+            f"unbounded recursion or allocation",
+            limit="recursion",
+            nonterminal=name,
+        ) from exc
     finally:
         if _RECURSION_LIMIT > previous_limit:
             _sys.setrecursionlimit(previous_limit)
@@ -464,14 +545,50 @@ def try_parse(data, start=None):
 
 
 def parse(data, start=None):
-    """Parse ``data``; raises ParseFailure when the input does not match."""
-    result = try_parse(data, start)
-    if result is None:
-        raise ParseFailure(
-            f"input of length {len(data)} does not match nonterminal "
-            f"{start or START!r}"
-        )
-    return result
+    """Parse ``data``; raises a ParseFailure subclass on non-matching input.
+
+    When the ``repro`` package is importable the failure is re-diagnosed
+    by the reference interpreter (same classification as every other
+    engine: TruncatedInput / BoundsViolation / GuardRejected with the
+    furthest-failure offset).  Standalone, a plain ParseFailure with the
+    matching class names vendored above is raised instead.
+    """
+    data = bytes(data)
+    name = START if start is None else start
+    result = try_parse(data, name)
+    if result is not None:
+        return result
+    if GRAMMAR_SOURCE is not None:
+        try:
+            from repro.core.diagnose import diagnose_failure
+        except ImportError:
+            pass
+        else:
+            diagnosed = diagnose_failure(
+                GRAMMAR_SOURCE, data, start=name, blackboxes=dict(BLACKBOXES)
+            )
+            # Re-raise on this module's vendored class of the same name,
+            # so `except module.TruncatedInput:` works identically whether
+            # or not repro happened to be importable.
+            cls = globals().get(type(diagnosed).__name__, ParseFailure)
+            if cls is LimitExceeded:
+                raise cls(
+                    str(diagnosed),
+                    limit=diagnosed.limit,
+                    nonterminal=diagnosed.nonterminal,
+                    rule_stack=diagnosed.rule_stack,
+                ) from None
+            raise cls(
+                str(diagnosed),
+                nonterminal=diagnosed.nonterminal,
+                offset=diagnosed.offset,
+                rule_stack=diagnosed.rule_stack,
+                interval=diagnosed.interval,
+            ) from None
+    raise ParseFailure(
+        f"input of length {len(data)} does not match nonterminal {name!r}",
+        nonterminal=name,
+    )
 '''
 
 
@@ -482,12 +599,16 @@ def parse(data, start=None):
 _PACKAGE_IMPORTS = (
     "ArrayNode",
     "BlackboxError",
+    "BoundsViolation",
     "EvaluationError",
     "FAIL",
+    "GuardRejected",
     "IPGError",
     "Leaf",
+    "LimitExceeded",
     "Node",
     "ParseFailure",
+    "TruncatedInput",
     "_BFAIL",
     "_BUILTINS",
     "_MISS",
@@ -497,6 +618,8 @@ _PACKAGE_IMPORTS = (
     "_div",
     "_exists",
     "_ifb",
+    "_limit_refill",
+    "_limit_steps",
     "_make_builtin_runner",
     "_mk_array",
     "_mk_leaf",
@@ -523,14 +646,24 @@ def _module_body(compiled) -> str:
 
 
 def _constant_lines(compiled) -> list:
-    constants = []
+    limits = getattr(compiled, "limits", None)
+    max_steps = None if limits is None else limits.max_steps
+    constants = [
+        "#: Parse step budget: fuel per top-level parse (see set_limits).",
+        '_MAX_STEPS = float("inf")'
+        if max_steps is None
+        else f"_MAX_STEPS = {max_steps}",
+        "#: Original grammar text; lets repro (when importable) re-diagnose",
+        "#: failed parses into the structured error taxonomy.",
+        f"GRAMMAR_SOURCE = {compiled.grammar.source!r}",
+    ]
     for var in sorted(compiled._leaf_consts):
         constants.append(f"{var} = _mk_leaf({compiled._leaf_consts[var]!r})")
     for var in sorted(compiled._builtin_runner_names):
         constants.append(
             f"{var} = _make_builtin_runner({compiled._builtin_runner_names[var]!r})"
         )
-    return constants or ["# (none)"]
+    return constants
 
 
 def render_package(compiled_by_name, package_doc: Optional[str] = None):

@@ -80,6 +80,7 @@ from __future__ import annotations
 
 import re
 import struct
+import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple, Union
 
@@ -98,7 +99,13 @@ from .ast import (
 )
 from .builtins import BUILTIN_FAIL, BUILTINS, is_builtin, normalize_blackbox_result
 from .cycles import recursive_vertices
-from .errors import BlackboxError, CompilationError, EvaluationError, IPGError
+from .errors import (
+    BlackboxError,
+    CompilationError,
+    EvaluationError,
+    IPGError,
+    LimitExceeded,
+)
 from .expr import Name, Num
 from .exprcomp import (
     SPECIALS,
@@ -110,6 +117,7 @@ from .exprcomp import (
     fold,
 )
 from .interpreter import FAIL, prepare_grammar
+from .limits import DEFAULT_LIMITS, ParseLimits
 from .parsetree import ArrayNode, Leaf, Node
 from .runtime import _div, _mod, _shift_l, _shift_r
 
@@ -232,6 +240,34 @@ def _aidx_env(envs, position, name, attr):
 #: the attribute semantics require and no caller can corrupt shared state
 #: by mutating a returned root's ``children``.
 _SHARED_EMPTY: tuple = ()
+
+
+def _limit_steps():
+    """Raise the step-budget error (called from generated dispatchers)."""
+    raise LimitExceeded(
+        "parse step budget exhausted (ParseLimits.max_steps); pass "
+        "ParseLimits.unlimited() for trusted input",
+        limit="max_steps",
+    )
+
+
+def _limit_refill(cell):
+    """Slow path of the step budget: refill the hot counter or raise.
+
+    The fuel cell is two-tiered — ``cell[0]`` is the hot countdown the
+    generated dispatchers decrement, ``cell[1]`` the rest of the budget.
+    Keeping the hot counter within CPython's cached small-int range
+    (≤ 256) makes the per-rule decrement allocation-free; a counter
+    seeded straight from ``max_steps`` (tens of millions) allocates a
+    fresh int object on every decrement, which costs double-digit
+    percentages on rule-call-dense grammars and ticks the GC heuristic.
+    """
+    remaining = cell[1]
+    if remaining <= 0:
+        _limit_steps()
+    take = 256 if remaining > 256 else remaining
+    cell[0] = take - 1  # the entry that tripped the refill consumes one
+    cell[1] = remaining - take
 
 
 def _undef(name):
@@ -559,10 +595,19 @@ class _GrammarCompiler:
         optimizations: Optional[Optimizations] = None,
         elide_tree: bool = False,
         stream_dispatch_cache: bool = False,
+        max_steps: Optional[int] = None,
     ):
         self.grammar = grammar
         self.memoize = memoize
         self.opts = optimizations if optimizations is not None else Optimizations()
+        #: Step budget (ParseLimits.max_steps): when set, every rule
+        #: dispatcher decrements a shared per-parse counter cell (state
+        #: slot 0, kind ``"c"``) and raises LimitExceeded on exhaustion —
+        #: one list op on the memo-miss path.  ``None`` compiles the
+        #: check out entirely.
+        self.max_steps = max_steps
+        self.fuel_slot: Optional[int] = None
+        self._fuel_rules: Set[str] = set()
         #: Streaming-variant compilations remember each dispatch decision
         #: in a per-parse ``lo``-keyed table instead of re-reading
         #: ``data[lo]`` on every re-entry: the byte at a given offset never
@@ -710,8 +755,22 @@ class _GrammarCompiler:
 
     def compile(self) -> str:
         self._check_dynamic_shadowing()
+        if self.max_steps is not None:
+            # Reserve slot 0 of the per-parse state for the fuel cell so
+            # every dispatcher shares one counter (allocated by
+            # _new_state from the module-global _MAX_STEPS, which
+            # set_limits() can rebind in emitted modules).
+            self.fuel_slot = len(self.memo_slots)
+            self.memo_slots.append("c")
         sites, _rules = _collect_sites(self.grammar)
         recursive = _recursive_rule_names(self.grammar, sites)
+        # Fuel is charged where unbounded work can originate: entries of
+        # recursive rules and iterations of count-driven element loops.
+        # Everything else is a DAG of straight-line bodies whose work is
+        # a constant factor of those charges, so skipping the check
+        # there keeps the budget sound while keeping rule-call-dense
+        # grammars (char-level recursion, token helpers) fast.
+        self._fuel_rules = recursive
         anchored = (
             _eoi_anchored_rule_names(self.grammar, sites)
             if self.opts.dense_memo
@@ -762,8 +821,22 @@ class _GrammarCompiler:
             lines.append("")
         lines.append(f"_SLOTS = {''.join(self.memo_slots)!r}")
         lines.append("")
+        if self.fuel_slot is not None:
+            # Two-tier fuel cell: hot countdown (kept <= 256 so the
+            # per-rule decrement stays in the cached small-int range and
+            # never allocates) plus the rest of the budget, charged by
+            # _limit_refill every 256 rule entries.
+            lines.append("def _fuel():")
+            lines.append("    _t = 256 if _MAX_STEPS > 256 else _MAX_STEPS")
+            lines.append("    return [_t, _MAX_STEPS - _t]")
+            lines.append("")
         lines.append("def _new_state():")
-        lines.append("    return [{} for _k in _SLOTS]")
+        if self.fuel_slot is not None:
+            lines.append(
+                "    return [(_fuel() if _k == 'c' else {}) for _k in _SLOTS]"
+            )
+        else:
+            lines.append("    return [{} for _k in _SLOTS]")
         lines.append("")
         entries = ", ".join(
             f"{name!r}: {fn}" for name, fn in self.rule_fns.items()
@@ -819,6 +892,22 @@ class _GrammarCompiler:
                 cache_slot = len(self.memo_slots)
                 self.memo_slots.append("b")
         body: List[str] = []
+        # Fuel check: one counter decrement per activation of a
+        # *recursive* rule, placed after the memo probe (memo hits
+        # replay free, mirroring the interpreter, whose _parse_rule is
+        # likewise bypassed by hits).  Non-recursive rules are skipped:
+        # their activations are bounded by a constant factor of the
+        # charged ones (recursive entries plus element-loop iterations),
+        # and exempting them keeps the budget's cost invisible on
+        # token-helper-dense grammars.
+        fuel_check: List[str] = []
+        if self.fuel_slot is not None and toplevel and rule.name in self._fuel_rules:
+            fuel_check = [
+                f"_c = st[{self.fuel_slot}]",
+                "_c[0] -= 1",
+                "if _c[0] < 0:",
+                "    _limit_refill(_c)",
+            ]
         if memo_mode in ("dict", "dense"):
             if not toplevel:  # pragma: no cover - local rules are never memoized
                 raise CompilationError("local rules cannot be memoized")
@@ -839,15 +928,19 @@ class _GrammarCompiler:
             body.append("_v = _m.get(_key, _MISS)")
             body.append("if _v is not _MISS:")
             body.append("    return _v")
+            body += fuel_check
             body += self._attempt_lines(plan, alt_fns, table_token, args, cache_slot)
             body.append("_m[_key] = _v")
             body.append("return _v")
         elif plan is not None:
+            body += fuel_check
             body += self._attempt_lines(plan, alt_fns, table_token, args, cache_slot)
             body.append("return _v")
         elif len(alt_fns) == 1:
+            body += fuel_check
             body.append(f"return {alt_fns[0]}({args})")
         else:
+            body += fuel_check
             body.append(f"_v = {alt_fns[0]}({args})")
             for alt_fn in alt_fns[1:]:
                 body.append("if _v is FAIL:")
@@ -1905,6 +1998,19 @@ class _GrammarCompiler:
         scope.names[term.var] = loop_var
 
         loop: List[str] = []
+        if self.fuel_slot is not None:
+            # Count-driven loops are the one place a lying length field
+            # buys unbounded iterations without consuming input (an
+            # element may match empty), so each iteration is charged even
+            # when the element rule itself carries no entry check.  The
+            # fixed-shape bulk loops need no charge: their stride is >= 1
+            # byte and every iteration is bounds-checked against the
+            # interval, capping them at the input length.
+            cell = self.namer.fresh("_t")
+            loop.append(f"{cell} = st[{self.fuel_slot}]")
+            loop.append(f"{cell}[0] -= 1")
+            loop.append(f"if {cell}[0] < 0:")
+            loop.append(f"    _limit_refill({cell})")
         if scope.uses_cells:
             # Where-rules called from inside the loop read the live index
             # through the cell.
@@ -2008,6 +2114,8 @@ class CompiledGrammar:
         "dispatched_rules",
         "shaped_rules",
         "bulk_arrays",
+        "limits",
+        "fuel_slot",
         "_entry",
         "_new_state",
         "_bb",
@@ -2023,10 +2131,18 @@ class CompiledGrammar:
         memoize: bool,
         blackboxes: Dict[str, object],
         compiler: _GrammarCompiler,
+        limits: Optional[ParseLimits] = None,
     ):
         self.grammar = grammar
         self.source = source
         self.memoize = memoize
+        #: ParseLimits this compilation was specialized for.  Only
+        #: max_steps is enforced natively (the fuel cell at state slot
+        #: :attr:`fuel_slot`, None when compiled out); depth/memo/node
+        #: growth are transitively bounded by it, and RecursionError/
+        #: MemoryError are intercepted at the entry points.
+        self.limits = DEFAULT_LIMITS if limits is None else limits
+        self.fuel_slot = compiler.fuel_slot
         self.optimizations = compiler.opts
         #: Rule name -> "dict" | "dense" | "skipped" | "unmemoized":
         #: how each rule's packrat memo was specialized.
@@ -2076,12 +2192,55 @@ class CompiledGrammar:
         state = self._new_state()
         fn = self._entry.get(name)
         if fn is not None:
-            return fn(state, data, lo, hi)
+            try:
+                return fn(state, data, lo, hi)
+            except (RecursionError, MemoryError) as exc:
+                raise LimitExceeded(
+                    f"{type(exc).__name__} while parsing {name!r}; the input "
+                    f"drives unbounded recursion or allocation",
+                    limit="recursion",
+                    nonterminal=name,
+                ) from exc
         if is_builtin(name):
             return self.run_builtin(name, data, lo, hi)
         if name in self.grammar.blackboxes:
             return self._bb(name, data, lo, hi)
         raise IPGError(f"no rule, builtin or blackbox for nonterminal {name!r}")
+
+    def parse(self, data: bytes, name: Optional[str] = None):
+        """Parse ``data`` whole, raising a structured error on failure.
+
+        The raising counterpart of :meth:`parse_nonterminal` for callers
+        using a :class:`CompiledGrammar` directly (without a ``Parser``):
+        failures are diagnosed through :mod:`repro.core.diagnose` exactly
+        like ``Parser.parse``, so every engine reports the same error
+        class and offset.
+        """
+        from .diagnose import diagnose_failure  # deferred: avoids a cycle
+
+        data = bytes(data)
+        start = name or self.grammar.start
+        # Same recursion headroom as Parser.try_parse and the AOT
+        # epilogue: legitimately deep inputs (long linked structures) must
+        # not trip the default interpreter-stack limit on this entry point
+        # while parsing fine on the others.
+        previous_limit = sys.getrecursionlimit()
+        if 100_000 > previous_limit:
+            sys.setrecursionlimit(100_000)
+        try:
+            result = self.parse_nonterminal(data, start, 0, len(data))
+        finally:
+            if 100_000 > previous_limit:
+                sys.setrecursionlimit(previous_limit)
+        if result is FAIL:
+            raise diagnose_failure(
+                self.grammar,
+                data,
+                start=start,
+                blackboxes=self.blackboxes,
+                limits=self.limits,
+            )
+        return result
 
     def to_source(self, module_doc: Optional[str] = None) -> str:
         """Render this grammar as a standalone importable parser module.
@@ -2127,6 +2286,7 @@ def compile_grammar(
     optimizations: Optional[Optimizations] = None,
     elide_tree: bool = False,
     stream_dispatch_cache: bool = False,
+    limits: Optional[ParseLimits] = None,
 ) -> CompiledGrammar:
     """Stage ``grammar`` into specialized Python closures.
 
@@ -2149,17 +2309,26 @@ def compile_grammar(
     """
     prepared = prepare_grammar(grammar)
     registry = blackboxes if blackboxes is not None else {}
+    resolved_limits = DEFAULT_LIMITS if limits is None else limits
     compiler = _GrammarCompiler(
         prepared,
         memoize=memoize,
         optimizations=optimizations,
         elide_tree=elide_tree,
         stream_dispatch_cache=stream_dispatch_cache,
+        max_steps=resolved_limits.max_steps,
     )
     source = compiler.compile()
     namespace: Dict[str, object] = {
         "FAIL": FAIL,
         "EvaluationError": EvaluationError,
+        "_MAX_STEPS": (
+            float("inf")
+            if resolved_limits.max_steps is None
+            else resolved_limits.max_steps
+        ),
+        "_limit_steps": _limit_steps,
+        "_limit_refill": _limit_refill,
         "_MISS": _MISS,
         "_mk_node": _mk_node,
         "_mk_leaf": _mk_leaf,
@@ -2190,4 +2359,6 @@ def compile_grammar(
         raise CompilationError(
             f"staging the grammar failed ({type(exc).__name__}: {exc})"
         ) from exc
-    return CompiledGrammar(prepared, source, namespace, memoize, registry, compiler)
+    return CompiledGrammar(
+        prepared, source, namespace, memoize, registry, compiler, limits=resolved_limits
+    )

@@ -58,12 +58,130 @@ class ParseFailure(IPGError):
     The interpreter and generated parsers raise this from the public
     ``parse`` entry points; the internal machinery uses a ``FAIL`` sentinel
     to implement biased choice without exception overhead.
+
+    Raising entry points diagnose failed parses (see
+    :mod:`repro.core.diagnose`) and raise one of the structured
+    subclasses below — :class:`TruncatedInput`, :class:`BoundsViolation`,
+    :class:`GuardRejected`, or :class:`LimitExceeded` — each carrying:
+
+    ``offset``
+        Absolute byte offset of the furthest failure point (``None``
+        only for :class:`LimitExceeded`, where no single byte is to
+        blame).
+    ``rule_stack``
+        The stack of active rule names at the failure point, outermost
+        first.
+    ``interval``
+        The violated absolute interval ``(start, end)`` when the failure
+        was an interval-bounds problem, else ``None``.
+
+    Every engine (interpreter, staged compiler, AOT modules, streaming)
+    surfaces the same subclass at the same offset for the same input.
     """
 
-    def __init__(self, message: str, nonterminal: str = "", offset: int | None = None):
+    def __init__(
+        self,
+        message: str,
+        nonterminal: str = "",
+        offset: int | None = None,
+        rule_stack=(),
+        interval=None,
+    ):
         self.nonterminal = nonterminal
         self.offset = offset
+        self.rule_stack = tuple(rule_stack)
+        self.interval = tuple(interval) if interval is not None else None
         super().__init__(message)
+
+
+class TruncatedInput(ParseFailure):
+    """The parse needed bytes past the end of the input.
+
+    Raised when a terminal, fixed-width builtin, or interval extends
+    beyond the received data — the classic truncated-file failure.
+    ``offset`` is the input length (the first missing byte).
+    """
+
+
+class BoundsViolation(ParseFailure):
+    """An interval was invalid *within* the available data.
+
+    A length-field lie, a negative or inverted interval, or an interval
+    overrunning its enclosing window even though the underlying bytes
+    exist.  ``interval`` carries the offending absolute ``(start, end)``
+    when known.
+    """
+
+
+class GuardRejected(ParseFailure):
+    """The input bytes were structurally present but semantically wrong.
+
+    A ``where``-guard evaluated false, a terminal literal mismatched
+    (``offset`` is the first differing byte), a builtin rejected its
+    window's content, a blackbox refused, or no switch case applied.
+    """
+
+
+class LimitExceeded(ParseFailure):
+    """A :class:`~repro.core.limits.ParseLimits` budget was exhausted.
+
+    ``limit`` names the tripped budget (``"max_depth"``, ``"max_steps"``,
+    ``"max_tree_nodes"``, ``"max_memo_entries"``, ``"max_buffer_bytes"``,
+    or ``"recursion"`` when a bare ``RecursionError``/``MemoryError`` was
+    intercepted).  ``offset`` is always ``None``: resource exhaustion has
+    no single culprit byte.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        limit: str = "",
+        nonterminal: str = "",
+        rule_stack=(),
+        interval=None,
+    ):
+        self.limit = limit
+        super().__init__(
+            message,
+            nonterminal=nonterminal,
+            offset=None,
+            rule_stack=rule_stack,
+            interval=interval,
+        )
+
+
+def render_explain(error: ParseFailure, data: bytes | None = None) -> str:
+    """Multi-line human-oriented rendering of a structured parse failure.
+
+    Used by ``repro parse --explain-error``.  Shows the failure class,
+    message, byte offset with a small hex-dump context window (when the
+    input bytes are provided), the violated interval, and the active
+    rule stack.
+    """
+    lines = [f"{type(error).__name__}: {error}"]
+    limit = getattr(error, "limit", "")
+    if limit:
+        lines.append(f"  limit:    {limit}")
+    if error.offset is not None:
+        lines.append(f"  offset:   {error.offset} (0x{error.offset:x})")
+        if data is not None:
+            start = max(0, error.offset - 16)
+            window = bytes(data[start : error.offset + 16])
+            hexes = []
+            for index, byte in enumerate(window, start):
+                text = f"{byte:02x}"
+                hexes.append(f"[{text}]" if index == error.offset else text)
+            if error.offset >= len(data):
+                hexes.append("[end of input]")
+            lines.append(f"  context:  {' '.join(hexes)}")
+    if error.interval is not None:
+        lines.append(f"  interval: [{error.interval[0]}, {error.interval[1]})")
+    if error.rule_stack:
+        stack = list(error.rule_stack)
+        if len(stack) > 12:
+            stack = stack[:4] + [f"... ({len(stack) - 8} more) ..."] + stack[-4:]
+        lines.append(f"  rules:    {' > '.join(stack)}")
+    return "\n".join(lines)
 
 
 class NeedMoreInput(IPGError):

@@ -56,9 +56,11 @@ from .errors import (
     CompilationError,
     EvaluationError,
     IPGError,
+    LimitExceeded,
     ParseFailure,
 )
 from .grammar_parser import parse_grammar
+from .limits import DEFAULT_LIMITS, ParseLimits
 from .parsetree import ArrayNode, Leaf, Node, ParseTree
 
 #: Sentinel returned by the internal machinery when parsing fails; public
@@ -135,6 +137,12 @@ class Parser:
         plan decoders.  On by default; plans are observably identical to
         the per-term path (the flag exists for differential testing and
         as an escape hatch).
+    limits:
+        :class:`~repro.core.limits.ParseLimits` resource budgets applied
+        to every parse (``None`` selects the production defaults).  Pass
+        ``ParseLimits.unlimited()`` to disable budgeting for trusted
+        input.  Tripped budgets raise
+        :class:`~repro.core.errors.LimitExceeded`.
     """
 
     BACKENDS = ("compiled", "interpreted")
@@ -151,6 +159,7 @@ class Parser:
         backend: str = "compiled",
         first_byte_dispatch: bool = True,
         bulk_fixed_shape: bool = True,
+        limits: Optional[ParseLimits] = None,
     ):
         if backend not in self.BACKENDS:
             raise ValueError(
@@ -160,6 +169,7 @@ class Parser:
         self.blackboxes = dict(blackboxes or {})
         self.memoize = memoize
         self.recursion_limit = recursion_limit
+        self.limits = DEFAULT_LIMITS if limits is None else limits
         self.requested_backend = backend
         self.backend = backend
         self.first_byte_dispatch = bool(first_byte_dispatch)
@@ -180,6 +190,7 @@ class Parser:
                     memoize=memoize,
                     blackboxes=self.blackboxes,
                     optimizations=self._optimizations(),
+                    limits=self.limits,
                 )
             except CompilationError:
                 # Automatic fallback: constructs the compiler does not yet
@@ -228,6 +239,7 @@ class Parser:
                     blackboxes=self.blackboxes,
                     optimizations=self._optimizations(),
                     elide_tree=True,
+                    limits=self.limits,
                 )
             except CompilationError:  # pragma: no cover - same checks as batch
                 self._compiled_elided = False
@@ -317,6 +329,7 @@ class Parser:
                     # start, reverting compact=True to whole-stream
                     # buffering).
                     stream_dispatch_cache=True,
+                    limits=self.limits,
                 )
             except CompilationError:  # pragma: no cover - same checks as batch
                 self._compiled_stream[elide_tree] = None
@@ -367,16 +380,19 @@ class Parser:
         * ``None`` — validate only: returns ``True`` on success, same fast
           path, nothing is retained.
 
-        Raises :class:`~repro.core.errors.ParseFailure` when the grammar does
-        not accept the input.
+        Raises a structured :class:`~repro.core.errors.ParseFailure`
+        subclass when the grammar does not accept the input: the failed
+        parse is re-run through the diagnostic interpreter
+        (:mod:`repro.core.diagnose`) to classify the furthest failure
+        point, so the exception carries the failure class
+        (:class:`~repro.core.errors.TruncatedInput`, ...), byte offset,
+        rule stack, and violated interval.
         """
         result = self.try_parse(data, start, emit=emit)
         if result is None:
-            raise ParseFailure(
-                f"input of length {len(data)} does not match nonterminal "
-                f"{start or self.grammar.start!r}",
-                nonterminal=start or self.grammar.start,
-            )
+            from .diagnose import diagnose_parser
+
+            raise diagnose_parser(self, bytes(data), start or self.grammar.start)
         return result
 
     def try_parse(
@@ -409,6 +425,18 @@ class Parser:
             else:
                 run = _Run(self, data, build_tree=emit == "tree")
                 result = run.parse_nonterminal(start_name, 0, len(data), None, None)
+        except (RecursionError, MemoryError) as exc:
+            # Safety net: the explicit max_depth check fires first under the
+            # default limits; a bare interpreter-stack or allocator blowup
+            # (e.g. with ParseLimits.unlimited()) still surfaces as a
+            # structured LimitExceeded instead of a raw stack trace.
+            raise LimitExceeded(
+                f"{type(exc).__name__} while parsing {start_name!r}; the input "
+                f"drives unbounded recursion or allocation — set "
+                f"ParseLimits.max_depth/max_steps to fail earlier",
+                limit="recursion",
+                nonterminal=start_name,
+            ) from exc
         finally:
             if self.recursion_limit > previous_limit:
                 sys.setrecursionlimit(previous_limit)
@@ -534,6 +562,13 @@ class _Run:
         "dispatch",
         "dispatch_cache",
         "shapes",
+        "limits",
+        "fuel",
+        "fuel0",
+        "stack",
+        "max_depth",
+        "memo_cap",
+        "nodes",
     )
 
     def __init__(
@@ -555,6 +590,46 @@ class _Run:
         )
         #: Fixed-shape one-shot decoders (rule name -> fn) or None.
         self.shapes = parser._shape_decoders(build_tree)
+        # Resource budgets (None = every budget unlimited; see limits.py).
+        # fuel/nodes are single-element cells so checks cost one list op;
+        # the rule-name stack is popped on success only — a suspension
+        # (NeedMoreInput) aborts the attempt, and the streaming driver
+        # calls reset_budgets() before re-entering.
+        limits = parser.limits
+        self.limits = limits if limits is not None and limits.active else None
+        if self.limits is not None:
+            self.fuel0 = limits.fuel()
+            self.fuel = [self.fuel0]
+            self.stack: List[str] = []
+            self.max_depth = (
+                float("inf") if limits.max_depth is None else limits.max_depth
+            )
+            self.memo_cap = limits.max_memo_entries
+            self.nodes = [
+                float("inf") if limits.max_tree_nodes is None else limits.max_tree_nodes
+            ]
+        else:
+            self.fuel0 = 0.0
+            self.fuel = None
+            self.stack = None
+            self.max_depth = None
+            self.memo_cap = None
+            self.nodes = None
+
+    def reset_budgets(self) -> None:
+        """Restore per-attempt budgets (streaming re-entry).
+
+        The step budget is per parse *attempt*: a stream re-enters from
+        the start symbol after every suspension, replaying decided
+        sub-parses as memo hits, so a cumulative budget would punish
+        fine-grained chunking rather than adversarial input.  Each
+        attempt is individually bounded, which is what rules out hangs.
+        The rule stack is cleared because suspension unwinds without
+        popping.
+        """
+        if self.limits is not None:
+            self.fuel[0] = self.fuel0
+            del self.stack[:]
 
     # -- nonterminal dispatch -------------------------------------------------
     def parse_nonterminal(
@@ -584,7 +659,15 @@ class _Run:
             else:
                 result = self._parse_rule(self.grammar.rule(name), lo, hi, None, None)
             if self.memoize:
-                self.memo[key] = result
+                memo = self.memo
+                memo[key] = result
+                if self.memo_cap is not None and len(memo) > self.memo_cap:
+                    raise LimitExceeded(
+                        f"memo table exceeded max_memo_entries="
+                        f"{self.memo_cap} while parsing {name!r}",
+                        limit="max_memo_entries",
+                        nonterminal=name,
+                    )
             return result
         # 3. builtin integer / raw parsers (the `btoi` specialization).
         if is_builtin(name):
@@ -595,6 +678,46 @@ class _Run:
         raise IPGError(f"no rule, builtin or blackbox for nonterminal {name!r}")
 
     def _parse_rule(
+        self,
+        rule: Rule,
+        lo: int,
+        hi: int,
+        outer_ctx: Optional[EvalContext],
+        local_rules: Optional[_LocalRules],
+    ):
+        """Budget-checked rule entry: fuel and recursion depth, then run.
+
+        The stack is popped on *success only*: when a budget trips (or a
+        stream suspends) the whole attempt aborts, so the un-popped names
+        are exactly the active-rule stack the error should carry.
+        """
+        if self.limits is None:
+            return self._run_rule(rule, lo, hi, outer_ctx, local_rules)
+        fuel = self.fuel
+        fuel[0] -= 1
+        stack = self.stack
+        stack.append(rule.name)
+        if fuel[0] < 0:
+            raise LimitExceeded(
+                f"parse step budget exhausted (max_steps="
+                f"{self.limits.max_steps}) while parsing {rule.name!r}",
+                limit="max_steps",
+                nonterminal=rule.name,
+                rule_stack=tuple(stack),
+            )
+        if len(stack) > self.max_depth:
+            raise LimitExceeded(
+                f"rule recursion exceeded max_depth={self.limits.max_depth} "
+                f"while parsing {rule.name!r}",
+                limit="max_depth",
+                nonterminal=rule.name,
+                rule_stack=tuple(stack),
+            )
+        result = self._run_rule(rule, lo, hi, outer_ctx, local_rules)
+        stack.pop()
+        return result
+
+    def _run_rule(
         self,
         rule: Rule,
         lo: int,
@@ -663,6 +786,16 @@ class _Run:
                 return FAIL
             if not ok:
                 return FAIL
+        nodes = self.nodes
+        if nodes is not None:
+            nodes[0] -= 1
+            if nodes[0] < 0:
+                raise LimitExceeded(
+                    f"parse tree exceeded max_tree_nodes="
+                    f"{self.limits.max_tree_nodes} result nodes",
+                    limit="max_tree_nodes",
+                    nonterminal=name,
+                )
         return Node(name, ctx.snapshot_env(), children)
 
     # -- term execution ---------------------------------------------------------

@@ -1,11 +1,10 @@
-"""Shared arithmetic runtime for the generated and compiled parsers.
+"""Shared arithmetic runtime for the compiled parsers.
 
 The expression language's partial operators (truncating division, modulo,
 shifts) must behave identically in the tree-walking interpreter
-(:meth:`repro.core.expr.BinOp.evaluate`), the generated parser modules
-(:mod:`repro.core.generator`) and the staged compiler backend
+(:meth:`repro.core.expr.BinOp.evaluate`) and the staged compiler backend
 (:mod:`repro.core.compiler`).  This module is the single definition the
-latter two bind at code-generation time; the rounding rule itself lives in
+latter binds at code-generation time; the rounding rule itself lives in
 :func:`repro.core.expr._int_div`, which the interpreter also uses.
 """
 

@@ -48,7 +48,7 @@ from __future__ import annotations
 import sys
 from typing import List, Optional, Union
 
-from .errors import IPGError, NeedMoreInput, ParseFailure
+from .errors import IPGError, LimitExceeded, NeedMoreInput, ParseFailure
 from .parsetree import ArrayNode, Node, ParseTree
 
 __all__ = [
@@ -317,11 +317,14 @@ class StreamBuffer:
       exactly the data a deterministic re-entry can revisit.
     """
 
-    __slots__ = ("_data", "_base", "total", "min_read", "max_buffered")
+    __slots__ = ("_data", "_base", "total", "min_read", "max_buffered", "max_bytes")
 
-    def __init__(self) -> None:
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
         self._data = bytearray()
         self._base = 0
+        #: Hard cap on simultaneously buffered bytes
+        #: (ParseLimits.max_buffer_bytes); ``None`` = unlimited.
+        self.max_bytes = max_bytes
         #: Final stream length; ``None`` until :meth:`finish`.
         self.total: Optional[int] = None
         #: Lowest offset read (or suspended on) during the current attempt.
@@ -343,6 +346,17 @@ class StreamBuffer:
     def feed(self, chunk: bytes) -> None:
         if self.total is not None:
             raise IPGError("cannot feed a finished stream")
+        if (
+            self.max_bytes is not None
+            and len(self._data) + len(chunk) > self.max_bytes
+        ):
+            raise LimitExceeded(
+                f"streaming buffer would exceed max_buffer_bytes="
+                f"{self.max_bytes} ({len(self._data)} held, "
+                f"{len(chunk)}-byte chunk): the grammar (or compact=False) "
+                f"retains more input than the budget allows",
+                limit="max_buffer_bytes",
+            )
         self._data += chunk
         if len(self._data) > self.max_buffered:
             self.max_buffered = len(self._data)
@@ -535,7 +549,10 @@ class StreamingParse:
         #: Execution mode: "tree" (full parse tree), "spans" (root node
         #: with env only) or None (validate only) — see Parser.parse.
         self._emit = emit
-        self.buffer = StreamBuffer()
+        limits = getattr(parser, "limits", None)
+        self.buffer = StreamBuffer(
+            max_bytes=limits.max_buffer_bytes if limits is not None else None
+        )
         self._result = None
         self._failed = False
         self._done = False
@@ -591,6 +608,21 @@ class StreamingParse:
         buffer = self.buffer
         self._last_attempt_received = buffer.received
         buffer.begin_attempt()
+        # The step budget is per *attempt*: re-entries replay decided
+        # sub-parses as memo hits, so a cumulative budget would punish
+        # fine-grained chunking instead of hostile input.  Each attempt is
+        # individually bounded, which is what rules out hangs.
+        if self._run is not None:
+            self._run.reset_budgets()
+        elif self._compiled.fuel_slot is not None:
+            # Rebuild the two-tier fuel cell (hot small-int counter +
+            # remainder) rather than dumping the whole budget into the
+            # hot half, which would make every decrement allocate.
+            max_steps = self._compiled.limits.max_steps
+            take = 256 if max_steps > 256 else max_steps
+            cell = self._state[self._compiled.fuel_slot]
+            cell[0] = take
+            cell[1] = max_steps - take
         previous_limit = sys.getrecursionlimit()
         raise_limit = self._parser.recursion_limit > previous_limit
         if raise_limit:
@@ -602,6 +634,13 @@ class StreamingParse:
             if self._compact and buffer.min_read is not None:
                 buffer.discard_below(buffer.min_read)
             return False
+        except (RecursionError, MemoryError) as exc:
+            raise LimitExceeded(
+                f"{type(exc).__name__} while stream-parsing {self._start!r}; "
+                f"the input drives unbounded recursion or allocation",
+                limit="recursion",
+                nonterminal=self._start,
+            ) from exc
         finally:
             if raise_limit:
                 sys.setrecursionlimit(previous_limit)
@@ -673,9 +712,22 @@ class StreamingParse:
         if not self._done:  # pragma: no cover - defensive
             raise IPGError("internal error: parse still suspended after finish()")
         if self._failed:
+            # Diagnose over the full input when nothing was ever compacted
+            # (always true with compact=False): the classified error then
+            # matches the batch engines byte for byte.  Diagnosing over a
+            # partial buffer would see a different EOI, so a compacted
+            # stream degrades to an unclassified failure instead.
+            if self.buffer._base == 0:
+                from .diagnose import diagnose_parser
+
+                raise diagnose_parser(
+                    self._parser, bytes(self.buffer._data), self._start
+                )
             raise ParseFailure(
                 f"input of length {self.buffer.total} does not match "
-                f"nonterminal {self._start!r}",
+                f"nonterminal {self._start!r} (bytes below offset "
+                f"{self.buffer._base} were compacted away; re-run with "
+                f"compact=False, or batch-parse, for a classified error)",
                 nonterminal=self._start,
             )
         if self._emit is None:

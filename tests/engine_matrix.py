@@ -19,8 +19,8 @@ The repository ships several executions of the same IPG semantics:
   fixed-shape record boundaries).
 
 (The ``generated`` engine — the retired dict-env parser generator — left
-the matrix when :mod:`repro.core.generator` became a deprecation shim over
-the AOT emitter; ``aot`` covers that execution path.)
+the matrix when that generator was deleted in favour of the AOT emitter;
+``aot`` covers that execution path.)
 
 This module builds all of them for one ``(grammar, blackboxes)`` pair and
 asserts that every engine produces **identical trees or identical errors**
@@ -43,7 +43,7 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro import Parser, samples
 from repro.core.compiler import Optimizations, compile_grammar
-from repro.core.errors import IPGError, ParseFailure
+from repro.core.errors import BlackboxError, IPGError, ParseFailure
 from repro.core.streamability import analyze_streamability
 
 #: Engines every grammar can run on (streaming joins when streamable).
@@ -220,6 +220,108 @@ class EngineMatrix:
                 f"{outcome[0]} (other chunk size)"
             )
         return outcomes[0]
+
+    # -- structured-error agreement ----------------------------------------
+    def error_engines(self) -> Tuple[str, ...]:
+        """Engines with a *raising* entry point (streaming checked apart)."""
+        names = ["interpreted", "interpreted-plain", "compiled"]
+        if self.unoptimized is not None:
+            names += ["compiled-nobulk", "compiled-unoptimized", "aot"]
+        return tuple(names)
+
+    def error_outcome(self, engine: str, data: bytes, start: Optional[str] = None):
+        """``(class_name, offset)`` from an engine's raising entry point.
+
+        Returns ``("tree",)`` when the input parses.  Uses the structured
+        error taxonomy contract: every engine diagnoses a failed parse to
+        the same :class:`~repro.core.errors.ParseFailure` subclass at the
+        same furthest-failure byte offset (the AOT module may raise its
+        vendored hierarchy, which matches by class name).  A *raising*
+        blackbox callable surfaces as ``("BlackboxError", None)`` — every
+        engine invokes the same callable on the same window, so that
+        outcome is deterministic too.
+        """
+        data = bytes(data)
+        try:
+            if engine in ("interpreted", "interpreted-plain", "compiled"):
+                parser = {
+                    "interpreted": self.interpreted,
+                    "interpreted-plain": self.interpreted_plain,
+                    "compiled": self.compiled,
+                }[engine]
+                parser.parse(data, start)
+            elif engine == "compiled-nobulk":
+                self.nobulk.parse(data, start)
+            elif engine == "compiled-unoptimized":
+                self.unoptimized.parse(data, start)
+            elif engine == "aot":
+                try:
+                    self.aot.parse(data, start)
+                except (self.aot.ParseFailure, self.aot.BlackboxError) as exc:
+                    return (type(exc).__name__, getattr(exc, "offset", None))
+            else:
+                raise AssertionError(f"no raising entry point for {engine!r}")
+        except (ParseFailure, BlackboxError) as exc:
+            return (type(exc).__name__, getattr(exc, "offset", None))
+        return ("tree",)
+
+    def _streaming_error_outcomes(self, data: bytes, start: Optional[str]):
+        """``[(chunk_size, outcome)]`` via incremental sessions, uncompacted.
+
+        ``compact=False`` keeps the whole input buffered so ``finish()``
+        can re-diagnose a failed parse exactly like the batch engines.
+        Every chunk is fed even after the outcome is determined: stopping
+        early would diagnose over a *prefix*, which legitimately
+        classifies differently than the batch engines see the full input.
+        """
+        outcomes = []
+        for chunk_size in self.chunk_sizes:
+            session = self.compiled.stream(start, compact=False)
+            try:
+                for i in range(0, len(data), chunk_size):
+                    session.feed(data[i : i + chunk_size])
+                session.finish()
+            except (ParseFailure, BlackboxError) as exc:
+                outcomes.append(
+                    (chunk_size, (type(exc).__name__, getattr(exc, "offset", None)))
+                )
+            else:
+                outcomes.append((chunk_size, ("tree",)))
+        return outcomes
+
+    def assert_error_agree(
+        self, data: bytes, start: Optional[str] = None, expect=None
+    ):
+        """Every raising entry point surfaces the same ``(class, offset)``.
+
+        Covers the batch engines and, for streamable grammars, incremental
+        sessions at every chunk size (record-straddling chunkings
+        included).  ``expect`` optionally pins the expected pair — e.g.
+        ``("TruncatedInput", 96)`` — for golden hostile corpora.  Returns
+        the agreed outcome.
+        """
+        data = bytes(data)
+        reference = self.error_outcome("interpreted", data, start)
+        for engine in self.error_engines():
+            if engine == "interpreted":
+                continue
+            outcome = self.error_outcome(engine, data, start)
+            assert outcome == reference, (
+                f"{engine}: structured error {outcome!r} != interpreter's "
+                f"{reference!r} (input {data[:32]!r}..., start={start})"
+            )
+        if self.streamable:
+            for chunk_size, outcome in self._streaming_error_outcomes(data, start):
+                assert outcome == reference, (
+                    f"streaming(chunk={chunk_size}): structured error "
+                    f"{outcome!r} != interpreter's {reference!r}"
+                )
+        if expect is not None:
+            assert reference == tuple(expect), (
+                f"engines agree on {reference!r} but the golden expectation "
+                f"is {tuple(expect)!r}"
+            )
+        return reference
 
     # -- emit-mode (tree-elision) runners ----------------------------------
     def _elided_unoptimized(self):

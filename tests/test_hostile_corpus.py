@@ -1,0 +1,67 @@
+"""Golden hostile corpus: curated adversarial inputs with pinned errors.
+
+``tests/hostile/`` holds a small committed selection of the deterministic
+adversarial corpus ``tools/hostile.py`` generates (truncations inside
+records, length-field lies, bit flips, DNS pointer loops and deep label
+chains), together with ``expectations.json`` pinning the structured error
+class and byte offset each input must produce.
+
+Every entry is replayed through :meth:`EngineMatrix.assert_error_agree`:
+the reference interpreter (with and without fast paths), both compiled
+variants, the AOT module and — for streamable grammars — incremental
+streaming sessions at record-straddling chunk sizes (1, 7, 23 bytes) must
+all surface the *same* ``ParseFailure`` subclass at the *same* offset,
+and that pair must match the golden expectation.
+
+Regenerate after an intentional classification change::
+
+    PYTHONPATH=src python tools/hostile.py --curate tests/hostile
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.formats import registry
+
+from engine_matrix import matrix_for
+
+HOSTILE_DIR = Path(__file__).parent / "hostile"
+
+with open(HOSTILE_DIR / "expectations.json", "r", encoding="utf-8") as _handle:
+    EXPECTATIONS = json.load(_handle)
+
+
+def _matrix(fmt: str):
+    spec = registry[fmt]
+    return matrix_for(spec.grammar_text, blackboxes=dict(spec.blackboxes))
+
+
+@pytest.mark.parametrize("relpath", sorted(EXPECTATIONS))
+def test_hostile_sample_agrees_with_golden(relpath):
+    fmt = relpath.split("/", 1)[0]
+    data = (HOSTILE_DIR / relpath).read_bytes()
+    expected = EXPECTATIONS[relpath]
+    _matrix(fmt).assert_error_agree(
+        data, expect=(expected["error"], expected["offset"])
+    )
+
+
+def test_corpus_files_and_expectations_in_sync():
+    on_disk = {
+        str(path.relative_to(HOSTILE_DIR)).replace("\\", "/")
+        for path in HOSTILE_DIR.rglob("*.bin")
+    }
+    assert on_disk == set(EXPECTATIONS), (
+        "tests/hostile/ and expectations.json disagree; regenerate with "
+        "`python tools/hostile.py --curate tests/hostile`"
+    )
+
+
+def test_expectations_cover_every_format():
+    covered = {relpath.split("/", 1)[0] for relpath in EXPECTATIONS}
+    expected = {"zip", "elf", "gif", "pe", "pdf", "dns", "ipv4"}
+    assert covered == expected

@@ -1,0 +1,274 @@
+"""Resource budgets (ParseLimits) and the structured error taxonomy.
+
+Unit coverage for the robustness layer:
+
+* :class:`~repro.core.limits.ParseLimits` — defaults, ``unlimited()``,
+  the ``active``/``fuel`` helpers;
+* budget enforcement per engine: interpreter depth/steps/memo/tree-node
+  budgets, the compiled engines' shared fuel cell (compiled *out* under
+  ``unlimited()``), the streaming buffer cap, AOT ``set_limits``;
+* the taxonomy classes and their carried context (offset, rule stack,
+  violated interval), ``render_explain``, and the CLI ``--explain-error``
+  path;
+* ``RecursionError``/``MemoryError`` wrapping at public entry points.
+
+Cross-engine *agreement* on hostile inputs lives in
+``test_hostile_corpus.py``; this file checks the mechanisms themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BoundsViolation,
+    GuardRejected,
+    LimitExceeded,
+    ParseFailure,
+    ParseLimits,
+    Parser,
+    TruncatedInput,
+    compile_grammar,
+    render_explain,
+)
+from repro.core.limits import DEFAULT_LIMITS
+from repro.formats import toy
+from repro.samples.dns import build_dns_response
+from repro.formats.dns import GRAMMAR as DNS_GRAMMAR
+
+
+# ---------------------------------------------------------------------------
+# ParseLimits itself
+# ---------------------------------------------------------------------------
+
+
+class TestParseLimits:
+    def test_defaults_are_finite_and_active(self):
+        limits = ParseLimits()
+        assert limits.active
+        assert limits.max_depth == 10_000
+        assert limits.max_steps == 50_000_000
+        assert limits.max_buffer_bytes == 64 * 1024 * 1024
+        assert limits.fuel() == limits.max_steps
+
+    def test_unlimited_is_inactive(self):
+        limits = ParseLimits.unlimited()
+        assert not limits.active
+        assert limits.max_steps is None
+        assert limits.fuel() == float("inf")
+
+    def test_default_limits_singleton_used_by_parser(self):
+        assert Parser(toy.FIGURE_1).limits is DEFAULT_LIMITS
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ParseLimits().max_steps = 1
+
+
+# ---------------------------------------------------------------------------
+# Budget enforcement
+# ---------------------------------------------------------------------------
+
+
+class TestInterpreterBudgets:
+    def _parser(self, **kwargs):
+        return Parser(
+            toy.FIGURE_3, backend="interpreted", limits=ParseLimits(**kwargs)
+        )
+
+    def test_max_steps_trips(self):
+        parser = self._parser(max_steps=3)
+        with pytest.raises(LimitExceeded) as info:
+            parser.parse(b"1" * 64, "Int")
+        assert info.value.limit == "max_steps"
+        assert info.value.offset is None
+        assert info.value.rule_stack  # carries the active rules at abort
+
+    def test_max_depth_trips(self):
+        parser = self._parser(max_depth=5)
+        with pytest.raises(LimitExceeded) as info:
+            parser.parse(b"1" * 64, "Int")
+        assert info.value.limit == "max_depth"
+
+    def test_max_tree_nodes_trips(self):
+        parser = self._parser(max_tree_nodes=2)
+        with pytest.raises(LimitExceeded) as info:
+            parser.parse(b"1" * 64, "Int")
+        assert info.value.limit == "max_tree_nodes"
+
+    def test_max_memo_entries_trips(self):
+        parser = self._parser(max_memo_entries=1)
+        with pytest.raises(LimitExceeded) as info:
+            parser.parse(b"1" * 64, "Int")
+        assert info.value.limit == "max_memo_entries"
+
+    def test_generous_budgets_leave_parses_alone(self):
+        parser = self._parser()
+        tree = parser.parse(b"101", "Int")
+        assert tree["val"] == 0b101
+
+
+class TestCompiledBudgets:
+    def test_fuel_cell_trips(self):
+        parser = Parser(toy.FIGURE_3, limits=ParseLimits(max_steps=3))
+        assert parser.backend == "compiled"
+        with pytest.raises(LimitExceeded) as info:
+            parser.parse(b"1" * 64, "Int")
+        assert info.value.limit == "max_steps"
+
+    def test_unlimited_compiles_the_check_out(self):
+        limited = compile_grammar(toy.FIGURE_3)
+        unlimited = compile_grammar(toy.FIGURE_3, limits=ParseLimits.unlimited())
+        assert limited.fuel_slot is not None
+        assert "_limit_refill(_c)" in limited.source
+        assert unlimited.fuel_slot is None
+        assert "_limit_refill(_c)" not in unlimited.source
+
+    def test_fresh_fuel_per_parse(self):
+        parser = Parser(toy.FIGURE_3, limits=ParseLimits(max_steps=500))
+        for _ in range(5):  # budget must not accumulate across parses
+            assert parser.parse(b"101", "Int")["val"] == 0b101
+
+
+class TestStreamingBudgets:
+    def test_buffer_cap_trips_on_feed(self):
+        # compact=False retains every byte, so the cap must fire; with
+        # compaction on, decided prefixes are discarded and the same cap
+        # rides the (bounded) high-water mark instead.
+        parser = Parser(DNS_GRAMMAR, limits=ParseLimits(max_buffer_bytes=16))
+        session = parser.stream(compact=False)
+        with pytest.raises(LimitExceeded) as info:
+            for _ in range(4):
+                session.feed(b"\x00" * 8)
+        assert info.value.limit == "max_buffer_bytes"
+
+    def test_default_cap_does_not_disturb_streaming(self):
+        parser = Parser(DNS_GRAMMAR)
+        data = build_dns_response(answer_count=2, additional_count=1)
+        assert parser.parse_stream([data[:7], data[7:]]) == parser.parse(data)
+
+
+class TestAotBudgets:
+    def test_set_limits_round_trip(self):
+        module = compile_grammar(toy.FIGURE_3).load_module("_limits_aot_fig3")
+        assert module.parse(b"101", "Int")["val"] == 0b101
+        module.set_limits(2)
+        with pytest.raises(module.LimitExceeded):
+            module.parse(b"1" * 64, "Int")
+        module.set_limits(None)
+        assert module.parse(b"101", "Int")["val"] == 0b101
+
+    def test_emitted_module_carries_budget_and_grammar(self):
+        source = compile_grammar(toy.FIGURE_2).to_source()
+        assert "_MAX_STEPS = 50000000" in source
+        assert "GRAMMAR_SOURCE = " in source
+        assert "def set_limits(" in source
+
+
+# ---------------------------------------------------------------------------
+# The taxonomy and its carried context
+# ---------------------------------------------------------------------------
+
+
+class TestTaxonomy:
+    def test_truncated_input(self):
+        parser = Parser(toy.FIGURE_1)
+        with pytest.raises(TruncatedInput) as info:
+            parser.parse(b"a")  # "aa" needs a byte past the end
+        assert info.value.offset == 1
+        assert info.value.rule_stack[0] == "S"
+
+    def test_bounds_violation_carries_interval(self):
+        # H claims the data lives at [255, 259) of a 12-byte input.
+        parser = Parser(toy.FIGURE_2)
+        data = bytes([255, 0, 0, 0, 4, 0, 0, 0]) + b"zzzz"
+        with pytest.raises(TruncatedInput) as truncated:
+            parser.parse(data)
+        assert truncated.value.offset == len(data)
+        # An *inverted* interval (right < left) is a bounds violation.
+        inverted = Parser("S -> U8[0,1] {n = U8.val} A[4, n] ; A -> Raw[0, EOI] ;")
+        with pytest.raises(BoundsViolation) as info:
+            inverted.parse(bytes([2, 0, 0, 0, 0, 0]))
+        assert info.value.interval is not None
+
+    def test_guard_rejected_at_first_differing_byte(self):
+        parser = Parser(toy.FIGURE_1)
+        with pytest.raises(GuardRejected) as info:
+            parser.parse(b"aaxxxbq")  # 'q' breaks the trailing "bb"
+        assert info.value.offset == 6
+
+    def test_guard_expression_rejection(self):
+        parser = Parser(toy.FIGURE_6)
+        data = bytes([1, 0, 0, 0]) + bytes([99, 0, 0, 0])  # a0 = 99 > 10
+        with pytest.raises(GuardRejected):
+            parser.parse(data)
+
+    def test_limit_exceeded_is_a_parse_failure(self):
+        assert issubclass(LimitExceeded, ParseFailure)
+        assert issubclass(TruncatedInput, ParseFailure)
+        assert issubclass(BoundsViolation, ParseFailure)
+        assert issubclass(GuardRejected, ParseFailure)
+
+
+class TestRecursionWrapping:
+    def test_interpreter_wraps_deep_recursion(self):
+        # Below the Python frame limit but above a tiny configured depth.
+        parser = Parser(
+            toy.FIGURE_3, backend="interpreted", limits=ParseLimits(max_depth=10)
+        )
+        with pytest.raises(LimitExceeded) as info:
+            parser.parse(b"1" * 1000, "Int")
+        assert info.value.limit in ("max_depth", "recursion")
+
+
+# ---------------------------------------------------------------------------
+# render_explain and the CLI
+# ---------------------------------------------------------------------------
+
+
+class TestRenderExplain:
+    def test_full_rendering(self):
+        parser = Parser(toy.FIGURE_1)
+        data = b"aaxxxbq"
+        with pytest.raises(GuardRejected) as info:
+            parser.parse(data)
+        text = render_explain(info.value, data)
+        assert "GuardRejected" in text
+        assert "offset:   6" in text
+        assert "[71]" in text  # the offending 'q', bracketed in hex context
+        assert "rules:" in text
+
+    def test_limit_rendering_has_no_offset(self):
+        error = LimitExceeded("budget gone", limit="max_steps", rule_stack=("S",))
+        text = render_explain(error)
+        assert "limit:    max_steps" in text
+        assert "offset" not in text
+
+    def test_long_rule_stack_is_trimmed(self):
+        error = ParseFailure("nope", offset=0, rule_stack=tuple(f"R{i}" for i in range(40)))
+        text = render_explain(error, b"x")
+        assert "more" in text and "R39" in text
+
+    def test_cli_explain_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.dns"
+        bad.write_bytes(build_dns_response(answer_count=2)[:-4])
+        code = main(["parse", "--format", "dns", "--explain-error", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "TruncatedInput" in captured.err
+        assert "offset:" in captured.err
+
+    def test_cli_explain_error_stream(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.dns"
+        bad.write_bytes(build_dns_response(answer_count=2)[:-4])
+        code = main(
+            ["parse", "--format", "dns", "--stream", "--chunk-size", "7",
+             "--explain-error", str(bad)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "TruncatedInput" in captured.err

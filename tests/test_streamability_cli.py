@@ -200,25 +200,23 @@ class TestCli:
         assert main(["check", str(grammar)]) == 1
         assert "non-termination" in capsys.readouterr().out
 
-    def test_generate_command_writes_parser(self, capsys, tmp_path):
-        # `generate` is a deprecated alias of `compile`: it emits the same
-        # standalone AOT module and prints a deprecation note.
+    def test_generate_alias_is_gone(self, capsys, tmp_path):
+        # The deprecated `generate` alias of `compile` completed its one
+        # release of grace and is removed.
+        grammar = tmp_path / "grammar.ipg"
+        grammar.write_text(toy.FIGURE_1)
+        with pytest.raises(SystemExit):
+            main(["generate", str(grammar)])
+        assert "invalid choice: 'generate'" in capsys.readouterr().err
+
+    def test_compile_command_writes_parser(self, capsys, tmp_path):
         grammar = tmp_path / "grammar.ipg"
         grammar.write_text(toy.FIGURE_1)
         output = tmp_path / "parser.py"
-        assert main(["generate", str(grammar), "-o", str(output)]) == 0
-        assert "deprecated" in capsys.readouterr().err
+        assert main(["compile", str(grammar), "-o", str(output)]) == 0
         source = output.read_text()
         assert "def try_parse" in source
         compile(source, str(output), "exec")
-
-    def test_generate_command_prints_to_stdout(self, capsys, tmp_path):
-        grammar = tmp_path / "grammar.ipg"
-        grammar.write_text(toy.FIGURE_1)
-        assert main(["generate", str(grammar)]) == 0
-        captured = capsys.readouterr()
-        assert "def parse" in captured.out
-        assert "deprecated" in captured.err
 
     def test_compile_explain_shapes(self, capsys):
         assert main(["compile", "--format", "elf", "--explain-shapes"]) == 0

@@ -144,10 +144,14 @@ class TestMemoIsolation:
         assert tree == parser.parse(data)
         assert session.attempts <= len(data) + 1
         # The compiled state holds one dict per memoized rule — keyed by
-        # (lo, hi), or by bare lo for EOI-anchored rules.  Entries
-        # accumulate per *window*, not per attempt.
+        # (lo, hi), or by bare lo for EOI-anchored rules — plus the fuel
+        # cell when limits are on.  Entries accumulate per *window*, not
+        # per attempt.
         assert session._state is not None
-        for table in session._state:
+        fuel_slot = session._compiled.fuel_slot
+        for index, table in enumerate(session._state):
+            if index == fuel_slot:
+                continue
             assert isinstance(table, dict)
             assert len(table) <= 2
 

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Time-boxed mutation fuzzer for the bundled format parsers.
+
+Run from a checkout with ``repro`` importable::
+
+    PYTHONPATH=src python tools/fuzz_parsers.py --time-budget 60
+    PYTHONPATH=src python tools/fuzz_parsers.py --format dns --seed 7
+
+For each format this fuzzer mutates the canonical deterministic sample
+(bit flips, byte splices, truncations, extensions, length-field-sized
+integer overwrites, block duplication) with a seeded PRNG and feeds the
+result to the default compiled engine under a *reduced*
+:class:`~repro.core.limits.ParseLimits` step budget, so a pathological
+input costs bounded time instead of minutes.
+
+The contract under test is the robustness tentpole's: any input either
+parses or raises the structured :class:`~repro.core.errors.IPGError`
+taxonomy — never a bare ``IndexError``/``TypeError``/``RecursionError``,
+and never a hang (the budget converts would-be hangs into
+``LimitExceeded``).  Every ``--nth-agree`` inputs (default 199) the full
+cross-engine matrix replays the mutant, asserting all engines surface
+the same error class and offset.
+
+Crashing or disagreeing inputs are written to ``--crash-dir`` with a
+replayable name (``<format>-<seed>-<iteration>.bin``) and the run exits
+non-zero; CI uploads the directory as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+
+from repro import IPGError, Parser, ParseLimits  # noqa: E402
+from repro.formats import registry  # noqa: E402
+
+from hostile import FORMATS, SAMPLES  # noqa: E402
+
+#: Keep pathological mutants cheap: plenty for every legitimate sample
+#: (the canonical inputs parse in a few thousand steps), small enough
+#: that a hostile one is cut off in well under a second.
+FUZZ_LIMITS = ParseLimits(max_steps=2_000_000)
+
+
+def mutate(rng: random.Random, data: bytes) -> bytes:
+    """One seeded mutation: structure-agnostic but length-field aware."""
+    mutated = bytearray(data)
+    for _ in range(rng.randint(1, 4)):
+        choice = rng.random()
+        if not mutated:
+            mutated = bytearray(rng.randbytes(rng.randint(1, 64)))
+            continue
+        if choice < 0.35:  # flip bits in one byte
+            pos = rng.randrange(len(mutated))
+            mutated[pos] ^= 1 << rng.randrange(8)
+        elif choice < 0.55:  # overwrite an integer-field-sized window
+            width = rng.choice((1, 2, 2, 4, 8))
+            pos = rng.randrange(len(mutated))
+            lie = rng.choice((0, 1, 0xFF, len(mutated), len(mutated) * 2, 2**31 - 1))
+            lie &= (1 << (8 * width)) - 1
+            packed = lie.to_bytes(width, rng.choice(("little", "big")), signed=False)
+            mutated[pos : pos + width] = packed
+        elif choice < 0.7:  # truncate
+            mutated = mutated[: rng.randrange(len(mutated))]
+        elif choice < 0.8:  # extend with junk
+            mutated += rng.randbytes(rng.randint(1, 64))
+        elif choice < 0.9:  # splice a random window somewhere else
+            n = len(mutated)
+            length = rng.randint(1, max(1, n // 4))
+            src = rng.randrange(n)
+            dst = rng.randrange(n)
+            mutated[dst : dst + length] = mutated[src : src + length]
+        else:  # duplicate a block in place (count-field bait)
+            n = len(mutated)
+            length = rng.randint(1, max(1, n // 4))
+            src = rng.randrange(n)
+            block = mutated[src : src + length]
+            mutated[src:src] = block
+    return bytes(mutated)
+
+
+def fuzz_format(
+    fmt: str,
+    time_budget: float,
+    seed: int,
+    crash_dir: str,
+    nth_agree: int,
+) -> tuple:
+    """Fuzz one format; returns (iterations, crash_count)."""
+    from engine_matrix import matrix_for
+
+    rng = random.Random(seed)
+    sample = SAMPLES[fmt]()
+    spec = registry[fmt]
+    parser = Parser(
+        spec.grammar_text, blackboxes=dict(spec.blackboxes), limits=FUZZ_LIMITS
+    )
+    matrix = matrix_for(spec.grammar_text, blackboxes=dict(spec.blackboxes))
+    deadline = time.monotonic() + time_budget
+    iterations = crashes = 0
+    corpus = [sample]
+    while time.monotonic() < deadline:
+        iterations += 1
+        parent = rng.choice(corpus)
+        data = mutate(rng, parent)
+        try:
+            try:
+                parser.parse(data)
+            except IPGError:
+                pass  # structured rejection: the contract held
+            else:
+                if len(corpus) < 64:
+                    corpus.append(data)  # parsing mutants breed deeper ones
+            if nth_agree and iterations % nth_agree == 0:
+                matrix.assert_error_agree(data)
+        except BaseException as exc:  # noqa: BLE001 - crash triage is the point
+            crashes += 1
+            os.makedirs(crash_dir, exist_ok=True)
+            path = os.path.join(crash_dir, f"{fmt}-{seed}-{iterations}.bin")
+            with open(path, "wb") as handle:
+                handle.write(data)
+            print(
+                f"CRASH {fmt} iter={iterations}: {type(exc).__name__}: {exc}\n"
+                f"  input saved to {path}",
+                file=sys.stderr,
+            )
+    return iterations, crashes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--format", action="append", choices=FORMATS, help="restrict to FORMAT"
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="wall-clock budget per format (default: 60)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="PRNG seed (default: 0)"
+    )
+    parser.add_argument(
+        "--crash-dir",
+        default="fuzz-crashes",
+        metavar="DIR",
+        help="where crashing inputs are saved (default: fuzz-crashes)",
+    )
+    parser.add_argument(
+        "--nth-agree",
+        type=int,
+        default=199,
+        metavar="N",
+        help="replay every Nth mutant through the full cross-engine "
+        "error-agreement matrix (0 disables; default: 199)",
+    )
+    args = parser.parse_args(argv)
+    formats = tuple(args.format) if args.format else FORMATS
+    total_crashes = 0
+    for fmt in formats:
+        iterations, crashes = fuzz_format(
+            fmt, args.time_budget, args.seed, args.crash_dir, args.nth_agree
+        )
+        total_crashes += crashes
+        status = "ok" if crashes == 0 else f"{crashes} CRASHES"
+        print(f"{fmt:<5} {iterations:>7} inputs in {args.time_budget:.0f}s  {status}")
+    return 1 if total_crashes else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
