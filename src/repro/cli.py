@@ -234,6 +234,30 @@ def _cmd_explain_shapes(args) -> int:
     return 0
 
 
+def _cmd_explain_ir(args) -> int:
+    """``repro compile --explain``: dump the per-rule plan IR."""
+    from .core.compiler import Optimizations
+    from .core.ir import explain_plan, lower
+
+    if args.format:
+        if args.format not in registry:
+            print(
+                f"unknown format {args.format!r}; see `repro formats`",
+                file=sys.stderr,
+            )
+            return 2
+        grammar_text = registry[args.format].grammar_text
+    elif args.grammar:
+        grammar_text = _read_text(args.grammar)
+    else:
+        print("error: --explain needs --format or a grammar file", file=sys.stderr)
+        return 2
+    optimizations = Optimizations.none() if args.no_optimize else None
+    plan = lower(prepare_grammar(grammar_text), optimizations=optimizations)
+    print(explain_plan(plan), end="")
+    return 0
+
+
 def _cmd_compile_package(args) -> int:
     """``repro compile --package DIR``: one module per format + shared prelude."""
     import os
@@ -297,11 +321,28 @@ def cmd_compile(args) -> int:
             )
             return 2
         return _cmd_explain_shapes(args)
+    if args.explain:
+        if args.package or args.output:
+            print(
+                "error: --explain prints the plan IR and cannot be combined "
+                "with --package or -o/--output",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_explain_ir(args)
     if args.package:
         if args.grammar or args.output:
             print(
                 "error: --package emits the bundled format registry into DIR "
                 "and cannot be combined with a grammar file or -o/--output",
+                file=sys.stderr,
+            )
+            return 2
+        if args.backend == "tablevm":
+            print(
+                "error: --package emits closure modules over a shared "
+                "prelude; the table flavor is single-module only "
+                "(--backend tablevm -o FILE)",
                 file=sys.stderr,
             )
             return 2
@@ -327,15 +368,26 @@ def cmd_compile(args) -> int:
         blackbox_names = None
     optimizations = Optimizations.none() if args.no_optimize else Optimizations()
     try:
-        compiled = compile_grammar(grammar_text, optimizations=optimizations)
+        if args.backend == "tablevm":
+            from .core.backends.tablevm import TableGrammar
+            from .core.ir import lower
+
+            plan = lower(
+                prepare_grammar(grammar_text), optimizations=optimizations
+            )
+            source = TableGrammar(plan).to_source()
+            declared = plan.grammar.blackboxes
+        else:
+            compiled = compile_grammar(grammar_text, optimizations=optimizations)
+            source = compiled.to_source()
+            declared = compiled.grammar.blackboxes
     except CompilationError as exc:
         # Unlike `parse`, ahead-of-time emission has no interpreter to fall
         # back to: report why the grammar cannot be specialized.
         print(f"error: grammar cannot be compiled ahead of time: {exc}", file=sys.stderr)
         return 1
-    source = compiled.to_source()
     if blackbox_names is None:
-        blackbox_names = sorted(compiled.grammar.blackboxes)
+        blackbox_names = sorted(declared)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(source)
@@ -420,9 +472,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parse_command.add_argument(
         "--backend",
-        choices=("compiled", "interpreted"),
+        choices=("compiled", "interpreted", "tablevm"),
         default="compiled",
-        help="parse engine: staged compiler (default) or reference interpreter",
+        help="parse engine: staged compiler (default), reference "
+        "interpreter, or the table-driven VM",
     )
     parse_command.add_argument(
         "--stream",
@@ -469,6 +522,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="emit a parser *package* into DIR: one module per bundled "
         "format (or just --format's) plus one shared runtime prelude "
         "module, instead of vendoring the prelude into every file",
+    )
+    compile_command.add_argument(
+        "--backend",
+        choices=("closures", "tablevm"),
+        default="closures",
+        help="module flavor: per-rule closure functions (default) or an "
+        "embedded plan executed by the vendored table VM (smaller "
+        "artifact, VM dispatch overhead)",
+    )
+    compile_command.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-rule plan IR (the analyze->lower output both "
+        "backends consume) instead of emitting a module",
     )
     compile_command.add_argument(
         "--explain-shapes",

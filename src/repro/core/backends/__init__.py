@@ -1,0 +1,17 @@
+"""Emission backends of the compilation pipeline.
+
+The pipeline is analyze -> lower -> emit (see :mod:`repro.core.ir`).  Two
+backends consume the shared analysis/IR:
+
+* :mod:`repro.core.backends.closures` — the staged source compiler: one
+  specialized Python closure per alternative (``backend="compiled"``,
+  AOT ``to_source()``).
+* :mod:`repro.core.backends.tablevm` — the table-driven VM: lowered IR
+  programs executed by one tight dispatch loop, with first-byte tables
+  and struct plans as table entries (``backend="tablevm"``, table-backed
+  AOT modules).
+"""
+
+from .closures import CompiledGrammar, Optimizations, compile_grammar
+
+__all__ = ["CompiledGrammar", "Optimizations", "compile_grammar"]

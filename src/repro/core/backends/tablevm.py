@@ -1,0 +1,851 @@
+"""The table-driven VM backend: one dispatch loop over lowered plan IR.
+
+Where the closure backend (:mod:`repro.core.backends.closures`) emits one
+specialized Python function per alternative, this backend *links* the
+per-rule IR programs of a :class:`repro.core.ir.GrammarPlan` into compact
+tables — first-byte dispatch rows, op tuples with pre-linked expression
+closures, struct plans — and executes them in a single tight loop
+(:meth:`_VMRun._run_alt`).  Both backends consume identical IR, so their
+trees, spans and error classes agree by construction; the VM additionally
+runs plans deserialized from JSON (:func:`repro.core.ir.plan_from_jsonable`),
+which is what the table-backed AOT modules embed.
+
+Engine facts (mirroring the closure backend where they differ from the
+reference interpreter):
+
+* fuel is charged on entries of *recursive* rules and on every array
+  iteration (``RuleIR.fuel``), not on every rule entry;
+* memoization follows the per-rule IR memo mode (``dict``/``dense``/
+  ``skipped``/``unmemoized``; ``where`` locals are never memoized);
+* rules whose whole body is a worthwhile fixed shape decode through the
+  one-shot struct decoders of :mod:`repro.core.shapes`, and fixed-stride
+  arrays of such rules bulk-decode record by record — both only when the
+  plan still carries its source grammar (batch linking; deserialized plans
+  and streaming runs take the generic op path).
+
+Streaming: a run over a :class:`~repro.core.streaming.StreamBuffer` works
+unchanged — the VM reads input only through indexing/slicing and compares
+interval endpoints with ordinary operators, so
+:class:`~repro.core.errors.NeedMoreInput` suspensions and ``EOIProxy``
+endpoints propagate exactly as they do through the interpreter.  The
+streaming driver uses a fully-memoized link (every rule at least ``dict``)
+with the per-``(rule, lo)`` dispatch cache on, like the compiled variant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..builtins import (
+    BUILTIN_FAIL,
+    BUILTINS,
+    is_builtin,
+    normalize_blackbox_result,
+)
+from ..env import EvalContext, initial_env, upd_start_end_in_place
+from ..errors import (
+    BlackboxError,
+    EvaluationError,
+    IPGError,
+    LimitExceeded,
+)
+from ..interpreter import FAIL
+from ..ir import GrammarPlan, RuleIR
+from ..limits import DEFAULT_LIMITS, ParseLimits
+from ..parsetree import ArrayNode, Leaf, Node
+
+__all__ = ["TableGrammar", "link_expr"]
+
+_MISS = object()
+
+# --- begin vendorable VM core (extracted verbatim into AOT table modules) ---
+
+
+def _int_div(a: int, b: int) -> int:
+    """Truncating integer division (C-like), as in the other engines."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def link_expr(prog):
+    """Link a lowered expression program to a closure over an EvalContext.
+
+    Implements the expression semantics of :mod:`repro.core.expr`:
+    short-circuiting ``&&``/``||`` with 0/1 results, truncating ``/``/``%``
+    that raise :class:`EvaluationError` on zero divisors, shift guards
+    against negative amounts, and the ``exists`` binding protocol.
+    """
+    tag = prog[0]
+    if tag == "num":
+        value = prog[1]
+        return lambda ctx: value
+    if tag == "name":
+        name = prog[1]
+        return lambda ctx: ctx.lookup_name(name)
+    if tag == "dot":
+        nonterminal, attr = prog[1], prog[2]
+        return lambda ctx: ctx.lookup_dot(nonterminal, attr)
+    if tag == "idx":
+        nonterminal, attr = prog[1], prog[2]
+        index = link_expr(prog[3])
+        return lambda ctx: ctx.lookup_index(nonterminal, index(ctx), attr)
+    if tag == "bin":
+        op = prog[1]
+        left = link_expr(prog[2])
+        right = link_expr(prog[3])
+        if op == "&&":
+            return lambda ctx: 1 if (left(ctx) != 0 and right(ctx) != 0) else 0
+        if op == "||":
+            return lambda ctx: 1 if (left(ctx) != 0 or right(ctx) != 0) else 0
+        if op == "/":
+
+            def _div(ctx):
+                lhs, rhs = left(ctx), right(ctx)
+                if rhs == 0:
+                    raise EvaluationError("division by zero")
+                return _int_div(lhs, rhs)
+
+            return _div
+        if op == "%":
+
+            def _mod(ctx):
+                lhs, rhs = left(ctx), right(ctx)
+                if rhs == 0:
+                    raise EvaluationError("modulo by zero")
+                return lhs - _int_div(lhs, rhs) * rhs
+
+            return _mod
+        if op in ("<<", ">>"):
+            shifter = (
+                (lambda a, b: a << b) if op == "<<" else (lambda a, b: a >> b)
+            )
+
+            def _shift(ctx):
+                lhs, rhs = left(ctx), right(ctx)
+                if rhs < 0:
+                    raise EvaluationError("negative shift amount")
+                return shifter(lhs, rhs)
+
+            return _shift
+        table = {
+            "+": lambda ctx: left(ctx) + right(ctx),
+            "-": lambda ctx: left(ctx) - right(ctx),
+            "*": lambda ctx: left(ctx) * right(ctx),
+            "=": lambda ctx: 1 if left(ctx) == right(ctx) else 0,
+            "!=": lambda ctx: 1 if left(ctx) != right(ctx) else 0,
+            "<": lambda ctx: 1 if left(ctx) < right(ctx) else 0,
+            ">": lambda ctx: 1 if left(ctx) > right(ctx) else 0,
+            "<=": lambda ctx: 1 if left(ctx) <= right(ctx) else 0,
+            ">=": lambda ctx: 1 if left(ctx) >= right(ctx) else 0,
+            "&": lambda ctx: left(ctx) & right(ctx),
+            "|": lambda ctx: left(ctx) | right(ctx),
+        }
+        fn = table.get(op)
+        if fn is None:  # pragma: no cover - lowering validates operators
+            raise IPGError(f"unknown binary operator {op!r}")
+        return fn
+    if tag == "cond":
+        condition = link_expr(prog[1])
+        then = link_expr(prog[2])
+        otherwise = link_expr(prog[3])
+        return lambda ctx: then(ctx) if condition(ctx) != 0 else otherwise(ctx)
+    if tag == "exists":
+        var, array_name = prog[1], prog[2]
+        condition = link_expr(prog[3])
+        then = link_expr(prog[4])
+        otherwise = link_expr(prog[5])
+
+        def _exists(ctx):
+            if array_name is None:
+                raise EvaluationError(
+                    f"existential over {var!r} does not reference any array "
+                    f"indexed by it"
+                )
+            length = ctx.array_length(array_name)
+            env = ctx.env
+            saved = env.get(var)
+            had_binding = var in env
+            try:
+                for position in range(length):
+                    env[var] = position
+                    if condition(ctx) != 0:
+                        return then(ctx)
+                if had_binding:
+                    env[var] = saved  # restore before the else branch
+                else:
+                    env.pop(var, None)
+                return otherwise(ctx)
+            finally:
+                if had_binding:
+                    env[var] = saved
+                else:
+                    env.pop(var, None)
+
+        return _exists
+    raise IPGError(f"unknown expression tag {tag!r}")  # pragma: no cover
+
+
+#: Linked-op tags (first tuple element; dispatch in _VMRun._run_alt).
+_ATTR, _GUARD, _LIT, _CALL, _ARRAY, _SWITCH = range(6)
+
+#: Linked memo modes.
+_M_NONE, _M_DICT, _M_DENSE = range(3)
+
+
+class _Scope:
+    """A linked chain of ``where`` local-rule scopes (name -> linked rule)."""
+
+    __slots__ = ("rules", "parent")
+
+    def __init__(self, rules, parent):
+        self.rules = rules
+        self.parent = parent
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            rule = scope.rules.get(name)
+            if rule is not None:
+                return rule
+            scope = scope.parent
+        return None
+
+
+class _LinkedAlt:
+    """One linked alternative: an op tuple plus its local-rule table."""
+
+    __slots__ = ("ops", "locals")
+
+    def __init__(self, ops, locals_):
+        self.ops = ops
+        self.locals = locals_
+
+
+class _LinkedRule:
+    """One linked rule: alternatives plus dispatch/memo/fuel table entries."""
+
+    __slots__ = (
+        "name",
+        "alts",
+        "memo_mode",
+        "fuel",
+        "table",
+        "empty",
+        "pair",
+        "decoder",
+    )
+
+    def __init__(self, name, alts, memo_mode, fuel, table, empty, pair, decoder):
+        self.name = name
+        self.alts = alts
+        self.memo_mode = memo_mode
+        self.fuel = fuel
+        self.table = table
+        self.empty = empty
+        self.pair = pair
+        self.decoder = decoder
+
+
+def _link_rule(rule_ir: RuleIR, bulk_sites: set) -> _LinkedRule:
+    alts = []
+    for alt_ir in rule_ir.alts:
+        ops = []
+        for op in alt_ir.ops:
+            tag = op[0]
+            if tag == "attr":
+                ops.append((_ATTR, op[1], link_expr(op[2])))
+            elif tag == "guard":
+                ops.append((_GUARD, link_expr(op[1])))
+            elif tag == "lit":
+                literal = op[3]
+                ops.append(
+                    (
+                        _LIT,
+                        link_expr(op[1]),
+                        link_expr(op[2]),
+                        literal,
+                        len(literal),
+                        Leaf(literal),
+                    )
+                )
+            elif tag == "call":
+                ops.append((_CALL, op[1], link_expr(op[2]), link_expr(op[3])))
+            elif tag == "array":
+                stride = op[7]
+                if stride is not None:
+                    bulk_sites.add((op[4], stride))
+                ops.append(
+                    (
+                        _ARRAY,
+                        op[1],
+                        link_expr(op[2]),
+                        link_expr(op[3]),
+                        op[4],
+                        link_expr(op[5]),
+                        link_expr(op[6]),
+                        stride,
+                    )
+                )
+            elif tag == "switch":
+                cases = tuple(
+                    (
+                        None if cond is None else link_expr(cond),
+                        name,
+                        link_expr(left),
+                        link_expr(right),
+                    )
+                    for cond, name, left, right in op[1]
+                )
+                ops.append((_SWITCH, cases))
+            else:  # pragma: no cover - lowering produces no other tags
+                raise IPGError(f"unknown op tag {tag!r}")
+        locals_ = {
+            local.name: _link_rule(local, bulk_sites) for local in alt_ir.locals
+        }
+        alts.append(_LinkedAlt(tuple(ops), locals_))
+    alts = tuple(alts)
+    table = empty = pair = None
+    if rule_ir.dispatch is not None:
+        dispatch = rule_ir.dispatch
+
+        def pick(entry):
+            return tuple(alts[i] for i in entry)
+
+        table = tuple(pick(entry) for entry in dispatch.table)
+        empty = pick(dispatch.empty)
+        if dispatch.pair:
+            pair = {
+                byte: (offset, tuple(pick(entry) for entry in row))
+                for byte, (offset, row) in dispatch.pair.items()
+            }
+    memo_mode = {"dict": _M_DICT, "dense": _M_DENSE}.get(rule_ir.memo, _M_NONE)
+    return _LinkedRule(
+        rule_ir.name,
+        alts,
+        memo_mode,
+        rule_ir.fuel,
+        table,
+        empty,
+        pair,
+        rule_ir.decoder,
+    )
+
+
+class TableGrammar:
+    """A grammar linked for table-VM execution (cf. ``CompiledGrammar``).
+
+    Parameters
+    ----------
+    plan:
+        The lowered :class:`~repro.core.ir.GrammarPlan`.  A plan still
+        carrying its source grammar/analysis links with struct decoders and
+        bulk-array decoders; a deserialized plan runs the generic op path.
+    blackboxes:
+        The *live* blackbox registry (usually ``Parser.blackboxes`` itself,
+        so later ``register_blackbox`` calls are visible).
+    limits:
+        Resource budgets; ``None`` selects the production defaults.
+    use_decoders:
+        Master switch for the struct/bulk decode paths (off for streaming
+        links and for span-recording runs).
+    """
+
+    def __init__(
+        self,
+        plan: GrammarPlan,
+        blackboxes: Optional[dict] = None,
+        limits: Optional[ParseLimits] = None,
+        use_decoders: bool = True,
+    ):
+        self.plan = plan
+        self.blackboxes = blackboxes if blackboxes is not None else {}
+        self.blackbox_names = set(plan.blackboxes)
+        self.limits = DEFAULT_LIMITS if limits is None else limits
+        self.start = plan.start
+        self._bulk_sites: set = set()
+        self.rules: Dict[str, _LinkedRule] = {
+            name: _link_rule(rule_ir, self._bulk_sites)
+            for name, rule_ir in plan.rules.items()
+        }
+        self.use_decoders = use_decoders and plan.grammar is not None
+        #: build_tree -> {rule name -> one-shot decoder}.
+        self._decoder_maps: Dict[bool, Dict[str, object]] = {}
+        #: build_tree -> {(element rule, stride) -> per-record decoder}.
+        self._bulk_maps: Dict[bool, Dict[tuple, object]] = {}
+
+    def set_limits(self, limits: Optional[ParseLimits]) -> None:
+        self.limits = DEFAULT_LIMITS if limits is None else limits
+
+    def _decoders(self, build_tree: bool) -> Dict[str, object]:
+        if not self.use_decoders:
+            return {}
+        decoders = self._decoder_maps.get(build_tree)
+        if decoders is None:
+            from ..shapes import make_decoder
+
+            analysis = self.plan.analysis
+            decoders = {}
+            if analysis is not None:
+                for name, rule in self.rules.items():
+                    if rule.decoder:
+                        shape = analysis.full_shapes.get(name)
+                        if shape is not None:
+                            decoders[name] = make_decoder(shape, build_tree)
+            self._decoder_maps[build_tree] = decoders
+        return decoders
+
+    def _bulk_decoders(self, build_tree: bool) -> Dict[tuple, object]:
+        if not self.use_decoders:
+            return {}
+        bulk = self._bulk_maps.get(build_tree)
+        if bulk is None:
+            from ..shapes import make_decoder, rule_shape
+
+            grammar = self.plan.grammar
+            bulk = {}
+            for element, stride in self._bulk_sites:
+                shape = rule_shape(grammar, element, width=stride)
+                if shape is not None and shape.worthwhile:
+                    bulk[(element, stride)] = make_decoder(shape, build_tree)
+            self._bulk_maps[build_tree] = bulk
+        return bulk
+
+    def new_run(
+        self,
+        data,
+        build_tree: bool = True,
+        dispatch_cache: bool = False,
+        span_rules: Optional[Set[str]] = None,
+    ) -> "_VMRun":
+        """A fresh execution state over ``data`` (bytes or StreamBuffer)."""
+        return _VMRun(
+            self,
+            data,
+            build_tree=build_tree,
+            dispatch_cache=dispatch_cache,
+            span_rules=span_rules,
+        )
+
+    def parse_nonterminal(self, data, name: str, lo: int, hi: int):
+        """One-shot batch entry point matching ``CompiledGrammar``'s."""
+        return self.new_run(data).parse_nonterminal(name, lo, hi, None, None)
+
+    def to_source(self, module_doc: Optional[str] = None) -> str:
+        """Render a standalone table-backed parser module for this plan.
+
+        The module embeds the plan as JSON plus a vendored copy of this
+        file's VM core (the marked slice) — see
+        :func:`repro.core.codegen.render_tablevm_module`.  Only possible
+        while the plan still carries its source grammar.
+        """
+        from ..codegen import render_tablevm_module  # deferred: avoids a cycle
+
+        return render_tablevm_module(
+            self.plan, limits=self.limits, module_doc=module_doc
+        )
+
+    def load_module(self, name: str = "ipg_aot_table_parser"):
+        """Emit :meth:`to_source` and execute it as a fresh in-memory module.
+
+        Counterpart of ``CompiledGrammar.load_module``: the returned module
+        exposes the same standalone API, and blackboxes registered with
+        this :class:`TableGrammar` are pre-registered on it.
+        """
+        import types
+
+        module = types.ModuleType(name)
+        exec(compile(self.to_source(), f"<{name}>", "exec"), module.__dict__)
+        for blackbox_name, implementation in self.blackboxes.items():
+            module.register_blackbox(blackbox_name, implementation)
+        return module
+
+
+class _VMRun:
+    """Execution state for one parse (memo, budgets, span trail).
+
+    The interface mirrors the interpreter's ``_Run`` — in particular
+    ``parse_nonterminal(name, lo, hi, outer_ctx, scope)`` and
+    ``reset_budgets()`` — so the streaming driver treats both identically.
+    """
+
+    __slots__ = (
+        "vm",
+        "data",
+        "build",
+        "memo",
+        "memo_cap",
+        "decoders",
+        "bulk",
+        "dispatch_cache",
+        "spans",
+        "span_rules",
+        "limits",
+        "fuel",
+        "fuel0",
+        "stack",
+        "max_depth",
+        "nodes",
+    )
+
+    def __init__(
+        self,
+        vm: TableGrammar,
+        data,
+        build_tree: bool = True,
+        dispatch_cache: bool = False,
+        span_rules: Optional[Set[str]] = None,
+    ):
+        self.vm = vm
+        self.data = data
+        self.build = build_tree
+        self.memo: Dict[tuple, object] = {}
+        self.dispatch_cache: Optional[dict] = {} if dispatch_cache else None
+        # Span recording disables memoization (and the decode fast paths,
+        # via TableGrammar): the recorded trail is then exactly the
+        # committed derivation, identical across engines by construction.
+        self.span_rules = span_rules
+        self.spans: Optional[List[tuple]] = [] if span_rules is not None else None
+        if span_rules is not None:
+            self.decoders = {}
+            self.bulk = {}
+        else:
+            self.decoders = vm._decoders(build_tree)
+            self.bulk = vm._bulk_decoders(build_tree)
+        limits = vm.limits
+        self.limits = limits if limits is not None and limits.active else None
+        if self.limits is not None:
+            self.fuel0 = limits.fuel()
+            self.fuel = [self.fuel0]
+            self.stack: List[str] = []
+            self.max_depth = (
+                float("inf") if limits.max_depth is None else limits.max_depth
+            )
+            self.memo_cap = limits.max_memo_entries
+            self.nodes = [
+                float("inf")
+                if limits.max_tree_nodes is None
+                else limits.max_tree_nodes
+            ]
+        else:
+            self.fuel0 = 0.0
+            self.fuel = None
+            self.stack = None
+            self.max_depth = None
+            self.memo_cap = None
+            self.nodes = None
+
+    def reset_budgets(self) -> None:
+        """Restore per-attempt budgets (streaming re-entry)."""
+        if self.limits is not None:
+            self.fuel[0] = self.fuel0
+            del self.stack[:]
+
+    # -- nonterminal dispatch ----------------------------------------------
+    def parse_nonterminal(self, name, lo, hi, outer_ctx, scope):
+        if scope is not None:
+            local = scope.lookup(name)
+            if local is not None:
+                return self._call_rule(local, lo, hi, outer_ctx, scope)
+        rule = self.vm.rules.get(name)
+        if rule is not None:
+            spans = self.spans
+            mode = _M_NONE if spans is not None else rule.memo_mode
+            if mode:
+                key = (name, lo) if mode == _M_DENSE else (name, lo, hi)
+                memo = self.memo
+                result = memo.get(key, _MISS)
+                if result is not _MISS:
+                    return result
+            decoder = self.decoders.get(name)
+            if decoder is not None:
+                result = decoder(self.data, lo, hi)
+            else:
+                result = self._call_rule(rule, lo, hi, None, None)
+            if mode:
+                memo = self.memo
+                memo[key] = result
+                if self.memo_cap is not None and len(memo) > self.memo_cap:
+                    raise LimitExceeded(
+                        f"memo table exceeded max_memo_entries="
+                        f"{self.memo_cap} while parsing {name!r}",
+                        limit="max_memo_entries",
+                        nonterminal=name,
+                    )
+            if (
+                spans is not None
+                and result is not FAIL
+                and name in self.span_rules
+            ):
+                spans.append(
+                    (name, lo + result.env["start"], lo + result.env["end"])
+                )
+            return result
+        if is_builtin(name):
+            return self._parse_builtin(name, lo, hi)
+        if name in self.vm.blackbox_names:
+            return self._parse_blackbox(name, lo, hi)
+        raise IPGError(f"no rule, builtin or blackbox for nonterminal {name!r}")
+
+    def _call_rule(self, rule, lo, hi, outer_ctx, scope):
+        if self.limits is None:
+            return self._run_rule(rule, lo, hi, outer_ctx, scope)
+        stack = self.stack
+        stack.append(rule.name)
+        if rule.fuel:
+            fuel = self.fuel
+            fuel[0] -= 1
+            if fuel[0] < 0:
+                raise LimitExceeded(
+                    f"parse step budget exhausted (max_steps="
+                    f"{self.limits.max_steps}) while parsing {rule.name!r}",
+                    limit="max_steps",
+                    nonterminal=rule.name,
+                    rule_stack=tuple(stack),
+                )
+        if len(stack) > self.max_depth:
+            raise LimitExceeded(
+                f"rule recursion exceeded max_depth={self.limits.max_depth} "
+                f"while parsing {rule.name!r}",
+                limit="max_depth",
+                nonterminal=rule.name,
+                rule_stack=tuple(stack),
+            )
+        result = self._run_rule(rule, lo, hi, outer_ctx, scope)
+        stack.pop()
+        return result
+
+    def _run_rule(self, rule, lo, hi, outer_ctx, scope):
+        alternatives = rule.alts
+        if rule.table is not None:
+            if hi > lo:
+                cache = self.dispatch_cache
+                key = (id(rule), lo) if cache is not None else None
+                alternatives = cache.get(key) if cache is not None else None
+                if alternatives is None:
+                    data = self.data
+                    byte = data[lo]
+                    pair = rule.pair
+                    probe = pair.get(byte) if pair is not None else None
+                    if probe is not None and lo + probe[0] < hi:
+                        alternatives = probe[1][data[lo + probe[0]]]
+                    else:
+                        alternatives = rule.table[byte]
+                    if cache is not None:
+                        cache[key] = alternatives
+            else:
+                alternatives = rule.empty
+        spans = self.spans
+        checkpoint = len(spans) if spans is not None else 0
+        for alt in alternatives:
+            result = self._run_alt(rule.name, alt, lo, hi, outer_ctx, scope)
+            if result is not FAIL:
+                return result
+            if spans is not None:
+                del spans[checkpoint:]
+        return FAIL
+
+    # -- the dispatch loop --------------------------------------------------
+    def _run_alt(self, name, alt, lo, hi, outer_ctx, scope):
+        ctx = EvalContext(initial_env(hi - lo), outer=outer_ctx)
+        env = ctx.env
+        build = self.build
+        children: List[object] = []
+        if alt.locals:
+            scope = _Scope(alt.locals, scope)
+        data = self.data
+        length = hi - lo
+        try:
+            for op in alt.ops:
+                tag = op[0]
+                if tag == _CALL:
+                    left = op[2](ctx)
+                    right = op[3](ctx)
+                    if not 0 <= left <= right <= length:
+                        return FAIL
+                    result = self.parse_nonterminal(
+                        op[1], lo + left, lo + right, ctx, scope
+                    )
+                    if result is FAIL:
+                        return FAIL
+                    renv = dict(result.env)
+                    renv["start"] = left + result.env.get("start", 0)
+                    renv["end"] = end = left + result.env.get("end", 0)
+                    adjusted = Node(result.name, renv, result.children)
+                    upd_start_end_in_place(
+                        env, renv["start"], end, result.env["end"] != 0
+                    )
+                    ctx.nodes[result.name] = adjusted
+                    if build:
+                        children.append(adjusted)
+                elif tag == _ATTR:
+                    env[op[1]] = op[2](ctx)
+                elif tag == _LIT:
+                    left = op[1](ctx)
+                    right = op[2](ctx)
+                    if not 0 <= left <= right <= length:
+                        return FAIL
+                    size = op[4]
+                    if right - left < size:
+                        return FAIL
+                    absolute = lo + left
+                    if data[absolute : absolute + size] != op[3]:
+                        return FAIL
+                    upd_start_end_in_place(env, left, left + size, size != 0)
+                    if build:
+                        children.append(op[5])
+                elif tag == _GUARD:
+                    if op[1](ctx) == 0:
+                        return FAIL
+                elif tag == _ARRAY:
+                    if not self._run_array(op, ctx, children, lo, hi, scope):
+                        return FAIL
+                elif tag == _SWITCH:
+                    for cond, target, lfn, rfn in op[1]:
+                        if cond is None or cond(ctx) != 0:
+                            if not self._switch_call(
+                                target, lfn, rfn, ctx, children, lo, hi, scope
+                            ):
+                                return FAIL
+                            break
+                    else:
+                        return FAIL
+        except EvaluationError:
+            # A failing interval/attribute computation fails the
+            # alternative, as in the reference interpreter.
+            return FAIL
+        nodes = self.nodes
+        if nodes is not None:
+            nodes[0] -= 1
+            if nodes[0] < 0:
+                raise LimitExceeded(
+                    f"parse tree exceeded max_tree_nodes="
+                    f"{self.limits.max_tree_nodes} result nodes",
+                    limit="max_tree_nodes",
+                    nonterminal=name,
+                )
+        return Node(name, dict(env), children)
+
+    def _switch_call(self, target, lfn, rfn, ctx, children, lo, hi, scope):
+        left = lfn(ctx)
+        right = rfn(ctx)
+        if not 0 <= left <= right <= hi - lo:
+            return False
+        result = self.parse_nonterminal(target, lo + left, lo + right, ctx, scope)
+        if result is FAIL:
+            return False
+        renv = dict(result.env)
+        renv["start"] = left + result.env.get("start", 0)
+        renv["end"] = left + result.env.get("end", 0)
+        adjusted = Node(result.name, renv, result.children)
+        upd_start_end_in_place(
+            ctx.env, renv["start"], renv["end"], result.env["end"] != 0
+        )
+        ctx.nodes[result.name] = adjusted
+        if self.build:
+            children.append(adjusted)
+        return True
+
+    def _run_array(self, op, ctx, children, lo, hi, scope):
+        _, var, startfn, stopfn, element, lfn, rfn, stride = op
+        env = ctx.env
+        first = startfn(ctx)
+        stop = stopfn(ctx)
+        decoder = self.bulk.get((element, stride)) if stride is not None else None
+        elements: List[Node] = []
+        had_binding = var in env
+        saved = env.get(var)
+        had_array = element in ctx.arrays
+        saved_array = ctx.arrays.get(element)
+        # The (initially empty) array becomes visible after the bounds are
+        # evaluated, and each array term gets its own element list — see the
+        # reference interpreter for why both matter.
+        ctx.arrays[element] = elements
+        fuel = self.fuel
+        length = hi - lo
+        data = self.data
+        completed = False
+        try:
+            for index in range(first, stop):
+                if fuel is not None:
+                    fuel[0] -= 1
+                    if fuel[0] < 0:
+                        raise LimitExceeded(
+                            f"parse step budget exhausted (max_steps="
+                            f"{self.limits.max_steps}) while parsing "
+                            f"{element!r}",
+                            limit="max_steps",
+                            nonterminal=element,
+                            rule_stack=tuple(self.stack),
+                        )
+                env[var] = index
+                left = lfn(ctx)
+                right = rfn(ctx)
+                if not 0 <= left <= right <= length:
+                    return False
+                if decoder is not None and right - left == stride:
+                    result = decoder(data, lo + left, lo + right)
+                else:
+                    result = self.parse_nonterminal(
+                        element, lo + left, lo + right, ctx, scope
+                    )
+                if result is FAIL:
+                    return False
+                renv = dict(result.env)
+                renv["start"] = left + result.env.get("start", 0)
+                renv["end"] = left + result.env.get("end", 0)
+                adjusted = Node(result.name, renv, result.children)
+                upd_start_end_in_place(
+                    env, renv["start"], renv["end"], result.env["end"] != 0
+                )
+                elements.append(adjusted)
+            completed = True
+        finally:
+            if had_binding:
+                env[var] = saved
+            else:
+                env.pop(var, None)
+            if not completed:
+                if had_array:
+                    ctx.arrays[element] = saved_array
+                else:
+                    ctx.arrays.pop(element, None)
+        if self.build:
+            children.append(ArrayNode(element, elements))
+        return True
+
+    # -- builtins / blackboxes ----------------------------------------------
+    def _parse_builtin(self, name, lo, hi):
+        outcome = BUILTINS[name].parse(self.data, lo, hi)
+        if outcome is BUILTIN_FAIL:
+            return FAIL
+        attrs, end, payload = outcome
+        env = {"EOI": hi - lo, "start": 0 if end else hi - lo, "end": end}
+        env.update(attrs)
+        children = [Leaf(payload)] if payload is not None and self.build else []
+        return Node(name, env, children)
+
+    def _parse_blackbox(self, name, lo, hi):
+        implementation = self.vm.blackboxes.get(name)
+        if implementation is None:
+            raise BlackboxError(
+                f"grammar declares blackbox {name!r} but no implementation "
+                f"was registered with the Parser"
+            )
+        window = self.data[lo:hi]
+        try:
+            raw = implementation(window)
+        except Exception as exc:  # the blackbox itself failed
+            raise BlackboxError(f"blackbox parser {name!r} raised: {exc}") from exc
+        outcome = normalize_blackbox_result(raw, hi - lo)
+        if outcome is BUILTIN_FAIL:
+            return FAIL
+        attrs, payload, end = outcome
+        env = {"EOI": hi - lo, "start": 0 if end else hi - lo, "end": end}
+        env.update(attrs)
+        children = []
+        if payload is not None and self.build:
+            children.append(Leaf(payload))
+        return Node(name, env, children)
+
+
+# --- end vendorable VM core -------------------------------------------------

@@ -111,6 +111,22 @@ class LimitExceeded(ParseFailure):
         )
 
 
+class NeedMoreInput(IPGError):
+    """A streaming read or comparison needs bytes not yet received."""
+
+    def __init__(self, message, needed=None):
+        self.needed = needed
+        super().__init__(message)
+
+
+class NotStreamableError(IPGError):
+    """``stream()`` was called but the grammar is not streamable."""
+
+    def __init__(self, message, report=None):
+        self.report = report
+        super().__init__(message)
+
+
 def _limit_steps():
     raise LimitExceeded(
         "parse step budget exhausted (max_steps); call set_limits(None) "
@@ -322,6 +338,20 @@ def _aidx(elements, position, name, attr):
     )
 
 
+def _aidx_env(envs, position, name, attr):
+    # ``_aidx`` for tree-elided modules, whose element lists hold bare envs.
+    if 0 <= position < len(envs):
+        return envs[position][attr]
+    raise EvaluationError(
+        f"array reference {name}({position}) out of range "
+        f"(array has {len(envs)} elements)"
+    )
+
+
+#: Children of every node of a tree-elided parse: one shared empty tuple.
+_E = ()
+
+
 def _undef(name):
     raise EvaluationError(f"undefined attribute or loop variable {name!r}")
 
@@ -428,6 +458,25 @@ def _make_builtin_runner(name):
     return run
 
 
+def _make_builtin_runner_elided(name):
+    # Builtin runner for tree-elided modules: same env, no payload Leaf.
+    # ``Bytes`` runs ``Raw``'s parser outright — identical attributes, and
+    # the payload copy is exactly what elision exists to skip.
+    parse = _BUILTINS["Raw" if name == "Bytes" else name]
+
+    def run(data, lo, hi):
+        outcome = parse(data, lo, hi)
+        if outcome is _BFAIL:
+            return FAIL
+        attrs, end, _payload = outcome
+        length = hi - lo
+        env = {"EOI": length, "start": 0 if end else length, "end": end}
+        env.update(attrs)
+        return _mk_node(name, env, _E)
+
+    return run
+
+
 def _run_builtin(name, data, lo, hi):
     return _make_builtin_runner(name)(data, lo, hi)
 
@@ -484,6 +533,8 @@ def _bb(name, data, lo, hi):
     if outcome is _BFAIL:
         return FAIL
     attrs, payload, end = outcome
+    if _ELIDE_TREE:
+        payload = None  # the blackbox still runs; only its Leaf is dropped
     return _wrap_outcome(name, attrs, end, payload, hi - lo)
 '''
 
@@ -491,11 +542,9 @@ def _bb(name, data, lo, hi):
 #: blackbox registry.
 _PRELUDE = _PRELUDE_BASE + "\n\n" + _PRELUDE_BLACKBOX
 
-#: Public entry points emitted after the generated rule functions.
-_EPILOGUE = '''\
-_RECURSION_LIMIT = 100000
-
-
+#: Closure-backend entry points: resolve nonterminals through the
+#: generated ``_ENTRY`` table (the table-VM flavor has its own pair).
+_EPILOGUE_CLOSURE = '''\
 def set_limits(max_steps):
     """Change (or lift, with ``None``) this module's parse step budget.
 
@@ -520,32 +569,15 @@ def parse_nonterminal(data, name, lo, hi):
     if name in DECLARED_BLACKBOXES:
         return _bb(name, data, lo, hi)
     raise IPGError(f"no rule, builtin or blackbox for nonterminal {name!r}")
+'''
+
+#: Engine-independent public API: calls the flavor's ``parse_nonterminal``.
+_EPILOGUE_COMMON = '''\
+_RECURSION_LIMIT = 100000
 
 
-def try_parse(data, start=None):
-    """Parse ``data``; returns the root Node, or None on non-matching input."""
-    data = bytes(data)
-    name = START if start is None else start
-    previous_limit = _sys.getrecursionlimit()
-    if _RECURSION_LIMIT > previous_limit:
-        _sys.setrecursionlimit(_RECURSION_LIMIT)
-    try:
-        result = parse_nonterminal(data, name, 0, len(data))
-    except (RecursionError, MemoryError) as exc:
-        raise LimitExceeded(
-            f"{type(exc).__name__} while parsing {name!r}; the input drives "
-            f"unbounded recursion or allocation",
-            limit="recursion",
-            nonterminal=name,
-        ) from exc
-    finally:
-        if _RECURSION_LIMIT > previous_limit:
-            _sys.setrecursionlimit(previous_limit)
-    return None if result is FAIL else result
-
-
-def parse(data, start=None):
-    """Parse ``data``; raises a ParseFailure subclass on non-matching input.
+def _diagnose_and_raise(data, name):
+    """Classify and raise the failure for a non-matching ``data``.
 
     When the ``repro`` package is importable the failure is re-diagnosed
     by the reference interpreter (same classification as every other
@@ -553,11 +585,6 @@ def parse(data, start=None):
     furthest-failure offset).  Standalone, a plain ParseFailure with the
     matching class names vendored above is raised instead.
     """
-    data = bytes(data)
-    name = START if start is None else start
-    result = try_parse(data, name)
-    if result is not None:
-        return result
     if GRAMMAR_SOURCE is not None:
         try:
             from repro.core.diagnose import diagnose_failure
@@ -589,7 +616,48 @@ def parse(data, start=None):
         f"input of length {len(data)} does not match nonterminal {name!r}",
         nonterminal=name,
     )
+
+
+def try_parse(data, start=None):
+    """Parse ``data``; returns the root Node, or None on non-matching input."""
+    data = bytes(data)
+    name = START if start is None else start
+    previous_limit = _sys.getrecursionlimit()
+    if _RECURSION_LIMIT > previous_limit:
+        _sys.setrecursionlimit(_RECURSION_LIMIT)
+    try:
+        result = parse_nonterminal(data, name, 0, len(data))
+    except (RecursionError, MemoryError) as exc:
+        raise LimitExceeded(
+            f"{type(exc).__name__} while parsing {name!r}; the input drives "
+            f"unbounded recursion or allocation",
+            limit="recursion",
+            nonterminal=name,
+        ) from exc
+    finally:
+        if _RECURSION_LIMIT > previous_limit:
+            _sys.setrecursionlimit(previous_limit)
+    return None if result is FAIL else result
+
+
+def parse(data, start=None):
+    """Parse ``data``; raises a ParseFailure subclass on non-matching input.
+
+    Failures are classified by ``_diagnose_and_raise`` — through repro's
+    reference interpreter when importable, as a plain vendored
+    ``ParseFailure`` otherwise.
+    """
+    data = bytes(data)
+    name = START if start is None else start
+    result = try_parse(data, name)
+    if result is not None:
+        return result
+    _diagnose_and_raise(data, name)
 '''
+
+#: The classic closure epilogue (package modules; standalone modules add
+#: the streaming section after it).
+_EPILOGUE = _EPILOGUE_CLOSURE + "\n\n" + _EPILOGUE_COMMON
 
 
 #: Names every per-format package module pulls from the shared prelude
@@ -636,6 +704,20 @@ _PACKAGE_IMPORTS = (
     "_wrap_outcome",
 )
 
+def _doc_literal(doc: str) -> str:
+    """A docstring literal that cannot escape its quoting.
+
+    ``module_doc`` is caller-supplied, so a doc containing ``\"\"\"``, a
+    backslash escape, or a trailing quote rendered into a plain
+    triple-quoted f-string would corrupt — or inject code into — the
+    emitted module.  Keep the readable triple-quoted form for benign text
+    and fall back to ``repr`` (which escapes everything) otherwise.
+    """
+    if '"""' in doc or "\\" in doc or doc.endswith('"'):
+        return repr(doc + "\n")
+    return f'"""{doc}\n"""'
+
+
 def _module_body(compiled) -> str:
     """The generated rule functions, stripped of the in-memory docstring."""
     body = compiled.source
@@ -656,7 +738,16 @@ def _constant_lines(compiled) -> list:
         "#: Original grammar text; lets repro (when importable) re-diagnose",
         "#: failed parses into the structured error taxonomy.",
         f"GRAMMAR_SOURCE = {compiled.grammar.source!r}",
+        f"_ELIDE_TREE = {bool(getattr(compiled, 'elide_tree', False))!r}",
     ]
+    if getattr(compiled, "elide_tree", False):
+        constants += [
+            "# Tree-elision bindings: the generated alternatives keep the",
+            "# full attribute semantics but allocate env-carrying shells",
+            "# only (shared empty children, bare-env element lists).",
+            "_aidx = _aidx_env",
+            "_make_builtin_runner = _make_builtin_runner_elided",
+        ]
     for var in sorted(compiled._leaf_consts):
         constants.append(f"{var} = _mk_leaf({compiled._leaf_consts[var]!r})")
     for var in sorted(compiled._builtin_runner_names):
@@ -664,6 +755,269 @@ def _constant_lines(compiled) -> list:
             f"{var} = _make_builtin_runner({compiled._builtin_runner_names[var]!r})"
         )
     return constants
+
+
+# ---------------------------------------------------------------------------
+# Streaming support (vendored runtime + driver)
+# ---------------------------------------------------------------------------
+
+_STREAMING_RUNTIME_CACHE: Optional[str] = None
+
+
+def _streaming_runtime_source() -> str:
+    """Vendored streaming runtime: EOIProxy, StreamBuffer, tree resolution.
+
+    Extracted from :mod:`repro.core.streaming` at render time so the
+    emitted copy can never drift from the in-repo semantics.  The pieces
+    only reference names the prelude defines (``NeedMoreInput``,
+    ``IPGError``, ``LimitExceeded``, ``Node``, ``ArrayNode``); their type
+    annotations stay unevaluated because every emitted module starts with
+    ``from __future__ import annotations``.
+    """
+    global _STREAMING_RUNTIME_CACHE
+    if _STREAMING_RUNTIME_CACHE is None:
+        import inspect
+
+        from . import streaming as _streaming
+
+        _STREAMING_RUNTIME_CACHE = "\n\n\n".join(
+            inspect.getsource(obj).rstrip("\n")
+            for obj in (
+                _streaming._needed_for,
+                _streaming.EOIProxy,
+                _streaming.StreamBuffer,
+                _streaming._resolve_stream_tree,
+            )
+        )
+    return _STREAMING_RUNTIME_CACHE
+
+
+#: Closure-backend streaming hooks: the fully-memoized stream variant's
+#: source is embedded as ``_STREAM_SOURCE`` and exec'd lazily into a copy
+#: of the module's globals — same constants/prelude, its own ``_ENTRY``.
+_CLOSURE_STREAM_HOOKS = '''\
+_STREAM_NS = None
+
+
+def _stream_namespace():
+    global _STREAM_NS
+    if _STREAM_SOURCE is None:
+        raise NotStreamableError(
+            "this module was generated without its streaming variant"
+        )
+    if _STREAM_NS is None:
+        namespace = dict(globals())
+        exec(compile(_STREAM_SOURCE, "<stream-variant>", "exec"), namespace)
+        _STREAM_NS = namespace
+    _STREAM_NS["_MAX_STEPS"] = _MAX_STEPS  # honour later set_limits() calls
+    return _STREAM_NS
+
+
+def _stream_new_state(buffer):
+    return _stream_namespace()["_new_state"]()
+
+
+def _stream_reset(state):
+    # Rebuild the two-tier fuel cell (hot small-int counter + remainder)
+    # for the new attempt; the budget is per attempt, not cumulative.
+    if _STREAM_FUEL_SLOT is not None:
+        max_steps = _MAX_STEPS
+        take = 256 if max_steps > 256 else max_steps
+        cell = state[_STREAM_FUEL_SLOT]
+        cell[0] = take
+        cell[1] = max_steps - take
+
+
+def _stream_call(state, buffer, start):
+    namespace = _stream_namespace()
+    fn = namespace["_ENTRY"].get(start)
+    if fn is not None:
+        return fn(state, buffer, 0, buffer.end)
+    if start in _BUILTINS:
+        return _run_builtin(start, buffer, 0, buffer.end)
+    if start in DECLARED_BLACKBOXES:
+        return _bb(start, buffer, 0, buffer.end)
+    raise IPGError(f"no rule, builtin or blackbox for nonterminal {start!r}")
+'''
+
+#: Table-backend streaming hooks: a second embedded plan — fully memoized,
+#: linked without the struct decode fast paths (they read whole windows at
+#: once, bypassing the NeedMoreInput suspension protocol).
+_TABLE_STREAM_HOOKS = '''\
+_STREAM_VMS = []
+
+
+def _stream_vm():
+    if not _STREAM_VMS:
+        plan = plan_from_jsonable(_json.loads(_STREAM_PLAN_JSON))
+        _STREAM_VMS.append(
+            TableGrammar(
+                plan, blackboxes=BLACKBOXES, limits=_LIMITS, use_decoders=False
+            )
+        )
+    return _STREAM_VMS[0]
+
+
+def _stream_new_state(buffer):
+    return _stream_vm().new_run(buffer, build_tree=True, dispatch_cache=True)
+
+
+def _stream_reset(state):
+    state.reset_budgets()
+
+
+def _stream_call(state, buffer, start):
+    return state.parse_nonterminal(start, 0, buffer.end, None, None)
+'''
+
+#: The engine-independent streaming driver, mirroring
+#: :class:`repro.core.streaming.StreamingParse` (including probe re-entry
+#: after every chunk and the EOI-pinned doubling heuristic).
+_STREAM_DRIVER = '''\
+class StreamingParse:
+    """One in-flight streaming parse (created by ``stream()``).
+
+    Feed chunks with :meth:`feed`; obtain the final tree with
+    :meth:`finish`.  Mirrors ``repro.core.streaming.StreamingParse``: one
+    persistent fully-memoized engine state lives across re-entries, every
+    chunk probes the parse once (keeping the compaction watermark fresh),
+    and ``compact=True`` bounds peak memory at roughly one chunk plus the
+    largest in-flight term.
+    """
+
+    def __init__(self, start=None, compact=True):
+        self._start = START if start is None else start
+        self._compact = compact
+        self.buffer = StreamBuffer(max_bytes=_MAX_BUFFER_BYTES)
+        self._state = _stream_new_state(self.buffer)
+        self._result = None
+        self._failed = False
+        self._done = False
+        self._finished_tree = None
+        #: Received-bytes threshold from the last suspension hint; ``None``
+        #: means only finish() can unblock the parse.
+        self._wait_until = 0
+        self._last_attempt_received = 0
+        #: Number of parse re-entries performed (observability).
+        self.attempts = 0
+
+    @property
+    def done(self):
+        """Whether the parse outcome is already determined."""
+        return self._done
+
+    @property
+    def max_buffered(self):
+        """High-water mark of bytes simultaneously buffered."""
+        return self.buffer.max_buffered
+
+    def _attempt(self):
+        self.attempts += 1
+        buffer = self.buffer
+        self._last_attempt_received = buffer.received
+        buffer.begin_attempt()
+        _stream_reset(self._state)
+        previous_limit = _sys.getrecursionlimit()
+        raise_limit = _RECURSION_LIMIT > previous_limit
+        if raise_limit:
+            _sys.setrecursionlimit(_RECURSION_LIMIT)
+        try:
+            result = _stream_call(self._state, buffer, self._start)
+        except NeedMoreInput as suspension:
+            self._wait_until = suspension.needed
+            if self._compact and buffer.min_read is not None:
+                buffer.discard_below(buffer.min_read)
+            return False
+        except (RecursionError, MemoryError) as exc:
+            raise LimitExceeded(
+                f"{type(exc).__name__} while stream-parsing {self._start!r}; "
+                f"the input drives unbounded recursion or allocation",
+                limit="recursion",
+                nonterminal=self._start,
+            ) from exc
+        finally:
+            if raise_limit:
+                _sys.setrecursionlimit(previous_limit)
+        self._done = True
+        if result is FAIL:
+            self._failed = True
+        else:
+            self._result = result
+        if self._compact:
+            buffer.discard_below(buffer.received)
+        return True
+
+    def feed(self, chunk):
+        """Feed one chunk; returns True once the outcome is determined."""
+        self.buffer.feed(chunk)
+        if self._done:
+            if self._compact:
+                self.buffer.discard_below(self.buffer.received)
+            return True
+        if self._wait_until is None:
+            # Only finish() can unblock the parse (an EOI-relative read or
+            # length comparison) — but the pinned lower bound of such a
+            # read moves forward as bytes arrive, so with compaction on we
+            # re-enter each time the stream doubles to let the buffer shed
+            # the middle (cost logarithmic in the stream length).
+            if self._compact and self.buffer.received >= 2 * max(
+                1, self._last_attempt_received
+            ):
+                return self._attempt()
+            return False
+        # Probe re-entry: attempt after every chunk, even before the last
+        # suspension's byte hint is satisfied — the re-entry replays the
+        # decided spine as memo hits and refreshes the compaction
+        # watermark, bounding the buffer at one chunk + largest term.
+        return self._attempt()
+
+    def finish(self):
+        """Mark end of stream and return the final parse tree.
+
+        Raises a ParseFailure subclass when the stream does not match the
+        grammar.  Idempotent on success.
+        """
+        if self._finished_tree is not None:
+            return self._finished_tree
+        self.buffer.finish()
+        if not self._done:
+            self._attempt()
+        if self._failed:
+            # Diagnose over the full input when nothing was compacted;
+            # over a partial buffer the diagnosis would see a different
+            # EOI, so a compacted stream degrades to an unclassified
+            # failure instead (matching repro's driver).
+            if self.buffer._base == 0:
+                _diagnose_and_raise(bytes(self.buffer._data), self._start)
+            raise ParseFailure(
+                f"input of length {self.buffer.total} does not match "
+                f"nonterminal {self._start!r} (bytes below offset "
+                f"{self.buffer._base} were compacted away; re-run with "
+                f"compact=False, or batch-parse, for a classified error)",
+                nonterminal=self._start,
+            )
+        self._finished_tree = _resolve_stream_tree(self._result)
+        return self._finished_tree
+
+
+def stream(start=None, compact=True, force=False):
+    """Begin a streaming parse; feed() chunks, then finish() for the tree."""
+    if not STREAMABLE and not force:
+        raise NotStreamableError(
+            "this grammar was classified non-streamable when the module was "
+            "generated; pass force=True to stream anyway (reads that need "
+            "the final length then buffer until finish())"
+        )
+    return StreamingParse(start=start, compact=compact)
+
+
+def parse_stream(chunks, start=None, compact=True, force=False):
+    """Feed every chunk of an iterable and finish()."""
+    session = stream(start=start, compact=compact, force=force)
+    for chunk in chunks:
+        session.feed(chunk)
+    return session.finish()
+'''
 
 
 def render_package(compiled_by_name, package_doc: Optional[str] = None):
@@ -707,7 +1061,7 @@ def render_package(compiled_by_name, package_doc: Optional[str] = None):
         )
     files["__init__.py"] = "\n".join(
         [
-            f'"""{package_doc}\n"""',
+            _doc_literal(package_doc),
             "",
             f"FORMATS = {tuple(sorted(modules.values()))!r}",
             "",
@@ -729,7 +1083,7 @@ def render_package(compiled_by_name, package_doc: Optional[str] = None):
             "fn), START,\nDECLARED_BLACKBOXES."
         )
         parts = [
-            f'"""{module_doc}\n"""',
+            _doc_literal(module_doc),
             "",
             "import sys as _sys",
             "",
@@ -761,12 +1115,48 @@ def render_package(compiled_by_name, package_doc: Optional[str] = None):
     return files
 
 
-def render_standalone_module(compiled, module_doc: Optional[str] = None) -> str:
+def _streaming_parts(
+    streamable: bool,
+    max_buffer_bytes: int,
+    variant_lines: list,
+    hooks: str,
+) -> list:
+    """The streaming section shared by both standalone renderers."""
+    return [
+        "",
+        "",
+        "# -- streaming (vendored runtime + driver) -----------------------------------",
+        "",
+        "#: Static streamability classification of the grammar (absolute-offset",
+        "#: reads decide without the final length); stream(force=True) overrides.",
+        f"STREAMABLE = {bool(streamable)!r}",
+        f"_MAX_BUFFER_BYTES = {max_buffer_bytes!r}",
+        *variant_lines,
+        "",
+        "",
+        _streaming_runtime_source(),
+        "",
+        "",
+        hooks,
+        "",
+        _STREAM_DRIVER,
+    ]
+
+
+def render_standalone_module(
+    compiled,
+    module_doc: Optional[str] = None,
+    stream_compiled=None,
+    streamable: bool = False,
+) -> str:
     """Render a :class:`~repro.core.compiler.CompiledGrammar` as module source.
 
     The result is importable with only the standard library available; see
     the module docstring for the two compatibility guarantees (tree classes
-    and late-bound blackboxes).
+    and late-bound blackboxes).  When ``stream_compiled`` (a fully-memoized
+    variant of the same grammar) is given, the module also carries a
+    streaming driver: ``stream()`` / ``parse_stream()`` mirror the in-repo
+    incremental parser, including probe re-entry and compaction.
     """
     grammar = compiled.grammar
     if module_doc is None:
@@ -775,11 +1165,14 @@ def render_standalone_module(compiled, module_doc: Optional[str] = None) -> str:
             "Generated ahead of time by `repro compile`; imports with only the\n"
             "standard library on sys.path.  Public API: parse(data, start=None),\n"
             "try_parse(data, start=None), parse_nonterminal(data, name, lo, hi),\n"
-            "register_blackbox(name, fn), START, DECLARED_BLACKBOXES."
+            "register_blackbox(name, fn), stream(start=None, compact=True,\n"
+            "force=False), parse_stream(chunks, ...), START, DECLARED_BLACKBOXES."
         )
     declared = "".join(f"{name!r}, " for name in sorted(grammar.blackboxes))
     parts = [
-        f'"""{module_doc}\n"""',
+        _doc_literal(module_doc),
+        "",
+        "from __future__ import annotations",
         "",
         _PRELUDE,
         "",
@@ -801,6 +1194,302 @@ def render_standalone_module(compiled, module_doc: Optional[str] = None) -> str:
         f"DECLARED_BLACKBOXES = frozenset(({declared}))" if declared
         else "DECLARED_BLACKBOXES = frozenset()",
         "",
-        _EPILOGUE,
+        _EPILOGUE_CLOSURE,
+        "",
+        _EPILOGUE_COMMON,
     ]
+    if stream_compiled is not None:
+        stream_source = "\n".join(
+            _constant_lines(stream_compiled) + ["", "", _module_body(stream_compiled)]
+        )
+        variant_lines = [
+            f"_STREAM_FUEL_SLOT = {stream_compiled.fuel_slot!r}",
+            "#: Source of the fully-memoized streaming variant of the rule",
+            "#: functions (mirrors Parser._streaming_compiled); exec'd lazily",
+            "#: into a copy of this module's globals on first stream().",
+            f"_STREAM_SOURCE = {stream_source!r}",
+        ]
+    else:
+        variant_lines = [
+            "_STREAM_FUEL_SLOT = None",
+            "_STREAM_SOURCE = None  # no streaming variant was generated",
+        ]
+    parts += _streaming_parts(
+        streamable,
+        compiled.limits.max_buffer_bytes,
+        variant_lines,
+        _CLOSURE_STREAM_HOOKS,
+    )
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Table-VM flavor: plan JSON + vendored VM core instead of rule functions
+# ---------------------------------------------------------------------------
+
+_VM_CORE_BEGIN = (
+    "# --- begin vendorable VM core "
+    "(extracted verbatim into AOT table modules) ---"
+)
+_VM_CORE_END = (
+    "# --- end vendorable VM core "
+    "-------------------------------------------------"
+)
+
+_VM_RUNTIME_CACHE: Optional[str] = None
+
+
+def _vm_runtime_source() -> str:
+    """Everything a table-backed module needs beyond the shared prelude.
+
+    Vendored at render time from the live modules (``env``, ``limits``,
+    the ``ir`` deserialization subset, and the marked VM-core slice of
+    :mod:`repro.core.backends.tablevm`), so the emitted copy can never
+    drift from the in-repo engines.
+    """
+    global _VM_RUNTIME_CACHE
+    if _VM_RUNTIME_CACHE is None:
+        import inspect
+
+        from . import env as _env
+        from . import ir as _ir
+        from . import limits as _limits
+        from .backends import tablevm as _tablevm
+
+        env_src = "\n\n\n".join(
+            inspect.getsource(obj).rstrip("\n")
+            for obj in (
+                _env.initial_env,
+                _env.upd_start_end_in_place,
+                _env.EvalContext,
+            )
+        )
+        limits_src = (
+            inspect.getsource(_limits.ParseLimits).rstrip("\n")
+            + "\n\n\nDEFAULT_LIMITS = ParseLimits()"
+        )
+        ir_src = "\n\n\n".join(
+            [f"PLAN_FORMAT = {_ir.PLAN_FORMAT}"]
+            + [
+                inspect.getsource(obj).rstrip("\n")
+                for obj in (
+                    _ir.DispatchIR,
+                    _ir.AltIR,
+                    _ir.RuleIR,
+                    _ir.GrammarPlan,
+                    _ir._rle_decode,
+                    _ir._data_from_jsonable,
+                    _ir._dispatch_from_jsonable,
+                    _ir._rule_from_jsonable,
+                    _ir.plan_from_jsonable,
+                )
+            ]
+        )
+        core = inspect.getsource(_tablevm)
+        begin = core.index(_VM_CORE_BEGIN) + len(_VM_CORE_BEGIN)
+        vm_src = core[begin : core.index(_VM_CORE_END)].strip("\n")
+        _VM_RUNTIME_CACHE = "\n\n".join(
+            [
+                "# -- vendored attribute-environment runtime (repro.core.env) "
+                "-----------------\n\n" + env_src,
+                "\n# -- vendored resource budgets (repro.core.limits) "
+                "---------------------------\n\n" + limits_src,
+                "\n# -- vendored plan deserialization (repro.core.ir) "
+                "---------------------------\n\n" + ir_src,
+                "\n# -- vendored VM core (repro.core.backends.tablevm) "
+                "--------------------------\n\n" + vm_src,
+            ]
+        )
+    return _VM_RUNTIME_CACHE
+
+
+#: Adapters giving the prelude's raw builtin/blackbox helpers the registry
+#: shape the VM core expects (it is written against ``repro.core.builtins``).
+_VM_ADAPTERS = '''\
+class _BuiltinSpec:
+    """Adapter: the VM core looks builtins up as objects with ``.parse``."""
+
+    __slots__ = ("parse",)
+
+    def __init__(self, parse):
+        self.parse = parse
+
+
+BUILTINS = {name: _BuiltinSpec(fn) for name, fn in _BUILTINS.items()}
+BUILTIN_FAIL = _BFAIL
+normalize_blackbox_result = _normalize_blackbox_result
+
+
+def is_builtin(name):
+    return name in _BUILTINS
+'''
+
+#: Table-backend entry points (the counterpart of ``_EPILOGUE_CLOSURE``).
+_EPILOGUE_TABLE = '''\
+def set_limits(max_steps):
+    """Change (or lift, with ``None``) this module's parse step budget.
+
+    Applies to subsequent top-level parses of both the batch VM and the
+    streaming one; in-flight streaming sessions keep their budgets.
+    """
+    global _LIMITS
+    _LIMITS = _dc_replace(_LIMITS, max_steps=max_steps)
+    _VM.set_limits(_LIMITS)
+    if _STREAM_VMS:
+        _STREAM_VMS[0].set_limits(_LIMITS)
+
+
+def parse_nonterminal(data, name, lo, hi):
+    """``s[lo, hi] |- name`` -> Node or the FAIL sentinel."""
+    return _VM.parse_nonterminal(data, name, lo, hi)
+'''
+
+
+def render_tablevm_module(
+    plan,
+    limits=None,
+    module_doc: Optional[str] = None,
+) -> str:
+    """Render a lowered :class:`~repro.core.ir.GrammarPlan` as a standalone
+    table-backed parser module.
+
+    Instead of per-rule functions, the module embeds the plan as JSON plus
+    a vendored copy of the table-VM core and links them at import time —
+    the AOT artifact is *data*, far smaller than the closure flavor for
+    large grammars, at the cost of the VM's dispatch overhead.  A second,
+    fully-memoized plan backs the same ``stream()`` / ``parse_stream()``
+    driver the closure flavor carries.
+    """
+    import json
+    from dataclasses import replace
+
+    from .errors import IPGError
+    from .ir import lower, plan_to_jsonable
+    from .limits import DEFAULT_LIMITS
+    from .streamability import analyze_streamability
+
+    grammar = plan.grammar
+    if grammar is None:
+        raise IPGError(
+            "render_tablevm_module needs a plan that still carries its "
+            "source grammar (one produced by lower(), not deserialized "
+            "from JSON)"
+        )
+    if limits is None:
+        limits = DEFAULT_LIMITS
+    streamable = analyze_streamability(grammar).streamable
+
+    # The streaming link: full memoization so probe re-entries replay
+    # decided sub-parses as memo hits (same policy as the closure stream
+    # variant and Parser._tablevm_streaming).
+    if plan.analysis is not None:
+        stream_opts = replace(
+            plan.analysis.opts,
+            module_level_where=True,
+            dense_memo=True,
+            skip_nonrecursive_memo=False,
+            inline_single_use=False,
+        )
+    else:
+        from .ir import Optimizations
+
+        stream_opts = Optimizations(
+            module_level_where=True,
+            dense_memo=True,
+            skip_nonrecursive_memo=False,
+            inline_single_use=False,
+        )
+    memoize = bool(plan.options.get("memoize", True))
+    stream_plan = lower(grammar, memoize=memoize, optimizations=stream_opts)
+    plan_json = json.dumps(
+        plan_to_jsonable(plan), separators=(",", ":"), sort_keys=True
+    )
+    stream_json = json.dumps(
+        plan_to_jsonable(stream_plan), separators=(",", ":"), sort_keys=True
+    )
+    limit_args = ", ".join(
+        f"{name}={getattr(limits, name)!r}"
+        for name in (
+            "max_depth",
+            "max_steps",
+            "max_tree_nodes",
+            "max_memo_entries",
+            "max_buffer_bytes",
+        )
+    )
+
+    if module_doc is None:
+        module_doc = (
+            f"Standalone table-backed IPG parser (start symbol: "
+            f"{grammar.start}).\n\n"
+            "Generated ahead of time by `repro compile --backend tablevm`;\n"
+            "imports with only the standard library on sys.path.  The parser\n"
+            "is an embedded plan (JSON) executed by a vendored copy of the\n"
+            "table-VM core.  Public API: parse(data, start=None),\n"
+            "try_parse(data, start=None), parse_nonterminal(data, name, lo,\n"
+            "hi), register_blackbox(name, fn), stream(start=None,\n"
+            "compact=True, force=False), parse_stream(chunks, ...), START,\n"
+            "DECLARED_BLACKBOXES."
+        )
+    declared = "".join(f"{name!r}, " for name in sorted(grammar.blackboxes))
+    parts = [
+        _doc_literal(module_doc),
+        "",
+        "from __future__ import annotations",
+        "",
+        "import json as _json",
+        "from dataclasses import dataclass, fields, replace as _dc_replace",
+        "",
+        _PRELUDE,
+        "",
+        "# The dataclass machinery resolves string annotations through",
+        "# sys.modules[cls.__module__]; when this source is exec'd into a bare",
+        "# namespace (load_module, the test matrix) that entry may not exist —",
+        "# register a placeholder so the vendored IR dataclasses process",
+        "# cleanly.  A real import leaves this a no-op.",
+        '_MODNAME = globals().get("__name__") or "ipg_aot_table_parser"',
+        "__name__ = _MODNAME",
+        "if _MODNAME not in _sys.modules:",
+        "    import types as _types",
+        "",
+        "    _sys.modules[_MODNAME] = _types.ModuleType(_MODNAME)",
+        "",
+        "",
+        _VM_ADAPTERS,
+        "",
+        _vm_runtime_source(),
+        "",
+        "",
+        "# -- grammar constants -------------------------------------------------------",
+        "",
+        f"GRAMMAR_SOURCE = {grammar.source!r}",
+        f"_LIMITS = ParseLimits({limit_args})",
+        "#: The default-optimization plan (batch parses).",
+        f"_PLAN_JSON = {plan_json!r}",
+        "#: The fully-memoized plan backing stream() re-entries.",
+        f"_STREAM_PLAN_JSON = {stream_json!r}",
+        "",
+        "_VM = TableGrammar(",
+        "    plan_from_jsonable(_json.loads(_PLAN_JSON)),",
+        "    blackboxes=BLACKBOXES,",
+        "    limits=_LIMITS,",
+        ")",
+        "",
+        "",
+        "# -- public API --------------------------------------------------------------",
+        "",
+        f"START = {grammar.start!r}",
+        f"DECLARED_BLACKBOXES = frozenset(({declared}))" if declared
+        else "DECLARED_BLACKBOXES = frozenset()",
+        "",
+        _EPILOGUE_TABLE,
+        "",
+        _EPILOGUE_COMMON,
+    ]
+    parts += _streaming_parts(
+        streamable,
+        limits.max_buffer_bytes,
+        ["#: (table flavor: the stream variant is the second embedded plan)"],
+        _TABLE_STREAM_HOOKS,
+    )
     return "\n".join(parts)

@@ -1,2364 +1,48 @@
-"""The staged compiler backend: IPG grammars -> specialized Python closures.
+"""Compatibility surface of the staged compiler.
 
-The reference interpreter (:mod:`repro.core.interpreter`) executes every term
-through an ``isinstance`` dispatch chain and re-walks each interval, guard
-and attribute expression per parse.  This module removes that interpretive
-overhead by *staging* the grammar once, at :class:`~repro.core.interpreter.
-Parser` construction time, into plain Python functions:
+The monolithic compiler moved into the analyze -> lower -> emit pipeline:
 
-* every expression is rendered to inline Python source by
-  :mod:`repro.core.exprcomp` (constant folding, attribute names interned
-  into function locals — a slot-based environment instead of per-term dict
-  operations);
-* every alternative becomes one flat function with term dispatch resolved
-  at compile time: terminal byte-compares are inlined slice comparisons,
-  fixed-width builtin integers (the paper's ``btoi`` specialization) are
-  inlined ``int.from_bytes`` calls, rule calls are direct function calls;
-* ``updStartEnd`` and the ``{EOI, start, end}`` specials live in locals and
-  the final node environment is built with a single dict display;
-* packrat memoization uses per-nonterminal tables allocated fresh per parse
-  in a state list threaded through the calls, so concurrent and reentrant
-  parses are isolated like the interpreter's per-run memo.
+* :mod:`repro.core.ir` — the analyze and lower stages: whole-grammar
+  facts (:func:`repro.core.ir.analyze`) and per-rule plan-IR programs
+  (:func:`repro.core.ir.lower`), shared by every backend;
+* :mod:`repro.core.backends.closures` — the closure-emitting backend
+  (everything this module used to contain);
+* :mod:`repro.core.backends.tablevm` — the table-driven VM backend.
 
-On top of that baseline, five optimization passes (individually toggleable
-through :class:`Optimizations`) specialize further:
-
-* **module-level where rules** — ``where`` local rules compile to
-  module-level functions taking an explicit closure-cell list instead of
-  per-invocation nested ``def`` s; the declaring alternative mirrors its
-  locals into the cell list as they are bound, so hot loops (ELF sections,
-  ZIP entries) stop paying function construction on every invocation;
-* **dense memo tables** — rules whose every call site pins the right
-  interval endpoint to the (unrebound) ``EOI`` special are always invoked
-  with the same ``hi`` within one parse, so their memo key collapses from
-  a ``(lo, hi)`` tuple to the bare ``lo`` offset (a flat ``lo``-indexed
-  array was measured as well; its O(input-length) per-parse allocation
-  loses whenever call sites are sparser than one per byte, so the
-  ``lo``-keyed table remains a dict);
-* **memo elision** — rules that cannot recur (no cycle through the
-  nonterminal dependency graph, computed with
-  :func:`repro.core.cycles.recursive_vertices`) skip memoization entirely:
-  a correct parse re-derives their result, it never corrupts it;
-* **single-use inlining** — a rule with one alternative referenced from
-  exactly one call site (a plain nonterminal term like ``FileName ->
-  Bytes``, an array element like ELF's ``Sym``, or a switch-case target)
-  is expanded into that call site, eliminating the call, the memo probe
-  and the environment rebase copy;
-* **first-byte dispatch** — where the FIRST-set analysis
-  (:mod:`repro.core.firstsets`) proves the window's first byte
-  discriminates between alternatives, the dispatcher jumps through a
-  256-entry tuple table (or a 256-byte admissibility mask for
-  single-alternative rules) instead of trying alternatives in order.
-
-A separate **tree-elision** compilation (``compile_grammar(...,
-elide_tree=True)``) backs ``Parser.parse(data, emit="spans"|None)``: the
-generated alternatives keep the full attribute semantics but skip all
-children lists, ``Leaf`` payload copies and ``ArrayNode`` wrappers,
-returning env-carrying node shells only.
-
-The compiled backend produces parse trees *identical* (``==``) to the
-interpreter; the cross-engine matrix (``tests/engine_matrix.py``) enforces
-this differentially on every bundled format grammar, on property-based
-workloads, and with every optimization pass toggled on and off.
-Constructs the compiler cannot specialize raise
-:class:`~repro.core.errors.CompilationError`, which the ``Parser`` turns
-into a silent fallback to the interpreter.
-
-Public API:
-
-``compile_grammar(grammar, memoize=True, blackboxes=None, optimizations=None,
-elide_tree=False)``
-    Stage a prepared grammar and return a :class:`CompiledGrammar`.
-
-``CompiledGrammar.to_source()``
-    Render the staged grammar as a **standalone importable module** (see
-    :mod:`repro.core.codegen`), the ahead-of-time output of
-    ``repro compile``.
+``repro.core.compiler`` remains the stable import path for the closure
+backend's public API (`compile_grammar`, :class:`CompiledGrammar`,
+:class:`Optimizations`) and for the runtime helpers the generated modules
+and sibling modules bind against.
 """
 
-from __future__ import annotations
-
-import re
-import struct
-import sys
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple, Union
-
-from .ast import (
-    Alternative,
-    Grammar,
-    Interval,
-    Rule,
-    Term,
-    TermArray,
-    TermAttrDef,
-    TermGuard,
-    TermNonterminal,
-    TermSwitch,
-    TermTerminal,
+from .backends.closures import (  # noqa: F401
+    CompiledGrammar,
+    Optimizations,
+    compile_grammar,
+    _FIXED_INTS,
+    _MISS,
+    _SHARED_EMPTY,
+    _UB,
+    _aidx,
+    _aidx_env,
+    _exists,
+    _limit_refill,
+    _limit_steps,
+    _make_blackbox_runner,
+    _make_builtin_runner,
+    _make_builtin_runner_elided,
+    _mk_array,
+    _mk_leaf,
+    _mk_node,
+    _run_builtin,
+    _wrap_outcome,
 )
-from .builtins import BUILTIN_FAIL, BUILTINS, is_builtin, normalize_blackbox_result
-from .cycles import recursive_vertices
-from .errors import (
-    BlackboxError,
-    CompilationError,
-    EvaluationError,
-    IPGError,
-    LimitExceeded,
-)
-from .expr import Name, Num
-from .exprcomp import (
-    SPECIALS,
-    LoopVar,
-    Namer,
-    Scope,
-    cells_path,
-    compile_expr,
-    fold,
-)
-from .interpreter import FAIL, prepare_grammar
-from .limits import DEFAULT_LIMITS, ParseLimits
-from .parsetree import ArrayNode, Leaf, Node
-from .runtime import _div, _mod, _shift_l, _shift_r
-
-#: Sentinel distinguishing "memo miss" from a memoized FAIL.
-_MISS = object()
-
-#: Fixed-width integer builtins inlined by the compiler:
-#: name -> (byte width, byteorder, signed), derived from the builtins
-#: registry so the two can never drift apart.
-_FIXED_INTS = {
-    name: (spec.size, spec.byteorder, spec.signed)
-    for name, spec in BUILTINS.items()
-    if spec.size is not None and spec.byteorder is not None
-}
-
-
-@dataclass(frozen=True)
-class Optimizations:
-    """Toggle set for the compiler's optimization passes.
-
-    Every combination produces identical parse trees (enforced by
-    ``tests/test_compiler_passes.py``); the flags only trade compile-time
-    analysis and generated-code shape for parse speed.
-    """
-
-    #: Compile ``where`` local rules to module-level functions with explicit
-    #: closure-cell lists instead of per-invocation nested ``def`` s.
-    module_level_where: bool = True
-    #: Collapse the memo key of rules whose ``hi`` is always ``EOI`` from a
-    #: ``(lo, hi)`` tuple to the bare ``lo`` offset.
-    dense_memo: bool = True
-    #: Skip memo tables for rules that cannot recur.
-    skip_nonrecursive_memo: bool = True
-    #: Expand single-use single-alternative rules into their call site
-    #: (plain nonterminal, array-element and switch-target sites).
-    inline_single_use: bool = True
-    #: Replace ordered trial-and-backtrack with byte-indexed jump tables
-    #: where the FIRST-set analysis (:mod:`repro.core.firstsets`) prunes
-    #: alternatives: 256-entry tuples of alternative functions for
-    #: multi-alternative rules, 256-byte admissibility masks for
-    #: single-alternative rules.
-    first_byte_dispatch: bool = True
-    #: Vectorize statically fixed layouts (:mod:`repro.core.shapes`): fuse
-    #: fixed-prefix field runs into one precompiled ``struct`` unpack,
-    #: lower ``for`` arrays of fixed-shape elements to a single
-    #: ``Struct.iter_unpack`` over the interval, and inline the
-    #: ``Raw``/``Bytes`` builtins.
-    bulk_fixed_shape: bool = True
-
-    @classmethod
-    def none(cls) -> "Optimizations":
-        """The PR-1 baseline: no optimization passes."""
-        return cls(False, False, False, False, False, False)
-
-
-# ---------------------------------------------------------------------------
-# Runtime support (injected into the generated module's globals)
-# ---------------------------------------------------------------------------
-
-_node_new = Node.__new__
-_leaf_new = Leaf.__new__
-_array_new = ArrayNode.__new__
-
-
-def _mk_node(name, env, children):
-    """Allocate a Node without the constructor's defensive copies."""
-    node = _node_new(Node)
-    node.name = name
-    node.env = env
-    node.children = children
-    return node
-
-
-def _mk_leaf(value):
-    leaf = _leaf_new(Leaf)
-    leaf.value = value
-    return leaf
-
-
-def _mk_array(name, elements):
-    array = _array_new(ArrayNode)
-    array.name = name
-    array.elements = elements
-    return array
-
-
-#: Poison value marking a loop-variable local (or a closure cell) whose
-#: binding is not live (before its loop started or after it finished, or
-#: before the defining term ran).  The interpreter pops the env binding, so
-#: reads must fall through to an enclosing scope's binding — or fail —
-#: instead of seeing stale data.
-_UB = object()
-
-
-def _aidx(elements, position, name, attr):
-    """Bounds-checked ``A(e).attr`` on a compiled element list."""
-    if 0 <= position < len(elements):
-        # A missing attribute raises KeyError, which the enclosing compiled
-        # alternative turns into failure — like EvaluationError in the
-        # interpreter.
-        return elements[position].env[attr]
-    raise EvaluationError(
-        f"array reference {name}({position}) out of range "
-        f"(array has {len(elements)} elements)"
-    )
-
-
-def _aidx_env(envs, position, name, attr):
-    """``_aidx`` for tree-elided parses, whose element lists hold bare envs."""
-    if 0 <= position < len(envs):
-        return envs[position][attr]
-    raise EvaluationError(
-        f"array reference {name}({position}) out of range "
-        f"(array has {len(envs)} elements)"
-    )
-
-
-#: Children of every node of a tree-elided parse: one shared immutable
-#: empty tuple, so node allocation stays down to the env-carrying shell
-#: the attribute semantics require and no caller can corrupt shared state
-#: by mutating a returned root's ``children``.
-_SHARED_EMPTY: tuple = ()
-
-
-def _limit_steps():
-    """Raise the step-budget error (called from generated dispatchers)."""
-    raise LimitExceeded(
-        "parse step budget exhausted (ParseLimits.max_steps); pass "
-        "ParseLimits.unlimited() for trusted input",
-        limit="max_steps",
-    )
-
-
-def _limit_refill(cell):
-    """Slow path of the step budget: refill the hot counter or raise.
-
-    The fuel cell is two-tiered — ``cell[0]`` is the hot countdown the
-    generated dispatchers decrement, ``cell[1]`` the rest of the budget.
-    Keeping the hot counter within CPython's cached small-int range
-    (≤ 256) makes the per-rule decrement allocation-free; a counter
-    seeded straight from ``max_steps`` (tens of millions) allocates a
-    fresh int object on every decrement, which costs double-digit
-    percentages on rule-call-dense grammars and ticks the GC heuristic.
-    """
-    remaining = cell[1]
-    if remaining <= 0:
-        _limit_steps()
-    take = 256 if remaining > 256 else remaining
-    cell[0] = take - 1  # the entry that tripped the refill consumes one
-    cell[1] = remaining - take
-
-
-def _undef(name):
-    raise EvaluationError(f"undefined attribute or loop variable {name!r}")
-
-
-def _nonode(name):
-    raise EvaluationError(f"reference to {name} but it has not been parsed yet")
-
-
-def _noarr(name):
-    raise EvaluationError(
-        f"reference to array {name} but no such array has been parsed"
-    )
-
-
-def _badexists(source):
-    raise EvaluationError(
-        f"existential does not reference any array indexed by its bound "
-        f"variable: {source}"
-    )
-
-
-def _exists(length, condition, then, otherwise):
-    """Runtime support for ``exists j . e1 ? e2 : e3`` (section 3.4)."""
-    for position in range(length):
-        if condition(position) != 0:
-            return then(position)
-    return otherwise()
-
-
-def _wrap_outcome(name, attrs, end, payload, length):
-    """Build the (unrebased) node a builtin/blackbox outcome denotes."""
-    env = {"EOI": length, "start": 0 if end else length, "end": end}
-    env.update(attrs)
-    children = [Leaf(payload)] if payload is not None else []
-    return _mk_node(name, env, children)
-
-
-def _make_builtin_runner(name):
-    """Specialize a builtin's parse-and-wrap (bound at compile time)."""
-    parse = BUILTINS[name].parse
-
-    def run(data, lo, hi):
-        outcome = parse(data, lo, hi)
-        if outcome is BUILTIN_FAIL:
-            return FAIL
-        attrs, end, payload = outcome
-        return _wrap_outcome(name, attrs, end, payload, hi - lo)
-
-    return run
-
-
-def _make_builtin_runner_elided(name):
-    """Builtin runner for tree-elided parses: same env, no payload Leaf.
-
-    ``Bytes`` runs ``Raw``'s parser outright — the two compute identical
-    attributes (``len``/``val`` = interval length, ``end`` = interval
-    length) and differ only in the payload copy elision exists to skip.
-    """
-    parse = BUILTINS["Raw" if name == "Bytes" else name].parse
-
-    def run(data, lo, hi):
-        outcome = parse(data, lo, hi)
-        if outcome is BUILTIN_FAIL:
-            return FAIL
-        attrs, end, _payload = outcome
-        length = hi - lo
-        env = {"EOI": length, "start": 0 if end else length, "end": end}
-        env.update(attrs)
-        return _mk_node(name, env, _SHARED_EMPTY)
-
-    return run
-
-
-def _run_builtin(name, data, lo, hi):
-    """Run a builtin by name (slow path for builtin start symbols)."""
-    return _make_builtin_runner(name)(data, lo, hi)
-
-
-def _make_blackbox_runner(blackboxes, elide_tree=False):
-    """Blackbox dispatch closed over the parser's *live* registry dict."""
-
-    def run(name, data, lo, hi):
-        implementation = blackboxes.get(name)
-        if implementation is None:
-            raise BlackboxError(
-                f"grammar declares blackbox {name!r} but no implementation was "
-                f"registered with the Parser"
-            )
-        window = data[lo:hi]
-        try:
-            raw = implementation(window)
-        except Exception as exc:  # the blackbox itself failed
-            raise BlackboxError(f"blackbox parser {name!r} raised: {exc}") from exc
-        outcome = normalize_blackbox_result(raw, hi - lo)
-        if outcome is BUILTIN_FAIL:
-            return FAIL
-        attrs, payload, end = outcome
-        if elide_tree:
-            payload = None  # the blackbox still runs; only its Leaf is dropped
-        return _wrap_outcome(name, attrs, end, payload, hi - lo)
-
-    return run
-
-
-def _indent(lines: List[str], levels: int = 1) -> List[str]:
-    pad = "    " * levels
-    return [pad + line if line else line for line in lines]
-
-
-# ---------------------------------------------------------------------------
-# Whole-grammar analyses feeding the optimization passes
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class _CallSite:
-    """One static invocation of a nonterminal inside some rule body."""
-
-    caller: Rule  # the (top-level or local) rule containing the call
-    top: str  # name of the enclosing top-level rule
-    kind: str  # "nt" | "array" | "switch"
-    target_kind: str  # "local" | "top" | "other"
-    target: object  # Rule for "local", the name otherwise
-    eoi_right: bool  # right endpoint is the unrebound EOI special
-
-
-def _collect_sites(grammar: Grammar) -> Tuple[List[_CallSite], List[Rule]]:
-    """Enumerate every call site, resolving where-rule shadowing lexically.
-
-    The compiler rejects call-site-dependent dispatch up front
-    (:meth:`_GrammarCompiler._check_dynamic_shadowing`), so lexical
-    resolution here agrees with the interpreter's dynamic chain walk for
-    every grammar that actually gets compiled.
-    """
-    sites: List[_CallSite] = []
-    rules: List[Rule] = []
-
-    def walk(rule: Rule, top: str, chain: Dict[str, Rule]) -> None:
-        rules.append(rule)
-        for alternative in rule.alternatives:
-            local_chain = chain
-            if alternative.local_rules:
-                local_chain = dict(chain)
-                local_chain.update(
-                    {local.name: local for local in alternative.local_rules}
-                )
-            rebound = False
-            for term in alternative.terms:
-                if isinstance(term, TermAttrDef):
-                    if term.name == "EOI":
-                        rebound = True
-                    continue
-                targets: List[Tuple[str, object, str, bool]] = []
-                if isinstance(term, TermNonterminal):
-                    targets.append((term.name, term.interval.right, "nt", False))
-                elif isinstance(term, TermArray):
-                    # The element interval is evaluated with the loop
-                    # variable bound; a loop variable named EOI shadows the
-                    # special for the element site.
-                    targets.append(
-                        (
-                            term.element.name,
-                            term.element.interval.right,
-                            "array",
-                            term.var == "EOI",
-                        )
-                    )
-                elif isinstance(term, TermSwitch):
-                    targets.extend(
-                        (case.target.name, case.target.interval.right, "switch", False)
-                        for case in term.cases
-                    )
-                for name, right, kind, shadowed in targets:
-                    eoi_right = (
-                        not rebound
-                        and not shadowed
-                        and isinstance(right, Name)
-                        and right.ident == "EOI"
-                    )
-                    if name in local_chain:
-                        target_kind, target = "local", local_chain[name]
-                    elif grammar.has_rule(name):
-                        target_kind, target = "top", name
-                    else:
-                        target_kind, target = "other", name
-                    sites.append(
-                        _CallSite(rule, top, kind, target_kind, target, eoi_right)
-                    )
-            for local in alternative.local_rules:
-                walk(local, top, local_chain)
-
-    for name, rule in grammar.rules.items():
-        walk(rule, name, {})
-    return sites, rules
-
-
-def _recursive_rule_names(grammar: Grammar, sites: List[_CallSite]) -> Set[str]:
-    """Top-level rules that can (transitively) re-enter themselves."""
-    graph: Dict[str, Set[str]] = {name: set() for name in grammar.rules}
-    for site in sites:
-        if site.target_kind == "top":
-            graph[site.top].add(site.target)
-    return set(recursive_vertices(graph))
-
-
-def _eoi_anchored_rule_names(grammar: Grammar, sites: List[_CallSite]) -> Set[str]:
-    """Top-level rules whose every invocation has ``hi == `` the parse's EOI.
-
-    Greatest fixpoint: a rule stays anchored only while every call site
-    pins the right endpoint to the caller's unrebound ``EOI`` *and* the
-    caller itself is anchored (so the caller's ``EOI`` is the top-level
-    one).  Entry-point invocations (``parse(start=...)``) use
-    ``hi = len(data)`` and are anchored by construction.  For anchored
-    rules the memo key ``(lo, hi)`` collapses to ``lo``.
-    """
-    anchored: Dict[int, bool] = {}
-    rule_sites = [site for site in sites if site.target_kind in ("local", "top")]
-    for site in rule_sites:
-        anchored[id(site.caller)] = True
-        target = site.target if site.target_kind == "local" else grammar.rule(site.target)
-        anchored[id(target)] = True
-    for name in grammar.rules:
-        anchored[id(grammar.rule(name))] = True
-    changed = True
-    while changed:
-        changed = False
-        for site in rule_sites:
-            target = (
-                site.target
-                if site.target_kind == "local"
-                else grammar.rule(site.target)
-            )
-            if anchored[id(target)] and (
-                not site.eoi_right or not anchored[id(site.caller)]
-            ):
-                anchored[id(target)] = False
-                changed = True
-    return {name for name in grammar.rules if anchored[id(grammar.rule(name))]}
-
-
-def _inline_candidates(
-    grammar: Grammar, sites: List[_CallSite], recursive: Set[str]
-) -> Set[str]:
-    """Rules expandable into their (unique) call site.
-
-    Conditions: exactly one alternative, no local rules, referenced from
-    exactly one call site grammar-wide, and the rule is not recursive
-    (which also rules out mutual inlining cycles).  The site may be a
-    plain nonterminal term, an array element, or a switch-case target:
-    the expansion runs with its own window locals and a parentless scope,
-    which is exactly the context a top-level rule sees from any of the
-    three (the interpreter passes no caller context either, and a loop
-    iteration or switch branch failing mid-expansion fails the caller's
-    alternative just like a propagated callee FAIL).
-    """
-    uses: Dict[str, int] = {}
-    for site in sites:
-        if site.target_kind == "top":
-            uses[site.target] = uses.get(site.target, 0) + 1
-    candidates: Set[str] = set()
-    for name, rule in grammar.rules.items():
-        if (
-            uses.get(name) == 1
-            and name not in recursive
-            and len(rule.alternatives) == 1
-            and not rule.alternatives[0].local_rules
-        ):
-            candidates.add(name)
-    return candidates
-
-
-# ---------------------------------------------------------------------------
-# The grammar compiler
-# ---------------------------------------------------------------------------
-
-
-class _ChildSink:
-    """Destination of an alternative's children, chosen per alternative.
-
-    ``display``
-        The child sequence is static (no switch/array terms): child
-        expressions are collected at compile time and the final node is
-        built with a single list display — no per-child ``.append`` calls.
-    ``append``
-        A switch or array term makes the sequence dynamic: fall back to a
-        list local plus appends.
-    ``none``
-        Tree elision: children are never materialized and every node
-        shares the module-level empty list ``_E``.
-    """
-
-    __slots__ = ("mode", "var", "items")
-
-    def __init__(self, mode: str, var: Optional[str] = None):
-        self.mode = mode
-        self.var = var
-        self.items: List[str] = []
-
-    def add(self, expr: Optional[str], body: List[str]) -> None:
-        if self.mode == "append":
-            body.append(f"{self.var}.append({expr})")
-        elif self.mode == "display":
-            self.items.append(expr)
-
-    def init_lines(self) -> List[str]:
-        return [f"{self.var} = []"] if self.mode == "append" else []
-
-    def final_expr(self) -> str:
-        if self.mode == "append":
-            return self.var
-        if self.mode == "display":
-            return "[" + ", ".join(self.items) + "]"
-        return "_E"
-
-
-class _GrammarCompiler:
-    """Translates one prepared grammar into a module of specialized closures."""
-
-    def __init__(
-        self,
-        grammar: Grammar,
-        memoize: bool = True,
-        optimizations: Optional[Optimizations] = None,
-        elide_tree: bool = False,
-        stream_dispatch_cache: bool = False,
-        max_steps: Optional[int] = None,
-    ):
-        self.grammar = grammar
-        self.memoize = memoize
-        self.opts = optimizations if optimizations is not None else Optimizations()
-        #: Step budget (ParseLimits.max_steps): when set, every rule
-        #: dispatcher decrements a shared per-parse counter cell (state
-        #: slot 0, kind ``"c"``) and raises LimitExceeded on exhaustion —
-        #: one list op on the memo-miss path.  ``None`` compiles the
-        #: check out entirely.
-        self.max_steps = max_steps
-        self.fuel_slot: Optional[int] = None
-        self._fuel_rules: Set[str] = set()
-        #: Streaming-variant compilations remember each dispatch decision
-        #: in a per-parse ``lo``-keyed table instead of re-reading
-        #: ``data[lo]`` on every re-entry: the byte at a given offset never
-        #: changes, and the re-read of an in-flight spine rule would pin
-        #: the compaction watermark at its window start (whole-stream
-        #: buffering).  Batch parses read directly — cheaper than a dict
-        #: probe when every rule runs exactly once per window.
-        self.stream_cache = stream_dispatch_cache
-        #: Tree elision: generated alternatives keep the full attribute
-        #: semantics (envs, records, arrays-of-envs) but never build
-        #: children lists, Leafs or ArrayNodes — the execution mode behind
-        #: ``Parser.parse(data, emit="spans"|None)``.
-        self.elide = elide_tree
-        #: Rule name -> firstsets.DispatchPlan for byte-indexed choice, and
-        #: id(local Rule) -> plan for where-rule dispatch.
-        self.dispatch_plans: Dict[str, object] = {}
-        self.local_plans: Dict[int, object] = {}
-        self.namer = Namer()
-        self.rule_fns: Dict[str, str] = {}
-        #: Memo-table slot kinds of the per-parse state list ``st``:
-        #: ``"d"`` for a ``(lo, hi)``-keyed table, ``"l"`` for a dense
-        #: bare-``lo``-keyed one.  Fresh per parse, so parses are isolated
-        #: like the interpreter's per-run memo — reentrancy/thread safe.
-        self.memo_slots: List[str] = []
-        #: Rule name -> "dict" | "dense" | "skipped" | "unmemoized".
-        self.memo_modes: Dict[str, str] = {}
-        #: Constants (prebuilt Leaf objects, builtin runners) injected into
-        #: the generated module's globals.
-        self.constants: Dict[str, object] = {}
-        self._leaf_cache: Dict[bytes, str] = {}
-        self._runner_cache: Dict[str, str] = {}
-        self._tokens: Dict[str, str] = {}
-        self._token_used: set = set()
-        #: struct format -> module-level ``struct.Struct`` constant name; the
-        #: definitions are emitted as plain source (``_sh0 = _struct.Struct(
-        #: '<IBBHQQ')``) so ahead-of-time emission vendors them for free.
-        self._struct_cache: Dict[str, str] = {}
-        self._struct_lines: List[str] = []
-        #: Deterministic per-compilation plan numbering: shape-plan attr
-        #: locals must not depend on process-global analysis order, or two
-        #: emissions of the same grammar would differ textually.
-        self._plan_uids: Dict[int, int] = {}
-        #: Rules whose alternatives decode a fused fixed-shape prefix, and
-        #: array element rules lowered to bulk struct decoding.
-        self.shaped_rules: Set[str] = set()
-        self.bulk_arrays: Set[str] = set()
-        #: Module-level where-rule definitions awaiting emission.
-        self._deferred: List[str] = []
-        #: Rules the current compilation may expand inline.
-        self._inline: Set[str] = set()
-        #: Names of rules currently being expanded (cycle guard).
-        self._inlining: Set[str] = set()
-        #: Input-window variables of the function/expansion being compiled.
-        self._lo = "lo"
-        self._hi = "hi"
-        #: Terms / where-rule presence of the alternative currently being
-        #: compiled (bulk array lowering scans them for element references).
-        self._current_alternative_terms: Optional[List[Term]] = None
-        self._current_alternative_locals = False
-
-    # -- naming ------------------------------------------------------------
-    def _token(self, raw: str) -> str:
-        """A collision-free identifier fragment for a grammar-level name."""
-        cached = self._tokens.get(raw)
-        if cached is not None:
-            return cached
-        token = re.sub(r"\W", "_", raw) or "x"
-        while token in self._token_used:
-            token = f"{token}_{len(self._token_used)}"
-        self._token_used.add(token)
-        self._tokens[raw] = token
-        return token
-
-    def _leaf_const(self, value: bytes) -> str:
-        name = self._leaf_cache.get(value)
-        if name is None:
-            name = f"_k{len(self._leaf_cache)}"
-            self._leaf_cache[value] = name
-            self.constants[name] = Leaf(value)
-        return name
-
-    def _builtin_runner(self, name: str) -> str:
-        var = self._runner_cache.get(name)
-        if var is None:
-            var = f"_bi_{self._token(name)}"
-            self._runner_cache[name] = var
-            maker = _make_builtin_runner_elided if self.elide else _make_builtin_runner
-            self.constants[var] = maker(name)
-        return var
-
-    def _struct_const(self, fmt: str) -> str:
-        """Module-level ``struct.Struct`` constant for one format string."""
-        var = self._struct_cache.get(fmt)
-        if var is None:
-            var = f"_sh{len(self._struct_cache)}"
-            self._struct_cache[fmt] = var
-            self._struct_lines.append(f"{var} = _struct.Struct({fmt!r})")
-        return var
-
-    def _assign_plan_uid(self, plan) -> None:
-        """Renumber a shape plan for deterministic generated-local names."""
-        uid = self._plan_uids.get(id(plan))
-        if uid is None:
-            uid = len(self._plan_uids)
-            self._plan_uids[id(plan)] = uid
-        plan.uid = uid
-
-    def _abs(self, offset: str) -> str:
-        """Render the absolute input position of relative ``offset``."""
-        return self._lo if offset == "0" else f"{self._lo} + {offset}"
-
-    def _mirror(self, scope: Scope, local: str, body: List[str]) -> None:
-        """Mirror a (re)bound local into the scope's closure-cell list."""
-        if scope.uses_cells:
-            body.append(f"{scope.cell_local}[{scope.cell(local)}] = {local}")
-
-    def _make_sink(self, alternative: Alternative, fid: str) -> _ChildSink:
-        """Pick the children representation for one alternative's node."""
-        if self.elide:
-            return _ChildSink("none")
-        if any(
-            isinstance(term, (TermArray, TermSwitch)) for term in alternative.terms
-        ):
-            return _ChildSink("append", f"_ch{fid}")
-        return _ChildSink("display")
-
-    # -- top level ---------------------------------------------------------
-    def _check_dynamic_shadowing(self) -> None:
-        """Reject grammars whose where-rule dispatch is call-site dependent.
-
-        The interpreter resolves the nonterminals a local rule's body uses
-        through the *caller's* local-rule chain; the compiler binds them
-        lexically at the declaration site.  The two differ only when a
-        nested where-scope re-declares a name that an outer-declared local
-        rule's body references (the outer rule may then be invoked from
-        inside the nested scope; see
-        :func:`repro.core.firstsets.where_shadowing_conflict`).  That shape
-        gets a CompilationError so the Parser falls back to the interpreter.
-        """
-        from .firstsets import where_shadowing_conflict
-
-        conflict = where_shadowing_conflict(self.grammar)
-        if conflict is not None:
-            raise CompilationError(f"{conflict}, which is not specialized yet")
-
-    def compile(self) -> str:
-        self._check_dynamic_shadowing()
-        if self.max_steps is not None:
-            # Reserve slot 0 of the per-parse state for the fuel cell so
-            # every dispatcher shares one counter (allocated by
-            # _new_state from the module-global _MAX_STEPS, which
-            # set_limits() can rebind in emitted modules).
-            self.fuel_slot = len(self.memo_slots)
-            self.memo_slots.append("c")
-        sites, _rules = _collect_sites(self.grammar)
-        recursive = _recursive_rule_names(self.grammar, sites)
-        # Fuel is charged where unbounded work can originate: entries of
-        # recursive rules and iterations of count-driven element loops.
-        # Everything else is a DAG of straight-line bodies whose work is
-        # a constant factor of those charges, so skipping the check
-        # there keeps the budget sound while keeping rule-call-dense
-        # grammars (char-level recursion, token helpers) fast.
-        self._fuel_rules = recursive
-        anchored = (
-            _eoi_anchored_rule_names(self.grammar, sites)
-            if self.opts.dense_memo
-            else set()
-        )
-        if self.opts.inline_single_use:
-            self._inline = _inline_candidates(self.grammar, sites, recursive)
-        if self.opts.first_byte_dispatch:
-            # Deferred import keeps module import light.
-            from .firstsets import dispatch_plans, local_dispatch_plans
-
-            self.dispatch_plans = dispatch_plans(self.grammar)
-            self.local_plans = {
-                id(rule): plan
-                for rule, plan in local_dispatch_plans(self.grammar)
-            }
-        for name in self.grammar.rules:
-            if not self.memoize:
-                self.memo_modes[name] = "unmemoized"
-            elif self.opts.skip_nonrecursive_memo and name not in recursive:
-                self.memo_modes[name] = "skipped"
-            elif name in anchored:
-                self.memo_modes[name] = "dense"
-            else:
-                self.memo_modes[name] = "dict"
-
-        lines: List[str] = [
-            '"""Module staged by repro.core.compiler — one closure per alternative."""',
-            "",
-        ]
-        for index, name in enumerate(self.grammar.rules):
-            self.rule_fns[name] = f"_r{index}_{self._token(name)}"
-        for name, rule in self.grammar.rules.items():
-            lines += self._compile_rule(
-                rule,
-                self.rule_fns[name],
-                parent_scope=None,
-                bindings={},
-                memo_mode=self.memo_modes[name],
-                toplevel=True,
-            )
-            lines.append("")
-            if self._deferred:
-                lines += self._deferred
-                self._deferred = []
-        if self._struct_lines:
-            lines += self._struct_lines
-            lines.append("")
-        lines.append(f"_SLOTS = {''.join(self.memo_slots)!r}")
-        lines.append("")
-        if self.fuel_slot is not None:
-            # Two-tier fuel cell: hot countdown (kept <= 256 so the
-            # per-rule decrement stays in the cached small-int range and
-            # never allocates) plus the rest of the budget, charged by
-            # _limit_refill every 256 rule entries.
-            lines.append("def _fuel():")
-            lines.append("    _t = 256 if _MAX_STEPS > 256 else _MAX_STEPS")
-            lines.append("    return [_t, _MAX_STEPS - _t]")
-            lines.append("")
-        lines.append("def _new_state():")
-        if self.fuel_slot is not None:
-            lines.append(
-                "    return [(_fuel() if _k == 'c' else {}) for _k in _SLOTS]"
-            )
-        else:
-            lines.append("    return [{} for _k in _SLOTS]")
-        lines.append("")
-        entries = ", ".join(
-            f"{name!r}: {fn}" for name, fn in self.rule_fns.items()
-        )
-        lines.append(f"_ENTRY = {{{entries}}}")
-        return "\n".join(lines) + "\n"
-
-    def _compile_rule(
-        self,
-        rule: Rule,
-        fn_name: str,
-        parent_scope: Optional[Scope],
-        bindings: Dict[str, Tuple[str, Scope]],
-        memo_mode: str,
-        toplevel: bool,
-    ) -> List[str]:
-        """Emit the alternative functions plus the biased-choice dispatcher."""
-        token = self._token(rule.name)
-        alt_fns = [
-            self.namer.fresh(f"_alt_{token}_") for _ in rule.alternatives
-        ]
-        # Module-level where rules thread the declaring scope's cell list
-        # through an explicit trailing argument.
-        with_cells = not toplevel and self.opts.module_level_where
-        args = "st, data, lo, hi, _cells" if with_cells else "st, data, lo, hi"
-        lines: List[str] = []
-        for alt_index, (alternative, alt_fn) in enumerate(
-            zip(rule.alternatives, alt_fns)
-        ):
-            lines += self._compile_alternative(
-                rule.name,
-                alternative,
-                alt_fn,
-                parent_scope,
-                bindings,
-                with_cells,
-                alt_index=alt_index,
-                toplevel=toplevel,
-            )
-            lines.append("")
-        if toplevel:
-            plan = self.dispatch_plans.get(rule.name)
-        else:
-            plan = self.local_plans.get(id(rule))
-        # Table constants are named after the (unique) dispatcher function:
-        # distinct where-rules may share a bare rule name.
-        table_token = fn_name[1:]
-        cache_slot = None
-        if plan is not None:
-            lines += self._emit_dispatch_table(plan, alt_fns, table_token)
-            lines.append("")
-            if self.stream_cache:
-                cache_slot = len(self.memo_slots)
-                self.memo_slots.append("b")
-        body: List[str] = []
-        # Fuel check: one counter decrement per activation of a
-        # *recursive* rule, placed after the memo probe (memo hits
-        # replay free, mirroring the interpreter, whose _parse_rule is
-        # likewise bypassed by hits).  Non-recursive rules are skipped:
-        # their activations are bounded by a constant factor of the
-        # charged ones (recursive entries plus element-loop iterations),
-        # and exempting them keeps the budget's cost invisible on
-        # token-helper-dense grammars.
-        fuel_check: List[str] = []
-        if self.fuel_slot is not None and toplevel and rule.name in self._fuel_rules:
-            fuel_check = [
-                f"_c = st[{self.fuel_slot}]",
-                "_c[0] -= 1",
-                "if _c[0] < 0:",
-                "    _limit_refill(_c)",
-            ]
-        if memo_mode in ("dict", "dense"):
-            if not toplevel:  # pragma: no cover - local rules are never memoized
-                raise CompilationError("local rules cannot be memoized")
-            slot = len(self.memo_slots)
-            self.memo_slots.append("d" if memo_mode == "dict" else "l")
-            body.append(f"_m = st[{slot}]")
-            if memo_mode == "dict":
-                body.append("_key = (lo, hi)")
-            else:
-                # Dense: every invocation shares this parse's hi, so the
-                # (lo, hi) memo key collapses to the bare lo offset — no
-                # tuple allocation, no composite hashing.  (A flat
-                # lo-indexed array was measured too: its O(input length)
-                # per-parse allocation loses whenever call sites are
-                # sparser than one per byte, which every bundled format's
-                # are, so the lo-keyed table stays a dict.)
-                body.append("_key = lo")
-            body.append("_v = _m.get(_key, _MISS)")
-            body.append("if _v is not _MISS:")
-            body.append("    return _v")
-            body += fuel_check
-            body += self._attempt_lines(plan, alt_fns, table_token, args, cache_slot)
-            body.append("_m[_key] = _v")
-            body.append("return _v")
-        elif plan is not None:
-            body += fuel_check
-            body += self._attempt_lines(plan, alt_fns, table_token, args, cache_slot)
-            body.append("return _v")
-        elif len(alt_fns) == 1:
-            body += fuel_check
-            body.append(f"return {alt_fns[0]}({args})")
-        else:
-            body += fuel_check
-            body.append(f"_v = {alt_fns[0]}({args})")
-            for alt_fn in alt_fns[1:]:
-                body.append("if _v is FAIL:")
-                body.append(f"    _v = {alt_fn}({args})")
-            body.append("return _v")
-        lines.append(f"def {fn_name}({args}):")
-        lines += _indent(body)
-        return lines
-
-    def _emit_dispatch_table(self, plan, alt_fns: List[str], token: str) -> List[str]:
-        """Emit the module-level jump table for one rule's biased choice.
-
-        Multi-alternative rules get a 256-entry tuple of (shared)
-        alternative-function tuples plus an empty-window tuple;
-        single-alternative rules collapse to a 256-byte admissibility mask.
-        Everything is plain source, so ahead-of-time emission
-        (:mod:`repro.core.codegen`) vendors the tables as module-level
-        constants for free.
-        """
-        lines: List[str] = []
-        if len(alt_fns) == 1:
-            mask = bytes(1 if entry else 0 for entry in plan.table)
-            lines.append(f"_fbm_{token} = {mask!r}")
-            lines.append(f"_fbe_{token} = {1 if plan.empty else 0}")
-            return lines
-        groups: Dict[Tuple[int, ...], str] = {}
-        order: List[Tuple[int, ...]] = []
-        entries = list(plan.table) + [plan.empty]
-        if plan.pair_table:
-            for _offset, row in plan.pair_table.values():
-                entries.extend(row)
-        for entry in entries:
-            if entry not in groups:
-                groups[entry] = f"_fb{len(groups)}_{token}"
-                order.append(entry)
-        for entry in order:
-            rendered = ", ".join(alt_fns[index] for index in entry)
-            if len(entry) == 1:
-                rendered += ","
-            lines.append(f"{groups[entry]} = ({rendered})")
-        lines.append(f"_fbt_{token} = (")
-        for start in range(0, 256, 8):
-            row = ", ".join(groups[entry] for entry in plan.table[start : start + 8])
-            lines.append(f"    {row},")
-        lines.append(")")
-        lines.append(f"_fbe_{token} = {groups[plan.empty]}")
-        if plan.pair_table:
-            # FIRST₂ prefix-probe refinement: per refined first byte, the
-            # probe offset plus a 256-entry row over the probed byte.
-            lines.append(f"_fp_{token} = {{")
-            for byte in sorted(plan.pair_table):
-                offset, row = plan.pair_table[byte]
-                lines.append(f"    {byte}: ({offset}, (")
-                for start in range(0, 256, 8):
-                    rendered = ", ".join(
-                        groups[entry] for entry in row[start : start + 8]
-                    )
-                    lines.append(f"        {rendered},")
-                lines.append("    )),")
-            lines.append("}")
-        return lines
-
-    def _attempt_lines(
-        self,
-        plan,
-        alt_fns: List[str],
-        token: str,
-        args: str,
-        cache_slot: Optional[int] = None,
-    ) -> List[str]:
-        """Byte-dispatched biased choice, leaving the outcome in ``_v``.
-
-        Reading ``data[lo]`` (and comparing ``lo < hi``) is exactly as
-        streaming-safe as the alternatives themselves: on a
-        :class:`~repro.core.streaming.StreamBuffer` an undecidable read
-        suspends via ``NeedMoreInput`` after pinning its offset for the
-        compaction policy, and the whole attempt unwinds — no decision is
-        committed on incomplete information.  With ``cache_slot`` set (the
-        streaming variant), each successful decision is remembered in a
-        per-parse ``lo``-keyed table so re-entries of in-flight rules never
-        touch the buffer again — the read of a spine rule's first byte on
-        every attempt would otherwise pin the compaction watermark at its
-        window start.
-        """
-        if plan is None:
-            body = [f"_v = {alt_fns[0]}({args})"]
-            for alt_fn in alt_fns[1:]:
-                body.append("if _v is FAIL:")
-                body.append(f"    _v = {alt_fn}({args})")
-            return body
-        if len(alt_fns) == 1:
-            if cache_slot is None:
-                probe = [
-                    "if lo < hi:",
-                    f"    _ok = _fbm_{token}[data[lo]]",
-                ]
-            else:
-                probe = [
-                    "if lo < hi:",
-                    f"    _dc = st[{cache_slot}]",
-                    "    _ok = _dc.get(lo)",
-                    "    if _ok is None:",
-                    f"        _ok = _fbm_{token}[data[lo]]",
-                    "        _dc[lo] = _ok",
-                ]
-            return probe + [
-                "else:",
-                f"    _ok = _fbe_{token}",
-                f"_v = {alt_fns[0]}({args}) if _ok else FAIL",
-            ]
-        if plan.pair_table:
-            decide = [
-                "_b = data[lo]",
-                f"_t2 = _fp_{token}.get(_b)",
-                "if _t2 is None:",
-                f"    _fs = _fbt_{token}[_b]",
-                "elif lo + _t2[0] < hi:",
-                "    _fs = _t2[1][data[lo + _t2[0]]]",
-                "else:",
-                f"    _fs = _fbt_{token}[_b]",
-            ]
-        else:
-            decide = [f"_fs = _fbt_{token}[data[lo]]"]
-        if cache_slot is None:
-            probe = ["if lo < hi:"] + _indent(decide)
-        else:
-            probe = [
-                "if lo < hi:",
-                f"    _dc = st[{cache_slot}]",
-                "    _fs = _dc.get(lo)",
-                "    if _fs is None:",
-            ]
-            probe += _indent(decide, 2)
-            probe.append("        _dc[lo] = _fs")
-        return probe + [
-            "else:",
-            f"    _fs = _fbe_{token}",
-            "_v = FAIL",
-            "for _f in _fs:",
-            f"    _v = _f({args})",
-            "    if _v is not FAIL:",
-            "        break",
-        ]
-
-    # -- alternatives ------------------------------------------------------
-    def _compile_alternative(
-        self,
-        rule_name: str,
-        alternative: Alternative,
-        fn_name: str,
-        parent_scope: Optional[Scope],
-        bindings: Dict[str, Tuple[str, Scope]],
-        with_cells: bool,
-        alt_index: int = 0,
-        toplevel: bool = False,
-    ) -> List[str]:
-        saved_frame = (self._lo, self._hi)
-        self._lo, self._hi = "lo", "hi"
-        try:
-            inner = self._alternative_inner(
-                rule_name,
-                alternative,
-                parent_scope,
-                bindings,
-                alt_index=alt_index,
-                toplevel=toplevel,
-            )
-        finally:
-            self._lo, self._hi = saved_frame
-        args = "st, data, lo, hi, _cells" if with_cells else "st, data, lo, hi"
-        return [f"def {fn_name}({args}):"] + _indent(inner)
-
-    def _alt_plan(self, rule_name: str, alt_index: int, alternative: Alternative):
-        """The fused fixed-prefix plan for one alternative, if worthwhile."""
-        if not self.opts.bulk_fixed_shape or alternative.local_rules:
-            return None
-        from .shapes import alternative_shape  # deferred: keeps imports light
-
-        # Streaming compilations fuse flat-only prefixes: absorbing a
-        # nested *rule* would replace a memoized call with inline reads
-        # that re-run on every stream re-entry and pin the compaction
-        # watermark at the window start.
-        plan = alternative_shape(
-            self.grammar, rule_name, alt_index, flat_only=self.stream_cache
-        )
-        if plan.covered and plan.worthwhile:
-            return plan
-        return None
-
-    def _alternative_inner(
-        self,
-        rule_name: str,
-        alternative: Alternative,
-        parent_scope: Optional[Scope],
-        bindings: Dict[str, Tuple[str, Scope]],
-        alt_index: int = 0,
-        toplevel: bool = False,
-    ) -> List[str]:
-        fid = self.namer.fresh("")
-        scope = Scope(fid, parent_scope)
-        sink = self._make_sink(alternative, fid)
-        # Local (where) rules are visible to the terms and to each other;
-        # function names are fixed before term compilation, bodies are
-        # compiled afterwards so they close over the fully populated scope.
-        local_bindings = dict(bindings)
-        pending_locals: List[Tuple[Rule, str]] = []
-        for local in alternative.local_rules:
-            local_fn = self.namer.fresh(f"_w_{self._token(local.name)}_")
-            local_bindings[local.name] = (local_fn, scope)
-            pending_locals.append((local, local_fn))
-        scope.has_locals = bool(pending_locals)
-        scope.uses_cells = scope.has_locals and self.opts.module_level_where
-        if pending_locals:
-            # Local rule bodies resolve enclosing arrays statically, which is
-            # only equivalent to the interpreter's dynamic chain walk when
-            # each element name has a single `for` term in this alternative;
-            # with duplicates, hand the grammar to the interpreter instead.
-            element_names = [
-                term.element.name
-                for term in alternative.terms
-                if isinstance(term, TermArray)
-            ]
-            if len(element_names) != len(set(element_names)):
-                raise CompilationError(
-                    f"rule {rule_name!r}: where-rules combined with multiple "
-                    f"same-named array terms are not specialized yet"
-                )
-
-        body: List[str] = []
-        attr_order: List[str] = []
-        saved_current = (self._current_alternative_terms, self._current_alternative_locals)
-        self._current_alternative_terms = alternative.terms
-        self._current_alternative_locals = bool(alternative.local_rules)
-        try:
-            plan = (
-                self._alt_plan(rule_name, alt_index, alternative) if toplevel else None
-            )
-            if plan is not None:
-                self._emit_fused_prefix(
-                    plan, alternative, scope, body, attr_order, sink
-                )
-            for term in alternative.terms[plan.covered if plan else 0 :]:
-                self._emit_term(term, scope, local_bindings, body, attr_order, sink)
-        finally:
-            self._current_alternative_terms, self._current_alternative_locals = (
-                saved_current
-            )
-
-        # Loop variables go out of scope after their array term, but local
-        # rules are *called* from inside the loop, where the binding is live:
-        # their bodies must observe the loop-variable local (ELF's `Sec` and
-        # ZIP's `Entry` both reference the enclosing `i`).  Outside the loop
-        # the local holds _UB (pre-initialised below, re-poisoned by
-        # _emit_array), and the read falls through to the enclosing scope's
-        # binding — or fails — exactly like the interpreter's env chain after
-        # the binding is popped.
-        loop_var_locals: List[str] = []
-        for term in alternative.terms:
-            if isinstance(term, TermArray) and term.var not in scope.names:
-                local = f"_v{scope.fid}_{self._token(term.var)}"
-                loop_var_locals.append(local)
-                scope.names[term.var] = LoopVar(local, term.var)
-
-        local_defs: List[str] = []
-        for local, local_fn in pending_locals:
-            local_defs += self._compile_rule(
-                local,
-                local_fn,
-                scope,
-                local_bindings,
-                memo_mode="skipped",
-                toplevel=False,
-            )
-
-        env_items = [
-            f"'EOI': {scope.eoi}",
-            f"'start': {scope.start}",
-            f"'end': {scope.end}",
-        ]
-        env_items += [f"{name!r}: {scope.names[name]}" for name in attr_order]
-
-        preamble: List[str] = []
-        if pending_locals:
-            # Where-rule bodies may read this scope's record locals before
-            # the recording term ran; pre-initialise them so cross-scope
-            # resolution can fall through on None instead of crashing.
-            record_vars = [var for var, _certain in scope.node_envs.values()]
-            record_vars += list(scope.arrays.values())
-            for var in record_vars:
-                preamble.append(f"{var} = None")
-                self._mirror(scope, var, preamble)
-            for var in loop_var_locals:
-                preamble.append(f"{var} = _UB")
-                self._mirror(scope, var, preamble)
-
-        inner: List[str] = [
-            f"_hl{fid} = hi - lo",
-            f"{scope.eoi} = _hl{fid}",
-            f"{scope.start} = _hl{fid}",
-            f"{scope.end} = 0",
-        ]
-        inner += sink.init_lines()
-        if scope.uses_cells:
-            parent_cells = "_cells" if parent_scope is not None else "None"
-            slots = ", ".join(["_UB"] * len(scope.cell_slots))
-            init = f"[{parent_cells}, {slots}]" if slots else f"[{parent_cells}]"
-            inner.append(f"{scope.cell_local} = {init}")
-            self._deferred += local_defs
-        inner += preamble
-        if not scope.uses_cells:
-            inner += local_defs
-        inner.append("try:")
-        inner += _indent(body if body else ["pass"])
-        # KeyError covers missing node attributes, NameError covers
-        # references evaluated before their defining term ran (both are
-        # EvaluationError in the interpreter and fail the alternative).
-        inner.append("except (EvaluationError, KeyError, NameError):")
-        inner.append("    return FAIL")
-        inner.append(
-            f"return _mk_node({rule_name!r}, {{{', '.join(env_items)}}}, "
-            f"{sink.final_expr()})"
-        )
-        return inner
-
-    # -- fixed-shape vectorization -----------------------------------------
-    def _emit_fused_prefix(
-        self,
-        plan,
-        alternative: Alternative,
-        scope: Scope,
-        body: List[str],
-        attr_order: List[str],
-        sink: _ChildSink,
-    ) -> None:
-        """Decode a fixed-layout prefix with one precompiled struct.
-
-        Replaces the covered terms' per-field interval checks, slices and
-        ``int.from_bytes`` calls with a single bounds check plus one
-        ``Struct.unpack_from`` (``unpack`` over a slice on streams, where a
-        read past the received bytes must suspend).  Attribute and guard
-        steps run over the unpacked tuple; tree children are built from the
-        same tuple as display expressions.
-        """
-        from .shapes import emit_plan_code
-
-        self.shaped_rules.add(plan.rule_name)
-        self._assign_plan_uid(plan)
-        fid = scope.fid
-        hl = f"_hl{fid}"
-        if plan.needed:
-            body.append(f"if {hl} < {plan.needed}:")
-            body.append("    return FAIL")
-        tup = self.namer.fresh("_t")
-        if plan.nslots:
-            sconst = self._struct_const(plan.fmt)
-            if self.stream_cache:
-                body.append(
-                    f"{tup} = {sconst}.unpack("
-                    f"data[{self._lo}:{self._abs(repr(plan.size))}])"
-                )
-            else:
-                body.append(f"{tup} = {sconst}.unpack_from(data, {self._lo})")
-        code = emit_plan_code(
-            plan,
-            slot_var=tup,
-            eoi_src=hl,
-            abs_base=self._lo,
-            build=sink.mode != "none",
-            leaf_const=self._leaf_const,
-        )
-        body += code.lines
-        for name, local in code.attr_locals.items():
-            scope.names[name] = local
-            if name not in attr_order:
-                attr_order.append(name)
-        for child in code.child_exprs:
-            sink.add(child, body)
-        # Materialize node envs / element lists only for names the remaining
-        # (uncovered) terms actually reference.
-        later_refs = set()
-        for term in alternative.terms[plan.covered :]:
-            later_refs |= {name for tag, name in term.references() if tag == "nt"}
-        for name in plan.recorded_names():
-            if name in later_refs and scope.node_envs.get(name) is None:
-                record = f"_nv{fid}_{self._token(name)}"
-                body.append(f"{record} = {code.env_src(name)}")
-                scope.node_envs[name] = (record, True)
-        for name in plan.array_names():
-            if name in later_refs:
-                var = self.namer.fresh(f"_ar{fid}_{self._token(name)}")
-                body.append(f"{var} = {code.array_src(name)}")
-                scope.arrays[name] = var
-        if plan.touch:
-            # The prefix runs first: the specials still hold their initial
-            # values, so the statically known span assigns directly.
-            body.append(f"{scope.start} = {plan.start}")
-            body.append(f"{scope.end} = {plan.end}")
-
-    def _try_emit_bulk_array(
-        self,
-        term: TermArray,
-        scope: Scope,
-        bindings: Dict[str, Tuple[str, Scope]],
-        body: List[str],
-        sink: _ChildSink,
-    ) -> bool:
-        """Lower a fixed-stride array of a fixed-shape rule to bulk decoding.
-
-        Batch compilations run one ``Struct.iter_unpack`` over a zero-copy
-        ``memoryview`` of the interval; streaming compilations decode
-        record-at-a-time from a resumable per-parse state slot, consuming
-        ``floor(available / width)`` records per re-entry and suspending at
-        a record boundary — a resumed array never re-reads records earlier
-        attempts already decoded, preserving the compaction guarantee.
-        """
-        if not self.opts.bulk_fixed_shape:
-            return False
-        element = term.element.name
-        if element in bindings or not self.grammar.has_rule(element):
-            return False
-        stride = None
-        interval = term.element.interval
-        if interval.left is not None and interval.right is not None:
-            from .shapes import linear_stride
-
-            stride = linear_stride(interval.left, interval.right, term.var)
-        if stride is None:
-            return False
-        from .shapes import emit_plan_code, rule_shape
-
-        plan = rule_shape(self.grammar, element, width=stride)
-        if plan is None:
-            return False
-        self.bulk_arrays.add(element)
-        self._assign_plan_uid(plan)
-        fid = scope.fid
-        first = self.namer.fresh("_t")
-        stop = self.namer.fresh("_t")
-        body.append(f"{first} = {compile_expr(term.start, scope, self.namer)}")
-        body.append(f"{stop} = {compile_expr(term.stop, scope, self.namer)}")
-        elements = self.namer.fresh(f"_ar{fid}_{self._token(element)}")
-        body.append(f"{elements} = []")
-        self._mirror(scope, elements, body)
-        scope.arrays[element] = elements
-        # Whether anything observes the element list (`E(i).attr` references
-        # anywhere in the alternative, or where-rules that may): when not,
-        # validate-only runs decode nothing but the guards.
-        referenced = self._current_alternative_locals
-        for other in self._current_alternative_terms or ():
-            if referenced:
-                break
-            referenced = ("nt", element) in other.references()
-        build_nodes = sink.mode != "none"
-        keep = build_nodes or referenced
-        checks = plan.checks_anything
-        count = self.namer.fresh("_t")
-        body.append(f"{count} = {stop} - {first}")
-        outer: List[str] = []
-        # The element window at the loop's first index anchors the bulk
-        # bounds check: left endpoints grow by `stride` per record, so the
-        # first left >= 0 and the last right <= EOI cover every record.
-        prior = scope.names.get(term.var)
-        scope.names[term.var] = first
-        try:
-            left_src = compile_expr(interval.left, scope, self.namer)
-        finally:
-            if prior is None:
-                scope.names.pop(term.var, None)
-            else:
-                scope.names[term.var] = prior
-        base_rel = self.namer.fresh("_t")
-        outer.append(f"{base_rel} = {left_src}")
-        stream_loop = self.stream_cache and (
-            sink.mode != "none" or referenced or plan.checks_anything
-        )
-        if stream_loop:
-            # Streams check the window bound one record boundary at a time
-            # (inside the loop): against an EOIProxy the aggregate check
-            # would pin the whole array before the first record decodes.
-            outer.append(f"if {base_rel} < 0:")
-            outer.append("    return FAIL")
-        else:
-            outer.append(
-                f"if {base_rel} < 0 or {base_rel} + {count} * {stride} > _hl{fid}:"
-            )
-            outer.append("    return FAIL")
-        base = self.namer.fresh("_t")
-        outer.append(f"{base} = {self._abs(base_rel)}")
-        padded = plan.fmt
-        if stride > plan.size and plan.nslots:
-            padded = plan.fmt + f"{stride - plan.size}x"
-        loop: List[str] = []
-        tup = self.namer.fresh("_t")
-        ro = self.namer.fresh("_t")
-        rr = self.namer.fresh("_t")
-        if keep or checks:
-            code = emit_plan_code(
-                plan,
-                slot_var=tup,
-                eoi_src=repr(stride),
-                abs_base=ro,
-                build=build_nodes,
-                leaf_const=self._leaf_const,
-            )
-            need_rel = keep
-            if self.stream_cache:
-                slot = len(self.memo_slots)
-                self.memo_slots.append("a")
-                state = self.namer.fresh("_t")
-                outer.append(f"{state} = st[{slot}].get(({self._lo}, {self._hi}))")
-                outer.append(f"if {state} is None:")
-                outer.append(f"    {state} = [0, {elements}]")
-                outer.append(f"    st[{slot}][({self._lo}, {self._hi})] = {state}")
-                outer.append(f"{elements} = {state}[1]")
-                self._mirror(scope, elements, outer)
-                index = self.namer.fresh("_t")
-                outer.append(f"for {index} in range({state}[0], {count}):")
-                loop.append(
-                    f"if {base_rel} + ({index} + 1) * {stride} > _hl{fid}:"
-                )
-                loop.append("    return FAIL")
-                loop.append(f"{ro} = {base} + {index} * {stride}")
-                if plan.nslots:
-                    sconst = self._struct_const(padded if padded else plan.fmt)
-                    loop.append(f"{tup} = {sconst}.unpack(data[{ro}:{ro} + {stride}])")
-            else:
-                if plan.nslots:
-                    sconst = self._struct_const(padded)
-                    outer.append(f"{ro} = {base}")
-                    outer.append(
-                        f"for {tup} in {sconst}.iter_unpack("
-                        f"memoryview(data)[{base}:{base} + {count} * {stride}]):"
-                    )
-                else:
-                    index = self.namer.fresh("_t")
-                    outer.append(f"for {index} in range({count}):")
-                    loop.append(f"{ro} = {base} + {index} * {stride}")
-            if need_rel:
-                loop.append(f"{rr} = {ro} - {self._lo}")
-            loop += code.lines
-            if keep:
-                env_items = [f"'EOI': {stride}"]
-                if plan.touch:
-                    env_items.append(f"'start': {rr} + {plan.start}")
-                    env_items.append(f"'end': {rr} + {plan.end}")
-                else:
-                    env_items.append(f"'start': {rr} + {stride}")
-                    env_items.append(f"'end': {rr}")
-                for name, local in code.attr_locals.items():
-                    env_items.append(f"{name!r}: {local}")
-                env = f"{{{', '.join(env_items)}}}"
-                if build_nodes:
-                    children = f"[{', '.join(code.child_exprs)}]"
-                    loop.append(
-                        f"{elements}.append(_mk_node({element!r}, {env}, {children}))"
-                    )
-                else:
-                    loop.append(f"{elements}.append({env})")
-            if self.stream_cache:
-                loop.append(f"{state}[0] = {index} + 1")
-            elif plan.nslots:
-                loop.append(f"{ro} += {stride}")
-            outer += _indent(loop)
-        if plan.touch:
-            svar = self.namer.fresh("_t")
-            evar = self.namer.fresh("_t")
-            outer.append(f"{svar} = {base_rel} + {plan.start}")
-            outer.append(f"if {svar} < {scope.start}:")
-            outer.append(f"    {scope.start} = {svar}")
-            outer.append(f"{evar} = {base_rel} + ({count} - 1) * {stride} + {plan.end}")
-            outer.append(f"if {evar} > {scope.end}:")
-            outer.append(f"    {scope.end} = {evar}")
-        body.append(f"if {count} > 0:")
-        body += _indent(outer)
-        if sink.mode != "none":
-            sink.add(f"_mk_array({element!r}, {elements})", body)
-        return True
-
-    def _emit_inline_rawbytes(
-        self,
-        name: str,
-        left: str,
-        right: str,
-        scope: Scope,
-        body: List[str],
-    ) -> Tuple[Optional[str], str]:
-        """Inline the ``Raw``/``Bytes`` builtins (zero-call skip/keep).
-
-        Both accept their whole window: the env is a single display in the
-        caller's coordinates (``start = left``, ``end = right`` regardless
-        of emptiness), eliding the runner call, the callee node, and the
-        rebase copy.  ``Bytes`` keeps its payload ``Leaf`` in tree mode;
-        tree-elided parses drop it exactly like the elided runner.
-        """
-        try:
-            wconst = int(right) - int(left)
-        except ValueError:
-            wconst = None
-        if wconst is not None:
-            wsrc = repr(wconst)
-        else:
-            wsrc = self.namer.fresh("_w")
-            body.append(f"{wsrc} = {right} - {left}")
-        env = self.namer.fresh("_e")
-        body.append(
-            f"{env} = {{'EOI': {wsrc}, 'start': {left}, 'end': {right}, "
-            f"'len': {wsrc}, 'val': {wsrc}}}"
-        )
-        if self.elide:
-            node = None
-        else:
-            node = self.namer.fresh("_d")
-            if name == "Bytes":
-                payload = f"[_mk_leaf(data[{self._abs(left)}:{self._lo} + {right}])]"
-            else:
-                payload = "[]"
-            body.append(f"{node} = _mk_node({name!r}, {env}, {payload})")
-        if wconst == 0:
-            return node, env
-        if wconst is not None:
-            updates = [
-                f"if {left} < {scope.start}:",
-                f"    {scope.start} = {left}",
-                f"if {right} > {scope.end}:",
-                f"    {scope.end} = {right}",
-            ]
-            body += updates
-        else:
-            body.append(f"if {wsrc}:")
-            body += _indent(
-                [
-                    f"if {left} < {scope.start}:",
-                    f"    {scope.start} = {left}",
-                    f"if {right} > {scope.end}:",
-                    f"    {scope.end} = {right}",
-                ]
-            )
-        return node, env
-
-    # -- terms -------------------------------------------------------------
-    def _emit_term(
-        self,
-        term: Term,
-        scope: Scope,
-        bindings: Dict[str, Tuple[str, Scope]],
-        body: List[str],
-        attr_order: List[str],
-        sink: _ChildSink,
-    ) -> None:
-        if isinstance(term, TermAttrDef):
-            source = compile_expr(term.expr, scope, self.namer)
-            if term.name in SPECIALS:
-                body.append(f"{scope.special(term.name)} = {source}")
-            else:
-                local = f"_v{scope.fid}_{self._token(term.name)}"
-                body.append(f"{local} = {source}")
-                self._mirror(scope, local, body)
-                scope.names[term.name] = local
-                if term.name not in attr_order:
-                    attr_order.append(term.name)
-            return
-        if isinstance(term, TermGuard):
-            body.append(f"if {compile_expr(term.expr, scope, self.namer)} == 0:")
-            body.append("    return FAIL")
-            return
-        if isinstance(term, TermTerminal):
-            self._emit_terminal(term, scope, body, sink)
-            return
-        if isinstance(term, TermNonterminal):
-            left, right = self._emit_interval(term.interval, scope, body)
-            node, env = self._emit_nt_parse(
-                term.name, left, right, scope, bindings, body, allow_inline=True
-            )
-            record = f"_nv{scope.fid}_{self._token(term.name)}"
-            body.append(f"{record} = {env}")
-            self._mirror(scope, record, body)
-            scope.node_envs[term.name] = (record, True)
-            sink.add(node, body)
-            return
-        if isinstance(term, TermArray):
-            self._emit_array(term, scope, bindings, body, sink)
-            return
-        if isinstance(term, TermSwitch):
-            self._emit_switch(term, scope, bindings, body, sink)
-            return
-        raise CompilationError(f"cannot compile term kind {type(term).__name__}")
-
-    def _emit_interval(
-        self, interval: Interval, scope: Scope, body: List[str]
-    ) -> Tuple[str, str]:
-        """Evaluate an interval into (left, right) source operands.
-
-        Emits the ``0 <= l <= r <= |s|`` validity check of the semantics,
-        specialised when one or both endpoints are compile-time constants.
-        """
-        if interval.left is None or interval.right is None:
-            raise CompilationError("interval was not auto-completed")
-        length = f"_hl{scope.fid}"
-        left = fold(interval.left)
-        right = fold(interval.right)
-        left_const = left.value if isinstance(left, Num) else None
-        right_const = right.value if isinstance(right, Num) else None
-        if left_const is not None and right_const is not None:
-            if left_const < 0 or right_const < left_const:
-                body.append("return FAIL")
-            else:
-                body.append(f"if {right_const} > {length}:")
-                body.append("    return FAIL")
-            return repr(left_const), repr(right_const)
-        if left_const is not None:
-            right_var = self.namer.fresh("_t")
-            body.append(f"{right_var} = {compile_expr(right, scope, self.namer)}")
-            if left_const < 0:
-                body.append("return FAIL")
-            else:
-                body.append(
-                    f"if {right_var} < {left_const} or {right_var} > {length}:"
-                )
-                body.append("    return FAIL")
-            return repr(left_const), right_var
-        left_var = self.namer.fresh("_t")
-        body.append(f"{left_var} = {compile_expr(left, scope, self.namer)}")
-        if right_const is not None:
-            body.append(
-                f"if {left_var} < 0 or {left_var} > {right_const} "
-                f"or {right_const} > {length}:"
-            )
-            body.append("    return FAIL")
-            return left_var, repr(right_const)
-        right_var = self.namer.fresh("_t")
-        body.append(f"{right_var} = {compile_expr(right, scope, self.namer)}")
-        body.append(
-            f"if {left_var} < 0 or {right_var} < {left_var} "
-            f"or {right_var} > {length}:"
-        )
-        body.append("    return FAIL")
-        return left_var, right_var
-
-    @staticmethod
-    def _plus(operand: str, amount: int) -> str:
-        """Render ``operand + amount``, folding when the operand is a literal."""
-        if amount == 0:
-            return operand
-        try:
-            return repr(int(operand) + amount)
-        except ValueError:
-            return f"{operand} + {amount}"
-
-    @staticmethod
-    def _add(left: str, right: str) -> str:
-        """Render ``left + right``, folding literal operands."""
-        try:
-            return repr(int(left) + int(right))
-        except ValueError:
-            if left == "0":
-                return right
-            if right == "0":
-                return left
-            return f"{left} + {right}"
-
-    def _emit_terminal(
-        self, term: TermTerminal, scope: Scope, body: List[str], sink: _ChildSink
-    ) -> None:
-        left, right = self._emit_interval(term.interval, scope, body)
-        literal = term.value
-        width = len(literal)
-        try:
-            fits = int(right) - int(left) >= width
-        except ValueError:
-            fits = None
-        if fits is None:
-            body.append(f"if {right} - {left} < {width}:")
-            body.append("    return FAIL")
-        elif not fits:
-            body.append("return FAIL")
-        if literal:
-            position = self.namer.fresh("_p")
-            body.append(f"{position} = {self._abs(left)}")
-            if width == 1:
-                # Single-byte magic (block introducers, terminators): an
-                # integer compare instead of a one-byte slice allocation.
-                body.append(f"if data[{position}] != {literal[0]}:")
-            else:
-                body.append(
-                    f"if data[{position}:{position} + {width}] != {literal!r}:"
-                )
-            body.append("    return FAIL")
-            # updStartEnd with [left, left + |s|), touched.
-            body.append(f"if {left} < {scope.start}:")
-            body.append(f"    {scope.start} = {left}")
-            end = self._plus(left, width)
-            body.append(f"if {end} > {scope.end}:")
-            body.append(f"    {scope.end} = {end}")
-        if sink.mode != "none":
-            sink.add(self._leaf_const(literal), body)
-
-    def _emit_nt_parse(
-        self,
-        name: str,
-        left: str,
-        right: str,
-        scope: Scope,
-        bindings: Dict[str, Tuple[str, Scope]],
-        body: List[str],
-        allow_inline: bool = False,
-    ) -> Tuple[str, str]:
-        """Emit the parse of nonterminal ``name`` over ``[left, right)``.
-
-        Returns ``(node_var, env_var)`` for the caller-rebased node.
-        Dispatch follows the interpreter's resolution order: local rules,
-        top-level rules, builtins, blackboxes.
-        """
-        lo_arg = self._abs(left)
-        hi_arg = f"{self._lo} + {right}"
-        fixed = _FIXED_INTS.get(name) if name not in bindings else None
-        if (
-            fixed is not None
-            and not self.grammar.has_rule(name)
-            and name in BUILTINS
-        ):
-            return self._emit_fixed_int(name, fixed, left, right, scope, body)
-        if (
-            self.opts.bulk_fixed_shape
-            and name in ("Raw", "Bytes")
-            and name not in bindings
-            and not self.grammar.has_rule(name)
-        ):
-            return self._emit_inline_rawbytes(name, left, right, scope, body)
-        if (
-            allow_inline
-            and name in self._inline
-            and name not in bindings
-            and name not in self._inlining
-        ):
-            return self._emit_inline_rule(name, left, right, scope, body)
-        if name in bindings:
-            fn, declaring = bindings[name]
-            if self.opts.module_level_where:
-                call = f"{fn}(st, data, {lo_arg}, {hi_arg}, {cells_path(scope, declaring)})"
-            else:
-                call = f"{fn}(st, data, {lo_arg}, {hi_arg})"
-        elif self.grammar.has_rule(name):
-            call = f"{self.rule_fns[name]}(st, data, {lo_arg}, {hi_arg})"
-        elif is_builtin(name):
-            call = f"{self._builtin_runner(name)}(data, {lo_arg}, {hi_arg})"
-        elif name in self.grammar.blackboxes:
-            call = f"_bb({name!r}, data, {lo_arg}, {hi_arg})"
-        else:
-            raise CompilationError(
-                f"no rule, builtin or blackbox for nonterminal {name!r}"
-            )
-        result = self.namer.fresh("_n")
-        body.append(f"{result} = {call}")
-        body.append(f"if {result} is FAIL:")
-        body.append("    return FAIL")
-        env = self.namer.fresh("_e")
-        untouched = self.namer.fresh("_z")
-        if left == "0":
-            # Rebasing by 0 is the identity: reuse the callee's node and
-            # env unchanged (nothing ever mutates a recorded env, so
-            # sharing with the memo table is safe).  This elides one dict
-            # copy and one node allocation per leading-term rule call.
-            start = self.namer.fresh("_x")
-            body.append(f"{env} = {result}.env")
-            body.append(f"{untouched} = {env}['end']")
-            body.append(f"if {untouched}:")
-            body.append(f"    {start} = {env}['start']")
-            body.append(f"    if {start} < {scope.start}:")
-            body.append(f"        {scope.start} = {start}")
-            body.append(f"    if {untouched} > {scope.end}:")
-            body.append(f"        {scope.end} = {untouched}")
-            return (None if self.elide else result), env
-        start = self.namer.fresh("_x")
-        end = self.namer.fresh("_y")
-        body.append(f"{env} = dict({result}.env)")
-        body.append(f"{untouched} = {env}['end']")
-        body.append(f"{start} = {left} + {env}['start']")
-        body.append(f"{end} = {left} + {untouched}")
-        body.append(f"{env}['start'] = {start}")
-        body.append(f"{env}['end'] = {end}")
-        if self.elide:
-            node = None
-        else:
-            node = self.namer.fresh("_d")
-            body.append(f"{node} = _mk_node({name!r}, {env}, {result}.children)")
-        body.append(f"if {untouched}:")
-        body.append(f"    if {start} < {scope.start}:")
-        body.append(f"        {scope.start} = {start}")
-        body.append(f"    if {end} > {scope.end}:")
-        body.append(f"        {scope.end} = {end}")
-        return node, env
-
-    def _emit_inline_rule(
-        self,
-        name: str,
-        left: str,
-        right: str,
-        scope: Scope,
-        body: List[str],
-    ) -> Tuple[str, str]:
-        """Expand a single-use single-alternative rule into its call site.
-
-        The expansion runs with its own window locals and a fresh scope
-        (``parent=None`` — a top-level rule sees no caller context).  A
-        ``return FAIL`` inside the expansion fails the caller's alternative,
-        which is observably identical to the callee failing and the caller
-        propagating it; exceptions reach the caller's ``except`` the same
-        way the callee's own handler would have mapped them to FAIL.
-        """
-        rule = self.grammar.rule(name)
-        alternative = rule.alternatives[0]
-        ilo = self.namer.fresh("_o")
-        ihi = self.namer.fresh("_h")
-        body.append(f"{ilo} = {self._abs(left)}")
-        body.append(f"{ihi} = {self._lo} + {right}")
-        saved_frame = (self._lo, self._hi)
-        saved_current = (self._current_alternative_terms, self._current_alternative_locals)
-        self._lo, self._hi = ilo, ihi
-        self._inlining.add(name)
-        self._current_alternative_terms = alternative.terms
-        self._current_alternative_locals = False
-        try:
-            iscope = Scope(self.namer.fresh(""), None)
-            fid = iscope.fid
-            sink = self._make_sink(alternative, fid)
-            body.append(f"_hl{fid} = {ihi} - {ilo}")
-            body.append(f"{iscope.eoi} = _hl{fid}")
-            body.append(f"{iscope.start} = _hl{fid}")
-            body.append(f"{iscope.end} = 0")
-            body += sink.init_lines()
-            attr_order: List[str] = []
-            plan = self._alt_plan(name, 0, alternative)
-            if plan is not None:
-                self._emit_fused_prefix(plan, alternative, iscope, body, attr_order, sink)
-            for term in alternative.terms[plan.covered if plan else 0 :]:
-                self._emit_term(term, iscope, {}, body, attr_order, sink)
-        finally:
-            self._inlining.discard(name)
-            self._lo, self._hi = saved_frame
-            self._current_alternative_terms, self._current_alternative_locals = (
-                saved_current
-            )
-        # Rebase into the caller's coordinates while building the node
-        # (T-NTSucc), saving the non-inlined path's env copy.
-        start = self.namer.fresh("_x")
-        end = self.namer.fresh("_y")
-        body.append(f"{start} = {self._add(left, iscope.start)}")
-        body.append(f"{end} = {self._add(left, iscope.end)}")
-        env_items = [
-            f"'EOI': {iscope.eoi}",
-            f"'start': {start}",
-            f"'end': {end}",
-        ]
-        env_items += [f"{n!r}: {iscope.names[n]}" for n in attr_order]
-        env = self.namer.fresh("_e")
-        body.append(f"{env} = {{{', '.join(env_items)}}}")
-        if self.elide:
-            node = None
-        else:
-            node = self.namer.fresh("_d")
-            body.append(f"{node} = _mk_node({name!r}, {env}, {sink.final_expr()})")
-        body.append(f"if {iscope.end}:")
-        body.append(f"    if {start} < {scope.start}:")
-        body.append(f"        {scope.start} = {start}")
-        body.append(f"    if {end} > {scope.end}:")
-        body.append(f"        {scope.end} = {end}")
-        return node, env
-
-    def _emit_fixed_int(
-        self,
-        name: str,
-        spec: Tuple[int, str, bool],
-        left: str,
-        right: str,
-        scope: Scope,
-        body: List[str],
-    ) -> Tuple[str, str]:
-        """Fully inline a fixed-width integer builtin (btoi specialization)."""
-        width, byteorder, signed = spec
-        try:
-            fits = int(right) - int(left) >= width
-        except ValueError:
-            fits = None
-        if fits is None:
-            body.append(f"if {right} - {left} < {width}:")
-            body.append("    return FAIL")
-        elif not fits:
-            body.append("return FAIL")
-        position = self.namer.fresh("_p")
-        body.append(f"{position} = {self._abs(left)}")
-        if self.elide and width == 1 and not signed:
-            # No Leaf is kept, so the one-byte window never materializes.
-            window = None
-            value = f"data[{position}]"
-        else:
-            window = self.namer.fresh("_w")
-            body.append(f"{window} = data[{position}:{position} + {width}]")
-            if width == 1 and not signed:
-                value = f"{window}[0]"
-            elif signed:
-                value = f"_ifb({window}, {byteorder!r}, signed=True)"
-            else:
-                value = f"_ifb({window}, {byteorder!r})"
-        env = self.namer.fresh("_e")
-        end = self._plus(left, width)
-        try:
-            eoi = repr(int(right) - int(left))
-        except ValueError:
-            eoi = f"{right} - {left}"
-        body.append(
-            f"{env} = {{'EOI': {eoi}, 'start': {left}, 'end': {end}, 'val': {value}}}"
-        )
-        if self.elide:
-            node = None
-        else:
-            node = self.namer.fresh("_d")
-            body.append(f"{node} = _mk_node({name!r}, {env}, [_mk_leaf({window})])")
-        body.append(f"if {left} < {scope.start}:")
-        body.append(f"    {scope.start} = {left}")
-        body.append(f"if {end} > {scope.end}:")
-        body.append(f"    {scope.end} = {end}")
-        return node, env
-
-    def _emit_array(
-        self,
-        term: TermArray,
-        scope: Scope,
-        bindings: Dict[str, Tuple[str, Scope]],
-        body: List[str],
-        sink: _ChildSink,
-    ) -> None:
-        if self._try_emit_bulk_array(term, scope, bindings, body, sink):
-            return
-        element = term.element.name
-        # Loop bounds are evaluated before the (fresh) element list becomes
-        # visible, so references to a previous same-named array still
-        # resolve to that previous list here.
-        first = self.namer.fresh("_t")
-        stop = self.namer.fresh("_t")
-        body.append(f"{first} = {compile_expr(term.start, scope, self.namer)}")
-        body.append(f"{stop} = {compile_expr(term.stop, scope, self.namer)}")
-        elements = self.namer.fresh(f"_ar{scope.fid}_{self._token(element)}")
-        body.append(f"{elements} = []")
-        self._mirror(scope, elements, body)
-        scope.arrays[element] = elements
-
-        loop_var = f"_v{scope.fid}_{self._token(term.var)}"
-        prior = scope.names.get(term.var)
-        saved = None
-        if prior is not None:
-            # The loop variable shadows an attribute of the same name; the
-            # interpreter restores the old binding after the loop.
-            saved = self.namer.fresh("_s")
-            body.append(f"{saved} = {loop_var}")
-        scope.names[term.var] = loop_var
-
-        loop: List[str] = []
-        if self.fuel_slot is not None:
-            # Count-driven loops are the one place a lying length field
-            # buys unbounded iterations without consuming input (an
-            # element may match empty), so each iteration is charged even
-            # when the element rule itself carries no entry check.  The
-            # fixed-shape bulk loops need no charge: their stride is >= 1
-            # byte and every iteration is bounds-checked against the
-            # interval, capping them at the input length.
-            cell = self.namer.fresh("_t")
-            loop.append(f"{cell} = st[{self.fuel_slot}]")
-            loop.append(f"{cell}[0] -= 1")
-            loop.append(f"if {cell}[0] < 0:")
-            loop.append(f"    _limit_refill({cell})")
-        if scope.uses_cells:
-            # Where-rules called from inside the loop read the live index
-            # through the cell.
-            self._mirror(scope, loop_var, loop)
-        left, right = self._emit_interval(term.element.interval, scope, loop)
-        node, env = self._emit_nt_parse(
-            element, left, right, scope, bindings, loop, allow_inline=True
-        )
-        # Tree-elided element lists hold bare envs (read through the
-        # _aidx_env runtime variant); tree-building ones hold the nodes.
-        loop.append(f"{elements}.append({env if self.elide else node})")
-        body.append(f"for {loop_var} in range({first}, {stop}):")
-        body += _indent(loop)
-
-        if prior is not None:
-            body.append(f"{loop_var} = {saved}")
-            self._mirror(scope, loop_var, body)
-            scope.names[term.var] = prior
-        else:
-            if scope.has_locals:
-                # Re-poison the local so where-rules invoked after the loop
-                # observe a popped binding and fall through to the enclosing
-                # scope (see the loop-variable handling in
-                # _alternative_inner).
-                body.append(f"{loop_var} = _UB")
-                self._mirror(scope, loop_var, body)
-            del scope.names[term.var]
-        if sink.mode != "none":
-            sink.add(f"_mk_array({element!r}, {elements})", body)
-
-    def _emit_switch(
-        self,
-        term: TermSwitch,
-        scope: Scope,
-        bindings: Dict[str, Tuple[str, Scope]],
-        body: List[str],
-        sink: _ChildSink,
-    ) -> None:
-        # Switch-case targets are recorded conditionally: pre-initialise the
-        # record locals to None so Dot references fall through to enclosing
-        # scopes when the branch did not run (see exprcomp.resolve_dot).
-        for case in term.cases:
-            name = case.target.name
-            entry = scope.node_envs.get(name)
-            if entry is None:
-                record = f"_nv{scope.fid}_{self._token(name)}"
-                body.append(f"{record} = None")
-                self._mirror(scope, record, body)
-                scope.node_envs[name] = (record, False)
-        first = True
-        has_default = False
-        for case in term.cases:
-            branch: List[str] = []
-            left, right = self._emit_interval(case.target.interval, scope, branch)
-            node, env = self._emit_nt_parse(
-                case.target.name, left, right, scope, bindings, branch,
-                allow_inline=True,
-            )
-            record, _certain = scope.node_envs[case.target.name]
-            branch.append(f"{record} = {env}")
-            self._mirror(scope, record, branch)
-            sink.add(node, branch)
-            if case.condition is None:
-                has_default = True
-                body.append("else:" if not first else "if 1:")
-                body += _indent(branch)
-                break  # cases after a default are unreachable
-            keyword = "if" if first else "elif"
-            condition = compile_expr(case.condition, scope, self.namer)
-            body.append(f"{keyword} {condition} != 0:")
-            body += _indent(branch)
-            first = False
-        if not has_default:
-            body.append("else:")
-            body.append("    return FAIL")
-
-
-# ---------------------------------------------------------------------------
-# Public API
-# ---------------------------------------------------------------------------
-
-
-class CompiledGrammar:
-    """A grammar staged into specialized closures, ready to parse.
-
-    Produced by :func:`compile_grammar`; used by
-    :class:`~repro.core.interpreter.Parser` when ``backend="compiled"``.
-    The generated module source is kept on :attr:`source` for inspection
-    and debugging; :meth:`to_source` renders a fully standalone module.
-    """
-
-    __slots__ = (
-        "grammar",
-        "source",
-        "memoize",
-        "optimizations",
-        "memo_modes",
-        "blackboxes",
-        "elide_tree",
-        "inlined_rules",
-        "dispatched_rules",
-        "shaped_rules",
-        "bulk_arrays",
-        "limits",
-        "fuel_slot",
-        "_entry",
-        "_new_state",
-        "_bb",
-        "_leaf_consts",
-        "_builtin_runner_names",
-    )
-
-    def __init__(
-        self,
-        grammar: Grammar,
-        source: str,
-        namespace: Dict[str, object],
-        memoize: bool,
-        blackboxes: Dict[str, object],
-        compiler: _GrammarCompiler,
-        limits: Optional[ParseLimits] = None,
-    ):
-        self.grammar = grammar
-        self.source = source
-        self.memoize = memoize
-        #: ParseLimits this compilation was specialized for.  Only
-        #: max_steps is enforced natively (the fuel cell at state slot
-        #: :attr:`fuel_slot`, None when compiled out); depth/memo/node
-        #: growth are transitively bounded by it, and RecursionError/
-        #: MemoryError are intercepted at the entry points.
-        self.limits = DEFAULT_LIMITS if limits is None else limits
-        self.fuel_slot = compiler.fuel_slot
-        self.optimizations = compiler.opts
-        #: Rule name -> "dict" | "dense" | "skipped" | "unmemoized":
-        #: how each rule's packrat memo was specialized.
-        self.memo_modes = dict(compiler.memo_modes)
-        self.blackboxes = blackboxes
-        #: Whether this compilation elides parse-tree construction (the
-        #: engine behind ``Parser.parse(..., emit="spans"|None)``).
-        self.elide_tree = compiler.elide
-        #: Rules expanded into their single call site.
-        self.inlined_rules = frozenset(compiler._inline)
-        #: Rules whose biased choice goes through a first-byte jump table.
-        self.dispatched_rules = frozenset(compiler.dispatch_plans)
-        #: Rules with a fused fixed-shape prefix, and array element rules
-        #: lowered to bulk struct decoding (Optimizations.bulk_fixed_shape).
-        self.shaped_rules = frozenset(compiler.shaped_rules)
-        self.bulk_arrays = frozenset(compiler.bulk_arrays)
-        self._entry = namespace["_ENTRY"]
-        self._new_state = namespace["_new_state"]
-        self._bb = namespace["_bb"]
-        #: Constant metadata for ahead-of-time emission (codegen):
-        #: generated global name -> Leaf bytes / builtin name.
-        self._leaf_consts = {
-            var: value for value, var in compiler._leaf_cache.items()
-        }
-        self._builtin_runner_names = {
-            var: name for name, var in compiler._runner_cache.items()
-        }
-
-    def new_state(self) -> list:
-        """Allocate a fresh per-parse memo state list.
-
-        One table per memoized rule; parses are isolated from each other
-        exactly like the interpreter's per-run ``_Run`` — including
-        reentrant parses started from inside a blackbox and concurrent
-        parses on the same parser.  The streaming driver keeps one state
-        alive across re-entries instead.
-        """
-        return self._new_state()
-
-    def run_builtin(self, name: str, data, lo, hi):
-        """Run a builtin start symbol, honouring this compilation's mode."""
-        maker = _make_builtin_runner_elided if self.elide_tree else _make_builtin_runner
-        return maker(name)(data, lo, hi)
-
-    def parse_nonterminal(self, data: bytes, name: str, lo: int, hi: int):
-        """``s[lo, hi] ⊢ name ⇓ R`` through the compiled closures."""
-        state = self._new_state()
-        fn = self._entry.get(name)
-        if fn is not None:
-            try:
-                return fn(state, data, lo, hi)
-            except (RecursionError, MemoryError) as exc:
-                raise LimitExceeded(
-                    f"{type(exc).__name__} while parsing {name!r}; the input "
-                    f"drives unbounded recursion or allocation",
-                    limit="recursion",
-                    nonterminal=name,
-                ) from exc
-        if is_builtin(name):
-            return self.run_builtin(name, data, lo, hi)
-        if name in self.grammar.blackboxes:
-            return self._bb(name, data, lo, hi)
-        raise IPGError(f"no rule, builtin or blackbox for nonterminal {name!r}")
-
-    def parse(self, data: bytes, name: Optional[str] = None):
-        """Parse ``data`` whole, raising a structured error on failure.
-
-        The raising counterpart of :meth:`parse_nonterminal` for callers
-        using a :class:`CompiledGrammar` directly (without a ``Parser``):
-        failures are diagnosed through :mod:`repro.core.diagnose` exactly
-        like ``Parser.parse``, so every engine reports the same error
-        class and offset.
-        """
-        from .diagnose import diagnose_failure  # deferred: avoids a cycle
-
-        data = bytes(data)
-        start = name or self.grammar.start
-        # Same recursion headroom as Parser.try_parse and the AOT
-        # epilogue: legitimately deep inputs (long linked structures) must
-        # not trip the default interpreter-stack limit on this entry point
-        # while parsing fine on the others.
-        previous_limit = sys.getrecursionlimit()
-        if 100_000 > previous_limit:
-            sys.setrecursionlimit(100_000)
-        try:
-            result = self.parse_nonterminal(data, start, 0, len(data))
-        finally:
-            if 100_000 > previous_limit:
-                sys.setrecursionlimit(previous_limit)
-        if result is FAIL:
-            raise diagnose_failure(
-                self.grammar,
-                data,
-                start=start,
-                blackboxes=self.blackboxes,
-                limits=self.limits,
-            )
-        return result
-
-    def to_source(self, module_doc: Optional[str] = None) -> str:
-        """Render this grammar as a standalone importable parser module.
-
-        The emitted module vendors a small runtime prelude and needs no
-        ``repro`` import at parse time (when ``repro`` *is* importable it
-        reuses its parse-tree classes, so emitted trees compare ``==`` to
-        the other engines').  See :mod:`repro.core.codegen`.
-        """
-        from .codegen import render_standalone_module  # deferred: avoids a cycle
-
-        if self.elide_tree:
-            raise IPGError(
-                "a tree-elided compilation cannot be emitted ahead of time; "
-                "compile with elide_tree=False (emitted modules always build "
-                "trees)"
-            )
-        return render_standalone_module(self, module_doc=module_doc)
-
-    def load_module(self, name: str = "ipg_aot_parser"):
-        """Emit :meth:`to_source` and execute it as a fresh in-memory module.
-
-        The ahead-of-time path without the filesystem: the returned module
-        object exposes the standalone API (``parse``/``try_parse``/
-        ``register_blackbox``/``START``).  Blackboxes registered with this
-        :class:`CompiledGrammar` are pre-registered on the module.  Used by
-        the cross-engine test matrix and the speedup benchmark; writing
-        :meth:`to_source` to a file and importing it behaves identically.
-        """
-        import types
-
-        module = types.ModuleType(name)
-        exec(compile(self.to_source(), f"<{name}>", "exec"), module.__dict__)
-        for blackbox_name, implementation in self.blackboxes.items():
-            module.register_blackbox(blackbox_name, implementation)
-        return module
-
-
-def compile_grammar(
-    grammar: Union[Grammar, str],
-    memoize: bool = True,
-    blackboxes: Optional[Dict[str, object]] = None,
-    optimizations: Optional[Optimizations] = None,
-    elide_tree: bool = False,
-    stream_dispatch_cache: bool = False,
-    limits: Optional[ParseLimits] = None,
-) -> CompiledGrammar:
-    """Stage ``grammar`` into specialized Python closures.
-
-    Raises :class:`~repro.core.errors.CompilationError` when the grammar
-    contains a construct the compiler cannot specialize; ``Parser`` treats
-    that as a cue to fall back to the reference interpreter.
-    ``optimizations`` selects the pass set (all passes by default).
-
-    ``elide_tree=True`` compiles the tree-elision fast path: the generated
-    alternatives keep the complete attribute semantics (environments,
-    records, arrays of element environments) but never build children
-    lists, ``Leaf`` payloads or ``ArrayNode`` wrappers — rule results are
-    env-carrying shells sharing one empty children tuple.  It backs
-    ``Parser.parse(data, emit="spans"|None)`` and ``accepts``.
-
-    ``stream_dispatch_cache=True`` (set by the streaming variant) makes
-    first-byte dispatch decisions memoized per parse, so re-entries after
-    a suspension never re-read already-dispatched bytes — required for
-    the compaction guarantee of compacted streams.
-    """
-    prepared = prepare_grammar(grammar)
-    registry = blackboxes if blackboxes is not None else {}
-    resolved_limits = DEFAULT_LIMITS if limits is None else limits
-    compiler = _GrammarCompiler(
-        prepared,
-        memoize=memoize,
-        optimizations=optimizations,
-        elide_tree=elide_tree,
-        stream_dispatch_cache=stream_dispatch_cache,
-        max_steps=resolved_limits.max_steps,
-    )
-    source = compiler.compile()
-    namespace: Dict[str, object] = {
-        "FAIL": FAIL,
-        "EvaluationError": EvaluationError,
-        "_MAX_STEPS": (
-            float("inf")
-            if resolved_limits.max_steps is None
-            else resolved_limits.max_steps
-        ),
-        "_limit_steps": _limit_steps,
-        "_limit_refill": _limit_refill,
-        "_MISS": _MISS,
-        "_mk_node": _mk_node,
-        "_mk_leaf": _mk_leaf,
-        "_mk_array": _mk_array,
-        "_div": _div,
-        "_mod": _mod,
-        "_shift_l": _shift_l,
-        "_shift_r": _shift_r,
-        "_aidx": _aidx_env if elide_tree else _aidx,
-        "_E": _SHARED_EMPTY,
-        "_UB": _UB,
-        "_undef": _undef,
-        "_nonode": _nonode,
-        "_noarr": _noarr,
-        "_badexists": _badexists,
-        "_exists": _exists,
-        "_ifb": int.from_bytes,
-        "_struct": struct,
-        "_bb": _make_blackbox_runner(registry, elide_tree=elide_tree),
-    }
-    namespace.update(compiler.constants)
-    try:
-        code = compile(source, "<ipg-compiled-grammar>", "exec")
-        exec(code, namespace)
-    except CompilationError:
-        raise
-    except Exception as exc:  # defensive: never crash the Parser constructor
-        raise CompilationError(
-            f"staging the grammar failed ({type(exc).__name__}: {exc})"
-        ) from exc
-    return CompiledGrammar(
-        prepared, source, namespace, memoize, registry, compiler, limits=resolved_limits
-    )
+from .ir import GrammarAnalysis, analyze  # noqa: F401
+
+__all__ = [
+    "CompiledGrammar",
+    "Optimizations",
+    "compile_grammar",
+    "GrammarAnalysis",
+    "analyze",
+]

@@ -116,11 +116,14 @@ class Parser:
         the GIF ``Blocks`` list are deliberately recursive.
     backend:
         ``"compiled"`` (the default) stages the grammar into specialized
-        Python closures via :mod:`repro.core.compiler`; ``"interpreted"``
-        uses the reference tree-walking interpreter.  Both produce
-        identical parse trees; when the compiler cannot specialize a
-        construct the parser silently falls back to the interpreter (the
-        :attr:`backend` attribute reports the engine actually in use).
+        Python closures via :mod:`repro.core.backends.closures`;
+        ``"tablevm"`` lowers it onto the plan IR and executes the linked
+        tables in the :mod:`repro.core.backends.tablevm` dispatch loop;
+        ``"interpreted"`` uses the reference tree-walking interpreter.
+        All produce identical parse trees; when the closure compiler
+        cannot specialize a construct the parser silently falls back to
+        the interpreter (the :attr:`backend` attribute reports the engine
+        actually in use).
     first_byte_dispatch:
         Enable first-byte dispatch (:mod:`repro.core.firstsets`): rules
         whose alternatives have distinguishable admissible first bytes
@@ -145,7 +148,7 @@ class Parser:
         :class:`~repro.core.errors.LimitExceeded`.
     """
 
-    BACKENDS = ("compiled", "interpreted")
+    BACKENDS = ("compiled", "interpreted", "tablevm")
 
     #: Valid values of the ``emit`` execution-mode argument.
     EMIT_MODES = ("tree", "spans", None)
@@ -177,10 +180,15 @@ class Parser:
         self._compiled = None
         self._compiled_elided = None
         self._compiled_stream: Dict[bool, object] = {}
+        self._tablevm = None
+        self._tablevm_stream = None
         self._interp_dispatch = None
         self._shape_decoder_maps: Dict[bool, Dict[str, object]] = {}
         self._validated_starts: set = set()
         self._streamability = None
+        #: record_spans engines, keyed by the frozen rule-name set (the
+        #: instrumentation bakes the recorded set into the wrappers).
+        self._span_engines: Dict[frozenset, object] = {}
         if backend == "compiled":
             from .compiler import compile_grammar  # deferred: avoids an import cycle
 
@@ -196,6 +204,19 @@ class Parser:
                 # Automatic fallback: constructs the compiler does not yet
                 # specialize run on the reference interpreter instead.
                 self.backend = "interpreted"
+        elif backend == "tablevm":
+            from .backends.tablevm import TableGrammar
+            from .ir import lower
+
+            self._tablevm = TableGrammar(
+                lower(
+                    self.grammar,
+                    memoize=memoize,
+                    optimizations=self._optimizations(),
+                ),
+                blackboxes=self.blackboxes,
+                limits=self.limits,
+            )
 
     def _optimizations(self):
         """The compiler pass set honouring the per-parser toggles."""
@@ -244,6 +265,99 @@ class Parser:
             except CompilationError:  # pragma: no cover - same checks as batch
                 self._compiled_elided = False
         return self._compiled_elided or None
+
+    def _span_engine(self, span_rules: frozenset):
+        """The compiled record_spans engine for ``span_rules`` (cached).
+
+        A dedicated unmemoized compilation in which every rule and
+        alternative is reached through a late-bound global name (no
+        inlining, no dispatch tables, no decode fast paths), instrumented
+        by :func:`~repro.core.backends.closures.instrument_span_recording`.
+        Returns ``(compiled, holder)``, or ``None`` to fall back to the
+        reference interpreter's native span trail.
+        """
+        engine = self._span_engines.get(span_rules)
+        if engine is None:
+            from .backends.closures import instrument_span_recording
+            from .compiler import Optimizations, compile_grammar
+
+            try:
+                compiled = compile_grammar(
+                    self.grammar,
+                    memoize=False,
+                    blackboxes=self.blackboxes,
+                    optimizations=Optimizations(
+                        module_level_where=True,
+                        inline_single_use=False,
+                        first_byte_dispatch=False,
+                        bulk_fixed_shape=False,
+                    ),
+                    limits=self.limits,
+                )
+            except CompilationError:
+                engine = False
+            else:
+                engine = (compiled, instrument_span_recording(compiled, span_rules))
+            self._span_engines[span_rules] = engine
+        return engine or None
+
+    def _try_parse_recording(self, data, start_name, span_rules):
+        """The ``record_spans`` execution path: ``(result, spans)``.
+
+        Every engine runs with memoization and the decode fast paths off,
+        records ``(rule, abs_start, abs_end)`` post-order at rule success,
+        and discards spans recorded inside abandoned alternatives — so the
+        trail is exactly the committed derivation and identical across
+        engines (differential-tested by the cross-engine matrix).
+        """
+        unknown = sorted(
+            name for name in span_rules if not self.grammar.has_rule(name)
+        )
+        if unknown:
+            raise IPGError(
+                f"record_spans names unknown top-level rule(s) {unknown}; "
+                f"builtins and blackboxes have no rule spans"
+            )
+        data = bytes(data)
+        self._validate_blackboxes(start_name)
+        previous_limit = sys.getrecursionlimit()
+        if self.recursion_limit > previous_limit:
+            sys.setrecursionlimit(self.recursion_limit)
+        try:
+            if self._tablevm is not None:
+                run = self._tablevm.new_run(data, span_rules=span_rules)
+                result = run.parse_nonterminal(start_name, 0, len(data), None, None)
+                spans = run.spans
+            else:
+                engine = (
+                    self._span_engine(span_rules)
+                    if self.backend == "compiled"
+                    else None
+                )
+                if engine is not None:
+                    compiled, holder = engine
+                    holder[0] = spans = []
+                    result = compiled.parse_nonterminal(data, start_name, 0, len(data))
+                else:
+                    run = _Run(self, data, span_rules=span_rules)
+                    result = run.parse_nonterminal(
+                        start_name, 0, len(data), None, None
+                    )
+                    spans = run.spans
+        except (RecursionError, MemoryError) as exc:
+            raise LimitExceeded(
+                f"{type(exc).__name__} while parsing {start_name!r}; the input "
+                f"drives unbounded recursion or allocation — set "
+                f"ParseLimits.max_depth/max_steps to fail earlier",
+                limit="recursion",
+                nonterminal=start_name,
+            ) from exc
+        finally:
+            if self.recursion_limit > previous_limit:
+                sys.setrecursionlimit(previous_limit)
+        if result is FAIL:
+            return None, []
+        return result, spans
 
     def _interpreter_dispatch(self) -> Dict[int, tuple]:
         """First-byte jump tables for the interpreter, keyed by rule id.
@@ -335,6 +449,39 @@ class Parser:
                 self._compiled_stream[elide_tree] = None
         return self._compiled_stream[elide_tree]
 
+    def _tablevm_streaming(self):
+        """The table-VM link the streaming driver re-enters (cached).
+
+        Same memo policy as the compiled streaming variant (see
+        :meth:`_streaming_compiled`): every rule memoizes, so stream
+        re-entries replay already-decided sub-parses as memo hits instead
+        of re-reading bytes compaction may have discarded.  The struct
+        decode fast paths are off — plan decoders read whole fixed windows
+        at once, which bypasses the ``NeedMoreInput`` suspension protocol.
+        """
+        if self._tablevm_stream is None:
+            from .backends.tablevm import TableGrammar
+            from .ir import Optimizations, lower
+
+            self._tablevm_stream = TableGrammar(
+                lower(
+                    self.grammar,
+                    memoize=self.memoize,
+                    optimizations=Optimizations(
+                        module_level_where=True,
+                        dense_memo=True,
+                        skip_nonrecursive_memo=False,
+                        inline_single_use=False,
+                        first_byte_dispatch=self.first_byte_dispatch,
+                        bulk_fixed_shape=self.bulk_fixed_shape,
+                    ),
+                ),
+                blackboxes=self.blackboxes,
+                limits=self.limits,
+                use_decoders=False,
+            )
+        return self._tablevm_stream
+
     def register_blackbox(self, name: str, parser: BlackboxCallable) -> None:
         """Register (or replace) the implementation of a blackbox parser.
 
@@ -366,7 +513,13 @@ class Parser:
         self._validated_starts.add(start)
 
     # -- public parsing API ---------------------------------------------------
-    def parse(self, data: bytes, start: Optional[str] = None, emit: Optional[str] = "tree"):
+    def parse(
+        self,
+        data: bytes,
+        start: Optional[str] = None,
+        emit: Optional[str] = "tree",
+        record_spans=None,
+    ):
         """Parse ``data`` and return the parse result for ``emit``.
 
         ``emit`` selects the execution mode:
@@ -380,6 +533,14 @@ class Parser:
         * ``None`` — validate only: returns ``True`` on success, same fast
           path, nothing is retained.
 
+        ``record_spans`` — a set of top-level rule names — switches the
+        return value to ``(tree, spans)`` where ``spans`` is the list of
+        ``(rule, start, end)`` byte-offset triples of every *committed*
+        occurrence of those rules, in completion (post) order.  Recording
+        runs with memoization and the decode fast paths disabled so each
+        occurrence really executes; spans from abandoned alternatives are
+        discarded.  Only combined with ``emit="tree"``.
+
         Raises a structured :class:`~repro.core.errors.ParseFailure`
         subclass when the grammar does not accept the input: the failed
         parse is re-run through the diagnostic interpreter
@@ -388,17 +549,23 @@ class Parser:
         (:class:`~repro.core.errors.TruncatedInput`, ...), byte offset,
         rule stack, and violated interval.
         """
-        result = self.try_parse(data, start, emit=emit)
-        if result is None:
+        result = self.try_parse(data, start, emit=emit, record_spans=record_spans)
+        failed = (result[0] if record_spans is not None else result) is None
+        if failed:
             from .diagnose import diagnose_parser
 
             raise diagnose_parser(self, bytes(data), start or self.grammar.start)
         return result
 
     def try_parse(
-        self, data: bytes, start: Optional[str] = None, emit: Optional[str] = "tree"
+        self,
+        data: bytes,
+        start: Optional[str] = None,
+        emit: Optional[str] = "tree",
+        record_spans=None,
     ):
-        """Like :meth:`parse` but returns ``None`` on non-matching input.
+        """Like :meth:`parse` but returns ``None`` on non-matching input
+        (``(None, [])`` under ``record_spans``).
 
         Configuration errors still raise: an unknown start symbol
         (:class:`~repro.core.errors.IPGError`) or a reachable blackbox with
@@ -410,21 +577,34 @@ class Parser:
                 f"unknown emit mode {emit!r}; expected one of {self.EMIT_MODES}"
             )
         start_name = start or self.grammar.start
+        if record_spans is not None:
+            if emit != "tree":
+                raise ValueError(
+                    'record_spans requires emit="tree" (the recording '
+                    "engines always run the tree-building path)"
+                )
+            return self._try_parse_recording(
+                data, start_name, frozenset(record_spans)
+            )
         data = bytes(data)
         self._validate_blackboxes(start_name)
         previous_limit = sys.getrecursionlimit()
         if self.recursion_limit > previous_limit:
             sys.setrecursionlimit(self.recursion_limit)
         try:
-            if emit == "tree":
-                compiled = self._compiled
-            else:
-                compiled = self._elided_compiled()
-            if compiled is not None:
-                result = compiled.parse_nonterminal(data, start_name, 0, len(data))
-            else:
-                run = _Run(self, data, build_tree=emit == "tree")
+            if self._tablevm is not None:
+                run = self._tablevm.new_run(data, build_tree=emit == "tree")
                 result = run.parse_nonterminal(start_name, 0, len(data), None, None)
+            else:
+                if emit == "tree":
+                    compiled = self._compiled
+                else:
+                    compiled = self._elided_compiled()
+                if compiled is not None:
+                    result = compiled.parse_nonterminal(data, start_name, 0, len(data))
+                else:
+                    run = _Run(self, data, build_tree=emit == "tree")
+                    result = run.parse_nonterminal(start_name, 0, len(data), None, None)
         except (RecursionError, MemoryError) as exc:
             # Safety net: the explicit max_depth check fires first under the
             # default limits; a bare interpreter-stack or allocator blowup
@@ -569,6 +749,8 @@ class _Run:
         "max_depth",
         "memo_cap",
         "nodes",
+        "span_rules",
+        "spans",
     )
 
     def __init__(
@@ -577,19 +759,27 @@ class _Run:
         data: bytes,
         build_tree: bool = True,
         dispatch_cache: bool = False,
+        span_rules: Optional[frozenset] = None,
     ):
         self.parser = parser
         self.grammar = parser.grammar
         self.data = data
         self.memo: Dict[tuple, object] = {}
-        self.memoize = parser.memoize
+        # Span recording disables memoization and the decode fast paths:
+        # the recorded trail is then exactly the committed derivation,
+        # identical across engines by construction (see _VMRun).
+        self.span_rules = span_rules
+        self.spans: Optional[List[tuple]] = [] if span_rules is not None else None
+        self.memoize = parser.memoize and span_rules is None
         self.build = build_tree
         self.dispatch = parser._interpreter_dispatch() or None
         self.dispatch_cache: Optional[dict] = (
             {} if dispatch_cache and self.dispatch else None
         )
         #: Fixed-shape one-shot decoders (rule name -> fn) or None.
-        self.shapes = parser._shape_decoders(build_tree)
+        self.shapes = (
+            None if span_rules is not None else parser._shape_decoders(build_tree)
+        )
         # Resource budgets (None = every budget unlimited; see limits.py).
         # fuel/nodes are single-element cells so checks cost one list op;
         # the rule-name stack is popped on success only — a suspension
@@ -668,6 +858,11 @@ class _Run:
                         limit="max_memo_entries",
                         nonterminal=name,
                     )
+            spans = self.spans
+            if spans is not None and result is not FAIL and name in self.span_rules:
+                spans.append(
+                    (name, lo + result.env["start"], lo + result.env["end"])
+                )
             return result
         # 3. builtin integer / raw parsers (the `btoi` specialization).
         if is_builtin(name):
@@ -752,12 +947,18 @@ class _Run:
                         cache[key] = alternatives
             else:
                 alternatives = entry[1]
+        spans = self.spans
+        checkpoint = len(spans) if spans is not None else 0
         for alternative in alternatives:
             result = self._parse_alternative(
                 rule.name, alternative, lo, hi, outer_ctx, local_rules
             )
             if result is not FAIL:
                 return result
+            if spans is not None:
+                # Discard spans recorded inside the failed alternative —
+                # only the committed derivation is reported.
+                del spans[checkpoint:]
         return FAIL
 
     def _parse_alternative(

@@ -568,19 +568,31 @@ class StreamingParse:
         # variant (see Parser._streaming_compiled): the batch compilation
         # elides memo tables for non-recursive rules, which would force
         # every re-entry to re-read bytes compaction already discarded.
-        # Non-"tree" emit modes run the tree-elision variant instead.
-        self._compiled = parser._streaming_compiled(elide_tree=emit != "tree")
-        if self._compiled is not None:
-            self._state = self._compiled.new_state()
-            self._run = None
-        else:
+        # The table VM streams through the analogous fully-memoized link
+        # (Parser._tablevm_streaming); its run object shares the reference
+        # interpreter's re-entry interface.  Non-"tree" emit modes elide
+        # tree construction in every engine.
+        if getattr(parser, "_tablevm", None) is not None:
+            self._compiled = None
             self._state = None
-            self._run = _Run(
-                parser,
+            self._run = parser._tablevm_streaming().new_run(
                 self.buffer,
                 build_tree=emit == "tree",
                 dispatch_cache=True,
             )
+        else:
+            self._compiled = parser._streaming_compiled(elide_tree=emit != "tree")
+            if self._compiled is not None:
+                self._state = self._compiled.new_state()
+                self._run = None
+            else:
+                self._state = None
+                self._run = _Run(
+                    parser,
+                    self.buffer,
+                    build_tree=emit == "tree",
+                    dispatch_cache=True,
+                )
 
     # -- engine dispatch ---------------------------------------------------
     def _call_engine(self):
@@ -690,10 +702,16 @@ class StreamingParse:
             ):
                 return self._attempt()
             return False
-        if self.buffer.received < self._wait_until:
-            # The previous suspension told us how many bytes it needs;
-            # skip pointless re-entries until they arrived.
-            return False
+        # Probe re-entry: attempt after every chunk, even when the previous
+        # suspension asked for more bytes than have arrived (_wait_until).
+        # The re-entry replays the decided spine as memo hits and suspends
+        # at the same frontier read, but it *refreshes the compaction
+        # watermark*: the bytes of chunks that arrived since the last
+        # attempt and precede the suspended term are discarded immediately
+        # instead of accumulating until the term completes.  That tightens
+        # the peak-buffer floor from two chunks + the largest in-flight
+        # term to one chunk + the largest in-flight term, at the cost of
+        # one (cheap) re-entry per chunk.
         return self._attempt()
 
     def finish(self):

@@ -94,10 +94,18 @@ class TestParserEmitAPI:
             spans.children.append("junk")
         assert list(parser.parse(data, emit="spans").children) == []
 
-    def test_elided_aot_emission_is_refused(self):
+    def test_elided_aot_emission_round_trips(self):
+        # An elided compilation now emits a standalone module whose parses
+        # stay elided: env-carrying root, no children, no payload leaves.
         compiled = compile_grammar(registry["gif"].grammar_text, elide_tree=True)
-        with pytest.raises(IPGError):
-            compiled.to_source()
+        module = compiled.load_module("_emit_modes_elided_aot")
+        data = format_sample("gif")
+        reference = build("gif").parse(data, emit="spans")
+        root = module.parse(data)
+        assert root.name == reference.name
+        assert root.env == reference.env
+        assert list(root.children) == []
+        assert module.try_parse(data[: len(data) // 2]) is None
 
 
 class TestStreamingEmit:
