@@ -5,6 +5,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro formats                      # list bundled format grammars
     python -m repro parse --format elf FILE      # parse a file, print a summary
     python -m repro parse --format dns --stream - # stream stdin in chunks (§8)
+    python -m repro parse --format elf --lazy FILE # decode only what's shown
+    python -m repro index --format elf FILE      # list lazily decodable windows
     python -m repro check GRAMMAR.ipg            # attribute + termination check
     python -m repro compile --format zip -o z.py # emit a standalone AOT parser
     python -m repro compile --format elf --explain-shapes  # fixed-shape report
@@ -75,11 +77,24 @@ def _render_zip(tree) -> str:
     return "\n".join(lines)
 
 
-def _read_bytes(path: str) -> bytes:
+def _read_bytes(path: str):
+    """The input's bytes: stdin is buffered, regular files are mmap'd.
+
+    Every engine accepts any buffer-protocol object without copying
+    (see :mod:`repro.core.buffers`), so handing the parse an mmap means
+    ``repro parse --validate`` on a multi-gigabyte file runs at constant
+    RSS — the kernel pages in only the bytes the grammar touches.  Empty
+    or unmappable files (pipes, some filesystems) fall back to a read.
+    """
     if path == "-":
         return sys.stdin.buffer.read()
     with open(path, "rb") as handle:
-        return handle.read()
+        try:
+            import mmap
+
+            return mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            return handle.read()
 
 
 def _iter_chunks(path: str, chunk_size: int):
@@ -127,6 +142,13 @@ def _render_spans(tree) -> str:
 
 def cmd_parse(args) -> int:
     emit = None if args.validate else ("spans" if args.spans else "tree")
+    if args.lazy and (args.stream or args.validate or args.spans):
+        print(
+            "error: --lazy builds an on-demand tree and cannot be combined "
+            "with --stream, --validate, or --spans",
+            file=sys.stderr,
+        )
+        return 2
     data = b"" if args.stream else _read_bytes(args.file)
     try:
         if args.format:
@@ -160,6 +182,14 @@ def cmd_parse(args) -> int:
                     print(render_explain(exc), file=sys.stderr)
                     return 1
                 tree = None
+        elif args.lazy:
+            try:
+                tree = parser.parse_lazy(data, lazy_threshold=args.lazy_threshold)
+            except ParseFailure as exc:
+                if args.explain_error:
+                    print(render_explain(exc, data), file=sys.stderr)
+                    return 1
+                tree = None
         elif args.explain_error:
             try:
                 tree = parser.parse(data, emit=emit)
@@ -190,6 +220,76 @@ def cmd_parse(args) -> int:
         print(tree.pretty())
     else:
         print(_SUMMARIZERS[args.format](tree, data))
+    if args.lazy:
+        # How much of the input rendering the output above actually cost.
+        document = tree.document
+        total = len(document.buffer)
+        share = 100.0 * document.decoded_bytes / total if total else 0.0
+        print(
+            f"[lazy] materialized {document.decoded_bytes} of {total} bytes "
+            f"({share:.1f}%) in {len(document.decoded)} decode(s)"
+        )
+    return 0
+
+
+def cmd_index(args) -> int:
+    """``repro index``: lazily skeleton-parse a file, list decodable windows.
+
+    Validates the whole input (one tree-elision pass), decodes only the
+    structural spine, and prints the un-decoded subtree windows — the
+    units :meth:`~repro.core.interpreter.Parser.parse_lazy` materializes
+    individually on access.
+    """
+    from .core.lazytree import LazyNode
+    from .core.parsetree import ArrayNode, Node
+
+    try:
+        if args.format:
+            if args.format not in registry:
+                print(
+                    f"unknown format {args.format!r}; see `repro formats`",
+                    file=sys.stderr,
+                )
+                return 2
+            parser = registry[args.format].build_parser(backend=args.backend)
+        else:
+            parser = Parser(_read_text(args.grammar), backend=args.backend)
+        data = _read_bytes(args.file)
+        try:
+            root = parser.parse_lazy(data, lazy_threshold=args.lazy_threshold)
+        except ParseFailure as exc:
+            print(render_explain(exc, data), file=sys.stderr)
+            return 1
+    except IPGError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    stubs = []
+
+    def visit(tree) -> None:
+        if isinstance(tree, LazyNode) and not tree.is_materialized:
+            stubs.append(tree)
+            return
+        if isinstance(tree, ArrayNode):
+            for element in tree.elements:
+                visit(element)
+        elif isinstance(tree, Node):
+            for child in tree.children:
+                visit(child)
+
+    for child in root.children:  # decodes the skeleton spine only
+        visit(child)
+    document = root.document
+    total = len(document.buffer)
+    share = 100.0 * document.decoded_bytes / total if total else 0.0
+    print(
+        f"{root.name}: {total} bytes; skeleton decoded "
+        f"{document.decoded_bytes} bytes ({share:.1f}%), "
+        f"{len(stubs)} lazy subtree(s)"
+    )
+    for stub in stubs:
+        lo, hi = stub.interval
+        print(f"  {stub.name:<16} [{lo}, {hi})  {hi - lo} bytes")
     return 0
 
 
@@ -497,7 +597,49 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "byte offset with hex context, violated interval, rule stack) "
         "instead of a one-line message",
     )
+    parse_command.add_argument(
+        "--lazy",
+        action="store_true",
+        help="parse lazily: validate the input now, decode subtrees only as "
+        "the output needs them, and report how many bytes were "
+        "materialized",
+    )
+    parse_command.add_argument(
+        "--lazy-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="minimum subtree window size in bytes left as a lazy stub "
+        "(default: 4096; 0 stubs every top-level rule invocation)",
+    )
     parse_command.set_defaults(handler=cmd_parse)
+
+    index_command = commands.add_parser(
+        "index",
+        help="lazily index a file: validate it and list the subtree "
+        "windows that decode on demand",
+    )
+    index_command.add_argument("file", help="input file ('-' for stdin)")
+    index_group = index_command.add_mutually_exclusive_group(required=True)
+    index_group.add_argument(
+        "--format", help="one of the bundled formats (see `formats`)"
+    )
+    index_group.add_argument("--grammar", help="path to an IPG grammar file")
+    index_command.add_argument(
+        "--backend",
+        choices=("compiled", "interpreted", "tablevm"),
+        default="compiled",
+        help="parse engine backing the skeleton probes (default: compiled)",
+    )
+    index_command.add_argument(
+        "--lazy-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="minimum subtree window size in bytes left as a lazy stub "
+        "(default: 4096; 0 stubs every top-level rule invocation)",
+    )
+    index_command.set_defaults(handler=cmd_index)
 
     check_command = commands.add_parser("check", help="attribute + termination checking")
     check_command.add_argument("grammar", help="path to an IPG grammar file")

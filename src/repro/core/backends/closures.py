@@ -97,6 +97,7 @@ from ..ast import (
     TermSwitch,
     TermTerminal,
 )
+from ..buffers import as_buffer
 from ..builtins import BUILTIN_FAIL, BUILTINS, is_builtin, normalize_blackbox_result
 from ..cycles import recursive_vertices
 from ..errors import (
@@ -162,8 +163,10 @@ def _mk_node(name, env, children):
 
 
 def _mk_leaf(value):
+    # Generated code passes raw input slices; on a memoryview-backed parse
+    # this is where a payload becomes real bytes (the only copy made).
     leaf = _leaf_new(Leaf)
-    leaf.value = value
+    leaf.value = value if type(value) is bytes else bytes(value)
     return leaf
 
 
@@ -328,7 +331,9 @@ def _make_blackbox_runner(blackboxes, elide_tree=False):
                 f"grammar declares blackbox {name!r} but no implementation was "
                 f"registered with the Parser"
             )
-        window = data[lo:hi]
+        # Blackboxes receive real bytes (the registered-callable contract);
+        # bytes() is a no-op when the input buffer already is bytes.
+        window = bytes(data[lo:hi])
         try:
             raw = implementation(window)
         except Exception as exc:  # the blackbox itself failed
@@ -2023,7 +2028,7 @@ class CompiledGrammar:
         """
         from ..diagnose import diagnose_failure  # deferred: avoids a cycle
 
-        data = bytes(data)
+        data = as_buffer(data)
         start = name or self.grammar.start
         # Same recursion headroom as Parser.try_parse and the AOT
         # epilogue: legitimately deep inputs (long linked structures) must

@@ -831,7 +831,9 @@ class _VMRun:
                 f"grammar declares blackbox {name!r} but no implementation "
                 f"was registered with the Parser"
             )
-        window = self.data[lo:hi]
+        # Blackboxes receive real bytes; bytes() only copies when the run
+        # is over a memoryview (bytes input slices are already bytes).
+        window = bytes(self.data[lo:hi])
         try:
             raw = implementation(window)
         except Exception as exc:  # the blackbox itself failed

@@ -89,7 +89,9 @@ def _bytes(data: bytes, lo: int, hi: int):
 
 
 def _ascii_int(data: bytes, lo: int, hi: int):
-    window = data[lo:hi]
+    # bytes() is a no-op for bytes input; memoryview windows need real
+    # bytes for strip()/isdigit() (and the payload Leaf would copy anyway).
+    window = bytes(data[lo:hi])
     text = window.strip()
     if not text or not text.isdigit():
         return BUILTIN_FAIL

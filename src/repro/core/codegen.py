@@ -285,9 +285,29 @@ def _mk_node(name, env, children):
 
 
 def _mk_leaf(value):
+    # Rule bodies pass raw input slices; on a memoryview-backed parse this
+    # is where a payload becomes real bytes (the only copy made).
     leaf = _leaf_new(Leaf)
-    leaf.value = value
+    leaf.value = value if type(value) is bytes else bytes(value)
     return leaf
+
+
+def _as_buffer(data):
+    # Zero-copy input normalization (mirrors repro.core.buffers.as_buffer):
+    # bytes passes through; any other buffer-protocol object (bytearray,
+    # memoryview, mmap, ...) is wrapped in a flat byte view, never copied.
+    if isinstance(data, bytes):
+        return data
+    try:
+        view = data if type(data) is memoryview else memoryview(data)
+    except TypeError:
+        raise TypeError(
+            f"parse input must be a bytes-like object (bytes, bytearray, "
+            f"memoryview, mmap, ...), not {type(data).__name__}"
+        ) from None
+    if view.ndim != 1 or view.format != "B":
+        view = view.cast("B")
+    return view
 
 
 def _mk_array(name, elements):
@@ -404,7 +424,9 @@ def _p_bytes(data, lo, hi):
 
 
 def _p_ascii_int(data, lo, hi):
-    window = data[lo:hi]
+    # bytes() is a no-op for bytes input; memoryview windows need real
+    # bytes for strip()/isdigit() (and the payload Leaf would copy anyway).
+    window = bytes(data[lo:hi])
     text = window.strip()
     if not text or not text.isdigit():
         return _BFAIL
@@ -524,7 +546,8 @@ def _bb(name, data, lo, hi):
             f"grammar declares blackbox {name!r} but no implementation was "
             f"registered; call register_blackbox({name!r}, fn) first"
         )
-    window = data[lo:hi]
+    # Blackboxes receive real bytes; bytes() only copies on memoryview runs.
+    window = bytes(data[lo:hi])
     try:
         raw = implementation(window)
     except Exception as exc:  # the blackbox itself failed
@@ -619,8 +642,12 @@ def _diagnose_and_raise(data, name):
 
 
 def try_parse(data, start=None):
-    """Parse ``data``; returns the root Node, or None on non-matching input."""
-    data = bytes(data)
+    """Parse ``data``; returns the root Node, or None on non-matching input.
+
+    ``data`` may be any buffer-protocol object (bytes, bytearray,
+    memoryview, mmap, ...); it is normalized zero-copy, never duplicated.
+    """
+    data = _as_buffer(data)
     name = START if start is None else start
     previous_limit = _sys.getrecursionlimit()
     if _RECURSION_LIMIT > previous_limit:
@@ -647,7 +674,7 @@ def parse(data, start=None):
     reference interpreter when importable, as a plain vendored
     ``ParseFailure`` otherwise.
     """
-    data = bytes(data)
+    data = _as_buffer(data)
     name = START if start is None else start
     result = try_parse(data, name)
     if result is not None:
@@ -682,6 +709,7 @@ _PACKAGE_IMPORTS = (
     "_MISS",
     "_UB",
     "_aidx",
+    "_as_buffer",
     "_badexists",
     "_div",
     "_exists",

@@ -47,6 +47,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Union
 
 from .ast import Grammar, TermAttrDef, TermGuard
+from .buffers import as_buffer
 from .builtins import BUILTINS, BlackboxCallable
 from .env import upd_start_end_in_place
 from .errors import (
@@ -362,7 +363,7 @@ def diagnose_parser(parser: Parser, data: bytes, start: str) -> ParseFailure:
     The caller raises the result (keeping the raise site in the engine's
     own entry point).
     """
-    return _run_diagnosis(parser, bytes(data), start)
+    return _run_diagnosis(parser, as_buffer(data), start)
 
 
 #: Prepared grammars keyed by source text (AOT modules re-diagnose
@@ -397,4 +398,4 @@ def diagnose_failure(
         bulk_fixed_shape=False,
         limits=limits,
     )
-    return _run_diagnosis(parser, bytes(data), start or grammar.start)
+    return _run_diagnosis(parser, as_buffer(data), start or grammar.start)

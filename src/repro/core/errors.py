@@ -165,8 +165,13 @@ def render_explain(error: ParseFailure, data: bytes | None = None) -> str:
     if error.offset is not None:
         lines.append(f"  offset:   {error.offset} (0x{error.offset:x})")
         if data is not None:
-            start = max(0, error.offset - 16)
-            window = bytes(data[start : error.offset + 16])
+            # The context window is hard-clamped to 64 bytes around the
+            # failure offset regardless of input size or a bogus offset —
+            # rendering an error over an mmap'd multi-GB buffer must not
+            # materialize more than this sliver.
+            start = min(max(0, error.offset - 16), len(data))
+            stop = min(len(data), max(start, error.offset + 16), start + 64)
+            window = bytes(data[start:stop])
             hexes = []
             for index, byte in enumerate(window, start):
                 text = f"{byte:02x}"

@@ -43,6 +43,7 @@ from .ast import (
 )
 from .attrcheck import check_grammar
 from .autocomplete import complete_grammar
+from .buffers import as_buffer
 from .builtins import (
     BUILTIN_FAIL,
     BUILTINS,
@@ -318,7 +319,7 @@ class Parser:
                 f"record_spans names unknown top-level rule(s) {unknown}; "
                 f"builtins and blackboxes have no rule spans"
             )
-        data = bytes(data)
+        data = as_buffer(data)
         self._validate_blackboxes(start_name)
         previous_limit = sys.getrecursionlimit()
         if self.recursion_limit > previous_limit:
@@ -554,7 +555,7 @@ class Parser:
         if failed:
             from .diagnose import diagnose_parser
 
-            raise diagnose_parser(self, bytes(data), start or self.grammar.start)
+            raise diagnose_parser(self, data, start or self.grammar.start)
         return result
 
     def try_parse(
@@ -586,7 +587,7 @@ class Parser:
             return self._try_parse_recording(
                 data, start_name, frozenset(record_spans)
             )
-        data = bytes(data)
+        data = as_buffer(data)
         self._validate_blackboxes(start_name)
         previous_limit = sys.getrecursionlimit()
         if self.recursion_limit > previous_limit:
@@ -630,6 +631,47 @@ class Parser:
     def accepts(self, data: bytes, start: Optional[str] = None) -> bool:
         """Whether the grammar accepts ``data`` (tree-elision fast path)."""
         return self.try_parse(data, start, emit=None) is not None
+
+    def parse_lazy(
+        self,
+        data,
+        start: Optional[str] = None,
+        *,
+        lazy_threshold: Optional[int] = None,
+    ):
+        """Parse ``data`` lazily: validate now, decode subtrees on access.
+
+        Returns the root :class:`~repro.core.lazytree.LazyNode` of a tree
+        whose structure decodes on demand — validation runs immediately
+        (one tree-elision pass, same cost as ``emit=None``; non-matching
+        input raises the identical structured
+        :class:`~repro.core.errors.ParseFailure` subclass as
+        :meth:`parse`), but a subtree's children are only materialized by
+        re-entering the engines on its recorded input window the first
+        time they are accessed.  Over an mmap'd file this gives
+        random access to multi-gigabyte inputs at near-``--validate``
+        cost plus the bytes actually touched.
+
+        ``lazy_threshold`` is the minimum window size (bytes) at which a
+        top-level-rule invocation is left as a stub instead of being
+        decoded with its parent; defaults to
+        :data:`~repro.core.lazytree.DEFAULT_LAZY_THRESHOLD`.  ``0`` stubs
+        every top-level rule invocation (useful for pinning decode
+        granularity in tests); a threshold larger than the input degrades
+        to a fully eager decode on first access.
+
+        The document-wide decode log lives on ``root.document``
+        (:class:`~repro.core.lazytree.LazyDocument`): ``decoded`` holds
+        one ``(rule, lo, hi, charged_bytes)`` entry per materialization
+        and ``decoded_bytes`` their running total.  A fully materialized
+        lazy tree compares equal to :meth:`parse`'s tree.
+        """
+        from .lazytree import DEFAULT_LAZY_THRESHOLD, LazyDocument
+
+        if lazy_threshold is None:
+            lazy_threshold = DEFAULT_LAZY_THRESHOLD
+        document = LazyDocument(self, data, lazy_threshold=lazy_threshold)
+        return document.parse(start)
 
     # -- streaming API --------------------------------------------------------
     def streamability_report(self):
@@ -1176,7 +1218,10 @@ class _Run:
                 f"grammar declares blackbox {name!r} but no implementation was "
                 f"registered with the Parser"
             )
-        window = self.data[lo:hi]
+        # The blackbox contract hands implementations real bytes; on a
+        # memoryview-backed run this is the one place the window is
+        # materialized (bytes(b) on an exact bytes slice is a no-op).
+        window = bytes(self.data[lo:hi])
         try:
             raw = implementation(window)
         except Exception as exc:  # the blackbox itself failed
@@ -1198,7 +1243,13 @@ def _rebase(node: Node, offset: int) -> Node:
 
     Rule T-NTSucc: ``Node(B, E_B[start ↦ l + E_B[start], end ↦ l + E_B[end]], ...)``.
     The original node is left untouched because it may be memoized.
+
+    Lazy stubs (:class:`~repro.core.lazytree.LazyNode`) rebase through
+    their own method — reading ``node.children`` here would force the
+    stub to decode, defeating the point of its existence.
     """
+    if type(node) is not Node:
+        return node.rebased(offset)
     env = dict(node.env)
     env["start"] = offset + node.env.get("start", 0)
     env["end"] = offset + node.env.get("end", 0)

@@ -13,7 +13,7 @@ is accepted) always produce the same bytes, so benchmarks are reproducible.
 """
 
 from .dns import build_dns_query, build_dns_response
-from .elf import build_elf
+from .elf import build_elf, write_elf
 from .gif import build_gif
 from .ipv4 import build_ipv4_udp_packet
 from .pdf import build_pdf
@@ -24,6 +24,7 @@ __all__ = [
     "build_dns_query",
     "build_dns_response",
     "build_elf",
+    "write_elf",
     "build_gif",
     "build_ipv4_udp_packet",
     "build_pdf",

@@ -202,3 +202,127 @@ def build_elf_series(section_counts: Optional[List[int]] = None, **kwargs) -> Li
     """Build a series of ELF files of increasing size (for Figure 12/13)."""
     section_counts = section_counts or [2, 8, 32, 64]
     return [build_elf(section_count=count, **kwargs) for count in section_counts]
+
+
+def write_elf(
+    path: str,
+    section_count: int = 4,
+    section_size: int = 128,
+    symbol_count: int = 16,
+    dynamic_entries: int = 8,
+    entry_point: int = 0x400000,
+) -> int:
+    """Stream a synthetic ELF64 to ``path``; returns the file size.
+
+    Same section layout as :func:`build_elf`, but the ``.data<i>``
+    payload sections are zero-filled holes (the writer seeks past them),
+    so a multi-hundred-megabyte benchmark input is produced in
+    milliseconds using no memory beyond the metadata.  The mmap/lazy
+    benchmarks depend on exactly this: payload *content* is irrelevant
+    to the grammar (``Raw``), only the layout is parsed.
+    """
+    if section_count < 0 or section_size < 0:
+        raise ValueError("section_count and section_size must be non-negative")
+
+    names: List[str] = [""]
+    payload_sizes: List[int] = [0]
+    types: List[int] = [SHT_NULL]
+    entsizes: List[int] = [0]
+    for index in range(section_count):
+        names.append(f".data{index}")
+        payload_sizes.append(section_size)
+        types.append(SHT_PROGBITS)
+        entsizes.append(0)
+    if dynamic_entries > 0:
+        names.append(".dynamic")
+        payload_sizes.append(dynamic_entries * DYN_ENTRY_SIZE)
+        types.append(SHT_DYNAMIC)
+        entsizes.append(DYN_ENTRY_SIZE)
+    if symbol_count > 0:
+        names.append(".symtab")
+        payload_sizes.append(symbol_count * SYM_SIZE)
+        types.append(SHT_SYMTAB)
+        entsizes.append(SYM_SIZE)
+    names.append(".shstrtab")
+    types.append(SHT_STRTAB)
+    entsizes.append(0)
+
+    name_offsets: List[int] = []
+    strtab = bytearray(b"\x00")
+    for name in names:
+        if not name:
+            name_offsets.append(0)
+            continue
+        name_offsets.append(len(strtab))
+        strtab.extend(name.encode("ascii") + b"\x00")
+    payload_sizes.append(len(strtab))
+    shstrndx = len(names) - 1
+    total_sections = len(names)
+
+    offset = ELF_HEADER_SIZE
+    section_offsets: List[int] = []
+    for index in range(total_sections):
+        size = payload_sizes[index]
+        section_offsets.append(offset if size else 0)
+        if types[index] != SHT_NULL:
+            offset += size
+    shoff = offset
+
+    e_ident = b"\x7fELF" + bytes([2, 1, 1, 0]) + b"\x00" * 8
+    header = struct.pack(
+        "<16sHHIQQQIHHHHHH",
+        e_ident,
+        2,
+        0x3E,
+        1,
+        entry_point,
+        0,
+        shoff,
+        0,
+        ELF_HEADER_SIZE,
+        0,
+        0,
+        SECTION_HEADER_SIZE,
+        total_sections,
+        shstrndx,
+    )
+    assert len(header) == ELF_HEADER_SIZE
+
+    with open(path, "wb") as handle:
+        handle.write(header)
+        for index in range(total_sections):
+            size = payload_sizes[index]
+            if types[index] == SHT_NULL or size == 0:
+                continue
+            if types[index] == SHT_PROGBITS:
+                continue  # a hole: zeros, materialized by the filesystem
+            handle.seek(section_offsets[index])
+            if types[index] == SHT_DYNAMIC:
+                body = b"".join(
+                    struct.pack("<QQ", tag, tag * 16 + 1)
+                    for tag in range(dynamic_entries)
+                )
+            elif types[index] == SHT_SYMTAB:
+                body = b"".join(
+                    struct.pack(
+                        "<IBBHQQ", 1 + sym, 0x12, 0, 1, 0x400000 + sym * 8, 8
+                    )
+                    for sym in range(symbol_count)
+                )
+            else:  # SHT_STRTAB
+                body = bytes(strtab)
+            handle.write(body)
+        handle.seek(shoff)
+        for index in range(total_sections):
+            link = shstrndx if types[index] == SHT_SYMTAB else 0
+            handle.write(
+                _section_header(
+                    name_offsets[index],
+                    types[index],
+                    section_offsets[index],
+                    payload_sizes[index],
+                    link=link,
+                    entsize=entsizes[index],
+                )
+            )
+        return handle.tell()

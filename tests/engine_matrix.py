@@ -46,6 +46,7 @@ import types
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro import Parser, samples
+from repro.core.buffers import as_buffer
 from repro.core.compiler import Optimizations, compile_grammar
 from repro.core.errors import BlackboxError, CompilationError, IPGError, ParseFailure
 from repro.core.streamability import analyze_streamability
@@ -207,7 +208,7 @@ class EngineMatrix:
         def run(data, start):
             name = start or compiled.grammar.start
             try:
-                result = compiled.parse_nonterminal(bytes(data), name, 0, len(data))
+                result = compiled.parse_nonterminal(as_buffer(data), name, 0, len(data))
             except IPGError as exc:
                 return ("error", type(exc))
             return ("none",) if result is FAIL else ("tree", result)
@@ -396,7 +397,9 @@ class EngineMatrix:
             if engine == "elided-unoptimized":
                 compiled = self._elided_unoptimized()
                 name = start or compiled.grammar.start
-                result = compiled.parse_nonterminal(bytes(data), name, 0, len(data))
+                result = compiled.parse_nonterminal(
+                    as_buffer(data), name, 0, len(data)
+                )
                 outcome = None if result is FAIL else result
             elif engine == "streaming":
                 return self._run_streaming_emit(data, start, emit)

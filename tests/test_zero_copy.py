@@ -1,0 +1,200 @@
+"""Zero-copy input contract: no engine copies the whole input buffer.
+
+Every engine accepts any buffer-protocol object (``bytes``, ``bytearray``,
+``memoryview``, ``mmap``) through one facade normalization
+(:func:`repro.core.buffers.as_buffer`) and materializes ``bytes`` only at
+``Leaf`` payloads, blackbox windows, and error-context rendering.  The
+engine-matrix tests here parse a multi-megabyte input whose body is a
+payload-free ``Raw`` with ``tracemalloc`` armed and assert the peak
+allocation stays far below the input size — an accidental
+``bytes(data)`` reintroduced at any engine entry point trips the
+assertion immediately.
+"""
+
+import mmap
+import tempfile
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from engine_matrix import CORE_ENGINES, matrix_for
+from repro.core.buffers import as_buffer
+from repro.core.errors import GuardRejected, render_explain
+
+#: Header + untouched body: parsing is O(1) regardless of input size, so
+#: any input-proportional allocation must be a buffer copy.
+GRAMMAR = 'S -> "HDR!"[0, 4] Body[4, EOI] ; Body -> Raw[0, EOI] ;'
+
+INPUT_SIZE = 8 * 1024 * 1024
+#: An engine that copies the input allocates INPUT_SIZE at once; the
+#: legitimate per-parse overhead (memo, envs, a handful of nodes) is
+#: orders of magnitude below this bound.
+PEAK_BOUND = INPUT_SIZE // 2
+
+
+def _matrix():
+    return matrix_for(GRAMMAR)
+
+
+def _body() -> bytes:
+    return b"HDR!" + b"\xab" * (INPUT_SIZE - 4)
+
+
+@pytest.fixture(scope="module")
+def sample_file(tmp_path_factory) -> Path:
+    path = tmp_path_factory.mktemp("zero_copy") / "sample.bin"
+    path.write_bytes(_body())
+    return path
+
+
+def _assert_no_input_sized_allocation(engine: str, data) -> None:
+    matrix = _matrix()
+    matrix.run(engine, data)  # warm-up: module exec, dispatch tables, memos
+    tracemalloc.start()
+    try:
+        outcome = matrix.run(engine, data)
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    assert outcome[0] == "tree", f"{engine}: sample must parse, got {outcome[0]}"
+    assert peak < PEAK_BOUND, (
+        f"{engine}: parsing a {INPUT_SIZE}-byte buffer allocated {peak} "
+        f"bytes at peak — an engine entry point is copying the input"
+    )
+
+
+@pytest.mark.parametrize("engine", CORE_ENGINES)
+def test_memoryview_input_is_not_copied(engine):
+    _assert_no_input_sized_allocation(engine, memoryview(bytearray(_body())))
+
+
+@pytest.mark.parametrize("engine", CORE_ENGINES)
+def test_mmap_input_is_not_copied(engine, sample_file):
+    with open(sample_file, "rb") as handle:
+        with mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ) as mapped:
+            _assert_no_input_sized_allocation(engine, mapped)
+
+
+@pytest.mark.parametrize("engine", CORE_ENGINES)
+def test_buffer_inputs_parse_identically_to_bytes(engine):
+    matrix = _matrix()
+    data = _body()
+    reference = matrix.run(engine, data)
+    assert reference[0] == "tree"
+    for variant in (memoryview(data), memoryview(bytearray(data))):
+        outcome = matrix.run(engine, variant)
+        assert outcome[0] == "tree"
+        assert outcome[1] == reference[1], (
+            f"{engine}: tree from {type(variant).__name__} input differs "
+            f"from the bytes-input tree"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The facade normalization itself
+# ---------------------------------------------------------------------------
+
+
+def test_as_buffer_passes_bytes_through_unchanged():
+    data = b"abc"
+    assert as_buffer(data) is data
+
+
+def test_as_buffer_wraps_buffer_objects_as_flat_byte_views():
+    for source in (bytearray(b"abc"), memoryview(b"abc")):
+        view = as_buffer(source)
+        assert isinstance(view, memoryview)
+        assert view.format == "B" and view.ndim == 1
+        assert bytes(view) == b"abc"
+
+
+def test_as_buffer_flattens_non_byte_views():
+    import array
+
+    view = as_buffer(memoryview(array.array("I", [0x64636261])))
+    assert view.format == "B"
+    assert bytes(view) == b"abcd"
+
+
+def test_as_buffer_rejects_non_buffer_input():
+    with pytest.raises(TypeError, match="bytes-like"):
+        as_buffer("not bytes")
+    with pytest.raises(TypeError, match="not int"):
+        as_buffer(7)
+
+
+# ---------------------------------------------------------------------------
+# Bytes materialize exactly where the contract says they may
+# ---------------------------------------------------------------------------
+
+
+def test_blackbox_receives_real_bytes_from_buffer_input():
+    """Blackbox callables keep their ``bytes`` contract (strip/decode work)."""
+    seen = []
+
+    def probe(window):
+        seen.append(window)
+        return {"n": len(window)}
+
+    grammar = 'blackbox BB ; S -> "HDR!"[0, 4] BB[4, EOI] ;'
+    matrix = matrix_for(grammar, blackboxes={"BB": probe})
+    payload = memoryview(bytearray(b"HDR!payload-bytes"))
+    for engine in matrix.engines(include_streaming=False):
+        del seen[:]
+        outcome = matrix.run(engine, payload)
+        assert outcome[0] == "tree", f"{engine}: {outcome}"
+        assert seen and all(type(window) is bytes for window in seen), (
+            f"{engine}: blackbox received {[type(w).__name__ for w in seen]}"
+        )
+        assert seen[0] == b"payload-bytes"
+
+
+def test_leaf_payloads_are_real_bytes_from_buffer_input():
+    grammar = 'S -> "HD"[0, 2] Name[2, EOI] ; Name -> Bytes ;'
+    matrix = matrix_for(grammar)
+    outcome = matrix.run("compiled", memoryview(bytearray(b"HDfile.txt")))
+    assert outcome[0] == "tree"
+    leaves = [
+        leaf
+        for leaf in outcome[1].walk()
+        if type(leaf).__name__ == "Leaf"
+    ]
+    assert leaves, "Bytes builtin must keep its payload in the tree"
+    for leaf in leaves:
+        assert type(leaf.value) is bytes
+
+
+def test_cli_read_bytes_mmaps_regular_files(tmp_path):
+    from repro.cli import _read_bytes
+
+    path = tmp_path / "regular.bin"
+    path.write_bytes(b"abcdef")
+    buffer = _read_bytes(str(path))
+    assert isinstance(buffer, mmap.mmap)
+    assert bytes(buffer[:]) == b"abcdef"
+    buffer.close()
+    # Empty files cannot be mapped; the plain read fallback kicks in.
+    empty = tmp_path / "empty.bin"
+    empty.write_bytes(b"")
+    assert _read_bytes(str(empty)) == b""
+
+
+def test_render_explain_clamps_context_window_over_huge_buffers():
+    data = memoryview(bytearray(INPUT_SIZE))
+    error = GuardRejected("probe", nonterminal="S", offset=INPUT_SIZE // 2)
+    tracemalloc.start()
+    try:
+        text = render_explain(error, data)
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    assert peak < 64 * 1024, (
+        f"render_explain allocated {peak} bytes over a {INPUT_SIZE}-byte "
+        f"buffer; the context window must stay clamped"
+    )
+    context_line = next(
+        line for line in text.splitlines() if line.strip().startswith("context:")
+    )
+    # ≤64 context bytes, each rendered as a 2-digit hex token.
+    assert len(context_line.split()) <= 65

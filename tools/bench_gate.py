@@ -28,6 +28,7 @@ Usage::
 
     python tools/bench_gate.py CURRENT.json [BASELINE.json] [--tolerance 0.15]
     python tools/bench_gate.py --limits-smoke [--limits-tolerance 0.03]
+    python tools/bench_gate.py --lazy-smoke
 
 ``BASELINE.json`` defaults to ``BENCH_compiler.json`` at the repository
 root.
@@ -278,6 +279,83 @@ def limits_smoke(tolerance: float) -> int:
     return 0
 
 
+def lazy_smoke() -> int:
+    """Gate the zero-copy + lazy layer on absolute invariants.
+
+    Unlike the speedup medians (machine-relative, tolerance-gated), the
+    lazy layer's value claims are absolute and must hold on any machine:
+
+    * touching one payload section of a >=256 MB mmap'd ELF materializes
+      less than 1% of the file's bytes (the ``parse_lazy`` granularity
+      contract);
+    * building the lazy skeleton index peaks below half the RSS of the
+      eager read-then-parse baseline (the zero-copy contract — in
+      practice it is ~10x lower, 2x absorbs interpreter-baseline noise).
+
+    The workload is the full-size ``benchmarks/bench_lazy.py`` ELF: 200
+    payload sections written sparsely, so the file costs no disk time to
+    create and the eager baseline is the only scenario that pays for all
+    of it.
+    """
+    import importlib.util
+    import tempfile
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_lazy", os.path.join(_REPO_ROOT, "benchmarks", "bench_lazy.py")
+    )
+    bench_lazy = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench_lazy)
+
+    with tempfile.TemporaryDirectory(prefix="lazy_smoke_") as directory:
+        workload = bench_lazy._build_elf_workload(directory, quick=False)
+        results = {
+            scenario: bench_lazy._spawn("elf", scenario, workload["path"])
+            for scenario in ("eager-read", "lazy-index", "lazy-section")
+        }
+    total = workload["file_bytes"]
+    assert total >= 256 * 10**6, f"workload shrank to {total} bytes"
+
+    failures = []
+    fraction = results["lazy-section"]["decoded_bytes"] / total
+    verdict = "ok" if fraction < 0.01 else "REGRESSION"
+    print(
+        f"lazy-smoke: single-section access materialized "
+        f"{results['lazy-section']['decoded_bytes']} of {total} bytes "
+        f"({fraction:.2%}, bound 1%): {verdict}"
+    )
+    if fraction >= 0.01:
+        failures.append("single-section materialized fraction")
+
+    eager_rss = results["eager-read"]["max_rss_bytes"]
+    index_rss = results["lazy-index"]["max_rss_bytes"]
+    verdict = "ok" if index_rss < eager_rss / 2 else "REGRESSION"
+    print(
+        f"lazy-smoke: index RSS {index_rss / 2**20:.1f} MiB vs eager-read "
+        f"{eager_rss / 2**20:.1f} MiB (bound: half): {verdict}"
+    )
+    if index_rss >= eager_rss / 2:
+        failures.append("lazy-index peak RSS")
+
+    stubs = results["lazy-index"]["stubs"]
+    verdict = "ok" if stubs == workload["section_count"] else "REGRESSION"
+    print(
+        f"lazy-smoke: {stubs} stubs for {workload['section_count']} payload "
+        f"sections: {verdict}"
+    )
+    if stubs != workload["section_count"]:
+        failures.append("stub count")
+
+    if failures:
+        print(
+            f"lazy-smoke: FAILED — {', '.join(failures)} violated the "
+            f"absolute lazy/zero-copy invariants",
+            file=sys.stderr,
+        )
+        return 1
+    print("lazy-smoke: passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -308,11 +386,23 @@ def main(argv=None) -> int:
         default=0.03,
         help="allowed fractional overhead of default limits (default: 0.03)",
     )
+    parser.add_argument(
+        "--lazy-smoke",
+        action="store_true",
+        help="run the lazy/zero-copy invariant gate (single-section access "
+        "materializes <1%% of a 256MB ELF; lazy index RSS under half of "
+        "eager read-then-parse)",
+    )
     args = parser.parse_args(argv)
     if args.limits_smoke:
         return limits_smoke(args.limits_tolerance)
+    if args.lazy_smoke:
+        return lazy_smoke()
     if not args.current:
-        parser.error("CURRENT.json is required unless --limits-smoke is given")
+        parser.error(
+            "CURRENT.json is required unless --limits-smoke or --lazy-smoke "
+            "is given"
+        )
     return gate(args.current, args.baseline, args.tolerance)
 
 
