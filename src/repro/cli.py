@@ -25,6 +25,15 @@ the ``streamability`` command, which takes the same ``--format``/grammar
 arguments as ``parse``).  With ``--explain-error`` a failed parse prints
 the structured error taxonomy (failure class, byte offset, hex context,
 violated interval, active rule stack) instead of a one-line message.
+With ``--recover`` a failing input is salvaged instead of rejected:
+failed subtrees are replaced by error nodes and the salvage summary is
+printed (``--max-errors N`` bounds how many before giving up).
+
+Exit codes: 0 success (including a successful ``--recover`` salvage),
+2 usage error, and on rejection a code per error class — 10
+``TruncatedInput``, 11 ``BoundsViolation``, 12 ``GuardRejected``, 13
+``LimitExceeded``, 14 ``BlackboxError`` — with 1 the catch-all for
+unclassified failures.
 """
 
 from __future__ import annotations
@@ -34,10 +43,45 @@ import sys
 from typing import List, Optional
 
 from . import IPGError, ParseFailure, Parser, __version__, render_explain
+from .core.errors import (
+    BlackboxError,
+    BoundsViolation,
+    GuardRejected,
+    LimitExceeded,
+    TruncatedInput,
+)
 from .core.streamability import analyze_streamability
 from .core.termination import check_termination
 from .core.interpreter import prepare_grammar
 from .formats import dns, elf, gif, ipv4, pdf, pe, registry, zipfmt
+
+#: Process exit codes.  0 is success, 2 a usage error (argparse uses the
+#: same convention), and parse failures map to a code per error class so
+#: scripts can dispatch on *why* an input was rejected without scraping
+#: stderr.  1 remains the catch-all for unclassified failures.
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_TRUNCATED = 10
+EXIT_BOUNDS = 11
+EXIT_GUARD = 12
+EXIT_LIMIT = 13
+EXIT_BLACKBOX = 14
+
+_EXIT_CODES = (
+    (TruncatedInput, EXIT_TRUNCATED),
+    (BoundsViolation, EXIT_BOUNDS),
+    (GuardRejected, EXIT_GUARD),
+    (LimitExceeded, EXIT_LIMIT),
+    (BlackboxError, EXIT_BLACKBOX),
+)
+
+
+def _exit_code(error: BaseException) -> int:
+    """The process exit code for a classified parse/configuration error."""
+    for cls, code in _EXIT_CODES:
+        if isinstance(error, cls):
+            return code
+    return EXIT_FAILURE
 
 #: Formats with a dedicated summary printer.
 _SUMMARIZERS = {
@@ -97,6 +141,31 @@ def _read_bytes(path: str):
             return handle.read()
 
 
+def _close_input(data) -> None:
+    """Close an ``_read_bytes`` result if it is closable (an mmap).
+
+    Runs on every exit path — success, parse failure, and grammar errors
+    alike — so the CLI never leaks a mapping (visible as a
+    ``ResourceWarning`` under ``-W error``).  An mmap refuses to close
+    while views over it are still alive; collectable cycles holding such
+    views (an abandoned parse run, a closed lazy document) are broken
+    with one ``gc.collect()`` retry.
+    """
+    close = getattr(data, "close", None)
+    if close is None:
+        return
+    try:
+        close()
+    except BufferError:
+        import gc
+
+        gc.collect()
+        try:
+            close()
+        except BufferError:  # a live view escaped; leave the map to the OS
+            pass
+
+
 def _iter_chunks(path: str, chunk_size: int):
     """Yield the file's bytes in ``chunk_size`` blocks without buffering it."""
     handle = sys.stdin.buffer if path == "-" else open(path, "rb")
@@ -141,15 +210,33 @@ def _render_spans(tree) -> str:
 
 
 def cmd_parse(args) -> int:
-    emit = None if args.validate else ("spans" if args.spans else "tree")
     if args.lazy and (args.stream or args.validate or args.spans):
         print(
             "error: --lazy builds an on-demand tree and cannot be combined "
             "with --stream, --validate, or --spans",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
+    if args.recover and (args.stream or args.validate or args.spans):
+        print(
+            "error: --recover salvages a parse tree and cannot be combined "
+            "with --stream, --validate, or --spans",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.max_errors is not None and not args.recover:
+        print("error: --max-errors only applies with --recover", file=sys.stderr)
+        return EXIT_USAGE
     data = b"" if args.stream else _read_bytes(args.file)
+    try:
+        return _run_parse(args, data)
+    finally:
+        _close_input(data)
+
+
+def _run_parse(args, data) -> int:
+    emit = None if args.validate else ("spans" if args.spans else "tree")
+    document = None
     try:
         if args.format:
             if args.format not in registry:
@@ -167,47 +254,50 @@ def cmd_parse(args) -> int:
             # streaming engine chunk by chunk and never buffered whole.
             # Summaries that need the raw bytes (ELF's section hexdumps) do
             # not apply here — ELF is not streamable anyway.
-            try:
-                # --explain-error retains the full buffer (compact=False):
-                # error classification re-reads the input from byte 0, so
-                # a compacted stream can only report an unclassified
-                # failure.
-                tree = parser.parse_stream(
-                    _iter_chunks(args.file, args.chunk_size),
-                    emit=emit,
-                    compact=not args.explain_error,
-                )
-            except ParseFailure as exc:
-                if args.explain_error:
-                    print(render_explain(exc), file=sys.stderr)
-                    return 1
-                tree = None
+            # --explain-error retains the full buffer (compact=False):
+            # error classification re-reads the input from byte 0, so
+            # a compacted stream can only report an unclassified
+            # failure.
+            tree = parser.parse_stream(
+                _iter_chunks(args.file, args.chunk_size),
+                emit=emit,
+                compact=not args.explain_error,
+            )
         elif args.lazy:
-            try:
-                tree = parser.parse_lazy(data, lazy_threshold=args.lazy_threshold)
-            except ParseFailure as exc:
-                if args.explain_error:
-                    print(render_explain(exc, data), file=sys.stderr)
-                    return 1
-                tree = None
-        elif args.explain_error:
-            try:
-                tree = parser.parse(data, emit=emit)
-            except ParseFailure as exc:
-                print(render_explain(exc, data), file=sys.stderr)
-                return 1
+            tree = parser.parse_lazy(
+                data, lazy_threshold=args.lazy_threshold, recover=args.recover
+            )
+        elif args.recover:
+            document = parser.parse_recover(data, max_errors=args.max_errors)
+            tree = document.root
         else:
-            tree = parser.try_parse(data, emit=emit)
+            tree = parser.parse(data, emit=emit)
+    except ParseFailure as exc:
+        # Every entry point raises the classified taxonomy (PR 6); the
+        # exit code carries the failure class so callers can dispatch on
+        # it without scraping stderr.
+        if args.explain_error:
+            print(
+                render_explain(exc, None if args.stream else data),
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "parse failed: the input does not match the grammar",
+                file=sys.stderr,
+            )
+        return _exit_code(exc)
     except IPGError as exc:
         # Grammar and configuration errors (syntax, attribute checking, a
         # reachable blackbox with no registered implementation, streaming a
         # grammar the §8 analysis rejects) deserve a message, not a
-        # traceback.
+        # traceback.  A raising blackbox lands here too and gets its own
+        # exit code.
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return _exit_code(exc)
     if tree is None:
         print("parse failed: the input does not match the grammar", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
     if emit is None:
         # Validate-only: the engines ran the tree-elision fast path and
         # nothing was allocated; the exit code is the result.
@@ -216,19 +306,35 @@ def cmd_parse(args) -> int:
     if emit == "spans":
         print(_render_spans(tree))
         return 0
-    if args.tree or not args.format or args.format not in _SUMMARIZERS:
+    if document is not None:
+        # --recover: the salvaged tree may contain error-node leaves the
+        # per-format summarizers do not understand, so print the tree on
+        # request and always the salvage summary.  Recovery succeeded, so
+        # the exit code is 0 even when error nodes were substituted.
+        if args.tree:
+            print(tree.pretty())
+        print(f"[recover] {document.summary()}")
+        return 0
+    if (
+        args.tree
+        or args.recover  # lazy+recover: error nodes vs. summarizers, as above
+        or not args.format
+        or args.format not in _SUMMARIZERS
+    ):
         print(tree.pretty())
     else:
         print(_SUMMARIZERS[args.format](tree, data))
     if args.lazy:
         # How much of the input rendering the output above actually cost.
-        document = tree.document
-        total = len(document.buffer)
-        share = 100.0 * document.decoded_bytes / total if total else 0.0
+        lazy_document = tree.document
+        total = len(lazy_document.buffer)
+        share = 100.0 * lazy_document.decoded_bytes / total if total else 0.0
         print(
-            f"[lazy] materialized {document.decoded_bytes} of {total} bytes "
-            f"({share:.1f}%) in {len(document.decoded)} decode(s)"
+            f"[lazy] materialized {lazy_document.decoded_bytes} of {total} "
+            f"bytes ({share:.1f}%) in {len(lazy_document.decoded)} decode(s)"
         )
+        # Drop the document's view so _close_input can close the mmap.
+        lazy_document.close()
     return 0
 
 
@@ -240,6 +346,14 @@ def cmd_index(args) -> int:
     units :meth:`~repro.core.interpreter.Parser.parse_lazy` materializes
     individually on access.
     """
+    data = _read_bytes(args.file)
+    try:
+        return _run_index(args, data)
+    finally:
+        _close_input(data)
+
+
+def _run_index(args, data) -> int:
     from .core.lazytree import LazyNode
     from .core.parsetree import ArrayNode, Node
 
@@ -250,19 +364,18 @@ def cmd_index(args) -> int:
                     f"unknown format {args.format!r}; see `repro formats`",
                     file=sys.stderr,
                 )
-                return 2
+                return EXIT_USAGE
             parser = registry[args.format].build_parser(backend=args.backend)
         else:
             parser = Parser(_read_text(args.grammar), backend=args.backend)
-        data = _read_bytes(args.file)
         try:
             root = parser.parse_lazy(data, lazy_threshold=args.lazy_threshold)
         except ParseFailure as exc:
             print(render_explain(exc, data), file=sys.stderr)
-            return 1
+            return _exit_code(exc)
     except IPGError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return _exit_code(exc)
 
     stubs = []
 
@@ -290,6 +403,7 @@ def cmd_index(args) -> int:
     for stub in stubs:
         lo, hi = stub.interval
         print(f"  {stub.name:<16} [{lo}, {hi})  {hi - lo} bytes")
+    document.close()
     return 0
 
 
@@ -611,6 +725,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="minimum subtree window size in bytes left as a lazy stub "
         "(default: 4096; 0 stubs every top-level rule invocation)",
+    )
+    parse_command.add_argument(
+        "--recover",
+        action="store_true",
+        help="error-recovering parse: failed subtrees become error nodes "
+        "carrying the structured diagnosis, the salvage summary is "
+        "printed, and the exit code is 0 when recovery succeeds; with "
+        "--lazy, a stub that fails to decode degrades to an error node",
+    )
+    parse_command.add_argument(
+        "--max-errors",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="with --recover: give up and report the classified failure "
+        "once more than N error nodes accumulate",
     )
     parse_command.set_defaults(handler=cmd_parse)
 

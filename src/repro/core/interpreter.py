@@ -632,12 +632,55 @@ class Parser:
         """Whether the grammar accepts ``data`` (tree-elision fast path)."""
         return self.try_parse(data, start, emit=None) is not None
 
+    def parse_recover(
+        self,
+        data,
+        start: Optional[str] = None,
+        *,
+        max_errors: Optional[int] = None,
+        resync_scan_bytes: Optional[int] = None,
+        resync_probes: Optional[int] = None,
+    ):
+        """Parse ``data``, salvaging everything that parses.
+
+        Returns a :class:`~repro.core.recover.RecoveredDocument`: a normal
+        parse tree in which failed subtrees are replaced by
+        :class:`~repro.core.recover.ErrorNode` leaves carrying the same
+        structured taxonomy diagnosis :meth:`parse` would have raised,
+        plus the window-ordered ``errors`` list and salvage accounting
+        (``salvaged_bytes`` / ``error_bytes``).  Input that parses cleanly
+        costs one normal engine pass and comes back with ``errors == []``.
+
+        Never raises for input-shaped problems — a wholly unrecoverable
+        document (or a tripped :class:`~repro.core.limits.ParseLimits`
+        budget) degrades to a root ``ErrorNode`` — but configuration
+        errors (unknown start symbol, unregistered reachable blackbox)
+        still raise like every other entry point.  ``max_errors`` bounds
+        acceptable degradation: when the recovered document carries more
+        errors, the original structured diagnosis is raised as if
+        recovery were off.
+
+        ``resync_scan_bytes`` / ``resync_probes`` bound the FIRST-set
+        resync scan (see :mod:`repro.core.recover`).
+        """
+        from . import recover as _recover
+
+        kwargs = {}
+        if resync_scan_bytes is not None:
+            kwargs["resync_scan_bytes"] = resync_scan_bytes
+        if resync_probes is not None:
+            kwargs["resync_probes"] = resync_probes
+        return _recover.parse_recover(
+            self, data, start, max_errors=max_errors, **kwargs
+        )
+
     def parse_lazy(
         self,
         data,
         start: Optional[str] = None,
         *,
         lazy_threshold: Optional[int] = None,
+        recover: bool = False,
     ):
         """Parse ``data`` lazily: validate now, decode subtrees on access.
 
@@ -665,12 +708,22 @@ class Parser:
         one ``(rule, lo, hi, charged_bytes)`` entry per materialization
         and ``decoded_bytes`` their running total.  A fully materialized
         lazy tree compares equal to :meth:`parse`'s tree.
+
+        ``recover=True`` composes laziness with
+        :meth:`parse_recover`-style degradation: a stub whose window
+        fails to decode on access (an injected I/O fault, a buffer whose
+        bytes changed after validation) materializes as a single
+        :class:`~repro.core.recover.ErrorNode` child instead of raising.
+        The validating pass is unchanged — non-matching input still
+        raises up front.
         """
         from .lazytree import DEFAULT_LAZY_THRESHOLD, LazyDocument
 
         if lazy_threshold is None:
             lazy_threshold = DEFAULT_LAZY_THRESHOLD
-        document = LazyDocument(self, data, lazy_threshold=lazy_threshold)
+        document = LazyDocument(
+            self, data, lazy_threshold=lazy_threshold, recover=recover
+        )
         return document.parse(start)
 
     # -- streaming API --------------------------------------------------------

@@ -40,7 +40,7 @@ import sys
 from typing import List, Optional, Tuple
 
 from .buffers import as_buffer
-from .errors import LimitExceeded, ParseFailure
+from .errors import BlackboxError, LimitExceeded, ParseFailure
 from .interpreter import FAIL, _Run
 from .parsetree import Node
 
@@ -214,10 +214,19 @@ class LazyDocument:
         Sum of the charges: how much of the input has been materialized.
     """
 
-    def __init__(self, parser, data, lazy_threshold: int = DEFAULT_LAZY_THRESHOLD):
+    def __init__(
+        self,
+        parser,
+        data,
+        lazy_threshold: int = DEFAULT_LAZY_THRESHOLD,
+        recover: bool = False,
+    ):
         self.parser = parser
         self.buffer = as_buffer(data)
         self.lazy_threshold = max(0, int(lazy_threshold))
+        #: Degrade failed stub decodes to ErrorNode children instead of
+        #: raising (see Parser.parse_lazy(recover=True)).
+        self.recover = bool(recover)
         self.decoded: List[Tuple[str, int, int, int]] = []
         self.decoded_bytes = 0
         self.root: Optional[LazyNode] = None
@@ -234,11 +243,20 @@ class LazyDocument:
         parser = self.parser
         start_name = start or parser.grammar.start
         parser._validate_blackboxes(start_name)
-        env = self._probe_env(start_name, 0, len(self.buffer))
-        if env is FAIL:
-            from .diagnose import diagnose_parser
+        # The document owns a memoryview export of the caller's buffer;
+        # when validation fails (or blows up) nothing will ever decode, so
+        # release it before raising — an unclosed view would keep the
+        # caller's mmap pinned open.
+        try:
+            env = self._probe_env(start_name, 0, len(self.buffer))
+            if env is FAIL:
+                from .diagnose import diagnose_parser
 
-            raise diagnose_parser(parser, self.buffer, start_name)
+                error = diagnose_parser(parser, self.buffer, start_name)
+                raise error
+        except BaseException:
+            self.close()
+            raise
         self.root = LazyNode(
             _LazySlot(self, start_name, 0, len(self.buffer)), dict(env)
         )
@@ -275,6 +293,13 @@ class LazyDocument:
                 result = run.parse_nonterminal(
                     slot.rule, slot.lo, slot.hi, None, None
                 )
+            except (BlackboxError, OSError) as exc:
+                # A raising blackbox or an I/O fault from the underlying
+                # buffer (a page-in error on an mmap, an injected fault):
+                # in recovery mode the stub degrades instead of raising.
+                if not self.recover:
+                    raise
+                return self._degraded_children(slot, exc)
             except (RecursionError, MemoryError) as exc:
                 raise LimitExceeded(
                     f"{type(exc).__name__} while materializing {slot.rule!r} "
@@ -285,8 +310,19 @@ class LazyDocument:
                 ) from exc
         if result is FAIL:
             # The skeleton probe accepted this window; a failing re-parse
-            # means the engines disagree.  Surface it rather than return
-            # a half-decoded tree.
+            # means the engines disagree (or the buffer's bytes changed
+            # after validation).  Surface it rather than return a
+            # half-decoded tree — or, in recovery mode, degrade to an
+            # ErrorNode carrying the window's diagnosis.
+            if self.recover:
+                from .recover import diagnose_window
+
+                return self._degraded_children(
+                    slot,
+                    diagnose_window(
+                        self.parser, self.buffer, slot.rule, slot.lo, slot.hi
+                    ),
+                )
             raise ParseFailure(
                 f"lazy materialization of {slot.rule!r} over "
                 f"[{slot.lo}, {slot.hi}) failed although the skeleton "
@@ -299,6 +335,13 @@ class LazyDocument:
         self.decoded.append((slot.rule, slot.lo, slot.hi, charged))
         self.decoded_bytes += charged
         return result.children
+
+    def _degraded_children(self, slot: _LazySlot, error: Exception) -> list:
+        """Recovery-mode stand-in for a stub that failed to decode."""
+        from .recover import ErrorNode
+
+        self.decoded.append((slot.rule, slot.lo, slot.hi, 0))
+        return [ErrorNode(slot.rule, slot.lo, slot.hi, error)]
 
     def close(self) -> None:
         """Release the document's view of the input buffer.

@@ -238,7 +238,8 @@ class TestCliModes:
     def test_validate_flag_rejects(self, tmp_path, capsys):
         sample = tmp_path / "bad.bin"
         sample.write_bytes(b"nope")
-        assert cli_main(["parse", "--format", "gif", "--validate", str(sample)]) == 1
+        # 10 = EXIT_TRUNCATED: rejections exit with their error class.
+        assert cli_main(["parse", "--format", "gif", "--validate", str(sample)]) == 10
 
     def test_spans_flag(self, tmp_path, capsys):
         sample = tmp_path / "sample.dns"

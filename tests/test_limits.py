@@ -256,7 +256,7 @@ class TestRenderExplain:
         bad.write_bytes(build_dns_response(answer_count=2)[:-4])
         code = main(["parse", "--format", "dns", "--explain-error", str(bad)])
         captured = capsys.readouterr()
-        assert code == 1
+        assert code == 10  # EXIT_TRUNCATED: the class is also the exit code
         assert "TruncatedInput" in captured.err
         assert "offset:" in captured.err
 
@@ -270,5 +270,7 @@ class TestRenderExplain:
              "--explain-error", str(bad)]
         )
         captured = capsys.readouterr()
-        assert code == 1
+        # --explain-error streaming retains the full buffer, so the failure
+        # classifies and the class exit code (EXIT_TRUNCATED) applies.
+        assert code == 10
         assert "TruncatedInput" in captured.err

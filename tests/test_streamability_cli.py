@@ -181,7 +181,9 @@ class TestCli:
         grammar.write_text('S -> "hi" ;')
         payload = tmp_path / "payload.bin"
         payload.write_bytes(b"nope")
-        assert main(["parse", "--grammar", str(grammar), str(payload)]) == 1
+        # 12 = EXIT_GUARD: batch rejections exit with their error class
+        # (the compact streaming path below cannot classify, so stays 1).
+        assert main(["parse", "--grammar", str(grammar), str(payload)]) == 12
 
     def test_parse_unknown_format(self, tmp_path, capsys):
         payload = tmp_path / "payload.bin"

@@ -21,6 +21,13 @@ and never a hang (the budget converts would-be hangs into
 cross-engine matrix replays the mutant, asserting all engines surface
 the same error class and offset.
 
+``--recover`` additionally feeds every mutant to ``parse_recover``,
+whose contract is stricter still: it must **never raise** for
+input-shaped problems, its salvage accounting must balance
+(``salvaged_bytes + error_bytes == len(input)``, every error window in
+bounds), and every ``--nth-agree`` inputs the recovered documents from
+the compiled, interpreted and table-VM backends must be identical.
+
 Crashing or disagreeing inputs are written to ``--crash-dir`` with a
 replayable name (``<format>-<seed>-<iteration>.bin``) and the run exits
 non-zero; CI uploads the directory as an artifact.
@@ -46,6 +53,20 @@ from hostile import FORMATS, SAMPLES  # noqa: E402
 #: (the canonical inputs parse in a few thousand steps), small enough
 #: that a hostile one is cut off in well under a second.
 FUZZ_LIMITS = ParseLimits(max_steps=2_000_000)
+
+RECOVER_BACKENDS = ("compiled", "interpreted", "tablevm")
+
+
+def check_recovered_document(document, data) -> None:
+    """Salvage invariants every recovered mutant must satisfy."""
+    n = len(data)
+    assert document.salvaged_bytes + document.error_bytes == n, (
+        f"salvage accounting off: {document.salvaged_bytes} + "
+        f"{document.error_bytes} != {n}"
+    )
+    for error in document.errors:
+        lo, hi = error.window
+        assert 0 <= lo <= hi <= n, f"error window [{lo}, {hi}) out of bounds (n={n})"
 
 
 def mutate(rng: random.Random, data: bytes) -> bytes:
@@ -91,6 +112,7 @@ def fuzz_format(
     seed: int,
     crash_dir: str,
     nth_agree: int,
+    recover: bool = False,
 ) -> tuple:
     """Fuzz one format; returns (iterations, crash_count)."""
     from engine_matrix import matrix_for
@@ -102,6 +124,19 @@ def fuzz_format(
         spec.grammar_text, blackboxes=dict(spec.blackboxes), limits=FUZZ_LIMITS
     )
     matrix = matrix_for(spec.grammar_text, blackboxes=dict(spec.blackboxes))
+    recover_parsers = ()
+    if recover:
+        from repro.core.recover import document_to_jsonable, jsonables_equal
+
+        recover_parsers = tuple(
+            Parser(
+                spec.grammar_text,
+                blackboxes=dict(spec.blackboxes),
+                limits=FUZZ_LIMITS,
+                backend=backend,
+            )
+            for backend in RECOVER_BACKENDS
+        )
     deadline = time.monotonic() + time_budget
     iterations = crashes = 0
     corpus = [sample]
@@ -117,8 +152,24 @@ def fuzz_format(
             else:
                 if len(corpus) < 64:
                     corpus.append(data)  # parsing mutants breed deeper ones
+            if recover:
+                # Recovery must not raise at all, and the books must
+                # balance on every single mutant.
+                check_recovered_document(
+                    recover_parsers[0].parse_recover(data), data
+                )
             if nth_agree and iterations % nth_agree == 0:
                 matrix.assert_error_agree(data)
+                if recover:
+                    docs = [
+                        document_to_jsonable(p.parse_recover(data))
+                        for p in recover_parsers
+                    ]
+                    for backend, doc in zip(RECOVER_BACKENDS[1:], docs[1:]):
+                        assert jsonables_equal(docs[0], doc), (
+                            f"recovered documents diverge: "
+                            f"{RECOVER_BACKENDS[0]} vs {backend}"
+                        )
         except BaseException as exc:  # noqa: BLE001 - crash triage is the point
             crashes += 1
             os.makedirs(crash_dir, exist_ok=True)
@@ -162,12 +213,24 @@ def main(argv=None) -> int:
         help="replay every Nth mutant through the full cross-engine "
         "error-agreement matrix (0 disables; default: 199)",
     )
+    parser.add_argument(
+        "--recover",
+        action="store_true",
+        help="also run every mutant through parse_recover (never raises, "
+        "salvage accounting balances; every Nth mutant compares the "
+        "recovered documents across the three tree backends)",
+    )
     args = parser.parse_args(argv)
     formats = tuple(args.format) if args.format else FORMATS
     total_crashes = 0
     for fmt in formats:
         iterations, crashes = fuzz_format(
-            fmt, args.time_budget, args.seed, args.crash_dir, args.nth_agree
+            fmt,
+            args.time_budget,
+            args.seed,
+            args.crash_dir,
+            args.nth_agree,
+            recover=args.recover,
         )
         total_crashes += crashes
         status = "ok" if crashes == 0 else f"{crashes} CRASHES"

@@ -216,6 +216,60 @@ def _specials(fmt: str, data: bytes) -> Iterator[Tuple[str, bytes]]:
         yield "special_inner_eocd_sig", bytes(mutated)
 
 
+def _corrupt_deflate(data: bytes, members) -> bytes:
+    """XOR the deflate payload of the given local-file-header members.
+
+    The ZIP structure stays intact — headers, directory and sizes are
+    all truthful — but zlib raises mid-inflate, so the failure fires
+    *inside* the blackbox parser rather than in the grammar.
+    """
+    mutated = bytearray(data)
+    for which in members:
+        index = -1
+        for _ in range(which + 1):
+            index = data.index(b"PK\x03\x04", index + 1)
+        name_len = struct.unpack_from("<H", data, index + 26)[0]
+        extra_len = struct.unpack_from("<H", data, index + 28)[0]
+        payload = index + 30 + name_len + extra_len
+        for position in range(payload + 2, payload + 12):
+            mutated[position] ^= 0xFF
+    return bytes(mutated)
+
+
+def _blackbox_faults(fmt: str, data: bytes) -> Iterator[Tuple[str, bytes]]:
+    """Inputs whose failure fires inside a blackbox parser (zip's zlib)."""
+    if fmt != "zip":
+        return
+    yield "bbox_deflate_first_member", _corrupt_deflate(data, (0,))
+    yield "bbox_deflate_last_member", _corrupt_deflate(data, (2,))
+
+
+def _multi_corruptions(fmt: str, data: bytes) -> Iterator[Tuple[str, bytes]]:
+    """Two independent corrupt regions per input.
+
+    Recovery (PR 9) must localize *each* region to its own error window
+    instead of abandoning everything after the first; with recovery off
+    they classify to the first failure like any other hostile sample.
+    """
+    n = len(data)
+    if n >= 6:
+        mutated = bytearray(data)
+        mutated[n // 3] ^= 0xFF
+        mutated[(2 * n) // 3] ^= 0xFF
+        yield "multi_flip_pair", bytes(mutated)
+    if fmt == "zip":
+        yield "multi_two_deflate_members", _corrupt_deflate(data, (0, 2))
+    elif fmt == "elf":
+        # Point two section headers' sh_offset past EOF: two independent
+        # sections each fail their bounds, the rest of the file is intact.
+        shoff = struct.unpack_from("<Q", data, 0x28)[0]
+        shentsize = struct.unpack_from("<H", data, 0x3A)[0]
+        mutated = bytearray(data)
+        for i in (1, 2):
+            struct.pack_into("<Q", mutated, shoff + i * shentsize + 24, n + 4096 * i)
+        yield "multi_two_section_offsets", bytes(mutated)
+
+
 def corpus(fmt: str) -> List[Tuple[str, bytes]]:
     """The full deterministic adversarial corpus for one format."""
     data = SAMPLES[fmt]()
@@ -224,6 +278,8 @@ def corpus(fmt: str) -> List[Tuple[str, bytes]]:
     entries.extend(_bit_flips(data))
     entries.extend(_field_lies(fmt, data))
     entries.extend(_specials(fmt, data))
+    entries.extend(_blackbox_faults(fmt, data))
+    entries.extend(_multi_corruptions(fmt, data))
     return entries
 
 
@@ -266,7 +322,7 @@ def verify(formats) -> int:
 
 def _curate_selection(fmt: str) -> List[Tuple[str, bytes]]:
     """A small committed selection: failing inputs only, capped per family."""
-    caps = {"trunc": 4, "flip": 3, "lie": 10, "special": 10}
+    caps = {"trunc": 4, "flip": 3, "lie": 10, "special": 10, "bbox": 4, "multi": 4}
     matrix = _matrix(fmt)
     picked: List[Tuple[str, bytes]] = []
     seen: Dict[str, int] = {}
