@@ -1,0 +1,191 @@
+"""Parse-service throughput and tail latency, with and without faults.
+
+Measures what the supervision machinery costs and what it buys:
+
+* ``clean`` — saturate the pool with valid parse requests (a mixed
+  dns/ipv4/zip workload crossing both the inline and spooled payload
+  paths) and record messages/second plus p50/p99 per-request latency.
+* ``faulty`` — the same workload with a seeded fault every
+  ``FAULT_EVERY`` requests (worker ``os._exit`` or a hang killed by a
+  short deadline).  Every request must still be answered; the numbers
+  show throughput and p99 under actively dying workers.
+
+Latency is measured from ``submit`` to future resolution (queue wait
+included — that is what a caller experiences at saturation).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py -o BENCH_service.json
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+
+The committed ``BENCH_service.json`` is gated by
+``tools/bench_gate.py --service-smoke`` on absolute invariants (every
+request answered, pool repaired, a sane throughput floor) rather than
+machine-relative medians.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro import samples  # noqa: E402
+from repro.core.errors import ServiceError, ServiceOverloaded  # noqa: E402
+from repro.service import ParseService, ServiceConfig  # noqa: E402
+
+REQUESTS = 400
+REQUESTS_QUICK = 120
+WORKERS = 2
+FAULT_EVERY = 20
+DEADLINE_MS = 30_000
+HANG_DEADLINE_MS = 200
+
+
+def _workload():
+    """The request mix: (format, data) pairs, inline and spooled sizes."""
+    return [
+        ("dns", samples.build_dns_response(answer_count=2, additional_count=1)),
+        ("ipv4", samples.build_ipv4_udp_packet(payload_size=128)),
+        ("zip", samples.build_zip(member_count=3, member_size=300)),
+        ("zip", samples.build_zip(member_count=2, member_size=12_000)),  # spooled
+    ]
+
+
+def _percentile(values, fraction):
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_scenario(requests: int, inject_faults: bool, seed: int) -> dict:
+    import random
+
+    rng = random.Random(seed)
+    workload = _workload()
+    config = ServiceConfig(
+        workers=WORKERS,
+        allow_chaos=inject_faults,
+        seed=seed,
+        default_deadline_ms=DEADLINE_MS,
+        max_pending=requests,
+        spawn_backoff_base=0.02,
+        spawn_backoff_cap=0.25,
+    )
+    latencies = []
+    answered = service_errors = faults = 0
+    begin = time.monotonic()
+    with ParseService(config) as service:
+        # Warm the per-worker parser caches out of the measured window:
+        # the steady state is what a long-lived service runs in.
+        for fmt, data in workload:
+            for _ in range(WORKERS):
+                service.submit(data, format=fmt).result()
+        begin = time.monotonic()
+        pending = []
+        for index in range(requests):
+            if inject_faults and index % FAULT_EVERY == FAULT_EVERY - 1:
+                faults += 1
+                if rng.random() < 0.5:
+                    pending.append((None, service.submit_chaos("exit")))
+                else:
+                    pending.append(
+                        (
+                            None,
+                            service.submit_chaos(
+                                "hang",
+                                seconds=2.0,
+                                deadline_ms=HANG_DEADLINE_MS,
+                            ),
+                        )
+                    )
+                continue
+            fmt, data = workload[index % len(workload)]
+            while True:
+                try:
+                    pending.append(
+                        (time.monotonic(), service.submit(data, format=fmt))
+                    )
+                    break
+                except ServiceOverloaded as exc:
+                    time.sleep(min(exc.retry_after or 0.05, 0.2))
+        for submitted_at, future in pending:
+            result = future.result()
+            answered += 1
+            if submitted_at is not None:
+                latencies.append((time.monotonic() - submitted_at) * 1000.0)
+            if isinstance(result.error, ServiceError):
+                service_errors += 1
+        elapsed = time.monotonic() - begin
+        # Give in-flight respawns a moment so "alive at end" reflects
+        # the repaired steady state, not a mid-respawn snapshot.
+        settle = time.monotonic() + 15
+        while time.monotonic() < settle:
+            stats = service.stats()
+            if stats["workers_alive"] == WORKERS:
+                break
+            time.sleep(0.05)
+        stats = service.stats()
+    parse_requests = len(latencies)
+    return {
+        "requests": requests,
+        "parse_requests": parse_requests,
+        "faults_injected": faults,
+        "answered": answered,
+        "service_errors": service_errors,
+        "elapsed_seconds": round(elapsed, 4),
+        "msgs_per_second": round(answered / elapsed, 2) if elapsed else None,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50), 3),
+            "p99": round(_percentile(latencies, 0.99), 3),
+            "mean": round(statistics.fmean(latencies), 3),
+        },
+        "pool": {
+            "workers": WORKERS,
+            "respawns": stats["respawns"],
+            "crashes": stats["crashes"],
+            "deadline_kills": stats["deadline_kills"],
+            "workers_alive_at_end": stats["workers_alive"],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", metavar="FILE", help="write JSON here")
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizing")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    requests = REQUESTS_QUICK if args.quick else REQUESTS
+
+    clean = run_scenario(requests, inject_faults=False, seed=args.seed)
+    faulty = run_scenario(requests, inject_faults=True, seed=args.seed)
+    report = {
+        "benchmark": "parse service throughput and tail latency at saturation",
+        "quick": args.quick,
+        "seed": args.seed,
+        "scenarios": {"clean": clean, "faulty": faulty},
+        "throughput_retained_under_faults": (
+            round(faulty["msgs_per_second"] / clean["msgs_per_second"], 4)
+            if clean["msgs_per_second"]
+            else None
+        ),
+    }
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,6 +94,7 @@ from .core import (
     BoundsViolation,
     CompilationError,
     CompiledGrammar,
+    DeadlineExceeded,
     DEFAULT_LIMITS,
     Optimizations,
     EvaluationError,
@@ -111,11 +112,15 @@ from .core import (
     ParseLimits,
     ParseTree,
     Parser,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
     Span,
     StreamabilityReport,
     StreamingParse,
     TerminationCheckError,
     TruncatedInput,
+    WorkerCrashed,
     analyze_streamability,
     check_grammar,
     compile_grammar,
@@ -140,6 +145,7 @@ __all__ = [
     "BoundsViolation",
     "CompilationError",
     "CompiledGrammar",
+    "DeadlineExceeded",
     "DEFAULT_LIMITS",
     "Optimizations",
     "EvaluationError",
@@ -157,11 +163,15 @@ __all__ = [
     "ParseLimits",
     "ParseTree",
     "Parser",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverloaded",
     "Span",
     "StreamabilityReport",
     "StreamingParse",
     "TerminationCheckError",
     "TruncatedInput",
+    "WorkerCrashed",
     "__version__",
     "analyze_streamability",
     "check_grammar",

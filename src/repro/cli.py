@@ -640,6 +640,108 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the fault-tolerant parse service over stdin/stdout.
+
+    Reads one input-file path per line from stdin and writes one JSON
+    verdict line per request to stdout, in completion order (each line
+    carries the echoed path).  Every line gets exactly one verdict —
+    a tree / verdict / recovered document, a structured parse failure,
+    or a service error — regardless of worker crashes, hangs, or
+    poisonous inputs.  Service counters go to stderr at shutdown.
+    """
+    import json
+    import time as _time
+
+    from .core.errors import ServiceOverloaded
+    from .service import ParseService, ServiceConfig
+
+    if args.format is None and args.grammar is None:
+        print("serve: pass --format or --grammar", file=sys.stderr)
+        return EXIT_USAGE
+    grammar_text = None
+    if args.grammar is not None:
+        try:
+            grammar_text = _read_text(args.grammar)
+        except OSError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    emit = None if args.validate else "tree"
+    config = ServiceConfig(
+        workers=args.workers,
+        default_deadline_ms=args.deadline_ms,
+        backend=args.backend,
+        quarantine_dir=args.quarantine_dir,
+        blackbox_provider=args.blackbox_provider,
+        retries=args.retries,
+    )
+    failures = 0
+    with ParseService(config) as service:
+        pending = []  # (path, future), answered in completion order
+
+        def drain(block: bool) -> None:
+            nonlocal failures
+            while pending and (block or pending[0][1].done()):
+                path, future = pending.pop(0)
+                result = future.result()
+                line = {"path": path, "kind": result.kind}
+                if result.error is not None:
+                    failures += 1
+                    line["error"] = type(result.error).__name__
+                    line["message"] = str(result.error)
+                else:
+                    if result.tree is not None and args.tree:
+                        line["tree"] = result.tree
+                    if result.document is not None:
+                        line["document"] = result.document
+                if result.elapsed_ms is not None:
+                    line["elapsed_ms"] = round(result.elapsed_ms, 3)
+                line["retried"] = result.retried
+                print(json.dumps(line), flush=True)
+
+        for raw in sys.stdin:
+            path = raw.strip()
+            if not path:
+                continue
+            try:
+                with open(path, "rb") as handle:
+                    data = handle.read()
+            except OSError as exc:
+                failures += 1
+                print(
+                    json.dumps(
+                        {"path": path, "kind": "error", "error": "OSError",
+                         "message": str(exc)}
+                    ),
+                    flush=True,
+                )
+                continue
+            while True:
+                try:
+                    future = service.submit(
+                        data,
+                        format=args.format,
+                        grammar=grammar_text,
+                        emit=emit,
+                        recover=args.recover,
+                    )
+                    break
+                except ServiceOverloaded as exc:
+                    drain(block=True)
+                    _time.sleep(min(exc.retry_after or 0.05, 0.5))
+            pending.append((path, future))
+            drain(block=False)
+        drain(block=True)
+        stats = service.stats()
+    print(
+        "serve: "
+        + " ".join(f"{key}={value}" for key, value in sorted(stats.items())),
+        file=sys.stderr,
+    )
+    return 0 if failures == 0 else EXIT_FAILURE
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
@@ -844,6 +946,71 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="more repetitions / larger workloads"
     )
     report_command.set_defaults(handler=cmd_report)
+
+    serve_command = commands.add_parser(
+        "serve",
+        help="fault-tolerant parse service: file paths on stdin, JSON "
+        "verdicts on stdout",
+    )
+    serve_group = serve_command.add_mutually_exclusive_group(required=True)
+    serve_group.add_argument(
+        "--format", help="one of the bundled formats (see `formats`)"
+    )
+    serve_group.add_argument("--grammar", help="path to an IPG grammar file")
+    serve_command.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="worker processes in the pool (default 2)",
+    )
+    serve_command.add_argument(
+        "--deadline-ms",
+        type=_positive_int,
+        default=10_000,
+        help="per-request wall-clock deadline; on expiry the worker is "
+        "killed and the request retried once before a structured "
+        "DeadlineExceeded verdict (default 10000)",
+    )
+    serve_command.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="re-dispatches after a crash or deadline kill (default 1)",
+    )
+    serve_command.add_argument(
+        "--backend",
+        choices=("compiled", "interpreted", "tablevm"),
+        default="compiled",
+        help="parse engine workers use (default: staged compiler)",
+    )
+    serve_mode = serve_command.add_mutually_exclusive_group()
+    serve_mode.add_argument(
+        "--tree",
+        action="store_true",
+        help="include the full parse tree in each verdict line",
+    )
+    serve_mode.add_argument(
+        "--validate",
+        action="store_true",
+        help="accept/reject only (tree-elision fast path in the workers)",
+    )
+    serve_mode.add_argument(
+        "--recover",
+        action="store_true",
+        help="salvage hostile inputs: verdicts carry a recovered document "
+        "instead of a parse failure",
+    )
+    serve_command.add_argument(
+        "--quarantine-dir",
+        help="quarantine worker-killing inputs to this crasher corpus "
+        "(replayable via tools/fuzz_parsers.py --replay-quarantine)",
+    )
+    serve_command.add_argument(
+        "--blackbox-provider",
+        help="module:attribute resolving to the blackbox dict workers use "
+        "for --grammar requests",
+    )
+    serve_command.set_defaults(handler=cmd_serve)
 
     return parser
 

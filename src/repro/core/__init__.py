@@ -30,6 +30,7 @@ from .errors import (
     BlackboxError,
     BoundsViolation,
     CompilationError,
+    DeadlineExceeded,
     EvaluationError,
     GenerationError,
     GrammarSyntaxError,
@@ -39,9 +40,13 @@ from .errors import (
     NeedMoreInput,
     NotStreamableError,
     ParseFailure,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
     SolverError,
     TerminationCheckError,
     TruncatedInput,
+    WorkerCrashed,
     render_explain,
 )
 from .grammar_parser import parse_expression, parse_grammar
@@ -63,6 +68,7 @@ __all__ = [
     "BUILTINS",
     "CompilationError",
     "CompiledGrammar",
+    "DeadlineExceeded",
     "DEFAULT_LIMITS",
     "Optimizations",
     "EvaluationError",
@@ -82,6 +88,9 @@ __all__ = [
     "ParseTree",
     "Parser",
     "Rule",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverloaded",
     "SolverError",
     "Span",
     "StreamabilityReport",
@@ -96,6 +105,7 @@ __all__ = [
     "TermTerminal",
     "TerminationCheckError",
     "TruncatedInput",
+    "WorkerCrashed",
     "analyze_streamability",
     "check_grammar",
     "compile_grammar",

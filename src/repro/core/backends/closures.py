@@ -82,6 +82,7 @@ import re
 import struct
 import sys
 from dataclasses import dataclass, replace
+from time import monotonic as _monotonic
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..ast import (
@@ -224,6 +225,14 @@ def _limit_steps():
     )
 
 
+def _limit_wall():
+    """Raise the wall-clock budget error (called from _limit_refill)."""
+    raise LimitExceeded(
+        "parse wall-clock budget exhausted (ParseLimits.max_wall_ms)",
+        limit="wall",
+    )
+
+
 def _limit_refill(cell):
     """Slow path of the step budget: refill the hot counter or raise.
 
@@ -234,13 +243,33 @@ def _limit_refill(cell):
     seeded straight from ``max_steps`` (tens of millions) allocates a
     fresh int object on every decrement, which costs double-digit
     percentages on rule-call-dense grammars and ticks the GC heuristic.
+
+    ``cell[2]`` is the optional wall-clock deadline (monotonic seconds,
+    ``None`` when ``max_wall_ms`` is unset): checking it here, on the
+    once-per-256-charges slow path, gives wall-budget enforcement that
+    costs nothing on the per-rule hot path.
     """
     remaining = cell[1]
     if remaining <= 0:
         _limit_steps()
+    deadline = cell[2]
+    if deadline is not None and _monotonic() > deadline:
+        _limit_wall()
     take = 256 if remaining > 256 else remaining
     cell[0] = take - 1  # the entry that tripped the refill consumes one
     cell[1] = remaining - take
+
+
+def _make_wall_deadline(max_wall_ms):
+    """Build the per-parse deadline thunk the generated ``_fuel()`` calls."""
+    if max_wall_ms is None:
+        return lambda: None
+    budget = max_wall_ms / 1000.0
+
+    def _wall_deadline():
+        return _monotonic() + budget
+
+    return _wall_deadline
 
 
 def _undef(name):
@@ -419,6 +448,7 @@ class _GrammarCompiler:
         elide_tree: bool = False,
         stream_dispatch_cache: bool = False,
         max_steps: Optional[int] = None,
+        wall_clock: bool = False,
         analysis: Optional[GrammarAnalysis] = None,
     ):
         self.grammar = grammar
@@ -433,6 +463,11 @@ class _GrammarCompiler:
         #: one list op on the memo-miss path.  ``None`` compiles the
         #: check out entirely.
         self.max_steps = max_steps
+        #: Wall-clock budget (ParseLimits.max_wall_ms): when set, the fuel
+        #: cell is still allocated (even with max_steps=None) so the
+        #: amortized _limit_refill slow path can compare monotonic time
+        #: against the per-parse deadline in ``cell[2]``.
+        self.wall_clock = wall_clock
         self.fuel_slot: Optional[int] = None
         self._fuel_rules: Set[str] = set()
         #: Streaming-variant compilations remember each dispatch decision
@@ -582,11 +617,14 @@ class _GrammarCompiler:
 
     def compile(self) -> str:
         self._check_dynamic_shadowing()
-        if self.max_steps is not None:
+        if self.max_steps is not None or self.wall_clock:
             # Reserve slot 0 of the per-parse state for the fuel cell so
             # every dispatcher shares one counter (allocated by
             # _new_state from the module-global _MAX_STEPS, which
-            # set_limits() can rebind in emitted modules).
+            # set_limits() can rebind in emitted modules).  A wall-clock
+            # budget alone also needs the cell: _MAX_STEPS stays inf,
+            # so refills never exhaust, but each one checks the
+            # deadline stashed in cell[2].
             self.fuel_slot = len(self.memo_slots)
             self.memo_slots.append("c")
         # The analyze stage (repro.core.ir): one shared fact set instead of
@@ -638,7 +676,7 @@ class _GrammarCompiler:
             # _limit_refill every 256 rule entries.
             lines.append("def _fuel():")
             lines.append("    _t = 256 if _MAX_STEPS > 256 else _MAX_STEPS")
-            lines.append("    return [_t, _MAX_STEPS - _t]")
+            lines.append("    return [_t, _MAX_STEPS - _t, _wall_deadline()]")
             lines.append("")
         lines.append("def _new_state():")
         if self.fuel_slot is not None:
@@ -940,6 +978,19 @@ class _GrammarCompiler:
             return plan
         return None
 
+    def _alt_suffix(self, rule_name: str, alt_index: int, alternative: Alternative):
+        """The fused anchored-suffix plan behind the gap, if worthwhile."""
+        if not self.opts.bulk_fixed_shape or alternative.local_rules:
+            return None
+        if self.stream_cache:
+            # Streaming frames check bounds against an EOIProxy one term at
+            # a time; the suffix's aggregate anchor+needed check (and its
+            # unpack_from over the tail) is a batch-only specialization.
+            return None
+        from ..shapes import alternative_suffix  # deferred: keeps imports light
+
+        return alternative_suffix(self.grammar, rule_name, alt_index)
+
     def _alternative_inner(
         self,
         rule_name: str,
@@ -988,11 +1039,27 @@ class _GrammarCompiler:
             plan = (
                 self._alt_plan(rule_name, alt_index, alternative) if toplevel else None
             )
+            suffix = (
+                self._alt_suffix(rule_name, alt_index, alternative)
+                if toplevel
+                else None
+            )
             if plan is not None:
                 self._emit_fused_prefix(
                     plan, alternative, scope, body, attr_order, sink
                 )
-            for term in alternative.terms[plan.covered if plan else 0 :]:
+            consumed = plan.covered if plan else 0
+            if suffix is not None:
+                # Per-term through the gap (inclusive), then the fused tail.
+                for term in alternative.terms[consumed : suffix.gap_index + 1]:
+                    self._emit_term(
+                        term, scope, local_bindings, body, attr_order, sink
+                    )
+                self._emit_fused_suffix(
+                    suffix, alternative, scope, body, attr_order, sink
+                )
+                consumed = suffix.gap_index + 1 + suffix.plan.covered
+            for term in alternative.terms[consumed:]:
                 self._emit_term(term, scope, local_bindings, body, attr_order, sink)
         finally:
             self._current_alternative_terms, self._current_alternative_locals = (
@@ -1148,6 +1215,82 @@ class _GrammarCompiler:
             # values, so the statically known span assigns directly.
             body.append(f"{scope.start} = {plan.start}")
             body.append(f"{scope.end} = {plan.end}")
+
+    def _emit_fused_suffix(
+        self,
+        suffix,
+        alternative: Alternative,
+        scope: Scope,
+        body: List[str],
+        attr_order: List[str],
+        sink: _ChildSink,
+    ) -> None:
+        """Decode the fixed tail behind a variable-width gap with one struct.
+
+        The plan's offsets are all relative to the gap's ``end`` attribute
+        (the *anchor*), so a single ``anchor + needed <= EOI`` bounds check
+        subsumes every covered interval-validity check — anchored left
+        endpoints are non-negative constants and the per-term path fails
+        with the same clean FAIL in exactly the cases the check rejects.
+        Record envs and the start/end specials rebase through the anchor
+        at runtime instead of through compile-time constants.
+        """
+        from ..shapes import emit_plan_code
+
+        plan = suffix.plan
+        self.shaped_rules.add(plan.rule_name)
+        self._assign_plan_uid(plan)
+        fid = scope.fid
+        hl = f"_hl{fid}"
+        record_var, _certain = scope.node_envs[suffix.gap_name]
+        anch = self.namer.fresh("_t")
+        body.append(f"{anch} = {record_var}['end']")
+        if plan.needed:
+            body.append(f"if {anch} + {plan.needed} > {hl}:")
+            body.append("    return FAIL")
+        base = self.namer.fresh("_t")
+        body.append(f"{base} = {self._abs(anch)}")
+        tup = self.namer.fresh("_t")
+        if plan.nslots:
+            sconst = self._struct_const(plan.fmt)
+            body.append(f"{tup} = {sconst}.unpack_from(data, {base})")
+        code = emit_plan_code(
+            plan,
+            slot_var=tup,
+            eoi_src=hl,
+            abs_base=base,
+            build=sink.mode != "none",
+            leaf_const=self._leaf_const,
+            rel_base=anch,
+        )
+        body += code.lines
+        for name, local in code.attr_locals.items():
+            scope.names[name] = local
+            if name not in attr_order:
+                attr_order.append(name)
+        for child in code.child_exprs:
+            sink.add(child, body)
+        # Materialize node envs only for names the remaining terms reference
+        # — overwriting any same-named pre-gap record (latest binding wins,
+        # as in the per-term path).
+        later_refs = set()
+        for term in alternative.terms[suffix.gap_index + 1 + plan.covered :]:
+            later_refs |= {name for tag, name in term.references() if tag == "nt"}
+        for name in dict.fromkeys(plan.recorded_names()):
+            if name in later_refs:
+                record = f"_nv{fid}_{self._token(name)}"
+                body.append(f"{record} = {code.env_src(name)}")
+                self._mirror(scope, record, body)
+                scope.node_envs[name] = (record, True)
+        if plan.touch:
+            # updStartEnd over the whole anchored span: offsets share one
+            # anchor, so min/max commute with the rebase.
+            start = self._plus(anch, plan.start)
+            body.append(f"if {start} < {scope.start}:")
+            body.append(f"    {scope.start} = {start}")
+            end = self._plus(anch, plan.end)
+            body.append(f"if {end} > {scope.end}:")
+            body.append(f"    {scope.end} = {end}")
 
     def _try_emit_bulk_array(
         self,
@@ -1683,9 +1826,18 @@ class _GrammarCompiler:
             body += sink.init_lines()
             attr_order: List[str] = []
             plan = self._alt_plan(name, 0, alternative)
+            suffix = self._alt_suffix(name, 0, alternative)
             if plan is not None:
                 self._emit_fused_prefix(plan, alternative, iscope, body, attr_order, sink)
-            for term in alternative.terms[plan.covered if plan else 0 :]:
+            consumed = plan.covered if plan else 0
+            if suffix is not None:
+                for term in alternative.terms[consumed : suffix.gap_index + 1]:
+                    self._emit_term(term, iscope, {}, body, attr_order, sink)
+                self._emit_fused_suffix(
+                    suffix, alternative, iscope, body, attr_order, sink
+                )
+                consumed = suffix.gap_index + 1 + suffix.plan.covered
+            for term in alternative.terms[consumed:]:
                 self._emit_term(term, iscope, {}, body, attr_order, sink)
         finally:
             self._inlining.discard(name)
@@ -2223,6 +2375,7 @@ def compile_grammar(
         elide_tree=elide_tree,
         stream_dispatch_cache=stream_dispatch_cache,
         max_steps=resolved_limits.max_steps,
+        wall_clock=resolved_limits.max_wall_ms is not None,
         analysis=analysis,
     )
     source = compiler.compile()
@@ -2236,6 +2389,7 @@ def compile_grammar(
         ),
         "_limit_steps": _limit_steps,
         "_limit_refill": _limit_refill,
+        "_wall_deadline": _make_wall_deadline(resolved_limits.max_wall_ms),
         "_MISS": _MISS,
         "_mk_node": _mk_node,
         "_mk_leaf": _mk_leaf,

@@ -34,6 +34,7 @@ with the per-``(rule, lo)`` dispatch cache on, like the compiled variant.
 
 from __future__ import annotations
 
+from time import monotonic as _monotonic
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..builtins import (
@@ -482,6 +483,7 @@ class _VMRun:
         "limits",
         "fuel",
         "fuel0",
+        "wall",
         "stack",
         "max_depth",
         "nodes",
@@ -516,6 +518,11 @@ class _VMRun:
         if self.limits is not None:
             self.fuel0 = limits.fuel()
             self.fuel = [self.fuel0]
+            # Wall budget: [tick countdown, monotonic deadline]; ticked
+            # at the fuel-charge points, clock read once per 256 ticks.
+            self.wall = (
+                None if limits.max_wall_ms is None else [256, limits.deadline()]
+            )
             self.stack: List[str] = []
             self.max_depth = (
                 float("inf") if limits.max_depth is None else limits.max_depth
@@ -529,6 +536,7 @@ class _VMRun:
         else:
             self.fuel0 = 0.0
             self.fuel = None
+            self.wall = None
             self.stack = None
             self.max_depth = None
             self.memo_cap = None
@@ -538,6 +546,9 @@ class _VMRun:
         """Restore per-attempt budgets (streaming re-entry)."""
         if self.limits is not None:
             self.fuel[0] = self.fuel0
+            if self.wall is not None:
+                self.wall[0] = 256
+                self.wall[1] = self.limits.deadline()
             del self.stack[:]
 
     # -- nonterminal dispatch ----------------------------------------------
@@ -602,6 +613,20 @@ class _VMRun:
                     nonterminal=rule.name,
                     rule_stack=tuple(stack),
                 )
+            wall = self.wall
+            if wall is not None:
+                wall[0] -= 1
+                if wall[0] < 0:
+                    wall[0] = 256
+                    if _monotonic() > wall[1]:
+                        raise LimitExceeded(
+                            f"parse wall-clock budget exhausted (max_wall_ms="
+                            f"{self.limits.max_wall_ms}) while parsing "
+                            f"{rule.name!r}",
+                            limit="wall",
+                            nonterminal=rule.name,
+                            rule_stack=tuple(stack),
+                        )
         if len(stack) > self.max_depth:
             raise LimitExceeded(
                 f"rule recursion exceeded max_depth={self.limits.max_depth} "
@@ -761,6 +786,7 @@ class _VMRun:
         # reference interpreter for why both matter.
         ctx.arrays[element] = elements
         fuel = self.fuel
+        wall = self.wall
         length = hi - lo
         data = self.data
         completed = False
@@ -777,6 +803,19 @@ class _VMRun:
                             nonterminal=element,
                             rule_stack=tuple(self.stack),
                         )
+                if wall is not None:
+                    wall[0] -= 1
+                    if wall[0] < 0:
+                        wall[0] = 256
+                        if _monotonic() > wall[1]:
+                            raise LimitExceeded(
+                                f"parse wall-clock budget exhausted "
+                                f"(max_wall_ms={self.limits.max_wall_ms}) "
+                                f"while parsing {element!r}",
+                                limit="wall",
+                                nonterminal=element,
+                                rule_stack=tuple(self.stack),
+                            )
                 env[var] = index
                 left = lfn(ctx)
                 right = rfn(ctx)

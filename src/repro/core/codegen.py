@@ -43,6 +43,7 @@ from typing import Optional
 _PRELUDE_BASE = '''\
 import struct as _struct
 import sys as _sys
+from time import monotonic as _monotonic
 
 #: Internal sentinels: parse failure (biased choice), memo miss, and a
 #: not-live binding (loop variable outside its loop / closure cell before
@@ -135,13 +136,26 @@ def _limit_steps():
     )
 
 
+def _limit_wall():
+    raise LimitExceeded(
+        "parse wall-clock budget exhausted (max_wall_ms); call "
+        "set_limits(max_steps, max_wall_ms=None) to lift it",
+        limit="wall",
+    )
+
+
 def _limit_refill(cell):
     # Slow path of the step budget: the hot counter cell[0] stays within
     # CPython's cached small-int range so the per-rule decrement never
     # allocates; every 256 rule entries this charges the big remainder.
+    # cell[2] is the optional monotonic wall-clock deadline, checked here
+    # so it costs nothing on the per-rule hot path.
     remaining = cell[1]
     if remaining <= 0:
         _limit_steps()
+    deadline = cell[2]
+    if deadline is not None and _monotonic() > deadline:
+        _limit_wall()
     take = 256 if remaining > 256 else remaining
     cell[0] = take - 1
     cell[1] = remaining - take
@@ -568,17 +582,20 @@ _PRELUDE = _PRELUDE_BASE + "\n\n" + _PRELUDE_BLACKBOX
 #: Closure-backend entry points: resolve nonterminals through the
 #: generated ``_ENTRY`` table (the table-VM flavor has its own pair).
 _EPILOGUE_CLOSURE = '''\
-def set_limits(max_steps):
-    """Change (or lift, with ``None``) this module's parse step budget.
+def set_limits(max_steps, max_wall_ms=None):
+    """Change (or lift, with ``None``) this module's parse budgets.
 
-    The budget was baked in at generation time as ``_MAX_STEPS``; each
-    top-level parse gets a fresh fuel cell initialized from it.  Modules
-    generated with an unlimited budget have the per-rule check compiled
-    out entirely, so ``set_limits`` cannot *introduce* a budget there —
-    regenerate with limits instead.
+    The budgets were baked in at generation time as ``_MAX_STEPS`` /
+    ``_MAX_WALL_MS``; each top-level parse gets a fresh fuel cell
+    initialized from them.  Modules generated with every budget
+    unlimited have the per-rule check compiled out entirely, so
+    ``set_limits`` cannot *introduce* a budget there — regenerate with
+    limits instead.  ``max_wall_ms`` is a wall-clock budget in
+    milliseconds, checked at the amortized refill points.
     """
-    global _MAX_STEPS
+    global _MAX_STEPS, _MAX_WALL_MS
     _MAX_STEPS = float("inf") if max_steps is None else max_steps
+    _MAX_WALL_MS = max_wall_ms
 
 
 def parse_nonterminal(data, name, lo, hi):
@@ -716,6 +733,8 @@ _PACKAGE_IMPORTS = (
     "_ifb",
     "_limit_refill",
     "_limit_steps",
+    "_limit_wall",
+    "_monotonic",
     "_make_builtin_runner",
     "_mk_array",
     "_mk_leaf",
@@ -758,11 +777,23 @@ def _module_body(compiled) -> str:
 def _constant_lines(compiled) -> list:
     limits = getattr(compiled, "limits", None)
     max_steps = None if limits is None else limits.max_steps
+    max_wall_ms = None if limits is None else limits.max_wall_ms
     constants = [
         "#: Parse step budget: fuel per top-level parse (see set_limits).",
         '_MAX_STEPS = float("inf")'
         if max_steps is None
         else f"_MAX_STEPS = {max_steps}",
+        "#: Wall-clock budget (ms) per top-level parse (see set_limits).",
+        f"_MAX_WALL_MS = {max_wall_ms!r}",
+        "",
+        "",
+        "def _wall_deadline():",
+        "    # Fresh per-parse monotonic deadline from the wall budget.",
+        "    if _MAX_WALL_MS is None:",
+        "        return None",
+        "    return _monotonic() + _MAX_WALL_MS / 1000.0",
+        "",
+        "",
         "#: Original grammar text; lets repro (when importable) re-diagnose",
         "#: failed parses into the structured error taxonomy.",
         f"GRAMMAR_SOURCE = {compiled.grammar.source!r}",
@@ -838,6 +869,7 @@ def _stream_namespace():
         exec(compile(_STREAM_SOURCE, "<stream-variant>", "exec"), namespace)
         _STREAM_NS = namespace
     _STREAM_NS["_MAX_STEPS"] = _MAX_STEPS  # honour later set_limits() calls
+    _STREAM_NS["_MAX_WALL_MS"] = _MAX_WALL_MS
     return _STREAM_NS
 
 
@@ -848,12 +880,15 @@ def _stream_new_state(buffer):
 def _stream_reset(state):
     # Rebuild the two-tier fuel cell (hot small-int counter + remainder)
     # for the new attempt; the budget is per attempt, not cumulative.
+    # The wall deadline restarts too: the budget bounds parsing work,
+    # not time spent waiting for the next chunk.
     if _STREAM_FUEL_SLOT is not None:
         max_steps = _MAX_STEPS
         take = 256 if max_steps > 256 else max_steps
         cell = state[_STREAM_FUEL_SLOT]
         cell[0] = take
         cell[1] = max_steps - take
+        cell[2] = _wall_deadline()
 
 
 def _stream_call(state, buffer, start):
@@ -1354,14 +1389,15 @@ def is_builtin(name):
 
 #: Table-backend entry points (the counterpart of ``_EPILOGUE_CLOSURE``).
 _EPILOGUE_TABLE = '''\
-def set_limits(max_steps):
-    """Change (or lift, with ``None``) this module's parse step budget.
+def set_limits(max_steps, max_wall_ms=None):
+    """Change (or lift, with ``None``) this module's parse budgets.
 
     Applies to subsequent top-level parses of both the batch VM and the
     streaming one; in-flight streaming sessions keep their budgets.
+    ``max_wall_ms`` is a wall-clock budget in milliseconds.
     """
     global _LIMITS
-    _LIMITS = _dc_replace(_LIMITS, max_steps=max_steps)
+    _LIMITS = _dc_replace(_LIMITS, max_steps=max_steps, max_wall_ms=max_wall_ms)
     _VM.set_limits(_LIMITS)
     if _STREAM_VMS:
         _STREAM_VMS[0].set_limits(_LIMITS)
@@ -1443,6 +1479,7 @@ def render_tablevm_module(
             "max_tree_nodes",
             "max_memo_entries",
             "max_buffer_bytes",
+            "max_wall_ms",
         )
     )
 

@@ -127,9 +127,10 @@ class LimitExceeded(ParseFailure):
 
     ``limit`` names the tripped budget (``"max_depth"``, ``"max_steps"``,
     ``"max_tree_nodes"``, ``"max_memo_entries"``, ``"max_buffer_bytes"``,
-    or ``"recursion"`` when a bare ``RecursionError``/``MemoryError`` was
-    intercepted).  ``offset`` is always ``None``: resource exhaustion has
-    no single culprit byte.
+    ``"wall"`` when the :attr:`~repro.core.limits.ParseLimits.max_wall_ms`
+    wall-clock budget expired, or ``"recursion"`` when a bare
+    ``RecursionError``/``MemoryError`` was intercepted).  ``offset`` is
+    always ``None``: resource exhaustion has no single culprit byte.
     """
 
     def __init__(
@@ -257,3 +258,61 @@ class CompilationError(IPGError):
 
 class SolverError(IPGError):
     """The constraint solver was given a formula outside its fragment."""
+
+
+class ServiceError(IPGError):
+    """Base class for parse-service failures (:mod:`repro.service`).
+
+    A :class:`~repro.service.ParseService` request that cannot be
+    answered with a parse result — the worker hung past its deadline,
+    crashed, the queue was full, or the service was shut down — resolves
+    to one of the structured subclasses below instead of hanging or
+    leaking a raw exception.  They deliberately do **not** derive from
+    :class:`ParseFailure`: a parse failure is a verdict about the input,
+    a service error is a verdict about the machinery, and callers retry
+    or alert on them differently.
+    """
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's wall-clock deadline expired.
+
+    The worker was SIGKILLed and respawned; the request was retried once
+    on a fresh worker (unless retries were disabled) before degrading to
+    this reply.  ``deadline_ms`` is the budget that expired.
+    """
+
+    def __init__(self, message: str, deadline_ms: int | None = None):
+        self.deadline_ms = deadline_ms
+        super().__init__(message)
+
+
+class WorkerCrashed(ServiceError):
+    """The worker process died mid-request (segfault, OOM kill, ``os._exit``).
+
+    ``exitcode`` is the worker's exit status (negative for a signal, per
+    ``multiprocessing``).  The input was quarantined to the on-disk
+    crasher corpus when one is configured; the crash was isolated to the
+    in-flight request and the pool was repaired.
+    """
+
+    def __init__(self, message: str, exitcode: int | None = None):
+        self.exitcode = exitcode
+        super().__init__(message)
+
+
+class ServiceOverloaded(ServiceError):
+    """The bounded request queue was full and the request was shed.
+
+    Raised synchronously from ``submit`` — load-shedding rejects at the
+    door instead of buffering unboundedly.  ``retry_after`` is a
+    best-effort hint, in seconds, of when capacity should free up.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class ServiceClosed(ServiceError):
+    """The service was shut down before (or while) handling the request."""

@@ -27,6 +27,7 @@ The public entry point is :class:`Parser`.
 from __future__ import annotations
 
 import sys
+from time import monotonic as _monotonic
 from typing import Dict, List, Optional, Union
 
 from .ast import (
@@ -840,6 +841,7 @@ class _Run:
         "limits",
         "fuel",
         "fuel0",
+        "wall",
         "stack",
         "max_depth",
         "memo_cap",
@@ -885,6 +887,12 @@ class _Run:
         if self.limits is not None:
             self.fuel0 = limits.fuel()
             self.fuel = [self.fuel0]
+            # Wall budget: [tick countdown, monotonic deadline] — the
+            # clock is read once per 256 rule entries, mirroring the
+            # compiled backend's refill-point amortization.
+            self.wall = (
+                None if limits.max_wall_ms is None else [256, limits.deadline()]
+            )
             self.stack: List[str] = []
             self.max_depth = (
                 float("inf") if limits.max_depth is None else limits.max_depth
@@ -896,6 +904,7 @@ class _Run:
         else:
             self.fuel0 = 0.0
             self.fuel = None
+            self.wall = None
             self.stack = None
             self.max_depth = None
             self.memo_cap = None
@@ -914,6 +923,9 @@ class _Run:
         """
         if self.limits is not None:
             self.fuel[0] = self.fuel0
+            if self.wall is not None:
+                self.wall[0] = 256
+                self.wall[1] = self.limits.deadline()
             del self.stack[:]
 
     # -- nonterminal dispatch -------------------------------------------------
@@ -995,6 +1007,20 @@ class _Run:
                 nonterminal=rule.name,
                 rule_stack=tuple(stack),
             )
+        wall = self.wall
+        if wall is not None:
+            wall[0] -= 1
+            if wall[0] < 0:
+                wall[0] = 256
+                if _monotonic() > wall[1]:
+                    raise LimitExceeded(
+                        f"parse wall-clock budget exhausted (max_wall_ms="
+                        f"{self.limits.max_wall_ms}) while parsing "
+                        f"{rule.name!r}",
+                        limit="wall",
+                        nonterminal=rule.name,
+                        rule_stack=tuple(stack),
+                    )
         if len(stack) > self.max_depth:
             raise LimitExceeded(
                 f"rule recursion exceeded max_depth={self.limits.max_depth} "

@@ -57,6 +57,17 @@ class ParseLimits:
         Bytes the streaming :class:`StreamBuffer` may hold at once
         (only reachable when compaction is on; with ``compact=False``
         the whole input is retained by design and counts too).
+    ``max_wall_ms``
+        Wall-clock budget per parse attempt, in milliseconds.  Checked
+        at the existing amortized fuel-refill points (every 256 charged
+        steps), so a well-behaved parse pays no extra per-rule cost and
+        a runaway one is caught within one refill window.  Off by
+        default: unlike the counters above it depends on machine speed,
+        so it is an opt-in for deadline-driven callers (the parse
+        service uses it as the in-process soft deadline).  Blackbox
+        calls are not interrupted mid-flight — only parsing steps are
+        charged — so a sleeping blackbox still needs an out-of-process
+        hard deadline.
     """
 
     max_depth: Optional[int] = 10_000
@@ -64,6 +75,7 @@ class ParseLimits:
     max_tree_nodes: Optional[int] = 20_000_000
     max_memo_entries: Optional[int] = 10_000_000
     max_buffer_bytes: Optional[int] = 64 * 1024 * 1024
+    max_wall_ms: Optional[int] = None
 
     @classmethod
     def unlimited(cls) -> "ParseLimits":
@@ -74,6 +86,7 @@ class ParseLimits:
             max_tree_nodes=None,
             max_memo_entries=None,
             max_buffer_bytes=None,
+            max_wall_ms=None,
         )
 
     @property
@@ -84,6 +97,14 @@ class ParseLimits:
     def fuel(self) -> float:
         """Initial value for a step-budget counter cell (inf = unlimited)."""
         return float("inf") if self.max_steps is None else self.max_steps
+
+    def deadline(self) -> float:
+        """Monotonic deadline for the current attempt (inf = unlimited)."""
+        if self.max_wall_ms is None:
+            return float("inf")
+        from time import monotonic
+
+        return monotonic() + self.max_wall_ms / 1000.0
 
     def describe(self) -> str:
         parts = []

@@ -629,12 +629,17 @@ class StreamingParse:
         elif self._compiled.fuel_slot is not None:
             # Rebuild the two-tier fuel cell (hot small-int counter +
             # remainder) rather than dumping the whole budget into the
-            # hot half, which would make every decrement allocate.
-            max_steps = self._compiled.limits.max_steps
+            # hot half, which would make every decrement allocate.  The
+            # wall deadline in cell[2] restarts too: the budget bounds
+            # parsing work per attempt, not time spent waiting for the
+            # producer to feed the next chunk.
+            limits = self._compiled.limits
+            max_steps = limits.fuel()
             take = 256 if max_steps > 256 else max_steps
             cell = self._state[self._compiled.fuel_slot]
             cell[0] = take
             cell[1] = max_steps - take
+            cell[2] = None if limits.max_wall_ms is None else limits.deadline()
         previous_limit = sys.getrecursionlimit()
         raise_limit = self._parser.recursion_limit > previous_limit
         if raise_limit:

@@ -1,0 +1,113 @@
+"""On-disk crasher corpus for inputs that killed a parse-service worker.
+
+When a worker dies mid-request (crash or deadline SIGKILL) and the
+service was configured with a ``quarantine_dir``, the offending input is
+written here before the request is retried or degraded.  Entries are
+
+* content-addressed — ``<sha256-prefix>.bin`` holds the exact input
+  bytes, so resubmitting the same poison dedupes to one file;
+* self-describing — a sibling ``.json`` records why it was quarantined
+  (crash exit code or deadline), the grammar (bundled format name or
+  the full ad-hoc grammar text), the deadline, and the service's
+  blackbox provider, which is everything needed to replay the request
+  against a fresh service;
+* replayable — ``tools/fuzz_parsers.py --replay-quarantine DIR``
+  rebuilds a service per entry from this metadata and re-submits the
+  bytes, asserting the service contract (a structured reply, never a
+  hang) still holds and reporting whether the crash still reproduces.
+
+Writes are atomic (temp file + rename) so a crashing *supervisor* can
+never leave a half-written corpus entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+#: Hex digits of the content hash used in filenames — collision-safe for
+#: any realistic corpus while keeping names readable.
+HASH_PREFIX_LEN = 16
+
+
+def content_hash(data) -> str:
+    return hashlib.sha256(bytes(data)).hexdigest()[:HASH_PREFIX_LEN]
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One quarantined input: its bytes' location plus the replay recipe."""
+
+    digest: str
+    bin_path: str
+    metadata: dict
+
+    def read_data(self) -> bytes:
+        with open(self.bin_path, "rb") as handle:
+            return handle.read()
+
+
+class QuarantineCorpus:
+    """A directory of content-addressed crasher inputs."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _paths(self, digest: str) -> tuple:
+        base = os.path.join(self.directory, digest)
+        return base + ".bin", base + ".json"
+
+    def add(self, data, metadata: dict) -> Optional[str]:
+        """Quarantine ``data``; returns the digest, or ``None`` if already present.
+
+        Dedupe is by content hash: the same poisonous input crashing ten
+        workers produces one corpus entry (the first metadata wins — it
+        describes the first observed failure).
+        """
+        digest = content_hash(data)
+        bin_path, json_path = self._paths(digest)
+        if os.path.exists(bin_path):
+            return None
+        payload = dict(metadata)
+        payload["sha256_prefix"] = digest
+        payload["input_length"] = len(data)
+        self._atomic_write(bin_path, bytes(data))
+        self._atomic_write(
+            json_path,
+            json.dumps(payload, indent=2, sort_keys=True).encode("utf-8") + b"\n",
+        )
+        return digest
+
+    def _atomic_write(self, path: str, blob: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def entries(self) -> Iterator[QuarantineEntry]:
+        """Corpus entries in digest order (deterministic replay order)."""
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(".bin"):
+                continue
+            digest = name[: -len(".bin")]
+            bin_path, json_path = self._paths(digest)
+            metadata = {}
+            if os.path.exists(json_path):
+                with open(json_path, "r", encoding="utf-8") as handle:
+                    metadata = json.load(handle)
+            yield QuarantineEntry(digest, bin_path, metadata)
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory) if name.endswith(".bin"))

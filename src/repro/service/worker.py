@@ -1,0 +1,297 @@
+"""Worker-process entry point for the parse service.
+
+Each worker is a single-threaded loop over its supervisor pipe: receive
+a request dict, parse, send a reply dict.  Parsers are built lazily and
+cached by grammar fingerprint (sha256 of the grammar text + backend), so
+a grammar is staged/compiled once per worker process and every later
+request for it pays only the parse.  Input payloads arrive inline for
+small requests or as a shared-memory spool file the worker maps
+read-only and parses zero-copy (see :mod:`repro.service.wire`).
+
+The worker converts every outcome into a reply:
+
+* a parse tree / span env / validate verdict / recovered document,
+  serialized to jsonable structures (never live ``memoryview``s — the
+  spool mapping is closed before the reply is sent);
+* a structured parse failure (class + offset + rule stack), re-raised
+  as the same taxonomy exception on the supervisor side;
+* a grammar/configuration error;
+* as a last resort, an internal-error reply carrying the traceback —
+  the worker survives anything that raises.
+
+What the worker can *not* survive — segfaults, the OOM killer,
+``os._exit`` — is the supervisor's job: it watches the process sentinel
+and isolates the death to the in-flight request.
+
+Requests also honour an in-process *soft deadline*: the supervisor
+hands a ``soft_deadline_ms`` share of the request deadline, applied as
+:attr:`~repro.core.limits.ParseLimits.max_wall_ms` so a slow parse
+fails structurally (``LimitExceeded(limit="wall")``) without costing a
+worker respawn.  The SIGKILL hard deadline remains the backstop for
+stalls the fuel checks cannot see (a sleeping blackbox).
+
+Fault injection (``op: "chaos"``) is only honoured when the service was
+configured with ``allow_chaos`` — production services reject the
+directives as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import os
+import signal
+import time
+import traceback
+from dataclasses import replace
+from typing import Dict, Optional
+
+from ..core.errors import IPGError, ParseFailure
+from ..core.interpreter import Parser
+from ..core.limits import DEFAULT_LIMITS
+from ..core.parsetree import tree_to_jsonable
+from .wire import SpooledInput, failure_to_wire
+
+#: Wall budget compiled into cached parsers when the base limits carry
+#: none: the per-request soft deadline rebinds the live budget, but the
+#: wall *checks* must exist in the staged code from the start.
+_FALLBACK_WALL_MS = 60_000
+
+
+def grammar_fingerprint(kind: str, ident: str, backend: str) -> str:
+    """Stable identity of a (grammar, backend) pair across processes."""
+    blob = f"{kind}\x00{backend}\x00{ident}".encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def resolve_blackbox_provider(spec: Optional[str]) -> Dict[str, object]:
+    """Import a ``"module:attribute"`` provider into a blackbox dict."""
+    if not spec:
+        return {}
+    module_name, _, attr = spec.partition(":")
+    if not module_name or not attr:
+        raise IPGError(
+            f"blackbox_provider {spec!r} is not of the form 'module:attribute'"
+        )
+    value = getattr(importlib.import_module(module_name), attr)
+    if not isinstance(value, dict) and callable(value):
+        value = value()
+    return dict(value)
+
+
+def _set_wall(parser: Parser, soft_ms: Optional[int]) -> None:
+    """Point every engine of ``parser`` at a fresh wall budget.
+
+    The interpreter and diagnostic re-run read ``parser.limits`` per
+    parse; the staged compilation reads its module-global
+    ``_wall_deadline`` factory (rebindable by design — AOT modules'
+    ``set_limits`` uses the same seam); the table VM takes the dataclass.
+    """
+    if soft_ms is None:
+        return
+    limits = replace(parser.limits, max_wall_ms=soft_ms)
+    parser.limits = limits
+    from ..core.backends.closures import _make_wall_deadline
+
+    factory = _make_wall_deadline(soft_ms)
+    for compiled in (
+        parser._compiled,
+        parser._compiled_elided,
+        *parser._compiled_stream.values(),
+    ):
+        if compiled is not None:
+            compiled._new_state.__globals__["_wall_deadline"] = factory
+            compiled.limits = limits
+    if parser._tablevm is not None:
+        parser._tablevm.set_limits(limits)
+
+
+class _WorkerState:
+    """Per-process state: the parser cache and resolved blackboxes."""
+
+    def __init__(self, payload: dict):
+        self.backend = payload.get("backend", "compiled")
+        self.allow_chaos = bool(payload.get("allow_chaos"))
+        self.spool_dir = payload.get("spool_dir")
+        base = payload.get("limits") or DEFAULT_LIMITS
+        if base.max_wall_ms is None:
+            base = replace(base, max_wall_ms=_FALLBACK_WALL_MS)
+        self.base_limits = base
+        self.provider_blackboxes = resolve_blackbox_provider(
+            payload.get("blackbox_provider")
+        )
+        self.parsers: Dict[str, Parser] = {}
+
+    def parser_for(self, grammar_spec) -> Parser:
+        kind, ident = grammar_spec
+        key = grammar_fingerprint(kind, ident, self.backend)
+        parser = self.parsers.get(key)
+        if parser is not None:
+            return parser
+        if kind == "format":
+            from ..formats import registry
+
+            if ident not in registry:
+                raise IPGError(f"unknown format {ident!r}; see `repro formats`")
+            spec = registry[ident]
+            parser = Parser(
+                spec.grammar_text,
+                blackboxes=dict(spec.blackboxes),
+                backend=self.backend,
+                limits=self.base_limits,
+            )
+        elif kind == "text":
+            parser = Parser(
+                ident,
+                blackboxes=dict(self.provider_blackboxes),
+                backend=self.backend,
+                limits=self.base_limits,
+            )
+        else:
+            raise IPGError(f"unknown grammar spec kind {kind!r}")
+        self.parsers[key] = parser
+        return parser
+
+
+def _handle_parse(state: _WorkerState, msg: dict) -> dict:
+    spooled = None
+    try:
+        parser = state.parser_for(msg["grammar"])
+        if msg.get("spool") is not None:
+            path, length = msg["spool"]
+            spooled = SpooledInput(path, length)
+            data = spooled.data
+        else:
+            data = msg.get("data", b"")
+        _set_wall(parser, msg.get("soft_deadline_ms"))
+        begin = time.perf_counter()
+        if msg.get("recover"):
+            from ..core.recover import document_to_jsonable
+
+            document = parser.parse_recover(data, max_errors=msg.get("max_errors"))
+            reply = {
+                "kind": "recovered",
+                "document": document_to_jsonable(document),
+            }
+            del document
+        else:
+            emit = msg.get("emit", "tree")
+            result = parser.parse(data, emit=emit)
+            if emit == "tree":
+                reply = {"kind": "tree", "tree": tree_to_jsonable(result)}
+            elif emit == "spans":
+                reply = {"kind": "spans", "root": result.name, "env": dict(result.env)}
+            else:
+                reply = {"kind": "ok"}
+            del result
+        reply["elapsed_ms"] = (time.perf_counter() - begin) * 1000.0
+    except ParseFailure as exc:
+        reply = {"kind": "parse-error", **failure_to_wire(exc)}
+    except IPGError as exc:
+        reply = {
+            "kind": "grammar-error",
+            "class": type(exc).__name__,
+            "message": str(exc),
+        }
+    except BaseException as exc:  # noqa: BLE001 - the worker must survive
+        reply = {
+            "kind": "worker-error",
+            "class": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }
+    finally:
+        # The reply holds jsonable copies only; drop the mapping before
+        # sending so the spool file never outlives the request here.
+        if spooled is not None:
+            spooled.close()
+    return reply
+
+
+def _handle_chaos(state: _WorkerState, msg: dict) -> dict:
+    """Fault-injection directives (chaos harness / tests only)."""
+    if not state.allow_chaos:
+        return {
+            "kind": "worker-error",
+            "class": "ChaosDisabled",
+            "message": "chaos directives require ServiceConfig.allow_chaos",
+        }
+    mode = msg.get("mode")
+    seconds = float(msg.get("seconds", 0.0))
+    if mode == "exit":  # a bare os._exit mid-request
+        os._exit(int(msg.get("code", 3)))
+    if mode == "segv":  # native crash
+        import faulthandler
+
+        faulthandler.disable()  # the fault is deliberate; keep logs clean
+        os.kill(os.getpid(), signal.SIGSEGV)
+    if mode == "oom":  # the kernel OOM killer's verdict, simulated
+        os._exit(137)
+    if mode == "leak":  # strand a file in the spool dir, then die
+        if state.spool_dir:
+            path = os.path.join(state.spool_dir, f"leak-{os.getpid()}.bin")
+            with open(path, "wb") as handle:
+                handle.write(b"\0" * 4096)
+        os._exit(7)
+    if mode == "hang":  # blackbox-style sleep the fuel checks cannot see
+        time.sleep(seconds)
+        return {"kind": "chaos-done", "mode": mode}
+    if mode == "spin":  # busy loop (SIGKILL is the only way out early)
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline:
+            pass
+        return {"kind": "chaos-done", "mode": mode}
+    return {
+        "kind": "worker-error",
+        "class": "ChaosUnknown",
+        "message": f"unknown chaos mode {mode!r}",
+    }
+
+
+def worker_main(conn, payload: dict) -> None:
+    """The worker process main loop (target of the supervisor's spawn)."""
+    # The supervisor owns lifecycle; a terminal Ctrl-C must interrupt it,
+    # not strand half a pool mid-request.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        state = _WorkerState(payload)
+    except BaseException as exc:  # provider import failed: report and die
+        try:
+            conn.send(
+                {
+                    "id": None,
+                    "kind": "worker-error",
+                    "class": type(exc).__name__,
+                    "message": f"worker initialization failed: {exc}",
+                    "traceback": traceback.format_exc(),
+                }
+            )
+        except OSError:
+            pass
+        return
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        op = msg.get("op")
+        if op == "shutdown":
+            return
+        if op == "ping":
+            reply = {"kind": "pong"}
+        elif op == "chaos":
+            reply = _handle_chaos(state, msg)
+        elif op == "parse":
+            reply = _handle_parse(state, msg)
+        else:
+            reply = {
+                "kind": "worker-error",
+                "class": "ProtocolError",
+                "message": f"unknown op {op!r}",
+            }
+        reply["id"] = msg.get("id")
+        reply["pid"] = os.getpid()
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return

@@ -56,6 +56,21 @@ class TestParseLimits:
         assert not limits.active
         assert limits.max_steps is None
         assert limits.fuel() == float("inf")
+        assert limits.max_wall_ms is None
+        assert limits.deadline() == float("inf")
+
+    def test_wall_budget_off_by_default_but_activates(self):
+        assert ParseLimits().max_wall_ms is None
+        wall_only = ParseLimits(
+            max_depth=None,
+            max_steps=None,
+            max_tree_nodes=None,
+            max_memo_entries=None,
+            max_buffer_bytes=None,
+            max_wall_ms=50,
+        )
+        assert wall_only.active
+        assert wall_only.deadline() != float("inf")
 
     def test_default_limits_singleton_used_by_parser(self):
         assert Parser(toy.FIGURE_1).limits is DEFAULT_LIMITS
@@ -128,6 +143,70 @@ class TestCompiledBudgets:
         parser = Parser(toy.FIGURE_3, limits=ParseLimits(max_steps=500))
         for _ in range(5):  # budget must not accumulate across parses
             assert parser.parse(b"101", "Int")["val"] == 0b101
+
+
+#: Recursion + a sleeping blackbox: the blackbox burns the wall budget up
+#: front, then the recursive spine charges fuel, so the first amortized
+#: refill (≤ 256 charges later) observes the expired deadline on every
+#: engine — deterministic regardless of machine speed.
+_WALL_GRAMMAR = """
+blackbox Doze ;
+S -> Doze[0, 0] R[0, EOI] ;
+R -> U8 R[U8.end, EOI] / "" ;
+"""
+
+
+def _doze(data):
+    import time
+
+    time.sleep(0.05)
+    return {}
+
+
+class TestWallClockBudget:
+    def _parser(self, backend, **kwargs):
+        return Parser(
+            _WALL_GRAMMAR,
+            blackboxes={"Doze": _doze},
+            backend=backend,
+            limits=ParseLimits(**kwargs),
+        )
+
+    @pytest.mark.parametrize("backend", ["compiled", "interpreted", "tablevm"])
+    def test_wall_trips_on_every_engine(self, backend):
+        parser = self._parser(backend, max_wall_ms=10)
+        with pytest.raises(LimitExceeded) as info:
+            parser.parse(bytes(2000))
+        assert info.value.limit == "wall"
+
+    @pytest.mark.parametrize("backend", ["compiled", "interpreted", "tablevm"])
+    def test_generous_wall_budget_leaves_parses_alone(self, backend):
+        parser = self._parser(backend, max_wall_ms=60_000)
+        assert parser.parse(bytes(64)) is not None
+
+    def test_wall_only_limits_still_allocate_the_fuel_cell(self):
+        # max_steps=None normally compiles the cell out; a wall budget
+        # alone must keep it (with infinite step fuel) so refills happen.
+        parser = self._parser("compiled", max_steps=None, max_wall_ms=10)
+        with pytest.raises(LimitExceeded) as info:
+            parser.parse(bytes(2000))
+        assert info.value.limit == "wall"
+
+    def test_no_wall_budget_means_no_deadline_in_cell(self):
+        compiled = compile_grammar(toy.FIGURE_3)
+        state = compiled.new_state()
+        cell = state[compiled.fuel_slot]
+        assert len(cell) == 3 and cell[2] is None
+
+    def test_aot_module_wall_budget(self):
+        module = compile_grammar(_WALL_GRAMMAR).load_module("_limits_aot_wall")
+        module.register_blackbox("Doze", _doze)
+        assert module.parse(bytes(64)) is not None
+        module.set_limits(None, max_wall_ms=10)
+        with pytest.raises(module.LimitExceeded):
+            module.parse(bytes(2000))
+        module.set_limits(None, max_wall_ms=None)
+        assert module.parse(bytes(64)) is not None
 
 
 class TestStreamingBudgets:

@@ -1,0 +1,341 @@
+"""Tests for the fault-tolerant parse service (``repro.service``).
+
+The service's contract under test: every submitted request gets exactly
+one reply — a tree byte-identical to an in-process parse, a recovered
+document, a structured parse failure, or a structured
+``ServiceError`` — and the worker pool repairs itself after crashes,
+hangs, and poisonous inputs without leaking processes or spool files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro import samples
+from repro.core.errors import (
+    DeadlineExceeded,
+    LimitExceeded,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    TruncatedInput,
+    WorkerCrashed,
+)
+from repro.core.parsetree import tree_to_jsonable
+from repro.core.recover import document_to_jsonable
+from repro.formats import registry
+from repro.service import (
+    ParseService,
+    QuarantineCorpus,
+    ServiceConfig,
+    parse_many,
+)
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="parse service tests assume a fork-capable host",
+)
+
+DEADLINE = 30_000  # generous per-attempt budget for functional tests
+
+
+@pytest.fixture(scope="module")
+def dns_data() -> bytes:
+    return samples.build_dns_response(answer_count=2, additional_count=1)
+
+
+@pytest.fixture(scope="module")
+def service():
+    with ParseService(workers=2, allow_chaos=True, seed=7) as svc:
+        yield svc
+
+
+# ---------------------------------------------------------------------------
+# Happy path: results match in-process parses exactly
+# ---------------------------------------------------------------------------
+
+
+def test_tree_matches_in_process(service, dns_data):
+    expected = tree_to_jsonable(registry["dns"].build_parser().parse(dns_data))
+    result = service.submit(dns_data, format="dns", deadline_ms=DEADLINE).result()
+    assert result.ok
+    assert result.kind == "tree"
+    assert result.tree == expected
+    assert result.worker_pid in service.audit()["worker_pids"]
+
+
+def test_spans_and_validate_modes(service, dns_data):
+    spans = service.submit(
+        dns_data, format="dns", emit="spans", deadline_ms=DEADLINE
+    ).result()
+    assert spans.ok and spans.kind == "spans"
+    assert spans.root == "DNS"
+    assert "EOI" in spans.env
+
+    verdict = service.submit(
+        dns_data, format="dns", emit=None, deadline_ms=DEADLINE
+    ).result()
+    assert verdict.ok and verdict.kind == "ok"
+
+
+def test_recover_matches_in_process(service, dns_data):
+    hostile = dns_data[:20]
+    expected = document_to_jsonable(
+        registry["dns"].build_parser().parse_recover(hostile)
+    )
+    result = service.submit(
+        hostile, format="dns", recover=True, deadline_ms=DEADLINE
+    ).result()
+    assert result.ok
+    assert result.kind == "recovered"
+    assert result.document == expected
+
+
+def test_structured_failure_crosses_the_wire(service, dns_data):
+    result = service.submit(dns_data[:5], format="dns", deadline_ms=DEADLINE).result()
+    assert not result.ok
+    assert isinstance(result.error, TruncatedInput)
+    # Field parity with the in-process failure, not just the class.
+    with pytest.raises(TruncatedInput) as excinfo:
+        registry["dns"].build_parser().parse(dns_data[:5])
+    assert result.error.offset == excinfo.value.offset
+    assert result.error.nonterminal == excinfo.value.nonterminal
+    with pytest.raises(TruncatedInput):
+        result.raise_for_status()
+
+
+def test_adhoc_grammar_and_unknown_format(service):
+    grammar = "S -> U16BE {n = U16BE.val} Bytes[n] ;"
+    ok = service.submit(
+        b"\x00\x03abc", grammar=grammar, deadline_ms=DEADLINE
+    ).result()
+    assert ok.ok and ok.tree["env"]["n"] == 3
+
+    unknown = service.submit(b"", format="nosuch", deadline_ms=DEADLINE).result()
+    assert not unknown.ok
+    assert "nosuch" in str(unknown.error)
+
+
+def test_spooled_large_input_roundtrip(dns_data):
+    # Force the shared-memory spool path for every payload.
+    with ParseService(workers=1, inline_bytes_max=1) as svc:
+        expected = tree_to_jsonable(registry["dns"].build_parser().parse(dns_data))
+        result = svc.submit(dns_data, format="dns", deadline_ms=DEADLINE).result()
+        assert result.ok and result.tree == expected
+        assert svc.audit()["spool_files"] == 0  # unlinked at resolution
+
+
+def test_parse_many_preserves_input_order(dns_data):
+    inputs = [dns_data, dns_data[:5], dns_data]
+    results = parse_many(inputs, format="dns", deadline_ms=DEADLINE)
+    assert [r.ok for r in results] == [True, False, True]
+    assert [r.request_id for r in results] == sorted(r.request_id for r in results)
+
+
+def test_submit_argument_validation(service):
+    with pytest.raises(ValueError):
+        service.submit(b"", deadline_ms=DEADLINE)  # neither format nor grammar
+    with pytest.raises(ValueError):
+        service.submit(b"", format="dns", grammar="S -> U8 ;")
+    with pytest.raises(ValueError):
+        service.submit(b"", format="dns", deadline_ms=0)
+    with pytest.raises(ValueError):
+        service.submit(b"", format="dns", emit="spans", recover=True)
+
+
+# ---------------------------------------------------------------------------
+# Failure handling: crashes, deadlines, shedding, close
+# ---------------------------------------------------------------------------
+
+
+def test_worker_crash_is_isolated_and_pool_repairs(service, dns_data):
+    before = service.stats()["respawns"]
+    crashed = service.submit_chaos("exit").result()
+    assert isinstance(crashed.error, WorkerCrashed)
+    assert crashed.error.exitcode == 3
+    # The pool keeps answering while (and after) it repairs itself.
+    ok = service.submit(dns_data, format="dns", deadline_ms=DEADLINE).result()
+    assert ok.ok
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        stats = service.stats()
+        if stats["workers_alive"] == 2 and stats["respawns"] > before:
+            break
+        time.sleep(0.05)
+    assert service.stats()["workers_alive"] == 2
+
+
+def test_segfault_reports_signal_exitcode(service):
+    crashed = service.submit_chaos("segv").result()
+    assert isinstance(crashed.error, WorkerCrashed)
+    assert crashed.error.exitcode == -11  # SIGSEGV
+
+
+def test_hung_worker_is_killed_at_the_deadline(service, dns_data):
+    begin = time.monotonic()
+    result = service.submit_chaos("hang", seconds=60, deadline_ms=400).result()
+    elapsed = time.monotonic() - begin
+    assert isinstance(result.error, DeadlineExceeded)
+    assert result.error.deadline_ms == 400
+    assert elapsed < 30  # killed, not waited out
+    assert service.submit(dns_data, format="dns", deadline_ms=DEADLINE).result().ok
+
+
+def test_soft_deadline_degrades_to_wall_limit(dns_data):
+    # A near-zero in-worker wall budget fails the parse structurally
+    # (LimitExceeded limit="wall") — no SIGKILL, no respawn burned.
+    big = samples.build_zip(member_count=200, member_size=200)
+    with ParseService(
+        workers=1, backend="interpreted", soft_deadline_fraction=0.001
+    ) as svc:
+        warm = svc.submit(big, format="zip", deadline_ms=120_000).result()
+        assert warm.ok
+        tight = svc.submit(big, format="zip", deadline_ms=2_000).result()
+        assert isinstance(tight.error, LimitExceeded)
+        assert tight.error.limit == "wall"
+        stats = svc.stats()
+        assert stats["deadline_kills"] == 0
+        assert stats["crashes"] == 0
+
+
+def test_overload_sheds_with_retry_after():
+    with ParseService(
+        workers=1, max_pending=2, allow_chaos=True, default_deadline_ms=10_000
+    ) as svc:
+        blocker = svc.submit_chaos("hang", seconds=1.0, deadline_ms=20_000)
+        time.sleep(0.2)  # let the hang dispatch so the queue is empty
+        accepted, shed = [], None
+        for _ in range(10):
+            try:
+                accepted.append(svc.submit_chaos("hang", seconds=0.0))
+            except ServiceOverloaded as exc:
+                shed = exc
+        assert shed is not None
+        assert shed.retry_after > 0
+        assert svc.stats()["shed"] >= 1
+        for future in [blocker, *accepted]:
+            assert future.result() is not None  # shed or not, no one hangs
+
+
+def test_close_resolves_everything_and_rejects_new_work(dns_data):
+    svc = ParseService(workers=1, default_deadline_ms=DEADLINE)
+    futures = [svc.submit(dns_data, format="dns") for _ in range(5)]
+    svc.close()
+    for future in futures:
+        assert future.result(timeout=1) is not None  # drained, not stranded
+    with pytest.raises(ServiceClosed):
+        svc.submit(dns_data, format="dns")
+    assert not os.path.isdir(svc.audit()["spool_dir"])
+    svc.close()  # idempotent
+
+
+def test_retry_runs_on_a_fresh_worker(service, dns_data):
+    # A crash with a parse in flight on the *other* worker: both answer.
+    crash = service.submit_chaos("exit")
+    parse = service.submit(dns_data, format="dns", deadline_ms=DEADLINE)
+    assert isinstance(crash.result().error, WorkerCrashed)
+    assert parse.result().ok
+
+
+def test_chaos_requires_opt_in(dns_data):
+    with ParseService(workers=1) as svc:
+        with pytest.raises(ServiceError):
+            svc.submit_chaos("exit")
+
+
+# ---------------------------------------------------------------------------
+# Satellite: crasher quarantine round-trip (deliberately crashing blackbox)
+# ---------------------------------------------------------------------------
+
+CRASHY_PROVIDER = textwrap.dedent(
+    '''
+    """Test-only blackbox provider: dies on a magic byte window."""
+    import os
+
+    def poison(data):
+        if bytes(data).startswith(b"CRASH!"):
+            os._exit(66)
+        return {"n": len(data)}
+
+    BLACKBOXES = {"Poison": poison}
+    '''
+)
+
+CRASHY_GRAMMAR = """
+S -> Hdr Body[Hdr.end, EOI] ;
+Hdr -> U16BE {n = U16BE.val} ;
+Body -> Poison ;
+blackbox Poison ;
+"""
+
+
+@pytest.fixture()
+def crashy_provider(tmp_path, monkeypatch):
+    (tmp_path / "crashy_blackbox_mod.py").write_text(CRASHY_PROVIDER)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    # Workers inherit sys.path via fork; spawn-start hosts are skipped above.
+    return "crashy_blackbox_mod:BLACKBOXES"
+
+
+def test_crasher_is_quarantined_and_replayable(tmp_path, crashy_provider):
+    qdir = str(tmp_path / "quarantine")
+    poison = b"\x00\x07" + b"CRASH!" + b"padding"
+    benign = b"\x00\x07" + b"hello world"
+    config = ServiceConfig(
+        workers=2,
+        quarantine_dir=qdir,
+        blackbox_provider=crashy_provider,
+        default_deadline_ms=DEADLINE,
+    )
+    with ParseService(config) as svc:
+        assert svc.submit(benign, grammar=CRASHY_GRAMMAR).result().ok
+        first = svc.submit(poison, grammar=CRASHY_GRAMMAR).result()
+        assert isinstance(first.error, WorkerCrashed)
+        assert first.retried  # one retry on a fresh worker before degrading
+        # Resubmitting the same poison dedupes to one corpus entry.
+        again = svc.submit(poison, grammar=CRASHY_GRAMMAR).result()
+        assert isinstance(again.error, WorkerCrashed)
+
+    corpus = QuarantineCorpus(qdir)
+    assert len(corpus) == 1
+    (entry,) = corpus.entries()
+    assert entry.read_data() == poison
+    assert entry.metadata["reason"] == "crash"
+    assert entry.metadata["exitcode"] == 66
+    assert entry.metadata["grammar_text"] == CRASHY_GRAMMAR
+    assert entry.metadata["blackbox_provider"] == crashy_provider
+    assert entry.metadata["input_length"] == len(poison)
+
+    # The metadata alone rebuilds a service that reproduces the crash —
+    # exactly what tools/fuzz_parsers.py --replay-quarantine does.
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
+    try:
+        from fuzz_parsers import replay_quarantine
+
+        report = replay_quarantine(qdir, deadline_ms=DEADLINE)
+    finally:
+        sys.path.pop(0)
+    assert report["entries"] == 1
+    assert report["reproduced"] == 1
+    assert report["hung"] == 0
+
+
+def test_quarantine_corpus_dedupes_by_content(tmp_path):
+    corpus = QuarantineCorpus(str(tmp_path / "q"))
+    assert corpus.add(b"poison", {"reason": "crash"}) is not None
+    assert corpus.add(b"poison", {"reason": "deadline"}) is None  # dupe
+    assert corpus.add(b"other", {"reason": "crash"}) is not None
+    assert len(corpus) == 2
+    digests = [entry.digest for entry in corpus.entries()]
+    assert digests == sorted(digests)
+    # Metadata JSON is valid and carries the enrichment fields.
+    for entry in corpus.entries():
+        with open(entry.bin_path[: -len(".bin")] + ".json") as handle:
+            meta = json.load(handle)
+        assert meta["sha256_prefix"] == entry.digest

@@ -356,6 +356,104 @@ def lazy_smoke() -> int:
     return 0
 
 
+def service_smoke() -> int:
+    """Gate the parse service on its absolute invariants at saturation.
+
+    Runs the quick tier of ``benchmarks/bench_service.py`` (a clean
+    saturation scenario and a fault-injected one) and checks the
+    contract rather than machine-relative medians:
+
+    * every submitted request is answered in both scenarios (exactly-one
+      -reply is the service's core guarantee);
+    * the pool is back at full worker strength after the faulty run;
+    * fault collateral is bounded: only injected faults (and requests
+      unlucky enough to share a dying worker) degrade to service
+      errors — at most 2x the injected fault count;
+    * a loose absolute throughput floor (10 msgs/s clean, 2 msgs/s
+      faulty) that only a hang, a respawn storm, or a serialization
+      catastrophe could violate — real throughput is orders of
+      magnitude higher on any machine.
+
+    The committed ``BENCH_service.json`` records the development
+    machine's full-size numbers for trajectory; this smoke gate is what
+    CI enforces.
+    """
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_service", os.path.join(_REPO_ROOT, "benchmarks", "bench_service.py")
+    )
+    bench_service = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench_service)
+
+    requests = bench_service.REQUESTS_QUICK
+    clean = bench_service.run_scenario(requests, inject_faults=False, seed=0)
+    faulty = bench_service.run_scenario(requests, inject_faults=True, seed=0)
+
+    failures = []
+
+    def check(label: str, ok: bool, detail: str) -> None:
+        print(f"service-smoke: {label}: {detail}: {'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            failures.append(label)
+
+    for name, scenario in (("clean", clean), ("faulty", faulty)):
+        check(
+            f"{name} all answered",
+            scenario["answered"] == requests,
+            f"{scenario['answered']}/{requests} requests answered",
+        )
+    check(
+        "clean has no service errors",
+        clean["service_errors"] == 0,
+        f"{clean['service_errors']} service errors without fault injection",
+    )
+    check(
+        "faulty collateral bounded",
+        faulty["service_errors"] <= 2 * faulty["faults_injected"],
+        f"{faulty['service_errors']} service errors for "
+        f"{faulty['faults_injected']} injected faults",
+    )
+    check(
+        "pool repaired after faults",
+        faulty["pool"]["workers_alive_at_end"] == faulty["pool"]["workers"],
+        f"{faulty['pool']['workers_alive_at_end']}/"
+        f"{faulty['pool']['workers']} workers alive",
+    )
+    check(
+        "clean throughput floor",
+        (clean["msgs_per_second"] or 0) >= 10,
+        f"{clean['msgs_per_second']} msgs/s (floor 10)",
+    )
+    check(
+        "faulty throughput floor",
+        (faulty["msgs_per_second"] or 0) >= 2,
+        f"{faulty['msgs_per_second']} msgs/s (floor 2)",
+    )
+
+    committed_path = os.path.join(_REPO_ROOT, "BENCH_service.json")
+    if os.path.exists(committed_path):
+        committed = _load(committed_path)
+        print(
+            "service-smoke: committed trajectory: "
+            f"clean {committed['scenarios']['clean']['msgs_per_second']} msgs/s, "
+            f"faulty {committed['scenarios']['faulty']['msgs_per_second']} msgs/s "
+            f"(p99 {committed['scenarios']['faulty']['latency_ms']['p99']}ms)"
+        )
+    else:
+        print("service-smoke: BENCH_service.json missing; trajectory not shown")
+
+    if failures:
+        print(
+            f"service-smoke: FAILED — {', '.join(failures)} violated the "
+            f"service's absolute invariants",
+            file=sys.stderr,
+        )
+        return 1
+    print("service-smoke: passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -393,15 +491,24 @@ def main(argv=None) -> int:
         "materializes <1%% of a 256MB ELF; lazy index RSS under half of "
         "eager read-then-parse)",
     )
+    parser.add_argument(
+        "--service-smoke",
+        action="store_true",
+        help="run the parse-service invariant gate (quick saturation "
+        "benchmark with and without fault injection; every request "
+        "answered, pool repaired, loose absolute throughput floors)",
+    )
     args = parser.parse_args(argv)
     if args.limits_smoke:
         return limits_smoke(args.limits_tolerance)
     if args.lazy_smoke:
         return lazy_smoke()
+    if args.service_smoke:
+        return service_smoke()
     if not args.current:
         parser.error(
-            "CURRENT.json is required unless --limits-smoke or --lazy-smoke "
-            "is given"
+            "CURRENT.json is required unless --limits-smoke, --lazy-smoke, "
+            "or --service-smoke is given"
         )
     return gate(args.current, args.baseline, args.tolerance)
 

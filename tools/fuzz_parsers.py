@@ -184,6 +184,60 @@ def fuzz_format(
     return iterations, crashes
 
 
+def replay_quarantine(directory: str, deadline_ms: int = 10_000) -> dict:
+    """Replay a parse-service crasher corpus against fresh services.
+
+    Each quarantine entry's metadata (grammar, backend, blackbox
+    provider, recover flag — see ``repro.service.quarantine``) rebuilds
+    the service that originally quarantined it; the input bytes are
+    re-submitted and the *service contract* is asserted: a structured
+    reply arrives (the future resolves), never a hang, and the pool is
+    back at full strength afterwards.  Returns a report dict; entries
+    whose crash still reproduces are counted, not failed — a fixed
+    crasher regressing to "reproduced" is the fuzzer's next regression
+    test, and a *hang* (no reply) is the only hard failure.
+    """
+    from repro.core.errors import ServiceError
+    from repro.service import ParseService, QuarantineCorpus, ServiceConfig
+
+    corpus = QuarantineCorpus(directory)
+    report = {"entries": 0, "reproduced": 0, "structured": 0, "hung": 0}
+    for entry in corpus.entries():
+        report["entries"] += 1
+        meta = entry.metadata
+        config = ServiceConfig(
+            workers=1,
+            default_deadline_ms=meta.get("deadline_ms") or deadline_ms,
+            backend=meta.get("backend", "compiled"),
+            blackbox_provider=meta.get("blackbox_provider"),
+            retries=0,  # one attempt: did the crash reproduce or not?
+        )
+        submit_kwargs = {"recover": bool(meta.get("recover"))}
+        if meta.get("grammar_kind") == "format":
+            submit_kwargs["format"] = meta.get("format")
+        else:
+            submit_kwargs["grammar"] = meta.get("grammar_text")
+        with ParseService(config) as service:
+            future = service.submit(entry.read_data(), **submit_kwargs)
+            try:
+                result = future.result(timeout=(deadline_ms / 1000.0) * 4 + 30)
+            except Exception:  # noqa: BLE001 - a stranded future is the failure
+                report["hung"] += 1
+                print(f"HUNG {entry.digest}: no reply", file=sys.stderr)
+                continue
+            if isinstance(result.error, ServiceError):
+                report["reproduced"] += 1
+                verdict = f"reproduced ({type(result.error).__name__})"
+            else:
+                report["structured"] += 1
+                verdict = (
+                    "no longer crashes "
+                    f"({type(result.error).__name__ if result.error else result.kind})"
+                )
+        print(f"{entry.digest}  {verdict}")
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -220,7 +274,24 @@ def main(argv=None) -> int:
         "salvage accounting balances; every Nth mutant compares the "
         "recovered documents across the three tree backends)",
     )
+    parser.add_argument(
+        "--replay-quarantine",
+        metavar="DIR",
+        help="instead of fuzzing, replay a parse-service crasher corpus "
+        "(see `repro serve --quarantine-dir`): rebuild a service per "
+        "entry from its metadata, re-submit the bytes, and assert a "
+        "structured reply arrives (exit non-zero only on a hang)",
+    )
     args = parser.parse_args(argv)
+    if args.replay_quarantine:
+        report = replay_quarantine(args.replay_quarantine)
+        print(
+            f"replayed {report['entries']} entries: "
+            f"{report['reproduced']} still crash, "
+            f"{report['structured']} answer structurally, "
+            f"{report['hung']} hung"
+        )
+        return 1 if report["hung"] else 0
     formats = tuple(args.format) if args.format else FORMATS
     total_crashes = 0
     for fmt in formats:
